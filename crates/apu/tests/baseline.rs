@@ -1,0 +1,69 @@
+//! APU baseline end-to-end: the decomposition behaves like §2.3 says it
+//! should, and results stay correct.
+
+use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
+use ccsvm_engine::Time;
+use ccsvm_workloads as wl;
+
+fn small_cfg() -> ApuConfig {
+    let mut c = ApuConfig::paper_scaled();
+    // Shrink the chips for test speed.
+    c.cpu_chip.n_mttops = 1;
+    c.gpu_chip.n_mttops = 4;
+    c.gpu_chip.max_sim_time = Time::from_ms(2_000);
+    c.cpu_chip.max_sim_time = Time::from_ms(2_000);
+    c
+}
+
+#[test]
+fn offload_result_is_correct_and_decomposed() {
+    let cfg = small_cfg();
+    let p = wl::matmul::MatmulParams { n: 8, max_threads: 64, seed: 3 };
+    let shape = OffloadShape { buffer_bytes: 3 * 8 * 8 * 8, launches: 1 };
+    let r = run_offload(&cfg, &wl::matmul::xthreads_source(&p), shape);
+    assert_eq!(r.exit_code, wl::matmul::reference_checksum(&p));
+    assert_eq!(
+        r.total,
+        r.total_no_init + r.init_time + r.compile_time,
+        "decomposition adds up"
+    );
+    assert_eq!(r.total_no_init, r.kernel_time + r.dma_time + r.driver_time);
+    assert!(r.total_no_init < r.total);
+    assert!(r.dram_accesses > 0);
+}
+
+#[test]
+fn cpu_baseline_is_faster_than_ccsvm_cpu() {
+    // The APU's out-of-order CPU (max IPC 4) must beat the CCSVM chip's
+    // in-order core (max IPC 0.5) on the same program — the paper's
+    // deliberately conservative stacking (§5.1).
+    let p = wl::matmul::MatmulParams { n: 16, max_threads: 64, seed: 3 };
+    let src = wl::matmul::cpu_source(&p);
+    let (apu_t, _, apu_code) = run_cpu(&small_cfg(), &src);
+
+    let mut ccsvm_cfg = ccsvm::SystemConfig::paper_default();
+    ccsvm_cfg.n_mttops = 1;
+    let mut m = ccsvm::Machine::new(ccsvm_cfg, wl::build(&src));
+    let r = m.run();
+    let ccsvm_t = wl::region_time(&r.printed, &r.printed_at, r.time);
+
+    assert_eq!(apu_code, r.exit_code);
+    assert!(
+        apu_t < ccsvm_t,
+        "APU CPU {apu_t} should beat CCSVM CPU {ccsvm_t}"
+    );
+}
+
+#[test]
+fn per_iteration_launches_hurt_apsp_style_workloads() {
+    // Figure 6's mechanism: the same kernel with N launches pays N driver
+    // overheads on the APU.
+    let cfg = small_cfg();
+    let p = wl::matmul::MatmulParams { n: 8, max_threads: 64, seed: 3 };
+    let src = wl::matmul::xthreads_source(&p);
+    let one = run_offload(&cfg, &src, OffloadShape { buffer_bytes: 1024, launches: 1 });
+    let many = run_offload(&cfg, &src, OffloadShape { buffer_bytes: 1024, launches: 64 });
+    let delta = many.total_no_init.saturating_sub(one.total_no_init);
+    let expect = Time::from_ps(cfg.launch_overhead.as_ps() * 63);
+    assert_eq!(delta, expect);
+}

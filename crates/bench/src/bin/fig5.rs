@@ -1,0 +1,73 @@
+//! Figure 5: dense matrix multiply — runtime relative to the AMD CPU core,
+//! for the APU (full), the APU without compilation/initialization, and
+//! CCSVM/xthreads. Lower is better; the paper's log-scale plot shows CCSVM
+//! winning by orders of magnitude at small sizes with the APU catching up
+//! at the largest size.
+
+use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
+use ccsvm_bench::{header, ms, rel, Claims, Opts};
+use ccsvm_workloads as wl;
+
+fn main() {
+    let opts = Opts::parse();
+    let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
+    let apu = ApuConfig::paper_scaled();
+    let mut claims = Claims::new();
+
+    header(
+        "Figure 5: matmul runtime (ms, and relative to AMD CPU core = 1.0)",
+        &["   n", "   CPU ms", "   APU ms", "APUnoinit", " CCSVM ms", " APU rel", "noin rel", "CCSVMrel"],
+    );
+
+    let mut rel_ccsvm_small = None;
+    let mut last_ratio_noinit_over_ccsvm = 0.0;
+    for &n in &sizes {
+        let p = wl::matmul::MatmulParams::new(n, 42);
+        let expect = wl::matmul::reference_checksum(&p);
+
+        let (t_cpu, _, cpu_code) = run_cpu(&apu, &wl::matmul::cpu_source(&p));
+        assert_eq!(cpu_code, expect, "CPU result");
+
+        let shape = OffloadShape { buffer_bytes: 3 * n * n * 8, launches: 1 };
+        let a = run_offload(&apu, &wl::matmul::xthreads_source(&p), shape);
+        assert_eq!(a.exit_code, expect, "APU result");
+
+        let (t_ccsvm, _, ccsvm_code) = ccsvm_bench::run_ccsvm(&wl::matmul::xthreads_source(&p));
+        assert_eq!(ccsvm_code, expect, "CCSVM result");
+
+        println!(
+            "{n:4} | {} | {} | {} | {} | {} | {} | {}",
+            ms(t_cpu),
+            ms(a.total),
+            ms(a.total_no_init),
+            ms(t_ccsvm),
+            rel(a.total, t_cpu),
+            rel(a.total_no_init, t_cpu),
+            rel(t_ccsvm, t_cpu),
+        );
+
+        if n == *sizes.first().expect("nonempty") {
+            rel_ccsvm_small = Some((t_ccsvm, a.total_no_init));
+        }
+        last_ratio_noinit_over_ccsvm =
+            a.total_no_init.as_ps() as f64 / t_ccsvm.as_ps() as f64;
+        claims.check(
+            t_ccsvm < a.total,
+            &format!("n={n}: CCSVM beats the full-runtime APU"),
+        );
+    }
+
+    if let Some((ccsvm_small, apu_small)) = rel_ccsvm_small {
+        claims.check(
+            apu_small.as_ps() as f64 / ccsvm_small.as_ps() as f64 > 2.0,
+            "smallest size: CCSVM beats even the no-init APU by > 2x",
+        );
+    }
+    if sizes.len() > 1 {
+        claims.check(
+            last_ratio_noinit_over_ccsvm < 5.0,
+            "largest size: the no-init APU closes most of the gap (raw VLIW throughput)",
+        );
+    }
+    claims.finish("fig5");
+}

@@ -1,0 +1,74 @@
+//! Figure 7: Barnes-Hut — runtime of CCSVM/xthreads and of pthreads×4 (on
+//! the APU's CPU cores), relative to a single AMD CPU core. There is no
+//! OpenCL version (the paper couldn't build one either — that's the point:
+//! pointer chasing + frequent sequential/parallel toggling only works with
+//! tight coupling).
+
+use ccsvm_apu::{run_cpu, ApuConfig};
+use ccsvm_bench::{header, ms, rel, Claims, Opts};
+use ccsvm_workloads as wl;
+
+fn main() {
+    let opts = Opts::parse();
+    let sizes = opts.pick(&[256, 512, 1024, 2048], &[128, 256]);
+    let apu = ApuConfig::paper_scaled();
+    let mut claims = Claims::new();
+    let mut rels: Vec<f64> = Vec::new();
+
+    header(
+        "Figure 7: Barnes-Hut runtime (ms, and relative to AMD CPU core = 1.0)",
+        &["bodies", "   CPU ms", "pthr4 ms", " CCSVM ms", "pthr4 rel", "CCSVM rel"],
+    );
+
+    for &nb in &sizes {
+        let p = wl::barnes_hut::BhParams { bodies: nb, steps: 1, max_threads: 1280, seed: 42 };
+        let oracle = wl::barnes_hut::oracle_checksum(&p);
+
+        let (t_cpu, _, c1) = run_cpu(&apu, &wl::barnes_hut::cpu_source(&p));
+        assert_eq!(c1, oracle, "CPU result");
+
+        let (t_pth, _, c2) = run_cpu(&apu, &wl::barnes_hut::pthreads_source(&p, 4));
+        assert_eq!(c2, oracle, "pthreads result");
+
+        let (t_ccsvm, _, c3) = ccsvm_bench::run_ccsvm(&wl::barnes_hut::xthreads_source(&p));
+        assert_eq!(c3, oracle, "CCSVM result");
+
+        println!(
+            "{nb:6} | {} | {} | {} | {} | {}",
+            ms(t_cpu),
+            ms(t_pth),
+            ms(t_ccsvm),
+            rel(t_pth, t_cpu),
+            rel(t_ccsvm, t_cpu),
+        );
+
+        if nb >= 512 {
+            claims.check(
+                t_pth < t_cpu,
+                &format!("{nb} bodies: pthreads x4 beats one core"),
+            );
+        }
+        if nb >= 1024 {
+            claims.check(
+                t_ccsvm < t_cpu,
+                &format!("{nb} bodies: CCSVM beats the single CPU core"),
+            );
+        }
+        rels.push(t_ccsvm.as_ps() as f64 / t_cpu.as_ps() as f64);
+    }
+    // The crossover against the single CPU lands around 1024 bodies at our
+    // scaled sizes. The paper's stronger CCSVM-beats-pthreads headline needs
+    // sizes beyond this sweep: the sequential tree build runs on the CCSVM
+    // chip's deliberately slow (max IPC 0.5) CPU while the baselines enjoy
+    // the APU's max-IPC-4 cores, an Amdahl term that fades as the force
+    // phase grows. The trend is checked below; see EXPERIMENTS.md.
+    claims.check(
+        rels.windows(2).all(|w| w[1] <= w[0] * 1.05),
+        "CCSVM relative runtime improves (or holds) as the problem grows",
+    );
+    println!(
+        "note: CCSVM relative-runtime trend across sizes: {:?}",
+        rels.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    claims.finish("fig7");
+}

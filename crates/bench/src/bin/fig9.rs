@@ -1,0 +1,45 @@
+//! Figure 9: DRAM accesses for matrix multiply (log scale in the paper) —
+//! the APU's staged DMA plus GPU misses versus CCSVM's on-chip
+//! communication, with the single CPU's accesses growing as the working set
+//! outgrows its caches.
+
+use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
+use ccsvm_bench::{header, Claims, Opts};
+use ccsvm_workloads as wl;
+
+fn main() {
+    let opts = Opts::parse();
+    let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
+    let apu = ApuConfig::paper_scaled();
+    let mut claims = Claims::new();
+
+    header(
+        "Figure 9: DRAM accesses for matmul",
+        &["   n", "      CPU", "      APU", "    CCSVM", "APU/CCSVM"],
+    );
+
+    for &n in &sizes {
+        let p = wl::matmul::MatmulParams::new(n, 42);
+        let expect = wl::matmul::reference_checksum(&p);
+
+        let (_, cpu_dram, c1) = run_cpu(&apu, &wl::matmul::cpu_source(&p));
+        assert_eq!(c1, expect);
+        let shape = OffloadShape { buffer_bytes: 3 * n * n * 8, launches: 1 };
+        let a = run_offload(&apu, &wl::matmul::xthreads_source(&p), shape);
+        assert_eq!(a.exit_code, expect);
+        let (_, ccsvm_dram, c3) = ccsvm_bench::run_ccsvm(&wl::matmul::xthreads_source(&p));
+        assert_eq!(c3, expect);
+
+        println!(
+            "{n:4} | {cpu_dram:8} | {:8} | {ccsvm_dram:8} | {:8.2}",
+            a.dram_accesses,
+            a.dram_accesses as f64 / ccsvm_dram as f64,
+        );
+
+        claims.check(
+            a.dram_accesses > ccsvm_dram,
+            &format!("n={n}: APU needs more DRAM accesses than CCSVM"),
+        );
+    }
+    claims.finish("fig9");
+}

@@ -1,0 +1,35 @@
+//! Table 2: the simulated CCSVM system and the modeled APU configurations.
+
+use ccsvm_apu::ApuConfig;
+use ccsvm::SystemConfig;
+
+fn main() {
+    println!("== Table 2: simulated CCSVM system configuration");
+    print!("{}", SystemConfig::paper_default().describe());
+
+    let apu = ApuConfig::paper_scaled();
+    println!("\n== Table 2: modeled AMD APU (A8-3850-like) configuration");
+    println!(
+        "CPU:    {} out-of-order cores, {:.1} GHz, max IPC {}",
+        apu.cpu_chip.n_cpus,
+        apu.cpu_chip.cpu.clock.hz() / 1e9,
+        apu.cpu_chip.cpu.cycles_per_instr_den as f64
+            / apu.cpu_chip.cpu.cycles_per_instr_num as f64,
+    );
+    println!(
+        "GPU:    {} SIMD units, {:.0} MHz, VLIW x{} (max {} ops/cycle)",
+        apu.gpu_chip.n_mttops,
+        apu.gpu_chip.mttop.clock.hz() / 1e6,
+        apu.gpu_chip.mttop.vliw_ops_per_lane,
+        apu.gpu_chip.n_mttops as u64
+            * apu.gpu_chip.mttop.lanes as u64
+            * apu.gpu_chip.mttop.vliw_ops_per_lane,
+    );
+    println!("DRAM:   {} latency (Table 2: 72 ns)", apu.cpu_chip.dram.latency);
+    println!("OpenCL: compile {}  init {}", apu.compile_time, apu.init_time);
+    println!(
+        "Driver: launch overhead {}  DMA {} + {:.1} B/ns",
+        apu.launch_overhead, apu.dma_latency, apu.dma_bytes_per_ns
+    );
+    println!("\n(modeled constants are scaled for simulable problem sizes; see EXPERIMENTS.md)");
+}

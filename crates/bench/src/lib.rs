@@ -1,0 +1,132 @@
+//! Shared harness utilities for the per-figure benchmark binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — smaller sweeps for smoke runs (used by `cargo bench`/CI),
+//! * `--sizes a,b,c` — override the swept sizes.
+//!
+//! Output is a fixed-width table whose rows mirror the corresponding figure
+//! in the paper; EXPERIMENTS.md records a captured run next to the paper's
+//! reported shape.
+
+use ccsvm::{Machine, SystemConfig};
+use ccsvm_engine::Time;
+use ccsvm_workloads as wl;
+
+/// Parsed common CLI options.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Reduced sweep for smoke testing.
+    pub quick: bool,
+    /// Optional size override.
+    pub sizes: Option<Vec<u64>>,
+}
+
+impl Opts {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed `--sizes` lists.
+    pub fn parse() -> Opts {
+        let mut quick = false;
+        let mut sizes = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--sizes" => {
+                    let list = args.next().expect("--sizes needs a value");
+                    sizes = Some(
+                        list.split(',')
+                            .map(|s| s.trim().parse().expect("size"))
+                            .collect(),
+                    );
+                }
+                other => panic!("unknown argument `{other}` (supported: --quick, --sizes a,b,c)"),
+            }
+        }
+        Opts { quick, sizes }
+    }
+
+    /// The sweep to use: override > quick > full.
+    pub fn pick(&self, full: &[u64], quick: &[u64]) -> Vec<u64> {
+        match &self.sizes {
+            Some(s) => s.clone(),
+            None if self.quick => quick.to_vec(),
+            None => full.to_vec(),
+        }
+    }
+}
+
+/// Runs an xthreads program on the CCSVM chip; returns (measured region,
+/// DRAM accesses, exit code).
+///
+/// # Panics
+///
+/// Panics on compile errors or guest misbehaviour.
+pub fn run_ccsvm(src: &str) -> (Time, u64, u64) {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.max_sim_time = Time::from_ms(60_000);
+    let mut m = Machine::new(cfg, wl::build(src));
+    let r = m.run();
+    let t = wl::region_time(&r.printed, &r.printed_at, r.time);
+    let d = wl::region_dram(&r.printed, &r.dram_at_print, r.dram_accesses);
+    (t, d, r.exit_code)
+}
+
+/// Formats a time as milliseconds with 3 significant decimals.
+pub fn ms(t: Time) -> String {
+    format!("{:10.4}", t.as_ms())
+}
+
+/// Formats a runtime relative to a baseline (paper figures plot
+/// log-scale "runtime relative to the AMD CPU core").
+pub fn rel(t: Time, base: Time) -> String {
+    format!("{:8.3}", t.as_ps() as f64 / base.as_ps() as f64)
+}
+
+/// Prints the standard table header for a figure binary.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("== {title}");
+    println!("{}", columns.join(" | "));
+    println!("{}", "-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>()));
+}
+
+/// Asserts a qualitative claim, printing rather than panicking so a full
+/// sweep always completes; the harness exits nonzero at the end if any
+/// claim failed.
+pub struct Claims {
+    failures: Vec<String>,
+}
+
+impl Claims {
+    /// Empty set.
+    pub fn new() -> Claims {
+        Claims { failures: Vec::new() }
+    }
+
+    /// Records a claim.
+    pub fn check(&mut self, ok: bool, what: &str) {
+        if !ok {
+            println!("  !! claim failed: {what}");
+            self.failures.push(what.to_string());
+        }
+    }
+
+    /// Prints a summary and exits nonzero on failures.
+    pub fn finish(self, figure: &str) {
+        if self.failures.is_empty() {
+            println!("[{figure}] all qualitative claims hold");
+        } else {
+            println!("[{figure}] {} claim(s) FAILED", self.failures.len());
+            std::process::exit(1);
+        }
+    }
+}
+
+impl Default for Claims {
+    fn default() -> Self {
+        Claims::new()
+    }
+}

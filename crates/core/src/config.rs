@@ -1,0 +1,211 @@
+//! System configuration (the paper's Table 2, CCSVM column).
+
+use ccsvm_cpu::CpuConfig;
+use ccsvm_engine::Time;
+use ccsvm_mem::{CacheConfig, DramConfig, WritePolicy};
+use ccsvm_mttop::MttopConfig;
+use ccsvm_noc::NocConfig;
+
+/// Modeled operating-system service costs. The paper runs unmodified Linux
+/// 2.6; these constants stand in for the handler paths its evaluation
+/// exercises (documented in EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OsCosts {
+    /// Kernel entry/exit + simple service (malloc bookkeeping, MIFD write).
+    pub syscall: Time,
+    /// Page-fault trap + handler, excluding the PTE stores (those are
+    /// simulated as real coherent stores).
+    pub page_fault: Time,
+    /// Per-target IPI delivery/handling during TLB shootdown.
+    pub ipi: Time,
+    /// MIFD per-chunk dispatch occupancy.
+    pub mifd_chunk: Time,
+}
+
+impl OsCosts {
+    /// Defaults calibrated to 2011-class Linux (see EXPERIMENTS.md).
+    pub fn default_costs() -> OsCosts {
+        OsCosts {
+            syscall: Time::from_ns(400),
+            page_fault: Time::from_ns(800),
+            ipi: Time::from_ns(500),
+            mifd_chunk: Time::from_ns(20),
+        }
+    }
+}
+
+/// Full-chip configuration. [`SystemConfig::paper_default`] reproduces the
+/// Table 2 CCSVM column.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of CPU cores.
+    pub n_cpus: usize,
+    /// Number of MTTOP cores.
+    pub n_mttops: usize,
+    /// CPU core parameters.
+    pub cpu: CpuConfig,
+    /// MTTOP core parameters (`ctx_base` is filled in per core).
+    pub mttop: MttopConfig,
+    /// CPU L1 geometry (64 KB, 4-way).
+    pub cpu_l1: CacheConfig,
+    /// CPU L1 hit latency (2 CPU cycles).
+    pub cpu_l1_hit: Time,
+    /// CPU L1 MSHRs.
+    pub cpu_mshrs: usize,
+    /// MTTOP L1 geometry (16 KB, 4-way).
+    pub mttop_l1: CacheConfig,
+    /// MTTOP L1 hit latency (1 MTTOP cycle).
+    pub mttop_l1_hit: Time,
+    /// MTTOP L1 MSHRs (one per two warps by default).
+    pub mttop_mshrs: usize,
+    /// L1 store policy (write-back; write-through for the §6.1 ablation).
+    pub l1_write_policy: WritePolicy,
+    /// Number of shared-L2 banks.
+    pub l2_banks: usize,
+    /// Per-bank geometry (4 × 1 MB, 16-way).
+    pub l2_bank: CacheConfig,
+    /// L2 bank access latency (≈10 CPU cycles ≈ 2 MTTOP cycles).
+    pub l2_latency: Time,
+    /// DRAM parameters (100 ns).
+    pub dram: DramConfig,
+    /// Interconnect parameters (12 GB/s links).
+    pub noc: NocConfig,
+    /// Torus shape (cols, rows); must fit CPUs+banks+MIFD+MTTOPs.
+    pub torus: (usize, usize),
+    /// OS cost model.
+    pub os: OsCosts,
+    /// Shootdown policy for MTTOP TLBs: the paper's conservative choice is a
+    /// full flush ("a simple, viable option", §3.2.1); selective
+    /// invalidation is the paper's suggested refinement, implemented here as
+    /// an extension/ablation.
+    pub mttop_selective_shootdown: bool,
+    /// Physical pool handed to OsLite: `[base, end)`.
+    pub phys_pool: (u64, u64),
+    /// Hard wall-clock limit for a run (deadlock/runaway guard).
+    pub max_sim_time: Time,
+}
+
+impl SystemConfig {
+    /// The Table 2 CCSVM system: 4 CPUs, 10 MTTOPs, 4 MB shared L2, 2D torus,
+    /// 2 GB DRAM @ 100 ns.
+    pub fn paper_default() -> SystemConfig {
+        SystemConfig {
+            n_cpus: 4,
+            n_mttops: 10,
+            cpu: CpuConfig::paper_ccsvm(),
+            mttop: MttopConfig::paper_ccsvm(0),
+            cpu_l1: CacheConfig::from_capacity(64 * 1024, 4),
+            cpu_l1_hit: Time::from_ps(690), // 2 cycles @ 2.9 GHz
+            cpu_mshrs: 4,
+            mttop_l1: CacheConfig::from_capacity(16 * 1024, 4),
+            mttop_l1_hit: Time::from_ps(1_667), // 1 cycle @ 600 MHz
+            mttop_mshrs: 16, // deep miss queues: latency hiding is the MTTOP point
+            l1_write_policy: WritePolicy::WriteBack,
+            l2_banks: 4,
+            l2_bank: CacheConfig::from_capacity(1024 * 1024, 16),
+            l2_latency: Time::from_ps(3_450), // 10 CPU cycles
+            dram: DramConfig::paper_default(),
+            noc: NocConfig::paper_default(),
+            torus: (4, 5),
+            os: OsCosts::default_costs(),
+            mttop_selective_shootdown: false,
+            phys_pool: (0x10_0000, 2 * 1024 * 1024 * 1024),
+            max_sim_time: Time::from_ms(30_000),
+        }
+    }
+
+    /// A scaled-down machine for fast unit/integration tests: 2 CPUs,
+    /// 2 MTTOPs with 4 warps each, small caches.
+    pub fn tiny() -> SystemConfig {
+        let mut c = SystemConfig::paper_default();
+        c.n_cpus = 2;
+        c.n_mttops = 2;
+        c.mttop.warps = 32; // 32 single-lane contexts per core = 64 threads
+        c.cpu_l1 = CacheConfig::from_capacity(8 * 1024, 2);
+        c.mttop_l1 = CacheConfig::from_capacity(8 * 1024, 2);
+        c.l2_banks = 2;
+        c.l2_bank = CacheConfig::from_capacity(64 * 1024, 4);
+        c.torus = (3, 3);
+        c.max_sim_time = Time::from_ms(200);
+        c
+    }
+
+    /// Total MTTOP thread contexts (the MIFD's capacity).
+    pub fn mttop_threads(&self) -> u64 {
+        (self.n_mttops * self.mttop.warps * self.mttop.lanes) as u64
+    }
+
+    /// Nodes required on the torus.
+    pub fn nodes_needed(&self) -> usize {
+        self.n_cpus + self.n_mttops + self.l2_banks + 1
+    }
+
+    /// A Table-2-style description of this configuration.
+    pub fn describe(&self) -> String {
+        format!(
+            "CPU:    {} in-order cores, {:.1} GHz, max IPC {}\n\
+             MTTOP:  {} cores, {:.0} MHz, {} warps x {} lanes ({} thread contexts)\n\
+             L1:     CPU {} KB {}-way ({} hit); MTTOP {} KB {}-way ({} hit)\n\
+             L2:     {} banks x {} KB, {}-way, {} latency, inclusive, MOESI directory\n\
+             DRAM:   {} latency, {:.1} B/ns/channel, {} channels\n\
+             NoC:    {}x{} torus, {:.0} GB/s links\n",
+            self.n_cpus,
+            self.cpu.clock.hz() / 1e9,
+            self.cpu.cycles_per_instr_den as f64 / self.cpu.cycles_per_instr_num as f64,
+            self.n_mttops,
+            self.mttop.clock.hz() / 1e6,
+            self.mttop.warps,
+            self.mttop.lanes,
+            self.mttop_threads(),
+            self.cpu_l1.capacity() / 1024,
+            self.cpu_l1.ways,
+            self.cpu_l1_hit,
+            self.mttop_l1.capacity() / 1024,
+            self.mttop_l1.ways,
+            self.mttop_l1_hit,
+            self.l2_banks,
+            self.l2_bank.capacity() / 1024,
+            self.l2_bank.ways,
+            self.l2_latency,
+            self.dram.latency,
+            self.dram.bytes_per_ns,
+            self.dram.channels,
+            self.torus.0,
+            self.torus.1,
+            self.noc.link_bytes_per_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.n_cpus, 4);
+        assert_eq!(c.n_mttops, 10);
+        assert_eq!(c.mttop_threads(), 1280); // 10 x 128
+        assert_eq!(c.cpu_l1.capacity(), 64 * 1024);
+        assert_eq!(c.mttop_l1.capacity(), 16 * 1024);
+        assert_eq!(c.l2_banks * c.l2_bank.capacity(), 4 * 1024 * 1024);
+        assert_eq!(c.dram.latency, Time::from_ns(100));
+        assert!(c.nodes_needed() <= c.torus.0 * c.torus.1);
+    }
+
+    #[test]
+    fn describe_mentions_key_numbers() {
+        let d = SystemConfig::paper_default().describe();
+        assert!(d.contains("2.9 GHz"));
+        assert!(d.contains("600 MHz"));
+        assert!(d.contains("1280"));
+        assert!(d.contains("torus"));
+    }
+
+    #[test]
+    fn tiny_fits_its_torus() {
+        let c = SystemConfig::tiny();
+        assert!(c.nodes_needed() <= c.torus.0 * c.torus.1);
+    }
+}

@@ -1,0 +1,45 @@
+//! `ccsvm` — the paper's contribution: a heterogeneous multicore chip whose
+//! CPU and MTTOP cores are **full peers in cache-coherent shared virtual
+//! memory** (Hechtman & Sorin, ISPASS 2013, §3).
+//!
+//! A [`Machine`] assembles, per Table 2 / Figure 1:
+//!
+//! * 4 in-order CPU cores (2.9 GHz, max IPC 0.5, 64 KB L1, 64-entry TLB),
+//! * 10 SIMT MTTOP cores (600 MHz, 16 warps × 8 lanes, 16 KB L1, TLB +
+//!   hardware walker),
+//! * the MIFD (task launch via a `write` syscall, round-robin warp
+//!   assignment, page-fault forwarding, error register),
+//! * a banked, inclusive, shared 4 MB L2 with the MOESI directory embedded
+//!   in its blocks,
+//! * a 2D torus NoC (12 GB/s links) connecting everything,
+//! * 100 ns DRAM behind the L2 banks, and
+//! * `OsLite`: frame allocation, demand paging, page-fault handling
+//!   (including MTTOP faults forwarded through the MIFD), TLB shootdown
+//!   (selective CPU IPIs, conservative MTTOP flush-all), guest `malloc`,
+//!   and CPU thread spawn.
+//!
+//! Programs are XC sources compiled by `ccsvm-xcc` against the xthreads
+//! runtime (`ccsvm_xthreads::build`); [`Machine::run`] boots `main` on CPU 0
+//! and simulates until the process exits, producing a [`RunReport`] with the
+//! runtime, printed output, and every component's counters (including the
+//! DRAM-access counts behind the paper's Figure 9).
+//!
+//! # Examples
+//!
+//! ```
+//! use ccsvm::{Machine, SystemConfig};
+//!
+//! let program = ccsvm_xthreads::build(
+//!     "_CPU_ fn main() -> int { print_int(6 * 7); return 0; }",
+//! ).unwrap();
+//! let mut m = Machine::new(SystemConfig::paper_default(), program);
+//! let report = m.run();
+//! assert_eq!(report.printed, ["42"]);
+//! assert!(report.time.as_ns() > 0.0);
+//! ```
+
+mod config;
+mod machine;
+
+pub use config::{OsCosts, SystemConfig};
+pub use machine::{Machine, RunReport};

@@ -1,0 +1,817 @@
+//! The full-system machine: event loop, OS services, MIFD, shootdowns.
+
+use std::collections::VecDeque;
+
+use ccsvm_cpu::{CpuAction, CpuCore};
+use ccsvm_engine::{EventQueue, Stats, Time};
+use ccsvm_isa::{sys, Program};
+use ccsvm_mem::{
+    Access, AccessResult, BankConfig, L1Config, MemConfig, MemEvent, MemorySystem, PortId,
+};
+use ccsvm_mttop::{Mifd, MttopAction, MttopCore, PageFaultReq, TaskChunk};
+use ccsvm_noc::{Network, NodeId, Topology};
+use ccsvm_vm::{GuestHeap, OsLite, PteWrite, VirtAddr, PAGE_BYTES};
+
+use crate::SystemConfig;
+
+const KIND_SHIFT: u32 = 60;
+const IDX_SHIFT: u32 = 48;
+const KIND_CPU: u64 = 1;
+const KIND_MTTOP: u64 = 2;
+const KIND_HANDLER: u64 = 3;
+
+fn prefix(kind: u64, idx: usize) -> u64 {
+    (kind << KIND_SHIFT) | ((idx as u64) << IDX_SHIFT)
+}
+
+fn times(t: Time, k: u64) -> Time {
+    Time::from_ps(t.as_ps().saturating_mul(k))
+}
+
+/// Machine events.
+#[derive(Debug)]
+enum Ev {
+    Mem(MemEvent),
+    CpuBatch { core: usize, seq: u64 },
+    MttopBatch { core: usize, seq: u64 },
+    /// A launch write-syscall arrived at the MIFD.
+    MifdLaunch { cpu: usize, desc: [u64; 4] },
+    /// The MIFD's task chunk arrived at an MTTOP core.
+    ChunkArrive { core: usize, chunk: TaskChunk },
+    /// A device/OS response releases a blocked syscall.
+    ResumeSyscall { cpu: usize, ret: u64 },
+    /// An MTTOP page-fault interrupt arrived (via the MIFD) at a CPU.
+    FaultToCpu { req: PageFaultReq, mcore: usize },
+    /// The fault-resolution ack arrived back at the MTTOP core.
+    FaultAckAtMttop { mcore: usize, warp: usize },
+    /// Shootdown IPI arrived at a CPU.
+    IpiArrive { target: usize, va: VirtAddr, initiator: usize },
+    /// Shootdown flush request arrived at an MTTOP core.
+    FlushArrive { target: usize, va: VirtAddr, initiator: usize },
+    /// Shootdown ack arrived back at the initiator.
+    ShootAck { initiator: usize },
+    /// The OS handler's PTE store hit MSHR exhaustion; retry the issue.
+    HandlerRetry { cpu: usize },
+}
+
+/// OS handler work performed on a CPU core (page-fault service, unmap).
+#[derive(Clone, Copy, Debug)]
+enum Job {
+    /// This CPU's own thread faulted.
+    Local { va: VirtAddr },
+    /// A forwarded MTTOP fault (§3.2.1).
+    Remote { mcore: usize, warp: usize, va: VirtAddr },
+    /// munmap: PTE clear, then TLB shootdown.
+    Unmap { va: VirtAddr },
+}
+
+#[derive(Debug)]
+struct Active {
+    job: Job,
+    writes: Vec<PteWrite>,
+    next: usize,
+}
+
+#[derive(Debug, Default)]
+struct Handler {
+    queue: VecDeque<Job>,
+    active: Option<Active>,
+}
+
+/// Results of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Simulated time from boot to process exit — the paper's "runtime".
+    pub time: Time,
+    /// Everything the guest printed.
+    pub printed: Vec<String>,
+    /// Simulated time of each print (parallel to `printed`) — workloads use
+    /// marker prints to delimit measured regions.
+    pub printed_at: Vec<Time>,
+    /// Cumulative DRAM accesses at each print (parallel to `printed`) — lets
+    /// harnesses report region-only off-chip traffic (Figure 9).
+    pub dram_at_print: Vec<u64>,
+    /// `main`'s return value.
+    pub exit_code: u64,
+    /// Total off-chip DRAM accesses (Figure 9's metric).
+    pub dram_accesses: u64,
+    /// Total instructions executed (CPU instructions + MTTOP thread-instructions).
+    pub instructions: u64,
+    /// Every component's counters.
+    pub stats: Stats,
+}
+
+/// The CCSVM chip plus OsLite. See the [crate docs](crate).
+pub struct Machine {
+    cfg: SystemConfig,
+    prog: Program,
+    mem: MemorySystem,
+    net: Network,
+    queue: EventQueue<Ev>,
+    cpus: Vec<CpuCore>,
+    mttops: Vec<MttopCore>,
+    mifd: Mifd,
+    os: OsLite,
+    heap: GuestHeap,
+    cpu_seq: Vec<u64>,
+    mttop_seq: Vec<u64>,
+    handlers: Vec<Handler>,
+    shoot_pending: Vec<usize>,
+    /// Chunks planned but not yet arrived, per MTTOP core.
+    reserved: Vec<usize>,
+    cpu_nodes: Vec<NodeId>,
+    mttop_nodes: Vec<NodeId>,
+    mifd_node: NodeId,
+    kexit: usize,
+    printed: Vec<String>,
+    printed_at: Vec<Time>,
+    dram_at_print: Vec<u64>,
+    now: Time,
+    main_exited: bool,
+    exit_code: u64,
+    started: bool,
+}
+
+impl Machine {
+    /// Builds the chip for `prog` (compile with [`ccsvm_xthreads::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration doesn't fit its torus or the program
+    /// lacks the `__start`/`__kexit` stubs.
+    pub fn new(cfg: SystemConfig, prog: Program) -> Machine {
+        let topo = Topology::torus(cfg.torus.0, cfg.torus.1);
+        assert!(
+            cfg.nodes_needed() <= topo.len(),
+            "torus too small for {} units",
+            cfg.nodes_needed()
+        );
+        let kexit = prog.entry("__kexit");
+        let _ = prog.entry("__start");
+
+        // Node placement: CPUs, then L2 banks, then the MIFD, then MTTOPs.
+        let mut next = 0usize;
+        let mut take = |n: usize| {
+            let v: Vec<NodeId> = (next..next + n).map(NodeId).collect();
+            next += n;
+            v
+        };
+        let cpu_nodes = take(cfg.n_cpus);
+        let bank_nodes = take(cfg.l2_banks);
+        let mifd_node = take(1)[0];
+        let mttop_nodes = take(cfg.n_mttops);
+
+        let mut l1s = Vec::new();
+        for &node in &cpu_nodes {
+            l1s.push(L1Config {
+                node,
+                cache: cfg.cpu_l1,
+                hit_time: cfg.cpu_l1_hit,
+                max_mshrs: cfg.cpu_mshrs,
+                write_policy: cfg.l1_write_policy,
+            });
+        }
+        for &node in &mttop_nodes {
+            l1s.push(L1Config {
+                node,
+                cache: cfg.mttop_l1,
+                hit_time: cfg.mttop_l1_hit,
+                max_mshrs: cfg.mttop_mshrs,
+                write_policy: cfg.l1_write_policy,
+            });
+        }
+        let banks = bank_nodes
+            .iter()
+            .map(|&node| BankConfig {
+                node,
+                cache: cfg.l2_bank,
+                latency: cfg.l2_latency,
+            })
+            .collect();
+        let mem = MemorySystem::new(MemConfig {
+            l1s,
+            banks,
+            dram: cfg.dram,
+            ctrl_bytes: 8,
+            data_bytes: 72,
+        });
+        let net = Network::new(topo, cfg.noc);
+
+        let cpus: Vec<CpuCore> = (0..cfg.n_cpus)
+            .map(|i| CpuCore::new(PortId(i), cfg.cpu, prefix(KIND_CPU, i)))
+            .collect();
+        let mttops: Vec<MttopCore> = (0..cfg.n_mttops)
+            .map(|i| {
+                let mut mc = cfg.mttop;
+                mc.ctx_base = (cfg.n_cpus + i * mc.warps * mc.lanes) as u64;
+                MttopCore::new(PortId(cfg.n_cpus + i), mc, prefix(KIND_MTTOP, i))
+            })
+            .collect();
+
+        let os = OsLite::new(cfg.phys_pool.0, cfg.phys_pool.1);
+        let heap = GuestHeap::new(
+            VirtAddr(ccsvm_isa::abi::HEAP_BASE),
+            ccsvm_isa::abi::HEAP_LEN,
+        );
+
+        Machine {
+            handlers: (0..cfg.n_cpus).map(|_| Handler::default()).collect(),
+            shoot_pending: vec![0; cfg.n_cpus],
+            reserved: vec![0; cfg.n_mttops],
+            cpu_seq: vec![0; cfg.n_cpus],
+            mttop_seq: vec![0; cfg.n_mttops],
+            cfg,
+            prog,
+            mem,
+            net,
+            queue: EventQueue::new(),
+            cpus,
+            mttops,
+            mifd: Mifd::new(),
+            os,
+            heap,
+            cpu_nodes,
+            mttop_nodes,
+            mifd_node,
+            kexit,
+            printed: Vec::new(),
+            printed_at: Vec::new(),
+            dram_at_print: Vec::new(),
+            now: Time::ZERO,
+            main_exited: false,
+            exit_code: 0,
+            started: false,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Debug: each MTTOP core's local clock (≈ when it last executed).
+    pub fn mttop_times(&self) -> Vec<ccsvm_engine::Time> {
+        self.mttops.iter().map(|m| m.local_time()).collect()
+    }
+
+    /// Debug: per-bank L2 occupancy and resident block lists.
+    pub fn l2_occupancy(&self) -> Vec<(usize, Vec<u64>)> {
+        self.mem.l2_occupancy()
+    }
+
+    /// Allocates guest heap memory **before** the run and writes `data` into
+    /// it (mapping pages through the backdoor). Returns the guest VA.
+    ///
+    /// # Panics
+    ///
+    /// Panics once the simulation has started, or on heap exhaustion.
+    pub fn guest_alloc_init(&mut self, data: &[u8]) -> u64 {
+        assert!(!self.started, "pre-run input loading only");
+        let va = self
+            .heap
+            .malloc(data.len() as u64)
+            .expect("guest heap exhausted")
+            .0;
+        let first = va / PAGE_BYTES;
+        let last = (va + data.len() as u64 - 1) / PAGE_BYTES;
+        for page in first..=last {
+            for w in self.os.map_page(VirtAddr(page * PAGE_BYTES)) {
+                self.mem.backdoor_write(w.addr, &w.value.to_le_bytes());
+            }
+        }
+        // Write data page by page.
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = VirtAddr(va + off as u64);
+            let in_page = (PAGE_BYTES - a.page_offset()) as usize;
+            let n = in_page.min(data.len() - off);
+            let pa = self.os.translate(a).expect("just mapped");
+            self.mem.backdoor_write(pa, &data[off..off + n]);
+            off += n;
+        }
+        va
+    }
+
+    /// Coherently reads guest memory (any time; used for results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any touched page is unmapped.
+    pub fn guest_read(&self, va: u64, buf: &mut [u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = VirtAddr(va + off as u64);
+            let in_page = (PAGE_BYTES - a.page_offset()) as usize;
+            let n = in_page.min(buf.len() - off);
+            let pa = self
+                .os
+                .translate(a)
+                .unwrap_or_else(|| panic!("guest_read of unmapped {a}"));
+            self.mem.backdoor_read(pa, &mut buf[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Reads `n` little-endian 64-bit words of guest memory.
+    pub fn guest_read_words(&self, va: u64, n: usize) -> Vec<u64> {
+        let mut bytes = vec![0u8; n * 8];
+        self.guest_read(va, &mut bytes);
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect()
+    }
+
+    /// Boots `main` on CPU 0 and simulates to process exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (event queue drains before `main`
+    /// exits) or exceeds `max_sim_time`.
+    pub fn run(&mut self) -> RunReport {
+        assert!(!self.started, "a Machine runs once");
+        self.started = true;
+        // The MIFD driver sets up the process's virtual address space when it
+        // registers the MTTOP thread contexts (§3.1/§4.3): pre-map the top
+        // stack page of every hardware context. Deeper stack pages (e.g.
+        // recursion) still demand-fault.
+        let contexts = self.cfg.n_cpus as u64
+            + (self.cfg.n_mttops * self.cfg.mttop.warps * self.cfg.mttop.lanes) as u64;
+        for ctx in 0..contexts {
+            let top = VirtAddr(ccsvm_isa::abi::stack_top(ctx)).page_base();
+            for w in self.os.map_page(top) {
+                self.mem.backdoor_write(w.addr, &w.value.to_le_bytes());
+            }
+        }
+        let entry = self.prog.entry("__start");
+        let cr3 = self.os.cr3();
+        self.cpus[0].start_thread(Time::ZERO, entry, 0, 0, cr3, self.kexit);
+        self.sched_cpu_batch(0, Time::ZERO);
+
+        let trace = std::env::var("CCSVM_TRACE").is_ok();
+        let mut nev: u64 = 0;
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            nev += 1;
+            if trace && nev < 5000 {
+                eprintln!("[{nev}] t={t:?} {ev:?}");
+            }
+            if trace && nev % 1_000_000 == 0 {
+                eprintln!("[{nev}] t={t:?} qlen={}", self.queue.len());
+            }
+            assert!(
+                t <= self.cfg.max_sim_time,
+                "simulation exceeded max_sim_time at {t}"
+            );
+            self.dispatch(ev);
+            if self.main_exited {
+                break;
+            }
+        }
+        assert!(
+            self.main_exited,
+            "machine deadlocked: event queue drained before main exited"
+        );
+        self.report()
+    }
+
+    fn report(&self) -> RunReport {
+        let mut stats = Stats::new();
+        for (i, c) in self.cpus.iter().enumerate() {
+            stats.merge_prefixed(&format!("cpu.{i}"), &c.stats());
+        }
+        for (i, m) in self.mttops.iter().enumerate() {
+            stats.merge_prefixed(&format!("mttop.{i}"), &m.stats());
+        }
+        stats.merge_prefixed("mem", &self.mem.stats());
+        stats.merge_prefixed("noc", &self.net.stats());
+        stats.merge_prefixed("mifd", &self.mifd.stats());
+        stats.set("os.page_faults", self.os.faults_handled() as f64);
+        stats.set("heap.live_bytes", self.heap.live_bytes() as f64);
+        let instructions = self
+            .cpus
+            .iter()
+            .map(|c| c.stats().get("instructions"))
+            .sum::<f64>()
+            + self
+                .mttops
+                .iter()
+                .map(|m| m.stats().get("thread_instructions"))
+                .sum::<f64>();
+        RunReport {
+            time: self.now,
+            printed: self.printed.clone(),
+            printed_at: self.printed_at.clone(),
+            dram_at_print: self.dram_at_print.clone(),
+            exit_code: self.exit_code,
+            dram_accesses: self.mem.dram_accesses(),
+            instructions: instructions as u64,
+            stats,
+        }
+    }
+
+    // ----- scheduling helpers ---------------------------------------------
+
+    fn sched_cpu_batch(&mut self, core: usize, at: Time) {
+        self.cpu_seq[core] += 1;
+        let seq = self.cpu_seq[core];
+        self.queue.push(at.max(self.now), Ev::CpuBatch { core, seq });
+    }
+
+    fn sched_mttop_batch(&mut self, core: usize, at: Time) {
+        self.mttop_seq[core] += 1;
+        let seq = self.mttop_seq[core];
+        self.queue.push(at.max(self.now), Ev::MttopBatch { core, seq });
+    }
+
+    // ----- dispatch --------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Mem(me) => {
+                let mut completions = Vec::new();
+                {
+                    let queue = &mut self.queue;
+                    let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
+                    self.mem
+                        .handle(self.now, &mut self.net, &mut sched, me, &mut completions);
+                }
+                for c in completions {
+                    self.route_completion(c.token, c.value);
+                }
+            }
+            Ev::CpuBatch { core, seq } => {
+                if seq != self.cpu_seq[core] {
+                    return;
+                }
+                self.run_cpu_batch(core);
+            }
+            Ev::MttopBatch { core, seq } => {
+                if seq != self.mttop_seq[core] {
+                    return;
+                }
+                self.run_mttop_batch(core);
+            }
+            Ev::MifdLaunch { cpu, desc } => self.mifd_launch(cpu, desc),
+            Ev::ChunkArrive { core, chunk } => {
+                self.reserved[core] -= 1;
+                let ok = self.mttops[core].start_task(self.now, chunk);
+                assert!(ok, "MIFD overcommitted core {core}");
+                self.sched_mttop_batch(core, self.now);
+            }
+            Ev::ResumeSyscall { cpu, ret } => {
+                let at = self.cpus[cpu].resume_syscall(self.now, ret);
+                self.sched_cpu_batch(cpu, at);
+            }
+            Ev::FaultToCpu { req, mcore } => {
+                // All MTTOP faults are serviced by CPU 0 (the MIFD interrupts
+                // a CPU core on behalf of the MTTOP, §3.2.1).
+                self.handler_enqueue(
+                    0,
+                    Job::Remote {
+                        mcore,
+                        warp: req.warp,
+                        va: req.va,
+                    },
+                );
+            }
+            Ev::FaultAckAtMttop { mcore, warp } => {
+                self.mttops[mcore].fault_resolved(warp, self.now);
+                self.sched_mttop_batch(mcore, self.now);
+            }
+            Ev::IpiArrive { target, va, initiator } => {
+                self.cpus[target].tlb_invalidate(va);
+                let done = self.now + self.cfg.os.ipi;
+                self.cpus[target].preempt_until(done);
+                let t = self
+                    .net
+                    .send(done, self.cpu_nodes[target], self.cpu_nodes[initiator], 8);
+                self.queue.push(t, Ev::ShootAck { initiator });
+            }
+            Ev::FlushArrive { target, va, initiator } => {
+                if self.cfg.mttop_selective_shootdown {
+                    self.mttops[target].tlb_invalidate(va);
+                } else {
+                    self.mttops[target].tlb_flush();
+                }
+                let t = self.net.send(
+                    self.now,
+                    self.mttop_nodes[target],
+                    self.cpu_nodes[initiator],
+                    8,
+                );
+                self.queue.push(t, Ev::ShootAck { initiator });
+            }
+            Ev::HandlerRetry { cpu } => self.handler_issue(cpu, self.now),
+            Ev::ShootAck { initiator } => {
+                self.shoot_pending[initiator] -= 1;
+                if self.shoot_pending[initiator] == 0 {
+                    let at = self.cpus[initiator].resume_syscall(self.now, 0);
+                    self.sched_cpu_batch(initiator, at);
+                }
+            }
+        }
+    }
+
+    fn route_completion(&mut self, token: u64, value: u64) {
+        let kind = token >> KIND_SHIFT;
+        let idx = ((token >> IDX_SHIFT) & 0xFFF) as usize;
+        match kind {
+            KIND_CPU => {
+                let at = self.cpus[idx].on_completion(self.now, token, value);
+                self.sched_cpu_batch(idx, at);
+            }
+            KIND_MTTOP => {
+                let at = self.mttops[idx].on_completion(self.now, token, value);
+                self.sched_mttop_batch(idx, at);
+            }
+            KIND_HANDLER => self.handler_continue(idx),
+            other => panic!("unroutable completion token kind {other}"),
+        }
+    }
+
+    // ----- core batches ----------------------------------------------------
+
+    fn run_cpu_batch(&mut self, core: usize) {
+        let action = {
+            let queue = &mut self.queue;
+            let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
+            self.cpus[core].run_batch(self.now, &self.prog, &mut self.mem, &mut self.net, &mut sched)
+        };
+        match action {
+            CpuAction::Continue { at } => self.sched_cpu_batch(core, at),
+            CpuAction::Blocked | CpuAction::Idle => {}
+            CpuAction::Syscall => self.handle_syscall(core),
+            CpuAction::PageFault { va } => self.handler_enqueue(core, Job::Local { va }),
+            CpuAction::Exited => self.thread_exited(core),
+        }
+    }
+
+    fn run_mttop_batch(&mut self, core: usize) {
+        let outcome = {
+            let queue = &mut self.queue;
+            let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
+            self.mttops[core].run_batch(self.now, &self.prog, &mut self.mem, &mut self.net, &mut sched)
+        };
+        for req in outcome.faults {
+            self.mifd.count_fault_forward();
+            // MTTOP -> MIFD -> CPU0 interrupt chain (§3.2.1).
+            let t1 = self
+                .net
+                .send(self.now, self.mttop_nodes[core], self.mifd_node, 16);
+            let t2 = self.net.send(t1, self.mifd_node, self.cpu_nodes[0], 16);
+            self.queue.push(t2, Ev::FaultToCpu { req, mcore: core });
+        }
+        match outcome.action {
+            MttopAction::Continue { at } => self.sched_mttop_batch(core, at),
+            MttopAction::Blocked | MttopAction::Idle => {}
+        }
+    }
+
+    fn thread_exited(&mut self, core: usize) {
+        self.cpus[core].stop_thread();
+        if core == 0 {
+            self.main_exited = true;
+            self.exit_code = self.cpus[0].reg(1);
+        }
+    }
+
+    // ----- syscalls ---------------------------------------------------------
+
+    fn handle_syscall(&mut self, core: usize) {
+        let num = self.cpus[core].reg(1);
+        let a = self.cpus[core].reg(2);
+        let b = self.cpus[core].reg(3);
+        let syscall_done = self.now + self.cfg.os.syscall;
+        match num {
+            sys::EXIT_THREAD => self.thread_exited(core),
+            sys::MALLOC => {
+                let ret = self.heap.malloc(a).map_or(0, |v| v.0);
+                let at = self.cpus[core].resume_syscall(syscall_done, ret);
+                self.sched_cpu_batch(core, at);
+            }
+            sys::FREE => {
+                self.heap.free(VirtAddr(a));
+                let at = self.cpus[core].resume_syscall(syscall_done, 0);
+                self.sched_cpu_batch(core, at);
+            }
+            sys::PRINT_INT => {
+                self.printed.push(format!("{}", a as i64));
+                self.printed_at.push(self.now);
+                self.dram_at_print.push(self.mem.dram_accesses());
+                let at = self.cpus[core].resume_syscall(syscall_done, 0);
+                self.sched_cpu_batch(core, at);
+            }
+            sys::PRINT_FLOAT => {
+                self.printed.push(format!("{}", f64::from_bits(a)));
+                self.printed_at.push(self.now);
+                self.dram_at_print.push(self.mem.dram_accesses());
+                let at = self.cpus[core].resume_syscall(syscall_done, 0);
+                self.sched_cpu_batch(core, at);
+            }
+            sys::MIFD_LAUNCH => {
+                // Read the 4-word descriptor from guest memory (coherent
+                // snapshot: the CPU just wrote it).
+                let w = self.guest_read_words(a, 4);
+                let desc = [w[0], w[1], w[2], w[3]];
+                assert!(
+                    (desc[0] as usize) < self.prog.text.len(),
+                    "launch entry PC {} outside text",
+                    desc[0]
+                );
+                let t = self
+                    .net
+                    .send(syscall_done, self.cpu_nodes[core], self.mifd_node, 40);
+                self.queue.push(t, Ev::MifdLaunch { cpu: core, desc });
+                // The CPU stays blocked until the MIFD responds.
+            }
+            sys::SPAWN_CTHREAD => {
+                let target = self.cpus.iter().position(|c| !c.is_running());
+                let ret = match target {
+                    Some(tc) => {
+                        let cr3 = self.os.cr3();
+                        self.cpus[tc].start_thread(
+                            syscall_done,
+                            a as usize,
+                            b,
+                            tc as u64,
+                            cr3,
+                            self.kexit,
+                        );
+                        self.sched_cpu_batch(tc, syscall_done);
+                        tc as u64
+                    }
+                    None => u64::MAX, // -1: no idle CPU core
+                };
+                let at = self.cpus[core].resume_syscall(syscall_done, ret);
+                self.sched_cpu_batch(core, at);
+            }
+            sys::MUNMAP => {
+                self.cpus[core].tlb_invalidate(VirtAddr(a));
+                self.handler_enqueue(core, Job::Unmap { va: VirtAddr(a) });
+                // Blocked until all shootdown acks arrive.
+            }
+            other => panic!("unknown syscall {other} on CPU {core}"),
+        }
+    }
+
+    fn mifd_launch(&mut self, cpu: usize, desc: [u64; 4]) {
+        let [entry, args, first, last] = desc;
+        // Tasks dispatch in SIMD-width (8-thread) chunks (paper 4.3),
+        // independent of the core's issue organisation.
+        let span = 8usize;
+        let free: Vec<usize> = self
+            .mttops
+            .iter()
+            .zip(&self.reserved)
+            .map(|(m, r)| m.free_chunks(span).saturating_sub(*r))
+            .collect();
+        match self.mifd.plan_launch(first, last, span, &free) {
+            None => {
+                let err = self.mifd.take_error();
+                debug_assert!(err);
+                let t = self.net.send(self.now, self.mifd_node, self.cpu_nodes[cpu], 8);
+                self.queue.push(t, Ev::ResumeSyscall { cpu, ret: 1 });
+            }
+            Some(chunks) => {
+                let n = chunks.len() as u64;
+                for (k, c) in chunks.into_iter().enumerate() {
+                    self.reserved[c.core] += 1;
+                    let depart = self.now + times(self.cfg.os.mifd_chunk, k as u64);
+                    let t = self
+                        .net
+                        .send(depart, self.mifd_node, self.mttop_nodes[c.core], 40);
+                    self.queue.push(
+                        t,
+                        Ev::ChunkArrive {
+                            core: c.core,
+                            chunk: TaskChunk {
+                                entry: entry as usize,
+                                args,
+                                first_tid: c.first_tid,
+                                last_tid: c.last_tid,
+                                cr3: self.os.cr3(),
+                                ra: self.kexit,
+                            },
+                        },
+                    );
+                }
+                let depart = self.now + times(self.cfg.os.mifd_chunk, n);
+                let t = self.net.send(depart, self.mifd_node, self.cpu_nodes[cpu], 8);
+                self.queue.push(t, Ev::ResumeSyscall { cpu, ret: 0 });
+            }
+        }
+    }
+
+    // ----- OS handler work on CPU cores -------------------------------------
+
+    fn handler_enqueue(&mut self, cpu: usize, job: Job) {
+        self.handlers[cpu].queue.push_back(job);
+        if self.handlers[cpu].active.is_none() {
+            self.handler_start_next(cpu);
+        }
+    }
+
+    fn handler_start_next(&mut self, cpu: usize) {
+        let Some(job) = self.handlers[cpu].queue.pop_front() else {
+            return;
+        };
+        let writes = match job {
+            Job::Local { va } | Job::Remote { va, .. } => self.os.map_page(va),
+            Job::Unmap { va } => self.os.unmap_page(va),
+        };
+        self.handlers[cpu].active = Some(Active { job, writes, next: 0 });
+        // Trap + handler bookkeeping cost, then the PTE stores.
+        let start = self.now + self.cfg.os.page_fault;
+        self.cpus[cpu].preempt_until(start);
+        self.handler_issue(cpu, start);
+    }
+
+    /// Issues the active job's remaining PTE stores through this CPU's port.
+    fn handler_issue(&mut self, cpu: usize, mut at: Time) {
+        loop {
+            let Some(active) = self.handlers[cpu].active.as_ref() else {
+                return;
+            };
+            let Some(w) = active.writes.get(active.next).copied() else {
+                self.handler_finish(cpu, at);
+                return;
+            };
+            let token = prefix(KIND_HANDLER, cpu) | 1;
+            let access = Access::Write { paddr: w.addr, size: 8, value: w.value };
+            let result = {
+                let queue = &mut self.queue;
+                let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
+                self.mem
+                    .access(at, &mut self.net, &mut sched, PortId(cpu), token, access)
+            };
+            match result {
+                AccessResult::Hit { finish, .. } => {
+                    self.handlers[cpu].active.as_mut().expect("active").next += 1;
+                    at = finish;
+                }
+                AccessResult::Pending => return, // continue on completion
+                AccessResult::Retry => {
+                    // Yield to the event loop so the port's MSHRs can drain.
+                    self.queue.push(
+                        at + self.cfg.cpu.clock.period(),
+                        Ev::HandlerRetry { cpu },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handler_continue(&mut self, cpu: usize) {
+        if let Some(active) = self.handlers[cpu].active.as_mut() {
+            active.next += 1;
+        }
+        self.handler_issue(cpu, self.now);
+    }
+
+    fn handler_finish(&mut self, cpu: usize, at: Time) {
+        let active = self.handlers[cpu].active.take().expect("active job");
+        self.cpus[cpu].preempt_until(at);
+        match active.job {
+            Job::Local { .. } => {
+                let resume = self.cpus[cpu].fault_resolved(at);
+                self.sched_cpu_batch(cpu, resume);
+            }
+            Job::Remote { mcore, warp, .. } => {
+                // Ack: CPU -> MIFD -> MTTOP core.
+                let t1 = self.net.send(at, self.cpu_nodes[cpu], self.mifd_node, 8);
+                let t2 = self.net.send(t1, self.mifd_node, self.mttop_nodes[mcore], 8);
+                self.queue.push(t2, Ev::FaultAckAtMttop { mcore, warp });
+            }
+            Job::Unmap { va } => {
+                // TLB shootdown: selective IPIs to the other CPUs, flush-all
+                // to every MTTOP (the paper's conservative choice, §3.2.1).
+                let mut pending = 0;
+                for i in 0..self.cpus.len() {
+                    if i != cpu {
+                        let t = self.net.send(at, self.cpu_nodes[cpu], self.cpu_nodes[i], 8);
+                        self.queue.push(t, Ev::IpiArrive { target: i, va, initiator: cpu });
+                        pending += 1;
+                    }
+                }
+                for i in 0..self.mttops.len() {
+                    let t1 = self.net.send(at, self.cpu_nodes[cpu], self.mifd_node, 8);
+                    let t2 = self.net.send(t1, self.mifd_node, self.mttop_nodes[i], 8);
+                    self.queue.push(t2, Ev::FlushArrive { target: i, va, initiator: cpu });
+                    pending += 1;
+                }
+                if pending == 0 {
+                    let resume = self.cpus[cpu].resume_syscall(at, 0);
+                    self.sched_cpu_batch(cpu, resume);
+                } else {
+                    self.shoot_pending[cpu] = pending;
+                }
+            }
+        }
+        if self.handlers[cpu].active.is_none() && !self.handlers[cpu].queue.is_empty() {
+            self.handler_start_next(cpu);
+        }
+    }
+}

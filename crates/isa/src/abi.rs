@@ -1,0 +1,67 @@
+//! The xthreads calling convention and address-space layout constants.
+
+use crate::Reg;
+
+/// Hardwired zero.
+pub const ZERO: Reg = Reg(0);
+/// First argument / return value.
+pub const A0: Reg = Reg(1);
+/// Second argument.
+pub const A1: Reg = Reg(2);
+/// Third argument.
+pub const A2: Reg = Reg(3);
+/// Fourth argument.
+pub const A3: Reg = Reg(4);
+/// Fifth argument.
+pub const A4: Reg = Reg(5);
+/// Sixth argument.
+pub const A5: Reg = Reg(6);
+/// First caller-saved temporary; `T0..=T_LAST` form the expression stack.
+pub const T0: Reg = Reg(8);
+/// Last caller-saved temporary.
+pub const T_LAST: Reg = Reg(27);
+/// Frame pointer.
+pub const FP: Reg = Reg(29);
+/// Stack pointer (grows down, 8-byte aligned).
+pub const SP: Reg = Reg(30);
+/// Return address (written by `call`).
+pub const RA: Reg = Reg(31);
+
+/// Virtual address of the global/data segment base.
+pub const DATA_BASE: u64 = 0x1000_0000;
+/// Virtual address of the heap base.
+pub const HEAP_BASE: u64 = 0x4000_0000;
+/// Heap capacity in bytes.
+pub const HEAP_LEN: u64 = 0x2000_0000; // 512 MiB
+/// Virtual base of the per-thread stack area.
+pub const STACK_BASE: u64 = 0x7000_0000;
+/// Bytes of stack per hardware thread context.
+pub const STACK_BYTES: u64 = 64 * 1024;
+
+/// Top-of-stack (initial SP) for hardware thread context `ctx`.
+///
+/// Contexts are numbered CPU threads first, then MTTOP contexts; the 16-byte
+/// red zone keeps a full descending stack off the next thread's region.
+pub fn stack_top(ctx: u64) -> u64 {
+    STACK_BASE + (ctx + 1) * STACK_BYTES - 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_tops_are_disjoint_and_aligned() {
+        let a = stack_top(0);
+        let b = stack_top(1);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b - a, STACK_BYTES);
+        assert!(a > STACK_BASE);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(DATA_BASE < HEAP_BASE);
+        assert!(HEAP_BASE + HEAP_LEN <= STACK_BASE);
+    }
+}

@@ -1,0 +1,504 @@
+//! Two-pass text assembler for HIR.
+//!
+//! Syntax, by example:
+//!
+//! ```text
+//! ; comments run to end of line
+//! loop:
+//!     li   r8, 0x10        ; immediates: decimal or 0x-hex, signed
+//!     lif  r9, 1.5         ; float immediate (IEEE-754 bits)
+//!     li   r10, @kernel    ; label address (PC) as immediate
+//!     add  r8, r8, 1       ; last ALU operand: register or immediate
+//!     mv   r11, r8         ; alias for add r11, r8, 0
+//!     fsqrt r9, r9         ; unary ALU ops take two operands
+//!     ld8  r12, 8(r30)     ; ld1/ld2/ld4/ld8 (ld = ld8), offset(base)
+//!     st8  r12, 0(r8)      ; st1/st2/st4/st8 (st = st8)
+//!     amoadd r13, (r8), r12
+//!     amocas r13, (r8), r12, r14
+//!     amoinc r13, (r8)
+//!     beq  r8, r0, done    ; beq/bne/blt/bge/bltu/bgeu
+//!     jmp  loop
+//! done:
+//!     ret                  ; alias for jr r31
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, AmoKind, Cond, Instr, Operand, Reg};
+use crate::Program;
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Assembles HIR source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics/registers, duplicate labels, or undefined label
+/// references.
+///
+/// # Examples
+///
+/// ```
+/// let p = ccsvm_isa::assemble("main:\n li r1, 7\n exit\n").unwrap();
+/// assert_eq!(p.entry("main"), 0);
+/// assert_eq!(p.text.len(), 2);
+/// ```
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut stmts: Vec<(usize, String)> = Vec::new();
+    let mut symbols: HashMap<String, usize> = HashMap::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let mut line = raw;
+        if let Some(p) = line.find([';', '#']) {
+            line = &line[..p];
+        }
+        let mut rest = line.trim();
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                return err(line_no, format!("bad label `{label}`"));
+            }
+            if symbols.insert(label.to_string(), stmts.len()).is_some() {
+                return err(line_no, format!("duplicate label `{label}`"));
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            stmts.push((line_no, rest.to_string()));
+        }
+    }
+
+    // Pass 2: parse instructions.
+    let mut text = Vec::with_capacity(stmts.len());
+    for (line_no, stmt) in &stmts {
+        text.push(parse_stmt(*line_no, stmt, &symbols)?);
+    }
+    Ok(Program {
+        text,
+        symbols,
+        globals_size: 0,
+        data: Vec::new(),
+    })
+}
+
+fn parse_stmt(
+    line: usize,
+    stmt: &str,
+    symbols: &HashMap<String, usize>,
+) -> Result<Instr, AsmError> {
+    let (mnemonic, rest) = match stmt.find(char::is_whitespace) {
+        Some(p) => (&stmt[..p], stmt[p..].trim()),
+        None => (stmt, ""),
+    };
+    let ops: Vec<String> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    };
+    let nops = ops.len();
+    let want = |n: usize| -> Result<(), AsmError> {
+        if nops == n {
+            Ok(())
+        } else {
+            err(line, format!("`{mnemonic}` expects {n} operands, got {nops}"))
+        }
+    };
+
+    let alu_binary = |op: AluOp| -> Result<Instr, AsmError> {
+        want(3)?;
+        Ok(Instr::Alu {
+            op,
+            rd: reg(line, &ops[0])?,
+            ra: reg(line, &ops[1])?,
+            rb: operand(line, &ops[2], symbols)?,
+        })
+    };
+    let alu_unary = |op: AluOp| -> Result<Instr, AsmError> {
+        want(2)?;
+        Ok(Instr::Alu {
+            op,
+            rd: reg(line, &ops[0])?,
+            ra: reg(line, &ops[1])?,
+            rb: Operand::Reg(Reg::ZERO),
+        })
+    };
+    let branch = |cond: Cond| -> Result<Instr, AsmError> {
+        want(3)?;
+        Ok(Instr::Br {
+            cond,
+            ra: reg(line, &ops[0])?,
+            rb: reg(line, &ops[1])?,
+            target: label(line, &ops[2], symbols)?,
+        })
+    };
+    let load = |size: u8| -> Result<Instr, AsmError> {
+        want(2)?;
+        let (off, base) = mem_operand(line, &ops[1])?;
+        Ok(Instr::Ld {
+            rd: reg(line, &ops[0])?,
+            base,
+            off,
+            size,
+        })
+    };
+    let store = |size: u8| -> Result<Instr, AsmError> {
+        want(2)?;
+        let (off, base) = mem_operand(line, &ops[1])?;
+        Ok(Instr::St {
+            rs: reg(line, &ops[0])?,
+            base,
+            off,
+            size,
+        })
+    };
+    let amo = |op: AmoKind, n: usize| -> Result<Instr, AsmError> {
+        want(n)?;
+        let addr = paren_reg(line, &ops[1])?;
+        Ok(Instr::Amo {
+            op,
+            rd: reg(line, &ops[0])?,
+            addr,
+            a: if n >= 3 { reg(line, &ops[2])? } else { Reg::ZERO },
+            b: if n >= 4 { reg(line, &ops[3])? } else { Reg::ZERO },
+        })
+    };
+
+    match mnemonic {
+        "add" => alu_binary(AluOp::Add),
+        "sub" => alu_binary(AluOp::Sub),
+        "mul" => alu_binary(AluOp::Mul),
+        "div" => alu_binary(AluOp::Div),
+        "rem" => alu_binary(AluOp::Rem),
+        "and" => alu_binary(AluOp::And),
+        "or" => alu_binary(AluOp::Or),
+        "xor" => alu_binary(AluOp::Xor),
+        "shl" => alu_binary(AluOp::Shl),
+        "shr" => alu_binary(AluOp::Shr),
+        "sar" => alu_binary(AluOp::Sar),
+        "slt" => alu_binary(AluOp::Slt),
+        "sltu" => alu_binary(AluOp::Sltu),
+        "seq" => alu_binary(AluOp::Seq),
+        "sne" => alu_binary(AluOp::Sne),
+        "sle" => alu_binary(AluOp::Sle),
+        "sgt" => alu_binary(AluOp::Sgt),
+        "fadd" => alu_binary(AluOp::FAdd),
+        "fsub" => alu_binary(AluOp::FSub),
+        "fmul" => alu_binary(AluOp::FMul),
+        "fdiv" => alu_binary(AluOp::FDiv),
+        "fmin" => alu_binary(AluOp::FMin),
+        "fmax" => alu_binary(AluOp::FMax),
+        "flt" => alu_binary(AluOp::FLt),
+        "fle" => alu_binary(AluOp::FLe),
+        "feq" => alu_binary(AluOp::FEq),
+        "fsqrt" => alu_unary(AluOp::FSqrt),
+        "fneg" => alu_unary(AluOp::FNeg),
+        "fabs" => alu_unary(AluOp::FAbs),
+        "i2f" => alu_unary(AluOp::I2F),
+        "f2i" => alu_unary(AluOp::F2I),
+        "mv" => {
+            want(2)?;
+            Ok(Instr::Alu {
+                op: AluOp::Add,
+                rd: reg(line, &ops[0])?,
+                ra: reg(line, &ops[1])?,
+                rb: Operand::Imm(0),
+            })
+        }
+        "li" => {
+            want(2)?;
+            let imm = match operand(line, &ops[1], symbols)? {
+                Operand::Imm(i) => i,
+                Operand::Reg(_) => return err(line, "li takes an immediate"),
+            };
+            Ok(Instr::Li {
+                rd: reg(line, &ops[0])?,
+                imm,
+            })
+        }
+        "lif" => {
+            want(2)?;
+            let f: f64 = ops[1]
+                .parse()
+                .map_err(|_| AsmError {
+                    line,
+                    message: format!("bad float `{}`", ops[1]),
+                })?;
+            Ok(Instr::Li {
+                rd: reg(line, &ops[0])?,
+                imm: f.to_bits() as i64,
+            })
+        }
+        "ld" | "ld8" => load(8),
+        "ld4" => load(4),
+        "ld2" => load(2),
+        "ld1" => load(1),
+        "st" | "st8" => store(8),
+        "st4" => store(4),
+        "st2" => store(2),
+        "st1" => store(1),
+        "amocas" => amo(AmoKind::Cas, 4),
+        "amoadd" => amo(AmoKind::Add, 3),
+        "amoswap" => amo(AmoKind::Exch, 3),
+        "amoinc" => amo(AmoKind::Inc, 2),
+        "amodec" => amo(AmoKind::Dec, 2),
+        "beq" => branch(Cond::Eq),
+        "bne" => branch(Cond::Ne),
+        "blt" => branch(Cond::LtS),
+        "bge" => branch(Cond::GeS),
+        "bltu" => branch(Cond::LtU),
+        "bgeu" => branch(Cond::GeU),
+        "jmp" => {
+            want(1)?;
+            Ok(Instr::Jmp {
+                target: label(line, &ops[0], symbols)?,
+            })
+        }
+        "jr" => {
+            want(1)?;
+            Ok(Instr::JmpReg {
+                rs: reg(line, &ops[0])?,
+            })
+        }
+        "ret" => {
+            want(0)?;
+            Ok(Instr::JmpReg { rs: crate::abi::RA })
+        }
+        "call" => {
+            want(1)?;
+            Ok(Instr::Call {
+                target: label(line, &ops[0], symbols)?,
+            })
+        }
+        "callr" => {
+            want(1)?;
+            Ok(Instr::CallReg {
+                rs: reg(line, &ops[0])?,
+            })
+        }
+        "syscall" => {
+            want(0)?;
+            Ok(Instr::Syscall)
+        }
+        "fence" => {
+            want(0)?;
+            Ok(Instr::Fence)
+        }
+        "exit" => {
+            want(0)?;
+            Ok(Instr::Exit)
+        }
+        "nop" => {
+            want(0)?;
+            Ok(Instr::Nop)
+        }
+        other => err(line, format!("unknown mnemonic `{other}`")),
+    }
+}
+
+fn reg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    let Some(num) = s.strip_prefix('r') else {
+        return err(line, format!("expected register, got `{s}`"));
+    };
+    match num.parse::<u8>() {
+        Ok(n) if n < 32 => Ok(Reg(n)),
+        _ => err(line, format!("bad register `{s}`")),
+    }
+}
+
+fn imm(line: usize, s: &str) -> Result<i64, AsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let value: Option<i64> = if let Some(hex) = body.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok().map(|v| v as i64)
+    } else {
+        body.parse().ok()
+    };
+    match value {
+        Some(v) => Ok(if neg { v.wrapping_neg() } else { v }),
+        None => err(line, format!("bad immediate `{s}`")),
+    }
+}
+
+fn label(line: usize, s: &str, symbols: &HashMap<String, usize>) -> Result<usize, AsmError> {
+    let name = s.strip_prefix('@').unwrap_or(s);
+    symbols
+        .get(name)
+        .copied()
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("undefined label `{name}`"),
+        })
+}
+
+fn operand(
+    line: usize,
+    s: &str,
+    symbols: &HashMap<String, usize>,
+) -> Result<Operand, AsmError> {
+    if let Some(name) = s.strip_prefix('@') {
+        let pc = symbols.get(name).copied().ok_or_else(|| AsmError {
+            line,
+            message: format!("undefined label `{name}`"),
+        })?;
+        return Ok(Operand::Imm(pc as i64));
+    }
+    if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) {
+        return Ok(Operand::Reg(reg(line, s)?));
+    }
+    Ok(Operand::Imm(imm(line, s)?))
+}
+
+/// Parses `offset(base)` or `(base)`.
+fn mem_operand(line: usize, s: &str) -> Result<(i64, Reg), AsmError> {
+    let Some(open) = s.find('(') else {
+        return err(line, format!("expected offset(reg), got `{s}`"));
+    };
+    let Some(close) = s.find(')') else {
+        return err(line, format!("missing `)` in `{s}`"));
+    };
+    let off_str = s[..open].trim();
+    let off = if off_str.is_empty() { 0 } else { imm(line, off_str)? };
+    Ok((off, reg(line, s[open + 1..close].trim())?))
+}
+
+fn paren_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    let (off, base) = mem_operand(line, s)?;
+    if off != 0 {
+        return err(line, "atomics take a bare (reg) address");
+    }
+    Ok(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi;
+
+    #[test]
+    fn basic_program() {
+        let p = assemble(
+            "start:\n  li r8, 5\n  add r8, r8, 3\n  beq r8, r0, start\n  exit\n",
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 4);
+        assert_eq!(p.entry("start"), 0);
+        assert_eq!(
+            p.text[1],
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(8),
+                ra: Reg(8),
+                rb: Operand::Imm(3)
+            }
+        );
+        assert_eq!(
+            p.text[2],
+            Instr::Br { cond: Cond::Eq, ra: Reg(8), rb: Reg(0), target: 0 }
+        );
+    }
+
+    #[test]
+    fn forward_references_and_same_line_labels() {
+        let p = assemble("  jmp end\nmid: nop\nend: exit\n").unwrap();
+        assert_eq!(p.text[0], Instr::Jmp { target: 2 });
+        assert_eq!(p.entry("mid"), 1);
+    }
+
+    #[test]
+    fn loads_stores_and_offsets() {
+        let p = assemble("  ld8 r1, -16(r30)\n  st4 r2, (r9)\n  ld1 r3, 0x10(r4)\n").unwrap();
+        assert_eq!(p.text[0], Instr::Ld { rd: Reg(1), base: abi::SP, off: -16, size: 8 });
+        assert_eq!(p.text[1], Instr::St { rs: Reg(2), base: Reg(9), off: 0, size: 4 });
+        assert_eq!(p.text[2], Instr::Ld { rd: Reg(3), base: Reg(4), off: 16, size: 1 });
+    }
+
+    #[test]
+    fn atomics() {
+        let p = assemble("  amocas r1, (r2), r3, r4\n  amoinc r5, (r6)\n  amoadd r7, (r8), r9\n")
+            .unwrap();
+        assert_eq!(
+            p.text[0],
+            Instr::Amo { op: AmoKind::Cas, rd: Reg(1), addr: Reg(2), a: Reg(3), b: Reg(4) }
+        );
+        assert_eq!(
+            p.text[1],
+            Instr::Amo { op: AmoKind::Inc, rd: Reg(5), addr: Reg(6), a: Reg(0), b: Reg(0) }
+        );
+    }
+
+    #[test]
+    fn label_as_immediate_for_function_pointers() {
+        let p = assemble("main:\n  li r1, @kernel\n  exit\nkernel:\n  exit\n").unwrap();
+        assert_eq!(p.text[0], Instr::Li { rd: Reg(1), imm: 2 });
+    }
+
+    #[test]
+    fn float_immediates_and_aliases() {
+        let p = assemble("  lif r8, 2.5\n  mv r9, r8\n  ret\n").unwrap();
+        assert_eq!(p.text[0], Instr::Li { rd: Reg(8), imm: 2.5f64.to_bits() as i64 });
+        assert_eq!(p.text[2], Instr::JmpReg { rs: abi::RA });
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("; header\n\n  nop ; trailing\n  # python style\n  exit\n").unwrap();
+        assert_eq!(p.text.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(assemble("  nop\n  bogus r1\n").unwrap_err().line, 2);
+        assert!(assemble("  li r99, 1\n").unwrap_err().message.contains("bad register"));
+        assert!(assemble("  jmp nowhere\n").unwrap_err().message.contains("undefined label"));
+        assert!(assemble("x: nop\nx: nop\n").unwrap_err().message.contains("duplicate"));
+        assert!(assemble("  add r1, r2\n").unwrap_err().message.contains("expects 3"));
+        assert!(assemble("  ld8 r1, r2\n").unwrap_err().message.contains("offset(reg)"));
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = assemble("  li r1, -42\n  li r2, 0xff\n  li r3, -0x10\n").unwrap();
+        assert_eq!(p.text[0], Instr::Li { rd: Reg(1), imm: -42 });
+        assert_eq!(p.text[1], Instr::Li { rd: Reg(2), imm: 255 });
+        assert_eq!(p.text[2], Instr::Li { rd: Reg(3), imm: -16 });
+    }
+
+    #[test]
+    fn disassembly_of_assembled_text_reassembles() {
+        // Display → parse round-trip for label-free instructions.
+        let src = "  add r1, r2, 3\n  ld8 r4, 8(r5)\n  st2 r6, -4(r7)\n  amoadd r8, (r9), r10\n  fsqrt r11, r12\n  nop\n";
+        let p1 = assemble(src).unwrap();
+        let printed: String = p1.text.iter().map(|i| format!("  {i}\n")).collect();
+        let p2 = assemble(&printed).unwrap();
+        assert_eq!(p1.text, p2.text);
+    }
+}

@@ -1,0 +1,389 @@
+//! Instruction definitions and disassembly.
+
+use std::fmt;
+
+/// A general-purpose register, `r0`–`r31`. `r0` always reads as zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Second ALU operand: register or immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// A signed 64-bit immediate.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Integer and floating-point ALU operations.
+///
+/// Integer ops are wrapping two's-complement on 64 bits; shifts mask their
+/// amount to 6 bits; division by zero yields 0 (remainder yields the
+/// dividend) so execution is always defined. Floating-point ops reinterpret
+/// the 64-bit registers as IEEE-754 doubles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are their own documentation
+pub enum AluOp {
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sar,
+    Slt, Sltu, Seq, Sne, Sle, Sgt,
+    FAdd, FSub, FMul, FDiv, FMin, FMax,
+    FSqrt, FNeg, FAbs, I2F, F2I,
+    FLt, FLe, FEq,
+}
+
+impl AluOp {
+    /// Whether the operation ignores its second operand (unary).
+    pub fn is_unary(self) -> bool {
+        matches!(
+            self,
+            AluOp::FSqrt | AluOp::FNeg | AluOp::FAbs | AluOp::I2F | AluOp::F2I
+        )
+    }
+
+    /// Applies the operation to raw 64-bit values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        let (ia, ib) = (a as i64, b as i64);
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        match self {
+            AluOp::Add => ia.wrapping_add(ib) as u64,
+            AluOp::Sub => ia.wrapping_sub(ib) as u64,
+            AluOp::Mul => ia.wrapping_mul(ib) as u64,
+            AluOp::Div => {
+                if ib == 0 { 0 } else { ia.wrapping_div(ib) as u64 }
+            }
+            AluOp::Rem => {
+                if ib == 0 { a } else { ia.wrapping_rem(ib) as u64 }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+            AluOp::Shr => a >> (b & 63),
+            AluOp::Sar => (ia >> (b & 63)) as u64,
+            AluOp::Slt => (ia < ib) as u64,
+            AluOp::Sltu => (a < b) as u64,
+            AluOp::Seq => (a == b) as u64,
+            AluOp::Sne => (a != b) as u64,
+            AluOp::Sle => (ia <= ib) as u64,
+            AluOp::Sgt => (ia > ib) as u64,
+            AluOp::FAdd => (fa + fb).to_bits(),
+            AluOp::FSub => (fa - fb).to_bits(),
+            AluOp::FMul => (fa * fb).to_bits(),
+            AluOp::FDiv => (fa / fb).to_bits(),
+            AluOp::FMin => fa.min(fb).to_bits(),
+            AluOp::FMax => fa.max(fb).to_bits(),
+            AluOp::FSqrt => fa.sqrt().to_bits(),
+            AluOp::FNeg => (-fa).to_bits(),
+            AluOp::FAbs => fa.abs().to_bits(),
+            AluOp::I2F => (ia as f64).to_bits(),
+            AluOp::F2I => {
+                if fa.is_nan() { 0 } else { (fa as i64) as u64 }
+            }
+            AluOp::FLt => (fa < fb) as u64,
+            AluOp::FLe => (fa <= fb) as u64,
+            AluOp::FEq => (fa == fb) as u64,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add", AluOp::Sub => "sub", AluOp::Mul => "mul",
+            AluOp::Div => "div", AluOp::Rem => "rem", AluOp::And => "and",
+            AluOp::Or => "or", AluOp::Xor => "xor", AluOp::Shl => "shl",
+            AluOp::Shr => "shr", AluOp::Sar => "sar", AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu", AluOp::Seq => "seq", AluOp::Sne => "sne",
+            AluOp::Sle => "sle", AluOp::Sgt => "sgt", AluOp::FAdd => "fadd",
+            AluOp::FSub => "fsub", AluOp::FMul => "fmul", AluOp::FDiv => "fdiv",
+            AluOp::FMin => "fmin", AluOp::FMax => "fmax", AluOp::FSqrt => "fsqrt",
+            AluOp::FNeg => "fneg", AluOp::FAbs => "fabs", AluOp::I2F => "i2f",
+            AluOp::F2I => "f2i", AluOp::FLt => "flt", AluOp::FLe => "fle",
+            AluOp::FEq => "feq",
+        }
+    }
+}
+
+/// The §3.2.4 atomic operations, plus exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AmoKind {
+    Cas, Add, Inc, Dec, Exch,
+}
+
+impl AmoKind {
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AmoKind::Cas => "amocas",
+            AmoKind::Add => "amoadd",
+            AmoKind::Inc => "amoinc",
+            AmoKind::Dec => "amodec",
+            AmoKind::Exch => "amoswap",
+        }
+    }
+}
+
+/// Branch conditions comparing two registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq, Ne, LtS, GeS, LtU, GeU,
+}
+
+impl Cond {
+    /// Evaluates the condition on raw register values.
+    pub fn test(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::LtS => (a as i64) < (b as i64),
+            Cond::GeS => (a as i64) >= (b as i64),
+            Cond::LtU => a < b,
+            Cond::GeU => a >= b,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::LtS => "blt",
+            Cond::GeS => "bge",
+            Cond::LtU => "bltu",
+            Cond::GeU => "bgeu",
+        }
+    }
+}
+
+/// One HIR instruction. PCs are indices into the program text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `rd = op(ra, rb)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source (register or immediate); ignored by unary ops.
+        rb: Operand,
+    },
+    /// `rd = imm` (also used for label addresses, e.g. function pointers).
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Load `size` bytes from `[base + off]`, zero-extended.
+    Ld {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i64,
+        /// 1, 2, 4 or 8.
+        size: u8,
+    },
+    /// Store the low `size` bytes of `rs` to `[base + off]`.
+    St {
+        /// Source.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i64,
+        /// 1, 2, 4 or 8.
+        size: u8,
+    },
+    /// Atomic read-modify-write on the 8-byte word at `[addr]`; `rd` gets the
+    /// old value. `a` is the operand (addend / exchange value / CAS
+    /// expected); `b` is the CAS replacement.
+    Amo {
+        /// Which RMW.
+        op: AmoKind,
+        /// Destination (old value).
+        rd: Reg,
+        /// Address register.
+        addr: Reg,
+        /// First operand register.
+        a: Reg,
+        /// Second operand register (CAS replacement).
+        b: Reg,
+    },
+    /// Conditional branch to `target` when `cond(ra, rb)` holds.
+    Br {
+        /// Condition.
+        cond: Cond,
+        /// Left comparand.
+        ra: Reg,
+        /// Right comparand.
+        rb: Reg,
+        /// Target PC.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target PC.
+        target: usize,
+    },
+    /// Indirect jump to the PC in `rs` (`ret` is `jr r31`).
+    JmpReg {
+        /// Register holding the target PC.
+        rs: Reg,
+    },
+    /// Direct call: `r31 = pc + 1`, jump to `target`.
+    Call {
+        /// Target PC.
+        target: usize,
+    },
+    /// Indirect call through `rs`.
+    CallReg {
+        /// Register holding the target PC.
+        rs: Reg,
+    },
+    /// OS request (CPU cores only): number in `r1`, arguments in `r2`…,
+    /// result in `r1`.
+    Syscall,
+    /// Memory fence. A no-op under the chip's SC model (§3.2.3) but kept in
+    /// the ISA so relaxed implementations remain expressible.
+    Fence,
+    /// Ends the executing thread (MTTOP: halt the lane and signal the MIFD;
+    /// CPU: equivalent to the exit-thread syscall).
+    Exit,
+    /// No operation.
+    Nop,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, ra, rb } => {
+                if op.is_unary() {
+                    write!(f, "{} {rd}, {ra}", op.mnemonic())
+                } else {
+                    write!(f, "{} {rd}, {ra}, {rb}", op.mnemonic())
+                }
+            }
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Ld { rd, base, off, size } => {
+                write!(f, "ld{size} {rd}, {off}({base})")
+            }
+            Instr::St { rs, base, off, size } => {
+                write!(f, "st{size} {rs}, {off}({base})")
+            }
+            Instr::Amo { op, rd, addr, a, b } => match op {
+                AmoKind::Cas => write!(f, "{} {rd}, ({addr}), {a}, {b}", op.mnemonic()),
+                AmoKind::Inc | AmoKind::Dec => write!(f, "{} {rd}, ({addr})", op.mnemonic()),
+                _ => write!(f, "{} {rd}, ({addr}), {a}", op.mnemonic()),
+            },
+            Instr::Br { cond, ra, rb, target } => {
+                write!(f, "{} {ra}, {rb}, @{target}", cond.mnemonic())
+            }
+            Instr::Jmp { target } => write!(f, "jmp @{target}"),
+            Instr::JmpReg { rs } => write!(f, "jr {rs}"),
+            Instr::Call { target } => write!(f, "call @{target}"),
+            Instr::CallReg { rs } => write!(f, "callr {rs}"),
+            Instr::Syscall => write!(f, "syscall"),
+            Instr::Fence => write!(f, "fence"),
+            Instr::Exit => write!(f, "exit"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+impl Instr {
+    /// Whether this instruction accesses data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Ld { .. } | Instr::St { .. } | Instr::Amo { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_integer_semantics() {
+        assert_eq!(AluOp::Add.apply(3, 4), 7);
+        assert_eq!(AluOp::Sub.apply(3, 4) as i64, -1);
+        assert_eq!(AluOp::Mul.apply(u64::MAX, 2), u64::MAX.wrapping_mul(2));
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply((-7i64) as u64, 2) as i64, -3);
+        assert_eq!(AluOp::Div.apply(7, 0), 0, "div by zero defined as 0");
+        assert_eq!(AluOp::Rem.apply(7, 0), 7, "rem by zero keeps dividend");
+        assert_eq!(AluOp::Slt.apply((-1i64) as u64, 0), 1);
+        assert_eq!(AluOp::Sltu.apply((-1i64) as u64, 0), 0);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2, "shift masks to 6 bits");
+        assert_eq!(AluOp::Sar.apply((-8i64) as u64, 1) as i64, -4);
+    }
+
+    #[test]
+    fn alu_float_semantics() {
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        assert_eq!(f64::from_bits(AluOp::FAdd.apply(two, three)), 5.0);
+        assert_eq!(f64::from_bits(AluOp::FSqrt.apply(two, 0)), 2.0f64.sqrt());
+        assert_eq!(AluOp::FLt.apply(two, three), 1);
+        assert_eq!(AluOp::F2I.apply(3.7f64.to_bits(), 0), 3);
+        assert_eq!(AluOp::F2I.apply(f64::NAN.to_bits(), 0), 0);
+        assert_eq!(f64::from_bits(AluOp::I2F.apply((-2i64) as u64, 0)), -2.0);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.test(5, 5));
+        assert!(Cond::Ne.test(5, 6));
+        assert!(Cond::LtS.test((-1i64) as u64, 0));
+        assert!(!Cond::LtU.test((-1i64) as u64, 0));
+        assert!(Cond::GeS.test(0, (-1i64) as u64));
+        assert!(Cond::GeU.test((-1i64) as u64, 5));
+    }
+
+    #[test]
+    fn display_roundtrippable_forms() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(8),
+            ra: Reg(9),
+            rb: Operand::Imm(4),
+        };
+        assert_eq!(i.to_string(), "add r8, r9, 4");
+        let l = Instr::Ld { rd: Reg(1), base: Reg(30), off: -8, size: 8 };
+        assert_eq!(l.to_string(), "ld8 r1, -8(r30)");
+        assert_eq!(Instr::Exit.to_string(), "exit");
+    }
+
+    #[test]
+    fn is_mem_classification() {
+        assert!(Instr::Ld { rd: Reg(1), base: Reg(2), off: 0, size: 8 }.is_mem());
+        assert!(Instr::Amo { op: AmoKind::Inc, rd: Reg(1), addr: Reg(2), a: Reg(0), b: Reg(0) }.is_mem());
+        assert!(!Instr::Nop.is_mem());
+    }
+}

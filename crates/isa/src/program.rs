@@ -1,0 +1,93 @@
+//! Executable images.
+
+use std::collections::HashMap;
+
+use crate::Instr;
+
+/// An executable image: one text section holding both the CPU and MTTOP code
+/// (the paper's toolchain embeds the MTTOP code in the CPU executable's text
+/// segment, §4.2/Figure 2), plus symbols and initialized data.
+///
+/// PCs are indices into [`Program::text`].
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The instructions.
+    pub text: Vec<Instr>,
+    /// Label → PC.
+    pub symbols: HashMap<String, usize>,
+    /// Size of the global data segment in bytes (mapped at `abi::DATA_BASE`).
+    pub globals_size: u64,
+    /// Initialized data: (offset into the data segment, bytes).
+    pub data: Vec<(u64, Vec<u8>)>,
+}
+
+impl Program {
+    /// PC of a named symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not exist — programs are linked before use.
+    pub fn entry(&self, symbol: &str) -> usize {
+        *self
+            .symbols
+            .get(symbol)
+            .unwrap_or_else(|| panic!("undefined symbol `{symbol}`"))
+    }
+
+    /// PC of a named symbol, if defined.
+    pub fn lookup(&self, symbol: &str) -> Option<usize> {
+        self.symbols.get(symbol).copied()
+    }
+
+    /// Disassembles the whole program with PC labels.
+    pub fn disassemble(&self) -> String {
+        let mut by_pc: HashMap<usize, Vec<&str>> = HashMap::new();
+        for (name, &pc) in &self.symbols {
+            by_pc.entry(pc).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (pc, instr) in self.text.iter().enumerate() {
+            if let Some(names) = by_pc.get(&pc) {
+                for n in names {
+                    out.push_str(n);
+                    out.push_str(":\n");
+                }
+            }
+            out.push_str(&format!("{pc:5}:  {instr}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instr;
+
+    #[test]
+    fn entry_and_lookup() {
+        let mut p = Program::default();
+        p.text.push(Instr::Nop);
+        p.symbols.insert("main".into(), 0);
+        assert_eq!(p.entry("main"), 0);
+        assert_eq!(p.lookup("main"), Some(0));
+        assert_eq!(p.lookup("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined symbol")]
+    fn missing_entry_panics() {
+        Program::default().entry("main");
+    }
+
+    #[test]
+    fn disassemble_includes_labels() {
+        let mut p = Program::default();
+        p.text.push(Instr::Nop);
+        p.text.push(Instr::Exit);
+        p.symbols.insert("main".into(), 0);
+        let d = p.disassemble();
+        assert!(d.contains("main:"));
+        assert!(d.contains("exit"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Syscall numbers for the `syscall` instruction (CPU cores only).
+//!
+//! Convention: number in `r1`, arguments in `r2`–`r4`, result in `r1`.
+
+/// Terminate the calling CPU thread.
+pub const EXIT_THREAD: u64 = 0;
+/// `write` to the MTTOP InterFace Device: launch a task.
+/// Args: `r2` = pointer to a task descriptor
+/// `{entry_pc, args_ptr, first_tid, last_tid}` (4 × 8 bytes; the CR3 is
+/// appended by the kernel, §4.3). Returns 0 on success, 1 if the MIFD's
+/// error register was set (not enough MTTOP thread contexts, §3.1).
+pub const MIFD_LAUNCH: u64 = 1;
+/// `malloc`: `r2` = size in bytes; returns the virtual address (0 on failure).
+pub const MALLOC: u64 = 2;
+/// `free`: `r2` = virtual address from [`MALLOC`].
+pub const FREE: u64 = 3;
+/// Debug print of `r2` as a signed integer.
+pub const PRINT_INT: u64 = 4;
+/// Spawn a CPU thread (pthread-create analogue): `r2` = entry PC,
+/// `r3` = argument value (delivered in the new thread's `r1`).
+/// Returns the new thread's context id, or -1 if no CPU core is free.
+pub const SPAWN_CTHREAD: u64 = 6;
+/// Unmap the page containing `r2` and perform a full TLB shootdown
+/// (CPU IPIs + MTTOP flush-all, §3.2.1). Returns 0.
+pub const MUNMAP: u64 = 9;
+/// Debug print of `r2` as a float (bit pattern).
+pub const PRINT_FLOAT: u64 = 10;

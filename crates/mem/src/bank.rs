@@ -1,0 +1,696 @@
+//! A banked shared-L2 slice with the coherence directory embedded in its
+//! blocks (paper §3.1/§3.2.2: "the shared L2 cache is banked and co-located
+//! with a banked directory that holds state used for cache coherence").
+//!
+//! The directory is *blocking*: one transaction per block is active at a
+//! time; conflicting requests queue in arrival order. All indirections go
+//! through the directory (owners send fetched data here, sharers ack
+//! invalidations here), which gives a total order of coherence transactions
+//! per block — the SWMR invariant the paper relies on (§3.2.2).
+//!
+//! The L2 is **inclusive**: every block cached in any L1 is present here, so
+//! an L2 miss means no L1 holds the block (as in Nehalem, which the paper
+//! cites). Installing a block may therefore require a *recall*: invalidating
+//! and fetching back the victim's L1 copies before it can be written back.
+
+use std::collections::{HashMap, VecDeque};
+
+use ccsvm_engine::Stats;
+
+use crate::cache::{CacheArray, CacheConfig};
+use crate::msg::{BankId, BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request};
+use crate::system::PortId;
+
+/// Directory state for one L2 block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum DirState {
+    /// No L1 holds the block; the L2 data is the freshest on-chip copy.
+    #[default]
+    Unowned,
+    /// One or more L1s hold the block in S; L2 data is valid.
+    Shared(u32),
+    /// `owner` holds the block in M/E/O (L2 data may be stale); `sharers`
+    /// may hold S copies (valid only when the owner is in O).
+    Owned { owner: PortId, sharers: u32 },
+}
+
+fn bit(p: PortId) -> u32 {
+    debug_assert!(p.0 < 32, "directory sharer mask supports 32 L1s");
+    1 << p.0
+}
+
+fn ports(mask: u32) -> impl Iterator<Item = PortId> {
+    (0..32).filter(move |i| mask & (1 << i) != 0).map(PortId)
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct L2Meta {
+    dir: DirState,
+    dirty: bool,
+    /// In the `Owned` state: the L2 copy is still current (the owner holds O
+    /// and cannot have written since the last fetch/writeback). Lets GetS be
+    /// served from the L2 without re-fetching the owner — the reason MOESI
+    /// has an O state at all.
+    fresh: bool,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Phase {
+    /// Queued for the bank's fixed access latency.
+    Start,
+    /// Waiting for a free, non-busy victim way.
+    NeedFill,
+    /// Recalling a victim's L1 copies.
+    AwaitRecall,
+    /// Waiting for DRAM read data.
+    AwaitDram,
+    /// Waiting for invalidation acks and/or an owner fetch.
+    AwaitInvFetch,
+}
+
+#[derive(Clone, Debug)]
+struct Recall {
+    victim: u64,
+    acks: usize,
+    fetch: bool,
+    dirty: bool,
+    data: BlockData,
+}
+
+#[derive(Clone, Debug)]
+struct Tx {
+    req: Request,
+    phase: Phase,
+    acks: usize,
+    fetch: bool,
+    /// Requestor already holds a valid copy (upgrade ⇒ AckM instead of Data).
+    upgrade: bool,
+    /// Data fetched from DRAM, kept across an install-time recall.
+    fill_data: Option<BlockData>,
+    recall: Option<Recall>,
+}
+
+/// Side effects of a bank step, applied by the `MemorySystem`.
+#[derive(Debug, Default)]
+pub(crate) struct BankOut {
+    /// Messages to deliver to L1s.
+    pub sends: Vec<(PortId, DirToL1)>,
+    /// Block to fetch from DRAM (schedule `DramReadDone`).
+    pub dram_read: Option<u64>,
+    /// Posted (fire-and-forget) writebacks to DRAM.
+    pub dram_writes: Vec<(u64, BlockData)>,
+    /// Blocks whose transaction finished; their wait queues should drain.
+    pub finished: Vec<u64>,
+    /// The transaction for this block couldn't find an evictable way; retry
+    /// `ready` after another bank latency.
+    pub retry: Option<u64>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Bank {
+    #[allow(dead_code)] // identity is useful in Debug dumps
+    pub id: BankId,
+    array: CacheArray<L2Meta>,
+    tx: HashMap<u64, Tx>,
+    /// victim block → demand block whose transaction is recalling it.
+    recall_owner: HashMap<u64, u64>,
+    waiting: HashMap<u64, VecDeque<Request>>,
+    // counters
+    gets: u64,
+    getm: u64,
+    puts: u64,
+    hits: u64,
+    misses: u64,
+    recalls: u64,
+}
+
+impl Bank {
+    pub fn new(id: BankId, cache: CacheConfig, index_shift: u32) -> Bank {
+        Bank {
+            id,
+            array: CacheArray::with_index_shift(cache, index_shift),
+            tx: HashMap::new(),
+            recall_owner: HashMap::new(),
+            waiting: HashMap::new(),
+            gets: 0,
+            getm: 0,
+            puts: 0,
+            hits: 0,
+            misses: 0,
+            recalls: 0,
+        }
+    }
+
+    fn busy(&self, block: u64) -> bool {
+        self.tx.contains_key(&block) || self.recall_owner.contains_key(&block)
+    }
+
+    /// Accepts a request: returns `true` if the caller should schedule a
+    /// `BankReady` after the bank latency, `false` if it was queued behind an
+    /// active transaction on the same block.
+    pub fn req_arrive(&mut self, req: Request) -> bool {
+        let block = req.block;
+        if self.busy(block) {
+            self.waiting.entry(block).or_default().push_back(req);
+            return false;
+        }
+        self.tx.insert(
+            block,
+            Tx {
+                req,
+                phase: Phase::Start,
+                acks: 0,
+                fetch: false,
+                upgrade: false,
+                fill_data: None,
+                recall: None,
+            },
+        );
+        true
+    }
+
+    /// The bank latency elapsed; start (or retry) processing `block`.
+    pub fn ready(&mut self, block: u64, out: &mut BankOut) {
+        let tx = self.tx.get(&block).expect("ready without transaction");
+        match tx.phase {
+            Phase::Start => self.dispatch(block, out),
+            Phase::NeedFill => self.try_fill(block, out),
+            ref p => unreachable!("ready in phase {p:?}"),
+        }
+    }
+
+    fn dispatch(&mut self, block: u64, out: &mut BankOut) {
+        let req = self.tx.get(&block).expect("tx").req.clone();
+        match req.kind {
+            ReqKind::GetS => {
+                self.gets += 1;
+                if self.array.lookup(block).is_some() {
+                    self.hits += 1;
+                    self.dispatch_gets_hit(block, req.from, out);
+                } else {
+                    self.misses += 1;
+                    self.tx.get_mut(&block).expect("tx").phase = Phase::NeedFill;
+                    self.try_fill(block, out);
+                }
+            }
+            ReqKind::GetM => {
+                self.getm += 1;
+                if self.array.lookup(block).is_some() {
+                    self.hits += 1;
+                    self.dispatch_getm_hit(block, req.from, out);
+                } else {
+                    self.misses += 1;
+                    self.tx.get_mut(&block).expect("tx").phase = Phase::NeedFill;
+                    self.try_fill(block, out);
+                }
+            }
+            ReqKind::PutDirty => {
+                self.puts += 1;
+                self.handle_put_dirty(block, &req, out);
+                self.finish(block, out);
+            }
+            ReqKind::PutClean => {
+                self.puts += 1;
+                self.handle_put_clean(block, req.from, out);
+                self.finish(block, out);
+            }
+        }
+    }
+
+    fn dispatch_gets_hit(&mut self, block: u64, from: PortId, out: &mut BankOut) {
+        let meta = *self.array.peek(block).expect("hit");
+        match meta.dir {
+            DirState::Unowned => {
+                // Grant E: no other copies exist (the MOESI exclusive-clean
+                // optimization present in the chips the paper cites).
+                let data = self.array.data(block);
+                {
+                    let meta = self.array.peek_mut(block).expect("hit");
+                    meta.dir = DirState::Owned { owner: from, sharers: 0 };
+                    meta.fresh = false; // E may silently upgrade to M
+                }
+                out.sends.push((
+                    from,
+                    DirToL1::Data {
+                        block,
+                        grant: Grant::E,
+                        data,
+                    },
+                ));
+                self.finish(block, out);
+            }
+            DirState::Shared(s) => {
+                debug_assert_eq!(s & bit(from), 0, "sharer re-requesting GetS");
+                let data = self.array.data(block);
+                self.array.peek_mut(block).expect("hit").dir = DirState::Shared(s | bit(from));
+                out.sends.push((
+                    from,
+                    DirToL1::Data {
+                        block,
+                        grant: Grant::S,
+                        data,
+                    },
+                ));
+                self.finish(block, out);
+            }
+            DirState::Owned { owner, sharers } => {
+                debug_assert_ne!(owner, from, "owner re-requesting GetS");
+                if self.array.peek(block).expect("hit").fresh {
+                    // The owner is in O and hasn't re-acquired M: the L2 copy
+                    // is current; serve the read here.
+                    let data = self.array.data(block);
+                    self.array.peek_mut(block).expect("hit").dir = DirState::Owned {
+                        owner,
+                        sharers: sharers | bit(from),
+                    };
+                    out.sends.push((
+                        from,
+                        DirToL1::Data { block, grant: Grant::S, data },
+                    ));
+                    self.finish(block, out);
+                    return;
+                }
+                out.sends.push((owner, DirToL1::Fetch { block }));
+                let tx = self.tx.get_mut(&block).expect("tx");
+                tx.fetch = true;
+                tx.phase = Phase::AwaitInvFetch;
+            }
+        }
+    }
+
+    fn dispatch_getm_hit(&mut self, block: u64, from: PortId, out: &mut BankOut) {
+        let meta = *self.array.peek(block).expect("hit");
+        match meta.dir {
+            DirState::Unowned => {
+                let data = self.array.data(block);
+                {
+                    let meta = self.array.peek_mut(block).expect("hit");
+                    meta.dir = DirState::Owned { owner: from, sharers: 0 };
+                    meta.fresh = false;
+                }
+                out.sends.push((
+                    from,
+                    DirToL1::Data {
+                        block,
+                        grant: Grant::M,
+                        data,
+                    },
+                ));
+                self.finish(block, out);
+            }
+            DirState::Shared(s) => {
+                let others = s & !bit(from);
+                let upgrade = s & bit(from) != 0;
+                for p in ports(others) {
+                    out.sends.push((p, DirToL1::Inv { block }));
+                }
+                let tx = self.tx.get_mut(&block).expect("tx");
+                tx.acks = others.count_ones() as usize;
+                tx.upgrade = upgrade;
+                if tx.acks == 0 {
+                    self.complete_getm(block, out);
+                } else {
+                    tx.phase = Phase::AwaitInvFetch;
+                }
+            }
+            DirState::Owned { owner, sharers } => {
+                if owner == from {
+                    // Upgrade from O: invalidate the S copies.
+                    for p in ports(sharers) {
+                        out.sends.push((p, DirToL1::Inv { block }));
+                    }
+                    let tx = self.tx.get_mut(&block).expect("tx");
+                    tx.acks = sharers.count_ones() as usize;
+                    tx.upgrade = true;
+                    if tx.acks == 0 {
+                        self.complete_getm(block, out);
+                    } else {
+                        tx.phase = Phase::AwaitInvFetch;
+                    }
+                } else {
+                    out.sends.push((owner, DirToL1::FetchInv { block }));
+                    let others = sharers & !bit(from);
+                    for p in ports(others) {
+                        out.sends.push((p, DirToL1::Inv { block }));
+                    }
+                    let tx = self.tx.get_mut(&block).expect("tx");
+                    tx.fetch = true;
+                    tx.acks = others.count_ones() as usize;
+                    // If the requestor held an S copy under an O owner its
+                    // data is current (O writes require GetM), so upgrade.
+                    tx.upgrade = sharers & bit(from) != 0;
+                    tx.phase = Phase::AwaitInvFetch;
+                }
+            }
+        }
+    }
+
+    fn complete_getm(&mut self, block: u64, out: &mut BankOut) {
+        let tx = self.tx.get(&block).expect("tx");
+        let (from, upgrade) = (tx.req.from, tx.upgrade);
+        {
+            let meta = self.array.peek_mut(block).expect("hit");
+            meta.dir = DirState::Owned { owner: from, sharers: 0 };
+            meta.fresh = false;
+        }
+        if upgrade {
+            out.sends.push((from, DirToL1::AckM { block }));
+        } else {
+            let data = self.array.data(block);
+            out.sends.push((
+                from,
+                DirToL1::Data {
+                    block,
+                    grant: Grant::M,
+                    data,
+                },
+            ));
+        }
+        self.finish(block, out);
+    }
+
+    fn complete_gets(&mut self, block: u64, out: &mut BankOut) {
+        let from = self.tx.get(&block).expect("tx").req.from;
+        let meta = self.array.peek_mut(block).expect("hit");
+        match meta.dir {
+            DirState::Owned { owner, sharers } => {
+                meta.dir = DirState::Owned {
+                    owner,
+                    sharers: sharers | bit(from),
+                };
+            }
+            ref d => unreachable!("GetS fetch completed in state {d:?}"),
+        }
+        let data = self.array.data(block);
+        out.sends.push((
+            from,
+            DirToL1::Data {
+                block,
+                grant: Grant::S,
+                data,
+            },
+        ));
+        self.finish(block, out);
+    }
+
+    fn handle_put_dirty(&mut self, block: u64, req: &Request, out: &mut BankOut) {
+        let data = req.data.expect("PutDirty carries data");
+        let stale = match self.array.peek(block).map(|m| m.dir) {
+            Some(DirState::Owned { owner, .. }) if owner == req.from => false,
+            _ => true,
+        };
+        if !stale {
+            self.array.set_data(block, data);
+            let meta = self.array.peek_mut(block).expect("hit");
+            meta.dirty = true;
+            // A retaining writeback (write-through mode) leaves the sender in
+            // M: it may write again, so the L2 copy must NOT serve readers.
+            meta.fresh = !req.retain;
+            if !req.retain {
+                if let DirState::Owned { sharers, .. } = meta.dir {
+                    meta.dir = if sharers == 0 {
+                        DirState::Unowned
+                    } else {
+                        DirState::Shared(sharers)
+                    };
+                }
+            }
+        }
+        out.sends.push((req.from, DirToL1::PutAck { block }));
+    }
+
+    fn handle_put_clean(&mut self, block: u64, from: PortId, out: &mut BankOut) {
+        if let Some(meta) = self.array.peek_mut(block) {
+            match meta.dir {
+                DirState::Owned { owner, sharers } if owner == from => {
+                    meta.dir = if sharers == 0 {
+                        DirState::Unowned
+                    } else {
+                        DirState::Shared(sharers)
+                    };
+                }
+                DirState::Owned { owner, sharers } if sharers & bit(from) != 0 => {
+                    meta.dir = DirState::Owned {
+                        owner,
+                        sharers: sharers & !bit(from),
+                    };
+                }
+                DirState::Shared(s) if s & bit(from) != 0 => {
+                    let rest = s & !bit(from);
+                    meta.dir = if rest == 0 {
+                        DirState::Unowned
+                    } else {
+                        DirState::Shared(rest)
+                    };
+                }
+                _ => {} // stale
+            }
+        }
+        out.sends.push((from, DirToL1::PutAck { block }));
+    }
+
+    /// Finds a way for `block`: free way ⇒ DRAM read; evictable victim ⇒
+    /// recall; everything busy ⇒ ask the system to retry later.
+    fn try_fill(&mut self, block: u64, out: &mut BankOut) {
+        if let Some(data) = self.tx.get(&block).and_then(|t| t.fill_data) {
+            // Data already fetched (recall ran after DRAM): try installing.
+            if self.array.has_free_way(block) {
+                self.install_and_dispatch(block, data, out);
+                return;
+            }
+        } else if self.array.has_free_way(block) {
+            self.tx.get_mut(&block).expect("tx").phase = Phase::AwaitDram;
+            out.dram_read = Some(block);
+            return;
+        }
+        // Need to evict: pick the LRU non-busy victim.
+        let victim = self
+            .array
+            .victims_lru(block)
+            .into_iter()
+            .find(|v| !self.busy(*v));
+        let Some(victim) = victim else {
+            out.retry = Some(block);
+            return;
+        };
+        self.recalls += 1;
+        let meta = *self.array.peek(victim).expect("victim resident");
+        let data = self.array.data(victim);
+        let mut recall = Recall {
+            victim,
+            acks: 0,
+            fetch: false,
+            dirty: meta.dirty,
+            data,
+        };
+        match meta.dir {
+            DirState::Unowned => {}
+            DirState::Shared(s) => {
+                for p in ports(s) {
+                    out.sends.push((p, DirToL1::Inv { block: victim }));
+                }
+                recall.acks = s.count_ones() as usize;
+            }
+            DirState::Owned { owner, sharers } => {
+                out.sends.push((owner, DirToL1::FetchInv { block: victim }));
+                recall.fetch = true;
+                for p in ports(sharers) {
+                    out.sends.push((p, DirToL1::Inv { block: victim }));
+                }
+                recall.acks = sharers.count_ones() as usize;
+            }
+        }
+        let pending = recall.acks > 0 || recall.fetch;
+        self.recall_owner.insert(victim, block);
+        let tx = self.tx.get_mut(&block).expect("tx");
+        tx.recall = Some(recall);
+        if pending {
+            tx.phase = Phase::AwaitRecall;
+        } else {
+            self.finish_recall(block, out);
+        }
+    }
+
+    /// The victim's copies are all collected: write it back and move on.
+    fn finish_recall(&mut self, block: u64, out: &mut BankOut) {
+        let tx = self.tx.get_mut(&block).expect("tx");
+        let recall = tx.recall.take().expect("recall state");
+        self.recall_owner.remove(&recall.victim);
+        self.array.remove(recall.victim).expect("victim resident");
+        if recall.dirty {
+            out.dram_writes.push((recall.victim, recall.data));
+        }
+        out.finished.push(recall.victim); // drain requests queued on the victim
+        if let Some(data) = self.tx.get(&block).and_then(|t| t.fill_data) {
+            self.install_and_dispatch(block, data, out);
+        } else {
+            self.tx.get_mut(&block).expect("tx").phase = Phase::AwaitDram;
+            out.dram_read = Some(block);
+        }
+    }
+
+    /// DRAM returned `data` for `block`.
+    pub fn dram_done(&mut self, block: u64, data: BlockData, out: &mut BankOut) {
+        let tx = self.tx.get_mut(&block).expect("dram_done without tx");
+        debug_assert_eq!(tx.phase, Phase::AwaitDram);
+        tx.fill_data = Some(data);
+        if self.array.has_free_way(block) {
+            self.install_and_dispatch(block, data, out);
+        } else {
+            // Another transaction consumed the free way while DRAM was busy.
+            tx.phase = Phase::NeedFill;
+            self.try_fill(block, out);
+        }
+    }
+
+    fn install_and_dispatch(&mut self, block: u64, data: BlockData, out: &mut BankOut) {
+        let evicted = self.array.insert(block, L2Meta::default(), data);
+        debug_assert!(evicted.is_none(), "install raced an occupied set");
+        let req = self.tx.get(&block).expect("tx").req.clone();
+        match req.kind {
+            ReqKind::GetS => self.dispatch_gets_hit(block, req.from, out),
+            ReqKind::GetM => self.dispatch_getm_hit(block, req.from, out),
+            _ => unreachable!("fill for a Put"),
+        }
+    }
+
+    /// An L1 response (InvResp / FetchResp) arrived.
+    pub fn resp_arrive(&mut self, resp: L1ToDir, out: &mut BankOut) {
+        let rblock = match &resp {
+            L1ToDir::InvResp { block, .. } | L1ToDir::FetchResp { block, .. } => *block,
+        };
+        // Route: either a recall on the victim block, or a demand transaction.
+        if let Some(&demand) = self.recall_owner.get(&rblock) {
+            let tx = self.tx.get_mut(&demand).expect("recall tx");
+            let recall = tx.recall.as_mut().expect("recall state");
+            match resp {
+                L1ToDir::InvResp { data, .. } => {
+                    if let Some(d) = data {
+                        recall.data = d;
+                        recall.dirty = true;
+                    }
+                    recall.acks -= 1;
+                }
+                L1ToDir::FetchResp { data, dirty, .. } => {
+                    if dirty {
+                        recall.data = data;
+                        recall.dirty = true;
+                    }
+                    recall.fetch = false;
+                }
+            }
+            if recall.acks == 0 && !recall.fetch {
+                self.finish_recall(demand, out);
+            }
+            return;
+        }
+        let tx = self.tx.get_mut(&rblock).expect("response without tx");
+        debug_assert_eq!(tx.phase, Phase::AwaitInvFetch);
+        match resp {
+            L1ToDir::InvResp { data, .. } => {
+                if let Some(d) = data {
+                    // A racing writeback: the invalidated copy was dirty.
+                    self.array.set_data(rblock, d);
+                    self.array.peek_mut(rblock).expect("hit").dirty = true;
+                }
+                let tx = self.tx.get_mut(&rblock).expect("tx");
+                tx.acks -= 1;
+            }
+            L1ToDir::FetchResp { data, dirty, .. } => {
+                self.array.set_data(rblock, data);
+                {
+                    let meta = self.array.peek_mut(rblock).expect("hit");
+                    if dirty {
+                        meta.dirty = true;
+                    }
+                    meta.fresh = true;
+                }
+                let tx = self.tx.get_mut(&rblock).expect("tx");
+                tx.fetch = false;
+            }
+        }
+        let tx = self.tx.get(&rblock).expect("tx");
+        if tx.acks == 0 && !tx.fetch {
+            match tx.req.kind {
+                ReqKind::GetS => self.complete_gets(rblock, out),
+                ReqKind::GetM => self.complete_getm(rblock, out),
+                _ => unreachable!("Put awaiting acks"),
+            }
+        }
+    }
+
+    fn finish(&mut self, block: u64, out: &mut BankOut) {
+        self.tx.remove(&block);
+        out.finished.push(block);
+    }
+
+    /// Pops the next queued request for `block`, if any. The system re-enters
+    /// it through [`Bank::req_arrive`].
+    pub fn pop_waiting(&mut self, block: u64) -> Option<Request> {
+        let q = self.waiting.get_mut(&block)?;
+        let req = q.pop_front();
+        if q.is_empty() {
+            self.waiting.remove(&block);
+        }
+        req
+    }
+
+    /// Whether the bank has no transactions or queued work.
+    pub fn quiescent(&self) -> bool {
+        self.tx.is_empty() && self.waiting.is_empty() && self.recall_owner.is_empty()
+    }
+
+    /// Coherent view of a block for the backdoor: `Some((meta-known, data))`
+    /// if resident.
+    pub fn probe(&self, block: u64) -> Option<BlockData> {
+        self.array.peek(block).map(|_| self.array.data(block))
+    }
+
+    /// Functionally overwrites bytes of a resident block (coherent backdoor).
+    pub fn backdoor_patch(&mut self, block: u64, off: usize, bytes: &[u8]) -> bool {
+        if self.array.peek(block).is_some() {
+            self.array.write(block, off, bytes);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Directory thinks some L1 owns `block`.
+    pub fn owner_of(&self, block: u64) -> Option<PortId> {
+        match self.array.peek(block)?.dir {
+            DirState::Owned { owner, .. } => Some(owner),
+            _ => None,
+        }
+    }
+
+    /// Sharer mask the directory records for `block` (owner excluded).
+    pub fn sharers_of(&self, block: u64) -> u32 {
+        match self.array.peek(block).map(|m| m.dir) {
+            Some(DirState::Shared(s)) => s,
+            Some(DirState::Owned { sharers, .. }) => sharers,
+            _ => 0,
+        }
+    }
+
+    /// Number of resident blocks (debug).
+    pub fn occupancy(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Resident blocks (debug).
+    pub fn resident(&self) -> Vec<u64> {
+        self.array.iter().map(|(b, _)| b).collect()
+    }
+
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("gets", self.gets as f64);
+        s.set("getm", self.getm as f64);
+        s.set("puts", self.puts as f64);
+        s.set("hits", self.hits as f64);
+        s.set("misses", self.misses as f64);
+        s.set("recalls", self.recalls as f64);
+        s
+    }
+}

@@ -1,0 +1,560 @@
+//! Private L1 cache controller: MOESI states, MSHRs, eviction buffers.
+//!
+//! Each core (CPU or MTTOP) owns one L1 data cache that is a full peer in the
+//! directory protocol — the paper's deliberately *symmetric* design ("our
+//! cache coherence protocol does not treat MTTOP cores differently from CPU
+//! cores"). Write-back, write-allocate; atomics acquire M and execute in the
+//! L1 (§3.2.4). A write-through mode exists solely for the §6.1 ablation.
+
+use std::collections::HashMap;
+
+use ccsvm_engine::{Stats, Time};
+use ccsvm_noc::NodeId;
+
+use crate::addr::{block_of, offset_in_block, PhysAddr};
+use crate::cache::{CacheArray, CacheConfig};
+use crate::dram::word_from_block;
+use crate::msg::{BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request};
+use crate::system::{Access, PortId};
+
+/// Store policy of an L1 (the paper assumes write-back; write-through exists
+/// for the §6.1 "current GPUs have write-through caches" ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Dirty data stays in the L1 until eviction or a fetch (the paper's
+    /// CCSVM design).
+    #[default]
+    WriteBack,
+    /// Every completed store immediately pushes the whole block to the L2
+    /// (keeping a shared copy), modelling a GPU-style write-through L1.
+    WriteThrough,
+}
+
+/// Configuration of one L1 cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct L1Config {
+    /// NoC node this cache (and its core) sits at.
+    pub node: NodeId,
+    /// Geometry.
+    pub cache: CacheConfig,
+    /// Load-to-use hit latency.
+    pub hit_time: Time,
+    /// Maximum outstanding distinct-block misses.
+    pub max_mshrs: usize,
+    /// Store policy.
+    pub write_policy: WritePolicy,
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum L1State {
+    #[default]
+    I,
+    S,
+    E,
+    O,
+    M,
+}
+
+impl L1State {
+    fn readable(self) -> bool {
+        self != L1State::I
+    }
+    fn dirty(self) -> bool {
+        matches!(self, L1State::M | L1State::O)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    state: L1State,
+}
+
+#[derive(Clone, Debug)]
+struct Waiter {
+    token: u64,
+    access: Access,
+}
+
+#[derive(Clone, Debug)]
+struct Mshr {
+    /// Whether a GetM has been sent (vs only GetS).
+    wants_m: bool,
+    waiters: Vec<Waiter>,
+}
+
+#[derive(Clone, Debug)]
+struct EvictEntry {
+    data: BlockData,
+    dirty: bool,
+}
+
+/// Result of a core-side access attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum L1Access {
+    Hit { value: u64 },
+    Pending,
+    Retry,
+}
+
+/// Outbound traffic produced by an L1 action.
+#[derive(Debug, Default)]
+pub(crate) struct L1Out {
+    pub requests: Vec<Request>,
+    pub responses: Vec<L1ToDir>,
+    pub completions: Vec<(u64, u64)>, // (token, value)
+}
+
+#[derive(Debug)]
+pub(crate) struct L1 {
+    pub id: PortId,
+    pub config: L1Config,
+    array: CacheArray<Line>,
+    mshrs: HashMap<u64, Mshr>,
+    evict_buf: HashMap<u64, EvictEntry>,
+    /// Ways reserved per set for in-flight fills, so a fill can always
+    /// install without evicting a line that itself has a pending miss.
+    reserved: HashMap<u64, usize>,
+    // counters
+    loads: u64,
+    stores: u64,
+    atomics: u64,
+    hits: u64,
+    misses: u64,
+    merged_misses: u64,
+    retries: u64,
+    writebacks: u64,
+    invalidations: u64,
+    fetches: u64,
+}
+
+impl L1 {
+    pub fn new(id: PortId, config: L1Config) -> L1 {
+        assert!(config.max_mshrs > 0, "need at least one MSHR");
+        L1 {
+            id,
+            config,
+            array: CacheArray::new(config.cache),
+            mshrs: HashMap::new(),
+            evict_buf: HashMap::new(),
+            reserved: HashMap::new(),
+            loads: 0,
+            stores: 0,
+            atomics: 0,
+            hits: 0,
+            misses: 0,
+            merged_misses: 0,
+            retries: 0,
+            writebacks: 0,
+            invalidations: 0,
+            fetches: 0,
+        }
+    }
+
+    fn read_word(&self, addr: PhysAddr, size: usize) -> u64 {
+        let data = self.array.data(block_of(addr));
+        word_from_block(&data, addr, size)
+    }
+
+    fn write_word(&mut self, addr: PhysAddr, size: usize, value: u64) {
+        let block = block_of(addr);
+        let off = offset_in_block(addr);
+        self.array.write(block, off, &value.to_le_bytes()[..size]);
+    }
+
+    /// Attempts `access`; on a miss, allocates/merges an MSHR and emits
+    /// coherence requests into `out`.
+    pub fn access(&mut self, access: Access, token: u64, out: &mut L1Out) -> L1Access {
+        let (addr, size) = (access.addr(), access.size());
+        debug_assert!(
+            offset_in_block(addr) + size <= crate::BLOCK_BYTES as usize,
+            "access straddles a block: {addr:?} size {size}"
+        );
+        match access {
+            Access::Read { .. } => self.loads += 1,
+            Access::Write { .. } => self.stores += 1,
+            Access::Rmw { .. } => self.atomics += 1,
+        }
+        let block = block_of(addr);
+        let state = self.array.lookup(block).map_or(L1State::I, |l| l.state);
+        let needs_m = !matches!(access, Access::Read { .. });
+
+        // Hit paths.
+        if state.readable() && !needs_m {
+            self.hits += 1;
+            return L1Access::Hit {
+                value: self.read_word(addr, size),
+            };
+        }
+        if needs_m && matches!(state, L1State::M | L1State::E) {
+            self.hits += 1;
+            let value = self.perform_write(access);
+            self.array.lookup_mut(block).expect("resident").state = L1State::M;
+            self.maybe_write_through(block, out);
+            return L1Access::Hit { value };
+        }
+
+        // Miss: merge into an existing MSHR for this block if present.
+        if let Some(mshr) = self.mshrs.get_mut(&block) {
+            self.merged_misses += 1;
+            let needs_upgrade = needs_m && !mshr.wants_m;
+            mshr.waiters.push(Waiter { token, access });
+            if needs_upgrade {
+                // Escalate: the in-flight GetS won't satisfy this writer. The
+                // fill handler issues the GetM after the GetS data arrives (the
+                // directory is already processing / will process our GetS).
+            }
+            return L1Access::Pending;
+        }
+        if self.mshrs.len() >= self.config.max_mshrs {
+            self.retries += 1;
+            if std::env::var("CCSVM_RETRY_TRACE").is_ok() && self.retries % 10000 == 0 {
+                eprintln!("RETRY mshr-full port={:?} mshrs={:?}", self.id,
+                    self.mshrs.keys().collect::<Vec<_>>());
+            }
+            return L1Access::Retry;
+        }
+        // Upgrades (block resident in S/O) complete in the existing way; only
+        // misses that will install into a new way need a reservation.
+        if state == L1State::I && !self.reserve_way(block, out) {
+            self.retries += 1;
+            if std::env::var("CCSVM_RETRY_TRACE").is_ok() && self.retries % 10000 == 0 {
+                eprintln!("RETRY reserve-fail port={:?} block={block} set={} reserved={:?}",
+                    self.id, self.array.set_of(block), self.reserved);
+            }
+            return L1Access::Retry;
+        }
+        self.misses += 1;
+        self.mshrs.insert(
+            block,
+            Mshr {
+                wants_m: needs_m,
+                waiters: vec![Waiter { token, access }],
+            },
+        );
+        out.requests.push(Request {
+            kind: if needs_m { ReqKind::GetM } else { ReqKind::GetS },
+            from: self.id,
+            block,
+            data: None,
+            retain: false,
+        });
+        L1Access::Pending
+    }
+
+    /// Reserves a way in `block`'s set for an in-flight fill, evicting a
+    /// victim if necessary. Victims with pending misses (upgrades in flight)
+    /// are never evicted. Returns `false` if no way can be freed right now.
+    fn reserve_way(&mut self, block: u64, out: &mut L1Out) -> bool {
+        let set = self.array.set_of(block);
+        let reserved = self.reserved.entry(set).or_insert(0);
+        if self.array.free_ways(block) > *reserved {
+            *reserved += 1;
+            return true;
+        }
+        let victim = self
+            .array
+            .victims_lru(block)
+            .into_iter()
+            .find(|v| !self.mshrs.contains_key(v));
+        let Some(victim) = victim else {
+            return false;
+        };
+        *self.reserved.get_mut(&set).expect("entry") += 1;
+        self.evict(victim, out);
+        true
+    }
+
+    /// An invalidation removed `block` while it had a pending upgrade MSHR:
+    /// the eventual fill will now install into a new way, so the way this
+    /// removal just freed becomes the MSHR's reservation.
+    fn claim_freed_way(&mut self, block: u64) {
+        if self.mshrs.contains_key(&block) {
+            *self.reserved.entry(self.array.set_of(block)).or_insert(0) += 1;
+        }
+    }
+
+    /// Evicts `victim`, emitting a writeback/eviction notice.
+    fn evict(&mut self, victim: u64, out: &mut L1Out) {
+        let (line, data) = self.array.remove(victim).expect("victim resident");
+        match line.state {
+            L1State::M | L1State::O => {
+                self.writebacks += 1;
+                self.evict_buf.insert(victim, EvictEntry { data, dirty: true });
+                out.requests.push(Request {
+                    kind: ReqKind::PutDirty,
+                    from: self.id,
+                    block: victim,
+                    data: Some(data),
+                    retain: false,
+                });
+            }
+            L1State::E => {
+                // Clean, but we are the registered owner: the directory may
+                // still Fetch us, so buffer the data until PutAck.
+                self.evict_buf.insert(victim, EvictEntry { data, dirty: false });
+                out.requests.push(Request {
+                    kind: ReqKind::PutClean,
+                    from: self.id,
+                    block: victim,
+                    data: None,
+                    retain: false,
+                });
+            }
+            L1State::S => {
+                out.requests.push(Request {
+                    kind: ReqKind::PutClean,
+                    from: self.id,
+                    block: victim,
+                    data: None,
+                    retain: false,
+                });
+            }
+            L1State::I => unreachable!("invalid line resident in array"),
+        }
+    }
+
+    fn perform_write(&mut self, access: Access) -> u64 {
+        match access {
+            Access::Read { .. } => unreachable!("perform_write on read"),
+            Access::Write { paddr, size, value } => {
+                self.write_word(paddr, size, value);
+                value
+            }
+            Access::Rmw { paddr, size, op } => {
+                let old = self.read_word(paddr, size);
+                self.write_word(paddr, size, op.apply(old));
+                old
+            }
+        }
+    }
+
+    fn maybe_write_through(&mut self, block: u64, out: &mut L1Out) {
+        if self.config.write_policy != WritePolicy::WriteThrough {
+            return;
+        }
+        // Push the whole dirty block to the L2. The line stays in M (we remain
+        // the registered owner); the modelled cost of write-through is the
+        // per-store data traffic, which this captures.
+        let data = self.array.data(block);
+        self.writebacks += 1;
+        out.requests.push(Request {
+            kind: ReqKind::PutDirty,
+            from: self.id,
+            block,
+            data: Some(data),
+            retain: true,
+        });
+    }
+
+    /// Handles a directory → L1 message.
+    pub fn on_dir_msg(&mut self, msg: DirToL1, out: &mut L1Out) {
+        match msg {
+            DirToL1::Data { block, grant, data } => self.on_fill(block, grant, data, out),
+            DirToL1::AckM { block } => {
+                debug_assert!(
+                    self.array.peek(block).is_some(),
+                    "AckM for non-resident block {block}"
+                );
+                self.array.lookup_mut(block).expect("resident").state = L1State::M;
+                self.drain_waiters(block, out);
+            }
+            DirToL1::Inv { block } => {
+                self.invalidations += 1;
+                let removed = self.array.remove(block);
+                if removed.is_some() {
+                    self.claim_freed_way(block);
+                }
+                let data = match removed {
+                    Some((line, data)) if line.state.dirty() => Some(data),
+                    _ => None,
+                };
+                out.responses.push(L1ToDir::InvResp {
+                    from: self.id,
+                    block,
+                    data,
+                });
+            }
+            DirToL1::Fetch { block } => {
+                self.fetches += 1;
+                if let Some(line) = self.array.peek_mut(block) {
+                    let dirty = line.state.dirty();
+                    line.state = L1State::O;
+                    let data = self.array.data(block);
+                    out.responses.push(L1ToDir::FetchResp {
+                        from: self.id,
+                        block,
+                        data,
+                        dirty,
+                    });
+                } else {
+                    let e = self
+                        .evict_buf
+                        .get(&block)
+                        .expect("Fetch for block neither resident nor evicting");
+                    out.responses.push(L1ToDir::FetchResp {
+                        from: self.id,
+                        block,
+                        data: e.data,
+                        dirty: e.dirty,
+                    });
+                }
+            }
+            DirToL1::FetchInv { block } => {
+                self.fetches += 1;
+                if let Some((line, data)) = self.array.remove(block) {
+                    self.claim_freed_way(block);
+                    out.responses.push(L1ToDir::FetchResp {
+                        from: self.id,
+                        block,
+                        data,
+                        dirty: line.state.dirty(),
+                    });
+                } else {
+                    let e = self
+                        .evict_buf
+                        .get(&block)
+                        .expect("FetchInv for block neither resident nor evicting");
+                    out.responses.push(L1ToDir::FetchResp {
+                        from: self.id,
+                        block,
+                        data: e.data,
+                        dirty: e.dirty,
+                    });
+                }
+            }
+            DirToL1::PutAck { block } => {
+                self.evict_buf.remove(&block);
+            }
+        }
+    }
+
+    fn on_fill(&mut self, block: u64, grant: Grant, data: BlockData, out: &mut L1Out) {
+        let state = match grant {
+            Grant::S => L1State::S,
+            Grant::E => L1State::E,
+            Grant::M => L1State::M,
+        };
+        let set = self.array.set_of(block);
+        let r = self.reserved.get_mut(&set).expect("fill without reservation");
+        *r -= 1;
+        if *r == 0 {
+            self.reserved.remove(&set);
+        }
+        let evicted = self.array.insert(block, Line { state }, data);
+        debug_assert!(evicted.is_none(), "reservation failed to hold a way");
+        self.drain_waiters(block, out);
+    }
+
+    /// Completes as many waiters as the current state allows; escalates to a
+    /// GetM if writers remain with only read permission.
+    fn drain_waiters(&mut self, block: u64, out: &mut L1Out) {
+        let Some(mut mshr) = self.mshrs.remove(&block) else {
+            return;
+        };
+        let mut remaining = Vec::new();
+        for w in mshr.waiters.drain(..) {
+            let state = self.array.peek(block).map_or(L1State::I, |l| l.state);
+            match w.access {
+                Access::Read { paddr, size } => {
+                    debug_assert!(state.readable(), "fill left block unreadable");
+                    out.completions.push((w.token, {
+                        let d = self.array.data(block);
+                        word_from_block(&d, paddr, size)
+                    }));
+                }
+                Access::Write { .. } | Access::Rmw { .. } => {
+                    if matches!(state, L1State::M | L1State::E) {
+                        let value = self.perform_write(w.access);
+                        self.array.lookup_mut(block).expect("resident").state = L1State::M;
+                        out.completions.push((w.token, value));
+                        self.maybe_write_through(block, out);
+                    } else {
+                        remaining.push(w);
+                    }
+                }
+            }
+        }
+        if !remaining.is_empty() {
+            self.mshrs.insert(
+                block,
+                Mshr {
+                    wants_m: true,
+                    waiters: remaining,
+                },
+            );
+            out.requests.push(Request {
+                kind: ReqKind::GetM,
+                from: self.id,
+                block,
+                data: None,
+                retain: false,
+            });
+        }
+    }
+
+    /// Untimed read of a resident block (used for coalesced lane accesses and
+    /// the backdoor). Returns `None` when the block is not readable here.
+    pub fn peek_word(&self, addr: PhysAddr, size: usize) -> Option<u64> {
+        let block = block_of(addr);
+        let line = self.array.peek(block)?;
+        if !line.state.readable() {
+            return None;
+        }
+        let data = self.array.data(block);
+        Some(word_from_block(&data, addr, size))
+    }
+
+    /// Untimed write to a block held in M or E (E silently upgrades to M).
+    /// Returns `false` when the cache lacks write permission.
+    pub fn poke_word(&mut self, addr: PhysAddr, size: usize, value: u64) -> bool {
+        let block = block_of(addr);
+        match self.array.peek_mut(block) {
+            Some(line) if matches!(line.state, L1State::M | L1State::E) => {
+                line.state = L1State::M;
+                self.write_word(addr, size, value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Functionally overwrites bytes of a resident block (any valid state),
+    /// for the machine's coherent backdoor. Returns `false` if not resident.
+    pub fn backdoor_patch(&mut self, block: u64, off: usize, bytes: &[u8]) -> bool {
+        match self.array.peek(block) {
+            Some(line) if line.state.readable() => {
+                self.array.write(block, off, bytes);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// State of `block` for tests/assertions and the coherent backdoor.
+    pub fn probe(&self, block: u64) -> (L1State, Option<BlockData>) {
+        match self.array.peek(block) {
+            Some(line) => (line.state, Some(self.array.data(block))),
+            None => (L1State::I, None),
+        }
+    }
+
+    /// Whether this L1 has any outstanding misses or evictions in flight.
+    pub fn quiescent(&self) -> bool {
+        self.mshrs.is_empty() && self.evict_buf.is_empty()
+    }
+
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("loads", self.loads as f64);
+        s.set("stores", self.stores as f64);
+        s.set("atomics", self.atomics as f64);
+        s.set("hits", self.hits as f64);
+        s.set("misses", self.misses as f64);
+        s.set("merged_misses", self.merged_misses as f64);
+        s.set("retries", self.retries as f64);
+        s.set("writebacks", self.writebacks as f64);
+        s.set("invalidations", self.invalidations as f64);
+        s.set("fetches", self.fetches as f64);
+        s
+    }
+}

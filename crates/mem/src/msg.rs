@@ -1,0 +1,171 @@
+//! Coherence protocol messages and memory-system events.
+
+use crate::addr::BLOCK_BYTES;
+use crate::system::PortId;
+
+/// Read-modify-write operations the MTTOP ISA provides (paper §3.2.4: the
+/// OpenCL-style atomics `atomic_cas`, `atomic_add`, `atomic_inc`,
+/// `atomic_dec`, plus exchange). All are performed at the L1 after acquiring
+/// exclusive (M) coherence permission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// Compare-and-swap: if current == `expected`, store `value`. The old
+    /// value is returned either way.
+    Cas {
+        /// Value the location must hold for the swap to happen.
+        expected: u64,
+        /// Replacement value.
+        value: u64,
+    },
+    /// Fetch-and-add of `value` (wrapping).
+    Add {
+        /// Addend.
+        value: u64,
+    },
+    /// Fetch-and-increment.
+    Inc,
+    /// Fetch-and-decrement.
+    Dec,
+    /// Exchange with `value`.
+    Exch {
+        /// New value.
+        value: u64,
+    },
+}
+
+impl AtomicOp {
+    /// Applies the operation to `old`, returning the new stored value.
+    pub fn apply(self, old: u64) -> u64 {
+        match self {
+            AtomicOp::Cas { expected, value } => {
+                if old == expected {
+                    value
+                } else {
+                    old
+                }
+            }
+            AtomicOp::Add { value } => old.wrapping_add(value),
+            AtomicOp::Inc => old.wrapping_add(1),
+            AtomicOp::Dec => old.wrapping_sub(1),
+            AtomicOp::Exch { value } => value,
+        }
+    }
+}
+
+/// Identifies an L2/directory bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BankId(pub usize);
+
+/// Cache-block payload carried by data messages.
+pub type BlockData = [u8; BLOCK_BYTES as usize];
+
+/// Coherence request types an L1 sends to a directory bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Read permission (grants S, or E when unshared).
+    GetS,
+    /// Write permission (grants M; invalidates other copies).
+    GetM,
+    /// Writeback of a dirty block (from M or O).
+    PutDirty,
+    /// Eviction notice for a clean block (from E or S).
+    PutClean,
+}
+
+/// A request message travelling L1 → directory.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Request {
+    pub kind: ReqKind,
+    pub from: PortId,
+    pub block: u64,
+    /// Dirty data for `PutDirty`.
+    pub data: Option<BlockData>,
+    /// For `PutDirty`: the sender keeps ownership (write-through mode) rather
+    /// than dropping the block.
+    pub retain: bool,
+}
+
+/// Messages travelling directory → L1.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum DirToL1 {
+    /// Grant with data and an installation state.
+    Data { block: u64, grant: Grant, data: BlockData },
+    /// Upgrade grant (requestor already holds valid data).
+    AckM { block: u64 },
+    /// Invalidate a shared/owned copy; respond with `InvResp`.
+    Inv { block: u64 },
+    /// Owner must send current data to the directory and downgrade to O.
+    Fetch { block: u64 },
+    /// Owner must send current data to the directory and invalidate.
+    FetchInv { block: u64 },
+    /// A Put transaction finished (possibly as a stale no-op).
+    PutAck { block: u64 },
+}
+
+/// Installation state granted with a data response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Grant {
+    /// Shared, clean.
+    S,
+    /// Exclusive, clean (no other sharers existed).
+    E,
+    /// Modified (write permission).
+    M,
+}
+
+/// Responses travelling L1 → directory.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum L1ToDir {
+    /// Acknowledges an `Inv`; carries data when the L1 held the block dirty
+    /// in its eviction buffer.
+    InvResp {
+        from: PortId,
+        block: u64,
+        data: Option<BlockData>,
+    },
+    /// Responds to `Fetch`/`FetchInv` with the owner's current data.
+    FetchResp {
+        from: PortId,
+        block: u64,
+        data: BlockData,
+        dirty: bool,
+    },
+}
+
+/// An internal memory-system event. The machine model wraps these in its own
+/// event type and hands them back to [`crate::MemorySystem::handle`] at the
+/// scheduled time.
+#[derive(Clone, Debug)]
+pub struct MemEvent(pub(crate) MemEventKind);
+
+#[derive(Clone, Debug)]
+pub(crate) enum MemEventKind {
+    /// A request arrived at its home bank.
+    ReqArrive(Request),
+    /// A directory message arrived at an L1.
+    DirArrive(PortId, DirToL1),
+    /// An L1 response arrived back at a bank.
+    RespArrive(BankId, L1ToDir),
+    /// A DRAM read for `block` completed at `bank`.
+    DramReadDone { bank: BankId, block: u64 },
+    /// Bank finished its fixed access latency and can start working on the
+    /// transaction for `block`.
+    BankReady { bank: BankId, block: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_ops_apply() {
+        assert_eq!(AtomicOp::Cas { expected: 3, value: 9 }.apply(3), 9);
+        assert_eq!(AtomicOp::Cas { expected: 3, value: 9 }.apply(4), 4);
+        assert_eq!(AtomicOp::Add { value: 5 }.apply(10), 15);
+        assert_eq!(AtomicOp::Add { value: 1 }.apply(u64::MAX), 0);
+        assert_eq!(AtomicOp::Inc.apply(7), 8);
+        assert_eq!(AtomicOp::Dec.apply(7), 6);
+        assert_eq!(AtomicOp::Dec.apply(0), u64::MAX);
+        assert_eq!(AtomicOp::Exch { value: 2 }.apply(99), 2);
+    }
+}

@@ -1,0 +1,492 @@
+//! The composed coherent memory system: L1s + directory banks + DRAM,
+//! exchanging messages over a caller-supplied NoC.
+
+use ccsvm_engine::{Stats, Time};
+use ccsvm_noc::Network;
+
+use crate::addr::{block_of, PhysAddr};
+use crate::bank::{Bank, BankOut};
+use crate::cache::CacheConfig;
+use crate::dram::{Dram, DramConfig};
+use crate::l1::{L1Access, L1Config, L1Out, L1State, L1};
+use crate::msg::{AtomicOp, BankId, DirToL1, L1ToDir, MemEvent, MemEventKind, Request};
+
+/// Identifies an L1 cache port (one per core).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub usize);
+
+/// A memory access issued by a core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Load of `size` bytes (1/2/4/8), zero-extended into a `u64`.
+    Read {
+        /// Physical address (must not straddle a 64 B block).
+        paddr: PhysAddr,
+        /// Access width in bytes.
+        size: usize,
+    },
+    /// Store of the low `size` bytes of `value`.
+    Write {
+        /// Physical address.
+        paddr: PhysAddr,
+        /// Access width in bytes.
+        size: usize,
+        /// Store data.
+        value: u64,
+    },
+    /// Atomic read-modify-write performed at the L1 with M permission
+    /// (paper §3.2.4). Returns the *old* value.
+    Rmw {
+        /// Physical address.
+        paddr: PhysAddr,
+        /// Access width in bytes.
+        size: usize,
+        /// The operation.
+        op: AtomicOp,
+    },
+}
+
+impl Access {
+    /// The physical address accessed.
+    pub fn addr(&self) -> PhysAddr {
+        match *self {
+            Access::Read { paddr, .. }
+            | Access::Write { paddr, .. }
+            | Access::Rmw { paddr, .. } => paddr,
+        }
+    }
+
+    /// The access width in bytes.
+    pub fn size(&self) -> usize {
+        match *self {
+            Access::Read { size, .. }
+            | Access::Write { size, .. }
+            | Access::Rmw { size, .. } => size,
+        }
+    }
+}
+
+/// Outcome of [`MemorySystem::access`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessResult {
+    /// L1 hit: the access completes at `finish` with `value` (loads and
+    /// atomics; stores echo the stored value).
+    Hit {
+        /// Completion time (issue time + L1 hit latency).
+        finish: Time,
+        /// Load/atomic result.
+        value: u64,
+    },
+    /// L1 miss: a [`Completion`] with the same token will be produced later.
+    Pending,
+    /// All MSHRs are busy; retry after a short delay.
+    Retry,
+}
+
+/// A finished miss, reported from [`MemorySystem::handle`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The port that issued the access.
+    pub port: PortId,
+    /// Caller-chosen identifier passed to [`MemorySystem::access`].
+    pub token: u64,
+    /// Load/atomic result (stores echo the stored value).
+    pub value: u64,
+}
+
+/// Configuration of one directory/L2 bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BankConfig {
+    /// NoC node the bank sits at.
+    pub node: ccsvm_noc::NodeId,
+    /// Bank geometry (per-bank share of the shared L2).
+    pub cache: CacheConfig,
+    /// Fixed bank access latency (tag + data + directory).
+    pub latency: Time,
+}
+
+/// Configuration of the whole memory system.
+#[derive(Clone, Debug)]
+pub struct MemConfig {
+    /// One entry per core, in `PortId` order.
+    pub l1s: Vec<L1Config>,
+    /// The shared-L2 banks; block `b` homes at bank `b % banks.len()`.
+    pub banks: Vec<BankConfig>,
+    /// Off-chip memory.
+    pub dram: DramConfig,
+    /// Size of a control message on the NoC (requests, acks).
+    pub ctrl_bytes: usize,
+    /// Size of a data-bearing message (64 B payload + header).
+    pub data_bytes: usize,
+}
+
+/// The coherent memory hierarchy. See the [crate docs](crate) for the
+/// protocol description.
+#[derive(Debug)]
+pub struct MemorySystem {
+    l1s: Vec<L1>,
+    banks: Vec<Bank>,
+    bank_cfg: Vec<BankConfig>,
+    dram: Dram,
+    ctrl_bytes: usize,
+    data_bytes: usize,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no L1s or banks are configured, or more than 32 L1s are
+    /// requested (the directory's sharer mask width).
+    pub fn new(config: MemConfig) -> MemorySystem {
+        assert!(!config.l1s.is_empty(), "need at least one L1");
+        assert!(config.l1s.len() <= 32, "directory supports at most 32 L1s");
+        assert!(!config.banks.is_empty(), "need at least one bank");
+        MemorySystem {
+            l1s: config
+                .l1s
+                .iter()
+                .enumerate()
+                .map(|(i, c)| L1::new(PortId(i), *c))
+                .collect(),
+            banks: {
+                let n = config.banks.len();
+                assert!(n.is_power_of_two(), "bank count must be a power of two");
+                (0..n)
+                    .map(|i| Bank::new(BankId(i), config.banks[i].cache, n.trailing_zeros()))
+                    .collect()
+            },
+            bank_cfg: config.banks,
+            dram: Dram::new(config.dram),
+            ctrl_bytes: config.ctrl_bytes,
+            data_bytes: config.data_bytes,
+        }
+    }
+
+    /// Number of L1 ports.
+    pub fn ports(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// L1 hit latency of `port`.
+    pub fn hit_time(&self, port: PortId) -> Time {
+        self.l1s[port.0].config.hit_time
+    }
+
+    fn home(&self, block: u64) -> usize {
+        (block % self.banks.len() as u64) as usize
+    }
+
+    fn req_bytes(&self, req: &Request) -> usize {
+        if req.data.is_some() {
+            self.data_bytes
+        } else {
+            self.ctrl_bytes
+        }
+    }
+
+    fn resp_bytes(&self, resp: &L1ToDir) -> usize {
+        match resp {
+            L1ToDir::InvResp { data: Some(_), .. } | L1ToDir::FetchResp { .. } => self.data_bytes,
+            _ => self.ctrl_bytes,
+        }
+    }
+
+    fn dir_msg_bytes(&self, msg: &DirToL1) -> usize {
+        match msg {
+            DirToL1::Data { .. } => self.data_bytes,
+            _ => self.ctrl_bytes,
+        }
+    }
+
+    /// Issues `access` on `port`. `token` identifies the access in a later
+    /// [`Completion`] if it misses.
+    ///
+    /// New events are scheduled through `sched`; the caller must deliver them
+    /// back to [`MemorySystem::handle`] at the given times.
+    pub fn access(
+        &mut self,
+        now: Time,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+        port: PortId,
+        token: u64,
+        access: Access,
+    ) -> AccessResult {
+        let mut out = L1Out::default();
+        let result = self.l1s[port.0].access(access, token, &mut out);
+        debug_assert!(out.completions.is_empty(), "access cannot complete others");
+        // The miss leaves the L1 after the tag lookup (one hit time).
+        let hit_time = self.l1s[port.0].config.hit_time;
+        self.flush_l1_out(now + hit_time, port, out, net, sched, &mut Vec::new());
+        match result {
+            L1Access::Hit { value } => AccessResult::Hit {
+                finish: now + hit_time,
+                value,
+            },
+            L1Access::Pending => AccessResult::Pending,
+            L1Access::Retry => AccessResult::Retry,
+        }
+    }
+
+    /// Processes an internal event, scheduling follow-ups via `sched` and
+    /// reporting finished misses into `completions`.
+    pub fn handle(
+        &mut self,
+        now: Time,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+        event: MemEvent,
+        completions: &mut Vec<Completion>,
+    ) {
+        match event.0 {
+            MemEventKind::ReqArrive(req) => {
+                let b = self.home(req.block);
+                let block = req.block;
+                if self.banks[b].req_arrive(req) {
+                    let ready = now + self.bank_cfg[b].latency;
+                    sched(ready, MemEvent(MemEventKind::BankReady { bank: BankId(b), block }));
+                }
+            }
+            MemEventKind::BankReady { bank, block } => {
+                let mut out = BankOut::default();
+                self.banks[bank.0].ready(block, &mut out);
+                self.apply_bank_out(now, bank.0, out, net, sched);
+            }
+            MemEventKind::DramReadDone { bank, block } => {
+                let mut data = [0u8; crate::BLOCK_BYTES as usize];
+                self.dram
+                    .read_bytes(crate::addr::base_of_block(block), &mut data);
+                let mut out = BankOut::default();
+                self.banks[bank.0].dram_done(block, data, &mut out);
+                self.apply_bank_out(now, bank.0, out, net, sched);
+            }
+            MemEventKind::RespArrive(bank, resp) => {
+                let mut out = BankOut::default();
+                self.banks[bank.0].resp_arrive(resp, &mut out);
+                self.apply_bank_out(now, bank.0, out, net, sched);
+            }
+            MemEventKind::DirArrive(port, msg) => {
+                let mut out = L1Out::default();
+                self.l1s[port.0].on_dir_msg(msg, &mut out);
+                self.flush_l1_out(now, port, out, net, sched, completions);
+            }
+        }
+    }
+
+    fn flush_l1_out(
+        &mut self,
+        now: Time,
+        port: PortId,
+        out: L1Out,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+        completions: &mut Vec<Completion>,
+    ) {
+        let node = self.l1s[port.0].config.node;
+        for req in out.requests {
+            let b = self.home(req.block);
+            let t = net.send(now, node, self.bank_cfg[b].node, self.req_bytes(&req));
+            sched(t, MemEvent(MemEventKind::ReqArrive(req)));
+        }
+        for resp in out.responses {
+            let rb = match &resp {
+                L1ToDir::InvResp { block, .. } | L1ToDir::FetchResp { block, .. } => *block,
+            };
+            let b = self.home(rb);
+            let t = net.send(now, node, self.bank_cfg[b].node, self.resp_bytes(&resp));
+            sched(t, MemEvent(MemEventKind::RespArrive(BankId(b), resp)));
+        }
+        for (token, value) in out.completions {
+            completions.push(Completion { port, token, value });
+        }
+    }
+
+    fn apply_bank_out(
+        &mut self,
+        now: Time,
+        bank: usize,
+        out: BankOut,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+    ) {
+        let bank_node = self.bank_cfg[bank].node;
+        for (port, msg) in out.sends {
+            let bytes = self.dir_msg_bytes(&msg);
+            let t = net.send(now, bank_node, self.l1s[port.0].config.node, bytes);
+            sched(t, MemEvent(MemEventKind::DirArrive(port, msg)));
+        }
+        if let Some(block) = out.dram_read {
+            let (done, _) = self.dram.timed_read_block(now, bank, block);
+            sched(
+                done,
+                MemEvent(MemEventKind::DramReadDone {
+                    bank: BankId(bank),
+                    block,
+                }),
+            );
+        }
+        for (block, data) in out.dram_writes {
+            // Posted writeback: nothing waits on it.
+            self.dram.timed_write_block(now, bank, block, &data);
+        }
+        for block in out.finished {
+            if let Some(req) = self.banks[bank].pop_waiting(block) {
+                let accepted = self.banks[bank].req_arrive(req);
+                debug_assert!(accepted, "drained request immediately re-queued");
+                let ready = now + self.bank_cfg[bank].latency;
+                sched(
+                    ready,
+                    MemEvent(MemEventKind::BankReady {
+                        bank: BankId(bank),
+                        block,
+                    }),
+                );
+            }
+        }
+        if let Some(block) = out.retry {
+            let ready = now + self.bank_cfg[bank].latency;
+            sched(
+                ready,
+                MemEvent(MemEventKind::BankReady {
+                    bank: BankId(bank),
+                    block,
+                }),
+            );
+        }
+    }
+
+    /// Untimed read of a word through `port`'s L1, if the block is resident
+    /// and readable there (used to coalesce SIMT lane accesses that hit the
+    /// same block as a completed access).
+    pub fn peek(&self, port: PortId, paddr: PhysAddr, size: usize) -> Option<u64> {
+        self.l1s[port.0].peek_word(paddr, size)
+    }
+
+    /// Untimed write of a word through `port`'s L1 if it holds the block in
+    /// M or E; returns `false` otherwise.
+    pub fn poke(&mut self, port: PortId, paddr: PhysAddr, size: usize, value: u64) -> bool {
+        self.l1s[port.0].poke_word(paddr, size, value)
+    }
+
+    /// Functional, coherence-respecting read of arbitrary bytes: per block it
+    /// prefers an owning L1's copy, then the L2, then DRAM. Intended for
+    /// loading results after the machine quiesces and for tests.
+    pub fn backdoor_read(&self, addr: PhysAddr, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = PhysAddr(addr.0 + i as u64);
+            let block = block_of(a);
+            let off = crate::addr::offset_in_block(a);
+            let mut byte = None;
+            for l1 in &self.l1s {
+                let (state, data) = l1.probe(block);
+                if matches!(state, L1State::M | L1State::O | L1State::E) {
+                    byte = Some(data.expect("owned line has data")[off]);
+                    break;
+                }
+            }
+            if byte.is_none() {
+                let home = self.home(block);
+                byte = self.banks[home].probe(block).map(|d| d[off]);
+            }
+            *b = byte.unwrap_or_else(|| {
+                let mut one = [0u8; 1];
+                self.dram.read_bytes(a, &mut one);
+                one[0]
+            });
+        }
+    }
+
+    /// Functional write used by loaders **before** simulation starts; bypasses
+    /// timing and coherence.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any cache currently holds an affected
+    /// block — use regular stores during simulation instead.
+    pub fn backdoor_write(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        #[cfg(debug_assertions)]
+        for i in (0..bytes.len()).step_by(crate::BLOCK_BYTES as usize) {
+            let block = block_of(PhysAddr(addr.0 + i as u64));
+            for l1 in &self.l1s {
+                debug_assert!(
+                    matches!(l1.probe(block).0, L1State::I),
+                    "backdoor_write to cached block {block}"
+                );
+            }
+            debug_assert!(
+                self.banks[self.home(block)].probe(block).is_none(),
+                "backdoor_write to L2-cached block {block}"
+            );
+        }
+        self.dram.write_bytes(addr, bytes);
+    }
+
+    /// Functional write that stays coherent mid-run: patches **every**
+    /// resident copy (all L1s, the home L2 bank) and DRAM, so any core's
+    /// next read observes the value regardless of where it hits. Intended
+    /// for OS shortcuts in test rigs; the real machine issues PTE stores as
+    /// coherent writes instead.
+    pub fn backdoor_write_coherent(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let a = PhysAddr(addr.0 + i as u64);
+            let block = block_of(a);
+            let off = crate::addr::offset_in_block(a);
+            let n = (crate::BLOCK_BYTES as usize - off).min(bytes.len() - i);
+            let chunk = &bytes[i..i + n];
+            for l1 in &mut self.l1s {
+                l1.backdoor_patch(block, off, chunk);
+            }
+            let home = (block % self.banks.len() as u64) as usize;
+            self.banks[home].backdoor_patch(block, off, chunk);
+            self.dram.write_bytes(a, chunk);
+            i += n;
+        }
+    }
+
+    /// Whether every controller is idle (no MSHRs, evictions, transactions or
+    /// queued requests).
+    pub fn quiescent(&self) -> bool {
+        self.l1s.iter().all(L1::quiescent) && self.banks.iter().all(Bank::quiescent)
+    }
+
+    /// Directory-reported owner of a block (tests / invariant checks).
+    pub fn dir_owner(&self, block: u64) -> Option<PortId> {
+        self.banks[self.home(block)].owner_of(block)
+    }
+
+    /// Directory-reported sharer mask of a block (tests / invariant checks).
+    pub fn dir_sharers(&self, block: u64) -> u32 {
+        self.banks[self.home(block)].sharers_of(block)
+    }
+
+    /// Total DRAM accesses so far — the paper's Figure 9 metric.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram.accesses()
+    }
+
+    /// Resets the DRAM counters (e.g. after input loading).
+    pub fn reset_dram_counters(&mut self) {
+        self.dram.reset_counters();
+    }
+
+    /// Per-bank L2 occupancy and resident blocks (debug).
+    pub fn l2_occupancy(&self) -> Vec<(usize, Vec<u64>)> {
+        self.banks.iter().map(|b| (b.occupancy(), b.resident())).collect()
+    }
+
+    /// Aggregated statistics of every component.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        for (i, l1) in self.l1s.iter().enumerate() {
+            s.merge_prefixed(&format!("l1.{i}"), &l1.stats());
+        }
+        for (i, b) in self.banks.iter().enumerate() {
+            s.merge_prefixed(&format!("l2.{i}"), &b.stats());
+        }
+        s.merge_prefixed("dram", &self.dram.stats());
+        s
+    }
+}

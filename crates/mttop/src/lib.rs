@@ -1,0 +1,1316 @@
+//! MTTOP core timing model and the MTTOP InterFace Device (MIFD).
+//!
+//! Table 2's MTTOP cores: 600 MHz, 128 thread contexts per core, "can
+//! simultaneously execute 8 threads" (⇒ up to 80 ops/cycle across the
+//! 10-core MTTOP). Each core has a private coherent L1 (full MOESI peer,
+//! §3.2.2), a 64-entry TLB with a hardware walker whose PTE reads are
+//! ordinary cacheable loads, and performs atomics at the L1 after acquiring
+//! M (§3.2.4).
+//!
+//! Two issue organisations are implemented ([`MttopConfig::lockstep`]):
+//!
+//! * **Fine-grained multithreading** (the CCSVM MTTOP default,
+//!   [`MttopConfig::paper_ccsvm`]): 128 single-lane contexts; each cycle up
+//!   to `issue_width` (8) *independent* threads issue. Control-flow
+//!   divergence costs nothing, which is what lets the paper's recursive
+//!   pointer-chasing kernels (§5.3) run well, and latency hiding comes from
+//!   the many outstanding per-thread misses.
+//! * **Lockstep SIMT** (the APU baseline's Radeon,
+//!   [`MttopConfig::apu_gpu`]): 16 warps × 8 lanes, one warp-instruction per
+//!   cycle, min-PC divergence handling (each issue executes the lanes at the
+//!   warp's minimum PC, so lagging lanes catch up and structured code
+//!   reconverges without a reconvergence stack), per-warp **coalescing**
+//!   (same-instruction accesses to one 64 B block merge into one L1 access;
+//!   atomics never coalesce), and `vliw_ops_per_lane` packing (4 ⇒ Table 2's
+//!   "max 320 operations per cycle").
+//!
+//! Page faults cannot trap to an OS here (MTTOPs don't run the OS): the core
+//! reports them and the machine forwards them through the [`Mifd`] to a CPU
+//! core (§3.2.1).
+
+use std::collections::HashMap;
+
+use ccsvm_engine::{Clock, Stats, Time};
+use ccsvm_isa::{abi, AmoKind, Instr, Operand, Program, Reg};
+use ccsvm_mem::{Access, AccessResult, AtomicOp, MemEvent, MemorySystem, PhysAddr, PortId};
+use ccsvm_noc::Network;
+use ccsvm_vm::{frame_plus_offset, Tlb, VirtAddr, Walk, WalkResult};
+
+/// Static configuration of one MTTOP core.
+#[derive(Clone, Copy, Debug)]
+pub struct MttopConfig {
+    /// Core clock (Table 2: 600 MHz).
+    pub clock: Clock,
+    /// Warp contexts per core (16 ⇒ 128 threads).
+    pub warps: usize,
+    /// Lanes per warp (8 simultaneous threads).
+    pub lanes: usize,
+    /// Batch quantum in core cycles.
+    pub quantum_cycles: u64,
+    /// TLB capacity.
+    pub tlb_entries: usize,
+    /// VLIW packing factor for ALU work (1 = the CCSVM MTTOP; 4 = the APU
+    /// GPU at full VLIW utilization).
+    pub vliw_ops_per_lane: u64,
+    /// First hardware-context id of this core (for stack placement).
+    pub ctx_base: u64,
+    /// L1 access banks: this many uncoalesced same-instruction groups issue
+    /// per cycle (GPU L1s are multi-banked; fully-diverged accesses serialize
+    /// over `lanes / l1_banks` cycles, not `lanes`).
+    pub l1_banks: u64,
+    /// Lockstep SIMT (`true`: one warp-instruction per cycle across `lanes`
+    /// lanes — a VLIW-GPU-style core) versus fine-grained multithreading
+    /// (`false`: `issue_width` independent single-lane threads issue per
+    /// cycle — Table 2's "supports 128 threads and can simultaneously
+    /// execute 8 threads", which is what lets the paper's recursive
+    /// pointer-chasing kernels run without lockstep divergence collapse).
+    pub lockstep: bool,
+    /// Threads issued per cycle in fine-grained mode.
+    pub issue_width: usize,
+}
+
+impl MttopConfig {
+    /// The paper's CCSVM MTTOP core: 128 thread contexts, 8 issued per
+    /// cycle, fine-grained (divergence-tolerant) scheduling.
+    pub fn paper_ccsvm(ctx_base: u64) -> MttopConfig {
+        MttopConfig {
+            clock: Clock::from_mhz(600.0),
+            warps: 128,
+            lanes: 1,
+            quantum_cycles: 100,
+            tlb_entries: 64,
+            vliw_ops_per_lane: 1,
+            ctx_base,
+            l1_banks: 4,
+            lockstep: false,
+            issue_width: 8,
+        }
+    }
+
+    /// A Radeon-like VLIW SIMD unit for the APU baseline: 16 lockstep warps
+    /// of 8 lanes packing up to 4 ops per lane.
+    pub fn apu_gpu(ctx_base: u64) -> MttopConfig {
+        MttopConfig {
+            clock: Clock::from_mhz(600.0),
+            warps: 16,
+            lanes: 8,
+            quantum_cycles: 100,
+            tlb_entries: 64,
+            vliw_ops_per_lane: 4,
+            ctx_base,
+            l1_banks: 4,
+            lockstep: true,
+            issue_width: 1,
+        }
+    }
+}
+
+/// A warp-sized slice of a launched task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskChunk {
+    /// Entry PC of the kernel function.
+    pub entry: usize,
+    /// Argument pointer (→ each thread's `r2`).
+    pub args: u64,
+    /// First thread id in this chunk (→ lane 0's `r1`).
+    pub first_tid: u64,
+    /// Last thread id (inclusive); `last - first + 1 <= lanes`.
+    pub last_tid: u64,
+    /// Page-table root for the owning process (§4.3: part of the task
+    /// descriptor).
+    pub cr3: PhysAddr,
+    /// Return address (the program's `__kexit` stub).
+    pub ra: usize,
+}
+
+/// Outcome of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MttopAction {
+    /// Schedule the next batch at the given time.
+    Continue {
+        /// Earliest useful resume time.
+        at: Time,
+    },
+    /// All runnable warps are blocked on memory/walks/faults.
+    Blocked,
+    /// No live warps.
+    Idle,
+}
+
+/// A page fault the machine must forward to a CPU via the MIFD.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageFaultReq {
+    /// Faulting warp index.
+    pub warp: usize,
+    /// Faulting address.
+    pub va: VirtAddr,
+    /// CR3 the fault handler needs (§3.2.1: shipped with the interrupt).
+    pub cr3: PhysAddr,
+}
+
+/// Result of [`MttopCore::run_batch`].
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Scheduling directive.
+    pub action: MttopAction,
+    /// New page faults discovered this batch.
+    pub faults: Vec<PageFaultReq>,
+}
+
+#[derive(Clone, Debug)]
+struct Lane {
+    regs: [u64; 32],
+    pc: usize,
+    live: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WarpState {
+    Free,
+    Ready,
+    /// Waiting for outstanding memory flights.
+    Mem,
+    /// A PTE read for this warp's walk is in flight.
+    Walk,
+    /// Waiting for the core's single walker to free up.
+    WalkQueued,
+    /// Waiting for the machine to resolve a fault.
+    Fault,
+}
+
+#[derive(Clone, Debug)]
+struct Warp {
+    lanes: Vec<Lane>,
+    state: WarpState,
+    ready_at: Time,
+    outstanding: usize,
+    /// Memory plan being translated/issued.
+    plan: Option<Plan>,
+}
+
+impl Warp {
+    fn live(&self) -> bool {
+        self.lanes.iter().any(|l| l.live)
+    }
+}
+
+/// What kind of access each lane performs.
+#[derive(Clone, Copy, Debug)]
+enum LaneKind {
+    Ld { rd: Reg, size: u8 },
+    St { size: u8, value: u64 },
+    Amo { rd: Reg, op: AtomicOp },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LaneOp {
+    lane: usize,
+    va: VirtAddr,
+    paddr: Option<PhysAddr>,
+    kind: LaneKind,
+}
+
+/// A warp memory instruction in progress.
+#[derive(Clone, Debug)]
+struct Plan {
+    ops: Vec<LaneOp>,
+    /// Index of the next op needing translation.
+    next_translate: usize,
+    /// The instruction's PC (for the advance at the end).
+    pc: usize,
+    /// Coalesced groups awaiting issue (built after translation).
+    groups: Option<std::collections::VecDeque<Vec<LaneOp>>>,
+    /// Groups issued so far (each extra group costs an L1-port cycle).
+    issued: usize,
+    /// Latest inline-hit completion time.
+    finish: Time,
+}
+
+/// One in-flight (timed) access and the lanes it serves. An empty `ops`
+/// marks a walker PTE read.
+#[derive(Clone, Debug)]
+struct Flight {
+    warp: usize,
+    ops: Vec<LaneOp>,
+    issued_at: Time,
+}
+
+/// One SIMT MTTOP core.
+#[derive(Debug)]
+pub struct MttopCore {
+    /// This core's L1 port.
+    pub port: PortId,
+    config: MttopConfig,
+    alu_cost: Time,
+    warps: Vec<Warp>,
+    rr: usize,
+    local_time: Time,
+    tlb: Tlb,
+    /// The single page-table walker: `Some((warp, walk))` when busy.
+    walker: Option<(usize, Walk)>,
+    walker_queue: Vec<usize>,
+    flights: HashMap<u64, Flight>,
+    arrived: Vec<(u64, u64)>,
+    token_prefix: u64,
+    token_seq: u64,
+    cr3: PhysAddr,
+    // counters
+    warp_instrs: u64,
+    thread_instrs: u64,
+    mem_instrs: u64,
+    coalesced_accesses: u64,
+    divergent_issues: u64,
+    walks: u64,
+    faults: u64,
+    tasks: u64,
+    miss_lat_sum: Time,
+    miss_count: u64,
+}
+
+impl MttopCore {
+    /// Creates an idle core. `token_prefix` must be unique per core.
+    pub fn new(port: PortId, config: MttopConfig, token_prefix: u64) -> MttopCore {
+        assert!(config.lanes >= 1 && config.lanes <= 8, "1..=8 lanes");
+        let alu_cost = Time::from_ps(
+            (config.clock.period().as_ps() / config.vliw_ops_per_lane).max(1),
+        );
+        MttopCore {
+            port,
+            config,
+            alu_cost,
+            warps: vec![
+                Warp {
+                    lanes: vec![Lane { regs: [0; 32], pc: 0, live: false }; config.lanes],
+                    state: WarpState::Free,
+                    ready_at: Time::ZERO,
+                    outstanding: 0,
+                    plan: None,
+                };
+                config.warps
+            ],
+            rr: 0,
+            local_time: Time::ZERO,
+            tlb: Tlb::new(config.tlb_entries),
+            walker: None,
+            walker_queue: Vec::new(),
+            flights: HashMap::new(),
+            arrived: Vec::new(),
+            token_prefix,
+            token_seq: 0,
+            cr3: PhysAddr(0),
+            warp_instrs: 0,
+            thread_instrs: 0,
+            mem_instrs: 0,
+            coalesced_accesses: 0,
+            divergent_issues: 0,
+            walks: 0,
+            faults: 0,
+            tasks: 0,
+            miss_lat_sum: Time::ZERO,
+            miss_count: 0,
+        }
+    }
+
+    /// Number of free warp contexts (the MIFD consults this).
+    pub fn free_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.state == WarpState::Free).count()
+    }
+
+    /// Whether any warp is live.
+    pub fn busy(&self) -> bool {
+        self.warps.iter().any(|w| w.state != WarpState::Free)
+    }
+
+    /// The core's local clock.
+    pub fn local_time(&self) -> Time {
+        self.local_time
+    }
+
+    /// Flush the TLB (conservative MTTOP shootdown, §3.2.1).
+    pub fn tlb_flush(&mut self) {
+        self.tlb.flush();
+    }
+
+    /// Invalidate one translation (the selective-shootdown extension the
+    /// paper suggests as future work in §3.2.1).
+    pub fn tlb_invalidate(&mut self, va: VirtAddr) {
+        self.tlb.invalidate(va);
+    }
+
+    /// Assigns a task chunk. In lockstep mode the chunk fills one warp's
+    /// lanes; in fine-grained mode it spreads over `nthreads` single-lane
+    /// contexts. Returns `false` when contexts are exhausted (the MIFD then
+    /// sets its error register).
+    pub fn start_task(&mut self, now: Time, chunk: TaskChunk) -> bool {
+        let nthreads = (chunk.last_tid - chunk.first_tid + 1) as usize;
+        if self.config.lanes == 1 {
+            let free: Vec<usize> = self
+                .warps
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.state == WarpState::Free)
+                .map(|(i, _)| i)
+                .take(nthreads)
+                .collect();
+            if free.len() < nthreads {
+                return false;
+            }
+            self.tasks += 1;
+            self.cr3 = chunk.cr3;
+            for (k, &wi) in free.iter().enumerate() {
+                let ctx = self.config.ctx_base + wi as u64;
+                let warp = &mut self.warps[wi];
+                let lane = &mut warp.lanes[0];
+                lane.regs = [0; 32];
+                lane.regs[abi::A0.0 as usize] = chunk.first_tid + k as u64;
+                lane.regs[abi::A1.0 as usize] = chunk.args;
+                lane.regs[abi::SP.0 as usize] = abi::stack_top(ctx);
+                lane.regs[abi::FP.0 as usize] = lane.regs[abi::SP.0 as usize];
+                lane.regs[abi::RA.0 as usize] = chunk.ra as u64;
+                lane.pc = chunk.entry;
+                lane.live = true;
+                warp.state = WarpState::Ready;
+                warp.ready_at = now;
+                warp.outstanding = 0;
+                warp.plan = None;
+            }
+            return true;
+        }
+        let Some(wi) = self.warps.iter().position(|w| w.state == WarpState::Free) else {
+            return false;
+        };
+        self.tasks += 1;
+        self.cr3 = chunk.cr3;
+        assert!(nthreads <= self.config.lanes, "chunk exceeds warp width");
+        let ctx0 = self.config.ctx_base + (wi * self.config.lanes) as u64;
+        let warp = &mut self.warps[wi];
+        for (li, lane) in warp.lanes.iter_mut().enumerate() {
+            if li < nthreads {
+                lane.regs = [0; 32];
+                lane.regs[abi::A0.0 as usize] = chunk.first_tid + li as u64;
+                lane.regs[abi::A1.0 as usize] = chunk.args;
+                lane.regs[abi::SP.0 as usize] = abi::stack_top(ctx0 + li as u64);
+                lane.regs[abi::FP.0 as usize] = lane.regs[abi::SP.0 as usize];
+                lane.regs[abi::RA.0 as usize] = chunk.ra as u64;
+                lane.pc = chunk.entry;
+                lane.live = true;
+            } else {
+                lane.live = false;
+            }
+        }
+        warp.state = WarpState::Ready;
+        warp.ready_at = now;
+        warp.outstanding = 0;
+        warp.plan = None;
+        true
+    }
+
+    /// How many more standard 8-thread dispatch chunks this core can accept.
+    pub fn free_chunks(&self, span: usize) -> usize {
+        self.free_warps() * self.config.lanes / span
+    }
+
+    /// The machine resolved a page fault for `warp`; it retries translation.
+    pub fn fault_resolved(&mut self, warp: usize, at: Time) {
+        debug_assert_eq!(self.warps[warp].state, WarpState::Fault);
+        self.warps[warp].state = WarpState::Ready;
+        self.warps[warp].ready_at = at;
+    }
+
+    /// Records a memory completion; the machine then schedules a batch at the
+    /// returned time.
+    pub fn on_completion(&mut self, now: Time, token: u64, value: u64) -> Time {
+        self.local_time = self.local_time.max(now);
+        self.arrived.push((token, value));
+        now
+    }
+
+    fn token(&mut self) -> u64 {
+        self.token_seq += 1;
+        self.token_prefix | self.token_seq
+    }
+
+    /// Executes until the quantum, or until every live warp blocks.
+    pub fn run_batch(
+        &mut self,
+        now: Time,
+        prog: &Program,
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+    ) -> BatchOutcome {
+        self.local_time = self.local_time.max(now);
+        let mut faults = Vec::new();
+
+        let arrived = std::mem::take(&mut self.arrived);
+        for (token, value) in arrived {
+            self.apply_completion(token, value, mem, net, sched, &mut faults);
+        }
+
+        let deadline = self.local_time + self.config.clock.cycles(self.config.quantum_cycles);
+        let per_cycle = if self.config.lockstep {
+            1
+        } else {
+            self.config.issue_width.max(1)
+        };
+        loop {
+            if self.local_time >= deadline {
+                return BatchOutcome {
+                    action: MttopAction::Continue { at: self.local_time },
+                    faults,
+                };
+            }
+            // Collect up to `per_cycle` distinct ready warps for this cycle.
+            let n = self.warps.len();
+            let mut chosen = Vec::with_capacity(per_cycle);
+            let mut earliest: Option<Time> = None;
+            for k in 0..n {
+                let wi = (self.rr + k) % n;
+                let w = &self.warps[wi];
+                if w.state == WarpState::Ready {
+                    if w.ready_at <= self.local_time {
+                        chosen.push(wi);
+                        if chosen.len() == per_cycle {
+                            break;
+                        }
+                    } else {
+                        earliest = Some(match earliest {
+                            Some(e) => e.min(w.ready_at),
+                            None => w.ready_at,
+                        });
+                    }
+                }
+            }
+            if chosen.is_empty() {
+                if let Some(e) = earliest {
+                    self.local_time = e.min(deadline);
+                    continue;
+                }
+                let any_blocked = self.warps.iter().any(|w| {
+                    matches!(
+                        w.state,
+                        WarpState::Mem
+                            | WarpState::Walk
+                            | WarpState::WalkQueued
+                            | WarpState::Fault
+                    )
+                });
+                let action = if any_blocked {
+                    MttopAction::Blocked
+                } else {
+                    MttopAction::Idle
+                };
+                return BatchOutcome { action, faults };
+            }
+            self.rr = (chosen[chosen.len() - 1] + 1) % n;
+            let cycle_start = self.local_time;
+            for wi in chosen {
+                self.issue(wi, prog, mem, net, sched, &mut faults);
+            }
+            if !self.config.lockstep {
+                // Fine-grained mode: the cycle itself is the charge.
+                self.local_time = cycle_start + self.config.clock.period();
+            }
+        }
+    }
+
+    /// Executes one warp-instruction for warp `wi`.
+    fn issue(
+        &mut self,
+        wi: usize,
+        prog: &Program,
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+        faults: &mut Vec<PageFaultReq>,
+    ) {
+        // A Ready warp with a plan is retrying after a fault resolution.
+        if self.warps[wi].plan.is_some() {
+            self.warps[wi].state = WarpState::Mem;
+            self.continue_plan(wi, mem, net, sched, faults);
+            return;
+        }
+        let min_pc = self.warps[wi]
+            .lanes
+            .iter()
+            .filter(|l| l.live)
+            .map(|l| l.pc)
+            .min();
+        let Some(pc) = min_pc else {
+            self.warps[wi].state = WarpState::Free;
+            return;
+        };
+        let participating: Vec<usize> = self.warps[wi]
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.live && l.pc == pc)
+            .map(|(i, _)| i)
+            .collect();
+        let live = self.warps[wi].lanes.iter().filter(|l| l.live).count();
+        if participating.len() < live {
+            self.divergent_issues += 1;
+        }
+        let lockstep = self.config.lockstep;
+        let alu_charge = if lockstep { self.alu_cost } else { Time::ZERO };
+        let full_charge = if lockstep {
+            self.config.clock.period()
+        } else {
+            Time::ZERO
+        };
+        let Some(&instr) = prog.text.get(pc) else {
+            panic!("MTTOP pc {pc} outside text");
+        };
+        self.warp_instrs += 1;
+        self.thread_instrs += participating.len() as u64;
+
+        match instr {
+            Instr::Alu { op, rd, ra, rb } => {
+                for &li in &participating {
+                    let lane = &mut self.warps[wi].lanes[li];
+                    let b = match rb {
+                        Operand::Reg(r) => lane_get(lane, r),
+                        Operand::Imm(i) => i as u64,
+                    };
+                    let v = op.apply(lane_get(lane, ra), b);
+                    lane_set(lane, rd, v);
+                    lane.pc += 1;
+                }
+                self.local_time += alu_charge;
+            }
+            Instr::Li { rd, imm } => {
+                for &li in &participating {
+                    let lane = &mut self.warps[wi].lanes[li];
+                    lane_set(lane, rd, imm as u64);
+                    lane.pc += 1;
+                }
+                self.local_time += alu_charge;
+            }
+            Instr::Br { cond, ra, rb, target } => {
+                for &li in &participating {
+                    let lane = &mut self.warps[wi].lanes[li];
+                    lane.pc = if cond.test(lane_get(lane, ra), lane_get(lane, rb)) {
+                        target
+                    } else {
+                        lane.pc + 1
+                    };
+                }
+                self.local_time += full_charge;
+            }
+            Instr::Jmp { target } => {
+                for &li in &participating {
+                    self.warps[wi].lanes[li].pc = target;
+                }
+                self.local_time += full_charge;
+            }
+            Instr::JmpReg { rs } => {
+                for &li in &participating {
+                    let lane = &mut self.warps[wi].lanes[li];
+                    lane.pc = lane_get(lane, rs) as usize;
+                }
+                self.local_time += full_charge;
+            }
+            Instr::Call { target } => {
+                for &li in &participating {
+                    let lane = &mut self.warps[wi].lanes[li];
+                    lane_set(lane, abi::RA, (lane.pc + 1) as u64);
+                    lane.pc = target;
+                }
+                self.local_time += full_charge;
+            }
+            Instr::CallReg { rs } => {
+                for &li in &participating {
+                    let lane = &mut self.warps[wi].lanes[li];
+                    let t = lane_get(lane, rs) as usize;
+                    lane_set(lane, abi::RA, (lane.pc + 1) as u64);
+                    lane.pc = t;
+                }
+                self.local_time += self.config.clock.period();
+            }
+            Instr::Fence | Instr::Nop => {
+                for &li in &participating {
+                    self.warps[wi].lanes[li].pc += 1;
+                }
+                self.local_time += alu_charge;
+            }
+            Instr::Exit => {
+                for &li in &participating {
+                    self.warps[wi].lanes[li].live = false;
+                }
+                if !self.warps[wi].live() {
+                    self.warps[wi].state = WarpState::Free;
+                }
+                self.local_time += full_charge;
+            }
+            Instr::Syscall => {
+                panic!(
+                    "syscall executed on MTTOP core (pc {pc}): MTTOP cores do \
+                     not run the OS (paper §3.2.1); xcc rejects this statically"
+                );
+            }
+            Instr::Ld { .. } | Instr::St { .. } | Instr::Amo { .. } => {
+                self.mem_instrs += 1;
+                self.local_time += full_charge;
+                let mut ops = Vec::with_capacity(participating.len());
+                for &li in &participating {
+                    let lane = &self.warps[wi].lanes[li];
+                    let (va, kind) = match instr {
+                        Instr::Ld { rd, base, off, size } => (
+                            lane_get(lane, base).wrapping_add(off as u64),
+                            LaneKind::Ld { rd, size },
+                        ),
+                        Instr::St { rs, base, off, size } => (
+                            lane_get(lane, base).wrapping_add(off as u64),
+                            LaneKind::St { size, value: lane_get(lane, rs) },
+                        ),
+                        Instr::Amo { op, addr, a, b, rd } => (
+                            lane_get(lane, addr),
+                            LaneKind::Amo {
+                                rd,
+                                op: match op {
+                                    AmoKind::Cas => AtomicOp::Cas {
+                                        expected: lane_get(lane, a),
+                                        value: lane_get(lane, b),
+                                    },
+                                    AmoKind::Add => AtomicOp::Add { value: lane_get(lane, a) },
+                                    AmoKind::Inc => AtomicOp::Inc,
+                                    AmoKind::Dec => AtomicOp::Dec,
+                                    AmoKind::Exch => AtomicOp::Exch { value: lane_get(lane, a) },
+                                },
+                            },
+                        ),
+                        _ => unreachable!(),
+                    };
+                    ops.push(LaneOp { lane: li, va: VirtAddr(va), paddr: None, kind });
+                }
+                self.warps[wi].plan = Some(Plan {
+                    ops,
+                    next_translate: 0,
+                    pc,
+                    groups: None,
+                    issued: 0,
+                    finish: self.local_time,
+                });
+                self.warps[wi].state = WarpState::Mem;
+                self.warps[wi].outstanding = 0;
+                self.continue_plan(wi, mem, net, sched, faults);
+            }
+        }
+    }
+
+    /// Drives a warp's memory plan: translate every lane, then issue the
+    /// coalesced accesses. May leave the warp in Walk/WalkQueued/Fault/Mem.
+    fn continue_plan(
+        &mut self,
+        wi: usize,
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+        faults: &mut Vec<PageFaultReq>,
+    ) {
+        loop {
+            let plan = self.warps[wi].plan.as_ref().expect("plan");
+            let Some(op) = plan.ops.get(plan.next_translate).copied() else {
+                break;
+            };
+            match self.tlb.lookup(op.va) {
+                Some(frame) => {
+                    let plan = self.warps[wi].plan.as_mut().expect("plan");
+                    plan.ops[plan.next_translate].paddr = Some(frame_plus_offset(frame, op.va));
+                    plan.next_translate += 1;
+                }
+                None => {
+                    if self.walker.is_some() {
+                        self.warps[wi].state = WarpState::WalkQueued;
+                        self.walker_queue.push(wi);
+                        return;
+                    }
+                    self.walks += 1;
+                    let walk = Walk::new(self.cr3, op.va);
+                    if !self.issue_walk_step(wi, walk, mem, net, sched, faults) {
+                        return; // blocked in Walk state or faulted
+                    }
+                    // Walk finished inline; loop to re-lookup.
+                }
+            }
+        }
+        self.issue_accesses(wi, mem, net, sched);
+    }
+
+    /// Issues PTE reads until blocked, done, faulted, or the L1 runs out of
+    /// MSHRs. Returns `true` when the walk completed inline and the TLB now
+    /// holds the translation. On MSHR exhaustion the warp yields (Ready with
+    /// a one-cycle backoff) so the event loop can drain completions — a
+    /// synchronous retry here would livelock the simulator.
+    fn issue_walk_step(
+        &mut self,
+        wi: usize,
+        mut walk: Walk,
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+        faults: &mut Vec<PageFaultReq>,
+    ) -> bool {
+        loop {
+            let token = self.token();
+            let access = Access::Read { paddr: walk.pte_addr(), size: 8 };
+            match mem.access(self.local_time, net, sched, self.port, token, access) {
+                AccessResult::Hit { finish, value } => {
+                    self.local_time = self.local_time.max(finish);
+                    match walk.feed(value) {
+                        WalkResult::Continue(next) => walk = next,
+                        WalkResult::Done(frame) => {
+                            self.tlb.insert(walk.va(), frame);
+                            return true;
+                        }
+                        WalkResult::Fault(f) => {
+                            self.faults += 1;
+                            self.warps[wi].state = WarpState::Fault;
+                            faults.push(PageFaultReq { warp: wi, va: f.va, cr3: self.cr3 });
+                            return false;
+                        }
+                    }
+                }
+                AccessResult::Pending => {
+                    self.walker = Some((wi, walk));
+                    self.flights.insert(
+                        token,
+                        Flight { warp: wi, ops: Vec::new(), issued_at: self.local_time },
+                    );
+                    self.warps[wi].state = WarpState::Walk;
+                    return false;
+                }
+                AccessResult::Retry => {
+                    self.warps[wi].state = WarpState::Ready;
+                    self.warps[wi].ready_at = self.local_time + self.config.clock.cycles(8);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// All lanes translated: group by cache block (once) and issue the
+    /// groups. On MSHR exhaustion the warp yields with the remaining groups
+    /// parked in its plan; the retry re-enters here.
+    fn issue_accesses(
+        &mut self,
+        wi: usize,
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+    ) {
+        if self.warps[wi].plan.as_ref().expect("plan").groups.is_none() {
+            let ops = self.warps[wi].plan.as_ref().expect("plan").ops.clone();
+            let mut groups: Vec<Vec<LaneOp>> = Vec::new();
+            for op in ops {
+                let paddr = op.paddr.expect("translated");
+                if !matches!(op.kind, LaneKind::Amo { .. }) {
+                    if let Some(g) = groups.iter_mut().find(|g| {
+                        !matches!(g[0].kind, LaneKind::Amo { .. })
+                            && same_kind(&g[0].kind, &op.kind)
+                            && ccsvm_mem::block_of(g[0].paddr.expect("t"))
+                                == ccsvm_mem::block_of(paddr)
+                    }) {
+                        g.push(op);
+                        continue;
+                    }
+                }
+                groups.push(vec![op]);
+            }
+            self.coalesced_accesses += groups.len() as u64;
+            let plan = self.warps[wi].plan.as_mut().expect("plan");
+            plan.groups = Some(groups.into());
+            plan.finish = self.local_time;
+        }
+
+        loop {
+            let plan = self.warps[wi].plan.as_mut().expect("plan");
+            let Some(group) = plan.groups.as_mut().expect("groups").front().cloned() else {
+                break;
+            };
+            if plan.issued > 0 && plan.issued as u64 % self.config.l1_banks == 0 {
+                // A cycle per `l1_banks` groups: banked L1 ports.
+                self.local_time += self.config.clock.period();
+            }
+            match self.issue_group(wi, &group, mem, net, sched) {
+                AccessResult::Hit { finish: f, value } => {
+                    let plan = self.warps[wi].plan.as_mut().expect("plan");
+                    plan.finish = plan.finish.max(f);
+                    plan.issued += 1;
+                    plan.groups.as_mut().expect("groups").pop_front();
+                    self.apply_group(wi, &group, value, mem, net, sched);
+                }
+                AccessResult::Pending => {
+                    self.warps[wi].outstanding += 1;
+                    let plan = self.warps[wi].plan.as_mut().expect("plan");
+                    plan.issued += 1;
+                    plan.groups.as_mut().expect("groups").pop_front();
+                }
+                AccessResult::Retry => {
+                    // Yield: let the event loop drain MSHR completions.
+                    self.warps[wi].state = WarpState::Ready;
+                    self.warps[wi].ready_at = self.local_time + self.config.clock.cycles(8);
+                    return;
+                }
+            }
+        }
+
+        if self.warps[wi].outstanding == 0 {
+            let at = self.warps[wi].plan.as_ref().expect("plan").finish;
+            self.finish_mem_instr(wi, at.max(self.local_time));
+        } else {
+            self.warps[wi].state = WarpState::Mem;
+        }
+    }
+
+    fn issue_group(
+        &mut self,
+        wi: usize,
+        group: &[LaneOp],
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+    ) -> AccessResult {
+        let lead = group[0];
+        let access = match lead.kind {
+            LaneKind::Ld { size, .. } => Access::Read {
+                paddr: lead.paddr.expect("t"),
+                size: size as usize,
+            },
+            LaneKind::St { size, value } => Access::Write {
+                paddr: lead.paddr.expect("t"),
+                size: size as usize,
+                value,
+            },
+            LaneKind::Amo { op, .. } => Access::Rmw {
+                paddr: lead.paddr.expect("t"),
+                size: 8,
+                op,
+            },
+        };
+        let token = self.token();
+        let result = mem.access(self.local_time, net, sched, self.port, token, access);
+        if matches!(result, AccessResult::Pending) {
+            self.flights.insert(
+                token,
+                Flight { warp: wi, ops: group.to_vec(), issued_at: self.local_time },
+            );
+        }
+        result
+    }
+
+    /// Applies one completed group: the lead lane takes `value`; the other
+    /// lanes peek/poke the now-resident block. If permission slipped away
+    /// between completion and application, the lane's access is re-issued as
+    /// its own timed flight.
+    fn apply_group(
+        &mut self,
+        wi: usize,
+        group: &[LaneOp],
+        value: u64,
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+    ) {
+        for (i, op) in group.iter().enumerate() {
+            let paddr = op.paddr.expect("translated");
+            match op.kind {
+                LaneKind::Ld { rd, size } => {
+                    let v = if i == 0 {
+                        Some(value)
+                    } else {
+                        mem.peek(self.port, paddr, size as usize)
+                    };
+                    match v {
+                        Some(v) => {
+                            let lane = &mut self.warps[wi].lanes[op.lane];
+                            lane_set(lane, rd, v);
+                        }
+                        None => match self.issue_group(wi, std::slice::from_ref(op), mem, net, sched) {
+                            AccessResult::Hit { value, .. } => {
+                                let lane = &mut self.warps[wi].lanes[op.lane];
+                                lane_set(lane, rd, value);
+                            }
+                            AccessResult::Pending => self.warps[wi].outstanding += 1,
+                            AccessResult::Retry => {
+                                unreachable!("lane fallback with a just-freed MSHR")
+                            }
+                        },
+                    }
+                }
+                LaneKind::St { size, value: v } => {
+                    if i != 0 && !mem.poke(self.port, paddr, size as usize, v) {
+                        match self.issue_group(wi, std::slice::from_ref(op), mem, net, sched) {
+                            AccessResult::Hit { .. } => {}
+                            AccessResult::Pending => self.warps[wi].outstanding += 1,
+                            AccessResult::Retry => {
+                                unreachable!("lane fallback with a just-freed MSHR")
+                            }
+                        }
+                    }
+                }
+                LaneKind::Amo { rd, .. } => {
+                    debug_assert_eq!(group.len(), 1, "atomics are not coalesced");
+                    let lane = &mut self.warps[wi].lanes[op.lane];
+                    lane_set(lane, rd, value);
+                }
+            }
+        }
+    }
+
+    /// All groups of the warp's memory instruction are done: advance PCs.
+    fn finish_mem_instr(&mut self, wi: usize, at: Time) {
+        let plan = self.warps[wi].plan.take().expect("plan");
+        for op in &plan.ops {
+            self.warps[wi].lanes[op.lane].pc = plan.pc + 1;
+        }
+        self.warps[wi].state = WarpState::Ready;
+        self.warps[wi].ready_at = at;
+    }
+
+    /// Routes an arrived completion (called from `run_batch`).
+    fn apply_completion(
+        &mut self,
+        token: u64,
+        value: u64,
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+        faults: &mut Vec<PageFaultReq>,
+    ) {
+        let flight = self.flights.remove(&token).expect("unknown completion token");
+        let lat = self.local_time.saturating_sub(flight.issued_at);
+        self.miss_lat_sum += lat;
+        self.miss_count += 1;
+        if std::env::var("CCSVM_MISS_TRACE").is_ok() && lat > Time::from_ns(400) {
+            let b = flight.ops.first().and_then(|o| o.paddr).map(|p| ccsvm_mem::block_of(p));
+            eprintln!("SLOWMISS {}ns block {:?} kind {}", lat.as_ns() as u64, b,
+                if flight.ops.is_empty() { "walk" } else { "data" });
+        }
+        if flight.ops.is_empty() {
+            // A walker PTE read completed.
+            let (wi, walk) = self.walker.take().expect("walker busy");
+            debug_assert_eq!(wi, flight.warp);
+            match walk.feed(value) {
+                WalkResult::Continue(next) => {
+                    if !self.issue_walk_step(wi, next, mem, net, sched, faults) {
+                        // Blocked again (Walk) or faulted; if faulted, the
+                        // walker is free for queued users.
+                        if self.walker.is_none() {
+                            self.wake_walker_queue(mem, net, sched, faults);
+                        }
+                        return;
+                    }
+                    self.warps[wi].state = WarpState::Mem;
+                    self.continue_plan(wi, mem, net, sched, faults);
+                }
+                WalkResult::Done(frame) => {
+                    self.tlb.insert(walk.va(), frame);
+                    self.warps[wi].state = WarpState::Mem;
+                    self.continue_plan(wi, mem, net, sched, faults);
+                }
+                WalkResult::Fault(f) => {
+                    self.faults += 1;
+                    self.warps[wi].state = WarpState::Fault;
+                    faults.push(PageFaultReq { warp: wi, va: f.va, cr3: self.cr3 });
+                }
+            }
+            if self.walker.is_none() {
+                self.wake_walker_queue(mem, net, sched, faults);
+            }
+            return;
+        }
+        let wi = flight.warp;
+        self.warps[wi].outstanding -= 1;
+        self.apply_group(wi, &flight.ops, value, mem, net, sched);
+        if self.warps[wi].outstanding == 0
+            && self.warps[wi].state == WarpState::Mem
+            && self.warps[wi]
+                .plan
+                .as_ref()
+                .is_some_and(|p| p.groups.as_ref().is_some_and(|g| g.is_empty()))
+        {
+            self.finish_mem_instr(wi, self.local_time);
+        }
+    }
+
+    fn wake_walker_queue(
+        &mut self,
+        mem: &mut MemorySystem,
+        net: &mut Network,
+        sched: &mut dyn FnMut(Time, MemEvent),
+        faults: &mut Vec<PageFaultReq>,
+    ) {
+        while self.walker.is_none() {
+            let Some(wi) = self.walker_queue.pop() else {
+                return;
+            };
+            if self.warps[wi].state != WarpState::WalkQueued {
+                continue;
+            }
+            self.warps[wi].state = WarpState::Mem;
+            self.continue_plan(wi, mem, net, sched, faults);
+        }
+    }
+
+    /// Core counters and TLB statistics.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("warp_instructions", self.warp_instrs as f64);
+        s.set("thread_instructions", self.thread_instrs as f64);
+        s.set("mem_instructions", self.mem_instrs as f64);
+        s.set("coalesced_accesses", self.coalesced_accesses as f64);
+        s.set("divergent_issues", self.divergent_issues as f64);
+        s.set("tlb_walks", self.walks as f64);
+        s.set("page_faults", self.faults as f64);
+        s.set("tasks", self.tasks as f64);
+        s.set("miss_count", self.miss_count as f64);
+        if self.miss_count > 0 {
+            s.set("avg_miss_ns", self.miss_lat_sum.as_ns() / self.miss_count as f64);
+        }
+        s.merge_prefixed("tlb", &self.tlb.stats());
+        s
+    }
+}
+
+fn same_kind(a: &LaneKind, b: &LaneKind) -> bool {
+    matches!(
+        (a, b),
+        (LaneKind::Ld { .. }, LaneKind::Ld { .. }) | (LaneKind::St { .. }, LaneKind::St { .. })
+    )
+}
+
+fn lane_get(lane: &Lane, r: Reg) -> u64 {
+    if r.0 == 0 {
+        0
+    } else {
+        lane.regs[r.0 as usize]
+    }
+}
+
+fn lane_set(lane: &mut Lane, r: Reg, v: u64) {
+    if r.0 != 0 {
+        lane.regs[r.0 as usize] = v;
+    }
+}
+
+/// The MTTOP InterFace Device (§3.1): abstracts the number and identity of
+/// MTTOP cores behind a single device. CPU cores launch tasks at it via a
+/// write syscall; it splits tasks into warp-sized chunks and assigns them
+/// round-robin; it forwards MTTOP page faults to a CPU core as interrupts;
+/// it sets an error register when a launch doesn't fit.
+#[derive(Debug)]
+pub struct Mifd {
+    cursor: usize,
+    error_register: bool,
+    launches: u64,
+    chunks: u64,
+    rejected: u64,
+    faults_forwarded: u64,
+}
+
+impl Default for Mifd {
+    fn default() -> Self {
+        Mifd::new()
+    }
+}
+
+/// A planned chunk assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkAssign {
+    /// Target MTTOP core index.
+    pub core: usize,
+    /// First tid of the chunk.
+    pub first_tid: u64,
+    /// Last tid (inclusive).
+    pub last_tid: u64,
+}
+
+impl Mifd {
+    /// A fresh device.
+    pub fn new() -> Mifd {
+        Mifd {
+            cursor: 0,
+            error_register: false,
+            launches: 0,
+            chunks: 0,
+            rejected: 0,
+            faults_forwarded: 0,
+        }
+    }
+
+    /// Plans a launch of threads `first..=last` over cores with the given
+    /// free-warp counts, round-robin from the device cursor (§3.1: "task
+    /// assignment is done in a simple round-robin manner").
+    ///
+    /// Returns `None` — and sets the error register — when the task needs
+    /// more warp contexts than are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last < first` or `free_warps` is empty.
+    pub fn plan_launch(
+        &mut self,
+        first: u64,
+        last: u64,
+        lanes: usize,
+        free_warps: &[usize],
+    ) -> Option<Vec<ChunkAssign>> {
+        assert!(last >= first, "empty launch");
+        assert!(!free_warps.is_empty(), "no MTTOP cores");
+        self.launches += 1;
+        let nthreads = last - first + 1;
+        let nchunks = nthreads.div_ceil(lanes as u64);
+        let total_free: usize = free_warps.iter().sum();
+        if (total_free as u64) < nchunks {
+            self.error_register = true;
+            self.rejected += 1;
+            return None;
+        }
+        let mut remaining: Vec<usize> = free_warps.to_vec();
+        let n = remaining.len();
+        let mut out = Vec::with_capacity(nchunks as usize);
+        let mut tid = first;
+        for _ in 0..nchunks {
+            while remaining[self.cursor % n] == 0 {
+                self.cursor = (self.cursor + 1) % n;
+            }
+            let core = self.cursor % n;
+            remaining[core] -= 1;
+            self.cursor = (self.cursor + 1) % n;
+            let last_tid = (tid + lanes as u64 - 1).min(last);
+            out.push(ChunkAssign { core, first_tid: tid, last_tid });
+            tid = last_tid + 1;
+        }
+        self.chunks += out.len() as u64;
+        Some(out)
+    }
+
+    /// Reads and clears the error register.
+    pub fn take_error(&mut self) -> bool {
+        std::mem::take(&mut self.error_register)
+    }
+
+    /// Counts a forwarded page-fault interrupt (§3.2.1).
+    pub fn count_fault_forward(&mut self) {
+        self.faults_forwarded += 1;
+    }
+
+    /// Device counters.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("launches", self.launches as f64);
+        s.set("chunks", self.chunks as f64);
+        s.set("rejected", self.rejected as f64);
+        s.set("faults_forwarded", self.faults_forwarded as f64);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mifd_round_robin_assignment() {
+        let mut m = Mifd::new();
+        let plan = m.plan_launch(0, 31, 8, &[16, 16, 16]).unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0], ChunkAssign { core: 0, first_tid: 0, last_tid: 7 });
+        assert_eq!(plan[1].core, 1);
+        assert_eq!(plan[2].core, 2);
+        assert_eq!(plan[3].core, 0, "wraps around");
+        assert_eq!(plan[3].first_tid, 24);
+        assert_eq!(plan[3].last_tid, 31);
+    }
+
+    #[test]
+    fn mifd_partial_tail_chunk() {
+        let mut m = Mifd::new();
+        let plan = m.plan_launch(0, 9, 8, &[16]).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[1].first_tid, 8);
+        assert_eq!(plan[1].last_tid, 9);
+    }
+
+    #[test]
+    fn mifd_error_register_on_overflow() {
+        let mut m = Mifd::new();
+        assert!(m.plan_launch(0, 99, 8, &[4, 4]).is_none());
+        assert!(m.take_error());
+        assert!(!m.take_error(), "error register clears on read");
+        assert_eq!(m.stats().get("rejected"), 1.0);
+    }
+
+    #[test]
+    fn mifd_skips_busy_cores() {
+        let mut m = Mifd::new();
+        let plan = m.plan_launch(0, 15, 8, &[0, 2, 0]).unwrap();
+        assert!(plan.iter().all(|c| c.core == 1));
+    }
+
+    #[test]
+    fn start_task_fine_grained_spreads_contexts() {
+        let mut core = MttopCore::new(PortId(0), MttopConfig::paper_ccsvm(0), 0);
+        assert_eq!(core.free_warps(), 128);
+        assert_eq!(core.free_chunks(8), 16);
+        assert!(core.start_task(
+            Time::ZERO,
+            TaskChunk {
+                entry: 0,
+                args: 0x4000,
+                first_tid: 8,
+                last_tid: 11,
+                cr3: PhysAddr(0x1000),
+                ra: 99,
+            }
+        ));
+        assert_eq!(core.free_warps(), 124, "4 threads take 4 contexts");
+        assert!(core.busy());
+        assert_eq!(core.warps[0].lanes[0].regs[1], 8);
+        assert_eq!(core.warps[3].lanes[0].regs[1], 11);
+        assert_eq!(core.warps[1].lanes[0].regs[2], 0x4000);
+        assert_ne!(
+            core.warps[0].lanes[0].regs[30],
+            core.warps[1].lanes[0].regs[30],
+            "distinct stacks"
+        );
+    }
+
+    #[test]
+    fn start_task_lockstep_fills_one_warp() {
+        let mut core = MttopCore::new(PortId(0), MttopConfig::apu_gpu(0), 0);
+        assert_eq!(core.free_warps(), 16);
+        assert!(core.start_task(
+            Time::ZERO,
+            TaskChunk { entry: 0, args: 1, first_tid: 0, last_tid: 7, cr3: PhysAddr(0), ra: 0 }
+        ));
+        assert_eq!(core.free_warps(), 15);
+        let w = &core.warps[0];
+        assert_eq!(w.lanes.iter().filter(|l| l.live).count(), 8);
+        assert_ne!(w.lanes[0].regs[30], w.lanes[7].regs[30], "distinct stacks");
+    }
+
+    #[test]
+    fn start_task_rejects_when_full() {
+        let mut core = MttopCore::new(PortId(0), MttopConfig::paper_ccsvm(0), 0);
+        for i in 0..16 {
+            assert!(core.start_task(
+                Time::ZERO,
+                TaskChunk {
+                    entry: 0,
+                    args: 0,
+                    first_tid: i * 8,
+                    last_tid: i * 8 + 7,
+                    cr3: PhysAddr(0),
+                    ra: 0,
+                }
+            ));
+        }
+        assert_eq!(core.free_warps(), 0);
+        assert!(!core.start_task(
+            Time::ZERO,
+            TaskChunk { entry: 0, args: 0, first_tid: 0, last_tid: 7, cr3: PhysAddr(0), ra: 0 }
+        ));
+    }
+}

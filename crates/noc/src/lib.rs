@@ -1,0 +1,432 @@
+//! 2D torus network-on-chip model for the CCSVM chip.
+//!
+//! The paper's microarchitecture (§3.1, Table 2) connects CPU cores, MTTOP
+//! cores, the banked shared L2/directory, the MIFD, and the memory controllers
+//! over a 2D **torus** with 12 GB/s links (Figure 1 draws it as a mesh for
+//! clarity; it is a torus).
+//!
+//! This crate models:
+//!
+//! * the torus [`Topology`] with wraparound links,
+//! * deterministic **dimension-order (X then Y) routing** that picks the
+//!   shorter wrap direction per dimension,
+//! * per-directed-link **serialization latency** (`bytes / bandwidth`) with
+//!   link occupancy tracking, so concurrent messages contend for links, and
+//! * per-hop router/link latency.
+//!
+//! The network does not own an event queue: [`Network::send`] computes the
+//! delivery time of a message and the caller (the machine model) schedules the
+//! delivery event. This keeps the NoC reusable by both the CCSVM machine and
+//! the APU baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccsvm_engine::Time;
+//! use ccsvm_noc::{Network, NocConfig, NodeId, Topology};
+//!
+//! let topo = Topology::torus(4, 4);
+//! let mut net = Network::new(topo, NocConfig::paper_default());
+//! let arrive = net.send(Time::ZERO, NodeId(0), NodeId(5), 72);
+//! assert!(arrive > Time::ZERO);
+//! ```
+
+use ccsvm_engine::{Stats, Time};
+
+/// Identifies a node (router) on the torus.
+///
+/// Node `NodeId(i)` sits at coordinates `(i % cols, i / cols)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// The shape of the interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Topology {
+    cols: usize,
+    rows: usize,
+}
+
+impl Topology {
+    /// A `cols × rows` 2D torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn torus(cols: usize, rows: usize) -> Topology {
+        assert!(cols > 0 && rows > 0, "torus dimensions must be positive");
+        Topology { cols, rows }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Whether the topology has no nodes (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Columns in the torus.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows in the torus.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        assert!(node.0 < self.len(), "node {node:?} out of range");
+        (node.0 % self.cols, node.0 / self.cols)
+    }
+
+    /// The node at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.cols && y < self.rows, "({x},{y}) out of range");
+        NodeId(y * self.cols + x)
+    }
+
+    /// Signed step (+1 / -1 with wraparound) and distance along one dimension,
+    /// choosing the shorter direction (ties go to the positive direction).
+    fn step(from: usize, to: usize, size: usize) -> (isize, usize) {
+        let fwd = (to + size - from) % size;
+        let bwd = (from + size - to) % size;
+        if fwd <= bwd {
+            (1, fwd)
+        } else {
+            (-1, bwd)
+        }
+    }
+
+    /// Minimal hop count between two nodes under dimension-order torus routing.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        Topology::step(sx, dx, self.cols).1 + Topology::step(sy, dy, self.rows).1
+    }
+
+    /// The full route from `src` to `dst` (inclusive of both endpoints) under
+    /// dimension-order (X then Y) routing with shortest wrap direction.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![self.node_at(x, y)];
+        let (xdir, xdist) = Topology::step(x, dx, self.cols);
+        for _ in 0..xdist {
+            x = Topology::wrap(x, xdir, self.cols);
+            path.push(self.node_at(x, y));
+        }
+        let (ydir, ydist) = Topology::step(y, dy, self.rows);
+        for _ in 0..ydist {
+            y = Topology::wrap(y, ydir, self.rows);
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+
+    fn wrap(v: usize, dir: isize, size: usize) -> usize {
+        if dir > 0 {
+            (v + 1) % size
+        } else {
+            (v + size - 1) % size
+        }
+    }
+}
+
+/// Timing parameters for the interconnect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NocConfig {
+    /// Link bandwidth in bytes per nanosecond (12 GB/s ⇒ 12.0).
+    pub link_bytes_per_ns: f64,
+    /// Fixed per-hop router + link traversal latency.
+    pub hop_latency: Time,
+    /// Fixed overhead at injection/ejection (NI latency).
+    pub endpoint_latency: Time,
+}
+
+impl NocConfig {
+    /// The paper's Table 2 interconnect: 12 GB/s links; 1 ns per hop and 0.5 ns
+    /// endpoint overhead (typical for an on-chip router at uncore speed).
+    pub fn paper_default() -> NocConfig {
+        NocConfig {
+            link_bytes_per_ns: 12.0,
+            hop_latency: Time::from_ps(1_000),
+            endpoint_latency: Time::from_ps(500),
+        }
+    }
+
+    /// Serialization delay for a message of `bytes` on one link.
+    pub fn serialization(&self, bytes: usize) -> Time {
+        assert!(
+            self.link_bytes_per_ns > 0.0,
+            "link bandwidth must be positive"
+        );
+        Time::from_ps((bytes as f64 * 1_000.0 / self.link_bytes_per_ns).ceil() as u64)
+    }
+}
+
+/// The interconnect: topology + link occupancy + traffic statistics.
+///
+/// See the [crate docs](crate) for the modeling approach.
+#[derive(Clone, Debug)]
+pub struct Network {
+    topo: Topology,
+    config: NocConfig,
+    /// `link_free[node][dir]`: earliest time the directed link leaving `node`
+    /// in direction `dir` (0=+X, 1=-X, 2=+Y, 3=-Y) is idle.
+    link_free: Vec<[Time; 4]>,
+    messages: u64,
+    total_bytes: u64,
+    total_hops: u64,
+}
+
+impl Network {
+    /// Creates a network over `topo` with timing `config`.
+    pub fn new(topo: Topology, config: NocConfig) -> Network {
+        Network {
+            topo,
+            config,
+            link_free: vec![[Time::ZERO; 4]; topo.len()],
+            messages: 0,
+            total_bytes: 0,
+            total_hops: 0,
+        }
+    }
+
+    /// The topology this network routes over.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> NocConfig {
+        self.config
+    }
+
+    /// Sends `bytes` from `src` to `dst` starting at time `now`, reserving
+    /// link time along the route, and returns the delivery time at `dst`.
+    ///
+    /// A `src == dst` message (e.g. a core talking to its co-located L2 bank)
+    /// pays only the endpoint latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn send(&mut self, now: Time, src: NodeId, dst: NodeId, bytes: usize) -> Time {
+        let route = self.topo.route(src, dst);
+        let ser = self.config.serialization(bytes);
+        let mut t = now + self.config.endpoint_latency;
+        for pair in route.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            let dir = self.direction(from, to);
+            let link = &mut self.link_free[from.0][dir];
+            let depart = t.max(*link);
+            *link = depart + ser;
+            t = depart + ser + self.config.hop_latency;
+        }
+        self.messages += 1;
+        self.total_bytes += bytes as u64;
+        self.total_hops += (route.len() - 1) as u64;
+        t + self.config.endpoint_latency
+    }
+
+    /// Direction index of the link from `from` to its neighbour `to`.
+    fn direction(&self, from: NodeId, to: NodeId) -> usize {
+        let (fx, fy) = self.topo.coords(from);
+        let (tx, ty) = self.topo.coords(to);
+        if fy == ty {
+            if (fx + 1) % self.topo.cols() == tx {
+                0 // +X
+            } else {
+                1 // -X
+            }
+        } else if (fy + 1) % self.topo.rows() == ty {
+            2 // +Y
+        } else {
+            3 // -Y
+        }
+    }
+
+    /// Traffic statistics: message count, total payload bytes, total hops.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("messages", self.messages as f64);
+        s.set("bytes", self.total_bytes as f64);
+        s.set("hops", self.total_hops as f64);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Topology::torus(4, 5);
+        assert_eq!(t.len(), 20);
+        for i in 0..t.len() {
+            let (x, y) = t.coords(NodeId(i));
+            assert_eq!(t.node_at(x, y), NodeId(i));
+        }
+    }
+
+    #[test]
+    fn hops_uses_wraparound() {
+        let t = Topology::torus(4, 4);
+        // (0,0) -> (3,0): 1 hop backwards around the wrap, not 3 forwards.
+        assert_eq!(t.hops(t.node_at(0, 0), t.node_at(3, 0)), 1);
+        // (0,0) -> (2,2): 2 + 2 hops.
+        assert_eq!(t.hops(t.node_at(0, 0), t.node_at(2, 2)), 4);
+        assert_eq!(t.hops(NodeId(5), NodeId(5)), 0);
+    }
+
+    #[test]
+    fn route_is_x_then_y_and_length_matches_hops() {
+        let t = Topology::torus(4, 4);
+        let src = t.node_at(0, 0);
+        let dst = t.node_at(2, 1);
+        let route = t.route(src, dst);
+        assert_eq!(route.len(), t.hops(src, dst) + 1);
+        assert_eq!(route[0], src);
+        assert_eq!(*route.last().unwrap(), dst);
+        // X moves first: second node differs in X only.
+        let (x1, y1) = t.coords(route[1]);
+        assert_eq!(y1, 0);
+        assert_eq!(x1, 1);
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let t = Topology::torus(3, 3);
+        assert_eq!(t.route(NodeId(4), NodeId(4)), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn serialization_latency_matches_bandwidth() {
+        let cfg = NocConfig::paper_default();
+        // 72 bytes at 12 B/ns = 6 ns.
+        assert_eq!(cfg.serialization(72), Time::from_ns(6));
+        assert_eq!(cfg.serialization(0), Time::ZERO);
+    }
+
+    #[test]
+    fn send_latency_grows_with_distance() {
+        let t = Topology::torus(4, 4);
+        let mut net = Network::new(t, NocConfig::paper_default());
+        let near = net.send(Time::ZERO, t.node_at(0, 0), t.node_at(1, 0), 8);
+        let mut net2 = Network::new(t, NocConfig::paper_default());
+        let far = net2.send(Time::ZERO, t.node_at(0, 0), t.node_at(2, 2), 8);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn local_delivery_pays_only_endpoints() {
+        let t = Topology::torus(4, 4);
+        let mut net = Network::new(t, NocConfig::paper_default());
+        let arrive = net.send(Time::from_ns(10), NodeId(3), NodeId(3), 64);
+        assert_eq!(arrive, Time::from_ns(10) + Time::from_ns(1));
+    }
+
+    #[test]
+    fn links_contend() {
+        let t = Topology::torus(4, 1);
+        let cfg = NocConfig {
+            link_bytes_per_ns: 1.0, // 1 byte/ns: big serialization delays
+            hop_latency: Time::ZERO,
+            endpoint_latency: Time::ZERO,
+        };
+        let mut net = Network::new(t, cfg);
+        let a = net.send(Time::ZERO, NodeId(0), NodeId(1), 100);
+        // Same link immediately afterwards: must wait for the first message.
+        let b = net.send(Time::ZERO, NodeId(0), NodeId(1), 100);
+        assert_eq!(a, Time::from_ns(100));
+        assert_eq!(b, Time::from_ns(200));
+        // Opposite-direction link is free.
+        let c = net.send(Time::ZERO, NodeId(1), NodeId(0), 100);
+        assert_eq!(c, Time::from_ns(100));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let t = Topology::torus(4, 4);
+        let mut net = Network::new(t, NocConfig::paper_default());
+        net.send(Time::ZERO, NodeId(0), NodeId(1), 8);
+        net.send(Time::ZERO, NodeId(0), NodeId(2), 72);
+        let s = net.stats();
+        assert_eq!(s.get("messages"), 2.0);
+        assert_eq!(s.get("bytes"), 80.0);
+        assert_eq!(s.get("hops"), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        Topology::torus(2, 2).coords(NodeId(4));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Routes always reach the destination, have hop-count length, and
+        /// every step moves between torus neighbours.
+        #[test]
+        fn routes_are_valid(cols in 1usize..8, rows in 1usize..8,
+                            s in 0usize..64, d in 0usize..64) {
+            let t = Topology::torus(cols, rows);
+            let src = NodeId(s % t.len());
+            let dst = NodeId(d % t.len());
+            let route = t.route(src, dst);
+            prop_assert_eq!(route[0], src);
+            prop_assert_eq!(*route.last().unwrap(), dst);
+            prop_assert_eq!(route.len(), t.hops(src, dst) + 1);
+            for w in route.windows(2) {
+                let (ax, ay) = t.coords(w[0]);
+                let (bx, by) = t.coords(w[1]);
+                let xd = (ax as isize - bx as isize).rem_euclid(cols as isize);
+                let yd = (ay as isize - by as isize).rem_euclid(rows as isize);
+                let x_neighbour = ay == by && (xd == 1 || xd == cols as isize - 1);
+                let y_neighbour = ax == bx && (yd == 1 || yd == rows as isize - 1);
+                prop_assert!(x_neighbour || y_neighbour, "non-neighbour step");
+            }
+        }
+
+        /// Hop count is bounded by the torus diameter and symmetric.
+        #[test]
+        fn hops_bounded_and_symmetric(cols in 1usize..8, rows in 1usize..8,
+                                      s in 0usize..64, d in 0usize..64) {
+            let t = Topology::torus(cols, rows);
+            let src = NodeId(s % t.len());
+            let dst = NodeId(d % t.len());
+            let h = t.hops(src, dst);
+            prop_assert!(h <= cols / 2 + rows / 2);
+            prop_assert_eq!(h, t.hops(dst, src));
+        }
+
+        /// Delivery time is monotone in send time on an otherwise-idle net.
+        #[test]
+        fn delivery_monotone(start in 0u64..1000) {
+            let t = Topology::torus(4, 4);
+            let mut n1 = Network::new(t, NocConfig::paper_default());
+            let mut n2 = Network::new(t, NocConfig::paper_default());
+            let a = n1.send(Time::from_ns(start), NodeId(0), NodeId(9), 72);
+            let b = n2.send(Time::from_ns(start + 1), NodeId(0), NodeId(9), 72);
+            prop_assert!(b > a);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Fully-associative translation lookaside buffer.
+
+use ccsvm_engine::Stats;
+use ccsvm_mem::PhysAddr;
+
+use crate::walk::VirtAddr;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    vpn: u64,
+    frame: PhysAddr,
+    lru: u64,
+}
+
+/// A fully-associative, true-LRU TLB (Table 2: 64 entries per core, for CPU
+/// and MTTOP cores alike).
+///
+/// # Examples
+///
+/// ```
+/// use ccsvm_mem::PhysAddr;
+/// use ccsvm_vm::{Tlb, VirtAddr};
+/// let mut tlb = Tlb::new(64);
+/// assert_eq!(tlb.lookup(VirtAddr(0x1000)), None);
+/// tlb.insert(VirtAddr(0x1000), PhysAddr(0x7000));
+/// assert_eq!(tlb.lookup(VirtAddr(0x1234)), Some(PhysAddr(0x7000)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+    shootdown_invalidations: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+            shootdown_invalidations: 0,
+        }
+    }
+
+    /// Looks up the translation of `va`'s page, counting a hit or miss.
+    /// Returns the *frame base* (combine with the page offset).
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<PhysAddr> {
+        let vpn = va.vpn();
+        self.tick += 1;
+        for e in &mut self.entries {
+            if e.vpn == vpn {
+                e.lru = self.tick;
+                self.hits += 1;
+                return Some(e.frame);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Installs a translation, evicting LRU if full.
+    pub fn insert(&mut self, va: VirtAddr, frame: PhysAddr) {
+        let vpn = va.vpn();
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
+            e.frame = frame;
+            e.lru = self.tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("nonempty");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push(Entry {
+            vpn,
+            frame,
+            lru: self.tick,
+        });
+    }
+
+    /// Removes the entry for `va`'s page (selective shootdown, used for CPU
+    /// TLBs).
+    pub fn invalidate(&mut self, va: VirtAddr) {
+        let vpn = va.vpn();
+        if let Some(idx) = self.entries.iter().position(|e| e.vpn == vpn) {
+            self.entries.swap_remove(idx);
+            self.shootdown_invalidations += 1;
+        }
+    }
+
+    /// Empties the TLB (the paper's conservative MTTOP shootdown: "we extend
+    /// shootdown by having the CPU core signal the TLBs at all MTTOP cores to
+    /// flush").
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.flushes += 1;
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no translations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/flush counters.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        s.set("hits", self.hits as f64);
+        s.set("misses", self.misses as f64);
+        s.set("flushes", self.flushes as f64);
+        s.set("shootdown_invalidations", self.shootdown_invalidations as f64);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_with_offset() {
+        let mut t = Tlb::new(4);
+        t.insert(VirtAddr(0x5000), PhysAddr(0x9000));
+        assert_eq!(t.lookup(VirtAddr(0x5FFF)), Some(PhysAddr(0x9000)));
+        assert_eq!(t.lookup(VirtAddr(0x6000)), None);
+        assert_eq!(t.stats().get("hits"), 1.0);
+        assert_eq!(t.stats().get("misses"), 1.0); // only the 0x6000 lookup
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut t = Tlb::new(2);
+        t.insert(VirtAddr(0x1000), PhysAddr(0x1000));
+        t.insert(VirtAddr(0x2000), PhysAddr(0x2000));
+        t.lookup(VirtAddr(0x1000)); // 0x2000 now LRU
+        t.insert(VirtAddr(0x3000), PhysAddr(0x3000));
+        assert!(t.lookup(VirtAddr(0x2000)).is_none());
+        assert!(t.lookup(VirtAddr(0x1000)).is_some());
+        assert!(t.lookup(VirtAddr(0x3000)).is_some());
+    }
+
+    #[test]
+    fn insert_existing_updates() {
+        let mut t = Tlb::new(2);
+        t.insert(VirtAddr(0x1000), PhysAddr(0xA000));
+        t.insert(VirtAddr(0x1000), PhysAddr(0xB000));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(VirtAddr(0x1000)), Some(PhysAddr(0xB000)));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut t = Tlb::new(4);
+        t.insert(VirtAddr(0x1000), PhysAddr(0x1000));
+        t.insert(VirtAddr(0x2000), PhysAddr(0x2000));
+        t.invalidate(VirtAddr(0x1000));
+        assert!(t.lookup(VirtAddr(0x1000)).is_none());
+        assert!(t.lookup(VirtAddr(0x2000)).is_some());
+        t.flush();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().get("flushes"), 1.0);
+        assert_eq!(t.stats().get("shootdown_invalidations"), 1.0);
+    }
+}

@@ -1,0 +1,432 @@
+//! Barnes-Hut n-body (paper §5.3.1, Figure 7).
+//!
+//! "This benchmark extensively uses pointers and recursion and, most
+//! problematically for current CPU/MTTOP chips, involves frequent toggling
+//! between sequential and parallel phases."
+//!
+//! Per timestep: the CPU **sequentially** builds a quadtree of malloc'd
+//! nodes and summarizes mass/center-of-mass; the MTTOP threads compute
+//! forces **in parallel** by recursively traversing the pointer-linked tree
+//! (θ opening criterion); the CPU then integrates positions. Under CCSVM
+//! the phase toggles are a launch syscall and a few cache misses; on a
+//! loosely-coupled chip each toggle is a driver round-trip.
+//!
+//! The 2D formulation keeps the tree a quadtree; the paper's argument is
+//! about pointer-chasing and phase-toggling, not dimensionality.
+//!
+//! Float results are validated by running the *same program* on the
+//! functional interpreter (identical IEEE-754 operation order ⇒ identical
+//! bits), not by an independent Rust reimplementation.
+
+use crate::{lcg_xc, MARK_END, MARK_START};
+
+/// An n-body instance.
+#[derive(Clone, Copy, Debug)]
+pub struct BhParams {
+    /// Body count.
+    pub bodies: u64,
+    /// Timesteps.
+    pub steps: u64,
+    /// MTTOP threads for the force phase.
+    pub max_threads: u64,
+    /// LCG seed.
+    pub seed: u64,
+}
+
+impl BhParams {
+    /// `bodies` over one step on the paper-default chip.
+    pub fn new(bodies: u64, seed: u64) -> BhParams {
+        BhParams { bodies, steps: 1, max_threads: 1280, seed }
+    }
+
+    /// Threads launched per force phase. Recursion keeps a real stack per
+    /// lane, and per-lane stacks never coalesce; capping the launch keeps
+    /// every live frame L1-resident (2 warps per core on the paper chip),
+    /// which is how SIMT codes run recursive traversals at all.
+    pub fn threads(&self) -> u64 {
+        self.bodies.min(self.max_threads).min(80).max(1)
+    }
+}
+
+/// Everything except `main`: types, tree build, summarize, force traversal,
+/// integrate, checksum.
+fn common_xc(p: &BhParams) -> String {
+    format!(
+        r#"{lcg}
+const NB = {nb};
+const STEPS = {steps};
+const SEED = {seed};
+
+struct Body {{ x: float; y: float; vx: float; vy: float; m: float; ax: float; ay: float; }}
+// body: -2 = empty leaf, -1 = internal, >= 0 = leaf holding that body index.
+struct QNode {{ cx: float; cy: float; half: float; mass: float;
+               comx: float; comy: float;
+               c0: QNode*; c1: QNode*; c2: QNode*; c3: QNode*; body: int; }}
+
+fn qchild(nd: QNode*, q: int) -> QNode* {{
+    if (q == 0) {{ return nd->c0; }}
+    if (q == 1) {{ return nd->c1; }}
+    if (q == 2) {{ return nd->c2; }}
+    return nd->c3;
+}}
+
+// Userspace arena for tree nodes: one malloc syscall per 64 KiB slab, like
+// a real libc allocator, instead of a kernel round-trip per node.
+global arena_cur: int;
+global arena_end: int;
+
+_CPU_ fn falloc(n: int) -> int {{
+    if (arena_cur + n > arena_end) {{
+        arena_cur = malloc(65536) as int;
+        arena_end = arena_cur + 65536;
+    }}
+    let p = arena_cur;
+    arena_cur = arena_cur + n;
+    return p;
+}}
+
+_CPU_ fn new_node(cx: float, cy: float, half: float) -> QNode* {{
+    let nd: QNode* = falloc(sizeof(QNode)) as QNode*;
+    nd->cx = cx; nd->cy = cy; nd->half = half;
+    nd->mass = 0.0; nd->comx = 0.0; nd->comy = 0.0;
+    nd->c0 = 0 as QNode*; nd->c1 = 0 as QNode*;
+    nd->c2 = 0 as QNode*; nd->c3 = 0 as QNode*;
+    nd->body = 0 - 2;
+    return nd;
+}}
+
+_CPU_ fn insert_child(nd: QNode*, bi: int, bodies: Body*) {{
+    let b = bodies[bi];
+    let q = 0;
+    if (b->x >= nd->cx) {{ q = q + 1; }}
+    if (b->y >= nd->cy) {{ q = q + 2; }}
+    let c = qchild(nd, q);
+    if (c == 0 as QNode*) {{
+        let h = nd->half / 2.0;
+        let cx = nd->cx - h;
+        if (b->x >= nd->cx) {{ cx = nd->cx + h; }}
+        let cy = nd->cy - h;
+        if (b->y >= nd->cy) {{ cy = nd->cy + h; }}
+        c = new_node(cx, cy, h);
+        if (q == 0) {{ nd->c0 = c; }}
+        else if (q == 1) {{ nd->c1 = c; }}
+        else if (q == 2) {{ nd->c2 = c; }}
+        else {{ nd->c3 = c; }}
+    }}
+    insert(c, bi, bodies);
+}}
+
+_CPU_ fn insert(nd: QNode*, bi: int, bodies: Body*) {{
+    if (nd->body == 0 - 2) {{ nd->body = bi; return; }}
+    if (nd->body >= 0) {{
+        let old = nd->body;
+        nd->body = 0 - 1;
+        insert_child(nd, old, bodies);
+        insert_child(nd, bi, bodies);
+        return;
+    }}
+    insert_child(nd, bi, bodies);
+}}
+
+_CPU_ fn summarize(nd: QNode*, bodies: Body*) {{
+    if (nd == 0 as QNode*) {{ return; }}
+    if (nd->body >= 0) {{
+        let b = bodies[nd->body];
+        nd->mass = b->m; nd->comx = b->x; nd->comy = b->y;
+        return;
+    }}
+    if (nd->body == 0 - 2) {{ return; }}
+    if (nd->c0 != 0 as QNode*) {{ summarize(nd->c0, bodies); }}
+    if (nd->c1 != 0 as QNode*) {{ summarize(nd->c1, bodies); }}
+    if (nd->c2 != 0 as QNode*) {{ summarize(nd->c2, bodies); }}
+    if (nd->c3 != 0 as QNode*) {{ summarize(nd->c3, bodies); }}
+    let m = 0.0; let sx = 0.0; let sy = 0.0;
+    for (let q = 0; q < 4; q = q + 1) {{
+        let c = qchild(nd, q);
+        if (c != 0 as QNode*) {{
+            m = m + c->mass;
+            sx = sx + c->comx * c->mass;
+            sy = sy + c->comy * c->mass;
+        }}
+    }}
+    nd->mass = m;
+    if (m > 0.0) {{ nd->comx = sx / m; nd->comy = sy / m; }}
+}}
+
+// Recursive force traversal (runs on CPU and MTTOP alike): accumulates the
+// acceleration of body bi. theta = 0.5; softened gravity, G = 1.
+fn force(nd: QNode*, bi: int, bodies: Body*) {{
+    if (nd == 0 as QNode*) {{ return; }}
+    if (nd->body == 0 - 2) {{ return; }}
+    let b = bodies[bi];
+    if (nd->body >= 0) {{
+        if (nd->body != bi) {{
+            let o = bodies[nd->body];
+            let dx = o->x - b->x;
+            let dy = o->y - b->y;
+            let d2 = dx * dx + dy * dy + 0.0001;
+            let inv = 1.0 / sqrt(d2);
+            let s = o->m * inv * inv * inv;
+            b->ax = b->ax + dx * s;
+            b->ay = b->ay + dy * s;
+        }}
+        return;
+    }}
+    let dx = nd->comx - b->x;
+    let dy = nd->comy - b->y;
+    let d2 = dx * dx + dy * dy + 0.0001;
+    let w = nd->half * 2.0;
+    if (w * w < 0.25 * d2) {{    // (w/d)^2 < theta^2, theta = 0.5
+        let inv = 1.0 / sqrt(d2);
+        let s = nd->mass * inv * inv * inv;
+        b->ax = b->ax + dx * s;
+        b->ay = b->ay + dy * s;
+    }} else {{
+        if (nd->c0 != 0 as QNode*) {{ force(nd->c0, bi, bodies); }}
+        if (nd->c1 != 0 as QNode*) {{ force(nd->c1, bi, bodies); }}
+        if (nd->c2 != 0 as QNode*) {{ force(nd->c2, bi, bodies); }}
+        if (nd->c3 != 0 as QNode*) {{ force(nd->c3, bi, bodies); }}
+    }}
+}}
+
+_CPU_ fn init_bodies(bodies: Body*) {{
+    let x = SEED;
+    for (let i = 0; i < NB; i = i + 1) {{
+        let b = bodies[i];
+        x = x * LCG_MUL + LCG_ADD;
+        b->x = ((x >> 11) % 1000000) as float / 1000000.0;
+        x = x * LCG_MUL + LCG_ADD;
+        b->y = ((x >> 11) % 1000000) as float / 1000000.0;
+        b->vx = 0.0; b->vy = 0.0;
+        x = x * LCG_MUL + LCG_ADD;
+        b->m = 1.0 + ((x >> 11) % 100) as float / 100.0;
+        b->ax = 0.0; b->ay = 0.0;
+    }}
+}}
+
+// Build the step's tree over the current bounding square.
+_CPU_ fn build_tree(bodies: Body*) -> QNode* {{
+    let lo = bodies[0]->x; let hi = bodies[0]->x;
+    for (let i = 0; i < NB; i = i + 1) {{
+        let b = bodies[i];
+        if (b->x < lo) {{ lo = b->x; }}
+        if (b->x > hi) {{ hi = b->x; }}
+        if (b->y < lo) {{ lo = b->y; }}
+        if (b->y > hi) {{ hi = b->y; }}
+    }}
+    let half = (hi - lo) / 2.0 + 0.001;
+    let root = new_node(lo + half, lo + half, half);
+    for (let i = 0; i < NB; i = i + 1) {{ insert(root, i, bodies); }}
+    summarize(root, bodies);
+    return root;
+}}
+
+// In-order tree walk collecting leaf bodies: consecutive entries are
+// spatially adjacent, so warps of consecutive tids traverse nearly identical
+// node sequences (the standard SIMT Barnes-Hut trick; Burtscher & Pingali).
+_CPU_ fn collect(nd: QNode*, order: int*, pos: int*) {{
+    if (nd == 0 as QNode*) {{ return; }}
+    if (nd->body >= 0) {{
+        order[*pos] = nd->body;
+        *pos = *pos + 1;
+        return;
+    }}
+    if (nd->body == 0 - 2) {{ return; }}
+    if (nd->c0 != 0 as QNode*) {{ collect(nd->c0, order, pos); }}
+    if (nd->c1 != 0 as QNode*) {{ collect(nd->c1, order, pos); }}
+    if (nd->c2 != 0 as QNode*) {{ collect(nd->c2, order, pos); }}
+    if (nd->c3 != 0 as QNode*) {{ collect(nd->c3, order, pos); }}
+}}
+
+_CPU_ fn integrate(bodies: Body*) {{
+    for (let i = 0; i < NB; i = i + 1) {{
+        let b = bodies[i];
+        b->vx = b->vx + b->ax * 0.01;
+        b->vy = b->vy + b->ay * 0.01;
+        b->x = b->x + b->vx * 0.01;
+        b->y = b->y + b->vy * 0.01;
+    }}
+}}
+
+fn checksum(bodies: Body*) -> int {{
+    let s = 0;
+    for (let i = 0; i < NB; i = i + 1) {{
+        let b = bodies[i];
+        s = s + ((b->x + b->y) * 1000000.0) as int;
+        s = s + ((b->vx + b->vy) * 1000000.0) as int;
+    }}
+    return s;
+}}
+"#,
+        lcg = lcg_xc(),
+        nb = p.bodies,
+        steps = p.steps,
+        seed = p.seed,
+    )
+}
+
+/// CCSVM/xthreads: CPU build + MTTOP force + CPU integrate, per step.
+pub fn xthreads_source(p: &BhParams) -> String {
+    format!(
+        r#"{common}
+struct Args {{ bodies: Body*; root: QNode*; order: int*; done: int*; nt: int; }}
+
+_MTTOP_ fn kforce(tid: int, g: Args*) {{
+    let idx = tid;
+    while (idx < NB) {{
+        let i = g->order[idx];
+        let b = g->bodies[i];
+        b->ax = 0.0; b->ay = 0.0;
+        force(g->root, i, g->bodies);
+        idx = idx + g->nt;
+    }}
+    xt_msignal(g->done, tid);
+}}
+
+_CPU_ fn main() -> int {{
+    arena_cur = 0; arena_end = 0;
+    let g: Args* = malloc(sizeof(Args));
+    g->bodies = malloc(NB * sizeof(Body)) as Body*;
+    g->order = malloc(NB * 8);
+    g->nt = {threads};
+    g->done = malloc(g->nt * 8);
+    for (let t = 0; t < g->nt; t = t + 1) {{ g->done[t] = 0; }}
+    init_bodies(g->bodies);
+    print_int({start});
+    for (let s = 0; s < STEPS; s = s + 1) {{
+        g->root = build_tree(g->bodies);
+        let pos = 0;
+        collect(g->root, g->order, &pos);
+        if (xt_create_mthread(kforce, g as int, 0, g->nt - 1) != 0) {{ return -1; }}
+        xt_wait(g->done, 0, g->nt - 1);
+        integrate(g->bodies);
+    }}
+    print_int({end});
+    return checksum(g->bodies);
+}}
+"#,
+        common = common_xc(p),
+        threads = p.threads(),
+        start = MARK_START,
+        end = MARK_END,
+    )
+}
+
+/// Single-CPU version (the Figure 7 "AMD CPU" baseline).
+pub fn cpu_source(p: &BhParams) -> String {
+    format!(
+        r#"{common}
+_CPU_ fn main() -> int {{
+    arena_cur = 0; arena_end = 0;
+    let bodies: Body* = malloc(NB * sizeof(Body)) as Body*;
+    init_bodies(bodies);
+    print_int({start});
+    for (let s = 0; s < STEPS; s = s + 1) {{
+        let root = build_tree(bodies);
+        for (let i = 0; i < NB; i = i + 1) {{
+            let b = bodies[i];
+            b->ax = 0.0; b->ay = 0.0;
+            force(root, i, bodies);
+        }}
+        integrate(bodies);
+    }}
+    print_int({end});
+    return checksum(bodies);
+}}
+"#,
+        common = common_xc(p),
+        start = MARK_START,
+        end = MARK_END,
+    )
+}
+
+/// pthreads-style version: the force phase fans out over `ncpus` CPU threads
+/// (spawned per step, Figure 7's "pthreads version … with 4 threads").
+pub fn pthreads_source(p: &BhParams, ncpus: u64) -> String {
+    format!(
+        r#"{common}
+const NCPU = {ncpus};
+struct Args {{ bodies: Body*; root: QNode*; done: int*; }}
+global gargs: int;
+
+fn force_slice(t: int, g: Args*) {{
+    let per = (NB + NCPU - 1) / NCPU;
+    let lo = t * per;
+    let hi = lo + per;
+    if (hi > NB) {{ hi = NB; }}
+    for (let i = lo; i < hi; i = i + 1) {{
+        let b = g->bodies[i];
+        b->ax = 0.0; b->ay = 0.0;
+        force(g->root, i, g->bodies);
+    }}
+}}
+
+fn worker(t: int) -> int {{
+    let g: Args* = gargs as Args*;
+    force_slice(t, g);
+    g->done[t] = 1;
+    return 0;
+}}
+
+_CPU_ fn main() -> int {{
+    arena_cur = 0; arena_end = 0;
+    let g: Args* = malloc(sizeof(Args));
+    g->bodies = malloc(NB * sizeof(Body)) as Body*;
+    g->done = malloc(NCPU * 8);
+    gargs = g as int;
+    init_bodies(g->bodies);
+    print_int({start});
+    for (let s = 0; s < STEPS; s = s + 1) {{
+        g->root = build_tree(g->bodies);
+        for (let t = 1; t < NCPU; t = t + 1) {{
+            g->done[t] = 0;
+            spawn_cthread(worker, t);
+        }}
+        force_slice(0, g);
+        for (let t = 1; t < NCPU; t = t + 1) {{
+            while (g->done[t] == 0) {{ }}
+        }}
+        integrate(g->bodies);
+    }}
+    print_int({end});
+    return checksum(g->bodies);
+}}
+"#,
+        common = common_xc(p),
+        ncpus = ncpus,
+        start = MARK_START,
+        end = MARK_END,
+    )
+}
+
+/// The functional-interpreter oracle checksum for this instance (runs the
+/// CPU version; all versions compute identical IEEE-754 sequences per body).
+pub fn oracle_checksum(p: &BhParams) -> u64 {
+    crate::run_functional(&cpu_source(p), 2_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_and_xthreads_agree_functionally() {
+        let p = BhParams { bodies: 24, steps: 2, max_threads: 8, seed: 9 };
+        let cpu = crate::run_functional(&cpu_source(&p), 1_000_000_000);
+        let xt = crate::run_functional(&xthreads_source(&p), 1_000_000_000);
+        assert_eq!(cpu, xt, "same arithmetic on both versions");
+        assert_ne!(cpu, 0, "bodies moved");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = BhParams { bodies: 16, steps: 1, max_threads: 4, seed: 3 };
+        assert_eq!(oracle_checksum(&p), oracle_checksum(&p));
+    }
+
+    #[test]
+    fn pthreads_source_compiles() {
+        let p = BhParams { bodies: 16, steps: 1, max_threads: 4, seed: 3 };
+        let _ = crate::build(&pthreads_source(&p, 4));
+    }
+}

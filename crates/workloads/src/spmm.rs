@@ -1,0 +1,301 @@
+//! Sparse matrix multiplication over linked non-zero elements
+//! (paper §5.3.2, Figure 8).
+//!
+//! "For extremely large, sparse matrices, the only tractable way to
+//! represent them is with pointer-based data structures that link non-zero
+//! elements." Rows are linked lists of `Node { col, val, next }`. The MTTOP
+//! threads build the **result's** linked rows with `mttop_malloc`, serviced
+//! by a CPU thread running the xthreads malloc server — the paper's
+//! dynamic-allocation mechanism, including its bottleneck at high densities
+//! (Figure 8 right).
+
+use crate::{lcg_xc, MARK_END, MARK_START};
+
+/// Sparse `n×n` integer matrices with `density_ppm/1e6` expected non-zeros.
+#[derive(Clone, Copy, Debug)]
+pub struct SpmmParams {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Non-zero probability in parts per thousand (10 = the paper's 1%... in
+    /// tenths of a percent: 10 ⇒ 1%).
+    pub density_tenths_pct: u64,
+    /// MTTOP threads (one row per thread, grid-stride).
+    pub max_threads: u64,
+    /// LCG seed.
+    pub seed: u64,
+}
+
+impl SpmmParams {
+    /// The paper's fixed-sparsity (1%) configuration.
+    pub fn one_percent(n: u64, seed: u64) -> SpmmParams {
+        SpmmParams { n, density_tenths_pct: 10, max_threads: 1280, seed }
+    }
+
+    /// Threads actually launched (≤ one per row).
+    pub fn threads(&self) -> u64 {
+        self.n.min(self.max_threads).max(1)
+    }
+}
+
+fn common_xc(p: &SpmmParams) -> String {
+    format!(
+        "{lcg}
+         const N = {n};
+         const SEED = {seed};
+         const TH = {th};
+         struct Node {{ col: int; val: int; next: Node*; }}
+         // Builds one sparse matrix's rows (ascending col order) with malloc;
+         // returns the LCG state. rows[i] holds a Node* as int.
+         _CPU_ fn build(rows: int*, x0: int) -> int {{
+             let x = x0;
+             for (let i = 0; i < N; i = i + 1) {{
+                 let head: Node* = 0 as Node*;
+                 for (let j = N - 1; j >= 0; j = j - 1) {{
+                     x = x * LCG_MUL + LCG_ADD;
+                     let r = (x >> 33) % 1000;
+                     if (r < TH) {{
+                         let nn: Node* = malloc(sizeof(Node));
+                         nn->col = j;
+                         nn->val = (x >> 13) % 9 + 1;
+                         nn->next = head;
+                         head = nn;
+                     }}
+                 }}
+                 rows[i] = head as int;
+             }}
+             return x;
+         }}
+         fn checksum_rows(rows: int*) -> int {{
+             let s = 0;
+             for (let i = 0; i < N; i = i + 1) {{
+                 let p: Node* = rows[i] as Node*;
+                 while (p != 0 as Node*) {{
+                     s = s + p->val * ((i * 31 + p->col) % 97 + 1);
+                     p = p->next;
+                 }}
+             }}
+             return s;
+         }}",
+        lcg = lcg_xc(),
+        n = p.n,
+        seed = p.seed,
+        th = p.density_tenths_pct,
+    )
+}
+
+/// CCSVM/xthreads: MTTOP threads compute result rows, allocating result
+/// nodes through `mttop_malloc`; the CPU runs the malloc server.
+pub fn xthreads_source(p: &SpmmParams) -> String {
+    format!(
+        "{common}
+         struct Args {{
+             arows: int*; brows: int*; crows: int*;
+             scratch: int*; req: int*; resp: int*; done: int*; nt: int;
+         }}
+         _MTTOP_ fn spmm(tid: int, g: Args*) {{
+             let i = tid;
+             while (i < N) {{
+                 let acc = g->scratch + tid * N;
+                 for (let j = 0; j < N; j = j + 1) {{ acc[j] = 0; }}
+                 let pa: Node* = g->arows[i] as Node*;
+                 while (pa != 0 as Node*) {{
+                     let k = pa->col;
+                     let va = pa->val;
+                     let pb: Node* = g->brows[k] as Node*;
+                     while (pb != 0 as Node*) {{
+                         acc[pb->col] = acc[pb->col] + va * pb->val;
+                         pb = pb->next;
+                     }}
+                     pa = pa->next;
+                 }}
+                 let head: Node* = 0 as Node*;
+                 for (let j = N - 1; j >= 0; j = j - 1) {{
+                     if (acc[j] != 0) {{
+                         let nn: Node* =
+                             xt_mttop_malloc(g->req, g->resp, tid, sizeof(Node)) as Node*;
+                         nn->col = j;
+                         nn->val = acc[j];
+                         nn->next = head;
+                         head = nn;
+                     }}
+                 }}
+                 g->crows[i] = head as int;
+                 i = i + g->nt;
+             }}
+             xt_msignal(g->done, tid);
+         }}
+         _CPU_ fn main() -> int {{
+             let g: Args* = malloc(sizeof(Args));
+             g->arows = malloc(N * 8);
+             g->brows = malloc(N * 8);
+             g->crows = malloc(N * 8);
+             g->nt = {threads};
+             g->scratch = malloc(g->nt * N * 8);
+             g->req = malloc(g->nt * 8);
+             g->resp = malloc(g->nt * 8);
+             g->done = malloc(g->nt * 8);
+             let x = build(g->arows, SEED);
+             x = build(g->brows, x);
+             for (let t = 0; t < g->nt; t = t + 1) {{
+                 g->req[t] = 0; g->resp[t] = 0; g->done[t] = 0;
+             }}
+             print_int({start});
+             if (xt_create_mthread(spmm, g as int, 0, g->nt - 1) != 0) {{ return -1; }}
+             xt_malloc_server(g->req, g->resp, g->nt, g->done, 0, g->nt - 1);
+             print_int({end});
+             return checksum_rows(g->crows);
+         }}",
+        common = common_xc(p),
+        threads = p.threads(),
+        start = MARK_START,
+        end = MARK_END,
+    )
+}
+
+/// Single-CPU version (regular `malloc`).
+pub fn cpu_source(p: &SpmmParams) -> String {
+    format!(
+        "{common}
+         _CPU_ fn main() -> int {{
+             let arows: int* = malloc(N * 8);
+             let brows: int* = malloc(N * 8);
+             let crows: int* = malloc(N * 8);
+             let acc: int* = malloc(N * 8);
+             let x = build(arows, SEED);
+             x = build(brows, x);
+             print_int({start});
+             for (let i = 0; i < N; i = i + 1) {{
+                 for (let j = 0; j < N; j = j + 1) {{ acc[j] = 0; }}
+                 let pa: Node* = arows[i] as Node*;
+                 while (pa != 0 as Node*) {{
+                     let k = pa->col;
+                     let va = pa->val;
+                     let pb: Node* = brows[k] as Node*;
+                     while (pb != 0 as Node*) {{
+                         acc[pb->col] = acc[pb->col] + va * pb->val;
+                         pb = pb->next;
+                     }}
+                     pa = pa->next;
+                 }}
+                 let head: Node* = 0 as Node*;
+                 for (let j = N - 1; j >= 0; j = j - 1) {{
+                     if (acc[j] != 0) {{
+                         let nn: Node* = malloc(sizeof(Node));
+                         nn->col = j;
+                         nn->val = acc[j];
+                         nn->next = head;
+                         head = nn;
+                     }}
+                 }}
+                 crows[i] = head as int;
+             }}
+             print_int({end});
+             return checksum_rows(crows);
+         }}",
+        common = common_xc(p),
+        start = MARK_START,
+        end = MARK_END,
+    )
+}
+
+/// Rust reference checksum (order-independent, so list order is moot).
+pub fn reference_checksum(p: &SpmmParams) -> u64 {
+    let n = p.n as usize;
+    let mut x = p.seed;
+    let build = |x: &mut u64| -> Vec<Vec<(usize, i64)>> {
+        let mut rows = vec![Vec::new(); n];
+        for row in rows.iter_mut() {
+            // Guest iterates j from N-1 down to 0.
+            for j in (0..n).rev() {
+                *x = crate::lcg_next(*x);
+                if (*x >> 33) % 1000 < p.density_tenths_pct {
+                    row.push((j, ((*x >> 13) % 9 + 1) as i64));
+                }
+            }
+            row.reverse(); // ascending col, like the guest list
+        }
+        rows
+    };
+    let a = build(&mut x);
+    let b = build(&mut x);
+    let mut s: i64 = 0;
+    for i in 0..n {
+        let mut acc = vec![0i64; n];
+        for &(k, va) in &a[i] {
+            for &(j, vb) in &b[k] {
+                acc[j] += va * vb;
+            }
+        }
+        for (j, &v) in acc.iter().enumerate() {
+            if v != 0 {
+                s = s.wrapping_add(v.wrapping_mul(((i * 31 + j) % 97 + 1) as i64));
+            }
+        }
+    }
+    s as u64
+}
+
+/// Expected number of result-node allocations (drives the Figure 8
+/// malloc-bottleneck analysis).
+pub fn reference_allocations(p: &SpmmParams) -> u64 {
+    let n = p.n as usize;
+    let mut x = p.seed;
+    let build = |x: &mut u64| -> Vec<Vec<(usize, i64)>> {
+        let mut rows = vec![Vec::new(); n];
+        for row in rows.iter_mut() {
+            for j in (0..n).rev() {
+                *x = crate::lcg_next(*x);
+                if (*x >> 33) % 1000 < p.density_tenths_pct {
+                    row.push((j, 1));
+                }
+            }
+        }
+        rows
+    };
+    let a = build(&mut x);
+    let b = build(&mut x);
+    let mut total = 0u64;
+    for i in 0..n {
+        let mut nz = vec![false; n];
+        for &(k, _) in &a[i] {
+            for &(j, _) in &b[k] {
+                nz[j] = true;
+            }
+        }
+        total += nz.iter().filter(|&&z| z).count() as u64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_version_matches_reference() {
+        for (n, th) in [(8, 100), (12, 300), (16, 50)] {
+            let p = SpmmParams { n, density_tenths_pct: th, max_threads: 8, seed: 11 };
+            let got = crate::run_functional(&cpu_source(&p), 500_000_000);
+            assert_eq!(got, reference_checksum(&p), "n={n} th={th}");
+        }
+    }
+
+    #[test]
+    fn dense_limit_matches_matmul_shape() {
+        // 100% density: every row full.
+        let p = SpmmParams { n: 6, density_tenths_pct: 1000, max_threads: 4, seed: 2 };
+        assert_eq!(reference_allocations(&p), 36);
+        let got = crate::run_functional(&cpu_source(&p), 500_000_000);
+        assert_eq!(got, reference_checksum(&p));
+    }
+
+    #[test]
+    fn zero_density_allocates_nothing() {
+        let p = SpmmParams { n: 8, density_tenths_pct: 0, max_threads: 4, seed: 2 };
+        assert_eq!(reference_allocations(&p), 0);
+        assert_eq!(reference_checksum(&p), 0);
+    }
+
+    // The xthreads version needs the malloc server (CPU/MTTOP concurrency):
+    // validated on the timing machine in `tests/workloads.rs`.
+}

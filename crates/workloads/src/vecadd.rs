@@ -1,0 +1,84 @@
+//! Vector addition — the paper's running example (Figures 3 and 4).
+//!
+//! The xthreads version below is a direct port of Figure 4; the paper's
+//! Figure 3 shows the ~70-line OpenCL equivalent (see
+//! `examples/opencl_vs_xthreads.rs` for the code-size comparison).
+
+use crate::{lcg_xc, MARK_END, MARK_START};
+
+/// `n`-element integer vectors.
+#[derive(Clone, Copy, Debug)]
+pub struct VecaddParams {
+    /// Element count (also the thread count, as in Figure 4).
+    pub n: u64,
+    /// LCG seed.
+    pub seed: u64,
+}
+
+/// The Figure 4 program: one thread per element.
+pub fn xthreads_source(p: &VecaddParams) -> String {
+    format!(
+        "{lcg}
+         const N = {n};
+         const SEED = {seed};
+         struct Args {{ v1: int*; v2: int*; sum: int*; done: int*; }}
+         _MTTOP_ fn add(tid: int, a: Args*) {{
+             a->sum[tid] = a->v1[tid] + a->v2[tid];
+             xt_msignal(a->done, tid);
+         }}
+         _CPU_ fn main() -> int {{
+             let a: Args* = malloc(sizeof(Args));
+             a->v1 = malloc(N * 8);
+             a->v2 = malloc(N * 8);
+             a->sum = malloc(N * 8);
+             a->done = malloc(N * 8);
+             let x = SEED;
+             for (let i = 0; i < N; i = i + 1) {{
+                 x = x * LCG_MUL + LCG_ADD;
+                 a->v1[i] = (x >> 33) % 1000;
+                 x = x * LCG_MUL + LCG_ADD;
+                 a->v2[i] = (x >> 33) % 1000;
+                 a->done[i] = 0;
+             }}
+             print_int({start});
+             if (xt_create_mthread(add, a as int, 0, N - 1) != 0) {{ return -1; }}
+             xt_wait(a->done, 0, N - 1);
+             print_int({end});
+             let s = 0;
+             for (let i = 0; i < N; i = i + 1) {{ s = s + a->sum[i]; }}
+             return s;
+         }}",
+        lcg = lcg_xc(),
+        n = p.n,
+        seed = p.seed,
+        start = MARK_START,
+        end = MARK_END,
+    )
+}
+
+/// Rust reference: expected sum of all elements.
+pub fn reference_checksum(p: &VecaddParams) -> u64 {
+    let mut x = p.seed;
+    let mut s: i64 = 0;
+    for _ in 0..p.n {
+        x = crate::lcg_next(x);
+        s += ((x >> 33) % 1000) as i64;
+        x = crate::lcg_next(x);
+        s += ((x >> 33) % 1000) as i64;
+    }
+    s as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_matches_reference() {
+        for n in [1, 8, 100] {
+            let p = VecaddParams { n, seed: 5 };
+            let got = crate::run_functional(&xthreads_source(&p), 100_000_000);
+            assert_eq!(got, reference_checksum(&p), "n={n}");
+        }
+    }
+}

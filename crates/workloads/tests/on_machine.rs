@@ -1,0 +1,88 @@
+//! Workloads on the timing machine: every benchmark's guest result must
+//! match its reference, with real launches, barriers, malloc servers and
+//! coherence in play.
+
+use ccsvm::{Machine, SystemConfig};
+use ccsvm_workloads as wl;
+
+fn run_timed(src: &str, cfg: SystemConfig) -> (u64, ccsvm_engine::Time, ccsvm::RunReport) {
+    let prog = wl::build(src);
+    let mut m = Machine::new(cfg, prog);
+    let r = m.run();
+    let region = wl::region_time(&r.printed, &r.printed_at, r.time);
+    (r.exit_code, region, r)
+}
+
+fn small_chip() -> SystemConfig {
+    let mut c = SystemConfig::tiny();
+    c.max_sim_time = ccsvm_engine::Time::from_ms(2_000);
+    c
+}
+
+#[test]
+fn vecadd_checksum_and_markers() {
+    let p = wl::vecadd::VecaddParams { n: 48, seed: 1 };
+    let (code, region, r) = run_timed(&wl::vecadd::xthreads_source(&p), small_chip());
+    assert_eq!(code, wl::vecadd::reference_checksum(&p));
+    assert!(region > ccsvm_engine::Time::ZERO);
+    assert!(region < r.time, "markers exclude init");
+}
+
+#[test]
+fn matmul_xthreads_matches_reference() {
+    let p = wl::matmul::MatmulParams { n: 8, max_threads: 32, seed: 4 };
+    let (code, _, _) = run_timed(&wl::matmul::xthreads_source(&p), small_chip());
+    assert_eq!(code, wl::matmul::reference_checksum(&p));
+}
+
+#[test]
+fn matmul_cpu_matches_reference() {
+    let p = wl::matmul::MatmulParams { n: 8, max_threads: 32, seed: 4 };
+    let (code, _, _) = run_timed(&wl::matmul::cpu_source(&p), small_chip());
+    assert_eq!(code, wl::matmul::reference_checksum(&p));
+}
+
+#[test]
+fn apsp_xthreads_barriers_converge() {
+    // Per-k CPU+MTTOP barriers across 2 MTTOP cores.
+    let p = wl::apsp::ApspParams { n: 6, max_threads: 16, seed: 13 };
+    let (code, _, r) = run_timed(&wl::apsp::xthreads_source(&p), small_chip());
+    assert_eq!(code, wl::apsp::reference_checksum(&p));
+    assert_eq!(r.stats.get("mifd.launches"), 1.0, "one launch, N barriers");
+}
+
+#[test]
+fn spmm_xthreads_with_malloc_server() {
+    let p = wl::spmm::SpmmParams { n: 12, density_tenths_pct: 150, max_threads: 8, seed: 21 };
+    let (code, _, _) = run_timed(&wl::spmm::xthreads_source(&p), small_chip());
+    assert_eq!(code, wl::spmm::reference_checksum(&p));
+}
+
+#[test]
+fn barnes_hut_xthreads_matches_oracle() {
+    let p = wl::barnes_hut::BhParams { bodies: 16, steps: 1, max_threads: 8, seed: 17 };
+    let oracle = wl::barnes_hut::oracle_checksum(&p);
+    let (code, _, _) = run_timed(&wl::barnes_hut::xthreads_source(&p), small_chip());
+    assert_eq!(code, oracle);
+}
+
+#[test]
+fn barnes_hut_pthreads_matches_oracle() {
+    let p = wl::barnes_hut::BhParams { bodies: 16, steps: 1, max_threads: 8, seed: 17 };
+    let oracle = wl::barnes_hut::oracle_checksum(&p);
+    let (code, _, _) = run_timed(&wl::barnes_hut::pthreads_source(&p, 2), small_chip());
+    assert_eq!(code, oracle);
+}
+
+#[test]
+fn offload_beats_single_cpu_on_parallel_work() {
+    // The paper's core claim in miniature: with enough parallel work, the
+    // MTTOP offload (even on the tiny chip) beats one slow CPU core.
+    let p = wl::matmul::MatmulParams { n: 32, max_threads: 64, seed: 2 };
+    let (_, t_xt, _) = run_timed(&wl::matmul::xthreads_source(&p), small_chip());
+    let (_, t_cpu, _) = run_timed(&wl::matmul::cpu_source(&p), small_chip());
+    assert!(
+        t_xt < t_cpu,
+        "offload {t_xt} should beat single CPU {t_cpu}"
+    );
+}

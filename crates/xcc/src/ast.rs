@@ -1,0 +1,174 @@
+//! XC abstract syntax.
+
+/// An XC type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit signed integer (also used for booleans).
+    Int,
+    /// IEEE-754 double.
+    Float,
+    /// Pointer to `pointee`.
+    Ptr(Box<Type>),
+    /// A named struct (only valid behind a pointer).
+    Struct(String),
+}
+
+impl Type {
+    /// Pointer-to-self convenience.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Whether this is any pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Whether values of this type live in a register as an integer
+    /// (ints, pointers, booleans).
+    pub fn is_int_like(&self) -> bool {
+        !matches!(self, Type::Float)
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Ptr(p) => write!(f, "{p}*"),
+            Type::Struct(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Which core type a function is compiled for (paper §4: `_CPU_` and
+/// `_MTTOP_` markers; unmarked functions are shared).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FnKind {
+    /// Runs on CPU cores; may use OS builtins.
+    Cpu,
+    /// Runs on MTTOP cores; OS builtins are rejected.
+    Mttop,
+    /// Callable from both; OS builtins are rejected.
+    Shared,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    LogicalAnd, LogicalOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg, Not, Deref,
+}
+
+/// An expression, tagged with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    pub(crate) line: usize,
+    pub(crate) kind: ExprKind,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    /// Variable, global, const, or function name.
+    Name(String),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Un(UnOp, Box<Expr>),
+    /// `&lvalue`.
+    AddrOf(Box<Expr>),
+    /// `base[index]` (scaled by pointee size).
+    Index(Box<Expr>, Box<Expr>),
+    /// `base->field` (base must be a struct pointer).
+    Field(Box<Expr>, String),
+    /// `callee(args)`; callee is a name (direct, builtin) or expression
+    /// (indirect through a function pointer).
+    Call(Box<Expr>, Vec<Expr>),
+    /// `expr as type`.
+    Cast(Box<Expr>, Type),
+    /// `sizeof(TypeName)`.
+    SizeOf(Type),
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Stmt {
+    Let {
+        line: usize,
+        name: String,
+        ty: Option<Type>,
+        init: Expr,
+    },
+    Assign {
+        line: usize,
+        target: Expr,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_blk: Vec<Stmt>,
+        else_blk: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    Return {
+        line: usize,
+        value: Option<Expr>,
+    },
+    Break {
+        line: usize,
+    },
+    Continue {
+        line: usize,
+    },
+    ExprStmt(Expr),
+    Block(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct FnDef {
+    pub line: usize,
+    pub kind: FnKind,
+    pub name: String,
+    pub params: Vec<(String, Type)>,
+    pub ret: Type,
+    pub body: Vec<Stmt>,
+}
+
+/// A struct definition (fields are 8 bytes each, in declaration order).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct StructDef {
+    pub name: String,
+    pub fields: Vec<(String, Type)>,
+}
+
+/// Top-level items.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Item {
+    Struct(StructDef),
+    Global {
+        line: usize,
+        name: String,
+        ty: Type,
+    },
+    Const {
+        line: usize,
+        name: String,
+        value: Expr,
+    },
+    Fn(FnDef),
+}

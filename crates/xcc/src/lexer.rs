@@ -1,0 +1,262 @@
+//! XC lexer.
+
+use crate::{cerr, CompileError};
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Arrow,     // ->
+    Assign,    // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Not,    // !
+    AndAnd, // &&
+    OrOr,   // ||
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Dot,
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= n {
+                    return cerr(line, "unterminated block comment");
+                }
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                if c == '0' && i + 1 < n && bytes[i + 1] == 'x' {
+                    i += 2;
+                    while i < n && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[start + 2..i].iter().collect();
+                    let v = u64::from_str_radix(&text, 16)
+                        .map_err(|_| CompileError {
+                            line,
+                            message: format!("bad hex literal `0x{text}`"),
+                        })?;
+                    out.push(Token { tok: Tok::Int(v as i64), line });
+                    continue;
+                }
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A float needs `digit . digit` (not `..` or method-ish).
+                if i + 1 < n && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if i < n && (bytes[i] == 'e' || bytes[i] == 'E') {
+                        i += 1;
+                        if i < n && (bytes[i] == '+' || bytes[i] == '-') {
+                            i += 1;
+                        }
+                        while i < n && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    let v: f64 = text.parse().map_err(|_| CompileError {
+                        line,
+                        message: format!("bad float literal `{text}`"),
+                    })?;
+                    out.push(Token { tok: Tok::Float(v), line });
+                } else {
+                    let text: String = bytes[start..i].iter().collect();
+                    let v: i64 = text.parse().map_err(|_| CompileError {
+                        line,
+                        message: format!("bad integer literal `{text}`"),
+                    })?;
+                    out.push(Token { tok: Tok::Int(v), line });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            _ => {
+                let two = |a: char, b: char| -> bool {
+                    c == a && i + 1 < n && bytes[i + 1] == b
+                };
+                let (tok, len) = if two('-', '>') {
+                    (Tok::Arrow, 2)
+                } else if two('&', '&') {
+                    (Tok::AndAnd, 2)
+                } else if two('|', '|') {
+                    (Tok::OrOr, 2)
+                } else if two('=', '=') {
+                    (Tok::EqEq, 2)
+                } else if two('!', '=') {
+                    (Tok::NotEq, 2)
+                } else if two('<', '=') {
+                    (Tok::Le, 2)
+                } else if two('>', '=') {
+                    (Tok::Ge, 2)
+                } else if two('<', '<') {
+                    (Tok::Shl, 2)
+                } else if two('>', '>') {
+                    (Tok::Shr, 2)
+                } else {
+                    let t = match c {
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ';' => Tok::Semi,
+                        ':' => Tok::Colon,
+                        ',' => Tok::Comma,
+                        '=' => Tok::Assign,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '&' => Tok::Amp,
+                        '|' => Tok::Pipe,
+                        '^' => Tok::Caret,
+                        '!' => Tok::Not,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        '.' => Tok::Dot,
+                        other => {
+                            return cerr(line, format!("unexpected character `{other}`"))
+                        }
+                    };
+                    (t, 1)
+                };
+                out.push(Token { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_numbers() {
+        assert_eq!(
+            kinds("foo 42 0x1F 2.5 1.0e3"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Int(42),
+                Tok::Int(31),
+                Tok::Float(2.5),
+                Tok::Float(1000.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_two_char_priority() {
+        assert_eq!(
+            kinds("-> && || == != <= >= << >> < > = !"),
+            vec![
+                Tok::Arrow, Tok::AndAnd, Tok::OrOr, Tok::EqEq, Tok::NotEq,
+                Tok::Le, Tok::Ge, Tok::Shl, Tok::Shr, Tok::Lt, Tok::Gt,
+                Tok::Assign, Tok::Not, Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn int_dot_without_digit_is_not_float() {
+        // `p.x` style postfix must not eat `2.` as a float start.
+        assert_eq!(
+            kinds("2.x"),
+            vec![Tok::Int(2), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("`").is_err());
+        assert!(lex("/* unterminated").is_err());
+        let e = lex("a\nb\n`").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

@@ -1,0 +1,658 @@
+//! XC recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use crate::{cerr, CompileError};
+
+pub(crate) fn parse(tokens: Vec<Token>) -> Result<Vec<Item>, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at(&Tok::Eof) {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.at(t) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            cerr(self.line(), format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => cerr(line, format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ----- items ---------------------------------------------------------
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        let line = self.line();
+        if self.eat_kw("struct") {
+            return self.struct_def();
+        }
+        if self.eat_kw("global") {
+            let name = self.ident("global name")?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let ty = self.ty()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Item::Global { line, name, ty });
+        }
+        if self.eat_kw("const") {
+            let name = self.ident("const name")?;
+            self.expect(&Tok::Assign, "`=`")?;
+            let value = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Item::Const { line, name, value });
+        }
+        let kind = if self.eat_kw("_CPU_") {
+            FnKind::Cpu
+        } else if self.eat_kw("_MTTOP_") {
+            FnKind::Mttop
+        } else {
+            FnKind::Shared
+        };
+        if self.eat_kw("fn") {
+            return self.fn_def(kind, line);
+        }
+        cerr(line, format!("expected item, found {:?}", self.peek()))
+    }
+
+    fn struct_def(&mut self) -> Result<Item, CompileError> {
+        let name = self.ident("struct name")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let fname = self.ident("field name")?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let ty = self.ty()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            fields.push((fname, ty));
+        }
+        Ok(Item::Struct(StructDef { name, fields }))
+    }
+
+    fn fn_def(&mut self, kind: FnKind, line: usize) -> Result<Item, CompileError> {
+        let name = self.ident("function name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        while !self.eat(&Tok::RParen) {
+            if !params.is_empty() {
+                self.expect(&Tok::Comma, "`,`")?;
+            }
+            let pname = self.ident("parameter name")?;
+            self.expect(&Tok::Colon, "`:`")?;
+            params.push((pname, self.ty()?));
+        }
+        let ret = if self.eat(&Tok::Arrow) {
+            self.ty()?
+        } else {
+            Type::Int
+        };
+        let body = self.block()?;
+        Ok(Item::Fn(FnDef {
+            line,
+            kind,
+            name,
+            params,
+            ret,
+            body,
+        }))
+    }
+
+    fn ty(&mut self) -> Result<Type, CompileError> {
+        let line = self.line();
+        let base = match self.bump() {
+            Tok::Ident(s) if s == "int" => Type::Int,
+            Tok::Ident(s) if s == "float" => Type::Float,
+            Tok::Ident(s) => Type::Struct(s),
+            other => return cerr(line, format!("expected type, found {other:?}")),
+        };
+        let mut ty = base;
+        while self.eat(&Tok::Star) {
+            ty = ty.ptr_to();
+        }
+        Ok(ty)
+    }
+
+    // ----- statements ----------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.at(&Tok::LBrace) {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        if self.eat_kw("let") {
+            let name = self.ident("variable name")?;
+            let ty = if self.eat(&Tok::Colon) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
+            self.expect(&Tok::Assign, "`=`")?;
+            let init = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Let { line, name, ty, init });
+        }
+        if self.eat_kw("if") {
+            return self.if_stmt();
+        }
+        if self.eat_kw("while") {
+            self.expect(&Tok::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen, "`)`")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            return self.for_stmt();
+        }
+        if self.eat_kw("return") {
+            let value = if self.at(&Tok::Semi) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Return { line, value });
+        }
+        if self.eat_kw("break") {
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Break { line });
+        }
+        if self.eat_kw("continue") {
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Continue { line });
+        }
+        // Expression or assignment.
+        let e = self.expr()?;
+        if self.eat(&Tok::Assign) {
+            let value = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Assign { line, target: e, value });
+        }
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat_kw("else") {
+            if self.at_kw("if") {
+                self.bump();
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        })
+    }
+
+    /// `for (init; cond; step) body` desugars to `{ init; while (cond) { body; step; } }`.
+    /// `continue` inside a `for` is rejected (it would skip `step`).
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let init = self.simple_stmt()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        let step = self.simple_stmt()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        let mut body = self.block()?;
+        if contains_continue(&body) {
+            return cerr(
+                self.line(),
+                "`continue` inside `for` is not supported (use `while`)",
+            );
+        }
+        body.push(step);
+        Ok(Stmt::Block(vec![
+            init,
+            Stmt::While { cond, body },
+        ]))
+    }
+
+    /// `let x = e` or `lvalue = e` or a bare expression (no semicolon).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.eat_kw("let") {
+            let name = self.ident("variable name")?;
+            let ty = if self.eat(&Tok::Colon) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
+            self.expect(&Tok::Assign, "`=`")?;
+            let init = self.expr()?;
+            return Ok(Stmt::Let { line, name, ty, init });
+        }
+        let e = self.expr()?;
+        if self.eat(&Tok::Assign) {
+            let value = self.expr()?;
+            return Ok(Stmt::Assign { line, target: e, value });
+        }
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    // ----- expressions (precedence climbing) ------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.logical_or()
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.logical_and()?;
+        while self.at(&Tok::OrOr) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.logical_and()?;
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(BinOp::LogicalOr, Box::new(e), Box::new(rhs)),
+            };
+        }
+        Ok(e)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.bit_or()?;
+        while self.at(&Tok::AndAnd) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bit_or()?;
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(BinOp::LogicalAnd, Box::new(e), Box::new(rhs)),
+            };
+        }
+        Ok(e)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.bit_xor()?;
+        while self.at(&Tok::Pipe) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bit_xor()?;
+            e = Expr { line, kind: ExprKind::Bin(BinOp::Or, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.bit_and()?;
+        while self.at(&Tok::Caret) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.bit_and()?;
+            e = Expr { line, kind: ExprKind::Bin(BinOp::Xor, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.equality()?;
+        while self.at(&Tok::Amp) && !matches!(self.peek2(), Tok::Amp) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.equality()?;
+            e = Expr { line, kind: ExprKind::Bin(BinOp::And, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.relational()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.shift()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.additive()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.multiplicative()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.cast()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.cast()?;
+            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+        }
+        Ok(e)
+    }
+
+    fn cast(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.unary()?;
+        while self.at_kw("as") {
+            let line = self.line();
+            self.bump();
+            let ty = self.ty()?;
+            e = Expr { line, kind: ExprKind::Cast(Box::new(e), ty) };
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat(&Tok::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Neg, Box::new(e)) });
+        }
+        if self.eat(&Tok::Not) {
+            let e = self.unary()?;
+            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Not, Box::new(e)) });
+        }
+        if self.eat(&Tok::Star) {
+            let e = self.unary()?;
+            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Deref, Box::new(e)) });
+        }
+        if self.eat(&Tok::Amp) {
+            let e = self.unary()?;
+            return Ok(Expr { line, kind: ExprKind::AddrOf(Box::new(e)) });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            let line = self.line();
+            if self.eat(&Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+            } else if self.eat(&Tok::Arrow) {
+                let field = self.ident("field name")?;
+                e = Expr { line, kind: ExprKind::Field(Box::new(e), field) };
+            } else if self.eat(&Tok::LParen) {
+                let mut args = Vec::new();
+                while !self.eat(&Tok::RParen) {
+                    if !args.is_empty() {
+                        self.expect(&Tok::Comma, "`,`")?;
+                    }
+                    args.push(self.expr()?);
+                }
+                e = Expr { line, kind: ExprKind::Call(Box::new(e), args) };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr { line, kind: ExprKind::IntLit(v) }),
+            Tok::Float(v) => Ok(Expr { line, kind: ExprKind::FloatLit(v) }),
+            Tok::Ident(s) if s == "sizeof" => {
+                self.expect(&Tok::LParen, "`(`")?;
+                let ty = self.ty()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Expr { line, kind: ExprKind::SizeOf(ty) })
+            }
+            Tok::Ident(s) => Ok(Expr { line, kind: ExprKind::Name(s) }),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => cerr(line, format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+fn contains_continue(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Continue { .. } => true,
+        Stmt::If { then_blk, else_blk, .. } => {
+            contains_continue(then_blk) || contains_continue(else_blk)
+        }
+        Stmt::Block(b) => contains_continue(b),
+        // `continue` inside a nested loop binds to that loop: fine.
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Vec<Item> {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_struct_global_const_fn() {
+        let items = parse_ok(
+            "struct P { x: int; y: float; }
+             global counter: int;
+             const N = 4 * 8;
+             _CPU_ fn main() { let a = N; }
+             _MTTOP_ fn k(tid: int, p: P*) -> int { return tid; }
+             fn helper(a: float) -> float { return a; }",
+        );
+        assert_eq!(items.len(), 6);
+        match &items[4] {
+            Item::Fn(f) => {
+                assert_eq!(f.kind, FnKind::Mttop);
+                assert_eq!(f.params.len(), 2);
+                assert_eq!(f.params[1].1, Type::Struct("P".into()).ptr_to());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let items = parse_ok("fn f() { let x = 1 + 2 * 3 < 4 && 5 == 6; }");
+        let Item::Fn(f) = &items[0] else { panic!() };
+        let Stmt::Let { init, .. } = &f.body[0] else { panic!() };
+        // Top node must be LogicalAnd.
+        match &init.kind {
+            ExprKind::Bin(BinOp::LogicalAnd, l, _) => match &l.kind {
+                ExprKind::Bin(BinOp::Lt, a, _) => match &a.kind {
+                    ExprKind::Bin(BinOp::Add, _, m) => {
+                        assert!(matches!(m.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+                    }
+                    o => panic!("{o:?}"),
+                },
+                o => panic!("{o:?}"),
+            },
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn postfix_chains() {
+        let items = parse_ok("fn f(a: P*) { a->next[3]->val = 7; } struct P { next: P*; val: int; }");
+        let Item::Fn(f) = &items[0] else { panic!() };
+        assert!(matches!(&f.body[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let items = parse_ok("fn f() { for (let i = 0; i < 4; i = i + 1) { } }");
+        let Item::Fn(f) = &items[0] else { panic!() };
+        let Stmt::Block(b) = &f.body[0] else { panic!() };
+        assert!(matches!(b[0], Stmt::Let { .. }));
+        assert!(matches!(b[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn continue_in_for_rejected() {
+        let toks = lex("fn f() { for (let i = 0; i < 4; i = i + 1) { continue; } }").unwrap();
+        assert!(parse(toks).unwrap_err().message.contains("continue"));
+    }
+
+    #[test]
+    fn if_else_chain_and_address_of() {
+        parse_ok(
+            "fn f(x: int) -> int {
+                if (x > 0) { return 1; }
+                else if (x < 0) { return 0 - 1; }
+                else { let p = &x; return *p; }
+             }",
+        );
+    }
+
+    #[test]
+    fn casts_and_sizeof() {
+        parse_ok("struct S { a: int; b: int; } fn f() { let x = 3 as float; let n = sizeof(S); }");
+    }
+
+    #[test]
+    fn bitand_vs_logical_and_disambiguation() {
+        let items = parse_ok("fn f(a: int, b: int) { let x = a & b; let y = a && b; }");
+        let Item::Fn(f) = &items[0] else { panic!() };
+        let Stmt::Let { init, .. } = &f.body[0] else { panic!() };
+        assert!(matches!(init.kind, ExprKind::Bin(BinOp::And, _, _)));
+        let Stmt::Let { init, .. } = &f.body[1] else { panic!() };
+        assert!(matches!(init.kind, ExprKind::Bin(BinOp::LogicalAnd, _, _)));
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let e = parse(lex("fn f() {\n let = 3;\n}").unwrap()).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Differential fuzzing of the compiler: generate random integer expression
+//! trees, compile them, run them on the reference interpreter, and compare
+//! against direct evaluation in Rust. Catches codegen bugs in precedence,
+//! register-window management, immediate peepholes, and branch fusion.
+
+use ccsvm_isa::{FlatMem, FuncOs, Interp};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// A generated expression: its XC source and its Rust-evaluated value given
+/// variables a, b, c.
+#[derive(Clone, Debug)]
+struct GenExpr {
+    src: String,
+    eval: i64,
+}
+
+fn leaf(a: i64, b: i64, c: i64) -> impl Strategy<Value = GenExpr> {
+    prop_oneof![
+        (-100i64..100).prop_map(|v| GenExpr { src: format!("{v}"), eval: v }),
+        Just(GenExpr { src: "a".into(), eval: a }),
+        Just(GenExpr { src: "b".into(), eval: b }),
+        Just(GenExpr { src: "c".into(), eval: c }),
+    ]
+}
+
+fn expr(a: i64, b: i64, c: i64) -> impl Strategy<Value = GenExpr> {
+    leaf(a, b, c).prop_recursive(4, 32, 3, |inner| {
+        (inner.clone(), inner.clone(), 0usize..12).prop_map(|(l, r, op)| {
+            let (sym, val): (&str, i64) = match op {
+                0 => ("+", l.eval.wrapping_add(r.eval)),
+                1 => ("-", l.eval.wrapping_sub(r.eval)),
+                2 => ("*", l.eval.wrapping_mul(r.eval)),
+                3 => (
+                    "/",
+                    if r.eval == 0 { 0 } else { l.eval.wrapping_div(r.eval) },
+                ),
+                4 => (
+                    "%",
+                    if r.eval == 0 { l.eval } else { l.eval.wrapping_rem(r.eval) },
+                ),
+                5 => ("&", l.eval & r.eval),
+                6 => ("|", l.eval | r.eval),
+                7 => ("^", l.eval ^ r.eval),
+                8 => ("<", (l.eval < r.eval) as i64),
+                9 => ("<=", (l.eval <= r.eval) as i64),
+                10 => ("==", (l.eval == r.eval) as i64),
+                _ => ("!=", (l.eval != r.eval) as i64),
+            };
+            GenExpr {
+                src: format!("({} {sym} {})", l.src, r.src),
+                eval: val,
+            }
+        })
+    })
+}
+
+fn run_main(src: &str) -> i64 {
+    let p = ccsvm_xcc::compile_to_program(src)
+        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let mut mem = FlatMem::new();
+    let mut os = FuncOs::new();
+    let mut t = Interp::new(p.entry("__start"), 0);
+    t.run(&p, &mut mem, &mut os, 10_000_000)
+        .unwrap_or_else(|e| panic!("trapped: {e:?}\n{src}"));
+    t.regs[1] as i64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Compiled arithmetic equals Rust arithmetic (division-by-zero follows
+    /// the ISA's defined semantics, which the generator mirrors).
+    #[test]
+    fn compiled_expressions_match_rust(
+        a in -50i64..50,
+        b in -50i64..50,
+        c in 1i64..50,
+        seed in any::<u64>(),
+    ) {
+        // Use the seed to pick a deterministic expression via a nested
+        // runner (proptest strategies need a test runner to sample).
+        let mut runner = proptest::test_runner::TestRunner::new_with_rng(
+            proptest::test_runner::Config::default(),
+            proptest::test_runner::TestRng::from_seed(
+                proptest::test_runner::RngAlgorithm::ChaCha,
+                &{
+                    let mut s = [0u8; 32];
+                    s[..8].copy_from_slice(&seed.to_le_bytes());
+                    s
+                },
+            ),
+        );
+        let g = expr(a, b, c)
+            .new_tree(&mut runner)
+            .expect("generate")
+            .current();
+        let src = format!(
+            "_CPU_ fn main() -> int {{
+                let a = {a};
+                let b = {b};
+                let c = {c};
+                return {};
+            }}",
+            g.src
+        );
+        prop_assert_eq!(run_main(&src), g.eval, "source:\n{}", src);
+    }
+
+    /// The same expressions embedded in an if-condition take the right arm
+    /// (exercises branch-on-compare fusion and logical lowering).
+    #[test]
+    fn compiled_conditions_branch_correctly(
+        a in -20i64..20,
+        b in -20i64..20,
+        op in 0usize..6,
+    ) {
+        let (sym, truth) = match op {
+            0 => ("<", a < b),
+            1 => ("<=", a <= b),
+            2 => (">", a > b),
+            3 => (">=", a >= b),
+            4 => ("==", a == b),
+            _ => ("!=", a != b),
+        };
+        let src = format!(
+            "_CPU_ fn main() -> int {{
+                let a = {a};
+                let b = {b};
+                if (a {sym} b) {{ return 1; }}
+                return 0;
+            }}"
+        );
+        prop_assert_eq!(run_main(&src), truth as i64);
+    }
+
+    /// Loop-carried accumulation over random bounds.
+    #[test]
+    fn compiled_loops_accumulate(n in 0i64..200, step in 1i64..7) {
+        let src = format!(
+            "_CPU_ fn main() -> int {{
+                let s = 0;
+                for (let i = 0; i < {n}; i = i + {step}) {{ s = s + i; }}
+                return s;
+            }}"
+        );
+        let mut expect = 0i64;
+        let mut i = 0;
+        while i < n {
+            expect += i;
+            i += step;
+        }
+        prop_assert_eq!(run_main(&src), expect);
+    }
+}

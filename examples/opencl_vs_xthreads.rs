@@ -1,0 +1,105 @@
+//! The paper's Figures 3 and 4 side by side: vector addition in OpenCL
+//! (what the loosely-coupled APU requires) versus xthreads (what CCSVM
+//! enables). "Increased code complexity obviously does not directly lead to
+//! poorer performance, but it does reveal situations in which more work
+//! must be done." (§4.4)
+//!
+//! ```text
+//! cargo run --release --example opencl_vs_xthreads
+//! ```
+
+use ccsvm_workloads::vecadd::{reference_checksum, xthreads_source, VecaddParams};
+
+/// The paper's Figure 3 host + kernel code, verbatim in structure (what a
+/// programmer must write for the APU path).
+const OPENCL_LISTING: &str = r#"
+__kernel void vector_add(__global int *v1, __global int *v2, __global int *sum) {
+    unsigned int tid = get_global_id(0);
+    sum[tid] = v1[tid] + v2[tid];
+}
+/* host file */
+int main() {
+    cl_platform_id platform_id = NULL;
+    cl_device_id device_id = NULL;
+    cl_uint ret_num_devices, ret_num_platforms;
+    cl_int ret;
+    ret = clGetPlatformIDs(1, &platform_id, &ret_num_platforms);
+    ret = clGetDeviceIDs(platform_id, CL_DEVICE_TYPE_DEFAULT, 1, &device_id, &ret_num_devices);
+    cl_context context = clCreateContext(NULL, 1, &device_id, NULL, NULL, &ret);
+    cl_command_queue cmd_queue = clCreateCommandQueue(context, device_id, 0, &ret);
+    cl_program program = clCreateProgramWithSource(context, 1, &source_str, &source_size, &ret);
+    ret = clBuildProgram(program, 0, 0, NULL, NULL, NULL);
+    cl_mem v1_mem_obj = clCreateBuffer(context, CL_MEM_ALLOC_HOST_PTR | CL_MEM_READ_WRITE, 256*sizeof(int), NULL, &ret);
+    cl_mem v2_mem_obj = clCreateBuffer(context, CL_MEM_ALLOC_HOST_PTR | CL_MEM_READ_WRITE, 256*sizeof(int), NULL, &ret);
+    cl_mem sum_mem_obj = clCreateBuffer(context, CL_MEM_ALLOC_HOST_PTR | CL_MEM_READ_WRITE, 256*sizeof(int), NULL, &ret);
+    int *v1 = (int*)clEnqueueMapBuffer(cmd_queue, v1_mem_obj, CL_TRUE, 0, 0, 256*sizeof(int), 0, NULL, NULL, NULL);
+    int *v2 = (int*)clEnqueueMapBuffer(cmd_queue, v2_mem_obj, CL_TRUE, 0, 0, 256*sizeof(int), 0, NULL, NULL, NULL);
+    for (int i = 0; i < 256; i++) { v1[i] = rand(); v2[i] = rand(); }
+    clEnqueueUnmapMemObject(cmd_queue, v1_mem_obj, v1, 0, NULL, NULL);
+    clEnqueueUnmapMemObject(cmd_queue, v2_mem_obj, v2, 0, NULL, NULL);
+    cl_kernel kernel = clCreateKernel(program, "vector_add", &ret);
+    size_t gsize = 256;
+    ret = clSetKernelArg(kernel, 0, sizeof(cl_mem), (void*)&v1_mem_obj);
+    ret = clSetKernelArg(kernel, 1, sizeof(cl_mem), (void*)&v2_mem_obj);
+    ret = clSetKernelArg(kernel, 2, sizeof(cl_mem), (void*)&sum_mem_obj);
+    ret = clEnqueueNDRangeKernel(cmd_queue, kernel, 1, NULL, &gsize, NULL, 0, NULL, NULL);
+    clFinish(cmd_queue);
+    clEnqueueUnmapMemObject(cmd_queue, sum_mem_obj, sum, 0, NULL, NULL);
+    clReleaseMemObject(v1_mem_obj);
+    clReleaseMemObject(v2_mem_obj);
+    clReleaseMemObject(sum_mem_obj);
+    return 0;
+}
+"#;
+
+fn meaningful_lines(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && *l != "*/")
+        .count()
+}
+
+/// The paper's Figure 4 (xthreads) listing — just the offload orchestration,
+/// matching what Figure 3 shows for OpenCL.
+const XTHREADS_LISTING: &str = r#"
+struct Args { v1: int*; v2: int*; sum: int*; done: int*; }
+_MTTOP_ fn add(tid: int, a: Args*) {
+    a->sum[tid] = a->v1[tid] + a->v2[tid];
+    xt_msignal(a->done, tid);
+}
+_CPU_ fn main() -> int {
+    let a: Args* = malloc(sizeof(Args));
+    a->v1 = malloc(256 * 8);
+    a->v2 = malloc(256 * 8);
+    a->sum = malloc(256 * 8);
+    a->done = malloc(256 * 8);
+    for (let i = 0; i < 256; i = i + 1) {
+        a->v1[i] = rand(); a->v2[i] = rand(); a->done[i] = 0;
+    }
+    xt_create_mthread(add, a as int, 0, 255);
+    xt_wait(a->done, 0, 255);
+    return 0;
+}
+"#;
+
+fn main() {
+    let p = VecaddParams { n: 256, seed: 7 };
+    let xthreads = xthreads_source(&p);
+
+    let ocl = meaningful_lines(OPENCL_LISTING);
+    let xt = meaningful_lines(XTHREADS_LISTING);
+    println!("== Figure 3 vs Figure 4: what the programmer writes for vector add");
+    println!("OpenCL (APU):        {ocl:3} lines  (context, queue, JIT build, buffers, mapping, args, launch, sync, release)");
+    println!("xthreads (CCSVM):    {xt:3} lines  (malloc, fill, create_mthread, wait)");
+    println!("ratio:               {:.1}x", ocl as f64 / xt as f64);
+
+    // And the xthreads one actually runs, on the simulated chip:
+    let program = ccsvm_xthreads::build(&xthreads).expect("compiles");
+    let mut m = ccsvm::Machine::new(ccsvm::SystemConfig::paper_default(), program);
+    let report = m.run();
+    assert_eq!(report.exit_code, reference_checksum(&p));
+    println!(
+        "\nxthreads version executed on the CCSVM chip: checksum {} in {}",
+        report.exit_code, report.time
+    );
+}

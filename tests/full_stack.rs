@@ -1,0 +1,248 @@
+//! Cross-crate integration tests: whole-stack scenarios that span the
+//! compiler, runtime, OS, coherence protocol and both core types.
+
+use ccsvm::{Machine, SystemConfig};
+use ccsvm_engine::Time;
+use ccsvm_mem::WritePolicy;
+
+fn run(cfg: SystemConfig, src: &str) -> ccsvm::RunReport {
+    let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    Machine::new(cfg, prog).run()
+}
+
+fn tiny() -> SystemConfig {
+    SystemConfig::tiny()
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let src = "struct Args { out: int*; done: int*; }
+        _MTTOP_ fn k(tid: int, a: Args*) {
+            let acc = 0;
+            for (let i = 0; i < tid + 3; i = i + 1) { acc = acc + i * tid; }
+            a->out[tid] = acc;
+            xt_msignal(a->done, tid);
+        }
+        _CPU_ fn main() -> int {
+            let n = 24;
+            let a: Args* = malloc(sizeof(Args));
+            a->out = malloc(n * 8);
+            a->done = malloc(n * 8);
+            for (let i = 0; i < n; i = i + 1) { a->done[i] = 0; }
+            xt_create_mthread(k, a as int, 0, n - 1);
+            xt_wait(a->done, 0, n - 1);
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) { s = s + a->out[i]; }
+            return s;
+        }";
+    let a = run(tiny(), src);
+    let b = run(tiny(), src);
+    assert_eq!(a.exit_code, b.exit_code);
+    assert_eq!(a.time, b.time, "bit-identical timing across runs");
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.dram_accesses, b.dram_accesses);
+}
+
+#[test]
+fn write_through_ablation_config_is_correct_but_heavier() {
+    let src = "struct Args { out: int*; done: int*; }
+        _MTTOP_ fn k(tid: int, a: Args*) {
+            for (let i = 0; i < 16; i = i + 1) { a->out[tid * 16 + i] = tid + i; }
+            xt_msignal(a->done, tid);
+        }
+        _CPU_ fn main() -> int {
+            let n = 16;
+            let a: Args* = malloc(sizeof(Args));
+            a->out = malloc(n * 16 * 8);
+            a->done = malloc(n * 8);
+            for (let i = 0; i < n; i = i + 1) { a->done[i] = 0; }
+            xt_create_mthread(k, a as int, 0, n - 1);
+            xt_wait(a->done, 0, n - 1);
+            let s = 0;
+            for (let i = 0; i < n * 16; i = i + 1) { s = s + a->out[i]; }
+            return s;
+        }";
+    let wb = run(tiny(), src);
+    let mut cfg = tiny();
+    cfg.l1_write_policy = WritePolicy::WriteThrough;
+    let wt = run(cfg, src);
+    assert_eq!(wb.exit_code, wt.exit_code, "policy must not change results");
+    let wb_writebacks: f64 = (0..4).map(|i| wb.stats.get(&format!("mem.l1.{i}.writebacks"))).sum();
+    let wt_writebacks: f64 = (0..4).map(|i| wt.stats.get(&format!("mem.l1.{i}.writebacks"))).sum();
+    assert!(
+        wt_writebacks > wb_writebacks,
+        "write-through pushes a data message per store (paper 6.1): {wt_writebacks} vs {wb_writebacks}"
+    );
+}
+
+#[test]
+fn sequential_launches_reuse_warp_contexts() {
+    // tiny chip: 64 contexts. Launch 3 waves of 64 threads back to back —
+    // contexts must recycle after each wave exits.
+    let src = "struct Args { out: int*; done: int*; base: int; }
+        _MTTOP_ fn k(tid: int, a: Args*) {
+            a->out[a->base + tid] = a->base + tid;
+            xt_msignal(a->done, tid);
+        }
+        _CPU_ fn main() -> int {
+            let a: Args* = malloc(sizeof(Args));
+            a->out = malloc(192 * 8);
+            a->done = malloc(64 * 8);
+            for (let w = 0; w < 3; w = w + 1) {
+                for (let i = 0; i < 64; i = i + 1) { a->done[i] = 0; }
+                a->base = w * 64;
+                // A wave's warps free only when every lane has executed
+                // `exit`, which can trail the done-signals; retry on the
+                // MIFD's error register like real software would.
+                while (xt_create_mthread(k, a as int, 0, 63) != 0) { }
+                xt_wait(a->done, 0, 63);
+            }
+            let s = 0;
+            for (let i = 0; i < 192; i = i + 1) { s = s + a->out[i]; }
+            return s;
+        }";
+    let r = run(tiny(), src);
+    assert_eq!(r.exit_code, (0..192u64).sum::<u64>());
+    assert!(r.stats.get("mifd.launches") >= 3.0);
+}
+
+#[test]
+fn cpu_to_mttop_wait_signal_direction() {
+    // MTTOP threads wait on the CPU (xt_mwait); CPU releases them.
+    let src = "struct Args { gate: int*; out: int*; done: int*; }
+        _MTTOP_ fn k(tid: int, a: Args*) {
+            xt_mwait(a->gate, tid);
+            a->out[tid] = 7;
+            xt_msignal(a->done, tid);
+        }
+        _CPU_ fn main() -> int {
+            let n = 8;
+            let a: Args* = malloc(sizeof(Args));
+            a->gate = malloc(n * 8);
+            a->out = malloc(n * 8);
+            a->done = malloc(n * 8);
+            for (let i = 0; i < n; i = i + 1) {
+                a->gate[i] = 0; a->out[i] = 0; a->done[i] = 0;
+            }
+            xt_create_mthread(k, a as int, 0, n - 1);
+            // Nothing may proceed before the signal.
+            let early = 0;
+            for (let i = 0; i < n; i = i + 1) { early = early + a->out[i]; }
+            xt_signal(a->gate, 0, n - 1);
+            xt_wait(a->done, 0, n - 1);
+            let s = 0;
+            for (let i = 0; i < n; i = i + 1) { s = s + a->out[i]; }
+            return early * 1000 + s;
+        }";
+    let r = run(tiny(), src);
+    assert_eq!(r.exit_code, 56, "early sum 0, final sum 8*7");
+}
+
+#[test]
+fn dekker_litmus_no_both_zero_under_sc() {
+    // Store-buffering litmus across a CPU thread and an MTTOP thread: under
+    // SC at least one side must observe the other's store.
+    let src = "struct Args { x: int*; y: int*; r: int*; done: int*; }
+        _MTTOP_ fn t1(tid: int, a: Args*) {
+            *(a->x) = 1;
+            a->r[0] = *(a->y);
+            xt_msignal(a->done, 0);
+        }
+        _CPU_ fn main() -> int {
+            let a: Args* = malloc(sizeof(Args));
+            a->x = malloc(64);
+            a->y = malloc(64);
+            a->r = malloc(64);
+            a->done = malloc(64);
+            *(a->x) = 0; *(a->y) = 0; a->done[0] = 0;
+            xt_create_mthread(t1, a as int, 0, 0);
+            *(a->y) = 1;
+            let r1 = *(a->x);
+            xt_wait(a->done, 0, 0);
+            let r0 = a->r[0];
+            if (r0 == 0 && r1 == 0) { return -1; }
+            return r0 * 10 + r1;
+        }";
+    for _ in 0..3 {
+        let r = run(tiny(), src);
+        assert_ne!(r.exit_code as i64, -1, "SC forbids both observing 0");
+    }
+}
+
+#[test]
+fn minimal_and_wide_configs_boot() {
+    let src = "_MTTOP_ fn k(tid: int, out: int*) { out[tid] = 1; }
+        _CPU_ fn main() -> int {
+            let out: int* = malloc(8 * 8);
+            for (let i = 0; i < 8; i = i + 1) { out[i] = 0; }
+            xt_create_mthread(k, out as int, 0, 7);
+            let s = 0;
+            while (s != 8) {
+                s = 0;
+                for (let i = 0; i < 8; i = i + 1) { s = s + out[i]; }
+            }
+            return s;
+        }";
+    // 1 CPU + 1 MTTOP, single bank.
+    let mut small = SystemConfig::tiny();
+    small.n_cpus = 1;
+    small.n_mttops = 1;
+    small.l2_banks = 1;
+    assert_eq!(run(small, src).exit_code, 8);
+    // Wide: 8 banks on a bigger torus.
+    let mut wide = SystemConfig::tiny();
+    wide.l2_banks = 8;
+    wide.torus = (4, 4);
+    assert_eq!(run(wide, src).exit_code, 8);
+}
+
+#[test]
+fn deep_mttop_recursion_faults_in_more_stack() {
+    // Recursion on MTTOP lanes descends past the pre-mapped top stack page,
+    // forcing mid-kernel page faults through the MIFD.
+    let src = "struct Args { out: int*; done: int*; }
+        fn burn(depth: int) -> int {
+            let pad0 = depth; let pad1 = depth; let pad2 = depth; let pad3 = depth;
+            &pad0; &pad1; &pad2; &pad3;  // force frame slots (stack depth)
+            if (depth == 0) { return pad0 + pad3; }
+            return burn(depth - 1) + 1;
+        }
+        _MTTOP_ fn k(tid: int, a: Args*) {
+            a->out[tid] = burn(120);
+            xt_msignal(a->done, tid);
+        }
+        _CPU_ fn main() -> int {
+            let n = 4;
+            let a: Args* = malloc(sizeof(Args));
+            a->out = malloc(n * 8);
+            a->done = malloc(n * 8);
+            for (let i = 0; i < n; i = i + 1) { a->done[i] = 0; }
+            xt_create_mthread(k, a as int, 0, n - 1);
+            xt_wait(a->done, 0, n - 1);
+            return a->out[0] + a->out[3];
+        }";
+    let r = run(tiny(), src);
+    assert_eq!(r.exit_code, 2 * 120);
+    assert!(
+        r.stats.get("mifd.faults_forwarded") > 0.0,
+        "deep recursion must fault beyond the pre-mapped stack page"
+    );
+}
+
+#[test]
+fn report_time_is_monotone_with_work() {
+    let mk = |iters: u64| {
+        format!(
+            "_CPU_ fn main() -> int {{
+                let s = 0;
+                for (let i = 0; i < {iters}; i = i + 1) {{ s = s + i; }}
+                return s % 1000;
+            }}"
+        )
+    };
+    let small = run(tiny(), &mk(100));
+    let big = run(tiny(), &mk(10000));
+    assert!(big.time > small.time);
+    assert!(big.time.as_us() > 0.0);
+    assert!(big.time < Time::from_ms(100), "sane absolute scale");
+}

@@ -1,86 +1,80 @@
-//! Criterion microbenchmarks of the simulator's substrates: how fast the
-//! *simulator itself* runs (events/sec class numbers), useful when tuning
-//! the machinery that regenerates the paper's figures.
+//! Microbenchmarks of the simulator's substrates: how fast the *simulator
+//! itself* runs (events/sec class numbers), useful when tuning the machinery
+//! that regenerates the paper's figures.
+//!
+//! Runs on the dependency-free [`ccsvm_bench::bench_loop`] harness so the
+//! workspace builds offline; invoke with `cargo bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ccsvm_bench::bench_loop;
 use ccsvm_engine::{EventQueue, SplitMix64, Time};
 use ccsvm_mem::{CacheArray, CacheConfig};
 use ccsvm_noc::{Network, NocConfig, NodeId, Topology};
 use ccsvm_vm::{OsLite, Tlb, VirtAddr};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("engine/event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.push(Time::from_ps((i * 2654435761) % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
-    });
-}
-
-fn bench_cache_array(c: &mut Criterion) {
-    c.bench_function("mem/cache_lookup_insert", |b| {
-        let mut cache: CacheArray<u8> =
-            CacheArray::new(CacheConfig::from_capacity(64 * 1024, 4));
-        let mut rng = SplitMix64::new(1);
-        b.iter(|| {
-            let block = rng.next_below(4096);
-            if cache.lookup(block).is_none() {
-                cache.insert(block, 0, [0; 64]);
-            }
-            black_box(cache.len())
-        })
-    });
-}
-
-fn bench_noc(c: &mut Criterion) {
-    c.bench_function("noc/torus_send", |b| {
-        let topo = Topology::torus(4, 5);
-        let mut net = Network::new(topo, NocConfig::paper_default());
-        let mut t = Time::ZERO;
-        let mut rng = SplitMix64::new(2);
-        b.iter(|| {
-            t += Time::from_ps(100);
-            let src = NodeId(rng.next_below(20) as usize);
-            let dst = NodeId(rng.next_below(20) as usize);
-            black_box(net.send(t, src, dst, 72))
-        })
-    });
-}
-
-fn bench_tlb(c: &mut Criterion) {
-    c.bench_function("vm/tlb_lookup", |b| {
-        let mut tlb = Tlb::new(64);
-        for i in 0..64u64 {
-            tlb.insert(VirtAddr(i * 4096), ccsvm_mem::PhysAddr(i * 4096));
+fn bench_event_queue() {
+    bench_loop("engine/event_queue_push_pop_1k", 2_000, || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(Time::from_ps((i * 2654435761) % 100_000), i);
         }
-        let mut rng = SplitMix64::new(3);
-        b.iter(|| black_box(tlb.lookup(VirtAddr(rng.next_below(80) * 4096))))
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
     });
 }
 
-fn bench_os_map(c: &mut Criterion) {
-    c.bench_function("vm/os_map_unmap_page", |b| {
-        let mut os = OsLite::new(0x10_0000, 1 << 34);
-        let mut va = 0u64;
-        b.iter(|| {
-            va = (va + 4096) % (1 << 30);
-            let n = os.map_page(VirtAddr(va)).len();
-            os.unmap_page(VirtAddr(va));
-            black_box(n)
-        })
+fn bench_cache_array() {
+    let mut cache: CacheArray<u8> = CacheArray::new(CacheConfig::from_capacity(64 * 1024, 4));
+    let mut rng = SplitMix64::new(1);
+    bench_loop("mem/cache_lookup_insert", 2_000_000, || {
+        let block = rng.next_below(4096);
+        if cache.lookup(block).is_none() {
+            cache.insert(block, 0, [0; 64]);
+        }
+        cache.len()
     });
 }
 
-fn bench_assembler(c: &mut Criterion) {
+fn bench_noc() {
+    let topo = Topology::torus(4, 5);
+    let mut net = Network::new(topo, NocConfig::paper_default());
+    let mut t = Time::ZERO;
+    let mut rng = SplitMix64::new(2);
+    bench_loop("noc/torus_send", 2_000_000, || {
+        t += Time::from_ps(100);
+        let src = NodeId(rng.next_below(20) as usize);
+        let dst = NodeId(rng.next_below(20) as usize);
+        net.send(t, src, dst, 72)
+    });
+}
+
+fn bench_tlb() {
+    let mut tlb = Tlb::new(64);
+    for i in 0..64u64 {
+        tlb.insert(VirtAddr(i * 4096), ccsvm_mem::PhysAddr(i * 4096));
+    }
+    let mut rng = SplitMix64::new(3);
+    bench_loop("vm/tlb_lookup", 5_000_000, || {
+        black_box(tlb.lookup(VirtAddr(rng.next_below(80) * 4096)))
+    });
+}
+
+fn bench_os_map() {
+    let mut os = OsLite::new(0x10_0000, 1 << 34);
+    let mut va = 0u64;
+    bench_loop("vm/os_map_unmap_page", 500_000, || {
+        va = (va + 4096) % (1 << 30);
+        let n = os.map_page(VirtAddr(va)).len();
+        os.unmap_page(VirtAddr(va));
+        n
+    });
+}
+
+fn bench_assembler() {
     let src = "main:
         li r8, 0
         li r9, 1
@@ -92,12 +86,12 @@ fn bench_assembler(c: &mut Criterion) {
         mv r1, r8
         exit
     ";
-    c.bench_function("isa/assemble", |b| {
-        b.iter(|| black_box(ccsvm_isa::assemble(src).expect("assembles")))
+    bench_loop("isa/assemble", 20_000, || {
+        ccsvm_isa::assemble(src).expect("assembles")
     });
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     let src = "struct Node { val: int; next: Node*; }
         fn sum(head: Node*) -> int {
             let s = 0;
@@ -105,12 +99,12 @@ fn bench_compiler(c: &mut Criterion) {
             return s;
         }
         _CPU_ fn main() -> int { return sum(0 as Node*); }";
-    c.bench_function("xcc/compile", |b| {
-        b.iter(|| black_box(ccsvm_xcc::compile_to_program(src).expect("compiles")))
+    bench_loop("xcc/compile", 5_000, || {
+        ccsvm_xcc::compile_to_program(src).expect("compiles")
     });
 }
 
-fn bench_interp(c: &mut Criterion) {
+fn bench_interp() {
     let p = ccsvm_xcc::compile_to_program(
         "_CPU_ fn main() -> int {
             let s = 0;
@@ -119,26 +113,22 @@ fn bench_interp(c: &mut Criterion) {
         }",
     )
     .expect("compiles");
-    c.bench_function("isa/interp_1k_loop", |b| {
-        b.iter(|| {
-            let mut mem = ccsvm_isa::FlatMem::new();
-            let mut os = ccsvm_isa::FuncOs::new();
-            let mut t = ccsvm_isa::Interp::new(p.entry("__start"), 0);
-            t.run(&p, &mut mem, &mut os, 10_000_000).expect("runs");
-            black_box(t.regs[1])
-        })
+    bench_loop("isa/interp_1k_loop", 2_000, || {
+        let mut mem = ccsvm_isa::FlatMem::new();
+        let mut os = ccsvm_isa::FuncOs::new();
+        let mut t = ccsvm_isa::Interp::new(p.entry("__start"), 0);
+        t.run(&p, &mut mem, &mut os, 10_000_000).expect("runs");
+        t.regs[1]
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_cache_array,
-    bench_noc,
-    bench_tlb,
-    bench_os_map,
-    bench_assembler,
-    bench_compiler,
-    bench_interp,
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_cache_array();
+    bench_noc();
+    bench_tlb();
+    bench_os_map();
+    bench_assembler();
+    bench_compiler();
+    bench_interp();
+}

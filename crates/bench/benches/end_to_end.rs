@@ -1,53 +1,43 @@
-//! End-to-end criterion benchmarks: whole-machine simulations (simulator
-//! wall-clock throughput on small paper workloads). The full figure sweeps
-//! live in the `fig5`–`fig9` binaries; these keep a regression guard on the
-//! simulator's own speed.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! End-to-end benchmarks: whole-machine simulations (simulator wall-clock
+//! throughput on small paper workloads). The full figure sweeps live in the
+//! `fig5`–`fig9` binaries; these keep a regression guard on the simulator's
+//! own speed.
+//!
+//! Runs on the dependency-free [`ccsvm_bench::bench_loop`] harness so the
+//! workspace builds offline; invoke with `cargo bench --bench end_to_end`.
 
 use ccsvm::{Machine, SystemConfig};
+use ccsvm_bench::bench_loop;
 use ccsvm_workloads as wl;
 
-fn bench_machine_boot(c: &mut Criterion) {
+fn bench_machine_boot() {
     let prog = wl::build("_CPU_ fn main() -> int { return 42; }");
-    c.bench_function("machine/boot_trivial_tiny", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(SystemConfig::tiny(), prog.clone());
-            black_box(m.run().exit_code)
-        })
+    bench_loop("machine/boot_trivial_tiny", 50, || {
+        let mut m = Machine::new(SystemConfig::tiny(), prog.clone());
+        m.run().exit_code
     });
 }
 
-fn bench_vecadd_tiny(c: &mut Criterion) {
+fn bench_vecadd_tiny() {
     let p = wl::vecadd::VecaddParams { n: 32, seed: 1 };
     let prog = wl::build(&wl::vecadd::xthreads_source(&p));
-    c.bench_function("machine/vecadd32_tiny_chip", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(SystemConfig::tiny(), prog.clone());
-            black_box(m.run().exit_code)
-        })
+    bench_loop("machine/vecadd32_tiny_chip", 20, || {
+        let mut m = Machine::new(SystemConfig::tiny(), prog.clone());
+        m.run().exit_code
     });
 }
 
-fn bench_matmul_paper_chip(c: &mut Criterion) {
+fn bench_matmul_paper_chip() {
     let p = wl::matmul::MatmulParams::new(8, 1);
     let prog = wl::build(&wl::matmul::xthreads_source(&p));
-    let mut g = c.benchmark_group("machine");
-    g.sample_size(10);
-    g.bench_function("matmul8_paper_chip", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(SystemConfig::paper_default(), prog.clone());
-            black_box(m.run().exit_code)
-        })
+    bench_loop("machine/matmul8_paper_chip", 5, || {
+        let mut m = Machine::new(SystemConfig::paper_default(), prog.clone());
+        m.run().exit_code
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_machine_boot,
-    bench_vecadd_tiny,
-    bench_matmul_paper_chip,
-);
-criterion_main!(benches);
+fn main() {
+    bench_machine_boot();
+    bench_vecadd_tiny();
+    bench_matmul_paper_chip();
+}

@@ -130,3 +130,21 @@ impl Default for Claims {
         Claims::new()
     }
 }
+
+/// Minimal wall-clock micro-benchmark harness for the `benches/` targets.
+///
+/// Criterion is deliberately not used: the workspace must build from a cold
+/// cargo cache with no network, so the bench targets run on this
+/// dependency-free loop instead. Reported numbers are a coarse regression
+/// guard (median-free mean over `iters` runs after one warmup), not a
+/// statistics suite.
+pub fn bench_loop<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f()); // warmup
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    let per = total.as_nanos() / u128::from(iters.max(1));
+    println!("{name:<40} {iters:>7} iters  {per:>12} ns/iter");
+}

@@ -1,7 +1,7 @@
 //! System configuration (the paper's Table 2, CCSVM column).
 
 use ccsvm_cpu::CpuConfig;
-use ccsvm_engine::Time;
+use ccsvm_engine::{FaultConfig, Time};
 use ccsvm_mem::{CacheConfig, DramConfig, WritePolicy};
 use ccsvm_mttop::MttopConfig;
 use ccsvm_noc::NocConfig;
@@ -83,6 +83,10 @@ pub struct SystemConfig {
     pub phys_pool: (u64, u64),
     /// Hard wall-clock limit for a run (deadlock/runaway guard).
     pub max_sim_time: Time,
+    /// Fault injection and forward-progress watchdog. Defaults to all
+    /// injectors off (bit-identical to a fault-free build) with the
+    /// watchdog armed.
+    pub fault: FaultConfig,
 }
 
 impl SystemConfig {
@@ -111,6 +115,7 @@ impl SystemConfig {
             mttop_selective_shootdown: false,
             phys_pool: (0x10_0000, 2 * 1024 * 1024 * 1024),
             max_sim_time: Time::from_ms(30_000),
+            fault: FaultConfig::default(),
         }
     }
 

@@ -42,4 +42,10 @@ mod config;
 mod machine;
 
 pub use config::{OsCosts, SystemConfig};
-pub use machine::{Machine, RunReport};
+pub use machine::{DiagnosticDump, Machine, Outcome, RunReport};
+// Fault-injection configuration, re-exported so harnesses can fill in
+// `SystemConfig::fault` without depending on the engine crate directly.
+pub use ccsvm_engine::{
+    DirTimeoutConfig, DramFaultConfig, FaultConfig, NocFaultConfig, Time, TlbFaultConfig,
+    WatchdogConfig,
+};

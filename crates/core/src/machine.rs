@@ -3,10 +3,11 @@
 use std::collections::VecDeque;
 
 use ccsvm_cpu::{CpuAction, CpuCore};
-use ccsvm_engine::{EventQueue, Stats, Time};
+use ccsvm_engine::{EventQueue, FaultDomain, FaultPlan, Stats, Time, Watchdog};
 use ccsvm_isa::{sys, Program};
 use ccsvm_mem::{
-    Access, AccessResult, BankConfig, L1Config, MemConfig, MemEvent, MemorySystem, PortId,
+    Access, AccessResult, BankConfig, Completion, L1Config, MemConfig, MemEvent, MemorySystem,
+    PortId,
 };
 use ccsvm_mttop::{Mifd, MttopAction, MttopCore, PageFaultReq, TaskChunk};
 use ccsvm_noc::{Network, NodeId, Topology};
@@ -52,6 +53,8 @@ enum Ev {
     ShootAck { initiator: usize },
     /// The OS handler's PTE store hit MSHR exhaustion; retry the issue.
     HandlerRetry { cpu: usize },
+    /// Periodic forward-progress check (self-rescheduling while armed).
+    WatchdogTick,
 }
 
 /// OS handler work performed on a CPU core (page-fault service, unmap).
@@ -78,8 +81,66 @@ struct Handler {
     active: Option<Active>,
 }
 
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// `main` returned; the report's results are valid.
+    Completed,
+    /// The watchdog saw no forward progress (or the event queue drained /
+    /// `max_sim_time` was exceeded) before `main` exited.
+    Deadlock,
+    /// An access consumed a block poisoned by an uncorrectable (double-bit)
+    /// DRAM ECC error.
+    Poisoned,
+    /// A directory transaction exhausted its NACK retry budget — responses
+    /// were lost beyond what the protocol's recovery could absorb.
+    RetryBudgetExhausted,
+}
+
+/// Structured diagnostics captured when a run aborts, so a hang is
+/// debuggable instead of silent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiagnosticDump {
+    /// Human-readable abort reason.
+    pub reason: String,
+    /// Simulated time of the abort.
+    pub at: Time,
+    /// Outstanding miss blocks per L1 port (ports with none omitted).
+    pub outstanding: Vec<(usize, Vec<u64>)>,
+    /// Active directory transactions per bank: `(block, phase)`.
+    pub dir_active: Vec<(usize, Vec<(u64, String)>)>,
+    /// Blocks poisoned by uncorrectable ECC errors.
+    pub poisoned_blocks: Vec<u64>,
+    /// NoC links still draining queued flits at abort time.
+    pub noc_busy_links: usize,
+    /// Largest remaining per-link backlog on the NoC.
+    pub noc_max_backlog: Time,
+}
+
+impl std::fmt::Display for DiagnosticDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "abort at {}: {}", self.at, self.reason)?;
+        for (port, blocks) in &self.outstanding {
+            writeln!(f, "  port {port}: outstanding misses on blocks {blocks:?}")?;
+        }
+        for (bank, txs) in &self.dir_active {
+            for (block, phase) in txs {
+                writeln!(f, "  bank {bank}: block {block} stuck in {phase}")?;
+            }
+        }
+        if !self.poisoned_blocks.is_empty() {
+            writeln!(f, "  poisoned blocks: {:?}", self.poisoned_blocks)?;
+        }
+        write!(
+            f,
+            "  noc: {} busy links, max backlog {}",
+            self.noc_busy_links, self.noc_max_backlog
+        )
+    }
+}
+
 /// Results of a completed run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Simulated time from boot to process exit — the paper's "runtime".
     pub time: Time,
@@ -97,6 +158,11 @@ pub struct RunReport {
     pub dram_accesses: u64,
     /// Total instructions executed (CPU instructions + MTTOP thread-instructions).
     pub instructions: u64,
+    /// How the run ended. Anything but [`Outcome::Completed`] means the
+    /// other fields describe a partial run.
+    pub outcome: Outcome,
+    /// Populated when `outcome` is not [`Outcome::Completed`].
+    pub diagnostic: Option<DiagnosticDump>,
     /// Every component's counters.
     pub stats: Stats,
 }
@@ -130,6 +196,15 @@ pub struct Machine {
     main_exited: bool,
     exit_code: u64,
     started: bool,
+    /// Monotone forward-progress counter the watchdog observes (batches that
+    /// advanced, completions delivered, handler steps).
+    progress: u64,
+    /// Set when the run must abort; checked after every dispatched event.
+    failure: Option<(Outcome, DiagnosticDump)>,
+    // Test-knob counters for the deterministic event-drop fault hooks.
+    data_deliveries: u64,
+    resps_seen: u64,
+    blackholed_block: Option<u64>,
 }
 
 impl Machine {
@@ -188,18 +263,28 @@ impl Machine {
                 latency: cfg.l2_latency,
             })
             .collect();
-        let mem = MemorySystem::new(MemConfig {
+        let plan = FaultPlan::new(cfg.fault);
+        let mut mem = MemorySystem::new(MemConfig {
             l1s,
             banks,
             dram: cfg.dram,
             ctrl_bytes: 8,
             data_bytes: 72,
         });
-        let net = Network::new(topo, cfg.noc);
+        mem.install_faults(&plan);
+        let mut net = Network::new(topo, cfg.noc);
+        if cfg.fault.noc.drop_rate > 0.0 {
+            net.install_faults(cfg.fault.noc, plan.stream(FaultDomain::Noc));
+        }
 
-        let cpus: Vec<CpuCore> = (0..cfg.n_cpus)
+        let mut cpus: Vec<CpuCore> = (0..cfg.n_cpus)
             .map(|i| CpuCore::new(PortId(i), cfg.cpu, prefix(KIND_CPU, i)))
             .collect();
+        if cfg.fault.tlb.transient_rate > 0.0 {
+            for (i, c) in cpus.iter_mut().enumerate() {
+                c.install_tlb_faults(cfg.fault.tlb, plan.stream(FaultDomain::Tlb(i as u32)));
+            }
+        }
         let mttops: Vec<MttopCore> = (0..cfg.n_mttops)
             .map(|i| {
                 let mut mc = cfg.mttop;
@@ -241,6 +326,11 @@ impl Machine {
             main_exited: false,
             exit_code: 0,
             started: false,
+            progress: 0,
+            failure: None,
+            data_deliveries: 0,
+            resps_seen: 0,
+            blackholed_block: None,
         }
     }
 
@@ -324,10 +414,11 @@ impl Machine {
 
     /// Boots `main` on CPU 0 and simulates to process exit.
     ///
-    /// # Panics
-    ///
-    /// Panics if the machine deadlocks (event queue drains before `main`
-    /// exits) or exceeds `max_sim_time`.
+    /// Never hangs or panics on a stuck machine: when forward progress stops
+    /// (watchdog), `max_sim_time` is exceeded, the event queue drains early,
+    /// a block is ECC-poisoned, or a directory transaction exhausts its
+    /// retry budget, the run aborts gracefully and the report carries the
+    /// non-`Completed` [`Outcome`] plus a [`DiagnosticDump`].
     pub fn run(&mut self) -> RunReport {
         assert!(!self.started, "a Machine runs once");
         self.started = true;
@@ -348,6 +439,12 @@ impl Machine {
         self.cpus[0].start_thread(Time::ZERO, entry, 0, 0, cr3, self.kexit);
         self.sched_cpu_batch(0, Time::ZERO);
 
+        let wd_cfg = self.cfg.fault.watchdog;
+        let mut watchdog = Watchdog::new();
+        if wd_cfg.enabled {
+            self.queue.push(wd_cfg.period, Ev::WatchdogTick);
+        }
+
         let trace = std::env::var("CCSVM_TRACE").is_ok();
         let mut nev: u64 = 0;
         while let Some((t, ev)) = self.queue.pop() {
@@ -357,23 +454,68 @@ impl Machine {
             if trace && nev < 5000 {
                 eprintln!("[{nev}] t={t:?} {ev:?}");
             }
-            if trace && nev % 1_000_000 == 0 {
+            if trace && nev.is_multiple_of(1_000_000) {
                 eprintln!("[{nev}] t={t:?} qlen={}", self.queue.len());
             }
-            assert!(
-                t <= self.cfg.max_sim_time,
-                "simulation exceeded max_sim_time at {t}"
-            );
+            if t > self.cfg.max_sim_time {
+                let reason = format!("simulation exceeded max_sim_time {}", self.cfg.max_sim_time);
+                self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+                break;
+            }
+            if let Ev::WatchdogTick = ev {
+                let stale = watchdog.observe(self.now, self.progress);
+                if stale >= wd_cfg.quanta {
+                    let reason = format!(
+                        "no forward progress for {stale} watchdog periods of {} \
+                         (last progress at {})",
+                        wd_cfg.period,
+                        watchdog.last_progress_at()
+                    );
+                    self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+                    break;
+                }
+                self.queue.push(self.now + wd_cfg.period, Ev::WatchdogTick);
+                continue;
+            }
             self.dispatch(ev);
-            if self.main_exited {
+            if self.main_exited || self.failure.is_some() {
                 break;
             }
         }
-        assert!(
-            self.main_exited,
-            "machine deadlocked: event queue drained before main exited"
-        );
+        if !self.main_exited && self.failure.is_none() {
+            let reason = "event queue drained before main exited".to_string();
+            self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+        }
         self.report()
+    }
+
+    /// Captures the structured abort diagnostics: who is stuck where.
+    fn dump(&self, reason: String) -> DiagnosticDump {
+        DiagnosticDump {
+            reason,
+            at: self.now,
+            outstanding: self
+                .mem
+                .outstanding()
+                .into_iter()
+                .map(|(p, blocks)| (p.0, blocks))
+                .collect(),
+            dir_active: self
+                .mem
+                .dir_active()
+                .into_iter()
+                .map(|(bank, blocks)| {
+                    let txs = blocks
+                        .into_iter()
+                        .map(|b| (b, self.mem.dir_tx_phase(b).unwrap_or_default()))
+                        .collect();
+                    (bank.0, txs)
+                })
+                .collect(),
+            poisoned_blocks: self.mem.poisoned_blocks(),
+            noc_busy_links: self.net.busy_links(self.now),
+            noc_max_backlog: self.net.max_backlog(self.now),
+        }
     }
 
     fn report(&self) -> RunReport {
@@ -399,6 +541,10 @@ impl Machine {
                 .iter()
                 .map(|m| m.stats().get("thread_instructions"))
                 .sum::<f64>();
+        let (outcome, diagnostic) = match &self.failure {
+            Some((o, d)) => (*o, Some(d.clone())),
+            None => (Outcome::Completed, None),
+        };
         RunReport {
             time: self.now,
             printed: self.printed.clone(),
@@ -407,6 +553,8 @@ impl Machine {
             exit_code: self.exit_code,
             dram_accesses: self.mem.dram_accesses(),
             instructions: instructions as u64,
+            outcome,
+            diagnostic,
             stats,
         }
     }
@@ -430,6 +578,9 @@ impl Machine {
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Mem(me) => {
+                if self.drop_event(&me) {
+                    return;
+                }
                 let mut completions = Vec::new();
                 {
                     let queue = &mut self.queue;
@@ -437,8 +588,16 @@ impl Machine {
                     self.mem
                         .handle(self.now, &mut self.net, &mut sched, me, &mut completions);
                 }
+                if let Some((bank, block)) = self.mem.take_retry_exhausted() {
+                    let reason = format!(
+                        "directory bank {} exhausted its NACK retry budget on block {block}",
+                        bank.0
+                    );
+                    self.failure = Some((Outcome::RetryBudgetExhausted, self.dump(reason)));
+                    return;
+                }
                 for c in completions {
-                    self.route_completion(c.token, c.value);
+                    self.route_completion(c);
                 }
             }
             Ev::CpuBatch { core, seq } => {
@@ -511,10 +670,50 @@ impl Machine {
                     self.sched_cpu_batch(initiator, at);
                 }
             }
+            Ev::WatchdogTick => unreachable!("handled in the run loop"),
         }
     }
 
-    fn route_completion(&mut self, token: u64, value: u64) {
+    /// Deterministic event-drop fault hooks (`FaultConfig::drop_*` test
+    /// knobs): returns `true` when this memory event must be lost.
+    fn drop_event(&mut self, me: &MemEvent) -> bool {
+        let f = &self.cfg.fault;
+        if f.drop_data_delivery.is_none() && f.blackhole_resp.is_none() && f.drop_one_resp.is_none()
+        {
+            return false;
+        }
+        if me.is_data_delivery() {
+            self.data_deliveries += 1;
+            if f.drop_data_delivery == Some(self.data_deliveries) {
+                return true;
+            }
+        }
+        if let Some(block) = me.resp_block() {
+            self.resps_seen += 1;
+            if f.blackhole_resp == Some(self.resps_seen) {
+                self.blackholed_block = Some(block);
+            }
+            if self.blackholed_block == Some(block) {
+                return true;
+            }
+            if f.drop_one_resp == Some(self.resps_seen) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn route_completion(&mut self, c: Completion) {
+        self.progress += 1;
+        if c.poisoned {
+            let reason = format!(
+                "port {} consumed an ECC-poisoned block (token {:#x})",
+                c.port.0, c.token
+            );
+            self.failure = Some((Outcome::Poisoned, self.dump(reason)));
+            return;
+        }
+        let (token, value) = (c.token, c.value);
         let kind = token >> KIND_SHIFT;
         let idx = ((token >> IDX_SHIFT) & 0xFFF) as usize;
         match kind {
@@ -540,11 +739,27 @@ impl Machine {
             self.cpus[core].run_batch(self.now, &self.prog, &mut self.mem, &mut self.net, &mut sched)
         };
         match action {
-            CpuAction::Continue { at } => self.sched_cpu_batch(core, at),
+            CpuAction::Continue { at } => {
+                self.progress += 1;
+                self.sched_cpu_batch(core, at);
+            }
             CpuAction::Blocked | CpuAction::Idle => {}
-            CpuAction::Syscall => self.handle_syscall(core),
-            CpuAction::PageFault { va } => self.handler_enqueue(core, Job::Local { va }),
-            CpuAction::Exited => self.thread_exited(core),
+            CpuAction::Syscall => {
+                self.progress += 1;
+                self.handle_syscall(core);
+            }
+            CpuAction::PageFault { va } => {
+                self.progress += 1;
+                self.handler_enqueue(core, Job::Local { va });
+            }
+            CpuAction::Exited => {
+                self.progress += 1;
+                self.thread_exited(core);
+            }
+            CpuAction::Poisoned => {
+                let reason = format!("CPU {core} accessed an ECC-poisoned block");
+                self.failure = Some((Outcome::Poisoned, self.dump(reason)));
+            }
         }
     }
 
@@ -563,8 +778,16 @@ impl Machine {
             let t2 = self.net.send(t1, self.mifd_node, self.cpu_nodes[0], 16);
             self.queue.push(t2, Ev::FaultToCpu { req, mcore: core });
         }
+        if outcome.poisoned {
+            let reason = format!("MTTOP {core} accessed an ECC-poisoned block");
+            self.failure = Some((Outcome::Poisoned, self.dump(reason)));
+            return;
+        }
         match outcome.action {
-            MttopAction::Continue { at } => self.sched_mttop_batch(core, at),
+            MttopAction::Continue { at } => {
+                self.progress += 1;
+                self.sched_mttop_batch(core, at);
+            }
             MttopAction::Blocked | MttopAction::Idle => {}
         }
     }
@@ -749,6 +972,7 @@ impl Machine {
             match result {
                 AccessResult::Hit { finish, .. } => {
                     self.handlers[cpu].active.as_mut().expect("active").next += 1;
+                    self.progress += 1;
                     at = finish;
                 }
                 AccessResult::Pending => return, // continue on completion
@@ -758,6 +982,12 @@ impl Machine {
                         at + self.cfg.cpu.clock.period(),
                         Ev::HandlerRetry { cpu },
                     );
+                    return;
+                }
+                AccessResult::Poisoned => {
+                    let reason =
+                        format!("OS handler on CPU {cpu} stored to an ECC-poisoned block");
+                    self.failure = Some((Outcome::Poisoned, self.dump(reason)));
                     return;
                 }
             }

@@ -1,0 +1,160 @@
+//! Fault injection and watchdog integration tests: seeded fault runs must
+//! replay bit-for-bit, lost messages must end in a graceful typed abort
+//! (never a hang), and the directory's NACK/retry path must recover from
+//! recoverable losses.
+
+use ccsvm::{Machine, Outcome, RunReport, SystemConfig, Time};
+
+fn run(cfg: SystemConfig, src: &str) -> RunReport {
+    let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    Machine::new(cfg, prog).run()
+}
+
+/// A small CPU+MTTOP workload with real NoC/L2/DRAM traffic.
+fn vecadd_src(n: u64) -> String {
+    format!(
+        "struct Args {{ v1: int*; v2: int*; sum: int*; done: int*; }}
+         _MTTOP_ fn add(tid: int, a: Args*) {{
+             a->sum[tid] = a->v1[tid] + a->v2[tid];
+             xt_msignal(a->done, tid);
+         }}
+         _CPU_ fn main() -> int {{
+             let n = {n};
+             let a: Args* = malloc(sizeof(Args));
+             a->v1 = malloc(n * 8);
+             a->v2 = malloc(n * 8);
+             a->sum = malloc(n * 8);
+             a->done = malloc(n * 8);
+             for (let i = 0; i < n; i = i + 1) {{
+                 a->v1[i] = i * 3;
+                 a->v2[i] = i + 7;
+                 a->done[i] = 0;
+             }}
+             let err = xt_create_mthread(add, a as int, 0, n - 1);
+             if (err != 0) {{ return -1; }}
+             xt_wait(a->done, 0, n - 1);
+             let total = 0;
+             for (let i = 0; i < n; i = i + 1) {{ total = total + a->sum[i]; }}
+             return total;
+         }}"
+    )
+}
+
+/// A two-CPU sharing workload that generates invalidation/fetch traffic.
+const PINGPONG: &str = "global results: int;
+     fn worker(arg: int) -> int {
+         atomic_add(&results, arg);
+         return 0;
+     }
+     _CPU_ fn main() -> int {
+         results = 0;
+         let t1 = spawn_cthread(worker, 5);
+         if (t1 < 0) { return -1; }
+         while (results != 5) { }
+         return results;
+     }";
+
+fn faulty_cfg(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.seed = seed;
+    cfg.fault.noc.drop_rate = 0.02;
+    cfg.fault.dram.single_bit_rate = 0.2;
+    cfg.fault.tlb.transient_rate = 0.02;
+    cfg
+}
+
+#[test]
+fn same_seed_fault_runs_replay_bit_identical() {
+    let a = run(faulty_cfg(7), &vecadd_src(32));
+    let b = run(faulty_cfg(7), &vecadd_src(32));
+    assert_eq!(a.outcome, Outcome::Completed);
+    // Faults really fired and are part of the compared state.
+    assert!(a.stats.get("noc.retransmissions") > 0.0, "NoC faults fired");
+    assert!(a.stats.get("mem.dram.ecc_corrected") > 0.0, "ECC singles fired");
+    assert_eq!(a, b, "same seed must replay bit-for-bit");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run(faulty_cfg(7), &vecadd_src(32));
+    let b = run(faulty_cfg(8), &vecadd_src(32));
+    assert_eq!(a.outcome, Outcome::Completed);
+    assert_eq!(b.outcome, Outcome::Completed);
+    assert_eq!(a.exit_code, b.exit_code, "results stay correct under faults");
+    assert_ne!(a, b, "different seeds must draw different fault schedules");
+}
+
+#[test]
+fn dropped_completion_aborts_as_deadlock_with_dump() {
+    let mut cfg = SystemConfig::tiny();
+    // Lose the very first directory data grant: its L1 waits forever.
+    cfg.fault.drop_data_delivery = Some(1);
+    cfg.fault.watchdog.period = Time::from_us(100);
+    cfg.fault.watchdog.quanta = 4;
+    let r = run(cfg, "_CPU_ fn main() -> int { return 41 + 1; }");
+    assert_eq!(r.outcome, Outcome::Deadlock);
+    let d = r.diagnostic.expect("deadlock carries a diagnostic dump");
+    assert!(
+        !d.outstanding.is_empty(),
+        "dump names the stuck port: {d}"
+    );
+    // Bounded abort: a handful of 100 us watchdog periods, not max_sim_time.
+    assert!(r.time.as_ms() < 10.0, "aborted at {} — watchdog too slow", r.time);
+}
+
+#[test]
+fn double_bit_ecc_error_poisons_the_run() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.dram.double_bit_rate = 1.0; // every DRAM fill is uncorrectable
+    let r = run(cfg, "_CPU_ fn main() -> int { return 41 + 1; }");
+    assert_eq!(r.outcome, Outcome::Poisoned);
+    let d = r.diagnostic.expect("poison abort carries a diagnostic dump");
+    assert!(!d.poisoned_blocks.is_empty(), "dump lists the poisoned block");
+}
+
+#[test]
+fn dropped_response_recovers_via_directory_nack() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.dir.timeout = Some(Time::from_us(5));
+    // Lose one L1 response in transit; the directory must NACK and
+    // re-solicit rather than wait forever.
+    cfg.fault.drop_one_resp = Some(1);
+    let r = run(cfg, PINGPONG);
+    assert_eq!(r.outcome, Outcome::Completed, "diag: {:?}", r.diagnostic);
+    assert_eq!(r.exit_code, 5);
+    let timeouts: f64 = (0..2)
+        .map(|i| r.stats.get(&format!("mem.l2.{i}.dir_timeouts")))
+        .sum();
+    assert!(timeouts >= 1.0, "the dropped response forced a NACK round");
+}
+
+#[test]
+fn blackholed_responder_exhausts_retry_budget() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.dir.timeout = Some(Time::from_us(5));
+    cfg.fault.dir.retry_budget = 3;
+    // Drop a response and every later response for the same block: no NACK
+    // round can ever succeed, so the budget must run out — gracefully.
+    cfg.fault.blackhole_resp = Some(1);
+    let r = run(cfg, PINGPONG);
+    assert_eq!(r.outcome, Outcome::RetryBudgetExhausted);
+    let d = r.diagnostic.expect("budget abort carries a diagnostic dump");
+    assert!(d.reason.contains("retry budget"), "reason: {}", d.reason);
+    assert!(r.time.as_ms() < 10.0, "bounded abort, got {}", r.time);
+}
+
+#[test]
+fn fault_free_runs_are_unaffected_by_the_watchdog() {
+    // Default config: watchdog armed, all injectors off.
+    let base = run(SystemConfig::tiny(), &vecadd_src(32));
+    assert_eq!(base.outcome, Outcome::Completed);
+    assert!(base.diagnostic.is_none());
+    // Disabling the watchdog changes nothing observable.
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.watchdog.enabled = false;
+    let off = run(cfg, &vecadd_src(32));
+    assert_eq!(base, off, "watchdog ticks must not perturb the simulation");
+    // No fault counters appear in a fault-free report.
+    assert!(!base.stats.contains("noc.retransmissions"));
+    assert!(!base.stats.contains("mem.dram.ecc_corrected"));
+}

@@ -14,7 +14,7 @@
 //! event queue, so inter-core interactions are event-accurate at quantum
 //! granularity (the gem5 approach).
 
-use ccsvm_engine::{Clock, Stats, Time};
+use ccsvm_engine::{Clock, SplitMix64, Stats, Time, TlbFaultConfig};
 use ccsvm_isa::{abi, AmoKind, Instr, Operand, Program, Reg};
 use ccsvm_mem::{Access, AccessResult, AtomicOp, MemEvent, MemorySystem, PhysAddr, PortId};
 use ccsvm_noc::Network;
@@ -81,6 +81,18 @@ pub enum CpuAction {
     Exited,
     /// No thread is running.
     Idle,
+    /// The access touched a block poisoned by an uncorrectable ECC error;
+    /// the machine must abort the run gracefully.
+    Poisoned,
+}
+
+/// Seeded transient TLB-walk fault injection (installed via
+/// [`CpuCore::install_tlb_faults`]).
+#[derive(Debug)]
+struct TlbFaults {
+    cfg: TlbFaultConfig,
+    rng: SplitMix64,
+    transients: u64,
 }
 
 /// An architectural memory operation awaiting translation/access.
@@ -140,6 +152,7 @@ pub struct CpuCore {
     walks: u64,
     faults: u64,
     busy_time: Time,
+    tlb_faults: Option<TlbFaults>,
 }
 
 impl CpuCore {
@@ -169,7 +182,15 @@ impl CpuCore {
             walks: 0,
             faults: 0,
             busy_time: Time::ZERO,
+            tlb_faults: None,
         }
+    }
+
+    /// Installs seeded transient TLB-walk fault injection: each completed
+    /// walk fails with probability `cfg.transient_rate`, charging
+    /// `cfg.retry_penalty` and re-walking, instead of filling the TLB.
+    pub fn install_tlb_faults(&mut self, cfg: TlbFaultConfig, rng: SplitMix64) {
+        self.tlb_faults = Some(TlbFaults { cfg, rng, transients: 0 });
     }
 
     /// Whether a thread is currently assigned.
@@ -474,6 +495,10 @@ impl CpuCore {
                 self.local_time += self.config.clock.period();
                 Some(CpuAction::Continue { at: self.local_time })
             }
+            AccessResult::Poisoned => {
+                self.outstanding_token = None;
+                Some(CpuAction::Poisoned)
+            }
         }
     }
 
@@ -491,6 +516,16 @@ impl CpuCore {
         match walk.feed(pte) {
             WalkResult::Continue(next) => self.issue_walk_read(next, op, mem, net, sched),
             WalkResult::Done(frame) => {
+                if let Some(f) = &mut self.tlb_faults {
+                    if f.rng.next_f64() < f.cfg.transient_rate {
+                        // Transient walk failure: the translation is lost
+                        // before it reaches the TLB; the instruction pays the
+                        // retry penalty and re-walks from scratch.
+                        f.transients += 1;
+                        self.local_time += f.cfg.retry_penalty;
+                        return Some(CpuAction::Continue { at: self.local_time });
+                    }
+                }
                 self.tlb.insert(op.va, frame);
                 self.issue_access(frame_plus_offset(frame, op.va), op, mem, net, sched)
             }
@@ -542,6 +577,10 @@ impl CpuCore {
                 self.local_time += self.config.clock.period();
                 Some(CpuAction::Continue { at: self.local_time })
             }
+            AccessResult::Poisoned => {
+                self.outstanding_token = None;
+                Some(CpuAction::Poisoned)
+            }
         }
     }
 
@@ -563,6 +602,9 @@ impl CpuCore {
         s.set("tlb_walks", self.walks as f64);
         s.set("page_faults", self.faults as f64);
         s.set("busy_us", self.busy_time.as_us());
+        if let Some(f) = &self.tlb_faults {
+            s.set("tlb_transients", f.transients as f64);
+        }
         s.merge_prefixed("tlb", &self.tlb.stats());
         s
     }

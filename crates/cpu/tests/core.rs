@@ -101,6 +101,7 @@ impl Rig {
                 }
                 CpuAction::Syscall => panic!("rig programs don't use syscalls"),
                 CpuAction::Idle => panic!("idle while expecting work"),
+                CpuAction::Poisoned => panic!("unexpected ECC poison in test"),
             }
         }
     }

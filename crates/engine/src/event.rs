@@ -157,7 +157,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "slow-tests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -13,6 +13,9 @@
 //! * [`SplitMix64`] — a tiny seeded RNG for components that need pseudo-random
 //!   behaviour (e.g. workload generators) without pulling `rand` into the
 //!   simulator core.
+//! * [`FaultPlan`] / [`Watchdog`] — seeded, replay-deterministic fault
+//!   injection (NoC retransmissions, DRAM ECC flips, transient TLB-walk
+//!   failures, directory timeouts) and forward-progress tracking.
 //!
 //! # Examples
 //!
@@ -29,11 +32,16 @@
 //! ```
 
 mod event;
+mod fault;
 mod rng;
 mod stats;
 mod time;
 
 pub use event::EventQueue;
+pub use fault::{
+    DirTimeoutConfig, DramFaultConfig, FaultConfig, FaultDomain, FaultPlan, NocFaultConfig,
+    TlbFaultConfig, Watchdog, WatchdogConfig,
+};
 pub use rng::SplitMix64;
 pub use stats::Stats;
 pub use time::{Clock, Time};

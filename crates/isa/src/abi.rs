@@ -60,6 +60,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // compile-time layout sanity check
     fn regions_do_not_overlap() {
         assert!(DATA_BASE < HEAP_BASE);
         assert!(HEAP_BASE + HEAP_LEN <= STACK_BASE);

@@ -71,8 +71,12 @@ enum Phase {
 #[derive(Clone, Debug)]
 struct Recall {
     victim: u64,
-    acks: usize,
-    fetch: bool,
+    /// Ports whose `InvResp` for the victim is still outstanding. Mask-based
+    /// (not a count) so a NACK-resent invalidation racing its original
+    /// response cannot double-decrement.
+    pending_inv: u32,
+    /// The owner whose `FetchInv` response is still outstanding.
+    fetch_from: Option<PortId>,
     dirty: bool,
     data: BlockData,
 }
@@ -81,13 +85,22 @@ struct Recall {
 struct Tx {
     req: Request,
     phase: Phase,
-    acks: usize,
-    fetch: bool,
+    /// Ports whose `InvResp` is still outstanding (mask; see [`Recall`]).
+    pending_inv: u32,
+    /// The owner whose `Fetch`/`FetchInv` response is still outstanding.
+    fetch_from: Option<PortId>,
+    /// Whether the outstanding fetch is a `FetchInv` (needed to resend it).
+    fetch_inv: bool,
     /// Requestor already holds a valid copy (upgrade ⇒ AckM instead of Data).
     upgrade: bool,
     /// Data fetched from DRAM, kept across an install-time recall.
     fill_data: Option<BlockData>,
     recall: Option<Recall>,
+    /// Solicitation round. Bumped on every NACK resend so timeout events
+    /// armed for an earlier round are recognised as stale.
+    epoch: u64,
+    /// NACK resends already spent on this transaction.
+    nacks: u32,
 }
 
 /// Side effects of a bank step, applied by the `MemorySystem`.
@@ -104,6 +117,21 @@ pub(crate) struct BankOut {
     /// The transaction for this block couldn't find an evictable way; retry
     /// `ready` after another bank latency.
     pub retry: Option<u64>,
+    /// `(demand block, epoch)` pairs whose transaction entered (or re-entered)
+    /// a response-waiting phase; the system arms a `DirTimeout` for each when
+    /// directory timeouts are enabled, and ignores them otherwise.
+    pub arm: Vec<(u64, u64)>,
+}
+
+/// What a fired directory timeout did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TimeoutAction {
+    /// The transaction moved on (or the epoch advanced): nothing to do.
+    Stale,
+    /// Missing responses were re-solicited and a fresh timeout armed.
+    Resent,
+    /// The retry budget is spent; the run should abort.
+    Exhausted,
 }
 
 #[derive(Debug)]
@@ -115,6 +143,10 @@ pub(crate) struct Bank {
     /// victim block → demand block whose transaction is recalling it.
     recall_owner: HashMap<u64, u64>,
     waiting: HashMap<u64, VecDeque<Request>>,
+    /// Tolerate duplicate/stale responses (set when directory timeouts are
+    /// enabled: a NACK resend can race the original response). Off by
+    /// default so protocol bugs still trip the strict assertions.
+    lenient: bool,
     // counters
     gets: u64,
     getm: u64,
@@ -122,6 +154,9 @@ pub(crate) struct Bank {
     hits: u64,
     misses: u64,
     recalls: u64,
+    timeouts: u64,
+    nack_resends: u64,
+    stale_resps: u64,
 }
 
 impl Bank {
@@ -132,13 +167,24 @@ impl Bank {
             tx: HashMap::new(),
             recall_owner: HashMap::new(),
             waiting: HashMap::new(),
+            lenient: false,
             gets: 0,
             getm: 0,
             puts: 0,
             hits: 0,
             misses: 0,
             recalls: 0,
+            timeouts: 0,
+            nack_resends: 0,
+            stale_resps: 0,
         }
+    }
+
+    /// Switches the bank to lenient response handling (directory timeouts
+    /// enabled: resends may race originals, so duplicates must be ignored
+    /// rather than asserted against).
+    pub fn set_lenient(&mut self) {
+        self.lenient = true;
     }
 
     fn busy(&self, block: u64) -> bool {
@@ -159,11 +205,14 @@ impl Bank {
             Tx {
                 req,
                 phase: Phase::Start,
-                acks: 0,
-                fetch: false,
+                pending_inv: 0,
+                fetch_from: None,
+                fetch_inv: false,
                 upgrade: false,
                 fill_data: None,
                 recall: None,
+                epoch: 0,
+                nacks: 0,
             },
         );
         true
@@ -272,8 +321,10 @@ impl Bank {
                 }
                 out.sends.push((owner, DirToL1::Fetch { block }));
                 let tx = self.tx.get_mut(&block).expect("tx");
-                tx.fetch = true;
+                tx.fetch_from = Some(owner);
+                tx.fetch_inv = false;
                 tx.phase = Phase::AwaitInvFetch;
+                out.arm.push((block, tx.epoch));
             }
         }
     }
@@ -305,12 +356,13 @@ impl Bank {
                     out.sends.push((p, DirToL1::Inv { block }));
                 }
                 let tx = self.tx.get_mut(&block).expect("tx");
-                tx.acks = others.count_ones() as usize;
+                tx.pending_inv = others;
                 tx.upgrade = upgrade;
-                if tx.acks == 0 {
+                if others == 0 {
                     self.complete_getm(block, out);
                 } else {
                     tx.phase = Phase::AwaitInvFetch;
+                    out.arm.push((block, tx.epoch));
                 }
             }
             DirState::Owned { owner, sharers } => {
@@ -320,12 +372,13 @@ impl Bank {
                         out.sends.push((p, DirToL1::Inv { block }));
                     }
                     let tx = self.tx.get_mut(&block).expect("tx");
-                    tx.acks = sharers.count_ones() as usize;
+                    tx.pending_inv = sharers;
                     tx.upgrade = true;
-                    if tx.acks == 0 {
+                    if sharers == 0 {
                         self.complete_getm(block, out);
                     } else {
                         tx.phase = Phase::AwaitInvFetch;
+                        out.arm.push((block, tx.epoch));
                     }
                 } else {
                     out.sends.push((owner, DirToL1::FetchInv { block }));
@@ -334,12 +387,14 @@ impl Bank {
                         out.sends.push((p, DirToL1::Inv { block }));
                     }
                     let tx = self.tx.get_mut(&block).expect("tx");
-                    tx.fetch = true;
-                    tx.acks = others.count_ones() as usize;
+                    tx.fetch_from = Some(owner);
+                    tx.fetch_inv = true;
+                    tx.pending_inv = others;
                     // If the requestor held an S copy under an O owner its
                     // data is current (O writes require GetM), so upgrade.
                     tx.upgrade = sharers & bit(from) != 0;
                     tx.phase = Phase::AwaitInvFetch;
+                    out.arm.push((block, tx.epoch));
                 }
             }
         }
@@ -395,10 +450,10 @@ impl Bank {
 
     fn handle_put_dirty(&mut self, block: u64, req: &Request, out: &mut BankOut) {
         let data = req.data.expect("PutDirty carries data");
-        let stale = match self.array.peek(block).map(|m| m.dir) {
-            Some(DirState::Owned { owner, .. }) if owner == req.from => false,
-            _ => true,
-        };
+        let stale = !matches!(
+            self.array.peek(block).map(|m| m.dir),
+            Some(DirState::Owned { owner, .. }) if owner == req.from
+        );
         if !stale {
             self.array.set_data(block, data);
             let meta = self.array.peek_mut(block).expect("hit");
@@ -478,8 +533,8 @@ impl Bank {
         let data = self.array.data(victim);
         let mut recall = Recall {
             victim,
-            acks: 0,
-            fetch: false,
+            pending_inv: 0,
+            fetch_from: None,
             dirty: meta.dirty,
             data,
         };
@@ -489,23 +544,24 @@ impl Bank {
                 for p in ports(s) {
                     out.sends.push((p, DirToL1::Inv { block: victim }));
                 }
-                recall.acks = s.count_ones() as usize;
+                recall.pending_inv = s;
             }
             DirState::Owned { owner, sharers } => {
                 out.sends.push((owner, DirToL1::FetchInv { block: victim }));
-                recall.fetch = true;
+                recall.fetch_from = Some(owner);
                 for p in ports(sharers) {
                     out.sends.push((p, DirToL1::Inv { block: victim }));
                 }
-                recall.acks = sharers.count_ones() as usize;
+                recall.pending_inv = sharers;
             }
         }
-        let pending = recall.acks > 0 || recall.fetch;
+        let pending = recall.pending_inv != 0 || recall.fetch_from.is_some();
         self.recall_owner.insert(victim, block);
         let tx = self.tx.get_mut(&block).expect("tx");
         tx.recall = Some(recall);
         if pending {
             tx.phase = Phase::AwaitRecall;
+            out.arm.push((block, tx.epoch));
         } else {
             self.finish_recall(block, out);
         }
@@ -554,10 +610,14 @@ impl Bank {
         }
     }
 
-    /// An L1 response (InvResp / FetchResp) arrived.
+    /// An L1 response (InvResp / FetchResp) arrived. Responses from ports
+    /// that are no longer pending (possible only in lenient mode, when a
+    /// NACK resend raced the original response) are counted and ignored.
     pub fn resp_arrive(&mut self, resp: L1ToDir, out: &mut BankOut) {
-        let rblock = match &resp {
-            L1ToDir::InvResp { block, .. } | L1ToDir::FetchResp { block, .. } => *block,
+        let (rblock, from) = match &resp {
+            L1ToDir::InvResp { block, from, .. } | L1ToDir::FetchResp { block, from, .. } => {
+                (*block, *from)
+            }
         };
         // Route: either a recall on the victim block, or a demand transaction.
         if let Some(&demand) = self.recall_owner.get(&rblock) {
@@ -565,38 +625,68 @@ impl Bank {
             let recall = tx.recall.as_mut().expect("recall state");
             match resp {
                 L1ToDir::InvResp { data, .. } => {
+                    if recall.pending_inv & bit(from) == 0 {
+                        debug_assert!(self.lenient, "duplicate recall InvResp from {from:?}");
+                        self.stale_resps += 1;
+                        return;
+                    }
                     if let Some(d) = data {
                         recall.data = d;
                         recall.dirty = true;
                     }
-                    recall.acks -= 1;
+                    recall.pending_inv &= !bit(from);
                 }
                 L1ToDir::FetchResp { data, dirty, .. } => {
+                    if recall.fetch_from != Some(from) {
+                        debug_assert!(self.lenient, "duplicate recall FetchResp from {from:?}");
+                        self.stale_resps += 1;
+                        return;
+                    }
                     if dirty {
                         recall.data = data;
                         recall.dirty = true;
                     }
-                    recall.fetch = false;
+                    recall.fetch_from = None;
                 }
             }
-            if recall.acks == 0 && !recall.fetch {
+            if recall.pending_inv == 0 && recall.fetch_from.is_none() {
                 self.finish_recall(demand, out);
             }
             return;
         }
-        let tx = self.tx.get_mut(&rblock).expect("response without tx");
-        debug_assert_eq!(tx.phase, Phase::AwaitInvFetch);
+        let Some(tx) = self.tx.get_mut(&rblock) else {
+            assert!(self.lenient, "response without tx");
+            self.stale_resps += 1;
+            return;
+        };
+        if tx.phase != Phase::AwaitInvFetch {
+            debug_assert!(self.lenient, "response in phase {:?}", tx.phase);
+            self.stale_resps += 1;
+            return;
+        }
         match resp {
             L1ToDir::InvResp { data, .. } => {
+                let tx = self.tx.get_mut(&rblock).expect("tx");
+                if tx.pending_inv & bit(from) == 0 {
+                    debug_assert!(self.lenient, "duplicate InvResp from {from:?}");
+                    self.stale_resps += 1;
+                    return;
+                }
+                tx.pending_inv &= !bit(from);
                 if let Some(d) = data {
                     // A racing writeback: the invalidated copy was dirty.
                     self.array.set_data(rblock, d);
                     self.array.peek_mut(rblock).expect("hit").dirty = true;
                 }
-                let tx = self.tx.get_mut(&rblock).expect("tx");
-                tx.acks -= 1;
             }
             L1ToDir::FetchResp { data, dirty, .. } => {
+                let tx = self.tx.get_mut(&rblock).expect("tx");
+                if tx.fetch_from != Some(from) {
+                    debug_assert!(self.lenient, "duplicate FetchResp from {from:?}");
+                    self.stale_resps += 1;
+                    return;
+                }
+                tx.fetch_from = None;
                 self.array.set_data(rblock, data);
                 {
                     let meta = self.array.peek_mut(rblock).expect("hit");
@@ -605,18 +695,91 @@ impl Bank {
                     }
                     meta.fresh = true;
                 }
-                let tx = self.tx.get_mut(&rblock).expect("tx");
-                tx.fetch = false;
             }
         }
         let tx = self.tx.get(&rblock).expect("tx");
-        if tx.acks == 0 && !tx.fetch {
+        if tx.pending_inv == 0 && tx.fetch_from.is_none() {
             match tx.req.kind {
                 ReqKind::GetS => self.complete_gets(rblock, out),
                 ReqKind::GetM => self.complete_getm(rblock, out),
                 _ => unreachable!("Put awaiting acks"),
             }
         }
+    }
+
+    /// A `DirTimeout` armed at `epoch` fired for `block`: if the transaction
+    /// still waits on responses from that round, NACK it — re-solicit every
+    /// missing response and arm a fresh timeout — until `budget` resends are
+    /// spent, at which point the caller aborts the run.
+    pub fn timeout_fired(
+        &mut self,
+        block: u64,
+        epoch: u64,
+        budget: u32,
+        out: &mut BankOut,
+    ) -> TimeoutAction {
+        let Some(tx) = self.tx.get_mut(&block) else {
+            return TimeoutAction::Stale;
+        };
+        if tx.epoch != epoch {
+            return TimeoutAction::Stale;
+        }
+        let resend: Vec<(PortId, DirToL1)> = match tx.phase {
+            Phase::AwaitInvFetch => {
+                let mut v: Vec<(PortId, DirToL1)> = ports(tx.pending_inv)
+                    .map(|p| (p, DirToL1::Inv { block }))
+                    .collect();
+                if let Some(o) = tx.fetch_from {
+                    let msg = if tx.fetch_inv {
+                        DirToL1::FetchInv { block }
+                    } else {
+                        DirToL1::Fetch { block }
+                    };
+                    v.push((o, msg));
+                }
+                v
+            }
+            Phase::AwaitRecall => {
+                let recall = tx.recall.as_ref().expect("recall state");
+                let victim = recall.victim;
+                let mut v: Vec<(PortId, DirToL1)> = ports(recall.pending_inv)
+                    .map(|p| (p, DirToL1::Inv { block: victim }))
+                    .collect();
+                if let Some(o) = recall.fetch_from {
+                    v.push((o, DirToL1::FetchInv { block: victim }));
+                }
+                v
+            }
+            _ => return TimeoutAction::Stale,
+        };
+        if resend.is_empty() {
+            return TimeoutAction::Stale;
+        }
+        self.timeouts += 1;
+        let tx = self.tx.get_mut(&block).expect("tx");
+        if tx.nacks >= budget {
+            return TimeoutAction::Exhausted;
+        }
+        tx.nacks += 1;
+        tx.epoch += 1;
+        let next_epoch = tx.epoch;
+        self.nack_resends += resend.len() as u64;
+        out.sends.extend(resend);
+        out.arm.push((block, next_epoch));
+        TimeoutAction::Resent
+    }
+
+    /// Human-readable phase of the active transaction on `block`, if any
+    /// (for the watchdog's diagnostic dump).
+    pub fn tx_phase(&self, block: u64) -> Option<String> {
+        self.tx.get(&block).map(|t| format!("{:?}", t.phase))
+    }
+
+    /// Blocks with an active transaction, sorted (for diagnostics).
+    pub fn active_blocks(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.tx.keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     fn finish(&mut self, block: u64, out: &mut BankOut) {
@@ -691,6 +854,11 @@ impl Bank {
         s.set("hits", self.hits as f64);
         s.set("misses", self.misses as f64);
         s.set("recalls", self.recalls as f64);
+        if self.lenient {
+            s.set("dir_timeouts", self.timeouts as f64);
+            s.set("dir_nacks", self.nack_resends as f64);
+            s.set("stale_resps", self.stale_resps as f64);
+        }
         s
     }
 }

@@ -21,7 +21,7 @@ impl CacheConfig {
     pub fn from_capacity(bytes: usize, ways: usize) -> CacheConfig {
         let line = BLOCK_BYTES as usize;
         assert!(
-            bytes % (ways * line) == 0 && bytes > 0,
+            bytes > 0 && bytes.is_multiple_of(ways * line),
             "capacity {bytes} not divisible into {ways}-way sets of {line}B lines"
         );
         CacheConfig {
@@ -230,7 +230,7 @@ impl<M> CacheArray<M> {
                 None => return None,
                 Some(b) => {
                     let lru = self.ways[i].lru;
-                    if victim.map_or(true, |(vl, _)| lru < vl) {
+                    if victim.is_none_or(|(vl, _)| lru < vl) {
                         victim = Some((lru, b));
                     }
                 }
@@ -300,7 +300,7 @@ impl<M> CacheArray<M> {
                 slot = Some(i);
                 break;
             }
-            if lru_slot.map_or(true, |j: usize| self.ways[i].lru < self.ways[j].lru) {
+            if lru_slot.is_none_or(|j: usize| self.ways[i].lru < self.ways[j].lru) {
                 lru_slot = Some(i);
             }
         }
@@ -494,7 +494,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "slow-tests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -1,12 +1,26 @@
 //! Off-chip DRAM model: sparse backing store + fixed latency + channel
 //! bandwidth, with the access counters behind the paper's Figure 9.
 
-use ccsvm_engine::{Stats, Time};
+use ccsvm_engine::{DramFaultConfig, SplitMix64, Stats, Time};
 
 use crate::addr::{offset_in_block, PhysAddr, BLOCK_BYTES};
 use crate::msg::BlockData;
 
 const PAGE_BYTES: u64 = 4096;
+
+/// SECDED ECC fault model on the read path, present only when fault
+/// injection is installed. Single-bit flips are corrected (the stored data
+/// is untouched — SECDED recovers it — and the event is counted);
+/// double-bit flips are detected but uncorrectable: the block is marked
+/// poisoned and the requester sees `AccessResult::Poisoned` instead of
+/// silently consuming corrupt data.
+#[derive(Clone, Debug, PartialEq)]
+struct DramFaults {
+    cfg: DramFaultConfig,
+    rng: SplitMix64,
+    corrected: u64,
+    poisoned_events: u64,
+}
 
 /// DRAM timing parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,6 +68,7 @@ pub struct Dram {
     channel_free: Vec<Time>,
     reads: u64,
     writes: u64,
+    faults: Option<DramFaults>,
 }
 
 impl Dram {
@@ -66,7 +81,13 @@ impl Dram {
             channel_free: vec![Time::ZERO; config.channels],
             reads: 0,
             writes: 0,
+            faults: None,
         }
+    }
+
+    /// Enables the SECDED ECC fault model with its own RNG stream.
+    pub fn install_faults(&mut self, cfg: DramFaultConfig, rng: SplitMix64) {
+        self.faults = Some(DramFaults { cfg, rng, corrected: 0, poisoned_events: 0 });
     }
 
     /// The timing configuration.
@@ -100,14 +121,34 @@ impl Dram {
     }
 
     /// Timed read of block `block` on the channel for `channel_key`:
-    /// returns the completion time and the data, and counts one DRAM access.
-    pub fn timed_read_block(&mut self, now: Time, channel_key: usize, block: u64) -> (Time, BlockData) {
+    /// returns the completion time, the data, and whether ECC declared the
+    /// block poisoned (uncorrectable double-bit error); counts one DRAM
+    /// access. The stored data is never corrupted: a single-bit flip is
+    /// corrected by SECDED before the data leaves the controller, and a
+    /// double-bit flip is *detected*, so the block is tagged rather than
+    /// corrupt data silently returned.
+    pub fn timed_read_block(
+        &mut self,
+        now: Time,
+        channel_key: usize,
+        block: u64,
+    ) -> (Time, BlockData, bool) {
         if std::env::var("CCSVM_DRAM_TRACE").is_ok() { eprintln!("DRAMRD {block}"); }
         self.reads += 1;
         let done = self.reserve(now, channel_key);
         let mut data = [0u8; BLOCK_BYTES as usize];
         self.read_bytes(crate::addr::base_of_block(block), &mut data);
-        (done, data)
+        let mut poisoned = false;
+        if let Some(f) = &mut self.faults {
+            let u = f.rng.next_f64();
+            if u < f.cfg.double_bit_rate {
+                f.poisoned_events += 1;
+                poisoned = true;
+            } else if u < f.cfg.double_bit_rate + f.cfg.single_bit_rate {
+                f.corrected += 1;
+            }
+        }
+        (done, data, poisoned)
     }
 
     /// Timed writeback of a block; returns completion time and counts one
@@ -153,12 +194,17 @@ impl Dram {
         self.reads + self.writes
     }
 
-    /// Read / write counters.
+    /// Read / write counters. ECC counters appear only when the fault model
+    /// is installed, keeping healthy-run reports unchanged.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
         s.set("reads", self.reads as f64);
         s.set("writes", self.writes as f64);
         s.set("accesses", self.accesses() as f64);
+        if let Some(f) = &self.faults {
+            s.set("ecc_corrected", f.corrected as f64);
+            s.set("ecc_poisoned", f.poisoned_events as f64);
+        }
         s
     }
 
@@ -205,7 +251,8 @@ mod tests {
     fn timed_read_counts_and_delays() {
         let mut d = Dram::new(DramConfig::paper_default());
         d.write_bytes(PhysAddr(64), &[7]);
-        let (done, data) = d.timed_read_block(Time::ZERO, 0, 1);
+        let (done, data, poisoned) = d.timed_read_block(Time::ZERO, 0, 1);
+        assert!(!poisoned);
         assert!(done >= Time::from_ns(100));
         assert_eq!(data[0], 7);
         assert_eq!(d.accesses(), 1);
@@ -233,8 +280,8 @@ mod tests {
             channels: 1,
         };
         let mut d = Dram::new(cfg);
-        let (a, _) = d.timed_read_block(Time::ZERO, 0, 0);
-        let (b, _) = d.timed_read_block(Time::ZERO, 0, 1);
+        let (a, _, _) = d.timed_read_block(Time::ZERO, 0, 0);
+        let (b, _, _) = d.timed_read_block(Time::ZERO, 0, 1);
         assert_eq!(a, Time::from_ns(110));
         // Second burst starts after the first burst's occupancy (10ns), fully
         // pipelined behind the latency.
@@ -248,6 +295,35 @@ mod tests {
         assert_eq!(d.stats().get("writes"), 2.0); // ceil(100/64)
         d.reset_counters();
         assert_eq!(d.accesses(), 0);
+    }
+
+
+    #[test]
+    fn ecc_corrects_singles_poisons_doubles_deterministically() {
+        let cfg = DramFaultConfig { single_bit_rate: 0.3, double_bit_rate: 0.1 };
+        let run = |seed: u64| {
+            let mut d = Dram::new(DramConfig::paper_default());
+            d.write_bytes(PhysAddr(0), &[5]);
+            d.install_faults(cfg, SplitMix64::new(seed));
+            let mut poisons = Vec::new();
+            for i in 0..200u64 {
+                let (_, data, poisoned) = d.timed_read_block(Time::ZERO, 0, i % 8);
+                if i % 8 == 0 {
+                    assert_eq!(data[0], 5, "corrected reads return true data");
+                }
+                if poisoned {
+                    poisons.push(i);
+                }
+            }
+            (poisons, d.stats().get("ecc_corrected"), d.stats().get("ecc_poisoned"))
+        };
+        let (p1, c1, d1) = run(11);
+        let (p2, c2, d2) = run(11);
+        assert_eq!((&p1, c1, d1), (&p2, c2, d2), "same seed replays bit-for-bit");
+        assert!(c1 > 0.0 && d1 > 0.0, "rates high enough to observe both");
+        assert_eq!(d1 as usize, p1.len());
+        let (p3, _, _) = run(12);
+        assert_ne!(p1, p3, "different seeds diverge");
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub(crate) enum L1Access {
 pub(crate) struct L1Out {
     pub requests: Vec<Request>,
     pub responses: Vec<L1ToDir>,
-    pub completions: Vec<(u64, u64)>, // (token, value)
+    pub completions: Vec<(u64, u64, u64)>, // (token, value, block)
 }
 
 #[derive(Debug)]
@@ -114,6 +114,11 @@ pub(crate) struct L1 {
     /// Ways reserved per set for in-flight fills, so a fill can always
     /// install without evicting a line that itself has a pending miss.
     reserved: HashMap<u64, usize>,
+    /// Tolerate duplicate directory messages (set when directory timeouts
+    /// are enabled: a NACK-resent Fetch can arrive after the original
+    /// response already gave the block away). Off by default so protocol
+    /// bugs still trip the strict assertions.
+    lenient: bool,
     // counters
     loads: u64,
     stores: u64,
@@ -125,6 +130,7 @@ pub(crate) struct L1 {
     writebacks: u64,
     invalidations: u64,
     fetches: u64,
+    spurious_fetches: u64,
 }
 
 impl L1 {
@@ -137,6 +143,7 @@ impl L1 {
             mshrs: HashMap::new(),
             evict_buf: HashMap::new(),
             reserved: HashMap::new(),
+            lenient: false,
             loads: 0,
             stores: 0,
             atomics: 0,
@@ -147,7 +154,14 @@ impl L1 {
             writebacks: 0,
             invalidations: 0,
             fetches: 0,
+            spurious_fetches: 0,
         }
+    }
+
+    /// Switches to lenient handling of duplicate directory messages (see
+    /// the field docs); used when directory timeouts are enabled.
+    pub fn set_lenient(&mut self) {
+        self.lenient = true;
     }
 
     fn read_word(&self, addr: PhysAddr, size: usize) -> u64 {
@@ -207,7 +221,7 @@ impl L1 {
         }
         if self.mshrs.len() >= self.config.max_mshrs {
             self.retries += 1;
-            if std::env::var("CCSVM_RETRY_TRACE").is_ok() && self.retries % 10000 == 0 {
+            if std::env::var("CCSVM_RETRY_TRACE").is_ok() && self.retries.is_multiple_of(10000) {
                 eprintln!("RETRY mshr-full port={:?} mshrs={:?}", self.id,
                     self.mshrs.keys().collect::<Vec<_>>());
             }
@@ -217,7 +231,7 @@ impl L1 {
         // misses that will install into a new way need a reservation.
         if state == L1State::I && !self.reserve_way(block, out) {
             self.retries += 1;
-            if std::env::var("CCSVM_RETRY_TRACE").is_ok() && self.retries % 10000 == 0 {
+            if std::env::var("CCSVM_RETRY_TRACE").is_ok() && self.retries.is_multiple_of(10000) {
                 eprintln!("RETRY reserve-fail port={:?} block={block} set={} reserved={:?}",
                     self.id, self.array.set_of(block), self.reserved);
             }
@@ -386,17 +400,20 @@ impl L1 {
                         data,
                         dirty,
                     });
-                } else {
-                    let e = self
-                        .evict_buf
-                        .get(&block)
-                        .expect("Fetch for block neither resident nor evicting");
+                } else if let Some(e) = self.evict_buf.get(&block) {
                     out.responses.push(L1ToDir::FetchResp {
                         from: self.id,
                         block,
                         data: e.data,
                         dirty: e.dirty,
                     });
+                } else {
+                    // Only reachable in lenient mode: a NACK-resent Fetch
+                    // arrived after this L1 already answered and dropped the
+                    // block. Stay silent — the data cannot be resent — and
+                    // let the original answer (or the retry budget) decide.
+                    assert!(self.lenient, "Fetch for block neither resident nor evicting");
+                    self.spurious_fetches += 1;
                 }
             }
             DirToL1::FetchInv { block } => {
@@ -409,17 +426,16 @@ impl L1 {
                         data,
                         dirty: line.state.dirty(),
                     });
-                } else {
-                    let e = self
-                        .evict_buf
-                        .get(&block)
-                        .expect("FetchInv for block neither resident nor evicting");
+                } else if let Some(e) = self.evict_buf.get(&block) {
                     out.responses.push(L1ToDir::FetchResp {
                         from: self.id,
                         block,
                         data: e.data,
                         dirty: e.dirty,
                     });
+                } else {
+                    assert!(self.lenient, "FetchInv for block neither resident nor evicting");
+                    self.spurious_fetches += 1;
                 }
             }
             DirToL1::PutAck { block } => {
@@ -460,13 +476,13 @@ impl L1 {
                     out.completions.push((w.token, {
                         let d = self.array.data(block);
                         word_from_block(&d, paddr, size)
-                    }));
+                    }, block));
                 }
                 Access::Write { .. } | Access::Rmw { .. } => {
                     if matches!(state, L1State::M | L1State::E) {
                         let value = self.perform_write(w.access);
                         self.array.lookup_mut(block).expect("resident").state = L1State::M;
-                        out.completions.push((w.token, value));
+                        out.completions.push((w.token, value, block));
                         self.maybe_write_through(block, out);
                     } else {
                         remaining.push(w);
@@ -543,6 +559,15 @@ impl L1 {
         self.mshrs.is_empty() && self.evict_buf.is_empty()
     }
 
+    /// Blocks with an in-flight miss (MSHR allocated), sorted — the
+    /// per-port "outstanding accesses" line of the watchdog's diagnostic
+    /// dump.
+    pub fn outstanding_blocks(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.mshrs.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
         s.set("loads", self.loads as f64);
@@ -555,6 +580,9 @@ impl L1 {
         s.set("writebacks", self.writebacks as f64);
         s.set("invalidations", self.invalidations as f64);
         s.set("fetches", self.fetches as f64);
+        if self.lenient {
+            s.set("spurious_fetches", self.spurious_fetches as f64);
+        }
         s
     }
 }

@@ -151,6 +151,30 @@ pub(crate) enum MemEventKind {
     /// Bank finished its fixed access latency and can start working on the
     /// transaction for `block`.
     BankReady { bank: BankId, block: u64 },
+    /// A directory transaction at `bank` for `block` has waited long enough
+    /// on invalidation/fetch responses to NACK and re-solicit them. `epoch`
+    /// identifies which solicitation round armed the timer; a re-solicit
+    /// bumps the transaction's epoch, turning older timeout events stale.
+    DirTimeout { bank: BankId, block: u64, epoch: u64 },
+}
+
+impl MemEvent {
+    /// Whether this event delivers a directory→L1 data grant (the message
+    /// that completes a miss). Exposed for fault-injection test knobs that
+    /// simulate a lost completion.
+    pub fn is_data_delivery(&self) -> bool {
+        matches!(self.0, MemEventKind::DirArrive(_, DirToL1::Data { .. }))
+    }
+
+    /// The block of an L1→directory response event, if this is one. Exposed
+    /// for fault-injection test knobs that black-hole a responder.
+    pub fn resp_block(&self) -> Option<u64> {
+        match &self.0 {
+            MemEventKind::RespArrive(_, L1ToDir::InvResp { block, .. })
+            | MemEventKind::RespArrive(_, L1ToDir::FetchResp { block, .. }) => Some(*block),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

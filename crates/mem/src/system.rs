@@ -1,11 +1,13 @@
 //! The composed coherent memory system: L1s + directory banks + DRAM,
 //! exchanging messages over a caller-supplied NoC.
 
-use ccsvm_engine::{Stats, Time};
+use std::collections::BTreeSet;
+
+use ccsvm_engine::{FaultDomain, FaultPlan, Stats, Time};
 use ccsvm_noc::Network;
 
 use crate::addr::{block_of, PhysAddr};
-use crate::bank::{Bank, BankOut};
+use crate::bank::{Bank, BankOut, TimeoutAction};
 use crate::cache::CacheConfig;
 use crate::dram::{Dram, DramConfig};
 use crate::l1::{L1Access, L1Config, L1Out, L1State, L1};
@@ -81,6 +83,10 @@ pub enum AccessResult {
     Pending,
     /// All MSHRs are busy; retry after a short delay.
     Retry,
+    /// The accessed block was poisoned by an uncorrectable (double-bit) DRAM
+    /// ECC error; the access cannot produce trustworthy data and the machine
+    /// should abort the run gracefully.
+    Poisoned,
 }
 
 /// A finished miss, reported from [`MemorySystem::handle`].
@@ -92,6 +98,9 @@ pub struct Completion {
     pub token: u64,
     /// Load/atomic result (stores echo the stored value).
     pub value: u64,
+    /// The filled block carries an uncorrectable ECC error; the value must
+    /// not be architecturally consumed.
+    pub poisoned: bool,
 }
 
 /// Configuration of one directory/L2 bank.
@@ -130,6 +139,15 @@ pub struct MemorySystem {
     dram: Dram,
     ctrl_bytes: usize,
     data_bytes: usize,
+    /// Blocks whose last DRAM fill carried an uncorrectable ECC error.
+    poisoned: BTreeSet<u64>,
+    /// Directory response timeout; `None` disables NACK/retry entirely.
+    dir_timeout: Option<Time>,
+    /// NACK resends allowed per transaction before the run aborts.
+    dir_budget: u32,
+    /// Set when a transaction spent its whole retry budget (sticky until
+    /// [`MemorySystem::take_retry_exhausted`]).
+    retry_exhausted: Option<(BankId, u64)>,
 }
 
 impl MemorySystem {
@@ -161,6 +179,33 @@ impl MemorySystem {
             dram: Dram::new(config.dram),
             ctrl_bytes: config.ctrl_bytes,
             data_bytes: config.data_bytes,
+            poisoned: BTreeSet::new(),
+            dir_timeout: None,
+            dir_budget: 0,
+            retry_exhausted: None,
+        }
+    }
+
+    /// Installs seeded fault injection: DRAM ECC flips when either rate is
+    /// non-zero, and directory NACK/retry when a timeout is configured. With
+    /// the default (all-off) plan this is a no-op and the system behaves —
+    /// and reports stats — exactly as without faults.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        let cfg = plan.config();
+        if cfg.dram.single_bit_rate > 0.0 || cfg.dram.double_bit_rate > 0.0 {
+            self.dram.install_faults(cfg.dram, plan.stream(FaultDomain::Dram));
+        }
+        if let Some(timeout) = cfg.dir.timeout {
+            self.dir_timeout = Some(timeout);
+            self.dir_budget = cfg.dir.retry_budget;
+            // NACK resends can race in-flight originals, so duplicate
+            // responses become expected rather than protocol errors.
+            for b in &mut self.banks {
+                b.set_lenient();
+            }
+            for l1 in &mut self.l1s {
+                l1.set_lenient();
+            }
         }
     }
 
@@ -221,10 +266,15 @@ impl MemorySystem {
         let hit_time = self.l1s[port.0].config.hit_time;
         self.flush_l1_out(now + hit_time, port, out, net, sched, &mut Vec::new());
         match result {
-            L1Access::Hit { value } => AccessResult::Hit {
-                finish: now + hit_time,
-                value,
-            },
+            L1Access::Hit { value } => {
+                if !self.poisoned.is_empty() && self.poisoned.contains(&block_of(access.addr())) {
+                    return AccessResult::Poisoned;
+                }
+                AccessResult::Hit {
+                    finish: now + hit_time,
+                    value,
+                }
+            }
             L1Access::Pending => AccessResult::Pending,
             L1Access::Retry => AccessResult::Retry,
         }
@@ -272,6 +322,16 @@ impl MemorySystem {
                 self.l1s[port.0].on_dir_msg(msg, &mut out);
                 self.flush_l1_out(now, port, out, net, sched, completions);
             }
+            MemEventKind::DirTimeout { bank, block, epoch } => {
+                let budget = self.dir_budget;
+                let mut out = BankOut::default();
+                if let TimeoutAction::Exhausted =
+                    self.banks[bank.0].timeout_fired(block, epoch, budget, &mut out)
+                {
+                    self.retry_exhausted = Some((bank, block));
+                }
+                self.apply_bank_out(now, bank.0, out, net, sched);
+            }
         }
     }
 
@@ -298,8 +358,9 @@ impl MemorySystem {
             let t = net.send(now, node, self.bank_cfg[b].node, self.resp_bytes(&resp));
             sched(t, MemEvent(MemEventKind::RespArrive(BankId(b), resp)));
         }
-        for (token, value) in out.completions {
-            completions.push(Completion { port, token, value });
+        for (token, value, block) in out.completions {
+            let poisoned = !self.poisoned.is_empty() && self.poisoned.contains(&block);
+            completions.push(Completion { port, token, value, poisoned });
         }
     }
 
@@ -318,7 +379,10 @@ impl MemorySystem {
             sched(t, MemEvent(MemEventKind::DirArrive(port, msg)));
         }
         if let Some(block) = out.dram_read {
-            let (done, _) = self.dram.timed_read_block(now, bank, block);
+            let (done, _, poisoned) = self.dram.timed_read_block(now, bank, block);
+            if poisoned {
+                self.poisoned.insert(block);
+            }
             sched(
                 done,
                 MemEvent(MemEventKind::DramReadDone {
@@ -354,6 +418,18 @@ impl MemorySystem {
                     block,
                 }),
             );
+        }
+        if let Some(timeout) = self.dir_timeout {
+            for (block, epoch) in out.arm {
+                sched(
+                    now + timeout,
+                    MemEvent(MemEventKind::DirTimeout {
+                        bank: BankId(bank),
+                        block,
+                        epoch,
+                    }),
+                );
+            }
         }
     }
 
@@ -450,6 +526,48 @@ impl MemorySystem {
     /// queued requests).
     pub fn quiescent(&self) -> bool {
         self.l1s.iter().all(L1::quiescent) && self.banks.iter().all(Bank::quiescent)
+    }
+
+    /// Outstanding miss blocks per port (ports with none are omitted) — the
+    /// watchdog's "who is stuck" diagnostic.
+    pub fn outstanding(&self) -> Vec<(PortId, Vec<u64>)> {
+        self.l1s
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l1)| {
+                let blocks = l1.outstanding_blocks();
+                (!blocks.is_empty()).then_some((PortId(i), blocks))
+            })
+            .collect()
+    }
+
+    /// Blocks with an active directory transaction, per bank (banks with none
+    /// are omitted).
+    pub fn dir_active(&self) -> Vec<(BankId, Vec<u64>)> {
+        self.banks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let blocks = b.active_blocks();
+                (!blocks.is_empty()).then_some((BankId(i), blocks))
+            })
+            .collect()
+    }
+
+    /// Phase of the active directory transaction on `block` at its home bank.
+    pub fn dir_tx_phase(&self, block: u64) -> Option<String> {
+        self.banks[self.home(block)].tx_phase(block)
+    }
+
+    /// Blocks poisoned by uncorrectable ECC errors, sorted.
+    pub fn poisoned_blocks(&self) -> Vec<u64> {
+        self.poisoned.iter().copied().collect()
+    }
+
+    /// Takes (and clears) the record of a transaction that exhausted its NACK
+    /// retry budget, if one did.
+    pub fn take_retry_exhausted(&mut self) -> Option<(BankId, u64)> {
+        self.retry_exhausted.take()
     }
 
     /// Directory-reported owner of a block (tests / invariant checks).

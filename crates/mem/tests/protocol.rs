@@ -85,6 +85,7 @@ impl Harness {
             }
             AccessResult::Pending => (token, None),
             AccessResult::Retry => panic!("unexpected MSHR exhaustion in test"),
+            AccessResult::Poisoned => panic!("unexpected ECC poison in test"),
         }
     }
 

@@ -155,6 +155,9 @@ pub struct BatchOutcome {
     pub action: MttopAction,
     /// New page faults discovered this batch.
     pub faults: Vec<PageFaultReq>,
+    /// An access this batch (or an earlier one) touched an ECC-poisoned
+    /// block; the machine must abort the run gracefully.
+    pub poisoned: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -265,6 +268,9 @@ pub struct MttopCore {
     tasks: u64,
     miss_lat_sum: Time,
     miss_count: u64,
+    /// Set (sticky) when any access observed ECC poison; surfaced through
+    /// [`BatchOutcome::poisoned`] so the machine can abort gracefully.
+    poisoned: bool,
 }
 
 impl MttopCore {
@@ -308,6 +314,7 @@ impl MttopCore {
             tasks: 0,
             miss_lat_sum: Time::ZERO,
             miss_count: 0,
+            poisoned: false,
         }
     }
 
@@ -458,6 +465,7 @@ impl MttopCore {
                 return BatchOutcome {
                     action: MttopAction::Continue { at: self.local_time },
                     faults,
+                    poisoned: self.poisoned,
                 };
             }
             // Collect up to `per_cycle` distinct ready warps for this cycle.
@@ -500,7 +508,7 @@ impl MttopCore {
                 } else {
                     MttopAction::Idle
                 };
-                return BatchOutcome { action, faults };
+                return BatchOutcome { action, faults, poisoned: self.poisoned };
             }
             self.rr = (chosen[chosen.len() - 1] + 1) % n;
             let cycle_start = self.local_time;
@@ -785,6 +793,11 @@ impl MttopCore {
                     self.warps[wi].ready_at = self.local_time + self.config.clock.cycles(8);
                     return false;
                 }
+                AccessResult::Poisoned => {
+                    self.poisoned = true;
+                    self.warps[wi].state = WarpState::Ready;
+                    return false;
+                }
             }
         }
     }
@@ -828,7 +841,7 @@ impl MttopCore {
             let Some(group) = plan.groups.as_mut().expect("groups").front().cloned() else {
                 break;
             };
-            if plan.issued > 0 && plan.issued as u64 % self.config.l1_banks == 0 {
+            if plan.issued > 0 && (plan.issued as u64).is_multiple_of(self.config.l1_banks) {
                 // A cycle per `l1_banks` groups: banked L1 ports.
                 self.local_time += self.config.clock.period();
             }
@@ -850,6 +863,10 @@ impl MttopCore {
                     // Yield: let the event loop drain MSHR completions.
                     self.warps[wi].state = WarpState::Ready;
                     self.warps[wi].ready_at = self.local_time + self.config.clock.cycles(8);
+                    return;
+                }
+                AccessResult::Poisoned => {
+                    self.poisoned = true;
                     return;
                 }
             }
@@ -932,6 +949,7 @@ impl MttopCore {
                                 lane_set(lane, rd, value);
                             }
                             AccessResult::Pending => self.warps[wi].outstanding += 1,
+                            AccessResult::Poisoned => self.poisoned = true,
                             AccessResult::Retry => {
                                 unreachable!("lane fallback with a just-freed MSHR")
                             }
@@ -943,6 +961,7 @@ impl MttopCore {
                         match self.issue_group(wi, std::slice::from_ref(op), mem, net, sched) {
                             AccessResult::Hit { .. } => {}
                             AccessResult::Pending => self.warps[wi].outstanding += 1,
+                            AccessResult::Poisoned => self.poisoned = true,
                             AccessResult::Retry => {
                                 unreachable!("lane fallback with a just-freed MSHR")
                             }
@@ -983,7 +1002,7 @@ impl MttopCore {
         self.miss_lat_sum += lat;
         self.miss_count += 1;
         if std::env::var("CCSVM_MISS_TRACE").is_ok() && lat > Time::from_ns(400) {
-            let b = flight.ops.first().and_then(|o| o.paddr).map(|p| ccsvm_mem::block_of(p));
+            let b = flight.ops.first().and_then(|o| o.paddr).map(ccsvm_mem::block_of);
             eprintln!("SLOWMISS {}ns block {:?} kind {}", lat.as_ns() as u64, b,
                 if flight.ops.is_empty() { "walk" } else { "data" });
         }

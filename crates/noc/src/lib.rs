@@ -31,7 +31,7 @@
 //! assert!(arrive > Time::ZERO);
 //! ```
 
-use ccsvm_engine::{Stats, Time};
+use ccsvm_engine::{NocFaultConfig, SplitMix64, Stats, Time};
 
 /// Identifies a node (router) on the torus.
 ///
@@ -176,6 +176,19 @@ impl NocConfig {
     }
 }
 
+/// Installed fault-injection state: knobs, a dedicated RNG stream, and
+/// retransmission counters. Absent (`None` in [`Network`]) unless faults are
+/// enabled, so the healthy path stays branch-cheap and bit-identical.
+#[derive(Clone, Debug, PartialEq)]
+struct NocFaults {
+    cfg: NocFaultConfig,
+    rng: SplitMix64,
+    /// Total link-level retransmissions charged.
+    retransmissions: u64,
+    /// Messages that experienced at least one retransmission.
+    faulted_messages: u64,
+}
+
 /// The interconnect: topology + link occupancy + traffic statistics.
 ///
 /// See the [crate docs](crate) for the modeling approach.
@@ -189,6 +202,7 @@ pub struct Network {
     messages: u64,
     total_bytes: u64,
     total_hops: u64,
+    faults: Option<NocFaults>,
 }
 
 impl Network {
@@ -201,7 +215,16 @@ impl Network {
             messages: 0,
             total_bytes: 0,
             total_hops: 0,
+            faults: None,
         }
+    }
+
+    /// Enables link-fault injection: each message may be "dropped" and
+    /// retransmitted with capped exponential backoff, drawn from `rng`.
+    /// Delivery is still guaranteed (link-level retry), only delayed and
+    /// counted, so higher layers need no loss handling.
+    pub fn install_faults(&mut self, cfg: NocFaultConfig, rng: SplitMix64) {
+        self.faults = Some(NocFaults { cfg, rng, retransmissions: 0, faulted_messages: 0 });
     }
 
     /// The topology this network routes over.
@@ -227,6 +250,24 @@ impl Network {
         let route = self.topo.route(src, dst);
         let ser = self.config.serialization(bytes);
         let mut t = now + self.config.endpoint_latency;
+        if let Some(f) = &mut self.faults {
+            // Link-level retry: each draw below drop_rate charges one
+            // retransmission with exponential backoff, capped per retry and
+            // bounded in count. Modeled as extra latency before injection;
+            // retransmitted flits are not re-charged against link occupancy.
+            let mut retries = 0u32;
+            while retries < f.cfg.max_retries && f.rng.next_f64() < f.cfg.drop_rate {
+                let backoff = Time::from_ps(
+                    (f.cfg.backoff.as_ps() << retries.min(20)).min(f.cfg.backoff_cap.as_ps()),
+                );
+                t += backoff;
+                retries += 1;
+            }
+            if retries > 0 {
+                f.retransmissions += u64::from(retries);
+                f.faulted_messages += 1;
+            }
+        }
         for pair in route.windows(2) {
             let (from, to) = (pair[0], pair[1]);
             let dir = self.direction(from, to);
@@ -259,12 +300,39 @@ impl Network {
     }
 
     /// Traffic statistics: message count, total payload bytes, total hops.
+    /// Fault counters appear only when fault injection is installed, keeping
+    /// healthy-run reports identical to a build without the fault layer.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
         s.set("messages", self.messages as f64);
         s.set("bytes", self.total_bytes as f64);
         s.set("hops", self.total_hops as f64);
+        if let Some(f) = &self.faults {
+            s.set("retransmissions", f.retransmissions as f64);
+            s.set("faulted_messages", f.faulted_messages as f64);
+        }
         s
+    }
+
+    /// Number of directed links still reserved past `now` (diagnostic for
+    /// the watchdog dump).
+    pub fn busy_links(&self, now: Time) -> usize {
+        self.link_free
+            .iter()
+            .flat_map(|dirs| dirs.iter())
+            .filter(|&&free| free > now)
+            .count()
+    }
+
+    /// The furthest-in-the-future link reservation (diagnostic for the
+    /// watchdog dump): how deep the worst link backlog runs past `now`.
+    pub fn max_backlog(&self, now: Time) -> Time {
+        self.link_free
+            .iter()
+            .flat_map(|dirs| dirs.iter())
+            .map(|&free| free.saturating_sub(now))
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 }
 
@@ -377,7 +445,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "slow-tests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -427,6 +495,77 @@ mod proptests {
             let a = n1.send(Time::from_ns(start), NodeId(0), NodeId(9), 72);
             let b = n2.send(Time::from_ns(start + 1), NodeId(0), NodeId(9), 72);
             prop_assert!(b > a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_faults_do_not_change_timing_or_stats() {
+        let topo = Topology::torus(4, 4);
+        let mut plain = Network::new(topo, NocConfig::paper_default());
+        let mut faulty = Network::new(topo, NocConfig::paper_default());
+        faulty.install_faults(
+            NocFaultConfig { drop_rate: 0.0, ..NocFaultConfig::default() },
+            SplitMix64::new(7),
+        );
+        for i in 0..50u64 {
+            let t = Time::from_ns(i * 3);
+            let (src, dst) = (NodeId((i % 16) as usize), NodeId(((i * 5 + 3) % 16) as usize));
+            assert_eq!(plain.send(t, src, dst, 72), faulty.send(t, src, dst, 72));
+        }
+        // Fault counter keys appear only when installed; values stay zero at
+        // rate 0 so the timing above matched.
+        assert_eq!(faulty.stats().get("retransmissions"), 0.0);
+        assert!(!plain.stats().contains("retransmissions"));
+    }
+
+    #[test]
+    fn retransmissions_delay_bounded_and_replay_deterministically() {
+        let topo = Topology::torus(4, 4);
+        let cfg = NocFaultConfig {
+            drop_rate: 0.5,
+            max_retries: 4,
+            backoff: Time::from_ns(10),
+            backoff_cap: Time::from_ns(40),
+        };
+        let run = |seed: u64| {
+            let mut net = Network::new(topo, NocConfig::paper_default());
+            net.install_faults(cfg, SplitMix64::new(seed));
+            let deliveries: Vec<Time> = (0..200u64)
+                .map(|i| {
+                    net.send(
+                        Time::from_ns(i * 2),
+                        NodeId((i % 16) as usize),
+                        NodeId(((i * 7 + 1) % 16) as usize),
+                        72,
+                    )
+                })
+                .collect();
+            (deliveries, net.stats().get("retransmissions"))
+        };
+        let (a, ra) = run(1);
+        let (b, rb) = run(1);
+        assert_eq!(a, b, "same seed: identical deliveries");
+        assert_eq!(ra, rb);
+        assert!(ra > 0.0, "at 50% drop rate some retransmissions must occur");
+        let (c, _) = run(2);
+        assert_ne!(a, c, "different seeds diverge");
+
+        // Worst-case added delay is bounded: max_retries * backoff_cap.
+        let mut clean = Network::new(topo, NocConfig::paper_default());
+        let mut faulty = Network::new(topo, NocConfig::paper_default());
+        faulty.install_faults(cfg, SplitMix64::new(3));
+        for i in 0..100u64 {
+            let t = Time::from_ns(i * 2);
+            let (src, dst) = (NodeId((i % 16) as usize), NodeId(((i * 3 + 2) % 16) as usize));
+            let base = clean.send(t, src, dst, 72);
+            let delayed = faulty.send(t, src, dst, 72);
+            assert!(delayed >= base);
+            assert!(delayed <= base + Time::from_ns(4 * 40));
         }
     }
 }

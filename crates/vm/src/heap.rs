@@ -41,7 +41,7 @@ impl GuestHeap {
     /// Panics if `len` is zero or `base` is not 8-byte aligned.
     pub fn new(base: VirtAddr, len: u64) -> GuestHeap {
         assert!(len > 0, "empty heap");
-        assert!(base.0 % 8 == 0, "heap base must be 8-byte aligned");
+        assert!(base.0.is_multiple_of(8), "heap base must be 8-byte aligned");
         let mut free = BTreeMap::new();
         free.insert(base.0, len);
         GuestHeap {
@@ -184,7 +184,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "slow-tests"))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

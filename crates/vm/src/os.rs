@@ -65,7 +65,7 @@ impl OsLite {
     ///
     /// Panics if the pool is empty or misaligned.
     pub fn new(phys_base: u64, phys_end: u64) -> OsLite {
-        assert!(phys_base % PAGE_BYTES == 0, "pool must be page-aligned");
+        assert!(phys_base.is_multiple_of(PAGE_BYTES), "pool must be page-aligned");
         assert!(phys_end > phys_base, "empty physical pool");
         let mut os = OsLite {
             next_frame: phys_base,
@@ -123,7 +123,7 @@ impl OsLite {
     ///
     /// Panics if the page is already mapped or `frame` is not page-aligned.
     pub fn map_fixed(&mut self, va: VirtAddr, frame: PhysAddr) -> Vec<PteWrite> {
-        assert!(frame.0 % PAGE_BYTES == 0, "frame must be page-aligned");
+        assert!(frame.0.is_multiple_of(PAGE_BYTES), "frame must be page-aligned");
         assert!(
             !self.pages.contains_key(&va.vpn()),
             "page {va} already mapped"

@@ -44,7 +44,7 @@ impl BhParams {
     /// every live frame L1-resident (2 warps per core on the paper chip),
     /// which is how SIMT codes run recursive traversals at all.
     pub fn threads(&self) -> u64 {
-        self.bodies.min(self.max_threads).min(80).max(1)
+        self.bodies.min(self.max_threads).clamp(1, 80)
     }
 }
 

@@ -219,9 +219,9 @@ pub fn reference_checksum(p: &SpmmParams) -> u64 {
     let a = build(&mut x);
     let b = build(&mut x);
     let mut s: i64 = 0;
-    for i in 0..n {
+    for (i, row) in a.iter().enumerate().take(n) {
         let mut acc = vec![0i64; n];
-        for &(k, va) in &a[i] {
+        for &(k, va) in row {
             for &(j, vb) in &b[k] {
                 acc[j] += va * vb;
             }
@@ -255,9 +255,9 @@ pub fn reference_allocations(p: &SpmmParams) -> u64 {
     let a = build(&mut x);
     let b = build(&mut x);
     let mut total = 0u64;
-    for i in 0..n {
+    for row in a.iter().take(n) {
         let mut nz = vec![false; n];
-        for &(k, _) in &a[i] {
+        for &(k, _) in row {
             for &(j, _) in &b[k] {
                 nz[j] = true;
             }

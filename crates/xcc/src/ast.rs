@@ -103,6 +103,7 @@ pub(crate) enum ExprKind {
 
 /// A statement.
 #[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::enum_variant_names)] // `ExprStmt` reads better than bare `Expr`
 pub(crate) enum Stmt {
     Let {
         line: usize,

@@ -18,7 +18,10 @@ fn main() {
         &["   n", "      CPU", "      APU", "    CCSVM", "APU/CCSVM"],
     );
 
-    for &n in &sizes {
+    // Sweep points run up front (in parallel under `--threads N`); printing
+    // and claims stay in input order so output is thread-count-invariant.
+    let points = ccsvm_bench::sweep(sizes.len(), opts.threads, |i| {
+        let n = sizes[i];
         let p = wl::matmul::MatmulParams::new(n, 42);
         let expect = wl::matmul::reference_checksum(&p);
 
@@ -29,7 +32,10 @@ fn main() {
         assert_eq!(a.exit_code, expect);
         let (_, ccsvm_dram, c3) = ccsvm_bench::run_ccsvm(&wl::matmul::xthreads_source(&p));
         assert_eq!(c3, expect);
+        (cpu_dram, a, ccsvm_dram)
+    });
 
+    for (&n, (cpu_dram, a, ccsvm_dram)) in sizes.iter().zip(points) {
         println!(
             "{n:4} | {cpu_dram:8} | {:8} | {ccsvm_dram:8} | {:8.2}",
             a.dram_accesses,

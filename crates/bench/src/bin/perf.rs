@@ -1,0 +1,244 @@
+//! Hot-path throughput benchmark: events/sec and simulated-ns per host-ms
+//! over a fixed end-to-end workload matrix, written to `BENCH_hotpath.json`.
+//!
+//! The paper's figures are produced by sweeping many full-system runs, so
+//! simulator wall-clock throughput *is* the experiment budget. This binary
+//! gives that throughput a recorded trajectory:
+//!
+//! * each matrix point builds one `Machine`, runs it to completion, and
+//!   reports dispatched events, host wall time, and simulated time;
+//! * every point runs twice and keeps the faster wall time (coarse noise
+//!   rejection, same policy as `bench_loop`);
+//! * totals land in `BENCH_hotpath.json` together with the merge-base
+//!   baseline (see below), so a regression is visible per-PR.
+//!
+//! `--write-baseline` captures the current numbers as the comparison
+//! baseline in `results/BENCH_hotpath_baseline.json`; later default runs
+//! load that file and report `speedup_vs_baseline`.
+//!
+//! Usage: `perf [--quick] [--threads N] [--out PATH] [--write-baseline]`
+
+use std::time::Instant;
+
+use ccsvm::{Machine, Outcome, SystemConfig};
+use ccsvm_bench::sweep;
+use ccsvm_workloads as wl;
+
+/// One matrix point: a named workload source.
+struct Point {
+    name: &'static str,
+    source: String,
+}
+
+/// The fixed workload matrix. Mixed on purpose: CPU-only interpretation,
+/// launch-heavy offload, memory-bound offload, and an irregular
+/// pointer-chasing workload stress different slices of the hot path.
+fn matrix(quick: bool) -> Vec<Point> {
+    let mm = |n| wl::matmul::MatmulParams::new(n, 42);
+    let sp = |n| wl::spmm::SpmmParams::one_percent(n, 42);
+    let bh = |bodies| wl::barnes_hut::BhParams {
+        bodies,
+        steps: 1,
+        max_threads: 1280,
+        seed: 42,
+    };
+    let va = |n| wl::vecadd::VecaddParams { n, seed: 42 };
+    if quick {
+        vec![
+            Point {
+                name: "cpu_matmul_n16",
+                source: wl::matmul::cpu_source(&mm(16)),
+            },
+            Point {
+                name: "vecadd_n2048",
+                source: wl::vecadd::xthreads_source(&va(2048)),
+            },
+            Point {
+                name: "matmul_n24",
+                source: wl::matmul::xthreads_source(&mm(24)),
+            },
+            Point {
+                name: "barnes_hut_b128",
+                source: wl::barnes_hut::xthreads_source(&bh(128)),
+            },
+        ]
+    } else {
+        vec![
+            Point {
+                name: "cpu_matmul_n24",
+                source: wl::matmul::cpu_source(&mm(24)),
+            },
+            Point {
+                name: "vecadd_n8192",
+                source: wl::vecadd::xthreads_source(&va(8192)),
+            },
+            Point {
+                name: "matmul_n48",
+                source: wl::matmul::xthreads_source(&mm(48)),
+            },
+            Point {
+                name: "spmm_n64",
+                source: wl::spmm::xthreads_source(&sp(64)),
+            },
+            Point {
+                name: "barnes_hut_b256",
+                source: wl::barnes_hut::xthreads_source(&bh(256)),
+            },
+        ]
+    }
+}
+
+/// Timing results for one matrix point.
+struct Measure {
+    name: &'static str,
+    events: u64,
+    host_ms: f64,
+    sim_ms: f64,
+}
+
+fn run_point(p: &Point) -> Measure {
+    let prog = wl::build(&p.source);
+    let mut best: Option<Measure> = None;
+    for _ in 0..2 {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.max_sim_time = ccsvm::Time::from_ms(60_000);
+        let mut m = Machine::new(cfg, prog.clone());
+        let start = Instant::now();
+        let r = m.run();
+        let host_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            r.outcome,
+            Outcome::Completed,
+            "{}: run did not complete",
+            p.name
+        );
+        let candidate = Measure {
+            name: p.name,
+            events: r.events,
+            host_ms,
+            sim_ms: r.time.as_ms(),
+        };
+        best = Some(match best {
+            Some(b) if b.host_ms <= candidate.host_ms => b,
+            _ => candidate,
+        });
+    }
+    best.expect("at least one iteration")
+}
+
+/// Extracts `"key": <number>` from a minimal JSON text (no nesting of the
+/// same key). Good enough to read our own baseline file without a JSON
+/// dependency.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn usage_exit(error: &str) -> ! {
+    eprintln!("error: {error}");
+    eprintln!(
+        "usage: perf [--quick] [--threads N] [--out PATH] [--write-baseline]\n\
+         \n\
+         \x20 --quick           smaller matrix for CI smoke runs\n\
+         \x20 --threads N       run matrix points on N worker threads (default 1;\n\
+         \x20                   use 1 for trustworthy per-point wall times)\n\
+         \x20 --out PATH        where to write the JSON report (default BENCH_hotpath.json)\n\
+         \x20 --write-baseline  record these numbers as results/BENCH_hotpath_baseline.json"
+    );
+    std::process::exit(2);
+}
+
+const BASELINE_PATH: &str = "results/BENCH_hotpath_baseline.json";
+
+fn main() {
+    let mut quick = false;
+    let mut threads = 1usize;
+    let mut out_path = "BENCH_hotpath.json".to_string();
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => match args.next().and_then(|v| v.trim().parse::<usize>().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => usage_exit("--threads needs a positive integer"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => usage_exit("--out needs a path"),
+            },
+            "--write-baseline" => write_baseline = true,
+            other => usage_exit(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let points = matrix(quick);
+    println!(
+        "== hot-path perf: {} workloads, {} thread(s)",
+        points.len(),
+        threads
+    );
+    println!(
+        "{:<18} | {:>12} | {:>9} | {:>9} | {:>12} | {:>14}",
+        "workload", "events", "host ms", "sim ms", "events/s", "sim ns/host ms"
+    );
+    let results = sweep(points.len(), threads, |i| run_point(&points[i]));
+    let mut events_total = 0u64;
+    let mut host_ms_total = 0.0f64;
+    let mut rows = String::new();
+    for m in &results {
+        let eps = m.events as f64 / (m.host_ms / 1e3);
+        let sim_ns_per_host_ms = m.sim_ms * 1e6 / m.host_ms;
+        println!(
+            "{:<18} | {:>12} | {:>9.2} | {:>9.4} | {:>12.0} | {:>14.1}",
+            m.name, m.events, m.host_ms, m.sim_ms, eps, sim_ns_per_host_ms
+        );
+        events_total += m.events;
+        host_ms_total += m.host_ms;
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"host_ms\": {:.3}, \"sim_ms\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"sim_ns_per_host_ms\": {:.1}}},\n",
+            m.name, m.events, m.host_ms, m.sim_ms, eps, sim_ns_per_host_ms
+        ));
+    }
+    let rows = rows.trim_end_matches(",\n").to_string();
+    let eps_total = events_total as f64 / (host_ms_total / 1e3);
+    println!(
+        "total: {events_total} events in {host_ms_total:.1} host ms = {eps_total:.0} events/s"
+    );
+
+    let baseline = std::fs::read_to_string(BASELINE_PATH)
+        .ok()
+        .and_then(|text| json_number(&text, "events_per_sec_total"));
+    let (baseline_json, speedup_json) = match baseline {
+        Some(b) if b > 0.0 => {
+            let speedup = eps_total / b;
+            println!("baseline (merge-base): {b:.0} events/s -> speedup {speedup:.2}x");
+            (
+                format!("{{\"events_per_sec_total\": {b:.0}, \"source\": \"{BASELINE_PATH}\"}}"),
+                format!("{speedup:.3}"),
+            )
+        }
+        _ => ("null".to_string(), "null".to_string()),
+    };
+
+    let json = format!(
+        "{{\n  \"schema\": \"ccsvm-hotpath-perf-v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"threads\": {threads},\n  \"workloads\": [\n{rows}\n  ],\n  \
+         \"events_total\": {events_total},\n  \"host_ms_total\": {host_ms_total:.3},\n  \
+         \"events_per_sec_total\": {eps_total:.0},\n  \"baseline\": {baseline_json},\n  \
+         \"speedup_vs_baseline\": {speedup_json}\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+    );
+    std::fs::write(&out_path, &json).expect("write perf report");
+    println!("wrote {out_path}");
+    if write_baseline {
+        std::fs::write(BASELINE_PATH, &json).expect("write baseline");
+        println!("wrote {BASELINE_PATH}");
+    }
+}

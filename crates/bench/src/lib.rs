@@ -3,11 +3,17 @@
 //! Every binary accepts:
 //!
 //! * `--quick` — smaller sweeps for smoke runs (used by `cargo bench`/CI),
-//! * `--sizes a,b,c` — override the swept sizes.
+//! * `--sizes a,b,c` — override the swept sizes,
+//! * `--threads N` — simulate sweep points on `N` worker threads (one
+//!   independent `Machine` per point; results are reassembled in input
+//!   order, so the printed table is byte-identical to a serial run).
 //!
 //! Output is a fixed-width table whose rows mirror the corresponding figure
 //! in the paper; EXPERIMENTS.md records a captured run next to the paper's
 //! reported shape.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use ccsvm::{Machine, SystemConfig};
 use ccsvm_engine::Time;
@@ -20,33 +26,73 @@ pub struct Opts {
     pub quick: bool,
     /// Optional size override.
     pub sizes: Option<Vec<u64>>,
+    /// Worker threads for the sweep driver (`--threads N`, default 1).
+    pub threads: usize,
+}
+
+/// Prints the shared usage message and exits with status 2 (CLI misuse).
+fn usage_exit(binary: &str, error: &str) -> ! {
+    eprintln!("error: {error}");
+    eprintln!(
+        "usage: {binary} [--quick] [--sizes a,b,c] [--threads N]\n\
+         \n\
+         \x20 --quick       reduced sweep for smoke runs\n\
+         \x20 --sizes LIST  comma-separated sweep sizes (positive integers)\n\
+         \x20 --threads N   run sweep points on N worker threads (default 1)"
+    );
+    std::process::exit(2);
 }
 
 impl Opts {
-    /// Parses `std::env::args`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on malformed `--sizes` lists.
+    /// Parses `std::env::args`. On malformed or unknown arguments it prints
+    /// a usage message to stderr and exits with a nonzero status instead of
+    /// panicking.
     pub fn parse() -> Opts {
+        let binary = std::env::args()
+            .next()
+            .unwrap_or_else(|| "bench".to_string());
         let mut quick = false;
         let mut sizes = None;
+        let mut threads = 1usize;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => quick = true,
                 "--sizes" => {
-                    let list = args.next().expect("--sizes needs a value");
-                    sizes = Some(
-                        list.split(',')
-                            .map(|s| s.trim().parse().expect("size"))
-                            .collect(),
-                    );
+                    let Some(list) = args.next() else {
+                        usage_exit(&binary, "--sizes needs a value");
+                    };
+                    let mut parsed = Vec::new();
+                    for s in list.split(',') {
+                        match s.trim().parse::<u64>() {
+                            Ok(v) if v > 0 => parsed.push(v),
+                            _ => usage_exit(
+                                &binary,
+                                &format!("bad size `{s}` in --sizes (want positive integers)"),
+                            ),
+                        }
+                    }
+                    if parsed.is_empty() {
+                        usage_exit(&binary, "--sizes list is empty");
+                    }
+                    sizes = Some(parsed);
                 }
-                other => panic!("unknown argument `{other}` (supported: --quick, --sizes a,b,c)"),
+                "--threads" => {
+                    let Some(v) = args.next() else {
+                        usage_exit(&binary, "--threads needs a value");
+                    };
+                    match v.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => threads = n,
+                        _ => usage_exit(
+                            &binary,
+                            &format!("bad thread count `{v}` (want a positive integer)"),
+                        ),
+                    }
+                }
+                other => usage_exit(&binary, &format!("unknown argument `{other}`")),
             }
         }
-        Opts { quick, sizes }
+        Opts { quick, sizes, threads }
     }
 
     /// The sweep to use: override > quick > full.
@@ -57,6 +103,44 @@ impl Opts {
             None => full.to_vec(),
         }
     }
+}
+
+/// Runs `f(0..n)` across `threads` worker threads and returns the results
+/// **in input order**.
+///
+/// Each sweep point gets its own independent `Machine`, so points are
+/// embarrassingly parallel; indices are claimed dynamically (an atomic
+/// counter) for load balance. With `threads == 1` the closure runs inline on
+/// the caller's thread. Because each point is deterministic and results are
+/// reassembled by index, the caller's printed table is byte-identical
+/// regardless of the thread count.
+pub fn sweep<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    assert!(threads >= 1, "need at least one sweep thread");
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("sweep result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep result slot")
+                .expect("sweep point computed")
+        })
+        .collect()
 }
 
 /// Runs an xthreads program on the CCSVM chip; returns (measured region,

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use ccsvm_cpu::{CpuAction, CpuCore};
-use ccsvm_engine::{EventQueue, FaultDomain, FaultPlan, Stats, Time, Watchdog};
+use ccsvm_engine::{stat_id, EventQueue, FaultDomain, FaultPlan, Stats, Time, Watchdog};
 use ccsvm_isa::{sys, Program};
 use ccsvm_mem::{
     Access, AccessResult, BankConfig, Completion, L1Config, MemConfig, MemEvent, MemorySystem,
@@ -158,6 +158,9 @@ pub struct RunReport {
     pub dram_accesses: u64,
     /// Total instructions executed (CPU instructions + MTTOP thread-instructions).
     pub instructions: u64,
+    /// Events dispatched by the machine's event loop (hot-path perf
+    /// telemetry: host throughput is `events / wall_clock`).
+    pub events: u64,
     /// How the run ended. Anything but [`Outcome::Completed`] means the
     /// other fields describe a partial run.
     pub outcome: Outcome,
@@ -199,6 +202,11 @@ pub struct Machine {
     /// Monotone forward-progress counter the watchdog observes (batches that
     /// advanced, completions delivered, handler steps).
     progress: u64,
+    /// Events dispatched by the run loop (perf telemetry).
+    events: u64,
+    /// Reused completion buffer for `Ev::Mem` dispatch (one `Ev::Mem` fires
+    /// per coherence hop, so a fresh `Vec` per event is measurable).
+    completions_buf: Vec<ccsvm_mem::Completion>,
     /// Set when the run must abort; checked after every dispatched event.
     failure: Option<(Outcome, DiagnosticDump)>,
     // Test-knob counters for the deterministic event-drop fault hooks.
@@ -327,6 +335,8 @@ impl Machine {
             exit_code: 0,
             started: false,
             progress: 0,
+            events: 0,
+            completions_buf: Vec::new(),
             failure: None,
             data_deliveries: 0,
             resps_seen: 0,
@@ -446,16 +456,18 @@ impl Machine {
         }
 
         let trace = std::env::var("CCSVM_TRACE").is_ok();
-        let mut nev: u64 = 0;
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            nev += 1;
-            if trace && nev < 5000 {
-                eprintln!("[{nev}] t={t:?} {ev:?}");
-            }
-            if trace && nev.is_multiple_of(1_000_000) {
-                eprintln!("[{nev}] t={t:?} qlen={}", self.queue.len());
+            self.events += 1;
+            if trace {
+                let nev = self.events;
+                if nev < 5000 {
+                    eprintln!("[{nev}] t={t:?} {ev:?}");
+                }
+                if nev.is_multiple_of(1_000_000) {
+                    eprintln!("[{nev}] t={t:?} qlen={}", self.queue.len());
+                }
             }
             if t > self.cfg.max_sim_time {
                 let reason = format!("simulation exceeded max_sim_time {}", self.cfg.max_sim_time);
@@ -529,8 +541,8 @@ impl Machine {
         stats.merge_prefixed("mem", &self.mem.stats());
         stats.merge_prefixed("noc", &self.net.stats());
         stats.merge_prefixed("mifd", &self.mifd.stats());
-        stats.set("os.page_faults", self.os.faults_handled() as f64);
-        stats.set("heap.live_bytes", self.heap.live_bytes() as f64);
+        stats.set_id(stat_id("os.page_faults"), self.os.faults_handled() as f64);
+        stats.set_id(stat_id("heap.live_bytes"), self.heap.live_bytes() as f64);
         let instructions = self
             .cpus
             .iter()
@@ -553,6 +565,7 @@ impl Machine {
             exit_code: self.exit_code,
             dram_accesses: self.mem.dram_accesses(),
             instructions: instructions as u64,
+            events: self.events,
             outcome,
             diagnostic,
             stats,
@@ -581,7 +594,8 @@ impl Machine {
                 if self.drop_event(&me) {
                     return;
                 }
-                let mut completions = Vec::new();
+                let mut completions = std::mem::take(&mut self.completions_buf);
+                completions.clear();
                 {
                     let queue = &mut self.queue;
                     let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
@@ -594,11 +608,13 @@ impl Machine {
                         bank.0
                     );
                     self.failure = Some((Outcome::RetryBudgetExhausted, self.dump(reason)));
+                    self.completions_buf = completions;
                     return;
                 }
-                for c in completions {
+                for c in completions.drain(..) {
                     self.route_completion(c);
                 }
+                self.completions_buf = completions;
             }
             Ev::CpuBatch { core, seq } => {
                 if seq != self.cpu_seq[core] {

@@ -1,0 +1,93 @@
+//! Golden determinism tests: full-system runs whose complete `RunReport`
+//! (timing, event count, printed output, and every counter) is pinned to a
+//! checked-in snapshot.
+//!
+//! These goldens were blessed *before* the hot-path data-structure swaps
+//! (calendar event queue, FxHash block maps, interned stats) and guard the
+//! bit-for-bit determinism claim: an internal container may change, but the
+//! simulated machine must not. To re-bless after an intentional model
+//! change, run:
+//!
+//! ```text
+//! CCSVM_BLESS=1 cargo test -p ccsvm --test golden
+//! ```
+//!
+//! and commit the rewritten files under `tests/goldens/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ccsvm::{Machine, Outcome, SystemConfig};
+
+/// Renders the parts of a run that must be bit-for-bit stable.
+fn snapshot(src: &str) -> String {
+    let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    let mut m = Machine::new(SystemConfig::paper_default(), prog);
+    let r = m.run();
+    assert_eq!(r.outcome, Outcome::Completed, "golden workload must complete");
+    let mut out = String::new();
+    writeln!(out, "time_ps: {}", r.time.as_ps()).unwrap();
+    writeln!(out, "exit_code: {}", r.exit_code).unwrap();
+    writeln!(out, "instructions: {}", r.instructions).unwrap();
+    writeln!(out, "events: {}", r.events).unwrap();
+    writeln!(out, "dram_accesses: {}", r.dram_accesses).unwrap();
+    writeln!(out, "printed:").unwrap();
+    for (v, at) in r.printed.iter().zip(&r.printed_at) {
+        writeln!(out, "  {v} @ {}ps", at.as_ps()).unwrap();
+    }
+    writeln!(out, "stats:").unwrap();
+    for (k, v) in &r.stats {
+        // Full precision: format the raw bits so even sub-ulp drift fails.
+        writeln!(out, "  {k} = {v} [{:016x}]", v.to_bits()).unwrap();
+    }
+    out
+}
+
+fn check(name: &str, src: &str) {
+    let got = snapshot(src);
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "goldens", name]
+        .iter()
+        .collect();
+    if std::env::var("CCSVM_BLESS").is_ok() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with CCSVM_BLESS=1)", path.display()));
+    if got != want {
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                panic!(
+                    "golden {name} diverged at line {}:\n  got:  {g}\n  want: {w}",
+                    i + 1
+                );
+            }
+        }
+        panic!(
+            "golden {name} diverged in length: got {} lines, want {}",
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+}
+
+/// CPU-only: interpreter loop, demand paging, L1/L2/DRAM, no offload.
+#[test]
+fn golden_cpu_only() {
+    check(
+        "cpu_only.txt",
+        &ccsvm_workloads::matmul::cpu_source(&ccsvm_workloads::matmul::MatmulParams::new(12, 42)),
+    );
+}
+
+/// CPU + MTTOP: kernel launch, TLB shootdowns, directory coherence between
+/// heterogeneous cores, wait/signal synchronization.
+#[test]
+fn golden_cpu_mttop() {
+    check(
+        "cpu_mttop.txt",
+        &ccsvm_workloads::matmul::xthreads_source(&ccsvm_workloads::matmul::MatmulParams::new(
+            16, 42,
+        )),
+    );
+}

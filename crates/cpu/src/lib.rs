@@ -14,7 +14,7 @@
 //! event queue, so inter-core interactions are event-accurate at quantum
 //! granularity (the gem5 approach).
 
-use ccsvm_engine::{Clock, SplitMix64, Stats, Time, TlbFaultConfig};
+use ccsvm_engine::{stat_id, Clock, SplitMix64, Stats, Time, TlbFaultConfig};
 use ccsvm_isa::{abi, AmoKind, Instr, Operand, Program, Reg};
 use ccsvm_mem::{Access, AccessResult, AtomicOp, MemEvent, MemorySystem, PhysAddr, PortId};
 use ccsvm_noc::Network;
@@ -597,13 +597,13 @@ impl CpuCore {
     /// TLB statistics.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
-        s.set("instructions", self.icount as f64);
-        s.set("mem_ops", self.mem_ops as f64);
-        s.set("tlb_walks", self.walks as f64);
-        s.set("page_faults", self.faults as f64);
-        s.set("busy_us", self.busy_time.as_us());
+        s.set_id(stat_id("instructions"), self.icount as f64);
+        s.set_id(stat_id("mem_ops"), self.mem_ops as f64);
+        s.set_id(stat_id("tlb_walks"), self.walks as f64);
+        s.set_id(stat_id("page_faults"), self.faults as f64);
+        s.set_id(stat_id("busy_us"), self.busy_time.as_us());
         if let Some(f) = &self.tlb_faults {
-            s.set("tlb_transients", f.transients as f64);
+            s.set_id(stat_id("tlb_transients"), f.transients as f64);
         }
         s.merge_prefixed("tlb", &self.tlb.stats());
         s

@@ -33,15 +33,17 @@
 
 mod event;
 mod fault;
+pub mod fxmap;
 mod rng;
 mod stats;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, ReferenceEventQueue};
+pub use fxmap::{fx_map_with_capacity, FxHashMap, FxHashSet};
 pub use fault::{
     DirTimeoutConfig, DramFaultConfig, FaultConfig, FaultDomain, FaultPlan, NocFaultConfig,
     TlbFaultConfig, Watchdog, WatchdogConfig,
 };
 pub use rng::SplitMix64;
-pub use stats::Stats;
+pub use stats::{stat_id, StatId, Stats};
 pub use time::{Clock, Time};

@@ -13,9 +13,9 @@
 //! cites). Installing a block may therefore require a *recall*: invalidating
 //! and fetching back the victim's L1 copies before it can be written back.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use ccsvm_engine::Stats;
+use ccsvm_engine::{fx_map_with_capacity, stat_id, FxHashMap, Stats};
 
 use crate::cache::{CacheArray, CacheConfig};
 use crate::msg::{BankId, BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request};
@@ -139,10 +139,10 @@ pub(crate) struct Bank {
     #[allow(dead_code)] // identity is useful in Debug dumps
     pub id: BankId,
     array: CacheArray<L2Meta>,
-    tx: HashMap<u64, Tx>,
+    tx: FxHashMap<u64, Tx>,
     /// victim block → demand block whose transaction is recalling it.
-    recall_owner: HashMap<u64, u64>,
-    waiting: HashMap<u64, VecDeque<Request>>,
+    recall_owner: FxHashMap<u64, u64>,
+    waiting: FxHashMap<u64, VecDeque<Request>>,
     /// Tolerate duplicate/stale responses (set when directory timeouts are
     /// enabled: a NACK resend can race the original response). Off by
     /// default so protocol bugs still trip the strict assertions.
@@ -164,9 +164,12 @@ impl Bank {
         Bank {
             id,
             array: CacheArray::with_index_shift(cache, index_shift),
-            tx: HashMap::new(),
-            recall_owner: HashMap::new(),
-            waiting: HashMap::new(),
+            // One transaction per block can be active at a time, and every
+            // active transaction came through some L1 MSHR, so a few dozen
+            // slots cover the whole chip without rehashing.
+            tx: fx_map_with_capacity(64),
+            recall_owner: fx_map_with_capacity(64),
+            waiting: fx_map_with_capacity(64),
             lenient: false,
             gets: 0,
             getm: 0,
@@ -848,16 +851,16 @@ impl Bank {
 
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
-        s.set("gets", self.gets as f64);
-        s.set("getm", self.getm as f64);
-        s.set("puts", self.puts as f64);
-        s.set("hits", self.hits as f64);
-        s.set("misses", self.misses as f64);
-        s.set("recalls", self.recalls as f64);
+        s.set_id(stat_id("gets"), self.gets as f64);
+        s.set_id(stat_id("getm"), self.getm as f64);
+        s.set_id(stat_id("puts"), self.puts as f64);
+        s.set_id(stat_id("hits"), self.hits as f64);
+        s.set_id(stat_id("misses"), self.misses as f64);
+        s.set_id(stat_id("recalls"), self.recalls as f64);
         if self.lenient {
-            s.set("dir_timeouts", self.timeouts as f64);
-            s.set("dir_nacks", self.nack_resends as f64);
-            s.set("stale_resps", self.stale_resps as f64);
+            s.set_id(stat_id("dir_timeouts"), self.timeouts as f64);
+            s.set_id(stat_id("dir_nacks"), self.nack_resends as f64);
+            s.set_id(stat_id("stale_resps"), self.stale_resps as f64);
         }
         s
     }

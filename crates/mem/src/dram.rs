@@ -1,7 +1,7 @@
 //! Off-chip DRAM model: sparse backing store + fixed latency + channel
 //! bandwidth, with the access counters behind the paper's Figure 9.
 
-use ccsvm_engine::{DramFaultConfig, SplitMix64, Stats, Time};
+use ccsvm_engine::{stat_id, DramFaultConfig, FxHashMap, SplitMix64, Stats, Time};
 
 use crate::addr::{offset_in_block, PhysAddr, BLOCK_BYTES};
 use crate::msg::BlockData;
@@ -64,7 +64,7 @@ impl DramConfig {
 #[derive(Clone, Debug)]
 pub struct Dram {
     config: DramConfig,
-    pages: std::collections::HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    pages: FxHashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
     channel_free: Vec<Time>,
     reads: u64,
     writes: u64,
@@ -77,7 +77,7 @@ impl Dram {
         assert!(config.channels > 0, "need at least one channel");
         Dram {
             config,
-            pages: std::collections::HashMap::new(),
+            pages: FxHashMap::default(),
             channel_free: vec![Time::ZERO; config.channels],
             reads: 0,
             writes: 0,
@@ -198,12 +198,12 @@ impl Dram {
     /// is installed, keeping healthy-run reports unchanged.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
-        s.set("reads", self.reads as f64);
-        s.set("writes", self.writes as f64);
-        s.set("accesses", self.accesses() as f64);
+        s.set_id(stat_id("reads"), self.reads as f64);
+        s.set_id(stat_id("writes"), self.writes as f64);
+        s.set_id(stat_id("accesses"), self.accesses() as f64);
         if let Some(f) = &self.faults {
-            s.set("ecc_corrected", f.corrected as f64);
-            s.set("ecc_poisoned", f.poisoned_events as f64);
+            s.set_id(stat_id("ecc_corrected"), f.corrected as f64);
+            s.set_id(stat_id("ecc_poisoned"), f.poisoned_events as f64);
         }
         s
     }

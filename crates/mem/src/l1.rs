@@ -6,9 +6,7 @@
 //! cores"). Write-back, write-allocate; atomics acquire M and execute in the
 //! L1 (§3.2.4). A write-through mode exists solely for the §6.1 ablation.
 
-use std::collections::HashMap;
-
-use ccsvm_engine::{Stats, Time};
+use ccsvm_engine::{fx_map_with_capacity, stat_id, FxHashMap, Stats, Time};
 use ccsvm_noc::NodeId;
 
 use crate::addr::{block_of, offset_in_block, PhysAddr};
@@ -109,11 +107,15 @@ pub(crate) struct L1 {
     pub id: PortId,
     pub config: L1Config,
     array: CacheArray<Line>,
-    mshrs: HashMap<u64, Mshr>,
-    evict_buf: HashMap<u64, EvictEntry>,
+    mshrs: FxHashMap<u64, Mshr>,
+    evict_buf: FxHashMap<u64, EvictEntry>,
     /// Ways reserved per set for in-flight fills, so a fill can always
     /// install without evicting a line that itself has a pending miss.
-    reserved: HashMap<u64, usize>,
+    reserved: FxHashMap<u64, usize>,
+    /// `CCSVM_RETRY_TRACE` sampled once at construction: the check sits on
+    /// the retry path, and `std::env::var` takes a lock plus an allocation
+    /// per call.
+    retry_trace: bool,
     /// Tolerate duplicate directory messages (set when directory timeouts
     /// are enabled: a NACK-resent Fetch can arrive after the original
     /// response already gave the block away). Off by default so protocol
@@ -140,9 +142,10 @@ impl L1 {
             id,
             config,
             array: CacheArray::new(config.cache),
-            mshrs: HashMap::new(),
-            evict_buf: HashMap::new(),
-            reserved: HashMap::new(),
+            mshrs: fx_map_with_capacity(config.max_mshrs),
+            evict_buf: fx_map_with_capacity(config.max_mshrs),
+            reserved: fx_map_with_capacity(config.max_mshrs),
+            retry_trace: std::env::var("CCSVM_RETRY_TRACE").is_ok(),
             lenient: false,
             loads: 0,
             stores: 0,
@@ -221,7 +224,7 @@ impl L1 {
         }
         if self.mshrs.len() >= self.config.max_mshrs {
             self.retries += 1;
-            if std::env::var("CCSVM_RETRY_TRACE").is_ok() && self.retries.is_multiple_of(10000) {
+            if self.retry_trace && self.retries.is_multiple_of(10000) {
                 eprintln!("RETRY mshr-full port={:?} mshrs={:?}", self.id,
                     self.mshrs.keys().collect::<Vec<_>>());
             }
@@ -231,7 +234,7 @@ impl L1 {
         // misses that will install into a new way need a reservation.
         if state == L1State::I && !self.reserve_way(block, out) {
             self.retries += 1;
-            if std::env::var("CCSVM_RETRY_TRACE").is_ok() && self.retries.is_multiple_of(10000) {
+            if self.retry_trace && self.retries.is_multiple_of(10000) {
                 eprintln!("RETRY reserve-fail port={:?} block={block} set={} reserved={:?}",
                     self.id, self.array.set_of(block), self.reserved);
             }
@@ -570,18 +573,18 @@ impl L1 {
 
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
-        s.set("loads", self.loads as f64);
-        s.set("stores", self.stores as f64);
-        s.set("atomics", self.atomics as f64);
-        s.set("hits", self.hits as f64);
-        s.set("misses", self.misses as f64);
-        s.set("merged_misses", self.merged_misses as f64);
-        s.set("retries", self.retries as f64);
-        s.set("writebacks", self.writebacks as f64);
-        s.set("invalidations", self.invalidations as f64);
-        s.set("fetches", self.fetches as f64);
+        s.set_id(stat_id("loads"), self.loads as f64);
+        s.set_id(stat_id("stores"), self.stores as f64);
+        s.set_id(stat_id("atomics"), self.atomics as f64);
+        s.set_id(stat_id("hits"), self.hits as f64);
+        s.set_id(stat_id("misses"), self.misses as f64);
+        s.set_id(stat_id("merged_misses"), self.merged_misses as f64);
+        s.set_id(stat_id("retries"), self.retries as f64);
+        s.set_id(stat_id("writebacks"), self.writebacks as f64);
+        s.set_id(stat_id("invalidations"), self.invalidations as f64);
+        s.set_id(stat_id("fetches"), self.fetches as f64);
         if self.lenient {
-            s.set("spurious_fetches", self.spurious_fetches as f64);
+            s.set_id(stat_id("spurious_fetches"), self.spurious_fetches as f64);
         }
         s
     }

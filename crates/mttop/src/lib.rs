@@ -28,9 +28,7 @@
 //! reports them and the machine forwards them through the [`Mifd`] to a CPU
 //! core (§3.2.1).
 
-use std::collections::HashMap;
-
-use ccsvm_engine::{Clock, Stats, Time};
+use ccsvm_engine::{stat_id, Clock, FxHashMap, Stats, Time};
 use ccsvm_isa::{abi, AmoKind, Instr, Operand, Program, Reg};
 use ccsvm_mem::{Access, AccessResult, AtomicOp, MemEvent, MemorySystem, PhysAddr, PortId};
 use ccsvm_noc::Network;
@@ -181,11 +179,13 @@ enum WarpState {
     Fault,
 }
 
+/// Per-warp execution context. The scheduler-scanned fields (`state`,
+/// `ready_at`) live in compact parallel arrays on [`MttopCore`] instead:
+/// the ready scan runs every core cycle over every warp, and walking one
+/// large struct per warp made that scan touch a cache line per warp.
 #[derive(Clone, Debug)]
 struct Warp {
     lanes: Vec<Lane>,
-    state: WarpState,
-    ready_at: Time,
     outstanding: usize,
     /// Memory plan being translated/issued.
     plan: Option<Plan>,
@@ -246,14 +246,29 @@ pub struct MttopCore {
     config: MttopConfig,
     alu_cost: Time,
     warps: Vec<Warp>,
+    /// `states[wi]` = scheduling state of warp `wi`. Kept out of [`Warp`]
+    /// so the per-cycle ready scan stays within a couple of cache lines.
+    states: Vec<WarpState>,
+    /// Bit `wi` set iff `states[wi] == Ready`. The scheduler scans this
+    /// with `trailing_zeros` so a cycle costs O(ready warps), not
+    /// O(total warps); all transitions go through [`Self::set_state`].
+    ready_mask: Vec<u64>,
+    /// `ready_at[wi]` = earliest issue time for a `Ready` warp.
+    ready_at: Vec<Time>,
     rr: usize,
     local_time: Time,
     tlb: Tlb,
     /// The single page-table walker: `Some((warp, walk))` when busy.
     walker: Option<(usize, Walk)>,
     walker_queue: Vec<usize>,
-    flights: HashMap<u64, Flight>,
+    flights: FxHashMap<u64, Flight>,
     arrived: Vec<(u64, u64)>,
+    /// Scratch for the per-cycle ready-warp scan, reused across cycles so
+    /// the scheduler loop stays allocation-free.
+    chosen: Vec<usize>,
+    /// `CCSVM_MISS_TRACE` sampled once at construction (`std::env::var`
+    /// takes a lock per call, and completions are hot).
+    miss_trace: bool,
     token_prefix: u64,
     token_seq: u64,
     cr3: PhysAddr,
@@ -287,20 +302,23 @@ impl MttopCore {
             warps: vec![
                 Warp {
                     lanes: vec![Lane { regs: [0; 32], pc: 0, live: false }; config.lanes],
-                    state: WarpState::Free,
-                    ready_at: Time::ZERO,
                     outstanding: 0,
                     plan: None,
                 };
                 config.warps
             ],
+            states: vec![WarpState::Free; config.warps],
+            ready_mask: vec![0; config.warps.div_ceil(64)],
+            ready_at: vec![Time::ZERO; config.warps],
             rr: 0,
             local_time: Time::ZERO,
             tlb: Tlb::new(config.tlb_entries),
             walker: None,
             walker_queue: Vec::new(),
-            flights: HashMap::new(),
+            flights: FxHashMap::default(),
             arrived: Vec::new(),
+            chosen: Vec::with_capacity(config.issue_width.max(1)),
+            miss_trace: std::env::var("CCSVM_MISS_TRACE").is_ok(),
             token_prefix,
             token_seq: 0,
             cr3: PhysAddr(0),
@@ -318,14 +336,27 @@ impl MttopCore {
         }
     }
 
+    /// Transitions warp `wi` to `s`, keeping the ready bitmap in sync.
+    /// Every `states` write must go through here.
+    #[inline]
+    fn set_state(&mut self, wi: usize, s: WarpState) {
+        let bit = 1u64 << (wi & 63);
+        if s == WarpState::Ready {
+            self.ready_mask[wi >> 6] |= bit;
+        } else {
+            self.ready_mask[wi >> 6] &= !bit;
+        }
+        self.states[wi] = s;
+    }
+
     /// Number of free warp contexts (the MIFD consults this).
     pub fn free_warps(&self) -> usize {
-        self.warps.iter().filter(|w| w.state == WarpState::Free).count()
+        self.states.iter().filter(|&&s| s == WarpState::Free).count()
     }
 
     /// Whether any warp is live.
     pub fn busy(&self) -> bool {
-        self.warps.iter().any(|w| w.state != WarpState::Free)
+        self.states.iter().any(|&s| s != WarpState::Free)
     }
 
     /// The core's local clock.
@@ -352,10 +383,10 @@ impl MttopCore {
         let nthreads = (chunk.last_tid - chunk.first_tid + 1) as usize;
         if self.config.lanes == 1 {
             let free: Vec<usize> = self
-                .warps
+                .states
                 .iter()
                 .enumerate()
-                .filter(|(_, w)| w.state == WarpState::Free)
+                .filter(|&(_, &s)| s == WarpState::Free)
                 .map(|(i, _)| i)
                 .take(nthreads)
                 .collect();
@@ -376,14 +407,14 @@ impl MttopCore {
                 lane.regs[abi::RA.0 as usize] = chunk.ra as u64;
                 lane.pc = chunk.entry;
                 lane.live = true;
-                warp.state = WarpState::Ready;
-                warp.ready_at = now;
                 warp.outstanding = 0;
                 warp.plan = None;
+                self.set_state(wi, WarpState::Ready);
+                self.ready_at[wi] = now;
             }
             return true;
         }
-        let Some(wi) = self.warps.iter().position(|w| w.state == WarpState::Free) else {
+        let Some(wi) = self.states.iter().position(|&s| s == WarpState::Free) else {
             return false;
         };
         self.tasks += 1;
@@ -405,10 +436,10 @@ impl MttopCore {
                 lane.live = false;
             }
         }
-        warp.state = WarpState::Ready;
-        warp.ready_at = now;
         warp.outstanding = 0;
         warp.plan = None;
+        self.set_state(wi, WarpState::Ready);
+        self.ready_at[wi] = now;
         true
     }
 
@@ -419,9 +450,9 @@ impl MttopCore {
 
     /// The machine resolved a page fault for `warp`; it retries translation.
     pub fn fault_resolved(&mut self, warp: usize, at: Time) {
-        debug_assert_eq!(self.warps[warp].state, WarpState::Fault);
-        self.warps[warp].state = WarpState::Ready;
-        self.warps[warp].ready_at = at;
+        debug_assert_eq!(self.states[warp], WarpState::Fault);
+        self.set_state(warp, WarpState::Ready);
+        self.ready_at[warp] = at;
     }
 
     /// Records a memory completion; the machine then schedules a batch at the
@@ -468,35 +499,58 @@ impl MttopCore {
                     poisoned: self.poisoned,
                 };
             }
-            // Collect up to `per_cycle` distinct ready warps for this cycle.
+            // Collect up to `per_cycle` distinct ready warps for this cycle,
+            // round-robin from `rr`. The bitmap scan visits only warps that
+            // are actually in `Ready` (the common case is a handful out of
+            // 128), in exactly the order the old full scan produced:
+            // rr..n, then 0..rr.
             let n = self.warps.len();
-            let mut chosen = Vec::with_capacity(per_cycle);
+            let mut chosen = std::mem::take(&mut self.chosen);
+            chosen.clear();
             let mut earliest: Option<Time> = None;
-            for k in 0..n {
-                let wi = (self.rr + k) % n;
-                let w = &self.warps[wi];
-                if w.state == WarpState::Ready {
-                    if w.ready_at <= self.local_time {
-                        chosen.push(wi);
-                        if chosen.len() == per_cycle {
-                            break;
+            'scan: for (lo, hi) in [(self.rr, n), (0, self.rr)] {
+                if lo >= hi {
+                    continue;
+                }
+                let first_word = lo >> 6;
+                let last_word = (hi + 63) >> 6; // exclusive
+                for w in first_word..last_word {
+                    let mut bits = self.ready_mask[w];
+                    if w == first_word {
+                        bits &= !0u64 << (lo & 63);
+                    }
+                    if (w + 1) << 6 > hi {
+                        // Partial last word (only possible when `hi` is not
+                        // word-aligned, i.e. `hi & 63 != 0`).
+                        bits &= (1u64 << (hi & 63)) - 1;
+                    }
+                    while bits != 0 {
+                        let wi = (w << 6) | bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let at = self.ready_at[wi];
+                        if at <= self.local_time {
+                            chosen.push(wi);
+                            if chosen.len() == per_cycle {
+                                break 'scan;
+                            }
+                        } else {
+                            earliest = Some(match earliest {
+                                Some(e) => e.min(at),
+                                None => at,
+                            });
                         }
-                    } else {
-                        earliest = Some(match earliest {
-                            Some(e) => e.min(w.ready_at),
-                            None => w.ready_at,
-                        });
                     }
                 }
             }
             if chosen.is_empty() {
+                self.chosen = chosen;
                 if let Some(e) = earliest {
                     self.local_time = e.min(deadline);
                     continue;
                 }
-                let any_blocked = self.warps.iter().any(|w| {
+                let any_blocked = self.states.iter().any(|&s| {
                     matches!(
-                        w.state,
+                        s,
                         WarpState::Mem
                             | WarpState::Walk
                             | WarpState::WalkQueued
@@ -512,9 +566,10 @@ impl MttopCore {
             }
             self.rr = (chosen[chosen.len() - 1] + 1) % n;
             let cycle_start = self.local_time;
-            for wi in chosen {
+            for &wi in &chosen {
                 self.issue(wi, prog, mem, net, sched, &mut faults);
             }
+            self.chosen = chosen;
             if !self.config.lockstep {
                 // Fine-grained mode: the cycle itself is the charge.
                 self.local_time = cycle_start + self.config.clock.period();
@@ -534,7 +589,7 @@ impl MttopCore {
     ) {
         // A Ready warp with a plan is retrying after a fault resolution.
         if self.warps[wi].plan.is_some() {
-            self.warps[wi].state = WarpState::Mem;
+            self.set_state(wi, WarpState::Mem);
             self.continue_plan(wi, mem, net, sched, faults);
             return;
         }
@@ -545,17 +600,25 @@ impl MttopCore {
             .map(|l| l.pc)
             .min();
         let Some(pc) = min_pc else {
-            self.warps[wi].state = WarpState::Free;
+            self.set_state(wi, WarpState::Free);
             return;
         };
-        let participating: Vec<usize> = self.warps[wi]
-            .lanes
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.live && l.pc == pc)
-            .map(|(i, _)| i)
-            .collect();
-        let live = self.warps[wi].lanes.iter().filter(|l| l.live).count();
+        // Lane sets are at most 8 wide (asserted in `new`), so the
+        // participating set lives on the stack — this runs once per issued
+        // warp-instruction and must not allocate.
+        let mut lane_buf = [0usize; 8];
+        let mut np = 0;
+        let mut live = 0;
+        for (i, l) in self.warps[wi].lanes.iter().enumerate() {
+            if l.live {
+                live += 1;
+                if l.pc == pc {
+                    lane_buf[np] = i;
+                    np += 1;
+                }
+            }
+        }
+        let participating = &lane_buf[..np];
         if participating.len() < live {
             self.divergent_issues += 1;
         }
@@ -574,7 +637,7 @@ impl MttopCore {
 
         match instr {
             Instr::Alu { op, rd, ra, rb } => {
-                for &li in &participating {
+                for &li in participating {
                     let lane = &mut self.warps[wi].lanes[li];
                     let b = match rb {
                         Operand::Reg(r) => lane_get(lane, r),
@@ -587,7 +650,7 @@ impl MttopCore {
                 self.local_time += alu_charge;
             }
             Instr::Li { rd, imm } => {
-                for &li in &participating {
+                for &li in participating {
                     let lane = &mut self.warps[wi].lanes[li];
                     lane_set(lane, rd, imm as u64);
                     lane.pc += 1;
@@ -595,7 +658,7 @@ impl MttopCore {
                 self.local_time += alu_charge;
             }
             Instr::Br { cond, ra, rb, target } => {
-                for &li in &participating {
+                for &li in participating {
                     let lane = &mut self.warps[wi].lanes[li];
                     lane.pc = if cond.test(lane_get(lane, ra), lane_get(lane, rb)) {
                         target
@@ -606,20 +669,20 @@ impl MttopCore {
                 self.local_time += full_charge;
             }
             Instr::Jmp { target } => {
-                for &li in &participating {
+                for &li in participating {
                     self.warps[wi].lanes[li].pc = target;
                 }
                 self.local_time += full_charge;
             }
             Instr::JmpReg { rs } => {
-                for &li in &participating {
+                for &li in participating {
                     let lane = &mut self.warps[wi].lanes[li];
                     lane.pc = lane_get(lane, rs) as usize;
                 }
                 self.local_time += full_charge;
             }
             Instr::Call { target } => {
-                for &li in &participating {
+                for &li in participating {
                     let lane = &mut self.warps[wi].lanes[li];
                     lane_set(lane, abi::RA, (lane.pc + 1) as u64);
                     lane.pc = target;
@@ -627,7 +690,7 @@ impl MttopCore {
                 self.local_time += full_charge;
             }
             Instr::CallReg { rs } => {
-                for &li in &participating {
+                for &li in participating {
                     let lane = &mut self.warps[wi].lanes[li];
                     let t = lane_get(lane, rs) as usize;
                     lane_set(lane, abi::RA, (lane.pc + 1) as u64);
@@ -636,17 +699,17 @@ impl MttopCore {
                 self.local_time += self.config.clock.period();
             }
             Instr::Fence | Instr::Nop => {
-                for &li in &participating {
+                for &li in participating {
                     self.warps[wi].lanes[li].pc += 1;
                 }
                 self.local_time += alu_charge;
             }
             Instr::Exit => {
-                for &li in &participating {
+                for &li in participating {
                     self.warps[wi].lanes[li].live = false;
                 }
                 if !self.warps[wi].live() {
-                    self.warps[wi].state = WarpState::Free;
+                    self.set_state(wi, WarpState::Free);
                 }
                 self.local_time += full_charge;
             }
@@ -660,7 +723,7 @@ impl MttopCore {
                 self.mem_instrs += 1;
                 self.local_time += full_charge;
                 let mut ops = Vec::with_capacity(participating.len());
-                for &li in &participating {
+                for &li in participating {
                     let lane = &self.warps[wi].lanes[li];
                     let (va, kind) = match instr {
                         Instr::Ld { rd, base, off, size } => (
@@ -699,7 +762,7 @@ impl MttopCore {
                     issued: 0,
                     finish: self.local_time,
                 });
-                self.warps[wi].state = WarpState::Mem;
+                self.set_state(wi, WarpState::Mem);
                 self.warps[wi].outstanding = 0;
                 self.continue_plan(wi, mem, net, sched, faults);
             }
@@ -729,7 +792,7 @@ impl MttopCore {
                 }
                 None => {
                     if self.walker.is_some() {
-                        self.warps[wi].state = WarpState::WalkQueued;
+                        self.set_state(wi, WarpState::WalkQueued);
                         self.walker_queue.push(wi);
                         return;
                     }
@@ -773,7 +836,7 @@ impl MttopCore {
                         }
                         WalkResult::Fault(f) => {
                             self.faults += 1;
-                            self.warps[wi].state = WarpState::Fault;
+                            self.set_state(wi, WarpState::Fault);
                             faults.push(PageFaultReq { warp: wi, va: f.va, cr3: self.cr3 });
                             return false;
                         }
@@ -785,17 +848,17 @@ impl MttopCore {
                         token,
                         Flight { warp: wi, ops: Vec::new(), issued_at: self.local_time },
                     );
-                    self.warps[wi].state = WarpState::Walk;
+                    self.set_state(wi, WarpState::Walk);
                     return false;
                 }
                 AccessResult::Retry => {
-                    self.warps[wi].state = WarpState::Ready;
-                    self.warps[wi].ready_at = self.local_time + self.config.clock.cycles(8);
+                    self.set_state(wi, WarpState::Ready);
+                    self.ready_at[wi] = self.local_time + self.config.clock.cycles(8);
                     return false;
                 }
                 AccessResult::Poisoned => {
                     self.poisoned = true;
-                    self.warps[wi].state = WarpState::Ready;
+                    self.set_state(wi, WarpState::Ready);
                     return false;
                 }
             }
@@ -813,9 +876,9 @@ impl MttopCore {
         sched: &mut dyn FnMut(Time, MemEvent),
     ) {
         if self.warps[wi].plan.as_ref().expect("plan").groups.is_none() {
-            let ops = self.warps[wi].plan.as_ref().expect("plan").ops.clone();
+            let plan = self.warps[wi].plan.as_mut().expect("plan");
             let mut groups: Vec<Vec<LaneOp>> = Vec::new();
-            for op in ops {
+            for &op in &plan.ops {
                 let paddr = op.paddr.expect("translated");
                 if !matches!(op.kind, LaneKind::Amo { .. }) {
                     if let Some(g) = groups.iter_mut().find(|g| {
@@ -831,14 +894,16 @@ impl MttopCore {
                 groups.push(vec![op]);
             }
             self.coalesced_accesses += groups.len() as u64;
-            let plan = self.warps[wi].plan.as_mut().expect("plan");
             plan.groups = Some(groups.into());
             plan.finish = self.local_time;
         }
 
         loop {
+            // Pop the group up front (re-parking it on Retry/Poisoned)
+            // instead of cloning it: groups move through here once per
+            // issued access, and the Vec clone showed up in profiles.
             let plan = self.warps[wi].plan.as_mut().expect("plan");
-            let Some(group) = plan.groups.as_mut().expect("groups").front().cloned() else {
+            let Some(group) = plan.groups.as_mut().expect("groups").pop_front() else {
                 break;
             };
             if plan.issued > 0 && (plan.issued as u64).is_multiple_of(self.config.l1_banks) {
@@ -850,22 +915,24 @@ impl MttopCore {
                     let plan = self.warps[wi].plan.as_mut().expect("plan");
                     plan.finish = plan.finish.max(f);
                     plan.issued += 1;
-                    plan.groups.as_mut().expect("groups").pop_front();
                     self.apply_group(wi, &group, value, mem, net, sched);
                 }
                 AccessResult::Pending => {
                     self.warps[wi].outstanding += 1;
                     let plan = self.warps[wi].plan.as_mut().expect("plan");
                     plan.issued += 1;
-                    plan.groups.as_mut().expect("groups").pop_front();
                 }
                 AccessResult::Retry => {
                     // Yield: let the event loop drain MSHR completions.
-                    self.warps[wi].state = WarpState::Ready;
-                    self.warps[wi].ready_at = self.local_time + self.config.clock.cycles(8);
+                    let plan = self.warps[wi].plan.as_mut().expect("plan");
+                    plan.groups.as_mut().expect("groups").push_front(group);
+                    self.set_state(wi, WarpState::Ready);
+                    self.ready_at[wi] = self.local_time + self.config.clock.cycles(8);
                     return;
                 }
                 AccessResult::Poisoned => {
+                    let plan = self.warps[wi].plan.as_mut().expect("plan");
+                    plan.groups.as_mut().expect("groups").push_front(group);
                     self.poisoned = true;
                     return;
                 }
@@ -876,7 +943,7 @@ impl MttopCore {
             let at = self.warps[wi].plan.as_ref().expect("plan").finish;
             self.finish_mem_instr(wi, at.max(self.local_time));
         } else {
-            self.warps[wi].state = WarpState::Mem;
+            self.set_state(wi, WarpState::Mem);
         }
     }
 
@@ -983,8 +1050,8 @@ impl MttopCore {
         for op in &plan.ops {
             self.warps[wi].lanes[op.lane].pc = plan.pc + 1;
         }
-        self.warps[wi].state = WarpState::Ready;
-        self.warps[wi].ready_at = at;
+        self.set_state(wi, WarpState::Ready);
+        self.ready_at[wi] = at;
     }
 
     /// Routes an arrived completion (called from `run_batch`).
@@ -1001,7 +1068,7 @@ impl MttopCore {
         let lat = self.local_time.saturating_sub(flight.issued_at);
         self.miss_lat_sum += lat;
         self.miss_count += 1;
-        if std::env::var("CCSVM_MISS_TRACE").is_ok() && lat > Time::from_ns(400) {
+        if self.miss_trace && lat > Time::from_ns(400) {
             let b = flight.ops.first().and_then(|o| o.paddr).map(ccsvm_mem::block_of);
             eprintln!("SLOWMISS {}ns block {:?} kind {}", lat.as_ns() as u64, b,
                 if flight.ops.is_empty() { "walk" } else { "data" });
@@ -1020,17 +1087,17 @@ impl MttopCore {
                         }
                         return;
                     }
-                    self.warps[wi].state = WarpState::Mem;
+                    self.set_state(wi, WarpState::Mem);
                     self.continue_plan(wi, mem, net, sched, faults);
                 }
                 WalkResult::Done(frame) => {
                     self.tlb.insert(walk.va(), frame);
-                    self.warps[wi].state = WarpState::Mem;
+                    self.set_state(wi, WarpState::Mem);
                     self.continue_plan(wi, mem, net, sched, faults);
                 }
                 WalkResult::Fault(f) => {
                     self.faults += 1;
-                    self.warps[wi].state = WarpState::Fault;
+                    self.set_state(wi, WarpState::Fault);
                     faults.push(PageFaultReq { warp: wi, va: f.va, cr3: self.cr3 });
                 }
             }
@@ -1043,7 +1110,7 @@ impl MttopCore {
         self.warps[wi].outstanding -= 1;
         self.apply_group(wi, &flight.ops, value, mem, net, sched);
         if self.warps[wi].outstanding == 0
-            && self.warps[wi].state == WarpState::Mem
+            && self.states[wi] == WarpState::Mem
             && self.warps[wi]
                 .plan
                 .as_ref()
@@ -1064,10 +1131,10 @@ impl MttopCore {
             let Some(wi) = self.walker_queue.pop() else {
                 return;
             };
-            if self.warps[wi].state != WarpState::WalkQueued {
+            if self.states[wi] != WarpState::WalkQueued {
                 continue;
             }
-            self.warps[wi].state = WarpState::Mem;
+            self.set_state(wi, WarpState::Mem);
             self.continue_plan(wi, mem, net, sched, faults);
         }
     }
@@ -1075,17 +1142,17 @@ impl MttopCore {
     /// Core counters and TLB statistics.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
-        s.set("warp_instructions", self.warp_instrs as f64);
-        s.set("thread_instructions", self.thread_instrs as f64);
-        s.set("mem_instructions", self.mem_instrs as f64);
-        s.set("coalesced_accesses", self.coalesced_accesses as f64);
-        s.set("divergent_issues", self.divergent_issues as f64);
-        s.set("tlb_walks", self.walks as f64);
-        s.set("page_faults", self.faults as f64);
-        s.set("tasks", self.tasks as f64);
-        s.set("miss_count", self.miss_count as f64);
+        s.set_id(stat_id("warp_instructions"), self.warp_instrs as f64);
+        s.set_id(stat_id("thread_instructions"), self.thread_instrs as f64);
+        s.set_id(stat_id("mem_instructions"), self.mem_instrs as f64);
+        s.set_id(stat_id("coalesced_accesses"), self.coalesced_accesses as f64);
+        s.set_id(stat_id("divergent_issues"), self.divergent_issues as f64);
+        s.set_id(stat_id("tlb_walks"), self.walks as f64);
+        s.set_id(stat_id("page_faults"), self.faults as f64);
+        s.set_id(stat_id("tasks"), self.tasks as f64);
+        s.set_id(stat_id("miss_count"), self.miss_count as f64);
         if self.miss_count > 0 {
-            s.set("avg_miss_ns", self.miss_lat_sum.as_ns() / self.miss_count as f64);
+            s.set_id(stat_id("avg_miss_ns"), self.miss_lat_sum.as_ns() / self.miss_count as f64);
         }
         s.merge_prefixed("tlb", &self.tlb.stats());
         s
@@ -1218,10 +1285,10 @@ impl Mifd {
     /// Device counters.
     pub fn stats(&self) -> Stats {
         let mut s = Stats::new();
-        s.set("launches", self.launches as f64);
-        s.set("chunks", self.chunks as f64);
-        s.set("rejected", self.rejected as f64);
-        s.set("faults_forwarded", self.faults_forwarded as f64);
+        s.set_id(stat_id("launches"), self.launches as f64);
+        s.set_id(stat_id("chunks"), self.chunks as f64);
+        s.set_id(stat_id("rejected"), self.rejected as f64);
+        s.set_id(stat_id("faults_forwarded"), self.faults_forwarded as f64);
         s
     }
 }

@@ -12,8 +12,7 @@
 //! the coherence protocol); before simulation the loader applies them through
 //! the memory backdoor.
 
-use std::collections::HashMap;
-
+use ccsvm_engine::FxHashMap;
 use ccsvm_mem::PhysAddr;
 
 use crate::walk::{VirtAddr, PAGE_BYTES, PTE_PRESENT};
@@ -49,11 +48,11 @@ pub struct OsLite {
     /// Recycled frames.
     free_frames: Vec<u64>,
     /// Authoritative mirror of every PTE the OS has written.
-    mirror: HashMap<u64, u64>,
+    mirror: FxHashMap<u64, u64>,
     /// Root page table (the process CR3).
     root: PhysAddr,
     /// Leaf mapping mirror: vpn → frame base (fast host-side translate).
-    pages: HashMap<u64, u64>,
+    pages: FxHashMap<u64, u64>,
     faults_handled: u64,
 }
 
@@ -72,9 +71,9 @@ impl OsLite {
             phys_base,
             phys_end,
             free_frames: Vec::new(),
-            mirror: HashMap::new(),
+            mirror: FxHashMap::default(),
             root: PhysAddr(0),
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
             faults_handled: 0,
         };
         os.root = PhysAddr(os.alloc_frame());
@@ -208,6 +207,7 @@ impl OsLite {
 mod tests {
     use super::*;
     use crate::walk::{Walk, WalkResult};
+    use std::collections::HashMap;
 
     fn os() -> OsLite {
         OsLite::new(0x10_0000, 0x10_0000 + 64 * 1024 * 1024)

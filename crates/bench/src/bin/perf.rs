@@ -1,5 +1,6 @@
 //! Hot-path throughput benchmark: events/sec and simulated-ns per host-ms
-//! over a fixed end-to-end workload matrix, written to `BENCH_hotpath.json`.
+//! over a fixed end-to-end workload matrix, written to
+//! `results/BENCH_hotpath.json`.
 //!
 //! The paper's figures are produced by sweeping many full-system runs, so
 //! simulator wall-clock throughput *is* the experiment budget. This binary
@@ -8,19 +9,29 @@
 //! * each matrix point builds one `Machine`, runs it to completion, and
 //!   reports dispatched events, host wall time, and simulated time;
 //! * every point runs twice and keeps the faster wall time (coarse noise
-//!   rejection, same policy as `bench_loop`);
-//! * totals land in `BENCH_hotpath.json` together with the merge-base
-//!   baseline (see below), so a regression is visible per-PR.
+//!   rejection, same policy as `bench_loop`); a third run with
+//!   `host_profile` enabled records the per-phase host-time breakdown
+//!   (core-exec vs uncore vs merge) without perturbing the timed runs;
+//! * totals land in the JSON report together with the mode-keyed baseline
+//!   (see below), so a regression is visible per-PR.
+//!
+//! The phase breakdown is what makes the `--sim-threads` Amdahl ceiling
+//! visible in the artifact rather than guessed: `core_exec_ms` is the only
+//! parallelizable share, and `zones`/`zone_batches` show how much of it
+//! actually forks.
 //!
 //! `--write-baseline` captures the current numbers as the comparison
-//! baseline in `results/BENCH_hotpath_baseline.json`; later default runs
-//! load that file and report `speedup_vs_baseline`.
+//! baseline in `results/BENCH_hotpath_baseline_<mode>.json`; later runs in
+//! the same mode load that file and report `speedup_vs_baseline`. Quick and
+//! full baselines are keyed separately so a CI smoke run is never compared
+//! against a full-matrix capture.
 //!
-//! Usage: `perf [--quick] [--threads N] [--out PATH] [--write-baseline]`
+//! Usage: `perf [--quick] [--threads N] [--sim-threads N] [--out PATH]
+//!              [--write-baseline]`
 
 use std::time::Instant;
 
-use ccsvm::{Machine, Outcome, SystemConfig};
+use ccsvm::{HostPhases, Machine, Outcome, SystemConfig};
 use ccsvm_bench::sweep;
 use ccsvm_workloads as wl;
 
@@ -94,15 +105,21 @@ struct Measure {
     events: u64,
     host_ms: f64,
     sim_ms: f64,
+    phases: HostPhases,
 }
 
-fn run_point(p: &Point) -> Measure {
+fn run_point(p: &Point, sim_threads: usize) -> Measure {
     let prog = wl::build(&p.source);
-    let mut best: Option<Measure> = None;
-    for _ in 0..2 {
+    let make_cfg = |host_profile: bool| {
         let mut cfg = SystemConfig::paper_default();
         cfg.max_sim_time = ccsvm::Time::from_ms(60_000);
-        let mut m = Machine::new(cfg, prog.clone());
+        cfg.sim_threads = sim_threads;
+        cfg.host_profile = host_profile;
+        cfg
+    };
+    let mut best: Option<Measure> = None;
+    for _ in 0..2 {
+        let mut m = Machine::new(make_cfg(false), prog.clone());
         let start = Instant::now();
         let r = m.run();
         let host_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -117,13 +134,22 @@ fn run_point(p: &Point) -> Measure {
             events: r.events,
             host_ms,
             sim_ms: r.time.as_ms(),
+            phases: HostPhases::default(),
         };
         best = Some(match best {
             Some(b) if b.host_ms <= candidate.host_ms => b,
             _ => candidate,
         });
     }
-    best.expect("at least one iteration")
+    let mut best = best.expect("at least one iteration");
+    // Separate profiled run: the per-batch `Instant` reads would skew the
+    // timed runs above, so the breakdown comes from its own execution (the
+    // simulated machine is bit-identical either way).
+    let mut m = Machine::new(make_cfg(true), prog);
+    let r = m.run();
+    assert_eq!(r.outcome, Outcome::Completed, "{}: profiled run", p.name);
+    best.phases = m.host_phases();
+    best
 }
 
 /// Extracts `"key": <number>` from a minimal JSON text (no nesting of the
@@ -142,23 +168,35 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 fn usage_exit(error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: perf [--quick] [--threads N] [--out PATH] [--write-baseline]\n\
+        "usage: perf [--quick] [--threads N] [--sim-threads N] [--out PATH] [--write-baseline]\n\
          \n\
          \x20 --quick           smaller matrix for CI smoke runs\n\
          \x20 --threads N       run matrix points on N worker threads (default 1;\n\
          \x20                   use 1 for trustworthy per-point wall times)\n\
-         \x20 --out PATH        where to write the JSON report (default BENCH_hotpath.json)\n\
-         \x20 --write-baseline  record these numbers as results/BENCH_hotpath_baseline.json"
+         \x20 --sim-threads N   fork-join workers inside each machine (default 1;\n\
+         \x20                   simulated results are bit-identical at every value)\n\
+         \x20 --out PATH        where to write the JSON report\n\
+         \x20                   (default results/BENCH_hotpath.json)\n\
+         \x20 --write-baseline  record these numbers as the mode-keyed baseline\n\
+         \x20                   results/BENCH_hotpath_baseline_<mode>.json"
     );
     std::process::exit(2);
 }
 
-const BASELINE_PATH: &str = "results/BENCH_hotpath_baseline.json";
+/// The comparison baseline, keyed by matrix mode so quick CI captures never
+/// get compared against the checked-in full-matrix numbers.
+fn baseline_path(quick: bool) -> String {
+    format!(
+        "results/BENCH_hotpath_baseline_{}.json",
+        if quick { "quick" } else { "full" }
+    )
+}
 
 fn main() {
     let mut quick = false;
     let mut threads = 1usize;
-    let mut out_path = "BENCH_hotpath.json".to_string();
+    let mut sim_threads = 1usize;
+    let mut out_path = "results/BENCH_hotpath.json".to_string();
     let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -167,6 +205,10 @@ fn main() {
             "--threads" => match args.next().and_then(|v| v.trim().parse::<usize>().ok()) {
                 Some(n) if n > 0 => threads = n,
                 _ => usage_exit("--threads needs a positive integer"),
+            },
+            "--sim-threads" => match args.next().and_then(|v| v.trim().parse::<usize>().ok()) {
+                Some(n) if n > 0 => sim_threads = n,
+                _ => usage_exit("--sim-threads needs a positive integer"),
             },
             "--out" => match args.next() {
                 Some(p) => out_path = p,
@@ -179,31 +221,39 @@ fn main() {
 
     let points = matrix(quick);
     println!(
-        "== hot-path perf: {} workloads, {} thread(s)",
+        "== hot-path perf: {} workloads, {} thread(s), {} sim-thread(s)",
         points.len(),
-        threads
+        threads,
+        sim_threads
     );
     println!(
-        "{:<18} | {:>12} | {:>9} | {:>9} | {:>12} | {:>14}",
-        "workload", "events", "host ms", "sim ms", "events/s", "sim ns/host ms"
+        "{:<18} | {:>12} | {:>9} | {:>9} | {:>12} | {:>14} | {:>22}",
+        "workload", "events", "host ms", "sim ms", "events/s", "sim ns/host ms", "core/uncore/merge ms"
     );
-    let results = sweep(points.len(), threads, |i| run_point(&points[i]));
+    let results = sweep(points.len(), threads, |i| run_point(&points[i], sim_threads));
     let mut events_total = 0u64;
     let mut host_ms_total = 0.0f64;
     let mut rows = String::new();
     for m in &results {
         let eps = m.events as f64 / (m.host_ms / 1e3);
         let sim_ns_per_host_ms = m.sim_ms * 1e6 / m.host_ms;
+        let ph = &m.phases;
         println!(
-            "{:<18} | {:>12} | {:>9.2} | {:>9.4} | {:>12.0} | {:>14.1}",
-            m.name, m.events, m.host_ms, m.sim_ms, eps, sim_ns_per_host_ms
+            "{:<18} | {:>12} | {:>9.2} | {:>9.4} | {:>12.0} | {:>14.1} | {:>6.1}/{:>6.1}/{:>6.1}",
+            m.name, m.events, m.host_ms, m.sim_ms, eps, sim_ns_per_host_ms,
+            ph.core_exec_ms, ph.uncore_ms, ph.merge_ms
         );
         events_total += m.events;
         host_ms_total += m.host_ms;
         rows.push_str(&format!(
             "    {{\"name\": \"{}\", \"events\": {}, \"host_ms\": {:.3}, \"sim_ms\": {:.6}, \
-             \"events_per_sec\": {:.0}, \"sim_ns_per_host_ms\": {:.1}}},\n",
-            m.name, m.events, m.host_ms, m.sim_ms, eps, sim_ns_per_host_ms
+             \"events_per_sec\": {:.0}, \"sim_ns_per_host_ms\": {:.1}, \
+             \"phases\": {{\"core_exec_ms\": {:.3}, \"uncore_ms\": {:.3}, \
+             \"merge_ms\": {:.3}, \"other_ms\": {:.3}, \"zones\": {}, \
+             \"zone_batches\": {}}}}},\n",
+            m.name, m.events, m.host_ms, m.sim_ms, eps, sim_ns_per_host_ms,
+            ph.core_exec_ms, ph.uncore_ms, ph.merge_ms, ph.other_ms,
+            ph.zones, ph.zone_batches
         ));
     }
     let rows = rows.trim_end_matches(",\n").to_string();
@@ -212,7 +262,8 @@ fn main() {
         "total: {events_total} events in {host_ms_total:.1} host ms = {eps_total:.0} events/s"
     );
 
-    let baseline = std::fs::read_to_string(BASELINE_PATH)
+    let baseline_file = baseline_path(quick);
+    let baseline = std::fs::read_to_string(&baseline_file)
         .ok()
         .and_then(|text| json_number(&text, "events_per_sec_total"));
     let (baseline_json, speedup_json) = match baseline {
@@ -220,7 +271,7 @@ fn main() {
             let speedup = eps_total / b;
             println!("baseline (merge-base): {b:.0} events/s -> speedup {speedup:.2}x");
             (
-                format!("{{\"events_per_sec_total\": {b:.0}, \"source\": \"{BASELINE_PATH}\"}}"),
+                format!("{{\"events_per_sec_total\": {b:.0}, \"source\": \"{baseline_file}\"}}"),
                 format!("{speedup:.3}"),
             )
         }
@@ -228,17 +279,23 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"ccsvm-hotpath-perf-v1\",\n  \"mode\": \"{mode}\",\n  \
-         \"threads\": {threads},\n  \"workloads\": [\n{rows}\n  ],\n  \
+        "{{\n  \"schema\": \"ccsvm-hotpath-perf-v2\",\n  \"mode\": \"{mode}\",\n  \
+         \"threads\": {threads},\n  \"sim_threads\": {sim_threads},\n  \
+         \"workloads\": [\n{rows}\n  ],\n  \
          \"events_total\": {events_total},\n  \"host_ms_total\": {host_ms_total:.3},\n  \
          \"events_per_sec_total\": {eps_total:.0},\n  \"baseline\": {baseline_json},\n  \
          \"speedup_vs_baseline\": {speedup_json}\n}}\n",
         mode = if quick { "quick" } else { "full" },
     );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
     std::fs::write(&out_path, &json).expect("write perf report");
     println!("wrote {out_path}");
     if write_baseline {
-        std::fs::write(BASELINE_PATH, &json).expect("write baseline");
-        println!("wrote {BASELINE_PATH}");
+        std::fs::write(&baseline_file, &json).expect("write baseline");
+        println!("wrote {baseline_file}");
     }
 }

@@ -6,7 +6,10 @@
 //! * `--sizes a,b,c` — override the swept sizes,
 //! * `--threads N` — simulate sweep points on `N` worker threads (one
 //!   independent `Machine` per point; results are reassembled in input
-//!   order, so the printed table is byte-identical to a serial run).
+//!   order, so the printed table is byte-identical to a serial run),
+//! * `--sim-threads N` — worker threads *inside* each `Machine` (the
+//!   deterministic fork-join executor, DESIGN.md §7; bit-identical output at
+//!   every value, composes with `--threads`).
 //!
 //! Output is a fixed-width table whose rows mirror the corresponding figure
 //! in the paper; EXPERIMENTS.md records a captured run next to the paper's
@@ -28,17 +31,22 @@ pub struct Opts {
     pub sizes: Option<Vec<u64>>,
     /// Worker threads for the sweep driver (`--threads N`, default 1).
     pub threads: usize,
+    /// Worker threads inside each `Machine` (`--sim-threads N`, default 1).
+    pub sim_threads: usize,
 }
 
 /// Prints the shared usage message and exits with status 2 (CLI misuse).
 fn usage_exit(binary: &str, error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: {binary} [--quick] [--sizes a,b,c] [--threads N]\n\
+        "usage: {binary} [--quick] [--sizes a,b,c] [--threads N] [--sim-threads N]\n\
          \n\
-         \x20 --quick       reduced sweep for smoke runs\n\
-         \x20 --sizes LIST  comma-separated sweep sizes (positive integers)\n\
-         \x20 --threads N   run sweep points on N worker threads (default 1)"
+         \x20 --quick           reduced sweep for smoke runs\n\
+         \x20 --sizes LIST      comma-separated sweep sizes (positive integers)\n\
+         \x20 --threads N       run sweep points on N worker threads (default 1)\n\
+         \x20 --sim-threads N   fork-join workers inside each simulated machine\n\
+         \x20                   (default 1 = serial reference; output is\n\
+         \x20                   bit-identical at every value)"
     );
     std::process::exit(2);
 }
@@ -54,6 +62,7 @@ impl Opts {
         let mut quick = false;
         let mut sizes = None;
         let mut threads = 1usize;
+        let mut sim_threads = 1usize;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -89,10 +98,22 @@ impl Opts {
                         ),
                     }
                 }
+                "--sim-threads" => {
+                    let Some(v) = args.next() else {
+                        usage_exit(&binary, "--sim-threads needs a value");
+                    };
+                    match v.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => sim_threads = n,
+                        _ => usage_exit(
+                            &binary,
+                            &format!("bad sim-thread count `{v}` (want a positive integer)"),
+                        ),
+                    }
+                }
                 other => usage_exit(&binary, &format!("unknown argument `{other}`")),
             }
         }
-        Opts { quick, sizes, threads }
+        Opts { quick, sizes, threads, sim_threads }
     }
 
     /// The sweep to use: override > quick > full.
@@ -146,12 +167,16 @@ pub fn sweep<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -
 /// Runs an xthreads program on the CCSVM chip; returns (measured region,
 /// DRAM accesses, exit code).
 ///
+/// `sim_threads` selects the intra-run executor (1 = serial reference); the
+/// returned numbers are identical at every value.
+///
 /// # Panics
 ///
 /// Panics on compile errors or guest misbehaviour.
-pub fn run_ccsvm(src: &str) -> (Time, u64, u64) {
+pub fn run_ccsvm(src: &str, sim_threads: usize) -> (Time, u64, u64) {
     let mut cfg = SystemConfig::paper_default();
     cfg.max_sim_time = Time::from_ms(60_000);
+    cfg.sim_threads = sim_threads;
     let mut m = Machine::new(cfg, wl::build(src));
     let r = m.run();
     let t = wl::region_time(&r.printed, &r.printed_at, r.time);

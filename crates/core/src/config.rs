@@ -87,6 +87,15 @@ pub struct SystemConfig {
     /// injectors off (bit-identical to a fault-free build) with the
     /// watchdog armed.
     pub fault: FaultConfig,
+    /// Host worker threads for intra-run core-batch execution. `1` (the
+    /// default) runs the serial reference event loop; `N > 1` runs the
+    /// deterministic fork-join executor, which produces bit-identical
+    /// results at every thread count (see DESIGN.md §7).
+    pub sim_threads: usize,
+    /// Record a host wall-clock breakdown per run phase (core-exec, uncore,
+    /// merge) — perf-artifact telemetry; adds two `Instant` reads per batch,
+    /// so it's off by default and benchmarks enable it on a separate run.
+    pub host_profile: bool,
 }
 
 impl SystemConfig {
@@ -116,6 +125,8 @@ impl SystemConfig {
             phys_pool: (0x10_0000, 2 * 1024 * 1024 * 1024),
             max_sim_time: Time::from_ms(30_000),
             fault: FaultConfig::default(),
+            sim_threads: 1,
+            host_profile: false,
         }
     }
 

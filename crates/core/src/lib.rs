@@ -42,7 +42,7 @@ mod config;
 mod machine;
 
 pub use config::{OsCosts, SystemConfig};
-pub use machine::{DiagnosticDump, Machine, Outcome, RunReport};
+pub use machine::{DiagnosticDump, HostPhases, Machine, Outcome, RunReport};
 // Fault-injection configuration, re-exported so harnesses can fill in
 // `SystemConfig::fault` without depending on the engine crate directly.
 pub use ccsvm_engine::{

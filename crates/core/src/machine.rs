@@ -1,15 +1,16 @@
 //! The full-system machine: event loop, OS services, MIFD, shootdowns.
 
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use ccsvm_cpu::{CpuAction, CpuCore};
 use ccsvm_engine::{stat_id, EventQueue, FaultDomain, FaultPlan, Stats, Time, Watchdog};
 use ccsvm_isa::{sys, Program};
 use ccsvm_mem::{
-    Access, AccessResult, BankConfig, Completion, L1Config, MemConfig, MemEvent, MemorySystem,
-    PortId,
+    Access, AccessResult, BankConfig, Completion, CorePort, L1Config, MemConfig, MemEvent,
+    MemorySystem, PortId, PortLog,
 };
-use ccsvm_mttop::{Mifd, MttopAction, MttopCore, PageFaultReq, TaskChunk};
+use ccsvm_mttop::{BatchOutcome, Mifd, MttopAction, MttopCore, PageFaultReq, TaskChunk};
 use ccsvm_noc::{Network, NodeId, Topology};
 use ccsvm_vm::{GuestHeap, OsLite, PteWrite, VirtAddr, PAGE_BYTES};
 
@@ -26,7 +27,40 @@ fn prefix(kind: u64, idx: usize) -> u64 {
 }
 
 fn times(t: Time, k: u64) -> Time {
-    Time::from_ps(t.as_ps().saturating_mul(k))
+    let ps = t.as_ps().checked_mul(k);
+    debug_assert!(
+        ps.is_some(),
+        "time multiply overflowed: {} ps x {k} — bad config would silently warp simulated time",
+        t.as_ps()
+    );
+    Time::from_ps(ps.unwrap_or(u64::MAX))
+}
+
+/// Host wall-clock phase indices for the `prof_phase` accumulator.
+const PH_CORE: usize = 0;
+const PH_UNCORE: usize = 1;
+const PH_MERGE: usize = 2;
+const PH_OTHER: usize = 3;
+
+/// Host wall-clock breakdown of a run (populated when
+/// [`SystemConfig::host_profile`] is set), exposing where host time goes —
+/// the parallel executor's Amdahl ceiling — in the perf artifact.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HostPhases {
+    /// Core batch execution (CPU + MTTOP quantum stepping). The only phase
+    /// the fork-join executor can spread over workers.
+    pub core_exec_ms: f64,
+    /// Uncore event handling (coherence hops, banks, DRAM) — inherently
+    /// serial: it mutates the shared `MemorySystem`.
+    pub uncore_ms: f64,
+    /// Ordered merge of buffered core actions into the uncore (serial).
+    pub merge_ms: f64,
+    /// Everything else (OS services, MIFD, shootdowns, watchdog).
+    pub other_ms: f64,
+    /// Fork-join zones executed (multi-batch same-timestamp groups).
+    pub zones: u64,
+    /// Core batches executed inside those zones.
+    pub zone_batches: u64,
 }
 
 /// Machine events.
@@ -207,6 +241,17 @@ pub struct Machine {
     /// Reused completion buffer for `Ev::Mem` dispatch (one `Ev::Mem` fires
     /// per coherence hop, so a fresh `Vec` per event is measurable).
     completions_buf: Vec<ccsvm_mem::Completion>,
+    /// One uncore-effect buffer per L1 port (CPU ports first, then MTTOP),
+    /// reused across batches by both the serial and fork-join paths.
+    port_logs: Vec<PortLog>,
+    /// Host wall-clock per phase (`PH_*`); only written when
+    /// `cfg.host_profile` is set.
+    prof_phase: [Duration; 4],
+    /// Fork-join zones executed and batches stepped inside them (telemetry;
+    /// deliberately kept out of `Stats` so reports stay identical across
+    /// `sim_threads` values).
+    zones: u64,
+    zone_batches: u64,
     /// Set when the run must abort; checked after every dispatched event.
     failure: Option<(Outcome, DiagnosticDump)>,
     // Test-knob counters for the deterministic event-drop fault hooks.
@@ -313,6 +358,7 @@ impl Machine {
             reserved: vec![0; cfg.n_mttops],
             cpu_seq: vec![0; cfg.n_cpus],
             mttop_seq: vec![0; cfg.n_mttops],
+            port_logs: (0..cfg.n_cpus + cfg.n_mttops).map(|_| PortLog::new()).collect(),
             cfg,
             prog,
             mem,
@@ -337,10 +383,27 @@ impl Machine {
             progress: 0,
             events: 0,
             completions_buf: Vec::new(),
+            prof_phase: [Duration::ZERO; 4],
+            zones: 0,
+            zone_batches: 0,
             failure: None,
             data_deliveries: 0,
             resps_seen: 0,
             blackholed_block: None,
+        }
+    }
+
+    /// Host wall-clock phase breakdown and fork-join zone telemetry. Phase
+    /// times are all zero unless [`SystemConfig::host_profile`] was set.
+    pub fn host_phases(&self) -> HostPhases {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        HostPhases {
+            core_exec_ms: ms(self.prof_phase[PH_CORE]),
+            uncore_ms: ms(self.prof_phase[PH_UNCORE]),
+            merge_ms: ms(self.prof_phase[PH_MERGE]),
+            other_ms: ms(self.prof_phase[PH_OTHER]),
+            zones: self.zones,
+            zone_batches: self.zone_batches,
         }
     }
 
@@ -449,13 +512,28 @@ impl Machine {
         self.cpus[0].start_thread(Time::ZERO, entry, 0, 0, cr3, self.kexit);
         self.sched_cpu_batch(0, Time::ZERO);
 
-        let wd_cfg = self.cfg.fault.watchdog;
-        let mut watchdog = Watchdog::new();
-        if wd_cfg.enabled {
-            self.queue.push(wd_cfg.period, Ev::WatchdogTick);
+        if self.cfg.fault.watchdog.enabled {
+            self.queue.push(self.cfg.fault.watchdog.period, Ev::WatchdogTick);
         }
 
+        if self.cfg.sim_threads > 1 {
+            self.run_zoned();
+        } else {
+            self.run_serial();
+        }
+        if !self.main_exited && self.failure.is_none() {
+            let reason = "event queue drained before main exited".to_string();
+            self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+        }
+        self.report()
+    }
+
+    /// The serial reference event loop: pop, dispatch, repeat.
+    fn run_serial(&mut self) {
+        let wd_cfg = self.cfg.fault.watchdog;
+        let mut watchdog = Watchdog::new();
         let trace = std::env::var("CCSVM_TRACE").is_ok();
+        let profile = self.cfg.host_profile;
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
@@ -489,16 +567,137 @@ impl Machine {
                 self.queue.push(self.now + wd_cfg.period, Ev::WatchdogTick);
                 continue;
             }
+            // Batch events time themselves (core-exec vs merge) inside
+            // `run_cpu_batch`/`run_mttop_batch`; everything else is timed
+            // here as uncore or other.
+            let cls = if profile && !matches!(ev, Ev::CpuBatch { .. } | Ev::MttopBatch { .. }) {
+                Some((Instant::now(), matches!(ev, Ev::Mem(_))))
+            } else {
+                None
+            };
             self.dispatch(ev);
+            if let Some((t0, is_mem)) = cls {
+                self.prof_phase[if is_mem { PH_UNCORE } else { PH_OTHER }] += t0.elapsed();
+            }
             if self.main_exited || self.failure.is_some() {
                 break;
             }
         }
-        if !self.main_exited && self.failure.is_none() {
-            let reason = "event queue drained before main exited".to_string();
-            self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+    }
+
+    /// The deterministic fork-join loop (`sim_threads > 1`): identical to
+    /// [`Machine::run_serial`] except that consecutive *live MTTOP* batch
+    /// events sharing one timestamp are drained into a zone, stepped
+    /// concurrently over disjoint `CorePort`s, and merged serially in pop
+    /// order — reproducing the serial event stream bit-for-bit (DESIGN §7).
+    ///
+    /// CPU batches never join zones: their merge actions can read other
+    /// cores' L1s synchronously (`MIFD_LAUNCH` descriptor reads) or end the
+    /// run mid-zone (`Exited`), both of which would break the equivalence
+    /// argument. Measured same-timestamp clustering is overwhelmingly MTTOP
+    /// anyway (the SIMT cores share one clock).
+    fn run_zoned(&mut self) {
+        let wd_cfg = self.cfg.fault.watchdog;
+        let mut watchdog = Watchdog::new();
+        let trace = std::env::var("CCSVM_TRACE").is_ok();
+        let profile = self.cfg.host_profile;
+        // A popped event that terminates zone collection can't be re-pushed
+        // (a fresh push-seq would reorder it among equal-time events), so it
+        // is carried into the next iteration instead.
+        let mut carry: Option<(Time, Ev)> = None;
+        let mut zone: Vec<usize> = Vec::new();
+        while let Some((t, ev)) = carry.take().or_else(|| self.queue.pop()) {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events += 1;
+            if trace {
+                let nev = self.events;
+                if nev < 5000 {
+                    eprintln!("[{nev}] t={t:?} {ev:?}");
+                }
+                if nev.is_multiple_of(1_000_000) {
+                    eprintln!("[{nev}] t={t:?} qlen={}", self.queue.len());
+                }
+            }
+            if t > self.cfg.max_sim_time {
+                let reason = format!("simulation exceeded max_sim_time {}", self.cfg.max_sim_time);
+                self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+                break;
+            }
+            match ev {
+                Ev::WatchdogTick => {
+                    let stale = watchdog.observe(self.now, self.progress);
+                    if stale >= wd_cfg.quanta {
+                        let reason = format!(
+                            "no forward progress for {stale} watchdog periods of {} \
+                             (last progress at {})",
+                            wd_cfg.period,
+                            watchdog.last_progress_at()
+                        );
+                        self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+                        break;
+                    }
+                    self.queue.push(self.now + wd_cfg.period, Ev::WatchdogTick);
+                }
+                Ev::MttopBatch { core, seq } => {
+                    if seq != self.mttop_seq[core] {
+                        continue; // stale: superseded by a later schedule
+                    }
+                    // Zones form only while nothing is ECC-poisoned: then no
+                    // batch can abort the run, so every collected member is
+                    // guaranteed to execute — exactly as in serial order.
+                    if self.mem.has_poisoned() {
+                        self.run_mttop_batch(core);
+                    } else {
+                        zone.clear();
+                        zone.push(core);
+                        let mut mask: u128 = 1 << core;
+                        while self.queue.peek_time() == Some(t) {
+                            let (t2, ev2) = self.queue.pop().expect("peeked event");
+                            match ev2 {
+                                Ev::MttopBatch { core: c, seq: s } if s != self.mttop_seq[c] => {
+                                    // Stale: serial would pop + discard here.
+                                    self.events += 1;
+                                }
+                                Ev::MttopBatch { core: c, seq: _ } if mask & (1 << c) == 0 => {
+                                    self.events += 1;
+                                    mask |= 1 << c;
+                                    zone.push(c);
+                                }
+                                other => {
+                                    carry = Some((t2, other));
+                                    break;
+                                }
+                            }
+                        }
+                        if zone.len() == 1 {
+                            self.run_mttop_batch(zone[0]);
+                        } else {
+                            self.zones += 1;
+                            self.zone_batches += zone.len() as u64;
+                            self.run_mttop_zone(&zone);
+                        }
+                    }
+                    if self.main_exited || self.failure.is_some() {
+                        break;
+                    }
+                }
+                other => {
+                    let cls = if profile && !matches!(other, Ev::CpuBatch { .. }) {
+                        Some((Instant::now(), matches!(other, Ev::Mem(_))))
+                    } else {
+                        None
+                    };
+                    self.dispatch(other);
+                    if let Some((t0, is_mem)) = cls {
+                        self.prof_phase[if is_mem { PH_UNCORE } else { PH_OTHER }] += t0.elapsed();
+                    }
+                    if self.main_exited || self.failure.is_some() {
+                        break;
+                    }
+                }
+            }
         }
-        self.report()
     }
 
     /// Captures the structured abort diagnostics: who is stuck where.
@@ -748,12 +947,35 @@ impl Machine {
 
     // ----- core batches ----------------------------------------------------
 
+    /// Replays one port's buffered uncore effects into the NoC/event queue.
+    fn replay_log(&mut self, log: &mut PortLog) {
+        let queue = &mut self.queue;
+        let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
+        log.replay(&mut self.net, &mut sched);
+    }
+
     fn run_cpu_batch(&mut self, core: usize) {
-        let action = {
-            let queue = &mut self.queue;
-            let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
-            self.cpus[core].run_batch(self.now, &self.prog, &mut self.mem, &mut self.net, &mut sched)
-        };
+        let profile = self.cfg.host_profile;
+        let t0 = profile.then(Instant::now);
+        let mut log = std::mem::take(&mut self.port_logs[core]);
+        let action = self.cpus[core].run_batch(
+            self.now,
+            &self.prog,
+            &mut self.mem.core_port(PortId(core), &mut log),
+        );
+        if let Some(t) = t0 {
+            self.prof_phase[PH_CORE] += t.elapsed();
+        }
+        let t1 = profile.then(Instant::now);
+        self.replay_log(&mut log);
+        self.port_logs[core] = log;
+        self.apply_cpu_action(core, action);
+        if let Some(t) = t1 {
+            self.prof_phase[PH_MERGE] += t.elapsed();
+        }
+    }
+
+    fn apply_cpu_action(&mut self, core: usize, action: CpuAction) {
         match action {
             CpuAction::Continue { at } => {
                 self.progress += 1;
@@ -780,11 +1002,25 @@ impl Machine {
     }
 
     fn run_mttop_batch(&mut self, core: usize) {
-        let outcome = {
-            let queue = &mut self.queue;
-            let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
-            self.mttops[core].run_batch(self.now, &self.prog, &mut self.mem, &mut self.net, &mut sched)
-        };
+        let profile = self.cfg.host_profile;
+        let t0 = profile.then(Instant::now);
+        let port = PortId(self.cfg.n_cpus + core);
+        let mut log = std::mem::take(&mut self.port_logs[port.0]);
+        let outcome =
+            self.mttops[core].run_batch(self.now, &self.prog, &mut self.mem.core_port(port, &mut log));
+        if let Some(t) = t0 {
+            self.prof_phase[PH_CORE] += t.elapsed();
+        }
+        let t1 = profile.then(Instant::now);
+        self.replay_log(&mut log);
+        self.port_logs[port.0] = log;
+        self.apply_mttop_outcome(core, outcome);
+        if let Some(t) = t1 {
+            self.prof_phase[PH_MERGE] += t.elapsed();
+        }
+    }
+
+    fn apply_mttop_outcome(&mut self, core: usize, outcome: BatchOutcome) {
         for req in outcome.faults {
             self.mifd.count_fault_forward();
             // MTTOP -> MIFD -> CPU0 interrupt chain (§3.2.1).
@@ -805,6 +1041,81 @@ impl Machine {
                 self.sched_mttop_batch(core, at);
             }
             MttopAction::Blocked | MttopAction::Idle => {}
+        }
+    }
+
+    /// Steps a zone of same-timestamp live MTTOP batches concurrently, then
+    /// merges their buffered effects serially in pop order. Workers get
+    /// contiguous task chunks; chunk 0 runs on this thread. Determinism does
+    /// not depend on the chunking — each task touches only its own core and
+    /// port, and all shared state waits for the merge.
+    fn run_mttop_zone(&mut self, cores: &[usize]) {
+        let profile = self.cfg.host_profile;
+        let t0 = profile.then(Instant::now);
+        let now = self.now;
+        let n_cpus = self.cfg.n_cpus;
+        let prog = &self.prog;
+        let mut results: Vec<(usize, BatchOutcome)> = Vec::with_capacity(cores.len());
+        {
+            struct ZoneTask<'a> {
+                core: usize,
+                mc: &'a mut MttopCore,
+                port: CorePort<'a>,
+                outcome: Option<BatchOutcome>,
+            }
+            let mut ports: Vec<Option<CorePort<'_>>> = self
+                .mem
+                .core_ports(&mut self.port_logs)
+                .into_iter()
+                .map(Some)
+                .collect();
+            let mut mcs: Vec<Option<&mut MttopCore>> = self.mttops.iter_mut().map(Some).collect();
+            let mut tasks: Vec<ZoneTask<'_>> = cores
+                .iter()
+                .map(|&c| ZoneTask {
+                    core: c,
+                    mc: mcs[c].take().expect("zone cores are distinct"),
+                    port: ports[n_cpus + c].take().expect("zone ports are distinct"),
+                    outcome: None,
+                })
+                .collect();
+            let workers = self.cfg.sim_threads.min(tasks.len());
+            let chunk = tasks.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let mut chunks = tasks.chunks_mut(chunk);
+                let own = chunks.next();
+                for rest in chunks {
+                    s.spawn(move || {
+                        for task in rest {
+                            task.outcome = Some(task.mc.run_batch(now, prog, &mut task.port));
+                        }
+                    });
+                }
+                if let Some(own) = own {
+                    for task in own {
+                        task.outcome = Some(task.mc.run_batch(now, prog, &mut task.port));
+                    }
+                }
+            });
+            for task in tasks {
+                results.push((task.core, task.outcome.expect("zone task ran")));
+            }
+        }
+        if let Some(t) = t0 {
+            self.prof_phase[PH_CORE] += t.elapsed();
+        }
+        let t1 = profile.then(Instant::now);
+        for (core, outcome) in results {
+            let mut log = std::mem::take(&mut self.port_logs[n_cpus + core]);
+            self.replay_log(&mut log);
+            self.port_logs[n_cpus + core] = log;
+            self.apply_mttop_outcome(core, outcome);
+            // Zones form only with no poison in the system, so no member can
+            // abort the run mid-merge (serial would have executed them all).
+            debug_assert!(self.failure.is_none(), "zone member aborted mid-merge");
+        }
+        if let Some(t) = t1 {
+            self.prof_phase[PH_MERGE] += t.elapsed();
         }
     }
 

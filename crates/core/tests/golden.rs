@@ -20,9 +20,11 @@ use std::path::PathBuf;
 use ccsvm::{Machine, Outcome, SystemConfig};
 
 /// Renders the parts of a run that must be bit-for-bit stable.
-fn snapshot(src: &str) -> String {
+fn snapshot_at(src: &str, sim_threads: usize) -> String {
     let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
-    let mut m = Machine::new(SystemConfig::paper_default(), prog);
+    let mut cfg = SystemConfig::paper_default();
+    cfg.sim_threads = sim_threads;
+    let mut m = Machine::new(cfg, prog);
     let r = m.run();
     assert_eq!(r.outcome, Outcome::Completed, "golden workload must complete");
     let mut out = String::new();
@@ -44,7 +46,16 @@ fn snapshot(src: &str) -> String {
 }
 
 fn check(name: &str, src: &str) {
-    let got = snapshot(src);
+    let got = snapshot_at(src, 1);
+    // The fork-join executor (DESIGN §7) must reproduce the serial snapshot
+    // byte-for-byte at every worker count.
+    for sim_threads in [2, 4] {
+        let par = snapshot_at(src, sim_threads);
+        assert_eq!(
+            par, got,
+            "golden {name}: sim_threads={sim_threads} diverged from serial"
+        );
+    }
     let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "goldens", name]
         .iter()
         .collect();

@@ -1,0 +1,140 @@
+//! Differential determinism tests for the fork-join executor (DESIGN §7):
+//! every run — happy path, fault-injected, and aborting — must produce a
+//! `RunReport` (outcome, stats, diagnostics, printed output, event count)
+//! identical to the serial reference loop at every `sim_threads` value.
+
+use ccsvm::{Machine, Outcome, RunReport, SystemConfig, Time};
+
+fn run_at(mut cfg: SystemConfig, src: &str, sim_threads: usize) -> RunReport {
+    cfg.sim_threads = sim_threads;
+    let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    Machine::new(cfg, prog).run()
+}
+
+/// Runs `src` serially and at `sim_threads ∈ {2, 4}`, asserting the full
+/// reports match, and returns the serial report.
+fn differential(cfg: &SystemConfig, src: &str, label: &str) -> RunReport {
+    let serial = run_at(cfg.clone(), src, 1);
+    for sim_threads in [2, 4] {
+        let par = run_at(cfg.clone(), src, sim_threads);
+        assert_eq!(
+            serial, par,
+            "{label}: sim_threads={sim_threads} diverged from serial"
+        );
+    }
+    serial
+}
+
+/// The same CPU+MTTOP workload as `faults.rs` (real NoC/L2/DRAM traffic and
+/// MTTOP offload, so same-timestamp MTTOP batch zones actually form).
+fn vecadd_src(n: u64) -> String {
+    format!(
+        "struct Args {{ v1: int*; v2: int*; sum: int*; done: int*; }}
+         _MTTOP_ fn add(tid: int, a: Args*) {{
+             a->sum[tid] = a->v1[tid] + a->v2[tid];
+             xt_msignal(a->done, tid);
+         }}
+         _CPU_ fn main() -> int {{
+             let n = {n};
+             let a: Args* = malloc(sizeof(Args));
+             a->v1 = malloc(n * 8);
+             a->v2 = malloc(n * 8);
+             a->sum = malloc(n * 8);
+             a->done = malloc(n * 8);
+             for (let i = 0; i < n; i = i + 1) {{
+                 a->v1[i] = i * 3;
+                 a->v2[i] = i + 7;
+                 a->done[i] = 0;
+             }}
+             let err = xt_create_mthread(add, a as int, 0, n - 1);
+             if (err != 0) {{ return -1; }}
+             xt_wait(a->done, 0, n - 1);
+             let total = 0;
+             for (let i = 0; i < n; i = i + 1) {{ total = total + a->sum[i]; }}
+             return total;
+         }}"
+    )
+}
+
+/// The fault matrix of `core/tests/faults.rs`: NoC drops + correctable DRAM
+/// ECC flips + transient TLB-walk failures, seeded.
+fn faulty_cfg(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.seed = seed;
+    cfg.fault.noc.drop_rate = 0.02;
+    cfg.fault.dram.single_bit_rate = 0.2;
+    cfg.fault.tlb.transient_rate = 0.02;
+    cfg
+}
+
+#[test]
+fn fault_free_offload_is_identical_across_sim_threads() {
+    let r = differential(&SystemConfig::tiny(), &vecadd_src(64), "vecadd_n64");
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.exit_code, (0..64).map(|i| i * 3 + i + 7).sum::<u64>());
+}
+
+#[test]
+fn paper_default_offload_is_identical_across_sim_threads() {
+    // Full-size machine (10 MTTOP cores): the configuration where zones are
+    // widest and the executor actually forks.
+    let src = ccsvm_workloads::matmul::xthreads_source(
+        &ccsvm_workloads::matmul::MatmulParams::new(16, 42),
+    );
+    let r = differential(&SystemConfig::paper_default(), &src, "matmul_n16");
+    assert_eq!(r.outcome, Outcome::Completed);
+}
+
+#[test]
+fn zones_actually_form_under_offload() {
+    // Guard against the fork-join path being vacuous: the full-size machine
+    // running a real offload must execute at least one multi-batch zone.
+    let src = ccsvm_workloads::matmul::xthreads_source(
+        &ccsvm_workloads::matmul::MatmulParams::new(16, 42),
+    );
+    let mut cfg = SystemConfig::paper_default();
+    cfg.sim_threads = 4;
+    let prog = ccsvm_xthreads::build(&src).unwrap_or_else(|e| panic!("compile: {e}"));
+    let mut m = Machine::new(cfg, prog);
+    let r = m.run();
+    assert_eq!(r.outcome, Outcome::Completed);
+    let ph = m.host_phases();
+    assert!(ph.zones > 0, "no fork-join zones formed — executor never forked");
+    assert!(ph.zone_batches >= 2 * ph.zones, "zones must hold ≥2 batches");
+}
+
+#[test]
+fn fault_injection_matrix_is_identical_across_sim_threads() {
+    for seed in [3, 7, 11] {
+        let r = differential(&faulty_cfg(seed), &vecadd_src(32), &format!("faulty seed {seed}"));
+        assert_eq!(r.outcome, Outcome::Completed, "seed {seed}");
+        assert!(
+            r.stats.get("noc.retransmissions") > 0.0,
+            "seed {seed}: NoC faults must actually fire in the compared runs"
+        );
+    }
+}
+
+#[test]
+fn deadlock_abort_is_identical_across_sim_threads() {
+    // A dropped data grant deadlocks the machine; outcome, watchdog timing
+    // and the DiagnosticDump must match the serial reference exactly.
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.drop_data_delivery = Some(1);
+    cfg.fault.watchdog.period = Time::from_us(100);
+    cfg.fault.watchdog.quanta = 4;
+    let r = differential(&cfg, "_CPU_ fn main() -> int { return 41 + 1; }", "deadlock");
+    assert_eq!(r.outcome, Outcome::Deadlock);
+    assert!(r.diagnostic.is_some());
+}
+
+#[test]
+fn ecc_poison_abort_is_identical_across_sim_threads() {
+    // Poisoned blocks suppress zone formation; the abort path must still be
+    // bit-identical, diagnostics included.
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.dram.double_bit_rate = 1.0;
+    let r = differential(&cfg, "_CPU_ fn main() -> int { return 41 + 1; }", "poison");
+    assert_eq!(r.outcome, Outcome::Poisoned);
+    assert!(!r.diagnostic.expect("dump").poisoned_blocks.is_empty());
+}

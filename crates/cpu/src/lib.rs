@@ -16,8 +16,7 @@
 
 use ccsvm_engine::{stat_id, Clock, SplitMix64, Stats, Time, TlbFaultConfig};
 use ccsvm_isa::{abi, AmoKind, Instr, Operand, Program, Reg};
-use ccsvm_mem::{Access, AccessResult, AtomicOp, MemEvent, MemorySystem, PhysAddr, PortId};
-use ccsvm_noc::Network;
+use ccsvm_mem::{Access, AccessResult, AtomicOp, CorePort, PhysAddr, PortId};
 use ccsvm_vm::{frame_plus_offset, Tlb, VirtAddr, Walk, WalkResult};
 
 /// Static configuration of one CPU core.
@@ -322,14 +321,12 @@ impl CpuCore {
     }
 
     /// Executes until a block/quantum boundary. See the [crate docs](crate).
-    pub fn run_batch(
-        &mut self,
-        now: Time,
-        prog: &Program,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
-    ) -> CpuAction {
+    ///
+    /// All memory traffic goes through `port`, the core's private
+    /// [`CorePort`]: the step mutates only this core and its own L1, so
+    /// batches of distinct cores may run concurrently and their buffered
+    /// [`ccsvm_mem::PortLog`]s be replayed afterwards in canonical order.
+    pub fn run_batch(&mut self, now: Time, prog: &Program, port: &mut CorePort<'_>) -> CpuAction {
         if !self.running {
             return CpuAction::Idle;
         }
@@ -342,7 +339,7 @@ impl CpuCore {
             match std::mem::replace(&mut self.pending, Pending::None) {
                 Pending::None => {}
                 Pending::WalkReady { pte, walk, op } => {
-                    let action = self.walk_feed(pte, walk, op, mem, net, sched);
+                    let action = self.walk_feed(pte, walk, op, port);
                     match action {
                         None => {}
                         Some(a) => return self.charge_and(a, start),
@@ -419,7 +416,7 @@ impl CpuCore {
                 Instr::Ld { rd, base, off, size } => {
                     let va = VirtAddr(self.get(base).wrapping_add(off as u64));
                     let op = MemOp { va, kind: OpKind::Ld { rd, size } };
-                    if let Some(a) = self.issue_mem(op, mem, net, sched) {
+                    if let Some(a) = self.issue_mem(op, port) {
                         return self.charge_and(a, start);
                     }
                 }
@@ -427,7 +424,7 @@ impl CpuCore {
                     let va = VirtAddr(self.get(base).wrapping_add(off as u64));
                     let value = self.get(rs);
                     let op = MemOp { va, kind: OpKind::St { size, value } };
-                    if let Some(a) = self.issue_mem(op, mem, net, sched) {
+                    if let Some(a) = self.issue_mem(op, port) {
                         return self.charge_and(a, start);
                     }
                 }
@@ -437,7 +434,7 @@ impl CpuCore {
                         va,
                         kind: OpKind::Amo { rd, op, a: self.get(a), b: self.get(b) },
                     };
-                    if let Some(act) = self.issue_mem(mop, mem, net, sched) {
+                    if let Some(act) = self.issue_mem(mop, port) {
                         return self.charge_and(act, start);
                     }
                 }
@@ -452,39 +449,26 @@ impl CpuCore {
 
     /// Translates and issues a memory op. `None` means it completed inline
     /// (hit); `Some(action)` means the batch must end.
-    fn issue_mem(
-        &mut self,
-        op: MemOp,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
-    ) -> Option<CpuAction> {
+    fn issue_mem(&mut self, op: MemOp, port: &mut CorePort<'_>) -> Option<CpuAction> {
         self.mem_ops += 1;
         match self.tlb.lookup(op.va) {
-            Some(frame) => self.issue_access(frame_plus_offset(frame, op.va), op, mem, net, sched),
+            Some(frame) => self.issue_access(frame_plus_offset(frame, op.va), op, port),
             None => {
                 self.walks += 1;
                 let walk = Walk::new(self.cr3, op.va);
-                self.issue_walk_read(walk, op, mem, net, sched)
+                self.issue_walk_read(walk, op, port)
             }
         }
     }
 
-    fn issue_walk_read(
-        &mut self,
-        walk: Walk,
-        op: MemOp,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
-    ) -> Option<CpuAction> {
+    fn issue_walk_read(&mut self, walk: Walk, op: MemOp, port: &mut CorePort<'_>) -> Option<CpuAction> {
         let token = self.token();
         let access = Access::Read { paddr: walk.pte_addr(), size: 8 };
-        match mem.access(self.local_time, net, sched, self.port, token, access) {
+        match port.access(self.local_time, token, access) {
             AccessResult::Hit { finish, value } => {
                 self.outstanding_token = None;
                 self.local_time = finish;
-                self.walk_feed(value, walk, op, mem, net, sched)
+                self.walk_feed(value, walk, op, port)
             }
             AccessResult::Pending => {
                 self.pending = Pending::WalkRead { walk, op };
@@ -509,12 +493,10 @@ impl CpuCore {
         pte: u64,
         walk: Walk,
         op: MemOp,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
     ) -> Option<CpuAction> {
         match walk.feed(pte) {
-            WalkResult::Continue(next) => self.issue_walk_read(next, op, mem, net, sched),
+            WalkResult::Continue(next) => self.issue_walk_read(next, op, port),
             WalkResult::Done(frame) => {
                 if let Some(f) = &mut self.tlb_faults {
                     if f.rng.next_f64() < f.cfg.transient_rate {
@@ -527,7 +509,7 @@ impl CpuCore {
                     }
                 }
                 self.tlb.insert(op.va, frame);
-                self.issue_access(frame_plus_offset(frame, op.va), op, mem, net, sched)
+                self.issue_access(frame_plus_offset(frame, op.va), op, port)
             }
             WalkResult::Fault(f) => {
                 self.faults += 1;
@@ -541,9 +523,7 @@ impl CpuCore {
         &mut self,
         paddr: PhysAddr,
         op: MemOp,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
     ) -> Option<CpuAction> {
         let access = match op.kind {
             OpKind::Ld { size, .. } => Access::Read { paddr, size: size as usize },
@@ -561,7 +541,7 @@ impl CpuCore {
             },
         };
         let token = self.token();
-        match mem.access(self.local_time, net, sched, self.port, token, access) {
+        match port.access(self.local_time, token, access) {
             AccessResult::Hit { finish, value } => {
                 self.outstanding_token = None;
                 self.local_time = finish;

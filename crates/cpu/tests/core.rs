@@ -6,7 +6,7 @@ use ccsvm_engine::{EventQueue, Time};
 use ccsvm_isa::{abi, assemble, Program};
 use ccsvm_mem::{
     BankConfig, CacheConfig, DramConfig, L1Config, MemConfig, MemEvent, MemorySystem, PortId,
-    WritePolicy,
+    PortLog, WritePolicy,
 };
 use ccsvm_noc::{Network, NocConfig, NodeId, Topology};
 use ccsvm_vm::{OsLite, VirtAddr};
@@ -69,10 +69,14 @@ impl Rig {
             guard += 1;
             assert!(guard < 1_000_000, "runaway test");
             let action = {
+                let mut log = PortLog::new();
+                let a = self
+                    .core
+                    .run_batch(self.now, &self.prog, &mut self.mem.core_port(PortId(0), &mut log));
                 let q = &mut self.queue;
                 let mut sched = |t: Time, e: MemEvent| q.push(t, e);
-                self.core
-                    .run_batch(self.now, &self.prog, &mut self.mem, &mut self.net, &mut sched)
+                log.replay(&mut self.net, &mut sched);
+                a
             };
             match action {
                 CpuAction::Exited => return self.core.local_time(),

@@ -30,6 +30,7 @@ mod cache;
 mod dram;
 mod l1;
 mod msg;
+mod port;
 mod system;
 
 pub use addr::{block_of, offset_in_block, PhysAddr, BLOCK_BYTES};
@@ -37,6 +38,7 @@ pub use cache::{CacheArray, CacheConfig};
 pub use dram::{Dram, DramConfig};
 pub use l1::{L1Config, WritePolicy};
 pub use msg::{AtomicOp, BankId, MemEvent};
+pub use port::{CorePort, PortLog};
 pub use system::{
     Access, AccessResult, BankConfig, Completion, MemConfig, MemorySystem, PortId,
 };

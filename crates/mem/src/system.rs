@@ -10,8 +10,9 @@ use crate::addr::{block_of, PhysAddr};
 use crate::bank::{Bank, BankOut, TimeoutAction};
 use crate::cache::CacheConfig;
 use crate::dram::{Dram, DramConfig};
-use crate::l1::{L1Access, L1Config, L1Out, L1State, L1};
-use crate::msg::{AtomicOp, BankId, DirToL1, L1ToDir, MemEvent, MemEventKind, Request};
+use crate::l1::{L1Config, L1Out, L1State, L1};
+use crate::msg::{AtomicOp, BankId, DirToL1, MemEvent, MemEventKind};
+use crate::port::{CorePort, PortLog};
 
 /// Identifies an L1 cache port (one per core).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -148,6 +149,9 @@ pub struct MemorySystem {
     /// Set when a transaction spent its whole retry budget (sticky until
     /// [`MemorySystem::take_retry_exhausted`]).
     retry_exhausted: Option<(BankId, u64)>,
+    /// Reusable log for the serial [`MemorySystem::access`] path, so the
+    /// buffer-and-replay round trip allocates only once.
+    scratch: PortLog,
 }
 
 impl MemorySystem {
@@ -183,6 +187,7 @@ impl MemorySystem {
             dir_timeout: None,
             dir_budget: 0,
             retry_exhausted: None,
+            scratch: PortLog::new(),
         }
     }
 
@@ -223,21 +228,6 @@ impl MemorySystem {
         (block % self.banks.len() as u64) as usize
     }
 
-    fn req_bytes(&self, req: &Request) -> usize {
-        if req.data.is_some() {
-            self.data_bytes
-        } else {
-            self.ctrl_bytes
-        }
-    }
-
-    fn resp_bytes(&self, resp: &L1ToDir) -> usize {
-        match resp {
-            L1ToDir::InvResp { data: Some(_), .. } | L1ToDir::FetchResp { .. } => self.data_bytes,
-            _ => self.ctrl_bytes,
-        }
-    }
-
     fn dir_msg_bytes(&self, msg: &DirToL1) -> usize {
         match msg {
             DirToL1::Data { .. } => self.data_bytes,
@@ -245,11 +235,52 @@ impl MemorySystem {
         }
     }
 
+    /// A [`CorePort`] for `port`: mutable access to that L1 only, with uncore
+    /// effects buffered into `log` for a later [`PortLog::replay`].
+    pub fn core_port<'a>(&'a mut self, port: PortId, log: &'a mut PortLog) -> CorePort<'a> {
+        CorePort::new(
+            &mut self.l1s[port.0],
+            &self.poisoned,
+            &self.bank_cfg,
+            self.ctrl_bytes,
+            self.data_bytes,
+            log,
+        )
+    }
+
+    /// Splits the system into one [`CorePort`] per L1 (in `PortId` order),
+    /// each paired with the same-index entry of `logs`. The ports borrow
+    /// disjoint L1s and are `Send`, so they can be stepped concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logs.len() != self.ports()`.
+    pub fn core_ports<'a>(&'a mut self, logs: &'a mut [PortLog]) -> Vec<CorePort<'a>> {
+        assert_eq!(logs.len(), self.l1s.len(), "one log per port required");
+        let poisoned: &BTreeSet<u64> = &self.poisoned;
+        let banks: &[BankConfig] = &self.bank_cfg;
+        let (ctrl, data) = (self.ctrl_bytes, self.data_bytes);
+        self.l1s
+            .iter_mut()
+            .zip(logs.iter_mut())
+            .map(|(l1, log)| CorePort::new(l1, poisoned, banks, ctrl, data, log))
+            .collect()
+    }
+
+    /// Whether any block is currently poisoned by an uncorrectable ECC error.
+    pub fn has_poisoned(&self) -> bool {
+        !self.poisoned.is_empty()
+    }
+
     /// Issues `access` on `port`. `token` identifies the access in a later
     /// [`Completion`] if it misses.
     ///
     /// New events are scheduled through `sched`; the caller must deliver them
     /// back to [`MemorySystem::handle`] at the given times.
+    ///
+    /// Implemented as a [`CorePort::access`] followed by an immediate
+    /// [`PortLog::replay`], so the serial path exercises exactly the code the
+    /// parallel executor runs.
     pub fn access(
         &mut self,
         now: Time,
@@ -259,25 +290,11 @@ impl MemorySystem {
         token: u64,
         access: Access,
     ) -> AccessResult {
-        let mut out = L1Out::default();
-        let result = self.l1s[port.0].access(access, token, &mut out);
-        debug_assert!(out.completions.is_empty(), "access cannot complete others");
-        // The miss leaves the L1 after the tag lookup (one hit time).
-        let hit_time = self.l1s[port.0].config.hit_time;
-        self.flush_l1_out(now + hit_time, port, out, net, sched, &mut Vec::new());
-        match result {
-            L1Access::Hit { value } => {
-                if !self.poisoned.is_empty() && self.poisoned.contains(&block_of(access.addr())) {
-                    return AccessResult::Poisoned;
-                }
-                AccessResult::Hit {
-                    finish: now + hit_time,
-                    value,
-                }
-            }
-            L1Access::Pending => AccessResult::Pending,
-            L1Access::Retry => AccessResult::Retry,
-        }
+        let mut log = std::mem::take(&mut self.scratch);
+        let result = self.core_port(port, &mut log).access(now, token, access);
+        log.replay(net, sched);
+        self.scratch = log;
+        result
     }
 
     /// Processes an internal event, scheduling follow-ups via `sched` and
@@ -344,24 +361,10 @@ impl MemorySystem {
         sched: &mut dyn FnMut(Time, MemEvent),
         completions: &mut Vec<Completion>,
     ) {
-        let node = self.l1s[port.0].config.node;
-        for req in out.requests {
-            let b = self.home(req.block);
-            let t = net.send(now, node, self.bank_cfg[b].node, self.req_bytes(&req));
-            sched(t, MemEvent(MemEventKind::ReqArrive(req)));
-        }
-        for resp in out.responses {
-            let rb = match &resp {
-                L1ToDir::InvResp { block, .. } | L1ToDir::FetchResp { block, .. } => *block,
-            };
-            let b = self.home(rb);
-            let t = net.send(now, node, self.bank_cfg[b].node, self.resp_bytes(&resp));
-            sched(t, MemEvent(MemEventKind::RespArrive(BankId(b), resp)));
-        }
-        for (token, value, block) in out.completions {
-            let poisoned = !self.poisoned.is_empty() && self.poisoned.contains(&block);
-            completions.push(Completion { port, token, value, poisoned });
-        }
+        let mut log = std::mem::take(&mut self.scratch);
+        self.core_port(port, &mut log).flush(now, out, completions);
+        log.replay(net, sched);
+        self.scratch = log;
     }
 
     fn apply_bank_out(

@@ -30,8 +30,7 @@
 
 use ccsvm_engine::{stat_id, Clock, FxHashMap, Stats, Time};
 use ccsvm_isa::{abi, AmoKind, Instr, Operand, Program, Reg};
-use ccsvm_mem::{Access, AccessResult, AtomicOp, MemEvent, MemorySystem, PhysAddr, PortId};
-use ccsvm_noc::Network;
+use ccsvm_mem::{Access, AccessResult, AtomicOp, CorePort, PhysAddr, PortId};
 use ccsvm_vm::{frame_plus_offset, Tlb, VirtAddr, Walk, WalkResult};
 
 /// Static configuration of one MTTOP core.
@@ -473,16 +472,14 @@ impl MttopCore {
         &mut self,
         now: Time,
         prog: &Program,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
     ) -> BatchOutcome {
         self.local_time = self.local_time.max(now);
         let mut faults = Vec::new();
 
         let arrived = std::mem::take(&mut self.arrived);
         for (token, value) in arrived {
-            self.apply_completion(token, value, mem, net, sched, &mut faults);
+            self.apply_completion(token, value, port, &mut faults);
         }
 
         let deadline = self.local_time + self.config.clock.cycles(self.config.quantum_cycles);
@@ -567,7 +564,7 @@ impl MttopCore {
             self.rr = (chosen[chosen.len() - 1] + 1) % n;
             let cycle_start = self.local_time;
             for &wi in &chosen {
-                self.issue(wi, prog, mem, net, sched, &mut faults);
+                self.issue(wi, prog, port, &mut faults);
             }
             self.chosen = chosen;
             if !self.config.lockstep {
@@ -582,15 +579,13 @@ impl MttopCore {
         &mut self,
         wi: usize,
         prog: &Program,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
         faults: &mut Vec<PageFaultReq>,
     ) {
         // A Ready warp with a plan is retrying after a fault resolution.
         if self.warps[wi].plan.is_some() {
             self.set_state(wi, WarpState::Mem);
-            self.continue_plan(wi, mem, net, sched, faults);
+            self.continue_plan(wi, port, faults);
             return;
         }
         let min_pc = self.warps[wi]
@@ -764,7 +759,7 @@ impl MttopCore {
                 });
                 self.set_state(wi, WarpState::Mem);
                 self.warps[wi].outstanding = 0;
-                self.continue_plan(wi, mem, net, sched, faults);
+                self.continue_plan(wi, port, faults);
             }
         }
     }
@@ -774,9 +769,7 @@ impl MttopCore {
     fn continue_plan(
         &mut self,
         wi: usize,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
         faults: &mut Vec<PageFaultReq>,
     ) {
         loop {
@@ -798,14 +791,14 @@ impl MttopCore {
                     }
                     self.walks += 1;
                     let walk = Walk::new(self.cr3, op.va);
-                    if !self.issue_walk_step(wi, walk, mem, net, sched, faults) {
+                    if !self.issue_walk_step(wi, walk, port, faults) {
                         return; // blocked in Walk state or faulted
                     }
                     // Walk finished inline; loop to re-lookup.
                 }
             }
         }
-        self.issue_accesses(wi, mem, net, sched);
+        self.issue_accesses(wi, port);
     }
 
     /// Issues PTE reads until blocked, done, faulted, or the L1 runs out of
@@ -817,15 +810,13 @@ impl MttopCore {
         &mut self,
         wi: usize,
         mut walk: Walk,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
         faults: &mut Vec<PageFaultReq>,
     ) -> bool {
         loop {
             let token = self.token();
             let access = Access::Read { paddr: walk.pte_addr(), size: 8 };
-            match mem.access(self.local_time, net, sched, self.port, token, access) {
+            match port.access(self.local_time, token, access) {
                 AccessResult::Hit { finish, value } => {
                     self.local_time = self.local_time.max(finish);
                     match walk.feed(value) {
@@ -871,9 +862,7 @@ impl MttopCore {
     fn issue_accesses(
         &mut self,
         wi: usize,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
     ) {
         if self.warps[wi].plan.as_ref().expect("plan").groups.is_none() {
             let plan = self.warps[wi].plan.as_mut().expect("plan");
@@ -910,12 +899,12 @@ impl MttopCore {
                 // A cycle per `l1_banks` groups: banked L1 ports.
                 self.local_time += self.config.clock.period();
             }
-            match self.issue_group(wi, &group, mem, net, sched) {
+            match self.issue_group(wi, &group, port) {
                 AccessResult::Hit { finish: f, value } => {
                     let plan = self.warps[wi].plan.as_mut().expect("plan");
                     plan.finish = plan.finish.max(f);
                     plan.issued += 1;
-                    self.apply_group(wi, &group, value, mem, net, sched);
+                    self.apply_group(wi, &group, value, port);
                 }
                 AccessResult::Pending => {
                     self.warps[wi].outstanding += 1;
@@ -951,9 +940,7 @@ impl MttopCore {
         &mut self,
         wi: usize,
         group: &[LaneOp],
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
     ) -> AccessResult {
         let lead = group[0];
         let access = match lead.kind {
@@ -973,7 +960,7 @@ impl MttopCore {
             },
         };
         let token = self.token();
-        let result = mem.access(self.local_time, net, sched, self.port, token, access);
+        let result = port.access(self.local_time, token, access);
         if matches!(result, AccessResult::Pending) {
             self.flights.insert(
                 token,
@@ -992,9 +979,7 @@ impl MttopCore {
         wi: usize,
         group: &[LaneOp],
         value: u64,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
     ) {
         for (i, op) in group.iter().enumerate() {
             let paddr = op.paddr.expect("translated");
@@ -1003,14 +988,14 @@ impl MttopCore {
                     let v = if i == 0 {
                         Some(value)
                     } else {
-                        mem.peek(self.port, paddr, size as usize)
+                        port.peek(paddr, size as usize)
                     };
                     match v {
                         Some(v) => {
                             let lane = &mut self.warps[wi].lanes[op.lane];
                             lane_set(lane, rd, v);
                         }
-                        None => match self.issue_group(wi, std::slice::from_ref(op), mem, net, sched) {
+                        None => match self.issue_group(wi, std::slice::from_ref(op), port) {
                             AccessResult::Hit { value, .. } => {
                                 let lane = &mut self.warps[wi].lanes[op.lane];
                                 lane_set(lane, rd, value);
@@ -1024,8 +1009,8 @@ impl MttopCore {
                     }
                 }
                 LaneKind::St { size, value: v } => {
-                    if i != 0 && !mem.poke(self.port, paddr, size as usize, v) {
-                        match self.issue_group(wi, std::slice::from_ref(op), mem, net, sched) {
+                    if i != 0 && !port.poke(paddr, size as usize, v) {
+                        match self.issue_group(wi, std::slice::from_ref(op), port) {
                             AccessResult::Hit { .. } => {}
                             AccessResult::Pending => self.warps[wi].outstanding += 1,
                             AccessResult::Poisoned => self.poisoned = true,
@@ -1059,9 +1044,7 @@ impl MttopCore {
         &mut self,
         token: u64,
         value: u64,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
         faults: &mut Vec<PageFaultReq>,
     ) {
         let flight = self.flights.remove(&token).expect("unknown completion token");
@@ -1079,21 +1062,21 @@ impl MttopCore {
             debug_assert_eq!(wi, flight.warp);
             match walk.feed(value) {
                 WalkResult::Continue(next) => {
-                    if !self.issue_walk_step(wi, next, mem, net, sched, faults) {
+                    if !self.issue_walk_step(wi, next, port, faults) {
                         // Blocked again (Walk) or faulted; if faulted, the
                         // walker is free for queued users.
                         if self.walker.is_none() {
-                            self.wake_walker_queue(mem, net, sched, faults);
+                            self.wake_walker_queue(port, faults);
                         }
                         return;
                     }
                     self.set_state(wi, WarpState::Mem);
-                    self.continue_plan(wi, mem, net, sched, faults);
+                    self.continue_plan(wi, port, faults);
                 }
                 WalkResult::Done(frame) => {
                     self.tlb.insert(walk.va(), frame);
                     self.set_state(wi, WarpState::Mem);
-                    self.continue_plan(wi, mem, net, sched, faults);
+                    self.continue_plan(wi, port, faults);
                 }
                 WalkResult::Fault(f) => {
                     self.faults += 1;
@@ -1102,13 +1085,13 @@ impl MttopCore {
                 }
             }
             if self.walker.is_none() {
-                self.wake_walker_queue(mem, net, sched, faults);
+                self.wake_walker_queue(port, faults);
             }
             return;
         }
         let wi = flight.warp;
         self.warps[wi].outstanding -= 1;
-        self.apply_group(wi, &flight.ops, value, mem, net, sched);
+        self.apply_group(wi, &flight.ops, value, port);
         if self.warps[wi].outstanding == 0
             && self.states[wi] == WarpState::Mem
             && self.warps[wi]
@@ -1122,9 +1105,7 @@ impl MttopCore {
 
     fn wake_walker_queue(
         &mut self,
-        mem: &mut MemorySystem,
-        net: &mut Network,
-        sched: &mut dyn FnMut(Time, MemEvent),
+        port: &mut CorePort<'_>,
         faults: &mut Vec<PageFaultReq>,
     ) {
         while self.walker.is_none() {
@@ -1135,7 +1116,7 @@ impl MttopCore {
                 continue;
             }
             self.set_state(wi, WarpState::Mem);
-            self.continue_plan(wi, mem, net, sched, faults);
+            self.continue_plan(wi, port, faults);
         }
     }
 

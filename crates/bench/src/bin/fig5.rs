@@ -34,8 +34,11 @@ fn main() {
         let a = run_offload(&apu, &wl::matmul::xthreads_source(&p), shape);
         assert_eq!(a.exit_code, expect, "APU result");
 
-        let (t_ccsvm, _, ccsvm_code) =
-            ccsvm_bench::run_ccsvm(&wl::matmul::xthreads_source(&p), opts.sim_threads);
+        let (t_ccsvm, _, ccsvm_code) = ccsvm_bench::run_ccsvm_point(
+            &wl::matmul::xthreads_source(&p),
+            &opts,
+            &format!("fig5-n{n}"),
+        );
         assert_eq!(ccsvm_code, expect, "CCSVM result");
         (t_cpu, a, t_ccsvm)
     });

@@ -36,8 +36,11 @@ fn main() {
         let a = run_offload(&apu, &wl::apsp::xthreads_source(&p), shape);
         assert_eq!(a.exit_code, expect, "APU result n={n}");
 
-        let (t_ccsvm, _, code) =
-            ccsvm_bench::run_ccsvm(&wl::apsp::xthreads_source(&p), opts.sim_threads);
+        let (t_ccsvm, _, code) = ccsvm_bench::run_ccsvm_point(
+            &wl::apsp::xthreads_source(&p),
+            &opts,
+            &format!("fig6-n{n}"),
+        );
         assert_eq!(code, expect, "CCSVM result n={n}");
 
         println!(

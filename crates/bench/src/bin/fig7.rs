@@ -30,8 +30,11 @@ fn main() {
         let (t_pth, _, c2) = run_cpu(&apu, &wl::barnes_hut::pthreads_source(&p, 4));
         assert_eq!(c2, oracle, "pthreads result");
 
-        let (t_ccsvm, _, c3) =
-            ccsvm_bench::run_ccsvm(&wl::barnes_hut::xthreads_source(&p), opts.sim_threads);
+        let (t_ccsvm, _, c3) = ccsvm_bench::run_ccsvm_point(
+            &wl::barnes_hut::xthreads_source(&p),
+            &opts,
+            &format!("fig7-b{nb}"),
+        );
         assert_eq!(c3, oracle, "CCSVM result");
 
         println!(

@@ -8,11 +8,15 @@ use ccsvm_apu::{run_cpu, ApuConfig};
 use ccsvm_bench::{header, ms, Claims, Opts};
 use ccsvm_workloads as wl;
 
-fn run_pair(apu: &ApuConfig, p: &wl::spmm::SpmmParams, sim_threads: usize) -> (f64, u64) {
+fn run_pair(apu: &ApuConfig, p: &wl::spmm::SpmmParams, opts: &Opts) -> (f64, u64) {
     let expect = wl::spmm::reference_checksum(p);
     let (t_cpu, _, c1) = run_cpu(apu, &wl::spmm::cpu_source(p));
     assert_eq!(c1, expect, "CPU spmm result");
-    let (t_ccsvm, _, c2) = ccsvm_bench::run_ccsvm(&wl::spmm::xthreads_source(p), sim_threads);
+    let (t_ccsvm, _, c2) = ccsvm_bench::run_ccsvm_point(
+        &wl::spmm::xthreads_source(p),
+        opts,
+        &format!("fig8-n{}-d{}", p.n, p.density_tenths_pct),
+    );
     assert_eq!(c2, expect, "CCSVM spmm result");
     println!(
         "  n={:4} density={:4.1}% | CPU {} | CCSVM {} | speedup {:6.2} | allocs {}",
@@ -42,7 +46,7 @@ fn main() {
     let mut left = Vec::new();
     for &n in &sizes {
         let p = wl::spmm::SpmmParams { n, density_tenths_pct: 10, max_threads: 1280, seed: 42 };
-        left.push(run_pair(&apu, &p, opts.sim_threads));
+        left.push(run_pair(&apu, &p, &opts));
     }
     if !opts.quick {
         claims.check(
@@ -59,7 +63,7 @@ fn main() {
     let mut right = Vec::new();
     for &d in &[5u64, 10, 20, 50, 100] {
         let p = wl::spmm::SpmmParams { n, density_tenths_pct: d, max_threads: 1280, seed: 42 };
-        right.push(run_pair(&apu, &p, opts.sim_threads));
+        right.push(run_pair(&apu, &p, &opts));
     }
     if !opts.quick {
         let best = right.iter().map(|(s, _)| *s).fold(0.0f64, f64::max);

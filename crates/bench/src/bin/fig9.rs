@@ -30,8 +30,11 @@ fn main() {
         let shape = OffloadShape { buffer_bytes: 3 * n * n * 8, launches: 1 };
         let a = run_offload(&apu, &wl::matmul::xthreads_source(&p), shape);
         assert_eq!(a.exit_code, expect);
-        let (_, ccsvm_dram, c3) =
-            ccsvm_bench::run_ccsvm(&wl::matmul::xthreads_source(&p), opts.sim_threads);
+        let (_, ccsvm_dram, c3) = ccsvm_bench::run_ccsvm_point(
+            &wl::matmul::xthreads_source(&p),
+            &opts,
+            &format!("fig9-n{n}"),
+        );
         assert_eq!(c3, expect);
         (cpu_dram, a, ccsvm_dram)
     });

@@ -108,7 +108,12 @@ struct Measure {
     phases: HostPhases,
 }
 
-fn run_point(p: &Point, sim_threads: usize) -> Measure {
+fn run_point(
+    p: &Point,
+    sim_threads: usize,
+    checkpoint_at: Option<ccsvm::Time>,
+    restore_from: Option<&std::path::Path>,
+) -> Measure {
     let prog = wl::build(&p.source);
     let make_cfg = |host_profile: bool| {
         let mut cfg = SystemConfig::paper_default();
@@ -117,10 +122,22 @@ fn run_point(p: &Point, sim_threads: usize) -> Measure {
         cfg.host_profile = host_profile;
         cfg
     };
+    // `--restore-from`: warm-start the timed runs from this point's image
+    // when one exists. The wall time then covers restore + the resumed tail
+    // only, while `events`/`sim_ms` still describe the whole run (both are
+    // part of the restored state), so warm captures are not comparable to
+    // cold ones — that difference is exactly what the flag is for.
+    let image = restore_from
+        .map(|dir| dir.join(format!("perf-{}.ccsnap", p.name)))
+        .filter(|path| path.exists());
     let mut best: Option<Measure> = None;
     for _ in 0..2 {
-        let mut m = Machine::new(make_cfg(false), prog.clone());
         let start = Instant::now();
+        let mut m = match &image {
+            Some(path) => Machine::restore(make_cfg(false), prog.clone(), path)
+                .expect("restore perf point"),
+            None => Machine::new(make_cfg(false), prog.clone()),
+        };
         let r = m.run();
         let host_ms = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(
@@ -145,11 +162,77 @@ fn run_point(p: &Point, sim_threads: usize) -> Measure {
     // Separate profiled run: the per-batch `Instant` reads would skew the
     // timed runs above, so the breakdown comes from its own execution (the
     // simulated machine is bit-identical either way).
-    let mut m = Machine::new(make_cfg(true), prog);
+    let mut m = Machine::new(make_cfg(true), prog.clone());
     let r = m.run();
     assert_eq!(r.outcome, Outcome::Completed, "{}: profiled run", p.name);
     best.phases = m.host_phases();
+    // `--checkpoint-at`: one extra untimed run pauses at the requested cycle
+    // and writes this point's image, so the timed numbers above are never
+    // perturbed by serialization or disk writes.
+    if let Some(at) = checkpoint_at {
+        let mut m = Machine::new(make_cfg(false), prog);
+        if m.run_until(at).is_none() {
+            std::fs::create_dir_all(ccsvm_bench::SNAP_DIR).expect("create snapshot dir");
+            let path = std::path::Path::new(ccsvm_bench::SNAP_DIR)
+                .join(format!("perf-{}.ccsnap", p.name));
+            m.checkpoint(&path).expect("write perf checkpoint");
+        }
+    }
     best
+}
+
+/// Cold-vs-warm sweep wall-time for the fig5-style warm-start protocol
+/// (EXPERIMENTS.md): repetitions of the matrix's offload matmul point, once
+/// re-simulating initialization every time and once forked from a snapshot
+/// taken at the region-start marker. Returns the `warm_start` JSON object.
+fn measure_warm_start(quick: bool, sim_threads: usize) -> String {
+    // Full mode measures fig5's largest point: initialization there is worth
+    // hundreds of host-ms per repetition, so the amortization is well above
+    // run-to-run noise. Quick keeps the matrix's small matmul — the capture
+    // records the protocol (and asserts determinism), not a wall-time win.
+    let n = if quick { 24 } else { 128 };
+    let reps = 3usize;
+    let p = wl::matmul::MatmulParams::new(n, 42);
+    let src = wl::matmul::xthreads_source(&p);
+
+    let t0 = Instant::now();
+    let mut cold = Vec::new();
+    for _ in 0..reps {
+        cold.push(ccsvm_bench::run_ccsvm(&src, sim_threads));
+    }
+    let cold_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let paused = ccsvm_bench::pause_at_region_start(&src, sim_threads)
+        .expect("matmul pauses at its region-start marker");
+    let image = paused.checkpoint_bytes();
+    let mut warm = Vec::new();
+    for _ in 0..reps {
+        let mut fork = Machine::restore_bytes(
+            ccsvm_bench::bench_cfg(sim_threads),
+            wl::build(&src),
+            &image,
+        )
+        .expect("restore from in-memory image");
+        warm.push(ccsvm_bench::region_numbers(&fork.run()));
+    }
+    let warm_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let region_match = warm == cold;
+    assert!(region_match, "warm-start repetitions diverged from cold runs");
+    let speedup = cold_wall_ms / warm_wall_ms;
+    println!(
+        "warm-start (matmul n={n}, {reps} reps): cold {cold_wall_ms:.1} ms, \
+         warm {warm_wall_ms:.1} ms ({speedup:.2}x), image {} bytes",
+        image.len()
+    );
+    format!(
+        "{{\"workload\": \"matmul_n{n}\", \"reps\": {reps}, \
+         \"cold_wall_ms\": {cold_wall_ms:.3}, \"warm_wall_ms\": {warm_wall_ms:.3}, \
+         \"speedup\": {speedup:.3}, \"region_match\": {region_match}, \
+         \"image_bytes\": {}}}",
+        image.len()
+    )
 }
 
 /// Extracts `"key": <number>` from a minimal JSON text (no nesting of the
@@ -169,6 +252,7 @@ fn usage_exit(error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
         "usage: perf [--quick] [--threads N] [--sim-threads N] [--out PATH] [--write-baseline]\n\
+         \x20            [--checkpoint-at NS] [--restore-from DIR]\n\
          \n\
          \x20 --quick           smaller matrix for CI smoke runs\n\
          \x20 --threads N       run matrix points on N worker threads (default 1;\n\
@@ -178,7 +262,15 @@ fn usage_exit(error: &str) -> ! {
          \x20 --out PATH        where to write the JSON report\n\
          \x20                   (default results/BENCH_hotpath.json)\n\
          \x20 --write-baseline  record these numbers as the mode-keyed baseline\n\
-         \x20                   results/BENCH_hotpath_baseline_<mode>.json"
+         \x20                   results/BENCH_hotpath_baseline_<mode>.json\n\
+         \x20 --checkpoint-at NS  after the timed runs, pause an extra untimed run\n\
+         \x20                   of each point at simulated time NS ns and write\n\
+         \x20                   snapshots/perf-<name>.ccsnap (timed numbers are\n\
+         \x20                   never perturbed)\n\
+         \x20 --restore-from DIR  warm-start each point's timed runs from\n\
+         \x20                   DIR/perf-<name>.ccsnap when present; warm captures\n\
+         \x20                   measure restore + the resumed tail and are not\n\
+         \x20                   comparable to cold ones"
     );
     std::process::exit(2);
 }
@@ -198,6 +290,8 @@ fn main() {
     let mut sim_threads = 1usize;
     let mut out_path = "results/BENCH_hotpath.json".to_string();
     let mut write_baseline = false;
+    let mut checkpoint_at = None;
+    let mut restore_from: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -215,6 +309,14 @@ fn main() {
                 None => usage_exit("--out needs a path"),
             },
             "--write-baseline" => write_baseline = true,
+            "--checkpoint-at" => match args.next().and_then(|v| v.trim().parse::<u64>().ok()) {
+                Some(ns) if ns > 0 => checkpoint_at = Some(ccsvm::Time::from_ns(ns)),
+                _ => usage_exit("--checkpoint-at needs positive nanoseconds"),
+            },
+            "--restore-from" => match args.next() {
+                Some(p) => restore_from = Some(std::path::PathBuf::from(p)),
+                None => usage_exit("--restore-from needs a directory"),
+            },
             other => usage_exit(&format!("unknown argument `{other}`")),
         }
     }
@@ -230,7 +332,9 @@ fn main() {
         "{:<18} | {:>12} | {:>9} | {:>9} | {:>12} | {:>14} | {:>22}",
         "workload", "events", "host ms", "sim ms", "events/s", "sim ns/host ms", "core/uncore/merge ms"
     );
-    let results = sweep(points.len(), threads, |i| run_point(&points[i], sim_threads));
+    let results = sweep(points.len(), threads, |i| {
+        run_point(&points[i], sim_threads, checkpoint_at, restore_from.as_deref())
+    });
     let mut events_total = 0u64;
     let mut host_ms_total = 0.0f64;
     let mut rows = String::new();
@@ -262,6 +366,8 @@ fn main() {
         "total: {events_total} events in {host_ms_total:.1} host ms = {eps_total:.0} events/s"
     );
 
+    let warm_start_json = measure_warm_start(quick, sim_threads);
+
     let baseline_file = baseline_path(quick);
     let baseline = std::fs::read_to_string(&baseline_file)
         .ok()
@@ -279,11 +385,12 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"ccsvm-hotpath-perf-v2\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"ccsvm-hotpath-perf-v3\",\n  \"mode\": \"{mode}\",\n  \
          \"threads\": {threads},\n  \"sim_threads\": {sim_threads},\n  \
          \"workloads\": [\n{rows}\n  ],\n  \
          \"events_total\": {events_total},\n  \"host_ms_total\": {host_ms_total:.3},\n  \
-         \"events_per_sec_total\": {eps_total:.0},\n  \"baseline\": {baseline_json},\n  \
+         \"events_per_sec_total\": {eps_total:.0},\n  \
+         \"warm_start\": {warm_start_json},\n  \"baseline\": {baseline_json},\n  \
          \"speedup_vs_baseline\": {speedup_json}\n}}\n",
         mode = if quick { "quick" } else { "full" },
     );

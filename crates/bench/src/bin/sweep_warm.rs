@@ -1,0 +1,107 @@
+//! Warm-start sweep: Figure 5's CCSVM column re-measured by snapshotting
+//! each sweep point at the offload-region start and forking the timed
+//! repetitions from the image instead of re-simulating initialization
+//! (guest mallocs, input-filling loops, first-touch page faults) every
+//! time.
+//!
+//! The point of the exercise is the headline snapshot invariant: the forked
+//! repetitions must be **bit-identical** to cold runs — same region time,
+//! same DRAM accesses, same exit code — so the sweep reproduces
+//! `results/fig5.txt` exactly while the wall-clock cost drops. Composes
+//! with `--threads` (sweep points in parallel) and `--sim-threads` (the
+//! fork-join executor inside each machine).
+
+use std::time::Instant;
+
+use ccsvm::Machine;
+use ccsvm_bench::{bench_cfg, header, ms, pause_at_region_start, Claims, Opts};
+use ccsvm_engine::Time;
+use ccsvm_workloads as wl;
+
+/// Timed repetitions per sweep point. Cold pays initialization every time;
+/// warm pays it once (inside the snapshot) plus a cheap restore per rep.
+const REPS: usize = 3;
+
+fn main() {
+    let opts = Opts::parse();
+    let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
+    let mut claims = Claims::new();
+
+    header(
+        "Warm-start sweep: fig5 CCSVM column, cold vs snapshot-forked",
+        &["   n", " CCSVM ms", "cold wall ms", "warm wall ms", " speedup", "image KiB"],
+    );
+
+    let points = ccsvm_bench::sweep(sizes.len(), opts.threads, |i| {
+        let n = sizes[i];
+        let p = wl::matmul::MatmulParams::new(n, 42);
+        let src = wl::matmul::xthreads_source(&p);
+        let expect = wl::matmul::reference_checksum(&p);
+
+        // Cold: every repetition re-simulates initialization + region.
+        let t0 = Instant::now();
+        let mut cold = Vec::new();
+        for _ in 0..REPS {
+            cold.push(ccsvm_bench::run_ccsvm(&src, opts.sim_threads));
+        }
+        let cold_wall = t0.elapsed();
+
+        // Warm: simulate up to the region marker once, snapshot, then fork
+        // every repetition from the in-memory image.
+        let t1 = Instant::now();
+        let paused = pause_at_region_start(&src, opts.sim_threads)
+            .expect("matmul must pause at its region-start marker");
+        let image = paused.checkpoint_bytes();
+        let mut warm = Vec::new();
+        for _ in 0..REPS {
+            let mut fork =
+                Machine::restore_bytes(bench_cfg(opts.sim_threads), wl::build(&src), &image)
+                    .expect("restore from in-memory image");
+            warm.push(ccsvm_bench::region_numbers(&fork.run()));
+        }
+        let warm_wall = t1.elapsed();
+
+        (n, expect, cold, warm, cold_wall, warm_wall, image.len())
+    });
+
+    let mut cold_total = 0.0;
+    let mut warm_total = 0.0;
+    for (n, expect, cold, warm, cold_wall, warm_wall, image_len) in points {
+        let (region, _, code): (Time, u64, u64) = cold[0];
+        claims.check(code == expect, &format!("n={n}: CCSVM checksum matches the reference"));
+        claims.check(
+            cold.iter().all(|r| *r == cold[0]),
+            &format!("n={n}: cold repetitions are deterministic"),
+        );
+        claims.check(
+            warm == cold,
+            &format!("n={n}: snapshot-forked repetitions are bit-identical to cold runs"),
+        );
+        let cw = cold_wall.as_secs_f64() * 1e3;
+        let ww = warm_wall.as_secs_f64() * 1e3;
+        cold_total += cw;
+        warm_total += ww;
+        println!(
+            "{n:4} | {} | {cw:12.1} | {ww:12.1} | {:7.2}x | {:9.1}",
+            ms(region),
+            cw / ww,
+            image_len as f64 / 1024.0,
+        );
+    }
+    // Judged over the whole sweep (per-point wall-clock is noisy), and only
+    // in full mode: quick's smallest sizes have almost no initialization to
+    // skip, so the restore cost has nothing to amortize against.
+    if !opts.quick {
+        claims.check(
+            warm_total < cold_total,
+            "whole sweep: warm-start wall-time beats cold re-simulation",
+        );
+    } else {
+        println!("  (quick mode: sizes too small to amortize a restore; wall-time claim skipped)");
+    }
+    println!(
+        "totals: cold {cold_total:.1} ms, warm {warm_total:.1} ms ({:.2}x)",
+        cold_total / warm_total
+    );
+    claims.finish("sweep-warm");
+}

@@ -9,18 +9,29 @@
 //!   order, so the printed table is byte-identical to a serial run),
 //! * `--sim-threads N` — worker threads *inside* each `Machine` (the
 //!   deterministic fork-join executor, DESIGN.md §7; bit-identical output at
-//!   every value, composes with `--threads`).
+//!   every value, composes with `--threads`),
+//! * `--checkpoint-at NS` — pause each sweep point at simulated time `NS`
+//!   nanoseconds, write a snapshot to `snapshots/<label>.ccsnap`, and
+//!   continue to completion (the printed table is unchanged),
+//! * `--restore-from DIR` — warm-start each sweep point from
+//!   `DIR/<label>.ccsnap` when that image exists (falling back to a cold
+//!   boot when it does not). Restored runs produce bit-identical reports, so
+//!   the table is again unchanged — only wall-time drops.
 //!
 //! Output is a fixed-width table whose rows mirror the corresponding figure
 //! in the paper; EXPERIMENTS.md records a captured run next to the paper's
 //! reported shape.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use ccsvm::{Machine, SystemConfig};
+use ccsvm::{Machine, RunReport, SystemConfig};
 use ccsvm_engine::Time;
 use ccsvm_workloads as wl;
+
+/// Directory where `--checkpoint-at` writes its snapshot images.
+pub const SNAP_DIR: &str = "snapshots";
 
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]
@@ -33,6 +44,10 @@ pub struct Opts {
     pub threads: usize,
     /// Worker threads inside each `Machine` (`--sim-threads N`, default 1).
     pub sim_threads: usize,
+    /// Simulated time at which to checkpoint each point (`--checkpoint-at`).
+    pub checkpoint_at: Option<Time>,
+    /// Directory of snapshot images to warm-start from (`--restore-from`).
+    pub restore_from: Option<PathBuf>,
 }
 
 /// Prints the shared usage message and exits with status 2 (CLI misuse).
@@ -40,13 +55,20 @@ fn usage_exit(binary: &str, error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
         "usage: {binary} [--quick] [--sizes a,b,c] [--threads N] [--sim-threads N]\n\
+         \x20                [--checkpoint-at NS] [--restore-from DIR]\n\
          \n\
          \x20 --quick           reduced sweep for smoke runs\n\
          \x20 --sizes LIST      comma-separated sweep sizes (positive integers)\n\
          \x20 --threads N       run sweep points on N worker threads (default 1)\n\
          \x20 --sim-threads N   fork-join workers inside each simulated machine\n\
          \x20                   (default 1 = serial reference; output is\n\
-         \x20                   bit-identical at every value)"
+         \x20                   bit-identical at every value)\n\
+         \x20 --checkpoint-at NS  pause each point at simulated time NS ns,\n\
+         \x20                   write {SNAP_DIR}/<label>.ccsnap, then continue\n\
+         \x20                   (table output is unchanged)\n\
+         \x20 --restore-from DIR  warm-start each point from DIR/<label>.ccsnap\n\
+         \x20                   when present (cold boot otherwise); restored\n\
+         \x20                   runs are bit-identical, only wall-time drops"
     );
     std::process::exit(2);
 }
@@ -63,6 +85,8 @@ impl Opts {
         let mut sizes = None;
         let mut threads = 1usize;
         let mut sim_threads = 1usize;
+        let mut checkpoint_at = None;
+        let mut restore_from = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -110,10 +134,28 @@ impl Opts {
                         ),
                     }
                 }
+                "--checkpoint-at" => {
+                    let Some(v) = args.next() else {
+                        usage_exit(&binary, "--checkpoint-at needs a value (simulated ns)");
+                    };
+                    match v.trim().parse::<u64>() {
+                        Ok(ns) if ns > 0 => checkpoint_at = Some(Time::from_ns(ns)),
+                        _ => usage_exit(
+                            &binary,
+                            &format!("bad checkpoint time `{v}` (want positive nanoseconds)"),
+                        ),
+                    }
+                }
+                "--restore-from" => {
+                    let Some(v) = args.next() else {
+                        usage_exit(&binary, "--restore-from needs a directory");
+                    };
+                    restore_from = Some(PathBuf::from(v));
+                }
                 other => usage_exit(&binary, &format!("unknown argument `{other}`")),
             }
         }
-        Opts { quick, sizes, threads, sim_threads }
+        Opts { quick, sizes, threads, sim_threads, checkpoint_at, restore_from }
     }
 
     /// The sweep to use: override > quick > full.
@@ -174,14 +216,95 @@ pub fn sweep<R: Send>(n: usize, threads: usize, f: impl Fn(usize) -> R + Sync) -
 ///
 /// Panics on compile errors or guest misbehaviour.
 pub fn run_ccsvm(src: &str, sim_threads: usize) -> (Time, u64, u64) {
+    region_numbers(&run_ccsvm_report(src, sim_threads))
+}
+
+/// The standard benchmark configuration (paper defaults, 60 s cap).
+pub fn bench_cfg(sim_threads: usize) -> SystemConfig {
     let mut cfg = SystemConfig::paper_default();
     cfg.max_sim_time = Time::from_ms(60_000);
     cfg.sim_threads = sim_threads;
-    let mut m = Machine::new(cfg, wl::build(src));
-    let r = m.run();
+    cfg
+}
+
+/// A fresh machine under the standard benchmark configuration.
+pub fn bench_machine(src: &str, sim_threads: usize) -> Machine {
+    Machine::new(bench_cfg(sim_threads), wl::build(src))
+}
+
+/// Like [`run_ccsvm`] but returns the full report.
+pub fn run_ccsvm_report(src: &str, sim_threads: usize) -> RunReport {
+    bench_machine(src, sim_threads).run()
+}
+
+/// Extracts the (measured region, DRAM accesses, exit code) triple a figure
+/// binary tabulates from a finished run.
+pub fn region_numbers(r: &RunReport) -> (Time, u64, u64) {
     let t = wl::region_time(&r.printed, &r.printed_at, r.time);
     let d = wl::region_dram(&r.printed, &r.dram_at_print, r.dram_accesses);
     (t, d, r.exit_code)
+}
+
+/// Like [`run_ccsvm`], honouring the harness's `--checkpoint-at` /
+/// `--restore-from` options. `label` names this sweep point's snapshot
+/// image, `<dir>/<label>.ccsnap`; the simulated results are identical to a
+/// cold [`run_ccsvm`] in every mode (checkpointing continues the run,
+/// restoring replays it bit-for-bit), so tables never change — only
+/// wall-time does.
+pub fn run_ccsvm_point(src: &str, opts: &Opts, label: &str) -> (Time, u64, u64) {
+    if let Some(dir) = &opts.restore_from {
+        let path = dir.join(format!("{label}.ccsnap"));
+        if path.exists() {
+            match Machine::restore(bench_cfg(opts.sim_threads), wl::build(src), &path) {
+                Ok(mut m) => return region_numbers(&m.run()),
+                Err(e) => eprintln!(
+                    "warning: {}: {e}; cold-booting `{label}` instead",
+                    path.display()
+                ),
+            }
+        }
+    }
+    let mut m = bench_machine(src, opts.sim_threads);
+    let report = match opts.checkpoint_at {
+        Some(at) => match m.run_until(at) {
+            // The point finished before the checkpoint cycle: nothing to save.
+            Some(r) => r,
+            None => {
+                if let Err(e) = std::fs::create_dir_all(SNAP_DIR) {
+                    eprintln!("warning: cannot create {SNAP_DIR}/: {e}");
+                } else {
+                    let path = std::path::Path::new(SNAP_DIR).join(format!("{label}.ccsnap"));
+                    if let Err(e) = m.checkpoint(&path) {
+                        eprintln!("warning: checkpoint {}: {e}", path.display());
+                    }
+                }
+                m.run()
+            }
+        },
+        None => m.run(),
+    };
+    region_numbers(&report)
+}
+
+/// Advances a fresh machine until the guest prints the measured-region start
+/// marker and returns it paused there — the natural cycle to snapshot for
+/// warm-start sweeps, with all initialization (guest mallocs, input-filling
+/// loops, first-touch page faults) already simulated. Returns `None` if the
+/// program finishes without ever pausing past the marker.
+pub fn pause_at_region_start(src: &str, sim_threads: usize) -> Option<Machine> {
+    let mut m = bench_machine(src, sim_threads);
+    let start_marker = wl::MARK_START.to_string();
+    let step = Time::from_us(10);
+    let mut limit = step;
+    loop {
+        if m.run_until(limit).is_some() {
+            return None; // finished without pausing past the marker
+        }
+        if m.printed().contains(&start_marker) {
+            return Some(m);
+        }
+        limit = limit.plus(step);
+    }
 }
 
 /// Formats a time as milliseconds with 3 significant decimals.

@@ -49,3 +49,6 @@ pub use ccsvm_engine::{
     DirTimeoutConfig, DramFaultConfig, FaultConfig, NocFaultConfig, Time, TlbFaultConfig,
     WatchdogConfig,
 };
+// Snapshot error type and schema version, re-exported so harnesses can
+// handle checkpoint/restore failures without depending on the snap crate.
+pub use ccsvm_snap::{SnapError, SCHEMA_VERSION as SNAP_SCHEMA_VERSION};

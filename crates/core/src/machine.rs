@@ -12,6 +12,7 @@ use ccsvm_mem::{
 };
 use ccsvm_mttop::{BatchOutcome, Mifd, MttopAction, MttopCore, PageFaultReq, TaskChunk};
 use ccsvm_noc::{Network, NodeId, Topology};
+use ccsvm_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use ccsvm_vm::{GuestHeap, OsLite, PteWrite, VirtAddr, PAGE_BYTES};
 
 use crate::SystemConfig;
@@ -252,6 +253,10 @@ pub struct Machine {
     /// `sim_threads` values).
     zones: u64,
     zone_batches: u64,
+    /// Forward-progress watchdog, observed on every `Ev::WatchdogTick`. A
+    /// `Machine` field (not a run-loop local) so its memory of the last
+    /// progress survives a checkpoint/restore of a wedged run.
+    watchdog: Watchdog,
     /// Set when the run must abort; checked after every dispatched event.
     failure: Option<(Outcome, DiagnosticDump)>,
     // Test-knob counters for the deterministic event-drop fault hooks.
@@ -386,6 +391,7 @@ impl Machine {
             prof_phase: [Duration::ZERO; 4],
             zones: 0,
             zone_batches: 0,
+            watchdog: Watchdog::new(),
             failure: None,
             data_deliveries: 0,
             resps_seen: 0,
@@ -410,6 +416,19 @@ impl Machine {
     /// The configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Current simulated time (the timestamp of the last dispatched event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Everything the guest has printed so far. On a machine paused by
+    /// [`Machine::run_until`] this lets a harness locate region markers when
+    /// choosing a checkpoint cycle (e.g. warm-start sweeps snapshotting at
+    /// offload-region start).
+    pub fn printed(&self) -> &[String] {
+        &self.printed
     }
 
     /// Debug: each MTTOP core's local clock (≈ when it last executed).
@@ -493,6 +512,39 @@ impl Machine {
     /// retry budget, the run aborts gracefully and the report carries the
     /// non-`Completed` [`Outcome`] plus a [`DiagnosticDump`].
     pub fn run(&mut self) -> RunReport {
+        self.run_until(Time::MAX)
+            .expect("an unbounded run cannot pause")
+    }
+
+    /// Simulates until process exit **or** until the next event would lie
+    /// beyond `limit` (simulated time), whichever comes first. Returns
+    /// `None` when the run paused at `limit` — the machine sits at an
+    /// inter-event boundary and can be [`Machine::checkpoint`]ed or resumed
+    /// with another `run_until`/[`Machine::run`] call — and `Some(report)`
+    /// when the run finished (or aborted). Pausing never perturbs the
+    /// simulation: a paused-and-resumed run produces a [`RunReport`]
+    /// bit-identical to an uninterrupted one.
+    pub fn run_until(&mut self, limit: Time) -> Option<RunReport> {
+        if !self.started {
+            self.boot();
+        }
+        let paused = if self.cfg.sim_threads > 1 {
+            self.run_zoned(limit)
+        } else {
+            self.run_serial(limit)
+        };
+        if paused {
+            return None;
+        }
+        if !self.main_exited && self.failure.is_none() {
+            let reason = "event queue drained before main exited".to_string();
+            self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+        }
+        Some(self.report())
+    }
+
+    /// One-time boot: address-space setup, `main` on CPU 0, watchdog arm.
+    fn boot(&mut self) {
         assert!(!self.started, "a Machine runs once");
         self.started = true;
         // The MIFD driver sets up the process's virtual address space when it
@@ -515,26 +567,20 @@ impl Machine {
         if self.cfg.fault.watchdog.enabled {
             self.queue.push(self.cfg.fault.watchdog.period, Ev::WatchdogTick);
         }
-
-        if self.cfg.sim_threads > 1 {
-            self.run_zoned();
-        } else {
-            self.run_serial();
-        }
-        if !self.main_exited && self.failure.is_none() {
-            let reason = "event queue drained before main exited".to_string();
-            self.failure = Some((Outcome::Deadlock, self.dump(reason)));
-        }
-        self.report()
     }
 
-    /// The serial reference event loop: pop, dispatch, repeat.
-    fn run_serial(&mut self) {
+    /// The serial reference event loop: pop, dispatch, repeat. Returns
+    /// `true` when the loop paused because the next event lies past `limit`
+    /// (the pause happens *before* popping, so resuming replays nothing).
+    fn run_serial(&mut self, limit: Time) -> bool {
         let wd_cfg = self.cfg.fault.watchdog;
-        let mut watchdog = Watchdog::new();
         let trace = std::env::var("CCSVM_TRACE").is_ok();
         let profile = self.cfg.host_profile;
-        while let Some((t, ev)) = self.queue.pop() {
+        while let Some(next) = self.queue.peek_time() {
+            if next > limit {
+                return true;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event");
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.events += 1;
@@ -553,15 +599,9 @@ impl Machine {
                 break;
             }
             if let Ev::WatchdogTick = ev {
-                let stale = watchdog.observe(self.now, self.progress);
+                let stale = self.watchdog.observe(self.now, self.progress);
                 if stale >= wd_cfg.quanta {
-                    let reason = format!(
-                        "no forward progress for {stale} watchdog periods of {} \
-                         (last progress at {})",
-                        wd_cfg.period,
-                        watchdog.last_progress_at()
-                    );
-                    self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+                    self.watchdog_abort(stale, wd_cfg.period);
                     break;
                 }
                 self.queue.push(self.now + wd_cfg.period, Ev::WatchdogTick);
@@ -583,6 +623,7 @@ impl Machine {
                 break;
             }
         }
+        false
     }
 
     /// The deterministic fork-join loop (`sim_threads > 1`): identical to
@@ -596,9 +637,12 @@ impl Machine {
     /// run mid-zone (`Exited`), both of which would break the equivalence
     /// argument. Measured same-timestamp clustering is overwhelmingly MTTOP
     /// anyway (the SIMT cores share one clock).
-    fn run_zoned(&mut self) {
+    ///
+    /// Returns `true` when paused at `limit`. The pause check only fires
+    /// with no carried event in hand — a carried event always shares the
+    /// current timestamp, so it can never lie past a future `limit`.
+    fn run_zoned(&mut self, limit: Time) -> bool {
         let wd_cfg = self.cfg.fault.watchdog;
-        let mut watchdog = Watchdog::new();
         let trace = std::env::var("CCSVM_TRACE").is_ok();
         let profile = self.cfg.host_profile;
         // A popped event that terminates zone collection can't be re-pushed
@@ -606,7 +650,17 @@ impl Machine {
         // is carried into the next iteration instead.
         let mut carry: Option<(Time, Ev)> = None;
         let mut zone: Vec<usize> = Vec::new();
-        while let Some((t, ev)) = carry.take().or_else(|| self.queue.pop()) {
+        loop {
+            if carry.is_none() {
+                match self.queue.peek_time() {
+                    None => break,
+                    Some(next) if next > limit => return true,
+                    Some(_) => {}
+                }
+            }
+            let Some((t, ev)) = carry.take().or_else(|| self.queue.pop()) else {
+                break;
+            };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.events += 1;
@@ -626,15 +680,9 @@ impl Machine {
             }
             match ev {
                 Ev::WatchdogTick => {
-                    let stale = watchdog.observe(self.now, self.progress);
+                    let stale = self.watchdog.observe(self.now, self.progress);
                     if stale >= wd_cfg.quanta {
-                        let reason = format!(
-                            "no forward progress for {stale} watchdog periods of {} \
-                             (last progress at {})",
-                            wd_cfg.period,
-                            watchdog.last_progress_at()
-                        );
-                        self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+                        self.watchdog_abort(stale, wd_cfg.period);
                         break;
                     }
                     self.queue.push(self.now + wd_cfg.period, Ev::WatchdogTick);
@@ -698,6 +746,22 @@ impl Machine {
                 }
             }
         }
+        false
+    }
+
+    /// Records a watchdog abort. The dump's `at` is the simulated time of
+    /// the *last observed forward progress* — the moment the machine
+    /// actually wedged — not the (much later) abort tick, so the diagnostic
+    /// points at the interesting cycle.
+    fn watchdog_abort(&mut self, stale: u32, period: Time) {
+        let reason = format!(
+            "no forward progress for {stale} watchdog periods of {period} \
+             (last progress at {})",
+            self.watchdog.last_progress_at()
+        );
+        let mut d = self.dump(reason);
+        d.at = self.watchdog.last_progress_at();
+        self.failure = Some((Outcome::Deadlock, d));
     }
 
     /// Captures the structured abort diagnostics: who is stuck where.
@@ -1370,5 +1434,687 @@ impl Machine {
         if self.handlers[cpu].active.is_none() && !self.handlers[cpu].queue.is_empty() {
             self.handler_start_next(cpu);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codecs. Any change below is a snapshot schema change (bump
+// `ccsvm_snap::SCHEMA_VERSION` and document it in DESIGN.md §8).
+
+fn bad_tag(what: &'static str, tag: u8) -> SnapError {
+    SnapError::Corrupt {
+        what: format!("unknown {what} tag {tag}"),
+    }
+}
+
+/// Fingerprint of a `SystemConfig`, normalized so host-only execution knobs
+/// don't partition snapshots: a checkpoint taken at one `sim_threads` /
+/// `host_profile` setting restores at any other (the executors are
+/// bit-identical by construction, DESIGN.md §7).
+fn config_hash(cfg: &SystemConfig) -> u64 {
+    let mut c = cfg.clone();
+    c.sim_threads = 1;
+    c.host_profile = false;
+    ccsvm_snap::fnv1a(format!("{c:?}").as_bytes())
+}
+
+impl Outcome {
+    fn snap_tag(self) -> u8 {
+        match self {
+            Outcome::Completed => 0,
+            Outcome::Deadlock => 1,
+            Outcome::Poisoned => 2,
+            Outcome::RetryBudgetExhausted => 3,
+        }
+    }
+
+    fn from_snap_tag(tag: u8) -> Result<Outcome, SnapError> {
+        Ok(match tag {
+            0 => Outcome::Completed,
+            1 => Outcome::Deadlock,
+            2 => Outcome::Poisoned,
+            3 => Outcome::RetryBudgetExhausted,
+            other => return Err(bad_tag("Outcome", other)),
+        })
+    }
+}
+
+impl DiagnosticDump {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_str(&self.reason);
+        w.put_u64(self.at.as_ps());
+        w.put_usize(self.outstanding.len());
+        for (port, blocks) in &self.outstanding {
+            w.put_usize(*port);
+            w.put_usize(blocks.len());
+            for b in blocks {
+                w.put_u64(*b);
+            }
+        }
+        w.put_usize(self.dir_active.len());
+        for (bank, txs) in &self.dir_active {
+            w.put_usize(*bank);
+            w.put_usize(txs.len());
+            for (block, phase) in txs {
+                w.put_u64(*block);
+                w.put_str(phase);
+            }
+        }
+        w.put_usize(self.poisoned_blocks.len());
+        for b in &self.poisoned_blocks {
+            w.put_u64(*b);
+        }
+        w.put_usize(self.noc_busy_links);
+        w.put_u64(self.noc_max_backlog.as_ps());
+    }
+
+    fn load_snap(r: &mut SnapReader<'_>) -> Result<DiagnosticDump, SnapError> {
+        let reason = r.get_str()?.to_string();
+        let at = Time::from_ps(r.get_u64()?);
+        let mut outstanding = Vec::new();
+        for _ in 0..r.get_usize()? {
+            let port = r.get_usize()?;
+            let mut blocks = Vec::new();
+            for _ in 0..r.get_usize()? {
+                blocks.push(r.get_u64()?);
+            }
+            outstanding.push((port, blocks));
+        }
+        let mut dir_active = Vec::new();
+        for _ in 0..r.get_usize()? {
+            let bank = r.get_usize()?;
+            let mut txs = Vec::new();
+            for _ in 0..r.get_usize()? {
+                let block = r.get_u64()?;
+                txs.push((block, r.get_str()?.to_string()));
+            }
+            dir_active.push((bank, txs));
+        }
+        let mut poisoned_blocks = Vec::new();
+        for _ in 0..r.get_usize()? {
+            poisoned_blocks.push(r.get_u64()?);
+        }
+        Ok(DiagnosticDump {
+            reason,
+            at,
+            outstanding,
+            dir_active,
+            poisoned_blocks,
+            noc_busy_links: r.get_usize()?,
+            noc_max_backlog: Time::from_ps(r.get_u64()?),
+        })
+    }
+}
+
+impl Job {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Job::Local { va } => {
+                w.put_u8(0);
+                w.put_u64(va.0);
+            }
+            Job::Remote { mcore, warp, va } => {
+                w.put_u8(1);
+                w.put_usize(*mcore);
+                w.put_usize(*warp);
+                w.put_u64(va.0);
+            }
+            Job::Unmap { va } => {
+                w.put_u8(2);
+                w.put_u64(va.0);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Job, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Job::Local {
+                va: VirtAddr(r.get_u64()?),
+            },
+            1 => Job::Remote {
+                mcore: r.get_usize()?,
+                warp: r.get_usize()?,
+                va: VirtAddr(r.get_u64()?),
+            },
+            2 => Job::Unmap {
+                va: VirtAddr(r.get_u64()?),
+            },
+            other => return Err(bad_tag("Job", other)),
+        })
+    }
+}
+
+impl Active {
+    fn save(&self, w: &mut SnapWriter) {
+        self.job.save(w);
+        w.put_usize(self.writes.len());
+        for pw in &self.writes {
+            w.put_u64(pw.addr.0);
+            w.put_u64(pw.value);
+        }
+        w.put_usize(self.next);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Active, SnapError> {
+        let job = Job::load(r)?;
+        let mut writes = Vec::new();
+        for _ in 0..r.get_usize()? {
+            let addr = ccsvm_mem::PhysAddr(r.get_u64()?);
+            writes.push(PteWrite {
+                addr,
+                value: r.get_u64()?,
+            });
+        }
+        Ok(Active {
+            job,
+            writes,
+            next: r.get_usize()?,
+        })
+    }
+}
+
+impl Handler {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.queue.len());
+        for job in &self.queue {
+            job.save(w);
+        }
+        match &self.active {
+            None => w.put_bool(false),
+            Some(a) => {
+                w.put_bool(true);
+                a.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Handler, SnapError> {
+        let mut queue = VecDeque::new();
+        for _ in 0..r.get_usize()? {
+            queue.push_back(Job::load(r)?);
+        }
+        let active = if r.get_bool()? {
+            Some(Active::load(r)?)
+        } else {
+            None
+        };
+        Ok(Handler { queue, active })
+    }
+}
+
+impl Ev {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::Mem(me) => {
+                w.put_u8(0);
+                me.save(w);
+            }
+            Ev::CpuBatch { core, seq } => {
+                w.put_u8(1);
+                w.put_usize(*core);
+                w.put_u64(*seq);
+            }
+            Ev::MttopBatch { core, seq } => {
+                w.put_u8(2);
+                w.put_usize(*core);
+                w.put_u64(*seq);
+            }
+            Ev::MifdLaunch { cpu, desc } => {
+                w.put_u8(3);
+                w.put_usize(*cpu);
+                for d in desc {
+                    w.put_u64(*d);
+                }
+            }
+            Ev::ChunkArrive { core, chunk } => {
+                w.put_u8(4);
+                w.put_usize(*core);
+                chunk.save(w);
+            }
+            Ev::ResumeSyscall { cpu, ret } => {
+                w.put_u8(5);
+                w.put_usize(*cpu);
+                w.put_u64(*ret);
+            }
+            Ev::FaultToCpu { req, mcore } => {
+                w.put_u8(6);
+                req.save(w);
+                w.put_usize(*mcore);
+            }
+            Ev::FaultAckAtMttop { mcore, warp } => {
+                w.put_u8(7);
+                w.put_usize(*mcore);
+                w.put_usize(*warp);
+            }
+            Ev::IpiArrive { target, va, initiator } => {
+                w.put_u8(8);
+                w.put_usize(*target);
+                w.put_u64(va.0);
+                w.put_usize(*initiator);
+            }
+            Ev::FlushArrive { target, va, initiator } => {
+                w.put_u8(9);
+                w.put_usize(*target);
+                w.put_u64(va.0);
+                w.put_usize(*initiator);
+            }
+            Ev::ShootAck { initiator } => {
+                w.put_u8(10);
+                w.put_usize(*initiator);
+            }
+            Ev::HandlerRetry { cpu } => {
+                w.put_u8(11);
+                w.put_usize(*cpu);
+            }
+            Ev::WatchdogTick => w.put_u8(12),
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Ev, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Ev::Mem(MemEvent::load(r)?),
+            1 => Ev::CpuBatch {
+                core: r.get_usize()?,
+                seq: r.get_u64()?,
+            },
+            2 => Ev::MttopBatch {
+                core: r.get_usize()?,
+                seq: r.get_u64()?,
+            },
+            3 => {
+                let cpu = r.get_usize()?;
+                let mut desc = [0u64; 4];
+                for d in &mut desc {
+                    *d = r.get_u64()?;
+                }
+                Ev::MifdLaunch { cpu, desc }
+            }
+            4 => Ev::ChunkArrive {
+                core: r.get_usize()?,
+                chunk: TaskChunk::load(r)?,
+            },
+            5 => Ev::ResumeSyscall {
+                cpu: r.get_usize()?,
+                ret: r.get_u64()?,
+            },
+            6 => Ev::FaultToCpu {
+                req: PageFaultReq::load(r)?,
+                mcore: r.get_usize()?,
+            },
+            7 => Ev::FaultAckAtMttop {
+                mcore: r.get_usize()?,
+                warp: r.get_usize()?,
+            },
+            8 => Ev::IpiArrive {
+                target: r.get_usize()?,
+                va: VirtAddr(r.get_u64()?),
+                initiator: r.get_usize()?,
+            },
+            9 => Ev::FlushArrive {
+                target: r.get_usize()?,
+                va: VirtAddr(r.get_u64()?),
+                initiator: r.get_usize()?,
+            },
+            10 => Ev::ShootAck {
+                initiator: r.get_usize()?,
+            },
+            11 => Ev::HandlerRetry {
+                cpu: r.get_usize()?,
+            },
+            12 => Ev::WatchdogTick,
+            other => return Err(bad_tag("Ev", other)),
+        })
+    }
+}
+
+/// Reads a sequence that must have exactly `dst.len()` `u64` entries
+/// (config-derived length; a mismatch means the wrong config).
+fn load_exact_u64s(r: &mut SnapReader<'_>, dst: &mut [u64], what: &str) -> Result<(), SnapError> {
+    let n = r.get_usize()?;
+    if n != dst.len() {
+        return Err(SnapError::Corrupt {
+            what: format!("snapshot has {n} {what} entries, machine has {}", dst.len()),
+        });
+    }
+    for v in dst {
+        *v = r.get_u64()?;
+    }
+    Ok(())
+}
+
+/// As [`load_exact_u64s`] for `usize` slices.
+fn load_exact_usizes(
+    r: &mut SnapReader<'_>,
+    dst: &mut [usize],
+    what: &str,
+) -> Result<(), SnapError> {
+    let n = r.get_usize()?;
+    if n != dst.len() {
+        return Err(SnapError::Corrupt {
+            what: format!("snapshot has {n} {what} entries, machine has {}", dst.len()),
+        });
+    }
+    for v in dst {
+        *v = r.get_usize()?;
+    }
+    Ok(())
+}
+
+impl Snapshot for Machine {
+    fn save(&self, w: &mut SnapWriter) {
+        // Not serialized, and why:
+        //  * `cfg`, `prog`, node placement, `kexit` — the restoring caller
+        //    supplies the same config + program; `Machine::new` re-derives
+        //    them (the header's config hash guards the "same config" part).
+        //  * `completions_buf`, `port_logs`, `mem` scratch — drained between
+        //    dispatched events; checkpoints only happen at such boundaries.
+        //  * `prof_phase`, `zones`, `zone_batches` — host-side profiling
+        //    telemetry, not simulated state (DESIGN.md §8); excluding them
+        //    keeps snapshot bytes identical across `sim_threads` settings.
+        let s = w.begin_section("machine");
+        w.put_u64(self.now.as_ps());
+        w.put_bool(self.started);
+        w.put_bool(self.main_exited);
+        w.put_u64(self.exit_code);
+        w.put_u64(self.progress);
+        w.put_u64(self.events);
+        w.put_usize(self.printed.len());
+        for i in 0..self.printed.len() {
+            w.put_str(&self.printed[i]);
+            w.put_u64(self.printed_at[i].as_ps());
+            w.put_u64(self.dram_at_print[i]);
+        }
+        self.watchdog.save(w);
+        match &self.failure {
+            None => w.put_bool(false),
+            Some((outcome, dump)) => {
+                w.put_bool(true);
+                w.put_u8(outcome.snap_tag());
+                dump.save(w);
+            }
+        }
+        w.put_u64(self.data_deliveries);
+        w.put_u64(self.resps_seen);
+        match self.blackholed_block {
+            None => w.put_bool(false),
+            Some(b) => {
+                w.put_bool(true);
+                w.put_u64(b);
+            }
+        }
+        w.put_usize(self.cpu_seq.len());
+        for v in &self.cpu_seq {
+            w.put_u64(*v);
+        }
+        w.put_usize(self.mttop_seq.len());
+        for v in &self.mttop_seq {
+            w.put_u64(*v);
+        }
+        w.put_usize(self.shoot_pending.len());
+        for v in &self.shoot_pending {
+            w.put_usize(*v);
+        }
+        w.put_usize(self.reserved.len());
+        for v in &self.reserved {
+            w.put_usize(*v);
+        }
+        w.put_usize(self.handlers.len());
+        for h in &self.handlers {
+            h.save(w);
+        }
+        w.end_section(s);
+
+        // The event queue, in dispatch order. Restore re-pushes in that
+        // order into a fresh queue: push-seqs renumber, but the relative
+        // FIFO order among equal-time events — the part that determines
+        // behaviour — is preserved exactly.
+        let s = w.begin_section("queue");
+        let entries = self.queue.ordered_entries();
+        w.put_usize(entries.len());
+        for (t, ev) in entries {
+            w.put_u64(t.as_ps());
+            ev.save(w);
+        }
+        w.end_section(s);
+
+        let s = w.begin_section("cpus");
+        w.put_usize(self.cpus.len());
+        for c in &self.cpus {
+            c.save(w);
+        }
+        w.end_section(s);
+
+        let s = w.begin_section("mttops");
+        w.put_usize(self.mttops.len());
+        for m in &self.mttops {
+            m.save(w);
+        }
+        w.end_section(s);
+
+        let s = w.begin_section("mifd");
+        self.mifd.save(w);
+        w.end_section(s);
+
+        let s = w.begin_section("mem");
+        self.mem.save(w);
+        w.end_section(s);
+
+        let s = w.begin_section("net");
+        self.net.save(w);
+        w.end_section(s);
+
+        let s = w.begin_section("os");
+        self.os.save(w);
+        w.end_section(s);
+
+        let s = w.begin_section("heap");
+        self.heap.save(w);
+        w.end_section(s);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let end = r.begin_section("machine")?;
+        self.now = Time::from_ps(r.get_u64()?);
+        self.started = r.get_bool()?;
+        self.main_exited = r.get_bool()?;
+        self.exit_code = r.get_u64()?;
+        self.progress = r.get_u64()?;
+        self.events = r.get_u64()?;
+        self.printed.clear();
+        self.printed_at.clear();
+        self.dram_at_print.clear();
+        for _ in 0..r.get_usize()? {
+            self.printed.push(r.get_str()?.to_string());
+            self.printed_at.push(Time::from_ps(r.get_u64()?));
+            self.dram_at_print.push(r.get_u64()?);
+        }
+        self.watchdog.load(r)?;
+        self.failure = if r.get_bool()? {
+            let outcome = Outcome::from_snap_tag(r.get_u8()?)?;
+            Some((outcome, DiagnosticDump::load_snap(r)?))
+        } else {
+            None
+        };
+        self.data_deliveries = r.get_u64()?;
+        self.resps_seen = r.get_u64()?;
+        self.blackholed_block = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        load_exact_u64s(r, &mut self.cpu_seq, "cpu_seq")?;
+        load_exact_u64s(r, &mut self.mttop_seq, "mttop_seq")?;
+        load_exact_usizes(r, &mut self.shoot_pending, "shoot_pending")?;
+        load_exact_usizes(r, &mut self.reserved, "reserved")?;
+        let n = r.get_usize()?;
+        if n != self.handlers.len() {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "snapshot has {n} OS handlers, machine has {}",
+                    self.handlers.len()
+                ),
+            });
+        }
+        for h in &mut self.handlers {
+            *h = Handler::load(r)?;
+        }
+        r.end_section(end)?;
+
+        let end = r.begin_section("queue")?;
+        let mut queue = EventQueue::new();
+        for _ in 0..r.get_usize()? {
+            let t = Time::from_ps(r.get_u64()?);
+            queue.push(t, Ev::load(r)?);
+        }
+        self.queue = queue;
+        r.end_section(end)?;
+
+        let end = r.begin_section("cpus")?;
+        let n = r.get_usize()?;
+        if n != self.cpus.len() {
+            return Err(SnapError::Corrupt {
+                what: format!("snapshot has {n} CPUs, machine has {}", self.cpus.len()),
+            });
+        }
+        for c in &mut self.cpus {
+            c.load(r)?;
+        }
+        r.end_section(end)?;
+
+        let end = r.begin_section("mttops")?;
+        let n = r.get_usize()?;
+        if n != self.mttops.len() {
+            return Err(SnapError::Corrupt {
+                what: format!("snapshot has {n} MTTOPs, machine has {}", self.mttops.len()),
+            });
+        }
+        for m in &mut self.mttops {
+            m.load(r)?;
+        }
+        r.end_section(end)?;
+
+        let end = r.begin_section("mifd")?;
+        self.mifd.load(r)?;
+        r.end_section(end)?;
+
+        let end = r.begin_section("mem")?;
+        self.mem.load(r)?;
+        r.end_section(end)?;
+
+        let end = r.begin_section("net")?;
+        self.net.load(r)?;
+        r.end_section(end)?;
+
+        let end = r.begin_section("os")?;
+        self.os.load(r)?;
+        r.end_section(end)?;
+
+        let end = r.begin_section("heap")?;
+        self.heap.load(r)?;
+        r.end_section(end)?;
+        Ok(())
+    }
+}
+
+impl Machine {
+    /// Serializes the machine's full run-state to an in-memory snapshot
+    /// image (header + every component, see DESIGN.md §8).
+    ///
+    /// Valid whenever the machine sits at an inter-event boundary: before
+    /// [`Machine::run`], or after [`Machine::run_until`] returned `None`.
+    /// The image is byte-identical regardless of `sim_threads` — host
+    /// execution knobs are neither hashed nor serialized.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_header(config_hash(&self.cfg));
+        self.save(&mut w);
+        w.into_vec()
+    }
+
+    /// Writes [`Machine::checkpoint_bytes`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::Io`] when the file cannot be written.
+    pub fn checkpoint(&self, path: &std::path::Path) -> Result<(), SnapError> {
+        ccsvm_snap::write_file(path, &self.checkpoint_bytes())
+    }
+
+    /// Rebuilds a machine from an in-memory snapshot image. `cfg` and
+    /// `prog` must be the ones the checkpointed machine was built with —
+    /// the header's config hash enforces the config part.
+    ///
+    /// The restored machine resumes with [`Machine::run`] (or
+    /// `run_until`) and produces results bit-identical to the
+    /// uninterrupted original, at any `sim_threads` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SnapError`] — never a corrupted machine — when the
+    /// image has the wrong magic, schema version, or config hash, or is
+    /// truncated or internally inconsistent.
+    pub fn restore_bytes(
+        cfg: SystemConfig,
+        prog: Program,
+        bytes: &[u8],
+    ) -> Result<Machine, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        r.check_header(config_hash(&cfg))?;
+        let mut m = Machine::new(cfg, prog);
+        m.load(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapError::Corrupt {
+                what: format!("{} trailing bytes after machine state", r.remaining()),
+            });
+        }
+        Ok(m)
+    }
+
+    /// Reads a snapshot file and [`Machine::restore_bytes`] from it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::restore_bytes`], plus [`SnapError::Io`] on read failure.
+    pub fn restore(
+        cfg: SystemConfig,
+        prog: Program,
+        path: &std::path::Path,
+    ) -> Result<Machine, SnapError> {
+        let bytes = ccsvm_snap::read_file(path)?;
+        Machine::restore_bytes(cfg, prog, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite to `Time::plus`'s guard: the machine's scalar multiply
+    /// helper must also refuse to silently warp simulated time. Debug
+    /// builds panic; release builds saturate to `Time::MAX`.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "time multiply overflowed"))]
+    fn time_multiply_overflow_is_guarded() {
+        let t = times(Time::from_ps(u64::MAX / 2), 3);
+        assert_eq!(t, Time::MAX);
+    }
+
+    #[test]
+    fn time_multiply_in_range_is_exact() {
+        assert_eq!(times(Time::from_ps(250), 4), Time::from_ps(1000));
+        assert_eq!(times(Time::ZERO, u64::MAX), Time::ZERO);
+    }
+
+    #[test]
+    fn config_hash_ignores_host_knobs_only() {
+        let base = SystemConfig::tiny();
+        let mut threads = base.clone();
+        threads.sim_threads = 8;
+        threads.host_profile = true;
+        assert_eq!(config_hash(&base), config_hash(&threads));
+
+        let mut other = base.clone();
+        other.n_cpus += 1;
+        assert_ne!(config_hash(&base), config_hash(&other));
     }
 }

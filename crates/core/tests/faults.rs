@@ -103,6 +103,34 @@ fn dropped_completion_aborts_as_deadlock_with_dump() {
 }
 
 #[test]
+fn watchdog_dump_records_the_last_progress_cycle() {
+    // Same wedge as above. The dump's `at` must be the simulated time where
+    // forward progress actually stopped — the interesting cycle for
+    // debugging — not the (quanta x period) later tick that noticed.
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.drop_data_delivery = Some(1);
+    cfg.fault.watchdog.period = Time::from_us(100);
+    cfg.fault.watchdog.quanta = 4;
+    let r = run(cfg, "_CPU_ fn main() -> int { return 41 + 1; }");
+    assert_eq!(r.outcome, Outcome::Deadlock);
+    let d = r.diagnostic.expect("deadlock carries a diagnostic dump");
+    assert!(
+        d.at < r.time,
+        "dump.at {} must be the wedge cycle, not the abort tick {}",
+        d.at,
+        r.time
+    );
+    // The watchdog saw >= `quanta` stale periods between the wedge and the
+    // abort, so the two times differ by at least that much.
+    assert!(
+        r.time.as_ps() - d.at.as_ps() >= 3 * Time::from_us(100).as_ps(),
+        "wedge at {} vs abort at {}: gap shorter than the stale window",
+        d.at,
+        r.time
+    );
+}
+
+#[test]
 fn double_bit_ecc_error_poisons_the_run() {
     let mut cfg = SystemConfig::tiny();
     cfg.fault.dram.double_bit_rate = 1.0; // every DRAM fill is uncorrectable

@@ -1,0 +1,333 @@
+//! Checkpoint/restore differential suite: the headline invariant is that a
+//! run checkpointed at any cycle T and restored — at any `sim_threads`, on
+//! any later session — finishes with a `RunReport` bit-for-bit identical to
+//! the uninterrupted run, including under active fault plans and for runs
+//! that are going to abort. Mismatched snapshots (wrong config, wrong schema,
+//! truncated or corrupt bytes) must surface as typed errors, never as a
+//! silently-wrong simulation.
+
+use ccsvm::{Machine, Outcome, RunReport, SnapError, SystemConfig, Time};
+use ccsvm_isa::Program;
+
+fn compile(src: &str) -> Program {
+    ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"))
+}
+
+/// A small CPU+MTTOP workload with real NoC/L2/DRAM traffic (the same shape
+/// the fault suite uses), so checkpoints land mid-offload with in-flight
+/// coherence transactions, queued handler work, and pending MTTOP chunks.
+fn vecadd_src(n: u64) -> String {
+    format!(
+        "struct Args {{ v1: int*; v2: int*; sum: int*; done: int*; }}
+         _MTTOP_ fn add(tid: int, a: Args*) {{
+             a->sum[tid] = a->v1[tid] + a->v2[tid];
+             xt_msignal(a->done, tid);
+         }}
+         _CPU_ fn main() -> int {{
+             let n = {n};
+             let a: Args* = malloc(sizeof(Args));
+             a->v1 = malloc(n * 8);
+             a->v2 = malloc(n * 8);
+             a->sum = malloc(n * 8);
+             a->done = malloc(n * 8);
+             for (let i = 0; i < n; i = i + 1) {{
+                 a->v1[i] = i * 3;
+                 a->v2[i] = i + 7;
+                 a->done[i] = 0;
+             }}
+             let err = xt_create_mthread(add, a as int, 0, n - 1);
+             if (err != 0) {{ return -1; }}
+             xt_wait(a->done, 0, n - 1);
+             let total = 0;
+             for (let i = 0; i < n; i = i + 1) {{ total = total + a->sum[i]; }}
+             return total;
+         }}"
+    )
+}
+
+fn faulty_cfg(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.seed = seed;
+    cfg.fault.noc.drop_rate = 0.02;
+    cfg.fault.dram.single_bit_rate = 0.2;
+    cfg.fault.tlb.transient_rate = 0.02;
+    cfg
+}
+
+/// A run wedged by a dropped directory grant: the watchdog aborts it.
+fn deadlock_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.drop_data_delivery = Some(1);
+    cfg.fault.watchdog.period = Time::from_us(100);
+    cfg.fault.watchdog.quanta = 4;
+    cfg
+}
+
+/// The uninterrupted reference run.
+fn reference(cfg: &SystemConfig, src: &str) -> RunReport {
+    Machine::new(cfg.clone(), compile(src)).run()
+}
+
+/// Pause a fresh machine at simulated time `at`, checkpoint it, restore the
+/// image into a machine running with `restore_threads`, and finish.
+fn checkpoint_resume(
+    cfg: &SystemConfig,
+    src: &str,
+    at: Time,
+    restore_threads: usize,
+) -> RunReport {
+    let mut m = Machine::new(cfg.clone(), compile(src));
+    assert!(
+        m.run_until(at).is_none(),
+        "run finished before the checkpoint cycle {at} — pick an earlier one"
+    );
+    let bytes = m.checkpoint_bytes();
+    let mut rcfg = cfg.clone();
+    rcfg.sim_threads = restore_threads;
+    let mut restored =
+        Machine::restore_bytes(rcfg, compile(src), &bytes).expect("restore must succeed");
+    restored.run()
+}
+
+fn fraction_of(t: Time, num: u64, den: u64) -> Time {
+    Time::from_ps(t.as_ps() / den * num)
+}
+
+#[test]
+fn roundtrip_is_bit_identical_fault_free() {
+    let cfg = SystemConfig::tiny();
+    let src = vecadd_src(32);
+    let uninterrupted = reference(&cfg, &src);
+    assert_eq!(uninterrupted.outcome, Outcome::Completed);
+    // {early, mid-offload} checkpoint cycles x {serial, zoned} restores.
+    for (num, den) in [(1, 16), (1, 2)] {
+        for threads in [1, 4] {
+            let at = fraction_of(uninterrupted.time, num, den);
+            let resumed = checkpoint_resume(&cfg, &src, at, threads);
+            assert_eq!(
+                resumed, uninterrupted,
+                "checkpoint at {at} restored with sim_threads={threads} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn roundtrip_is_bit_identical_under_active_fault_plan() {
+    // The restored machine must pick up the fault schedule exactly where the
+    // checkpoint left it: same RNG streams, same pending injections.
+    let cfg = faulty_cfg(7);
+    let src = vecadd_src(32);
+    let uninterrupted = reference(&cfg, &src);
+    assert_eq!(uninterrupted.outcome, Outcome::Completed);
+    assert!(
+        uninterrupted.stats.get("noc.retransmissions") > 0.0,
+        "faults really fired in the reference run"
+    );
+    for (num, den) in [(1, 16), (1, 2)] {
+        for threads in [1, 4] {
+            let at = fraction_of(uninterrupted.time, num, den);
+            let resumed = checkpoint_resume(&cfg, &src, at, threads);
+            assert_eq!(
+                resumed, uninterrupted,
+                "faulty checkpoint at {at} restored with sim_threads={threads} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_identical_across_sim_threads() {
+    // Pausing serial and zoned runs at the same cycle must produce the same
+    // machine state — and because host-side telemetry is excluded from the
+    // image, the *snapshot bytes* must match too. This is what makes images
+    // portable across `--sim-threads` settings.
+    let src = vecadd_src(32);
+    let serial_ref = reference(&SystemConfig::tiny(), &src);
+    let at = fraction_of(serial_ref.time, 1, 2);
+    let mut images = Vec::new();
+    for threads in [1, 2, 4] {
+        let mut cfg = SystemConfig::tiny();
+        cfg.sim_threads = threads;
+        let mut m = Machine::new(cfg, compile(&src));
+        assert!(m.run_until(at).is_none());
+        images.push(m.checkpoint_bytes());
+    }
+    assert_eq!(images[0], images[1], "sim_threads=1 vs 2 images differ");
+    assert_eq!(images[0], images[2], "sim_threads=1 vs 4 images differ");
+}
+
+#[test]
+fn aborting_run_roundtrips_including_the_diagnostic_dump() {
+    // A run that is *going to* deadlock, checkpointed while wedged, must
+    // restore and abort with the identical outcome, dump, and cycle. The
+    // watchdog's progress tracker is part of the image.
+    let cfg = deadlock_cfg();
+    let src = "_CPU_ fn main() -> int { return 41 + 1; }";
+    let uninterrupted = reference(&cfg, src);
+    assert_eq!(uninterrupted.outcome, Outcome::Deadlock);
+    for (num, den) in [(1, 16), (1, 2)] {
+        let at = fraction_of(uninterrupted.time, num, den);
+        for threads in [1, 4] {
+            let resumed = checkpoint_resume(&cfg, src, at, threads);
+            assert_eq!(
+                resumed, uninterrupted,
+                "wedged checkpoint at {at} (sim_threads={threads}) diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn cold_boot_checkpoint_roundtrips() {
+    // Checkpointing before the first event is legal: the image records a
+    // not-yet-started machine and the restore boots it from scratch.
+    let cfg = SystemConfig::tiny();
+    let src = vecadd_src(16);
+    let uninterrupted = reference(&cfg, &src);
+    let m = Machine::new(cfg.clone(), compile(&src));
+    let bytes = m.checkpoint_bytes();
+    let mut restored =
+        Machine::restore_bytes(cfg, compile(&src), &bytes).expect("cold restore");
+    assert_eq!(restored.run(), uninterrupted);
+}
+
+#[test]
+fn chained_checkpoints_roundtrip() {
+    // Checkpoint, restore, run a bit further, checkpoint *again*, restore:
+    // images taken from restored machines are as good as first-generation
+    // ones.
+    let cfg = faulty_cfg(7);
+    let src = vecadd_src(32);
+    let uninterrupted = reference(&cfg, &src);
+    let t1 = fraction_of(uninterrupted.time, 1, 4);
+    let t2 = fraction_of(uninterrupted.time, 3, 4);
+
+    let mut gen0 = Machine::new(cfg.clone(), compile(&src));
+    assert!(gen0.run_until(t1).is_none());
+    let image1 = gen0.checkpoint_bytes();
+
+    let mut gen1 =
+        Machine::restore_bytes(cfg.clone(), compile(&src), &image1).expect("first restore");
+    assert!(gen1.run_until(t2).is_none());
+    let image2 = gen1.checkpoint_bytes();
+
+    let mut gen2 =
+        Machine::restore_bytes(cfg.clone(), compile(&src), &image2).expect("second restore");
+    assert_eq!(gen2.run(), uninterrupted);
+}
+
+#[test]
+fn file_round_trip_via_checkpoint_and_restore() {
+    let cfg = SystemConfig::tiny();
+    let src = vecadd_src(16);
+    let uninterrupted = reference(&cfg, &src);
+    let at = fraction_of(uninterrupted.time, 1, 2);
+    let mut m = Machine::new(cfg.clone(), compile(&src));
+    assert!(m.run_until(at).is_none());
+    let path = std::env::temp_dir().join(format!("ccsvm-snap-test-{}.ccsnap", std::process::id()));
+    m.checkpoint(&path).expect("checkpoint to file");
+    let mut restored = Machine::restore(cfg, compile(&src), &path).expect("restore from file");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(restored.run(), uninterrupted);
+}
+
+#[test]
+fn mismatched_config_is_a_typed_error() {
+    let cfg = SystemConfig::tiny();
+    let src = vecadd_src(16);
+    let mut m = Machine::new(cfg.clone(), compile(&src));
+    let limit = fraction_of(reference(&cfg, &src).time, 1, 2);
+    assert!(m.run_until(limit).is_none());
+    let bytes = m.checkpoint_bytes();
+    // A machine with one more CPU is a different machine: restoring the
+    // image into it must fail up front, not corrupt the topology.
+    let mut other = cfg.clone();
+    other.n_cpus += 1;
+    match Machine::restore_bytes(other, compile(&src), &bytes) {
+        Err(SnapError::ConfigMismatch { found, expected }) => {
+            assert_ne!(found, expected);
+        }
+        Err(other) => panic!("expected ConfigMismatch, got {other:?}"),
+        Ok(_) => panic!("expected ConfigMismatch, restore succeeded"),
+    }
+    // But host-only knobs (sim_threads, host_profile) are *not* part of the
+    // machine's identity — the same image restores fine.
+    let mut host_knobs = cfg.clone();
+    host_knobs.sim_threads = 4;
+    host_knobs.host_profile = true;
+    assert!(Machine::restore_bytes(host_knobs, compile(&src), &bytes).is_ok());
+}
+
+#[test]
+fn mismatched_schema_bad_magic_and_truncation_are_typed_errors() {
+    let cfg = SystemConfig::tiny();
+    let src = vecadd_src(16);
+    let mut m = Machine::new(cfg.clone(), compile(&src));
+    let limit = fraction_of(reference(&cfg, &src).time, 1, 2);
+    assert!(m.run_until(limit).is_none());
+    let bytes = m.checkpoint_bytes();
+
+    // Header layout: magic [0..8], schema u32 [8..12], config hash [12..20].
+    let mut wrong_schema = bytes.clone();
+    wrong_schema[8..12].copy_from_slice(&(ccsvm::SNAP_SCHEMA_VERSION + 1).to_le_bytes());
+    match Machine::restore_bytes(cfg.clone(), compile(&src), &wrong_schema) {
+        Err(SnapError::SchemaMismatch { found, expected }) => {
+            assert_eq!(found, ccsvm::SNAP_SCHEMA_VERSION + 1);
+            assert_eq!(expected, ccsvm::SNAP_SCHEMA_VERSION);
+        }
+        Err(other) => panic!("expected SchemaMismatch, got {other:?}"),
+        Ok(_) => panic!("expected SchemaMismatch, restore succeeded"),
+    }
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] ^= 0xff;
+    assert!(matches!(
+        Machine::restore_bytes(cfg.clone(), compile(&src), &wrong_magic),
+        Err(SnapError::BadMagic)
+    ));
+
+    // Truncated inside the header.
+    assert!(matches!(
+        Machine::restore_bytes(cfg.clone(), compile(&src), &bytes[..10]),
+        Err(SnapError::Truncated { .. })
+    ));
+    // Truncated mid-body: still a typed error, never a panic or a partially
+    // restored machine.
+    assert!(matches!(
+        Machine::restore_bytes(cfg.clone(), compile(&src), &bytes[..bytes.len() / 2]),
+        Err(SnapError::Truncated { .. } | SnapError::Corrupt { .. })
+    ));
+    // Trailing garbage after a valid image is rejected too.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(b"junk");
+    assert!(matches!(
+        Machine::restore_bytes(cfg, compile(&src), &padded),
+        Err(SnapError::Corrupt { .. })
+    ));
+}
+
+// Property test: a checkpoint at a *random* cycle — not just the hand-picked
+// early/mid points — round-trips bit-for-bit. Needs `proptest`; see the
+// `slow-tests` note in Cargo.toml.
+#[cfg(feature = "slow-tests")]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn random_checkpoint_cycle_roundtrips(
+            percent in 1u64..100,
+            threads in prop_oneof![Just(1usize), Just(4usize)],
+        ) {
+            let cfg = faulty_cfg(7);
+            let src = vecadd_src(16);
+            let uninterrupted = reference(&cfg, &src);
+            let at = fraction_of(uninterrupted.time, percent, 100);
+            let resumed = checkpoint_resume(&cfg, &src, at, threads);
+            prop_assert_eq!(resumed, uninterrupted);
+        }
+    }
+}

@@ -203,6 +203,25 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
+    /// All pending events in exact drain order — (time, seq) ascending —
+    /// without disturbing the queue. This is the snapshot view: a restore
+    /// pushes the events back in this order into a fresh queue, which
+    /// renumbers sequence tiebreaks from zero but preserves their *relative*
+    /// FIFO order, so the rebuilt queue drains identically.
+    pub fn ordered_entries(&self) -> Vec<(Time, &E)> {
+        let mut v: Vec<(Time, u64, &E)> = Vec::with_capacity(self.len());
+        for bucket in &self.buckets {
+            for (t, s, e) in bucket {
+                v.push((*t, *s, e));
+            }
+        }
+        for e in &self.overflow {
+            v.push((e.time, e.seq, &e.event));
+        }
+        v.sort_by_key(|&(t, s, _)| (t, s));
+        v.into_iter().map(|(t, _, e)| (t, e)).collect()
+    }
+
     /// First occupied bucket at or after the cursor, via the bitmap.
     fn first_occupied(&self) -> Option<usize> {
         let mut word = self.cursor / 64;
@@ -416,6 +435,35 @@ mod tests {
         q.push(Time::from_ms(500) + Time::from_ps(1), 3);
         assert_eq!(q.pop(), Some((Time::from_ms(500), 2)));
         assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    /// Snapshot view: `ordered_entries` must list pending events in exact
+    /// drain order, and a queue rebuilt by re-pushing them must drain
+    /// identically to the original — including same-timestamp FIFO runs,
+    /// clamped past-pushes, and overflow-era events.
+    #[test]
+    fn ordered_entries_rebuild_drains_identically() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(100), 0);
+        q.push(Time::from_ns(100), 1); // FIFO pair
+        q.push(Time::from_ms(10), 2); // overflow era
+        q.push(Time::from_ns(50), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        q.push(Time::from_ns(1), 4); // clamped behind the cursor
+        q.push(Time::from_ns(100), 5); // extends the FIFO run
+
+        let mut rebuilt = EventQueue::new();
+        for (t, &e) in q.ordered_entries() {
+            rebuilt.push(t, e);
+        }
+        assert_eq!(rebuilt.len(), q.len());
+        loop {
+            let (a, b) = (q.pop(), rebuilt.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     /// Satellite: differential test — identical operation sequences on the

@@ -237,6 +237,20 @@ impl Default for Watchdog {
     }
 }
 
+impl ccsvm_snap::Snapshot for Watchdog {
+    fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
+        w.put_u64(self.last_progress);
+        w.put_u64(self.last_change.as_ps());
+        w.put_u32(self.stale);
+    }
+    fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
+        self.last_progress = r.get_u64()?;
+        self.last_change = Time::from_ps(r.get_u64()?);
+        self.stale = r.get_u32()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +296,24 @@ mod tests {
             (0..8).map(|_| s.next_u64()).collect()
         };
         assert_ne!(a1, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn watchdog_snapshot_round_trips_staleness() {
+        use ccsvm_snap::{SnapReader, SnapWriter, Snapshot};
+        let mut wd = Watchdog::new();
+        wd.observe(Time::from_ns(10), 5);
+        wd.observe(Time::from_ns(20), 5);
+        let mut w = SnapWriter::new();
+        wd.save(&mut w);
+        let bytes = w.into_vec();
+        let mut restored = Watchdog::new();
+        restored.load(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored, wd);
+        // Both continue identically: one more stale period, then a reset.
+        assert_eq!(restored.observe(Time::from_ns(30), 5), wd.observe(Time::from_ns(30), 5));
+        assert_eq!(restored.observe(Time::from_ns(40), 9), 0);
+        assert_eq!(restored.last_progress_at(), Time::from_ns(40));
     }
 
     #[test]

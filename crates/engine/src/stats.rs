@@ -245,6 +245,32 @@ impl Stats {
     }
 }
 
+/// Snapshots serialize the logical view — sorted `(name, value)` pairs —
+/// because interned [`StatId`] indices depend on process-global
+/// registration order and are not stable across binaries. Loading routes
+/// each pair through [`Stats::set`], which re-interns registered names.
+impl ccsvm_snap::Snapshot for Stats {
+    fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
+        let entries = self.entries();
+        w.put_usize(entries.len());
+        for (name, value) in entries {
+            w.put_str(name);
+            w.put_f64(value);
+        }
+    }
+    fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
+        self.values.clear();
+        self.dense.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let name = r.get_str()?.to_string();
+            let value = r.get_f64()?;
+            self.set(name, value);
+        }
+        Ok(())
+    }
+}
+
 /// Logical equality: same named entries with the same values, regardless
 /// of which tier recorded them.
 impl PartialEq for Stats {
@@ -398,6 +424,23 @@ mod tests {
         outer.merge_prefixed("core0", &inner);
         assert_eq!(outer.get("core0.test.carry.count"), 4.0);
         assert_eq!(outer.get("core0.dynamic"), 1.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_both_tiers_by_name() {
+        use ccsvm_snap::{SnapReader, SnapWriter, Snapshot};
+        let id = stat_id("test.snap.interned");
+        let mut s = Stats::new();
+        s.add_id(id, 6.0);
+        s.set("test.snap.dynamic", 2.5);
+        let mut w = SnapWriter::new();
+        s.save(&mut w);
+        let bytes = w.into_vec();
+        let mut restored = Stats::new();
+        restored.set("stale", 1.0); // load must clear pre-existing entries
+        restored.load(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored, s);
+        assert_eq!(restored.get_id(id), 6.0, "registered names re-intern");
     }
 
     #[test]

@@ -106,13 +106,34 @@ impl Time {
             other
         }
     }
+
+    /// Addition with an overflow debug-assert (mirroring the multiply
+    /// assert in the machine's `times()` helper): a wrapping sum of two
+    /// in-range times means a mis-configured cost somewhere, and silently
+    /// saturating would warp simulated time. Release builds saturate.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the sum overflows `u64` picoseconds.
+    #[inline]
+    pub fn plus(self, rhs: Time) -> Time {
+        let sum = self.0.checked_add(rhs.0);
+        debug_assert!(
+            sum.is_some(),
+            "time addition overflowed: {self:?} + {rhs:?}"
+        );
+        Time(sum.unwrap_or(u64::MAX))
+    }
 }
 
 impl Add for Time {
     type Output = Time;
+    /// # Panics
+    ///
+    /// Panics in debug builds if the sum overflows; see [`Time::plus`].
     #[inline]
     fn add(self, rhs: Time) -> Time {
-        Time(self.0.saturating_add(rhs.0))
+        self.plus(rhs)
     }
 }
 
@@ -261,9 +282,25 @@ mod tests {
         assert_eq!(c, a);
     }
 
+    /// Satellite (PR 4): addition overflow is a loud debug-assert, not a
+    /// silent saturation — mirroring the multiply assert in the machine's
+    /// `times()` helper.
     #[test]
-    fn time_add_saturates() {
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "time addition overflowed")
+    )]
+    fn time_add_overflow_is_guarded() {
+        let _ = Time::MAX + Time::from_ns(1);
+    }
+
+    /// In release builds (no debug assertions) the overflow saturates so a
+    /// production sweep degrades instead of aborting.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn time_add_saturates_in_release() {
         assert_eq!(Time::MAX + Time::from_ns(1), Time::MAX);
+        assert_eq!(Time::MAX.plus(Time::from_ns(1)), Time::MAX);
     }
 
     #[test]

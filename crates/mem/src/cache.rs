@@ -345,6 +345,68 @@ impl<M> CacheArray<M> {
         self.ways.iter().filter_map(|w| w.block.map(|b| (b, &w.meta)))
     }
 
+    /// Serializes the array (tags, LRU ticks, metadata, block data) with a
+    /// caller-supplied metadata codec. Geometry is construction-time state
+    /// and is only recorded as a way count for validation.
+    pub fn save_with(
+        &self,
+        w: &mut ccsvm_snap::SnapWriter,
+        save_meta: impl Fn(&M, &mut ccsvm_snap::SnapWriter),
+    ) {
+        w.put_u64(self.tick);
+        w.put_usize(self.ways.len());
+        // Sparse: an invalid way's lru/meta/data can never influence the
+        // simulation (victim selection and lookup both filter on the tag, and
+        // `insert` overwrites the whole way), so only resident blocks are
+        // written. This keeps images proportional to the touched working set
+        // rather than to cache capacity.
+        for way in &self.ways {
+            match way.block {
+                Some(b) => {
+                    w.put_bool(true);
+                    w.put_u64(b);
+                    w.put_u64(way.lru);
+                    save_meta(&way.meta, w);
+                    w.put_raw(&way.data);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    /// Restores state written by [`CacheArray::save_with`] into an array of
+    /// identical geometry.
+    pub fn load_with(
+        &mut self,
+        r: &mut ccsvm_snap::SnapReader<'_>,
+        load_meta: impl Fn(&mut ccsvm_snap::SnapReader<'_>) -> Result<M, ccsvm_snap::SnapError>,
+    ) -> Result<(), ccsvm_snap::SnapError>
+    where
+        M: Default,
+    {
+        self.tick = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.ways.len() {
+            return Err(ccsvm_snap::SnapError::Corrupt {
+                what: format!("cache array has {n} ways, machine has {}", self.ways.len()),
+            });
+        }
+        for way in &mut self.ways {
+            if r.get_bool()? {
+                way.block = Some(r.get_u64()?);
+                way.lru = r.get_u64()?;
+                way.meta = load_meta(r)?;
+                r.get_raw(&mut way.data)?;
+            } else {
+                way.block = None;
+                way.lru = 0;
+                way.meta = M::default();
+                way.data = [0; BLOCK_BYTES as usize];
+            }
+        }
+        Ok(())
+    }
+
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
         self.ways.iter().filter(|w| w.block.is_some()).count()

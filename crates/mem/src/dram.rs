@@ -215,6 +215,81 @@ impl Dram {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codec. Any change here is a snapshot schema change (bump
+// `ccsvm_snap::SCHEMA_VERSION` and document it in DESIGN.md §8).
+
+impl ccsvm_snap::Snapshot for Dram {
+    fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
+        // Frames sorted so the byte stream is independent of hash-map
+        // insertion history.
+        let mut frames: Vec<u64> = self.pages.keys().copied().collect();
+        frames.sort_unstable();
+        w.put_usize(frames.len());
+        for f in frames {
+            w.put_u64(f);
+            w.put_raw(&self.pages[&f][..]);
+        }
+        w.put_usize(self.channel_free.len());
+        for &t in &self.channel_free {
+            w.put_u64(t.as_ps());
+        }
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+        match &self.faults {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                w.put_u64(f.rng.state());
+                w.put_u64(f.corrected);
+                w.put_u64(f.poisoned_events);
+            }
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut ccsvm_snap::SnapReader<'_>,
+    ) -> Result<(), ccsvm_snap::SnapError> {
+        self.pages.clear();
+        for _ in 0..r.get_usize()? {
+            let frame = r.get_u64()?;
+            let mut page = Box::new([0u8; PAGE_BYTES as usize]);
+            r.get_raw(&mut page[..])?;
+            self.pages.insert(frame, page);
+        }
+        let channels = r.get_usize()?;
+        if channels != self.channel_free.len() {
+            return Err(ccsvm_snap::SnapError::Corrupt {
+                what: format!(
+                    "snapshot has {channels} DRAM channels, config builds {}",
+                    self.channel_free.len()
+                ),
+            });
+        }
+        for t in &mut self.channel_free {
+            *t = Time::from_ps(r.get_u64()?);
+        }
+        self.reads = r.get_u64()?;
+        self.writes = r.get_u64()?;
+        let has_faults = r.get_bool()?;
+        match (&mut self.faults, has_faults) {
+            (Some(f), true) => {
+                f.rng.set_state(r.get_u64()?);
+                f.corrected = r.get_u64()?;
+                f.poisoned_events = r.get_u64()?;
+            }
+            (None, false) => {}
+            _ => {
+                return Err(ccsvm_snap::SnapError::Corrupt {
+                    what: "dram fault-injection presence differs from config".into(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Helper to read an 8-byte little-endian word out of a block image.
 pub(crate) fn word_from_block(data: &BlockData, addr: PhysAddr, size: usize) -> u64 {
     let off = offset_in_block(addr);

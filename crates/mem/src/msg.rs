@@ -177,6 +177,284 @@ impl MemEvent {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codecs. Tagged-union encoding: one tag byte, then the variant's
+// fields in declaration order. These are hand-rolled (no serde) and must
+// stay in sync with the types above; any change here is a snapshot schema
+// change (bump `ccsvm_snap::SCHEMA_VERSION`).
+
+use ccsvm_snap::{SnapError, SnapReader, SnapWriter};
+
+pub(crate) fn bad_tag(what: &str, tag: u8) -> SnapError {
+    SnapError::Corrupt {
+        what: format!("unknown {what} tag {tag:#04x}"),
+    }
+}
+
+pub(crate) fn save_opt_data(w: &mut SnapWriter, data: &Option<BlockData>) {
+    match data {
+        Some(d) => {
+            w.put_bool(true);
+            w.put_raw(d);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+pub(crate) fn load_opt_data(r: &mut SnapReader<'_>) -> Result<Option<BlockData>, SnapError> {
+    if r.get_bool()? {
+        Ok(Some(r.get_array()?))
+    } else {
+        Ok(None)
+    }
+}
+
+impl AtomicOp {
+    /// Appends this operation to a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            AtomicOp::Cas { expected, value } => {
+                w.put_u8(0);
+                w.put_u64(expected);
+                w.put_u64(value);
+            }
+            AtomicOp::Add { value } => {
+                w.put_u8(1);
+                w.put_u64(value);
+            }
+            AtomicOp::Inc => w.put_u8(2),
+            AtomicOp::Dec => w.put_u8(3),
+            AtomicOp::Exch { value } => {
+                w.put_u8(4);
+                w.put_u64(value);
+            }
+        }
+    }
+
+    /// Reads an operation written by [`AtomicOp::save`].
+    pub fn load(r: &mut SnapReader<'_>) -> Result<AtomicOp, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => AtomicOp::Cas {
+                expected: r.get_u64()?,
+                value: r.get_u64()?,
+            },
+            1 => AtomicOp::Add { value: r.get_u64()? },
+            2 => AtomicOp::Inc,
+            3 => AtomicOp::Dec,
+            4 => AtomicOp::Exch { value: r.get_u64()? },
+            t => return Err(bad_tag("AtomicOp", t)),
+        })
+    }
+}
+
+impl ReqKind {
+    fn save(self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            ReqKind::GetS => 0,
+            ReqKind::GetM => 1,
+            ReqKind::PutDirty => 2,
+            ReqKind::PutClean => 3,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<ReqKind, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => ReqKind::GetS,
+            1 => ReqKind::GetM,
+            2 => ReqKind::PutDirty,
+            3 => ReqKind::PutClean,
+            t => return Err(bad_tag("ReqKind", t)),
+        })
+    }
+}
+
+impl Request {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        self.kind.save(w);
+        w.put_usize(self.from.0);
+        w.put_u64(self.block);
+        save_opt_data(w, &self.data);
+        w.put_bool(self.retain);
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<Request, SnapError> {
+        Ok(Request {
+            kind: ReqKind::load(r)?,
+            from: PortId(r.get_usize()?),
+            block: r.get_u64()?,
+            data: load_opt_data(r)?,
+            retain: r.get_bool()?,
+        })
+    }
+}
+
+impl Grant {
+    fn save(self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            Grant::S => 0,
+            Grant::E => 1,
+            Grant::M => 2,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Grant, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Grant::S,
+            1 => Grant::E,
+            2 => Grant::M,
+            t => return Err(bad_tag("Grant", t)),
+        })
+    }
+}
+
+impl DirToL1 {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        match self {
+            DirToL1::Data { block, grant, data } => {
+                w.put_u8(0);
+                w.put_u64(*block);
+                grant.save(w);
+                w.put_raw(data);
+            }
+            DirToL1::AckM { block } => {
+                w.put_u8(1);
+                w.put_u64(*block);
+            }
+            DirToL1::Inv { block } => {
+                w.put_u8(2);
+                w.put_u64(*block);
+            }
+            DirToL1::Fetch { block } => {
+                w.put_u8(3);
+                w.put_u64(*block);
+            }
+            DirToL1::FetchInv { block } => {
+                w.put_u8(4);
+                w.put_u64(*block);
+            }
+            DirToL1::PutAck { block } => {
+                w.put_u8(5);
+                w.put_u64(*block);
+            }
+        }
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<DirToL1, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => DirToL1::Data {
+                block: r.get_u64()?,
+                grant: Grant::load(r)?,
+                data: r.get_array()?,
+            },
+            1 => DirToL1::AckM { block: r.get_u64()? },
+            2 => DirToL1::Inv { block: r.get_u64()? },
+            3 => DirToL1::Fetch { block: r.get_u64()? },
+            4 => DirToL1::FetchInv { block: r.get_u64()? },
+            5 => DirToL1::PutAck { block: r.get_u64()? },
+            t => return Err(bad_tag("DirToL1", t)),
+        })
+    }
+}
+
+impl L1ToDir {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        match self {
+            L1ToDir::InvResp { from, block, data } => {
+                w.put_u8(0);
+                w.put_usize(from.0);
+                w.put_u64(*block);
+                save_opt_data(w, data);
+            }
+            L1ToDir::FetchResp { from, block, data, dirty } => {
+                w.put_u8(1);
+                w.put_usize(from.0);
+                w.put_u64(*block);
+                w.put_raw(data);
+                w.put_bool(*dirty);
+            }
+        }
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<L1ToDir, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => L1ToDir::InvResp {
+                from: PortId(r.get_usize()?),
+                block: r.get_u64()?,
+                data: load_opt_data(r)?,
+            },
+            1 => L1ToDir::FetchResp {
+                from: PortId(r.get_usize()?),
+                block: r.get_u64()?,
+                data: r.get_array()?,
+                dirty: r.get_bool()?,
+            },
+            t => return Err(bad_tag("L1ToDir", t)),
+        })
+    }
+}
+
+impl MemEvent {
+    /// Appends this in-flight memory event to a snapshot (the machine
+    /// serializes its pending event queue through this).
+    pub fn save(&self, w: &mut SnapWriter) {
+        match &self.0 {
+            MemEventKind::ReqArrive(req) => {
+                w.put_u8(0);
+                req.save(w);
+            }
+            MemEventKind::DirArrive(port, msg) => {
+                w.put_u8(1);
+                w.put_usize(port.0);
+                msg.save(w);
+            }
+            MemEventKind::RespArrive(bank, resp) => {
+                w.put_u8(2);
+                w.put_usize(bank.0);
+                resp.save(w);
+            }
+            MemEventKind::DramReadDone { bank, block } => {
+                w.put_u8(3);
+                w.put_usize(bank.0);
+                w.put_u64(*block);
+            }
+            MemEventKind::BankReady { bank, block } => {
+                w.put_u8(4);
+                w.put_usize(bank.0);
+                w.put_u64(*block);
+            }
+            MemEventKind::DirTimeout { bank, block, epoch } => {
+                w.put_u8(5);
+                w.put_usize(bank.0);
+                w.put_u64(*block);
+                w.put_u64(*epoch);
+            }
+        }
+    }
+
+    /// Reads an event written by [`MemEvent::save`].
+    pub fn load(r: &mut SnapReader<'_>) -> Result<MemEvent, SnapError> {
+        Ok(MemEvent(match r.get_u8()? {
+            0 => MemEventKind::ReqArrive(Request::load(r)?),
+            1 => MemEventKind::DirArrive(PortId(r.get_usize()?), DirToL1::load(r)?),
+            2 => MemEventKind::RespArrive(BankId(r.get_usize()?), L1ToDir::load(r)?),
+            3 => MemEventKind::DramReadDone {
+                bank: BankId(r.get_usize()?),
+                block: r.get_u64()?,
+            },
+            4 => MemEventKind::BankReady {
+                bank: BankId(r.get_usize()?),
+                block: r.get_u64()?,
+            },
+            5 => MemEventKind::DirTimeout {
+                bank: BankId(r.get_usize()?),
+                block: r.get_u64()?,
+                epoch: r.get_u64()?,
+            },
+            t => return Err(bad_tag("MemEvent", t)),
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +469,54 @@ mod tests {
         assert_eq!(AtomicOp::Dec.apply(7), 6);
         assert_eq!(AtomicOp::Dec.apply(0), u64::MAX);
         assert_eq!(AtomicOp::Exch { value: 2 }.apply(99), 2);
+    }
+
+    #[test]
+    fn mem_event_codec_round_trips_every_variant() {
+        let events = vec![
+            MemEvent(MemEventKind::ReqArrive(Request {
+                kind: ReqKind::PutDirty,
+                from: PortId(3),
+                block: 0x40,
+                data: Some([7; 64]),
+                retain: true,
+            })),
+            MemEvent(MemEventKind::DirArrive(
+                PortId(1),
+                DirToL1::Data { block: 2, grant: Grant::E, data: [9; 64] },
+            )),
+            MemEvent(MemEventKind::DirArrive(PortId(0), DirToL1::AckM { block: 5 })),
+            MemEvent(MemEventKind::RespArrive(
+                BankId(2),
+                L1ToDir::InvResp { from: PortId(4), block: 8, data: None },
+            )),
+            MemEvent(MemEventKind::RespArrive(
+                BankId(0),
+                L1ToDir::FetchResp { from: PortId(2), block: 1, data: [3; 64], dirty: false },
+            )),
+            MemEvent(MemEventKind::DramReadDone { bank: BankId(1), block: 77 }),
+            MemEvent(MemEventKind::BankReady { bank: BankId(3), block: 88 }),
+            MemEvent(MemEventKind::DirTimeout { bank: BankId(0), block: 99, epoch: 6 }),
+        ];
+        let mut w = SnapWriter::new();
+        for e in &events {
+            e.save(&mut w);
+        }
+        let bytes = w.into_vec();
+        let mut r = SnapReader::new(&bytes);
+        for e in &events {
+            let got = MemEvent::load(&mut r).unwrap();
+            assert_eq!(format!("{got:?}"), format!("{e:?}"));
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn unknown_tag_is_corrupt_not_panic() {
+        let mut r = SnapReader::new(&[0xFF]);
+        assert!(matches!(
+            MemEvent::load(&mut r),
+            Err(SnapError::Corrupt { .. })
+        ));
     }
 }

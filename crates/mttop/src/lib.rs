@@ -1274,6 +1274,384 @@ impl Mifd {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codecs. Tagged-union encoding (one tag byte, then the variant's
+// fields in declaration order). Any change here is a snapshot schema change
+// (bump `ccsvm_snap::SCHEMA_VERSION` and document it in DESIGN.md §8).
+
+use ccsvm_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+fn bad_tag(what: &str, tag: u8) -> SnapError {
+    SnapError::Corrupt {
+        what: format!("unknown {what} tag {tag:#04x}"),
+    }
+}
+
+impl TaskChunk {
+    /// Appends this chunk to a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.entry);
+        w.put_u64(self.args);
+        w.put_u64(self.first_tid);
+        w.put_u64(self.last_tid);
+        w.put_u64(self.cr3.0);
+        w.put_usize(self.ra);
+    }
+
+    /// Reads a chunk previously written by [`TaskChunk::save`].
+    pub fn load(r: &mut SnapReader<'_>) -> Result<TaskChunk, SnapError> {
+        Ok(TaskChunk {
+            entry: r.get_usize()?,
+            args: r.get_u64()?,
+            first_tid: r.get_u64()?,
+            last_tid: r.get_u64()?,
+            cr3: PhysAddr(r.get_u64()?),
+            ra: r.get_usize()?,
+        })
+    }
+}
+
+impl PageFaultReq {
+    /// Appends this fault request to a snapshot.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.warp);
+        w.put_u64(self.va.0);
+        w.put_u64(self.cr3.0);
+    }
+
+    /// Reads a fault request previously written by [`PageFaultReq::save`].
+    pub fn load(r: &mut SnapReader<'_>) -> Result<PageFaultReq, SnapError> {
+        Ok(PageFaultReq {
+            warp: r.get_usize()?,
+            va: VirtAddr(r.get_u64()?),
+            cr3: PhysAddr(r.get_u64()?),
+        })
+    }
+}
+
+impl LaneOp {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.lane);
+        w.put_u64(self.va.0);
+        match self.paddr {
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u64(p.0);
+            }
+            None => w.put_bool(false),
+        }
+        match self.kind {
+            LaneKind::Ld { rd, size } => {
+                w.put_u8(0);
+                w.put_u8(rd.0);
+                w.put_u8(size);
+            }
+            LaneKind::St { size, value } => {
+                w.put_u8(1);
+                w.put_u8(size);
+                w.put_u64(value);
+            }
+            LaneKind::Amo { rd, op } => {
+                w.put_u8(2);
+                w.put_u8(rd.0);
+                op.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<LaneOp, SnapError> {
+        let lane = r.get_usize()?;
+        let va = VirtAddr(r.get_u64()?);
+        let paddr = if r.get_bool()? { Some(PhysAddr(r.get_u64()?)) } else { None };
+        let kind = match r.get_u8()? {
+            0 => LaneKind::Ld { rd: Reg(r.get_u8()?), size: r.get_u8()? },
+            1 => LaneKind::St { size: r.get_u8()?, value: r.get_u64()? },
+            2 => LaneKind::Amo { rd: Reg(r.get_u8()?), op: AtomicOp::load(r)? },
+            t => return Err(bad_tag("LaneKind", t)),
+        };
+        Ok(LaneOp { lane, va, paddr, kind })
+    }
+}
+
+fn save_lane_ops(w: &mut SnapWriter, ops: &[LaneOp]) {
+    w.put_usize(ops.len());
+    for op in ops {
+        op.save(w);
+    }
+}
+
+fn load_lane_ops(r: &mut SnapReader<'_>) -> Result<Vec<LaneOp>, SnapError> {
+    let n = r.get_usize()?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(LaneOp::load(r)?);
+    }
+    Ok(ops)
+}
+
+impl Plan {
+    fn save(&self, w: &mut SnapWriter) {
+        save_lane_ops(w, &self.ops);
+        w.put_usize(self.next_translate);
+        w.put_usize(self.pc);
+        match &self.groups {
+            Some(groups) => {
+                w.put_bool(true);
+                w.put_usize(groups.len());
+                for g in groups {
+                    save_lane_ops(w, g);
+                }
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.issued);
+        w.put_u64(self.finish.as_ps());
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Plan, SnapError> {
+        let ops = load_lane_ops(r)?;
+        let next_translate = r.get_usize()?;
+        let pc = r.get_usize()?;
+        let groups = if r.get_bool()? {
+            let n = r.get_usize()?;
+            let mut q = std::collections::VecDeque::with_capacity(n);
+            for _ in 0..n {
+                q.push_back(load_lane_ops(r)?);
+            }
+            Some(q)
+        } else {
+            None
+        };
+        Ok(Plan {
+            ops,
+            next_translate,
+            pc,
+            groups,
+            issued: r.get_usize()?,
+            finish: Time::from_ps(r.get_u64()?),
+        })
+    }
+}
+
+impl WarpState {
+    fn snap_tag(self) -> u8 {
+        match self {
+            WarpState::Free => 0,
+            WarpState::Ready => 1,
+            WarpState::Mem => 2,
+            WarpState::Walk => 3,
+            WarpState::WalkQueued => 4,
+            WarpState::Fault => 5,
+        }
+    }
+
+    fn from_snap_tag(tag: u8) -> Result<WarpState, SnapError> {
+        Ok(match tag {
+            0 => WarpState::Free,
+            1 => WarpState::Ready,
+            2 => WarpState::Mem,
+            3 => WarpState::Walk,
+            4 => WarpState::WalkQueued,
+            5 => WarpState::Fault,
+            t => return Err(bad_tag("WarpState", t)),
+        })
+    }
+}
+
+impl Snapshot for MttopCore {
+    fn save(&self, w: &mut SnapWriter) {
+        // `port`, `config`, `alu_cost` and `token_prefix` are construction
+        // parameters; `chosen` is per-cycle scratch (empty between batches);
+        // `miss_trace` is a host-side env toggle; `ready_mask` is rebuilt
+        // from `states` on load. None of them are serialized.
+        w.put_usize(self.warps.len());
+        for warp in &self.warps {
+            w.put_usize(warp.lanes.len());
+            // Sparse: a dead lane's registers and PC are fully reset when a
+            // chunk reactivates it, so only live lanes carry state worth
+            // writing. Idle cores shrink to a bitmap instead of a register
+            // file per lane.
+            for lane in &warp.lanes {
+                w.put_bool(lane.live);
+                if lane.live {
+                    for &v in &lane.regs {
+                        w.put_u64(v);
+                    }
+                    w.put_usize(lane.pc);
+                }
+            }
+            w.put_usize(warp.outstanding);
+            match &warp.plan {
+                Some(p) => {
+                    w.put_bool(true);
+                    p.save(w);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        for &s in &self.states {
+            w.put_u8(s.snap_tag());
+        }
+        for &t in &self.ready_at {
+            w.put_u64(t.as_ps());
+        }
+        w.put_usize(self.rr);
+        w.put_u64(self.local_time.as_ps());
+        self.tlb.save(w);
+        match &self.walker {
+            Some((wi, walk)) => {
+                w.put_bool(true);
+                w.put_usize(*wi);
+                walk.save(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.walker_queue.len());
+        for &wi in &self.walker_queue {
+            w.put_usize(wi);
+        }
+        // Flights sorted by token so the byte stream is canonical.
+        let mut tokens: Vec<u64> = self.flights.keys().copied().collect();
+        tokens.sort_unstable();
+        w.put_usize(tokens.len());
+        for t in tokens {
+            let f = &self.flights[&t];
+            w.put_u64(t);
+            w.put_usize(f.warp);
+            save_lane_ops(w, &f.ops);
+            w.put_u64(f.issued_at.as_ps());
+        }
+        w.put_usize(self.arrived.len());
+        for &(token, value) in &self.arrived {
+            w.put_u64(token);
+            w.put_u64(value);
+        }
+        w.put_u64(self.token_seq);
+        w.put_u64(self.cr3.0);
+        for c in [
+            self.warp_instrs,
+            self.thread_instrs,
+            self.mem_instrs,
+            self.coalesced_accesses,
+            self.divergent_issues,
+            self.walks,
+            self.faults,
+            self.tasks,
+        ] {
+            w.put_u64(c);
+        }
+        w.put_u64(self.miss_lat_sum.as_ps());
+        w.put_u64(self.miss_count);
+        w.put_bool(self.poisoned);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.warps.len() {
+            return Err(SnapError::Corrupt {
+                what: format!("snapshot has {n} warps, config builds {}", self.warps.len()),
+            });
+        }
+        for warp in &mut self.warps {
+            let lanes = r.get_usize()?;
+            if lanes != warp.lanes.len() {
+                return Err(SnapError::Corrupt {
+                    what: format!(
+                        "snapshot has {lanes} lanes per warp, config builds {}",
+                        warp.lanes.len()
+                    ),
+                });
+            }
+            for lane in &mut warp.lanes {
+                lane.live = r.get_bool()?;
+                if lane.live {
+                    for v in &mut lane.regs {
+                        *v = r.get_u64()?;
+                    }
+                    lane.pc = r.get_usize()?;
+                } else {
+                    lane.regs = [0; 32];
+                    lane.pc = 0;
+                }
+            }
+            warp.outstanding = r.get_usize()?;
+            warp.plan = if r.get_bool()? { Some(Plan::load(r)?) } else { None };
+        }
+        // Route through `set_state` so `ready_mask` is rebuilt in sync.
+        for wi in 0..n {
+            let s = WarpState::from_snap_tag(r.get_u8()?)?;
+            self.set_state(wi, s);
+        }
+        for wi in 0..n {
+            self.ready_at[wi] = Time::from_ps(r.get_u64()?);
+        }
+        self.rr = r.get_usize()?;
+        self.local_time = Time::from_ps(r.get_u64()?);
+        self.tlb.load(r)?;
+        self.walker = if r.get_bool()? {
+            Some((r.get_usize()?, Walk::load(r)?))
+        } else {
+            None
+        };
+        self.walker_queue.clear();
+        for _ in 0..r.get_usize()? {
+            self.walker_queue.push(r.get_usize()?);
+        }
+        self.flights.clear();
+        for _ in 0..r.get_usize()? {
+            let token = r.get_u64()?;
+            let warp = r.get_usize()?;
+            let ops = load_lane_ops(r)?;
+            let issued_at = Time::from_ps(r.get_u64()?);
+            self.flights.insert(token, Flight { warp, ops, issued_at });
+        }
+        self.arrived.clear();
+        for _ in 0..r.get_usize()? {
+            let token = r.get_u64()?;
+            self.arrived.push((token, r.get_u64()?));
+        }
+        self.token_seq = r.get_u64()?;
+        self.cr3 = PhysAddr(r.get_u64()?);
+        for c in [
+            &mut self.warp_instrs,
+            &mut self.thread_instrs,
+            &mut self.mem_instrs,
+            &mut self.coalesced_accesses,
+            &mut self.divergent_issues,
+            &mut self.walks,
+            &mut self.faults,
+            &mut self.tasks,
+        ] {
+            *c = r.get_u64()?;
+        }
+        self.miss_lat_sum = Time::from_ps(r.get_u64()?);
+        self.miss_count = r.get_u64()?;
+        self.poisoned = r.get_bool()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Mifd {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.cursor);
+        w.put_bool(self.error_register);
+        w.put_u64(self.launches);
+        w.put_u64(self.chunks);
+        w.put_u64(self.rejected);
+        w.put_u64(self.faults_forwarded);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cursor = r.get_usize()?;
+        self.error_register = r.get_bool()?;
+        self.launches = r.get_u64()?;
+        self.chunks = r.get_u64()?;
+        self.rejected = r.get_u64()?;
+        self.faults_forwarded = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

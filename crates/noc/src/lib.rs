@@ -336,6 +336,62 @@ impl Network {
     }
 }
 
+/// Mutable run-state only: link reservations, traffic counters, and the
+/// fault stream position. Topology and timing config are construction-time
+/// and re-derived by rebuilding from the same `SystemConfig`; the fault
+/// *knobs* likewise arrive via [`Network::install_faults`] before `load`,
+/// which restores only the RNG cursor and counters into them.
+impl ccsvm_snap::Snapshot for Network {
+    fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
+        w.put_usize(self.link_free.len());
+        for dirs in &self.link_free {
+            for t in dirs {
+                w.put_u64(t.as_ps());
+            }
+        }
+        w.put_u64(self.messages);
+        w.put_u64(self.total_bytes);
+        w.put_u64(self.total_hops);
+        w.put_bool(self.faults.is_some());
+        if let Some(f) = &self.faults {
+            w.put_u64(f.rng.state());
+            w.put_u64(f.retransmissions);
+            w.put_u64(f.faulted_messages);
+        }
+    }
+    fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
+        let n = r.get_usize()?;
+        if n != self.link_free.len() {
+            return Err(ccsvm_snap::SnapError::Corrupt {
+                what: format!(
+                    "noc link table has {n} nodes, machine has {}",
+                    self.link_free.len()
+                ),
+            });
+        }
+        for dirs in &mut self.link_free {
+            for t in dirs.iter_mut() {
+                *t = Time::from_ps(r.get_u64()?);
+            }
+        }
+        self.messages = r.get_u64()?;
+        self.total_bytes = r.get_u64()?;
+        self.total_hops = r.get_u64()?;
+        let has_faults = r.get_bool()?;
+        if has_faults != self.faults.is_some() {
+            return Err(ccsvm_snap::SnapError::Corrupt {
+                what: "noc fault-injection presence differs from config".to_string(),
+            });
+        }
+        if let Some(f) = &mut self.faults {
+            f.rng.set_state(r.get_u64()?);
+            f.retransmissions = r.get_u64()?;
+            f.faulted_messages = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +552,62 @@ mod proptests {
             let b = n2.send(Time::from_ns(start + 1), NodeId(0), NodeId(9), 72);
             prop_assert!(b > a);
         }
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use ccsvm_snap::{SnapReader, SnapWriter, Snapshot};
+
+    /// Mid-run snapshot of a faulty network: the restored copy must issue
+    /// identical delivery times (same link backlogs, same RNG stream) and
+    /// identical stats from then on.
+    #[test]
+    fn network_round_trip_resumes_identically() {
+        let topo = Topology::torus(4, 4);
+        let cfg = NocFaultConfig {
+            drop_rate: 0.4,
+            ..NocFaultConfig::default()
+        };
+        let mut net = Network::new(topo, NocConfig::paper_default());
+        net.install_faults(cfg, SplitMix64::new(11));
+        for i in 0..60u64 {
+            net.send(
+                Time::from_ns(i),
+                NodeId((i % 16) as usize),
+                NodeId(((i * 7 + 1) % 16) as usize),
+                72,
+            );
+        }
+        let mut w = SnapWriter::new();
+        net.save(&mut w);
+        let bytes = w.into_vec();
+
+        let mut restored = Network::new(topo, NocConfig::paper_default());
+        restored.install_faults(cfg, SplitMix64::new(0xDEAD)); // seed overwritten by load
+        restored.load(&mut SnapReader::new(&bytes)).unwrap();
+        for i in 60..120u64 {
+            let t = Time::from_ns(i);
+            let (src, dst) = (NodeId((i % 16) as usize), NodeId(((i * 7 + 1) % 16) as usize));
+            assert_eq!(net.send(t, src, dst, 72), restored.send(t, src, dst, 72));
+        }
+        assert_eq!(net.stats(), restored.stats());
+    }
+
+    #[test]
+    fn fault_presence_mismatch_is_typed_error() {
+        let topo = Topology::torus(2, 2);
+        let mut net = Network::new(topo, NocConfig::paper_default());
+        net.install_faults(NocFaultConfig::default(), SplitMix64::new(1));
+        let mut w = SnapWriter::new();
+        net.save(&mut w);
+        let bytes = w.into_vec();
+        let mut plain = Network::new(topo, NocConfig::paper_default());
+        assert!(matches!(
+            plain.load(&mut SnapReader::new(&bytes)),
+            Err(ccsvm_snap::SnapError::Corrupt { .. })
+        ));
     }
 }
 

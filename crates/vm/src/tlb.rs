@@ -135,6 +135,64 @@ impl Tlb {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codec. Any change here is a snapshot schema change (bump
+// `ccsvm_snap::SCHEMA_VERSION` and document it in DESIGN.md §8).
+
+impl ccsvm_snap::Snapshot for Tlb {
+    fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
+        // Entry order matters (swap_remove eviction makes the Vec layout part
+        // of future behaviour), so entries are serialized in place.
+        w.put_usize(self.capacity);
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.vpn);
+            w.put_u64(e.frame.0);
+            w.put_u64(e.lru);
+        }
+        w.put_u64(self.tick);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.flushes);
+        w.put_u64(self.shootdown_invalidations);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut ccsvm_snap::SnapReader<'_>,
+    ) -> Result<(), ccsvm_snap::SnapError> {
+        let capacity = r.get_usize()?;
+        if capacity != self.capacity {
+            return Err(ccsvm_snap::SnapError::Corrupt {
+                what: format!(
+                    "snapshot TLB capacity {capacity} differs from configured {}",
+                    self.capacity
+                ),
+            });
+        }
+        let n = r.get_usize()?;
+        if n > capacity {
+            return Err(ccsvm_snap::SnapError::Corrupt {
+                what: format!("snapshot TLB holds {n} entries, capacity {capacity}"),
+            });
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push(Entry {
+                vpn: r.get_u64()?,
+                frame: PhysAddr(r.get_u64()?),
+                lru: r.get_u64()?,
+            });
+        }
+        self.tick = r.get_u64()?;
+        self.hits = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        self.flushes = r.get_u64()?;
+        self.shootdown_invalidations = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

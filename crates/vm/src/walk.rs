@@ -164,6 +164,35 @@ pub fn frame_plus_offset(frame: PhysAddr, va: VirtAddr) -> PhysAddr {
     PhysAddr(frame.0 + va.page_offset())
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codec. Any change here is a snapshot schema change (bump
+// `ccsvm_snap::SCHEMA_VERSION` and document it in DESIGN.md §8).
+
+impl Walk {
+    /// Appends this in-flight walk to a snapshot.
+    pub fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
+        w.put_u64(self.va.0);
+        w.put_u8(self.level);
+        w.put_u64(self.table.0);
+    }
+
+    /// Reads a walk previously written by [`Walk::save`].
+    pub fn load(r: &mut ccsvm_snap::SnapReader<'_>) -> Result<Walk, ccsvm_snap::SnapError> {
+        let va = VirtAddr(r.get_u64()?);
+        let level = r.get_u8()?;
+        if level >= LEVELS {
+            return Err(ccsvm_snap::SnapError::Corrupt {
+                what: format!("walk level {level} out of range"),
+            });
+        }
+        Ok(Walk {
+            va,
+            level,
+            table: PhysAddr(r.get_u64()?),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@
 //!    increasing sharing.
 
 use ccsvm::{Machine, SystemConfig};
+use ccsvm_bench::{check_eq, exit_with, BenchError};
 use ccsvm_engine::Time;
 use ccsvm_mem::WritePolicy;
 use ccsvm_workloads as wl;
@@ -24,16 +25,27 @@ fn run_with(cfg: SystemConfig, src: &str) -> (Time, ccsvm::RunReport) {
 }
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let quick = std::env::args().any(|a| a == "--quick");
     let n = if quick { 16 } else { 48 };
 
     println!("== Ablation 1: L1 store policy (matmul n={n})");
-    for (name, policy) in [("write-back", WritePolicy::WriteBack), ("write-through", WritePolicy::WriteThrough)] {
+    for (name, policy) in [
+        ("write-back", WritePolicy::WriteBack),
+        ("write-through", WritePolicy::WriteThrough),
+    ] {
         let mut cfg = SystemConfig::paper_default();
         cfg.l1_write_policy = policy;
         let p = wl::matmul::MatmulParams::new(n, 7);
         let (t, r) = run_with(cfg, &wl::matmul::xthreads_source(&p));
-        assert_eq!(r.exit_code, wl::matmul::reference_checksum(&p));
+        check_eq(
+            r.exit_code,
+            wl::matmul::reference_checksum(&p),
+            format!("{name} matmul result"),
+        )?;
         println!(
             "  {name:13} region {t}  noc bytes {:.0}  l2 puts {:.0}",
             r.stats.get("noc.bytes"),
@@ -55,8 +67,10 @@ fn main() {
         let mut cfg = SystemConfig::paper_default();
         cfg.n_mttops = cores;
         let (t, _) = run_with(cfg, shoot_src);
-        println!("  {cores:2} MTTOP cores: 16 shootdowns in {t}  ({} each)",
-            Time::from_ps(t.as_ps() / 16));
+        println!(
+            "  {cores:2} MTTOP cores: 16 shootdowns in {t}  ({} each)",
+            Time::from_ps(t.as_ps() / 16)
+        );
     }
 
     println!("== Ablation 2b: shootdown policy (flush-all vs selective, paper 3.2.1)");
@@ -113,7 +127,11 @@ fn main() {
                 .sum();
             println!(
                 "  {}: post-shootdown phase {t}  (mttop TLB walks {walks:.0})",
-                if selective { "selective " } else { "flush-all " },
+                if selective {
+                    "selective "
+                } else {
+                    "flush-all "
+                },
             );
         }
     }
@@ -134,7 +152,11 @@ fn main() {
         cfg.os.syscall = Time::from_ps(cfg.os.syscall.as_ps() * mult);
         let p = wl::vecadd::VecaddParams { n: 256, seed: 7 };
         let (t, r) = run_with(cfg, &wl::vecadd::xthreads_source(&p));
-        assert_eq!(r.exit_code, wl::vecadd::reference_checksum(&p));
+        check_eq(
+            r.exit_code,
+            wl::vecadd::reference_checksum(&p),
+            format!("launch x{mult} vecadd result"),
+        )?;
         println!("  launch costs x{mult:4}: region {t}");
     }
 
@@ -161,8 +183,13 @@ fn main() {
              }}"
         );
         let (t, r) = run_with(SystemConfig::paper_default(), &src);
-        assert_eq!(r.exit_code, 1280 * 32);
+        check_eq(
+            r.exit_code,
+            1280 * 32,
+            format!("{targets}-counter atomic total"),
+        )?;
         println!("  {targets:4} counters: 40960 atomics in {t}");
     }
     println!("[ablations] done");
+    Ok(())
 }

@@ -13,7 +13,7 @@
 //!    different seed draws a different schedule.
 
 use ccsvm::{Machine, Outcome, SystemConfig};
-use ccsvm_bench::Claims;
+use ccsvm_bench::{exit_with, BenchError, Claims};
 use ccsvm_engine::Time;
 use ccsvm_workloads as wl;
 
@@ -24,6 +24,10 @@ fn run_with(cfg: SystemConfig, src: &str) -> (Time, ccsvm::RunReport) {
 }
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let quick = std::env::args().any(|a| a == "--quick");
     let n = if quick { 64 } else { 256 };
     let p = wl::vecadd::VecaddParams { n, seed: 7 };
@@ -38,7 +42,10 @@ fn main() {
     let mut off = SystemConfig::paper_default();
     off.fault.watchdog.enabled = false;
     let (_, no_wd) = run_with(off, &src);
-    claims.check(base == no_wd, "default FaultConfig is bit-identical to watchdog-off");
+    claims.check(
+        base == no_wd,
+        "default FaultConfig is bit-identical to watchdog-off",
+    );
     claims.check(base.exit_code == expect, "baseline checksum");
     claims.check(
         !base.stats.contains("noc.retransmissions")
@@ -49,7 +56,11 @@ fn main() {
 
     // 2. NoC message-loss sweep.
     println!("== NoC loss rate | region ms | rel | retransmissions | outcome");
-    let rates: &[f64] = if quick { &[0.0, 1e-3, 1e-2] } else { &[0.0, 1e-4, 1e-3, 1e-2, 5e-2] };
+    let rates: &[f64] = if quick {
+        &[0.0, 1e-3, 1e-2]
+    } else {
+        &[0.0, 1e-4, 1e-3, 1e-2, 5e-2]
+    };
     let mut last_retx = -1.0f64;
     for &rate in rates {
         let mut cfg = SystemConfig::paper_default();
@@ -62,15 +73,25 @@ fn main() {
             ccsvm_bench::rel(t, t0),
             r.outcome
         );
-        claims.check(r.outcome == Outcome::Completed, "NoC losses recover by retransmission");
+        claims.check(
+            r.outcome == Outcome::Completed,
+            "NoC losses recover by retransmission",
+        );
         claims.check(r.exit_code == expect, "results stay correct under NoC loss");
-        claims.check(retx >= last_retx || rate == 0.0, "retransmissions grow with loss rate");
+        claims.check(
+            retx >= last_retx || rate == 0.0,
+            "retransmissions grow with loss rate",
+        );
         last_retx = retx;
     }
 
     // 3. DRAM single-bit ECC sweep (doubles poison; swept in tests).
     println!("== ECC single-bit rate | region ms | corrected | outcome");
-    let rates: &[f64] = if quick { &[1e-3, 1e-1] } else { &[1e-4, 1e-3, 1e-2, 1e-1] };
+    let rates: &[f64] = if quick {
+        &[1e-3, 1e-1]
+    } else {
+        &[1e-4, 1e-3, 1e-2, 1e-1]
+    };
     for &rate in rates {
         let mut cfg = SystemConfig::paper_default();
         cfg.fault.dram.single_bit_rate = rate;
@@ -81,8 +102,14 @@ fn main() {
             r.stats.get("mem.dram.ecc_corrected"),
             r.outcome
         );
-        claims.check(r.outcome == Outcome::Completed, "corrected singles never abort");
-        claims.check(r.exit_code == expect, "SECDED corrections are invisible to results");
+        claims.check(
+            r.outcome == Outcome::Completed,
+            "corrected singles never abort",
+        );
+        claims.check(
+            r.exit_code == expect,
+            "SECDED corrections are invisible to results",
+        );
     }
 
     // 4. Transient TLB-walk failures.
@@ -100,8 +127,14 @@ fn main() {
             t.as_ms(),
             r.outcome
         );
-        claims.check(r.outcome == Outcome::Completed, "transient walks retry and converge");
-        claims.check(r.exit_code == expect, "results stay correct under TLB transients");
+        claims.check(
+            r.outcome == Outcome::Completed,
+            "transient walks retry and converge",
+        );
+        claims.check(
+            r.exit_code == expect,
+            "results stay correct under TLB transients",
+        );
     }
 
     // 5. Replay: same seed, same bits; different seed, different schedule.
@@ -131,4 +164,5 @@ fn main() {
     );
 
     claims.finish("faults");
+    Ok(())
 }

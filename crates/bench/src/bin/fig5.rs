@@ -5,10 +5,14 @@
 //! at the largest size.
 
 use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
-use ccsvm_bench::{header, ms, rel, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, header, ms, rel, BenchError, Claims, Opts};
 use ccsvm_workloads as wl;
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = Opts::parse();
     let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
     let apu = ApuConfig::paper_scaled();
@@ -16,32 +20,45 @@ fn main() {
 
     header(
         "Figure 5: matmul runtime (ms, and relative to AMD CPU core = 1.0)",
-        &["   n", "   CPU ms", "   APU ms", "APUnoinit", " CCSVM ms", " APU rel", "noin rel", "CCSVMrel"],
+        &[
+            "   n",
+            "   CPU ms",
+            "   APU ms",
+            "APUnoinit",
+            " CCSVM ms",
+            " APU rel",
+            "noin rel",
+            "CCSVMrel",
+        ],
     );
 
     // Simulate every sweep point (each an independent `Machine`) up front —
     // in parallel under `--threads N` — then print and judge claims in input
     // order, so the output is byte-identical at any thread count.
-    let points = ccsvm_bench::sweep(sizes.len(), opts.threads, |i| {
+    let points = ccsvm_bench::sweep(sizes.len(), opts.threads, |i| -> Result<_, BenchError> {
         let n = sizes[i];
         let p = wl::matmul::MatmulParams::new(n, 42);
         let expect = wl::matmul::reference_checksum(&p);
 
         let (t_cpu, _, cpu_code) = run_cpu(&apu, &wl::matmul::cpu_source(&p));
-        assert_eq!(cpu_code, expect, "CPU result");
+        check_eq(cpu_code, expect, format!("n={n}: CPU result"))?;
 
-        let shape = OffloadShape { buffer_bytes: 3 * n * n * 8, launches: 1 };
+        let shape = OffloadShape {
+            buffer_bytes: 3 * n * n * 8,
+            launches: 1,
+        };
         let a = run_offload(&apu, &wl::matmul::xthreads_source(&p), shape);
-        assert_eq!(a.exit_code, expect, "APU result");
+        check_eq(a.exit_code, expect, format!("n={n}: APU result"))?;
 
         let (t_ccsvm, _, ccsvm_code) = ccsvm_bench::run_ccsvm_point(
             &wl::matmul::xthreads_source(&p),
             &opts,
             &format!("fig5-n{n}"),
         );
-        assert_eq!(ccsvm_code, expect, "CCSVM result");
-        (t_cpu, a, t_ccsvm)
+        check_eq(ccsvm_code, expect, format!("n={n}: CCSVM result"))?;
+        Ok((t_cpu, a, t_ccsvm))
     });
+    let points = points.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut rel_ccsvm_small = None;
     let mut last_ratio_noinit_over_ccsvm = 0.0;
@@ -57,11 +74,10 @@ fn main() {
             rel(t_ccsvm, t_cpu),
         );
 
-        if n == *sizes.first().expect("nonempty") {
+        if n == sizes[0] {
             rel_ccsvm_small = Some((t_ccsvm, a.total_no_init));
         }
-        last_ratio_noinit_over_ccsvm =
-            a.total_no_init.as_ps() as f64 / t_ccsvm.as_ps() as f64;
+        last_ratio_noinit_over_ccsvm = a.total_no_init.as_ps() as f64 / t_ccsvm.as_ps() as f64;
         claims.check(
             t_ccsvm < a.total,
             &format!("n={n}: CCSVM beats the full-runtime APU"),
@@ -81,4 +97,5 @@ fn main() {
         );
     }
     claims.finish("fig5");
+    Ok(())
 }

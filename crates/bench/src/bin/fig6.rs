@@ -6,10 +6,14 @@
 //! in shared memory.
 
 use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
-use ccsvm_bench::{header, ms, rel, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, header, ms, rel, BenchError, Claims, Opts};
 use ccsvm_workloads as wl;
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = Opts::parse();
     let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
     let apu = ApuConfig::paper_scaled();
@@ -17,7 +21,16 @@ fn main() {
 
     header(
         "Figure 6: APSP runtime (ms, and relative to AMD CPU core = 1.0)",
-        &["   n", "   CPU ms", "   APU ms", "APUnoinit", " CCSVM ms", " APU rel", "noin rel", "CCSVMrel"],
+        &[
+            "   n",
+            "   CPU ms",
+            "   APU ms",
+            "APUnoinit",
+            " CCSVM ms",
+            " APU rel",
+            "noin rel",
+            "CCSVMrel",
+        ],
     );
 
     for &n in &sizes {
@@ -25,7 +38,7 @@ fn main() {
         let expect = wl::apsp::reference_checksum(&p);
 
         let (t_cpu, _, cpu_code) = run_cpu(&apu, &wl::apsp::cpu_source(&p));
-        assert_eq!(cpu_code, expect, "CPU result n={n}");
+        check_eq(cpu_code, expect, format!("n={n}: CPU result"))?;
 
         // The OpenCL port relaunches per outer iteration; the distance
         // matrix stages in once and out once.
@@ -34,14 +47,14 @@ fn main() {
             launches: wl::apsp::launches_needed(&p),
         };
         let a = run_offload(&apu, &wl::apsp::xthreads_source(&p), shape);
-        assert_eq!(a.exit_code, expect, "APU result n={n}");
+        check_eq(a.exit_code, expect, format!("n={n}: APU result"))?;
 
         let (t_ccsvm, _, code) = ccsvm_bench::run_ccsvm_point(
             &wl::apsp::xthreads_source(&p),
             &opts,
             &format!("fig6-n{n}"),
         );
-        assert_eq!(code, expect, "CCSVM result n={n}");
+        check_eq(code, expect, format!("n={n}: CCSVM result"))?;
 
         println!(
             "{n:4} | {} | {} | {} | {} | {} | {} | {}",
@@ -74,4 +87,5 @@ fn main() {
         }
     }
     claims.finish("fig6");
+    Ok(())
 }

@@ -5,10 +5,14 @@
 //! tight coupling).
 
 use ccsvm_apu::{run_cpu, ApuConfig};
-use ccsvm_bench::{header, ms, rel, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, header, ms, rel, BenchError, Claims, Opts};
 use ccsvm_workloads as wl;
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = Opts::parse();
     let sizes = opts.pick(&[256, 512, 1024, 2048], &[128, 256]);
     let apu = ApuConfig::paper_scaled();
@@ -17,25 +21,37 @@ fn main() {
 
     header(
         "Figure 7: Barnes-Hut runtime (ms, and relative to AMD CPU core = 1.0)",
-        &["bodies", "   CPU ms", "pthr4 ms", " CCSVM ms", "pthr4 rel", "CCSVM rel"],
+        &[
+            "bodies",
+            "   CPU ms",
+            "pthr4 ms",
+            " CCSVM ms",
+            "pthr4 rel",
+            "CCSVM rel",
+        ],
     );
 
     for &nb in &sizes {
-        let p = wl::barnes_hut::BhParams { bodies: nb, steps: 1, max_threads: 1280, seed: 42 };
+        let p = wl::barnes_hut::BhParams {
+            bodies: nb,
+            steps: 1,
+            max_threads: 1280,
+            seed: 42,
+        };
         let oracle = wl::barnes_hut::oracle_checksum(&p);
 
         let (t_cpu, _, c1) = run_cpu(&apu, &wl::barnes_hut::cpu_source(&p));
-        assert_eq!(c1, oracle, "CPU result");
+        check_eq(c1, oracle, format!("{nb} bodies: CPU result"))?;
 
         let (t_pth, _, c2) = run_cpu(&apu, &wl::barnes_hut::pthreads_source(&p, 4));
-        assert_eq!(c2, oracle, "pthreads result");
+        check_eq(c2, oracle, format!("{nb} bodies: pthreads result"))?;
 
         let (t_ccsvm, _, c3) = ccsvm_bench::run_ccsvm_point(
             &wl::barnes_hut::xthreads_source(&p),
             &opts,
             &format!("fig7-b{nb}"),
         );
-        assert_eq!(c3, oracle, "CCSVM result");
+        check_eq(c3, oracle, format!("{nb} bodies: CCSVM result"))?;
 
         println!(
             "{nb:6} | {} | {} | {} | {} | {}",
@@ -72,7 +88,10 @@ fn main() {
     );
     println!(
         "note: CCSVM relative-runtime trend across sizes: {:?}",
-        rels.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+        rels.iter()
+            .map(|r| (r * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
     claims.finish("fig7");
+    Ok(())
 }

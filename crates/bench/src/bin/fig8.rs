@@ -5,19 +5,23 @@
 //! thread) becomes the bottleneck.
 
 use ccsvm_apu::{run_cpu, ApuConfig};
-use ccsvm_bench::{header, ms, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, header, ms, BenchError, Claims, Opts};
 use ccsvm_workloads as wl;
 
-fn run_pair(apu: &ApuConfig, p: &wl::spmm::SpmmParams, opts: &Opts) -> (f64, u64) {
+fn run_pair(
+    apu: &ApuConfig,
+    p: &wl::spmm::SpmmParams,
+    opts: &Opts,
+) -> Result<(f64, u64), BenchError> {
     let expect = wl::spmm::reference_checksum(p);
     let (t_cpu, _, c1) = run_cpu(apu, &wl::spmm::cpu_source(p));
-    assert_eq!(c1, expect, "CPU spmm result");
+    check_eq(c1, expect, format!("n={}: CPU spmm result", p.n))?;
     let (t_ccsvm, _, c2) = ccsvm_bench::run_ccsvm_point(
         &wl::spmm::xthreads_source(p),
         opts,
         &format!("fig8-n{}-d{}", p.n, p.density_tenths_pct),
     );
-    assert_eq!(c2, expect, "CCSVM spmm result");
+    check_eq(c2, expect, format!("n={}: CCSVM spmm result", p.n))?;
     println!(
         "  n={:4} density={:4.1}% | CPU {} | CCSVM {} | speedup {:6.2} | allocs {}",
         p.n,
@@ -27,13 +31,17 @@ fn run_pair(apu: &ApuConfig, p: &wl::spmm::SpmmParams, opts: &Opts) -> (f64, u64
         t_cpu.as_ps() as f64 / t_ccsvm.as_ps() as f64,
         wl::spmm::reference_allocations(p),
     );
-    (
+    Ok((
         t_cpu.as_ps() as f64 / t_ccsvm.as_ps() as f64,
         wl::spmm::reference_allocations(p),
-    )
+    ))
 }
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = Opts::parse();
     let apu = ApuConfig::paper_scaled();
     let mut claims = Claims::new();
@@ -45,8 +53,13 @@ fn main() {
     let sizes = opts.pick(&[64, 128, 256], &[64, 128]);
     let mut left = Vec::new();
     for &n in &sizes {
-        let p = wl::spmm::SpmmParams { n, density_tenths_pct: 10, max_threads: 1280, seed: 42 };
-        left.push(run_pair(&apu, &p, &opts));
+        let p = wl::spmm::SpmmParams {
+            n,
+            density_tenths_pct: 10,
+            max_threads: 1280,
+            seed: 42,
+        };
+        left.push(run_pair(&apu, &p, &opts)?);
     }
     if !opts.quick {
         claims.check(
@@ -62,8 +75,13 @@ fn main() {
     let n = if opts.quick { 96 } else { 128 };
     let mut right = Vec::new();
     for &d in &[5u64, 10, 20, 50, 100] {
-        let p = wl::spmm::SpmmParams { n, density_tenths_pct: d, max_threads: 1280, seed: 42 };
-        right.push(run_pair(&apu, &p, &opts));
+        let p = wl::spmm::SpmmParams {
+            n,
+            density_tenths_pct: d,
+            max_threads: 1280,
+            seed: 42,
+        };
+        right.push(run_pair(&apu, &p, &opts)?);
     }
     if !opts.quick {
         let best = right.iter().map(|(s, _)| *s).fold(0.0f64, f64::max);
@@ -91,4 +109,5 @@ fn main() {
         println!("  (quick mode: sizes too small for the paper's trend; claims skipped)");
     }
     claims.finish("fig8");
+    Ok(())
 }

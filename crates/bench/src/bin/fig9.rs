@@ -4,10 +4,14 @@
 //! outgrows its caches.
 
 use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
-use ccsvm_bench::{header, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, header, BenchError, Claims, Opts};
 use ccsvm_workloads as wl;
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = Opts::parse();
     let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
     let apu = ApuConfig::paper_scaled();
@@ -20,24 +24,28 @@ fn main() {
 
     // Sweep points run up front (in parallel under `--threads N`); printing
     // and claims stay in input order so output is thread-count-invariant.
-    let points = ccsvm_bench::sweep(sizes.len(), opts.threads, |i| {
+    let points = ccsvm_bench::sweep(sizes.len(), opts.threads, |i| -> Result<_, BenchError> {
         let n = sizes[i];
         let p = wl::matmul::MatmulParams::new(n, 42);
         let expect = wl::matmul::reference_checksum(&p);
 
         let (_, cpu_dram, c1) = run_cpu(&apu, &wl::matmul::cpu_source(&p));
-        assert_eq!(c1, expect);
-        let shape = OffloadShape { buffer_bytes: 3 * n * n * 8, launches: 1 };
+        check_eq(c1, expect, format!("n={n}: CPU result"))?;
+        let shape = OffloadShape {
+            buffer_bytes: 3 * n * n * 8,
+            launches: 1,
+        };
         let a = run_offload(&apu, &wl::matmul::xthreads_source(&p), shape);
-        assert_eq!(a.exit_code, expect);
+        check_eq(a.exit_code, expect, format!("n={n}: APU result"))?;
         let (_, ccsvm_dram, c3) = ccsvm_bench::run_ccsvm_point(
             &wl::matmul::xthreads_source(&p),
             &opts,
             &format!("fig9-n{n}"),
         );
-        assert_eq!(c3, expect);
-        (cpu_dram, a, ccsvm_dram)
+        check_eq(c3, expect, format!("n={n}: CCSVM result"))?;
+        Ok((cpu_dram, a, ccsvm_dram))
     });
+    let points = points.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     for (&n, (cpu_dram, a, ccsvm_dram)) in sizes.iter().zip(points) {
         println!(
@@ -52,4 +60,5 @@ fn main() {
         );
     }
     claims.finish("fig9");
+    Ok(())
 }

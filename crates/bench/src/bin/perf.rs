@@ -32,7 +32,7 @@
 use std::time::Instant;
 
 use ccsvm::{HostPhases, Machine, Outcome, SystemConfig};
-use ccsvm_bench::sweep;
+use ccsvm_bench::{exit_with, sweep, BenchError};
 use ccsvm_workloads as wl;
 
 /// One matrix point: a named workload source.
@@ -113,7 +113,7 @@ fn run_point(
     sim_threads: usize,
     checkpoint_at: Option<ccsvm::Time>,
     restore_from: Option<&std::path::Path>,
-) -> Measure {
+) -> Result<Measure, BenchError> {
     let prog = wl::build(&p.source);
     let make_cfg = |host_profile: bool| {
         let mut cfg = SystemConfig::paper_default();
@@ -134,18 +134,17 @@ fn run_point(
     for _ in 0..2 {
         let start = Instant::now();
         let mut m = match &image {
-            Some(path) => Machine::restore(make_cfg(false), prog.clone(), path)
-                .expect("restore perf point"),
+            Some(path) => Machine::restore(make_cfg(false), prog.clone(), path)?,
             None => Machine::new(make_cfg(false), prog.clone()),
         };
         let r = m.run();
         let host_ms = start.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(
-            r.outcome,
-            Outcome::Completed,
-            "{}: run did not complete",
-            p.name
-        );
+        if r.outcome != Outcome::Completed {
+            return Err(BenchError::Run(format!(
+                "{}: run ended {:?} instead of completing",
+                p.name, r.outcome
+            )));
+        }
         let candidate = Measure {
             name: p.name,
             events: r.events,
@@ -158,13 +157,18 @@ fn run_point(
             _ => candidate,
         });
     }
-    let mut best = best.expect("at least one iteration");
+    let mut best = best.expect("loop above ran twice");
     // Separate profiled run: the per-batch `Instant` reads would skew the
     // timed runs above, so the breakdown comes from its own execution (the
     // simulated machine is bit-identical either way).
     let mut m = Machine::new(make_cfg(true), prog.clone());
     let r = m.run();
-    assert_eq!(r.outcome, Outcome::Completed, "{}: profiled run", p.name);
+    if r.outcome != Outcome::Completed {
+        return Err(BenchError::Run(format!(
+            "{}: profiled run ended {:?}",
+            p.name, r.outcome
+        )));
+    }
     best.phases = m.host_phases();
     // `--checkpoint-at`: one extra untimed run pauses at the requested cycle
     // and writes this point's image, so the timed numbers above are never
@@ -172,20 +176,21 @@ fn run_point(
     if let Some(at) = checkpoint_at {
         let mut m = Machine::new(make_cfg(false), prog);
         if m.run_until(at).is_none() {
-            std::fs::create_dir_all(ccsvm_bench::SNAP_DIR).expect("create snapshot dir");
-            let path = std::path::Path::new(ccsvm_bench::SNAP_DIR)
-                .join(format!("perf-{}.ccsnap", p.name));
-            m.checkpoint(&path).expect("write perf checkpoint");
+            std::fs::create_dir_all(ccsvm_bench::SNAP_DIR)
+                .map_err(|e| BenchError::io(ccsvm_bench::SNAP_DIR, &e))?;
+            let path =
+                std::path::Path::new(ccsvm_bench::SNAP_DIR).join(format!("perf-{}.ccsnap", p.name));
+            m.checkpoint(&path)?;
         }
     }
-    best
+    Ok(best)
 }
 
 /// Cold-vs-warm sweep wall-time for the fig5-style warm-start protocol
 /// (EXPERIMENTS.md): repetitions of the matrix's offload matmul point, once
 /// re-simulating initialization every time and once forked from a snapshot
 /// taken at the region-start marker. Returns the `warm_start` JSON object.
-fn measure_warm_start(quick: bool, sim_threads: usize) -> String {
+fn measure_warm_start(quick: bool, sim_threads: usize) -> Result<String, BenchError> {
     // Full mode measures fig5's largest point: initialization there is worth
     // hundreds of host-ms per repetition, so the amortization is well above
     // run-to-run noise. Quick keeps the matrix's small matmul — the capture
@@ -203,36 +208,37 @@ fn measure_warm_start(quick: bool, sim_threads: usize) -> String {
     let cold_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let t1 = Instant::now();
-    let paused = ccsvm_bench::pause_at_region_start(&src, sim_threads)
-        .expect("matmul pauses at its region-start marker");
+    let paused = ccsvm_bench::pause_at_region_start(&src, sim_threads).ok_or_else(|| {
+        BenchError::Run("matmul finished before its region-start marker".to_string())
+    })?;
     let image = paused.checkpoint_bytes();
     let mut warm = Vec::new();
     for _ in 0..reps {
-        let mut fork = Machine::restore_bytes(
-            ccsvm_bench::bench_cfg(sim_threads),
-            wl::build(&src),
-            &image,
-        )
-        .expect("restore from in-memory image");
+        let mut fork =
+            Machine::restore_bytes(ccsvm_bench::bench_cfg(sim_threads), wl::build(&src), &image)?;
         warm.push(ccsvm_bench::region_numbers(&fork.run()));
     }
     let warm_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     let region_match = warm == cold;
-    assert!(region_match, "warm-start repetitions diverged from cold runs");
+    if !region_match {
+        return Err(BenchError::Run(
+            "warm-start repetitions diverged from cold runs".to_string(),
+        ));
+    }
     let speedup = cold_wall_ms / warm_wall_ms;
     println!(
         "warm-start (matmul n={n}, {reps} reps): cold {cold_wall_ms:.1} ms, \
          warm {warm_wall_ms:.1} ms ({speedup:.2}x), image {} bytes",
         image.len()
     );
-    format!(
+    Ok(format!(
         "{{\"workload\": \"matmul_n{n}\", \"reps\": {reps}, \
          \"cold_wall_ms\": {cold_wall_ms:.3}, \"warm_wall_ms\": {warm_wall_ms:.3}, \
          \"speedup\": {speedup:.3}, \"region_match\": {region_match}, \
          \"image_bytes\": {}}}",
         image.len()
-    )
+    ))
 }
 
 /// Extracts `"key": <number>` from a minimal JSON text (no nesting of the
@@ -243,7 +249,9 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     let at = text.find(&needle)? + needle.len();
     let rest = text[at..].trim_start();
     let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
 }
@@ -285,6 +293,10 @@ fn baseline_path(quick: bool) -> String {
 }
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let mut quick = false;
     let mut threads = 1usize;
     let mut sim_threads = 1usize;
@@ -330,11 +342,24 @@ fn main() {
     );
     println!(
         "{:<18} | {:>12} | {:>9} | {:>9} | {:>12} | {:>14} | {:>22}",
-        "workload", "events", "host ms", "sim ms", "events/s", "sim ns/host ms", "core/uncore/merge ms"
+        "workload",
+        "events",
+        "host ms",
+        "sim ms",
+        "events/s",
+        "sim ns/host ms",
+        "core/uncore/merge ms"
     );
     let results = sweep(points.len(), threads, |i| {
-        run_point(&points[i], sim_threads, checkpoint_at, restore_from.as_deref())
-    });
+        run_point(
+            &points[i],
+            sim_threads,
+            checkpoint_at,
+            restore_from.as_deref(),
+        )
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let mut events_total = 0u64;
     let mut host_ms_total = 0.0f64;
     let mut rows = String::new();
@@ -344,8 +369,15 @@ fn main() {
         let ph = &m.phases;
         println!(
             "{:<18} | {:>12} | {:>9.2} | {:>9.4} | {:>12.0} | {:>14.1} | {:>6.1}/{:>6.1}/{:>6.1}",
-            m.name, m.events, m.host_ms, m.sim_ms, eps, sim_ns_per_host_ms,
-            ph.core_exec_ms, ph.uncore_ms, ph.merge_ms
+            m.name,
+            m.events,
+            m.host_ms,
+            m.sim_ms,
+            eps,
+            sim_ns_per_host_ms,
+            ph.core_exec_ms,
+            ph.uncore_ms,
+            ph.merge_ms
         );
         events_total += m.events;
         host_ms_total += m.host_ms;
@@ -355,9 +387,18 @@ fn main() {
              \"phases\": {{\"core_exec_ms\": {:.3}, \"uncore_ms\": {:.3}, \
              \"merge_ms\": {:.3}, \"other_ms\": {:.3}, \"zones\": {}, \
              \"zone_batches\": {}}}}},\n",
-            m.name, m.events, m.host_ms, m.sim_ms, eps, sim_ns_per_host_ms,
-            ph.core_exec_ms, ph.uncore_ms, ph.merge_ms, ph.other_ms,
-            ph.zones, ph.zone_batches
+            m.name,
+            m.events,
+            m.host_ms,
+            m.sim_ms,
+            eps,
+            sim_ns_per_host_ms,
+            ph.core_exec_ms,
+            ph.uncore_ms,
+            ph.merge_ms,
+            ph.other_ms,
+            ph.zones,
+            ph.zone_batches
         ));
     }
     let rows = rows.trim_end_matches(",\n").to_string();
@@ -366,7 +407,7 @@ fn main() {
         "total: {events_total} events in {host_ms_total:.1} host ms = {eps_total:.0} events/s"
     );
 
-    let warm_start_json = measure_warm_start(quick, sim_threads);
+    let warm_start_json = measure_warm_start(quick, sim_threads)?;
 
     let baseline_file = baseline_path(quick);
     let baseline = std::fs::read_to_string(&baseline_file)
@@ -396,13 +437,14 @@ fn main() {
     );
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
+            std::fs::create_dir_all(dir).map_err(|e| BenchError::io(dir, &e))?;
         }
     }
-    std::fs::write(&out_path, &json).expect("write perf report");
+    std::fs::write(&out_path, &json).map_err(|e| BenchError::io(&out_path, &e))?;
     println!("wrote {out_path}");
     if write_baseline {
-        std::fs::write(&baseline_file, &json).expect("write baseline");
+        std::fs::write(&baseline_file, &json).map_err(|e| BenchError::io(&baseline_file, &e))?;
         println!("wrote {baseline_file}");
     }
+    Ok(())
 }

@@ -1,0 +1,87 @@
+//! `replay` — deterministically reproduce a captured failure from a triage
+//! replay bundle (DESIGN §9).
+//!
+//! ```text
+//! replay <bundle.ccbundle>
+//! ```
+//!
+//! The bundle embeds everything the reproduction needs: the config preset
+//! name (validated against the recorded config hash), the fault plan and
+//! sanitizer settings, the guest source, the nearest pre-failure machine
+//! snapshot, the bisected first-failing cycle, and the ring of last uncore
+//! events before the abort. The replay restores the snapshot, forces the
+//! sanitizer on (full check verbosity), and re-runs to the failure.
+//!
+//! Exit status: 0 when the failure reproduced at the recorded cycle with a
+//! matching invariant, 1 when it did not reproduce or the bundle is
+//! unusable, 2 on CLI misuse.
+
+use ccsvm::{replay_bundle, ReplayBundle};
+use ccsvm_bench::{exit_with, BenchError};
+
+fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) if p != "--help" && p != "-h" => std::path::PathBuf::from(p),
+        _ => {
+            return Err(BenchError::Cli(
+                "replay <bundle.ccbundle> — reproduce a captured failure".to_string(),
+            ))
+        }
+    };
+
+    let bundle = ReplayBundle::read(&path)?;
+    println!("bundle:    {}", path.display());
+    println!(
+        "preset:    {} (config hash {:#018x})",
+        bundle.preset, bundle.config_hash
+    );
+    println!("captured:  {:?} at {}", bundle.outcome, bundle.first_fail);
+    if let Some(v) = &bundle.violation {
+        println!("violation: {v}");
+    }
+    println!(
+        "snapshot:  {} bytes at {} ({} ring events of {} total)",
+        bundle.snapshot.len(),
+        bundle.snapshot_at,
+        bundle.ring.len(),
+        bundle.ring_total,
+    );
+    for ev in &bundle.ring {
+        println!(
+            "  [{:>6}] {:>14} ps  {:<12} block={:#x} who={}",
+            ev.seq,
+            ev.at_ps,
+            ccsvm_mem::ring_kind_name(ev.kind),
+            ev.a,
+            ev.b
+        );
+    }
+
+    let (report, reproduced) =
+        replay_bundle(&bundle).map_err(|e| BenchError::Run(format!("replay setup failed: {e}")))?;
+    println!("replayed:  {:?} at {}", report.outcome, report.time);
+    if let Some(v) = report
+        .diagnostic
+        .as_ref()
+        .and_then(|d| d.violation.as_ref())
+    {
+        println!("caught:    {v}");
+    }
+    if let Some(d) = &report.diagnostic {
+        println!("{d}");
+    }
+    if reproduced {
+        println!("REPRODUCED: failure manifests at the captured cycle");
+        Ok(())
+    } else {
+        Err(BenchError::Run(format!(
+            "failure did NOT reproduce (captured {:?} at {}, replayed {:?} at {})",
+            bundle.outcome, bundle.first_fail, report.outcome, report.time
+        )))
+    }
+}

@@ -14,7 +14,9 @@
 use std::time::Instant;
 
 use ccsvm::Machine;
-use ccsvm_bench::{bench_cfg, header, ms, pause_at_region_start, Claims, Opts};
+use ccsvm_bench::{
+    bench_cfg, exit_with, header, ms, pause_at_region_start, BenchError, Claims, Opts,
+};
 use ccsvm_engine::Time;
 use ccsvm_workloads as wl;
 
@@ -23,16 +25,27 @@ use ccsvm_workloads as wl;
 const REPS: usize = 3;
 
 fn main() {
+    exit_with(run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = Opts::parse();
     let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
     let mut claims = Claims::new();
 
     header(
         "Warm-start sweep: fig5 CCSVM column, cold vs snapshot-forked",
-        &["   n", " CCSVM ms", "cold wall ms", "warm wall ms", " speedup", "image KiB"],
+        &[
+            "   n",
+            " CCSVM ms",
+            "cold wall ms",
+            "warm wall ms",
+            " speedup",
+            "image KiB",
+        ],
     );
 
-    let points = ccsvm_bench::sweep(sizes.len(), opts.threads, |i| {
+    let points = ccsvm_bench::sweep(sizes.len(), opts.threads, |i| -> Result<_, BenchError> {
         let n = sizes[i];
         let p = wl::matmul::MatmulParams::new(n, 42);
         let src = wl::matmul::xthreads_source(&p);
@@ -49,26 +62,32 @@ fn main() {
         // Warm: simulate up to the region marker once, snapshot, then fork
         // every repetition from the in-memory image.
         let t1 = Instant::now();
-        let paused = pause_at_region_start(&src, opts.sim_threads)
-            .expect("matmul must pause at its region-start marker");
+        let paused = pause_at_region_start(&src, opts.sim_threads).ok_or_else(|| {
+            BenchError::Run(format!(
+                "n={n}: matmul finished before its region-start marker"
+            ))
+        })?;
         let image = paused.checkpoint_bytes();
         let mut warm = Vec::new();
         for _ in 0..REPS {
             let mut fork =
-                Machine::restore_bytes(bench_cfg(opts.sim_threads), wl::build(&src), &image)
-                    .expect("restore from in-memory image");
+                Machine::restore_bytes(bench_cfg(opts.sim_threads), wl::build(&src), &image)?;
             warm.push(ccsvm_bench::region_numbers(&fork.run()));
         }
         let warm_wall = t1.elapsed();
 
-        (n, expect, cold, warm, cold_wall, warm_wall, image.len())
+        Ok((n, expect, cold, warm, cold_wall, warm_wall, image.len()))
     });
+    let points = points.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let mut cold_total = 0.0;
     let mut warm_total = 0.0;
     for (n, expect, cold, warm, cold_wall, warm_wall, image_len) in points {
         let (region, _, code): (Time, u64, u64) = cold[0];
-        claims.check(code == expect, &format!("n={n}: CCSVM checksum matches the reference"));
+        claims.check(
+            code == expect,
+            &format!("n={n}: CCSVM checksum matches the reference"),
+        );
         claims.check(
             cold.iter().all(|r| *r == cold[0]),
             &format!("n={n}: cold repetitions are deterministic"),
@@ -104,4 +123,5 @@ fn main() {
         cold_total / warm_total
     );
     claims.finish("sweep-warm");
+    Ok(())
 }

@@ -33,6 +33,94 @@ use ccsvm_workloads as wl;
 /// Directory where `--checkpoint-at` writes its snapshot images.
 pub const SNAP_DIR: &str = "snapshots";
 
+/// Typed failure in a bench binary. Every binary's `main` is a thin wrapper
+/// around a `Result<(), BenchError>` body handed to [`exit_with`]: CLI
+/// misuse exits 2, operational failures (I/O, snapshot/bundle decode, a
+/// simulated run producing the wrong answer or aborting) exit 1, and
+/// success exits 0 — no panicking `unwrap`/`expect` on the failure paths.
+#[derive(Debug)]
+pub enum BenchError {
+    /// File I/O failed.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The underlying error message.
+        err: String,
+    },
+    /// A snapshot or replay-bundle operation failed.
+    Snap(ccsvm::SnapError),
+    /// A simulated run misbehaved: wrong answer, abnormal outcome, or a
+    /// guest program that failed to compile.
+    Run(String),
+    /// Command-line misuse.
+    Cli(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Io { path, err } => write!(f, "{}: {err}", path.display()),
+            BenchError::Snap(e) => write!(f, "snapshot: {e}"),
+            BenchError::Run(what) => write!(f, "run failed: {what}"),
+            BenchError::Cli(what) => write!(f, "usage: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<ccsvm::SnapError> for BenchError {
+    fn from(e: ccsvm::SnapError) -> BenchError {
+        BenchError::Snap(e)
+    }
+}
+
+impl BenchError {
+    /// Wraps a file I/O error with the path it concerned.
+    pub fn io(path: impl Into<PathBuf>, err: &std::io::Error) -> BenchError {
+        BenchError::Io {
+            path: path.into(),
+            err: err.to_string(),
+        }
+    }
+
+    /// Process exit status for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            BenchError::Cli(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Standard bench-binary epilogue: prints the error (if any) to stderr and
+/// exits with its typed status — 0 on success.
+pub fn exit_with(result: Result<(), BenchError>) -> ! {
+    match result {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+/// Checks a simulated result against its oracle, as a typed error rather
+/// than an `assert_eq!` panic.
+///
+/// # Errors
+///
+/// [`BenchError::Run`] naming `what` when the values differ.
+pub fn check_eq(actual: u64, expect: u64, what: impl std::fmt::Display) -> Result<(), BenchError> {
+    if actual == expect {
+        Ok(())
+    } else {
+        Err(BenchError::Run(format!(
+            "{what}: got {actual}, expected {expect}"
+        )))
+    }
+}
+
 /// Parsed common CLI options.
 #[derive(Clone, Debug)]
 pub struct Opts {
@@ -155,7 +243,14 @@ impl Opts {
                 other => usage_exit(&binary, &format!("unknown argument `{other}`")),
             }
         }
-        Opts { quick, sizes, threads, sim_threads, checkpoint_at, restore_from }
+        Opts {
+            quick,
+            sizes,
+            threads,
+            sim_threads,
+            checkpoint_at,
+            restore_from,
+        }
     }
 
     /// The sweep to use: override > quick > full.
@@ -322,7 +417,10 @@ pub fn rel(t: Time, base: Time) -> String {
 pub fn header(title: &str, columns: &[&str]) {
     println!("== {title}");
     println!("{}", columns.join(" | "));
-    println!("{}", "-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>()));
+    println!(
+        "{}",
+        "-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>())
+    );
 }
 
 /// Asserts a qualitative claim, printing rather than panicking so a full
@@ -335,7 +433,9 @@ pub struct Claims {
 impl Claims {
     /// Empty set.
     pub fn new() -> Claims {
-        Claims { failures: Vec::new() }
+        Claims {
+            failures: Vec::new(),
+        }
     }
 
     /// Records a claim.

@@ -1,7 +1,7 @@
 //! System configuration (the paper's Table 2, CCSVM column).
 
 use ccsvm_cpu::CpuConfig;
-use ccsvm_engine::{FaultConfig, Time};
+use ccsvm_engine::{FaultConfig, SanitizerConfig, Time};
 use ccsvm_mem::{CacheConfig, DramConfig, WritePolicy};
 use ccsvm_mttop::MttopConfig;
 use ccsvm_noc::NocConfig;
@@ -87,6 +87,11 @@ pub struct SystemConfig {
     /// injectors off (bit-identical to a fault-free build) with the
     /// watchdog armed.
     pub fault: FaultConfig,
+    /// Coherence sanitizer: always-on invariant checking over mem/noc/vm
+    /// (DESIGN §9). Off by default; enabling it never changes simulated
+    /// behavior — reports stay bit-identical — it only *observes* and, on a
+    /// violation, aborts the run with [`crate::Outcome::InvariantViolation`].
+    pub sanitizer: SanitizerConfig,
     /// Host worker threads for intra-run core-batch execution. `1` (the
     /// default) runs the serial reference event loop; `N > 1` runs the
     /// deterministic fork-join executor, which produces bit-identical
@@ -125,6 +130,7 @@ impl SystemConfig {
             phys_pool: (0x10_0000, 2 * 1024 * 1024 * 1024),
             max_sim_time: Time::from_ms(30_000),
             fault: FaultConfig::default(),
+            sanitizer: SanitizerConfig::default(),
             sim_threads: 1,
             host_profile: false,
         }
@@ -144,6 +150,18 @@ impl SystemConfig {
         c.torus = (3, 3);
         c.max_sim_time = Time::from_ms(200);
         c
+    }
+
+    /// Looks up a named configuration preset. Replay bundles record the
+    /// preset name instead of serializing a whole `SystemConfig`; the
+    /// snapshot header's config hash catches any drift between the recorded
+    /// run and the rebuilt preset.
+    pub fn by_preset(name: &str) -> Option<SystemConfig> {
+        match name {
+            "paper_default" => Some(SystemConfig::paper_default()),
+            "tiny" => Some(SystemConfig::tiny()),
+            _ => None,
+        }
     }
 
     /// Total MTTOP thread contexts (the MIFD's capacity).

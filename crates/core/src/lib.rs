@@ -40,15 +40,23 @@
 
 mod config;
 mod machine;
+mod triage;
 
 pub use config::{OsCosts, SystemConfig};
 pub use machine::{DiagnosticDump, HostPhases, Machine, Outcome, RunReport};
+pub use triage::{
+    replay_bundle, run_with_triage, ReplayBundle, TriageError, TriageResult, BUNDLE_MAGIC,
+    BUNDLE_VERSION,
+};
 // Fault-injection configuration, re-exported so harnesses can fill in
 // `SystemConfig::fault` without depending on the engine crate directly.
 pub use ccsvm_engine::{
     DirTimeoutConfig, DramFaultConfig, FaultConfig, NocFaultConfig, Time, TlbFaultConfig,
     WatchdogConfig,
 };
+// Coherence-sanitizer configuration and violation types (DESIGN §9),
+// re-exported for harnesses and the triage/replay tooling.
+pub use ccsvm_engine::{EvRecord, InvariantId, Mutation, MutationKind, SanitizerConfig, Violation};
 // Snapshot error type and schema version, re-exported so harnesses can
 // handle checkpoint/restore failures without depending on the snap crate.
 pub use ccsvm_snap::{SnapError, SCHEMA_VERSION as SNAP_SCHEMA_VERSION};

@@ -4,7 +4,10 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use ccsvm_cpu::{CpuAction, CpuCore};
-use ccsvm_engine::{stat_id, EventQueue, FaultDomain, FaultPlan, Stats, Time, Watchdog};
+use ccsvm_engine::{
+    sanitizer::check_conservation, stat_id, EvRecord, EvRing, EventQueue, FaultDomain, FaultPlan,
+    MutationKind, Stats, Time, Violation, Watchdog,
+};
 use ccsvm_isa::{sys, Program};
 use ccsvm_mem::{
     Access, AccessResult, BankConfig, Completion, CorePort, L1Config, MemConfig, MemEvent,
@@ -68,26 +71,59 @@ pub struct HostPhases {
 #[derive(Debug)]
 enum Ev {
     Mem(MemEvent),
-    CpuBatch { core: usize, seq: u64 },
-    MttopBatch { core: usize, seq: u64 },
+    CpuBatch {
+        core: usize,
+        seq: u64,
+    },
+    MttopBatch {
+        core: usize,
+        seq: u64,
+    },
     /// A launch write-syscall arrived at the MIFD.
-    MifdLaunch { cpu: usize, desc: [u64; 4] },
+    MifdLaunch {
+        cpu: usize,
+        desc: [u64; 4],
+    },
     /// The MIFD's task chunk arrived at an MTTOP core.
-    ChunkArrive { core: usize, chunk: TaskChunk },
+    ChunkArrive {
+        core: usize,
+        chunk: TaskChunk,
+    },
     /// A device/OS response releases a blocked syscall.
-    ResumeSyscall { cpu: usize, ret: u64 },
+    ResumeSyscall {
+        cpu: usize,
+        ret: u64,
+    },
     /// An MTTOP page-fault interrupt arrived (via the MIFD) at a CPU.
-    FaultToCpu { req: PageFaultReq, mcore: usize },
+    FaultToCpu {
+        req: PageFaultReq,
+        mcore: usize,
+    },
     /// The fault-resolution ack arrived back at the MTTOP core.
-    FaultAckAtMttop { mcore: usize, warp: usize },
+    FaultAckAtMttop {
+        mcore: usize,
+        warp: usize,
+    },
     /// Shootdown IPI arrived at a CPU.
-    IpiArrive { target: usize, va: VirtAddr, initiator: usize },
+    IpiArrive {
+        target: usize,
+        va: VirtAddr,
+        initiator: usize,
+    },
     /// Shootdown flush request arrived at an MTTOP core.
-    FlushArrive { target: usize, va: VirtAddr, initiator: usize },
+    FlushArrive {
+        target: usize,
+        va: VirtAddr,
+        initiator: usize,
+    },
     /// Shootdown ack arrived back at the initiator.
-    ShootAck { initiator: usize },
+    ShootAck {
+        initiator: usize,
+    },
     /// The OS handler's PTE store hit MSHR exhaustion; retry the issue.
-    HandlerRetry { cpu: usize },
+    HandlerRetry {
+        cpu: usize,
+    },
     /// Periodic forward-progress check (self-rescheduling while armed).
     WatchdogTick,
 }
@@ -98,7 +134,11 @@ enum Job {
     /// This CPU's own thread faulted.
     Local { va: VirtAddr },
     /// A forwarded MTTOP fault (§3.2.1).
-    Remote { mcore: usize, warp: usize, va: VirtAddr },
+    Remote {
+        mcore: usize,
+        warp: usize,
+        va: VirtAddr,
+    },
     /// munmap: PTE clear, then TLB shootdown.
     Unmap { va: VirtAddr },
 }
@@ -130,6 +170,10 @@ pub enum Outcome {
     /// A directory transaction exhausted its NACK retry budget — responses
     /// were lost beyond what the protocol's recovery could absorb.
     RetryBudgetExhausted,
+    /// The coherence sanitizer caught a protocol-invariant violation
+    /// (DESIGN §9); the diagnostic's `violation` names the invariant and the
+    /// cycle it first manifested.
+    InvariantViolation,
 }
 
 /// Structured diagnostics captured when a run aborts, so a hang is
@@ -150,6 +194,11 @@ pub struct DiagnosticDump {
     pub noc_busy_links: usize,
     /// Largest remaining per-link backlog on the NoC.
     pub noc_max_backlog: Time,
+    /// The sanitizer violation behind an [`Outcome::InvariantViolation`]
+    /// abort (also filled in when the sanitizer's end-of-run sweep finds a
+    /// violation after another abort, e.g. a watchdog-caught wedge whose
+    /// root cause was a lost message).
+    pub violation: Option<Violation>,
 }
 
 impl std::fmt::Display for DiagnosticDump {
@@ -165,6 +214,9 @@ impl std::fmt::Display for DiagnosticDump {
         }
         if !self.poisoned_blocks.is_empty() {
             writeln!(f, "  poisoned blocks: {:?}", self.poisoned_blocks)?;
+        }
+        if let Some(v) = &self.violation {
+            writeln!(f, "  {v}")?;
         }
         write!(
             f,
@@ -263,6 +315,18 @@ pub struct Machine {
     data_deliveries: u64,
     resps_seen: u64,
     blackholed_block: Option<u64>,
+    /// Recent-uncore-event ring for replay bundles. Recorded only while the
+    /// sanitizer is enabled and never serialized: it is triage telemetry,
+    /// not simulated state, so snapshot images stay identical across
+    /// sanitizer settings.
+    san_ring: EvRing,
+    /// Occurrences of the configured mutation's target class seen so far
+    /// (serialized: a restored machine must find the same nth target).
+    mut_count: u64,
+    /// Whether the configured mutation has been applied (latched: a
+    /// mutation fires once, at the first applicable target at or after its
+    /// nth class occurrence).
+    mut_done: bool,
 }
 
 impl Machine {
@@ -363,7 +427,14 @@ impl Machine {
             reserved: vec![0; cfg.n_mttops],
             cpu_seq: vec![0; cfg.n_cpus],
             mttop_seq: vec![0; cfg.n_mttops],
-            port_logs: (0..cfg.n_cpus + cfg.n_mttops).map(|_| PortLog::new()).collect(),
+            port_logs: (0..cfg.n_cpus + cfg.n_mttops)
+                .map(|_| PortLog::new())
+                .collect(),
+            san_ring: EvRing::new(if cfg.sanitizer.enabled {
+                cfg.sanitizer.ring_capacity
+            } else {
+                0
+            }),
             cfg,
             prog,
             mem,
@@ -396,6 +467,8 @@ impl Machine {
             data_deliveries: 0,
             resps_seen: 0,
             blackholed_block: None,
+            mut_count: 0,
+            mut_done: false,
         }
     }
 
@@ -429,6 +502,17 @@ impl Machine {
     /// offload-region start).
     pub fn printed(&self) -> &[String] {
         &self.printed
+    }
+
+    /// The recorded failure, if the run has aborted: outcome + diagnostics.
+    pub fn failure(&self) -> Option<(Outcome, &DiagnosticDump)> {
+        self.failure.as_ref().map(|(o, d)| (*o, d))
+    }
+
+    /// The sanitizer's ring of recent uncore events (most recent last) and
+    /// the total recorded count. Empty unless the sanitizer was enabled.
+    pub fn ring_events(&self) -> (Vec<EvRecord>, u64) {
+        (self.san_ring.records(), self.san_ring.total())
     }
 
     /// Debug: each MTTOP core's local clock (≈ when it last executed).
@@ -540,6 +624,7 @@ impl Machine {
             let reason = "event queue drained before main exited".to_string();
             self.failure = Some((Outcome::Deadlock, self.dump(reason)));
         }
+        self.final_check();
         Some(self.report())
     }
 
@@ -565,7 +650,8 @@ impl Machine {
         self.sched_cpu_batch(0, Time::ZERO);
 
         if self.cfg.fault.watchdog.enabled {
-            self.queue.push(self.cfg.fault.watchdog.period, Ev::WatchdogTick);
+            self.queue
+                .push(self.cfg.fault.watchdog.period, Ev::WatchdogTick);
         }
     }
 
@@ -790,7 +876,182 @@ impl Machine {
             poisoned_blocks: self.mem.poisoned_blocks(),
             noc_busy_links: self.net.busy_links(self.now),
             noc_max_backlog: self.net.max_backlog(self.now),
+            violation: None,
         }
+    }
+
+    // ----- coherence sanitizer ---------------------------------------------
+
+    /// Records a sanitizer violation: the run aborts with
+    /// [`Outcome::InvariantViolation`]. When another failure is already
+    /// recorded (e.g. the watchdog caught the wedge a lost message caused),
+    /// the outcome is *upgraded* — the sanitizer's root cause outranks the
+    /// symptom — and the original dump keeps its context.
+    fn san_fail(&mut self, v: Violation) {
+        match &mut self.failure {
+            Some((outcome, dump)) => {
+                *outcome = Outcome::InvariantViolation;
+                dump.violation = Some(v);
+            }
+            None => {
+                let mut d = self.dump(format!("invariant {} violated", v.invariant));
+                d.at = v.at;
+                d.violation = Some(v);
+                self.failure = Some((Outcome::InvariantViolation, d));
+            }
+        }
+    }
+
+    /// Whether no TLB shootdown is in flight anywhere — the window where
+    /// VM-TLB-PT (TLB ⊆ page tables) must hold exactly. Mid-shootdown a
+    /// remote TLB legitimately holds the just-unmapped translation until its
+    /// IPI/flush lands.
+    fn shootdowns_quiescent(&self) -> bool {
+        self.shoot_pending.iter().all(|&p| p == 0)
+            && self.handlers.iter().all(|h| {
+                !matches!(
+                    h.active,
+                    Some(Active {
+                        job: Job::Unmap { .. },
+                        ..
+                    })
+                ) && !h.queue.iter().any(|j| matches!(j, Job::Unmap { .. }))
+            })
+    }
+
+    /// VM-TLB-PT: every cached translation in every CPU and MTTOP TLB must
+    /// agree with the OS page tables. Only called at shootdown-quiescent
+    /// points.
+    fn check_tlbs(&self) -> Option<Violation> {
+        let check = |who: String, entries: Vec<(u64, ccsvm_mem::PhysAddr)>| {
+            for (vpn, frame) in entries {
+                let va = VirtAddr(vpn * PAGE_BYTES);
+                if self.os.translate(va) != Some(frame) {
+                    return Some(Violation {
+                        invariant: ccsvm_engine::InvariantId::VmTlbPt,
+                        at: self.now,
+                        detail: format!(
+                            "{who} TLB caches {va} -> {frame:?} but the page \
+                             tables say {:?}",
+                            self.os.translate(va)
+                        ),
+                    });
+                }
+            }
+            None
+        };
+        for (i, c) in self.cpus.iter().enumerate() {
+            if let Some(v) = check(format!("CPU {i}"), c.tlb_entries()) {
+                return Some(v);
+            }
+        }
+        for (i, m) in self.mttops.iter().enumerate() {
+            if let Some(v) = check(format!("MTTOP {i}"), m.tlb_entries()) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// The end-of-run / on-abort full sweep: every memory invariant over
+    /// every resident block, TLB ⊆ page tables, and NOC-CONSERVE over the
+    /// whole run's audit counters.
+    fn final_check(&mut self) {
+        if !self.cfg.sanitizer.enabled {
+            return;
+        }
+        if self
+            .failure
+            .as_ref()
+            .is_some_and(|(_, d)| d.violation.is_some())
+        {
+            return; // already triaged to a specific invariant
+        }
+        if let Some(v) = self.mem.check_all(self.now) {
+            self.san_fail(v);
+            return;
+        }
+        if self.shootdowns_quiescent() {
+            if let Some(v) = self.check_tlbs() {
+                self.san_fail(v);
+                return;
+            }
+        }
+        let (sent, delivered, sanctioned) = self.net.audit_counters();
+        let in_flight = self
+            .queue
+            .ordered_entries()
+            .iter()
+            .filter(|(_, e)| matches!(e, Ev::Mem(_)))
+            .count() as u64;
+        if let Some(detail) = check_conservation(sent, delivered, sanctioned, in_flight) {
+            self.san_fail(Violation {
+                invariant: ccsvm_engine::InvariantId::NocConserve,
+                at: self.now,
+                detail,
+            });
+        }
+    }
+
+    /// Applies the configured test-only protocol mutation to `me` when its
+    /// nth target-class occurrence comes up. Returns `true` when the event
+    /// must be *discarded* (the unsanctioned-loss mutation). Latched: fires
+    /// at most once per run.
+    fn apply_mutation(&mut self, me: &mut MemEvent) -> bool {
+        let Some(m) = self.cfg.sanitizer.mutate else {
+            return false;
+        };
+        if self.mut_done {
+            return false;
+        }
+        let in_class = match m.kind {
+            MutationKind::CorruptDirOwner | MutationKind::CorruptTlbEntry => true,
+            MutationKind::CorruptGrant | MutationKind::CorruptFillData => me.is_s_grant(),
+            MutationKind::DuplicateResp | MutationKind::DropResp => me.is_resp(),
+            // Counted at `Ev::IpiArrive` dispatch, not here.
+            MutationKind::SkipTlbInvalidate => false,
+        };
+        if !in_class {
+            return false;
+        }
+        self.mut_count += 1;
+        if self.mut_count < m.nth {
+            return false;
+        }
+        match m.kind {
+            MutationKind::CorruptDirOwner => {
+                // Clears the directory's owner registration for this block;
+                // the owning L1's M/E/O copy becomes unaccounted.
+                self.mut_done = self.mem.test_corrupt_dir_owner(me.block());
+            }
+            MutationKind::CorruptGrant => self.mut_done = me.test_upgrade_s_grant(),
+            MutationKind::CorruptFillData => self.mut_done = me.test_flip_s_fill_byte(),
+            MutationKind::DuplicateResp => {
+                // Re-inject a copy of this response without counting it as
+                // sent: a duplicated message.
+                self.queue.push(self.now, Ev::Mem(me.clone()));
+                self.mut_done = true;
+            }
+            MutationKind::DropResp => {
+                // Discard without sanction: a lost message.
+                self.mut_done = true;
+                return true;
+            }
+            MutationKind::CorruptTlbEntry => {
+                self.mut_done = self.cpus[0].test_corrupt_tlb();
+                // TLB state just changed out from under the hardware: sweep
+                // immediately (at a quiescent point) so the violation is
+                // pinned to the cycle the corruption appeared rather than to
+                // wherever the poisoned translation later sends the core.
+                if self.mut_done && self.shootdowns_quiescent() {
+                    if let Some(v) = self.check_tlbs() {
+                        self.san_fail(v);
+                    }
+                }
+            }
+            MutationKind::SkipTlbInvalidate => unreachable!("not an uncore-event class"),
+        }
+        false
     }
 
     fn report(&self) -> RunReport {
@@ -840,30 +1101,59 @@ impl Machine {
     fn sched_cpu_batch(&mut self, core: usize, at: Time) {
         self.cpu_seq[core] += 1;
         let seq = self.cpu_seq[core];
-        self.queue.push(at.max(self.now), Ev::CpuBatch { core, seq });
+        self.queue
+            .push(at.max(self.now), Ev::CpuBatch { core, seq });
     }
 
     fn sched_mttop_batch(&mut self, core: usize, at: Time) {
         self.mttop_seq[core] += 1;
         let seq = self.mttop_seq[core];
-        self.queue.push(at.max(self.now), Ev::MttopBatch { core, seq });
+        self.queue
+            .push(at.max(self.now), Ev::MttopBatch { core, seq });
     }
 
     // ----- dispatch --------------------------------------------------------
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
-            Ev::Mem(me) => {
+            Ev::Mem(mut me) => {
                 if self.drop_event(&me) {
+                    // A fault-plan-sanctioned loss, exempt from NOC-CONSERVE.
+                    self.net.note_sanctioned();
                     return;
                 }
+                if self.apply_mutation(&mut me) {
+                    return; // mutation discarded the event (unsanctioned)
+                }
+                if self.failure.is_some() {
+                    return; // a state mutation was caught at its own cycle
+                }
+                let san = self.cfg.sanitizer.enabled;
+                let block = me.block();
+                if san {
+                    let (kind, a, b) = me.ring_summary();
+                    self.san_ring.record(self.now, kind, a, b);
+                    if let Some(v) = self.mem.check_event(self.now, &me) {
+                        // Don't deliver a message the protocol can't absorb:
+                        // report the conservation violation instead of letting
+                        // the bank trip over it.
+                        self.san_fail(v);
+                        return;
+                    }
+                }
+                self.net.note_delivered();
                 let mut completions = std::mem::take(&mut self.completions_buf);
                 completions.clear();
                 {
                     let queue = &mut self.queue;
-                    let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
+                    let mut sent = 0u64;
+                    let mut sched = |t: Time, e: MemEvent| {
+                        sent += 1;
+                        queue.push(t, Ev::Mem(e));
+                    };
                     self.mem
                         .handle(self.now, &mut self.net, &mut sched, me, &mut completions);
+                    self.net.note_sent(sent);
                 }
                 if let Some((bank, block)) = self.mem.take_retry_exhausted() {
                     let reason = format!(
@@ -873,6 +1163,11 @@ impl Machine {
                     self.failure = Some((Outcome::RetryBudgetExhausted, self.dump(reason)));
                     self.completions_buf = completions;
                     return;
+                }
+                if san && self.failure.is_none() {
+                    if let Some(v) = self.mem.check_block(self.now, block) {
+                        self.san_fail(v);
+                    }
                 }
                 for c in completions.drain(..) {
                     self.route_completion(c);
@@ -918,8 +1213,35 @@ impl Machine {
                 self.mttops[mcore].fault_resolved(warp, self.now);
                 self.sched_mttop_batch(mcore, self.now);
             }
-            Ev::IpiArrive { target, va, initiator } => {
-                self.cpus[target].tlb_invalidate(va);
+            Ev::IpiArrive {
+                target,
+                va,
+                initiator,
+            } => {
+                // Mutation hook: ack the IPI but skip the invalidation — the
+                // stale translation survives shootdown (⇒ VM-STALE-SHOOT).
+                let skip = match self.cfg.sanitizer.mutate {
+                    Some(m) if m.kind == MutationKind::SkipTlbInvalidate && !self.mut_done => {
+                        self.mut_count += 1;
+                        self.mut_count >= m.nth
+                    }
+                    _ => false,
+                };
+                if skip {
+                    self.mut_done = true;
+                } else {
+                    self.cpus[target].tlb_invalidate(va);
+                }
+                if self.cfg.sanitizer.enabled && self.cpus[target].tlb_holds(va) {
+                    self.san_fail(Violation {
+                        invariant: ccsvm_engine::InvariantId::VmStaleShoot,
+                        at: self.now,
+                        detail: format!(
+                            "CPU {target} still caches a translation for {va} \
+                             after acking its shootdown IPI"
+                        ),
+                    });
+                }
                 let done = self.now + self.cfg.os.ipi;
                 self.cpus[target].preempt_until(done);
                 let t = self
@@ -927,11 +1249,25 @@ impl Machine {
                     .send(done, self.cpu_nodes[target], self.cpu_nodes[initiator], 8);
                 self.queue.push(t, Ev::ShootAck { initiator });
             }
-            Ev::FlushArrive { target, va, initiator } => {
+            Ev::FlushArrive {
+                target,
+                va,
+                initiator,
+            } => {
                 if self.cfg.mttop_selective_shootdown {
                     self.mttops[target].tlb_invalidate(va);
                 } else {
                     self.mttops[target].tlb_flush();
+                }
+                if self.cfg.sanitizer.enabled && self.mttops[target].tlb_holds(va) {
+                    self.san_fail(Violation {
+                        invariant: ccsvm_engine::InvariantId::VmStaleShoot,
+                        at: self.now,
+                        detail: format!(
+                            "MTTOP {target} still caches a translation for \
+                             {va} after acking its shootdown flush"
+                        ),
+                    });
                 }
                 let t = self.net.send(
                     self.now,
@@ -947,6 +1283,16 @@ impl Machine {
                 if self.shoot_pending[initiator] == 0 {
                     let at = self.cpus[initiator].resume_syscall(self.now, 0);
                     self.sched_cpu_batch(initiator, at);
+                    // Shootdown complete: if no other shootdown is in flight
+                    // this is a quiescent point, so VM-TLB-PT must hold.
+                    if self.cfg.sanitizer.enabled
+                        && self.failure.is_none()
+                        && self.shootdowns_quiescent()
+                    {
+                        if let Some(v) = self.check_tlbs() {
+                            self.san_fail(v);
+                        }
+                    }
                 }
             }
             Ev::WatchdogTick => unreachable!("handled in the run loop"),
@@ -1014,8 +1360,13 @@ impl Machine {
     /// Replays one port's buffered uncore effects into the NoC/event queue.
     fn replay_log(&mut self, log: &mut PortLog) {
         let queue = &mut self.queue;
-        let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
+        let mut sent = 0u64;
+        let mut sched = |t: Time, e: MemEvent| {
+            sent += 1;
+            queue.push(t, Ev::Mem(e));
+        };
         log.replay(&mut self.net, &mut sched);
+        self.net.note_sent(sent);
     }
 
     fn run_cpu_batch(&mut self, core: usize) {
@@ -1070,8 +1421,11 @@ impl Machine {
         let t0 = profile.then(Instant::now);
         let port = PortId(self.cfg.n_cpus + core);
         let mut log = std::mem::take(&mut self.port_logs[port.0]);
-        let outcome =
-            self.mttops[core].run_batch(self.now, &self.prog, &mut self.mem.core_port(port, &mut log));
+        let outcome = self.mttops[core].run_batch(
+            self.now,
+            &self.prog,
+            &mut self.mem.core_port(port, &mut log),
+        );
         if let Some(t) = t0 {
             self.prof_phase[PH_CORE] += t.elapsed();
         }
@@ -1285,7 +1639,9 @@ impl Machine {
             None => {
                 let err = self.mifd.take_error();
                 debug_assert!(err);
-                let t = self.net.send(self.now, self.mifd_node, self.cpu_nodes[cpu], 8);
+                let t = self
+                    .net
+                    .send(self.now, self.mifd_node, self.cpu_nodes[cpu], 8);
                 self.queue.push(t, Ev::ResumeSyscall { cpu, ret: 1 });
             }
             Some(chunks) => {
@@ -1312,7 +1668,9 @@ impl Machine {
                     );
                 }
                 let depart = self.now + times(self.cfg.os.mifd_chunk, n);
-                let t = self.net.send(depart, self.mifd_node, self.cpu_nodes[cpu], 8);
+                let t = self
+                    .net
+                    .send(depart, self.mifd_node, self.cpu_nodes[cpu], 8);
                 self.queue.push(t, Ev::ResumeSyscall { cpu, ret: 0 });
             }
         }
@@ -1335,7 +1693,11 @@ impl Machine {
             Job::Local { va } | Job::Remote { va, .. } => self.os.map_page(va),
             Job::Unmap { va } => self.os.unmap_page(va),
         };
-        self.handlers[cpu].active = Some(Active { job, writes, next: 0 });
+        self.handlers[cpu].active = Some(Active {
+            job,
+            writes,
+            next: 0,
+        });
         // Trap + handler bookkeeping cost, then the PTE stores.
         let start = self.now + self.cfg.os.page_fault;
         self.cpus[cpu].preempt_until(start);
@@ -1353,12 +1715,23 @@ impl Machine {
                 return;
             };
             let token = prefix(KIND_HANDLER, cpu) | 1;
-            let access = Access::Write { paddr: w.addr, size: 8, value: w.value };
+            let access = Access::Write {
+                paddr: w.addr,
+                size: 8,
+                value: w.value,
+            };
             let result = {
                 let queue = &mut self.queue;
-                let mut sched = |t: Time, e: MemEvent| queue.push(t, Ev::Mem(e));
-                self.mem
-                    .access(at, &mut self.net, &mut sched, PortId(cpu), token, access)
+                let mut sent = 0u64;
+                let mut sched = |t: Time, e: MemEvent| {
+                    sent += 1;
+                    queue.push(t, Ev::Mem(e));
+                };
+                let r = self
+                    .mem
+                    .access(at, &mut self.net, &mut sched, PortId(cpu), token, access);
+                self.net.note_sent(sent);
+                r
             };
             match result {
                 AccessResult::Hit { finish, .. } => {
@@ -1369,15 +1742,12 @@ impl Machine {
                 AccessResult::Pending => return, // continue on completion
                 AccessResult::Retry => {
                     // Yield to the event loop so the port's MSHRs can drain.
-                    self.queue.push(
-                        at + self.cfg.cpu.clock.period(),
-                        Ev::HandlerRetry { cpu },
-                    );
+                    self.queue
+                        .push(at + self.cfg.cpu.clock.period(), Ev::HandlerRetry { cpu });
                     return;
                 }
                 AccessResult::Poisoned => {
-                    let reason =
-                        format!("OS handler on CPU {cpu} stored to an ECC-poisoned block");
+                    let reason = format!("OS handler on CPU {cpu} stored to an ECC-poisoned block");
                     self.failure = Some((Outcome::Poisoned, self.dump(reason)));
                     return;
                 }
@@ -1403,7 +1773,9 @@ impl Machine {
             Job::Remote { mcore, warp, .. } => {
                 // Ack: CPU -> MIFD -> MTTOP core.
                 let t1 = self.net.send(at, self.cpu_nodes[cpu], self.mifd_node, 8);
-                let t2 = self.net.send(t1, self.mifd_node, self.mttop_nodes[mcore], 8);
+                let t2 = self
+                    .net
+                    .send(t1, self.mifd_node, self.mttop_nodes[mcore], 8);
                 self.queue.push(t2, Ev::FaultAckAtMttop { mcore, warp });
             }
             Job::Unmap { va } => {
@@ -1413,14 +1785,28 @@ impl Machine {
                 for i in 0..self.cpus.len() {
                     if i != cpu {
                         let t = self.net.send(at, self.cpu_nodes[cpu], self.cpu_nodes[i], 8);
-                        self.queue.push(t, Ev::IpiArrive { target: i, va, initiator: cpu });
+                        self.queue.push(
+                            t,
+                            Ev::IpiArrive {
+                                target: i,
+                                va,
+                                initiator: cpu,
+                            },
+                        );
                         pending += 1;
                     }
                 }
                 for i in 0..self.mttops.len() {
                     let t1 = self.net.send(at, self.cpu_nodes[cpu], self.mifd_node, 8);
                     let t2 = self.net.send(t1, self.mifd_node, self.mttop_nodes[i], 8);
-                    self.queue.push(t2, Ev::FlushArrive { target: i, va, initiator: cpu });
+                    self.queue.push(
+                        t2,
+                        Ev::FlushArrive {
+                            target: i,
+                            va,
+                            initiator: cpu,
+                        },
+                    );
                     pending += 1;
                 }
                 if pending == 0 {
@@ -1451,29 +1837,38 @@ fn bad_tag(what: &'static str, tag: u8) -> SnapError {
 /// don't partition snapshots: a checkpoint taken at one `sim_threads` /
 /// `host_profile` setting restores at any other (the executors are
 /// bit-identical by construction, DESIGN.md §7).
-fn config_hash(cfg: &SystemConfig) -> u64 {
+pub(crate) fn config_hash(cfg: &SystemConfig) -> u64 {
     let mut c = cfg.clone();
     c.sim_threads = 1;
     c.host_profile = false;
+    // The sanitizer observes but never perturbs, so its enable switch and
+    // ring size don't partition snapshots either: a checkpoint from a
+    // sanitizer-off run restores into a sanitizer-on replay (the whole
+    // point of triage). A configured *mutation* stays in the hash — it
+    // changes simulated behavior.
+    c.sanitizer.enabled = false;
+    c.sanitizer.ring_capacity = 0;
     ccsvm_snap::fnv1a(format!("{c:?}").as_bytes())
 }
 
 impl Outcome {
-    fn snap_tag(self) -> u8 {
+    pub(crate) fn snap_tag(self) -> u8 {
         match self {
             Outcome::Completed => 0,
             Outcome::Deadlock => 1,
             Outcome::Poisoned => 2,
             Outcome::RetryBudgetExhausted => 3,
+            Outcome::InvariantViolation => 4,
         }
     }
 
-    fn from_snap_tag(tag: u8) -> Result<Outcome, SnapError> {
+    pub(crate) fn from_snap_tag(tag: u8) -> Result<Outcome, SnapError> {
         Ok(match tag {
             0 => Outcome::Completed,
             1 => Outcome::Deadlock,
             2 => Outcome::Poisoned,
             3 => Outcome::RetryBudgetExhausted,
+            4 => Outcome::InvariantViolation,
             other => return Err(bad_tag("Outcome", other)),
         })
     }
@@ -1506,6 +1901,13 @@ impl DiagnosticDump {
         }
         w.put_usize(self.noc_busy_links);
         w.put_u64(self.noc_max_backlog.as_ps());
+        match &self.violation {
+            None => w.put_bool(false),
+            Some(v) => {
+                w.put_bool(true);
+                v.save(w);
+            }
+        }
     }
 
     fn load_snap(r: &mut SnapReader<'_>) -> Result<DiagnosticDump, SnapError> {
@@ -1534,14 +1936,24 @@ impl DiagnosticDump {
         for _ in 0..r.get_usize()? {
             poisoned_blocks.push(r.get_u64()?);
         }
+        let noc_busy_links = r.get_usize()?;
+        let noc_max_backlog = Time::from_ps(r.get_u64()?);
+        let violation = if r.get_bool()? {
+            let mut v = Violation::default();
+            v.load(r)?;
+            Some(v)
+        } else {
+            None
+        };
         Ok(DiagnosticDump {
             reason,
             at,
             outstanding,
             dir_active,
             poisoned_blocks,
-            noc_busy_links: r.get_usize()?,
-            noc_max_backlog: Time::from_ps(r.get_u64()?),
+            noc_busy_links,
+            noc_max_backlog,
+            violation,
         })
     }
 }
@@ -1686,13 +2098,21 @@ impl Ev {
                 w.put_usize(*mcore);
                 w.put_usize(*warp);
             }
-            Ev::IpiArrive { target, va, initiator } => {
+            Ev::IpiArrive {
+                target,
+                va,
+                initiator,
+            } => {
                 w.put_u8(8);
                 w.put_usize(*target);
                 w.put_u64(va.0);
                 w.put_usize(*initiator);
             }
-            Ev::FlushArrive { target, va, initiator } => {
+            Ev::FlushArrive {
+                target,
+                va,
+                initiator,
+            } => {
                 w.put_u8(9);
                 w.put_usize(*target);
                 w.put_u64(va.0);
@@ -1811,6 +2231,8 @@ impl Snapshot for Machine {
         //  * `prof_phase`, `zones`, `zone_batches` — host-side profiling
         //    telemetry, not simulated state (DESIGN.md §8); excluding them
         //    keeps snapshot bytes identical across `sim_threads` settings.
+        //  * `san_ring` — triage telemetry, not simulated state; excluding
+        //    it keeps snapshot bytes identical across sanitizer settings.
         let s = w.begin_section("machine");
         w.put_u64(self.now.as_ps());
         w.put_bool(self.started);
@@ -1842,6 +2264,8 @@ impl Snapshot for Machine {
                 w.put_u64(b);
             }
         }
+        w.put_u64(self.mut_count);
+        w.put_bool(self.mut_done);
         w.put_usize(self.cpu_seq.len());
         for v in &self.cpu_seq {
             w.put_u64(*v);
@@ -1942,6 +2366,8 @@ impl Snapshot for Machine {
         } else {
             None
         };
+        self.mut_count = r.get_u64()?;
+        self.mut_done = r.get_bool()?;
         load_exact_u64s(r, &mut self.cpu_seq, "cpu_seq")?;
         load_exact_u64s(r, &mut self.mttop_seq, "mttop_seq")?;
         load_exact_usizes(r, &mut self.shoot_pending, "shoot_pending")?;

@@ -70,7 +70,10 @@ fn same_seed_fault_runs_replay_bit_identical() {
     assert_eq!(a.outcome, Outcome::Completed);
     // Faults really fired and are part of the compared state.
     assert!(a.stats.get("noc.retransmissions") > 0.0, "NoC faults fired");
-    assert!(a.stats.get("mem.dram.ecc_corrected") > 0.0, "ECC singles fired");
+    assert!(
+        a.stats.get("mem.dram.ecc_corrected") > 0.0,
+        "ECC singles fired"
+    );
     assert_eq!(a, b, "same seed must replay bit-for-bit");
 }
 
@@ -80,7 +83,10 @@ fn different_seeds_diverge() {
     let b = run(faulty_cfg(8), &vecadd_src(32));
     assert_eq!(a.outcome, Outcome::Completed);
     assert_eq!(b.outcome, Outcome::Completed);
-    assert_eq!(a.exit_code, b.exit_code, "results stay correct under faults");
+    assert_eq!(
+        a.exit_code, b.exit_code,
+        "results stay correct under faults"
+    );
     assert_ne!(a, b, "different seeds must draw different fault schedules");
 }
 
@@ -94,12 +100,13 @@ fn dropped_completion_aborts_as_deadlock_with_dump() {
     let r = run(cfg, "_CPU_ fn main() -> int { return 41 + 1; }");
     assert_eq!(r.outcome, Outcome::Deadlock);
     let d = r.diagnostic.expect("deadlock carries a diagnostic dump");
-    assert!(
-        !d.outstanding.is_empty(),
-        "dump names the stuck port: {d}"
-    );
+    assert!(!d.outstanding.is_empty(), "dump names the stuck port: {d}");
     // Bounded abort: a handful of 100 us watchdog periods, not max_sim_time.
-    assert!(r.time.as_ms() < 10.0, "aborted at {} — watchdog too slow", r.time);
+    assert!(
+        r.time.as_ms() < 10.0,
+        "aborted at {} — watchdog too slow",
+        r.time
+    );
 }
 
 #[test]
@@ -136,8 +143,13 @@ fn double_bit_ecc_error_poisons_the_run() {
     cfg.fault.dram.double_bit_rate = 1.0; // every DRAM fill is uncorrectable
     let r = run(cfg, "_CPU_ fn main() -> int { return 41 + 1; }");
     assert_eq!(r.outcome, Outcome::Poisoned);
-    let d = r.diagnostic.expect("poison abort carries a diagnostic dump");
-    assert!(!d.poisoned_blocks.is_empty(), "dump lists the poisoned block");
+    let d = r
+        .diagnostic
+        .expect("poison abort carries a diagnostic dump");
+    assert!(
+        !d.poisoned_blocks.is_empty(),
+        "dump lists the poisoned block"
+    );
 }
 
 #[test]
@@ -166,7 +178,9 @@ fn blackholed_responder_exhausts_retry_budget() {
     cfg.fault.blackhole_resp = Some(1);
     let r = run(cfg, PINGPONG);
     assert_eq!(r.outcome, Outcome::RetryBudgetExhausted);
-    let d = r.diagnostic.expect("budget abort carries a diagnostic dump");
+    let d = r
+        .diagnostic
+        .expect("budget abort carries a diagnostic dump");
     assert!(d.reason.contains("retry budget"), "reason: {}", d.reason);
     assert!(r.time.as_ms() < 10.0, "bounded abort, got {}", r.time);
 }
@@ -185,4 +199,108 @@ fn fault_free_runs_are_unaffected_by_the_watchdog() {
     // No fault counters appear in a fault-free report.
     assert!(!base.stats.contains("noc.retransmissions"));
     assert!(!base.stats.contains("mem.dram.ecc_corrected"));
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog / fault-plan edge cases (DESIGN §9 triage prerequisites).
+// ---------------------------------------------------------------------------
+
+/// A run that is *going to* wedge, checkpointed exactly at the cycle forward
+/// progress stops (the dump's `at` — a checkpoint boundary by construction),
+/// must restore and abort bit-identically to the uninterrupted run.
+#[test]
+fn watchdog_abort_at_checkpoint_boundary_restores_identically() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.drop_data_delivery = Some(1);
+    cfg.fault.watchdog.period = Time::from_us(100);
+    cfg.fault.watchdog.quanta = 4;
+    let src = "_CPU_ fn main() -> int { return 41 + 1; }";
+    let prog = ccsvm_xthreads::build(src).unwrap();
+
+    let baseline = Machine::new(cfg.clone(), prog.clone()).run();
+    assert_eq!(baseline.outcome, Outcome::Deadlock);
+    let wedge_at = baseline.diagnostic.as_ref().unwrap().at;
+
+    // Checkpoint exactly at the wedge cycle: the machine is healthy there
+    // (the watchdog only notices `quanta` periods later)...
+    let mut m = Machine::new(cfg.clone(), prog.clone());
+    assert!(
+        m.run_until(wedge_at).is_none(),
+        "no abort yet at the wedge cycle itself"
+    );
+    let snap = m.checkpoint_bytes();
+
+    // ...and the restored run must re-derive the identical abort.
+    let mut r = Machine::restore_bytes(cfg, prog, &snap).unwrap();
+    assert_eq!(
+        r.run(),
+        baseline,
+        "restored wedge must abort bit-identically"
+    );
+}
+
+/// Sweep the drop-Nth-delivery injector past the end of the run: the first
+/// N with no Nth occurrence must complete bit-identical to fault-free
+/// (an armed-but-unfired injector is invisible), and N-1 — the run's
+/// *final* data delivery — must still abort gracefully with a dump.
+#[test]
+fn fault_on_final_event_still_aborts_gracefully() {
+    let src = "_CPU_ fn main() -> int { return 41 + 1; }";
+    let clean = run(SystemConfig::tiny(), src);
+    assert_eq!(clean.outcome, Outcome::Completed);
+
+    let wedged_cfg = |n: u64| {
+        let mut cfg = SystemConfig::tiny();
+        cfg.fault.drop_data_delivery = Some(n);
+        cfg.fault.watchdog.period = Time::from_us(100);
+        cfg.fault.watchdog.quanta = 4;
+        cfg
+    };
+    // Find the first N whose Nth data delivery never happens.
+    let mut past_end = None;
+    for n in 1..=512u64 {
+        if run(wedged_cfg(n), src).outcome == Outcome::Completed {
+            past_end = Some(n);
+            break;
+        }
+    }
+    let past_end = past_end.expect("a trivial run has < 512 data deliveries");
+    assert!(past_end > 1, "the run performs at least one data delivery");
+
+    // Armed but unfired: bit-identical to the injector-free run.
+    let unfired = run(wedged_cfg(past_end), src);
+    assert_eq!(unfired, clean, "unfired injector must not perturb the run");
+
+    // Dropping the very last delivery of the run still aborts in bounded
+    // time with a dump naming the stuck port.
+    let last = run(wedged_cfg(past_end - 1), src);
+    assert_eq!(last.outcome, Outcome::Deadlock);
+    let d = last
+        .diagnostic
+        .expect("final-event fault still carries a dump");
+    assert!(!d.outstanding.is_empty(), "dump names the stuck port: {d}");
+    assert!(last.time.as_ms() < 10.0, "bounded abort, got {}", last.time);
+}
+
+/// A zero retry budget: the very first directory timeout exhausts it. Must
+/// be a typed abort with a diagnostic dump, never a panic or a hang.
+#[test]
+fn zero_retry_budget_aborts_with_dump_on_first_timeout() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.dir.timeout = Some(Time::from_us(5));
+    cfg.fault.dir.retry_budget = 0;
+    cfg.fault.blackhole_resp = Some(1);
+    let r = run(cfg, PINGPONG);
+    assert_eq!(r.outcome, Outcome::RetryBudgetExhausted);
+    let d = r.diagnostic.expect("zero-budget abort carries a dump");
+    assert!(d.reason.contains("retry budget"), "reason: {}", d.reason);
+    assert!(
+        !d.dir_active.is_empty() || !d.outstanding.is_empty(),
+        "dump points at the stuck transaction: {d}"
+    );
+    assert!(
+        r.time.as_ms() < 1.0,
+        "first timeout aborts promptly, got {}",
+        r.time
+    );
 }

@@ -13,20 +13,68 @@
 //! ```
 //!
 //! and commit the rewritten files under `tests/goldens/`.
+//!
+//! With `CCSVM_SANITIZE=1` the same runs execute with the coherence
+//! sanitizer enabled (DESIGN §9). The sanitizer is a pure observer, so the
+//! snapshots must *still* match the blessed goldens byte-for-byte — CI runs
+//! both modes to pin that claim. If a sanitized golden run aborts, a triage
+//! replay bundle is written to `bundles/` (uploaded as a CI artifact) so
+//! the failure can be reproduced locally with `bench --bin replay`.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use ccsvm::{Machine, Outcome, SystemConfig};
 
+fn sanitize_mode() -> bool {
+    std::env::var("CCSVM_SANITIZE").is_ok()
+}
+
+/// On a sanitized golden failure, capture a replay bundle for the CI
+/// artifact before panicking.
+fn capture_bundle(src: &str, cfg: &SystemConfig, context: &str) {
+    let out_dir = std::path::Path::new("bundles");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    match ccsvm::run_with_triage(cfg, "paper_default", src, ccsvm::Time::from_us(100)) {
+        Ok(t) => match t.bundle {
+            Some(b) => {
+                let path = out_dir.join(format!("golden-{context}.ccbundle"));
+                match b.write(&path) {
+                    Ok(()) => eprintln!(
+                        "replay bundle written to {} (reproduce with `cargo run -p \
+                         ccsvm-bench --bin replay -- {}`)",
+                        path.display(),
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("cannot write bundle: {e}"),
+                }
+            }
+            None => eprintln!("triage re-run completed cleanly; no bundle to capture"),
+        },
+        Err(e) => eprintln!("triage re-run failed: {e}"),
+    }
+}
+
 /// Renders the parts of a run that must be bit-for-bit stable.
 fn snapshot_at(src: &str, sim_threads: usize) -> String {
     let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
     let mut cfg = SystemConfig::paper_default();
     cfg.sim_threads = sim_threads;
-    let mut m = Machine::new(cfg, prog);
+    cfg.sanitizer.enabled = sanitize_mode();
+    let mut m = Machine::new(cfg.clone(), prog);
     let r = m.run();
-    assert_eq!(r.outcome, Outcome::Completed, "golden workload must complete");
+    if r.outcome != Outcome::Completed && cfg.sanitizer.enabled {
+        capture_bundle(src, &cfg, &format!("t{sim_threads}"));
+    }
+    assert_eq!(
+        r.outcome,
+        Outcome::Completed,
+        "golden workload must complete (diag: {:?})",
+        r.diagnostic
+    );
     let mut out = String::new();
     writeln!(out, "time_ps: {}", r.time.as_ps()).unwrap();
     writeln!(out, "exit_code: {}", r.exit_code).unwrap();
@@ -63,8 +111,12 @@ fn check(name: &str, src: &str) {
         std::fs::write(&path, &got).expect("write golden");
         return;
     }
-    let want = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with CCSVM_BLESS=1)", path.display()));
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} (run with CCSVM_BLESS=1)",
+            path.display()
+        )
+    });
     if got != want {
         for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
             if g != w {

@@ -1,0 +1,334 @@
+//! Coherence-sanitizer suite (DESIGN §9): the sanitizer must be a pure
+//! observer — enabling it changes no simulated behavior and every
+//! `RunReport` stays bit-identical — yet each seeded protocol mutation must
+//! be caught with the correct invariant ID at a definite cycle, and the
+//! triage pipeline must bisect a failure to its first failing cycle and
+//! emit a replay bundle that deterministically reproduces it.
+
+use ccsvm::{
+    replay_bundle, run_with_triage, InvariantId, Machine, Mutation, MutationKind, Outcome,
+    ReplayBundle, RunReport, SystemConfig, Time, Violation,
+};
+
+fn run(cfg: SystemConfig, src: &str) -> RunReport {
+    let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    Machine::new(cfg, prog).run()
+}
+
+/// A small CPU+MTTOP workload with real NoC/L2/DRAM traffic.
+fn vecadd_src(n: u64) -> String {
+    format!(
+        "struct Args {{ v1: int*; v2: int*; sum: int*; done: int*; }}
+         _MTTOP_ fn add(tid: int, a: Args*) {{
+             a->sum[tid] = a->v1[tid] + a->v2[tid];
+             xt_msignal(a->done, tid);
+         }}
+         _CPU_ fn main() -> int {{
+             let n = {n};
+             let a: Args* = malloc(sizeof(Args));
+             a->v1 = malloc(n * 8);
+             a->v2 = malloc(n * 8);
+             a->sum = malloc(n * 8);
+             a->done = malloc(n * 8);
+             for (let i = 0; i < n; i = i + 1) {{
+                 a->v1[i] = i * 3;
+                 a->v2[i] = i + 7;
+                 a->done[i] = 0;
+             }}
+             let err = xt_create_mthread(add, a as int, 0, n - 1);
+             if (err != 0) {{ return -1; }}
+             xt_wait(a->done, 0, n - 1);
+             let total = 0;
+             for (let i = 0; i < n; i = i + 1) {{ total = total + a->sum[i]; }}
+             return total;
+         }}"
+    )
+}
+
+/// A two-CPU sharing workload: the S→M upgrade and invalidation traffic the
+/// grant/fill mutations need.
+const PINGPONG: &str = "global results: int;
+     fn worker(arg: int) -> int {
+         atomic_add(&results, arg);
+         return 0;
+     }
+     _CPU_ fn main() -> int {
+         results = 0;
+         let t1 = spawn_cthread(worker, 5);
+         if (t1 < 0) { return -1; }
+         while (results != 5) { }
+         return results;
+     }";
+
+/// A shootdown workload where the *remote* CPU has cached the doomed
+/// translation: the worker reads the page (filling CPU 1's TLB), then main
+/// munmaps it, so the shootdown IPI must invalidate a live remote entry.
+const SHOOTDOWN: &str = "global sync: int;
+     global addr: int;
+     fn worker(arg: int) -> int {
+         let p: int* = addr as int*;
+         let x = p[0];
+         atomic_add(&sync, 1 + x);
+         return 0;
+     }
+     _CPU_ fn main() -> int {
+         let p: int* = malloc(4096);
+         p[0] = 0;
+         addr = p as int;
+         sync = 0;
+         let t1 = spawn_cthread(worker, 1);
+         if (t1 < 0) { return -1; }
+         while (sync != 1) { }
+         munmap(p as int);
+         return 7;
+     }";
+
+fn faulty_cfg(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.seed = seed;
+    cfg.fault.noc.drop_rate = 0.02;
+    cfg.fault.dram.single_bit_rate = 0.2;
+    cfg.fault.tlb.transient_rate = 0.02;
+    cfg
+}
+
+/// Tiny machine with the sanitizer on and one seeded mutation armed.
+fn mutated_cfg(kind: MutationKind, nth: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.sanitizer.enabled = true;
+    cfg.sanitizer.mutate = Some(Mutation { kind, nth });
+    cfg
+}
+
+/// The recorded violation behind an `InvariantViolation` abort.
+fn violation(r: &RunReport) -> Violation {
+    assert_eq!(
+        r.outcome,
+        Outcome::InvariantViolation,
+        "expected a sanitizer abort, got {:?} (diag: {:?})",
+        r.outcome,
+        r.diagnostic
+    );
+    let d = r
+        .diagnostic
+        .as_ref()
+        .expect("abnormal outcome carries a dump");
+    assert_eq!(d.at, r.time, "dump is stamped at the abort cycle");
+    d.violation
+        .clone()
+        .expect("sanitizer abort records its violation")
+}
+
+// ---------------------------------------------------------------------------
+// Observer purity: sanitizer on/off is invisible in results.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sanitizer_on_is_bit_identical_including_under_faults() {
+    let off = run(faulty_cfg(7), &vecadd_src(24));
+    let mut cfg = faulty_cfg(7);
+    cfg.sanitizer.enabled = true;
+    let on = run(cfg, &vecadd_src(24));
+    assert_eq!(off.outcome, Outcome::Completed);
+    assert_eq!(off, on, "enabling the sanitizer must not change the report");
+}
+
+#[test]
+fn sanitizer_on_pingpong_bit_identical() {
+    let off = run(SystemConfig::tiny(), PINGPONG);
+    let mut cfg = SystemConfig::tiny();
+    cfg.sanitizer.enabled = true;
+    let on = run(cfg, PINGPONG);
+    assert_eq!(off.exit_code, 5);
+    assert_eq!(off, on);
+}
+
+/// A checkpoint captured with the sanitizer *off* restores into a
+/// sanitizer-*on* machine (the config hash normalizes observer settings)
+/// and the resumed run is still bit-identical to the uninterrupted one.
+#[test]
+fn off_checkpoint_restores_into_sanitizer_on_machine() {
+    let src = vecadd_src(24);
+    let prog = ccsvm_xthreads::build(&src).unwrap();
+    let baseline = Machine::new(faulty_cfg(7), prog.clone()).run();
+    assert_eq!(baseline.outcome, Outcome::Completed);
+
+    let mut m = Machine::new(faulty_cfg(7), prog.clone());
+    let pause = Time::from_ps(baseline.time.as_ps() / 2);
+    assert!(m.run_until(pause).is_none(), "workload outlives the pause");
+    let snap = m.checkpoint_bytes();
+
+    let mut on_cfg = faulty_cfg(7);
+    on_cfg.sanitizer.enabled = true;
+    let mut resumed = Machine::restore_bytes(on_cfg, prog, &snap)
+        .expect("observer-only config delta restores cleanly");
+    assert_eq!(resumed.run(), baseline);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded protocol mutations: each caught with the right invariant ID.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mutation_corrupt_dir_owner_caught_as_dir_agree() {
+    let r = run(mutated_cfg(MutationKind::CorruptDirOwner, 8), PINGPONG);
+    let v = violation(&r);
+    assert_eq!(
+        v.invariant,
+        InvariantId::MemDirAgree,
+        "detail: {}",
+        v.detail
+    );
+    assert_eq!(v.at, r.time);
+}
+
+#[test]
+fn mutation_corrupt_grant_caught() {
+    let r = run(mutated_cfg(MutationKind::CorruptGrant, 1), PINGPONG);
+    let v = violation(&r);
+    assert!(
+        v.invariant == InvariantId::MemSwmr || v.invariant == InvariantId::MemDirAgree,
+        "an S-grant upgraded to M must break SWMR or dir agreement, got {} ({})",
+        v.invariant.as_str(),
+        v.detail
+    );
+    assert_eq!(v.at, r.time);
+}
+
+#[test]
+fn mutation_corrupt_fill_data_caught_as_data_value() {
+    let r = run(mutated_cfg(MutationKind::CorruptFillData, 1), PINGPONG);
+    let v = violation(&r);
+    assert_eq!(
+        v.invariant,
+        InvariantId::MemDataValue,
+        "detail: {}",
+        v.detail
+    );
+    assert_eq!(v.at, r.time);
+}
+
+#[test]
+fn mutation_duplicate_resp_caught_as_msg_conserve() {
+    let r = run(mutated_cfg(MutationKind::DuplicateResp, 1), PINGPONG);
+    let v = violation(&r);
+    assert_eq!(
+        v.invariant,
+        InvariantId::MemMsgConserve,
+        "detail: {}",
+        v.detail
+    );
+    assert_eq!(v.at, r.time);
+}
+
+/// A silently dropped response wedges the run; the watchdog catches the
+/// wedge, and the sanitizer's end-of-run conservation sweep upgrades the
+/// symptom (deadlock) to its root cause (a lost message).
+#[test]
+fn mutation_drop_resp_upgraded_to_noc_conserve() {
+    let mut cfg = mutated_cfg(MutationKind::DropResp, 1);
+    cfg.fault.watchdog.period = Time::from_us(100);
+    cfg.fault.watchdog.quanta = 4;
+    let r = run(cfg, PINGPONG);
+    let v = violation(&r);
+    assert_eq!(
+        v.invariant,
+        InvariantId::NocConserve,
+        "detail: {}",
+        v.detail
+    );
+    let d = r.diagnostic.as_ref().unwrap();
+    assert!(
+        d.reason.contains("watchdog") || !d.reason.is_empty(),
+        "the original wedge context is preserved: {}",
+        d.reason
+    );
+}
+
+#[test]
+fn mutation_skip_tlb_invalidate_caught_as_stale_shootdown() {
+    let r = run(mutated_cfg(MutationKind::SkipTlbInvalidate, 1), SHOOTDOWN);
+    let v = violation(&r);
+    assert_eq!(
+        v.invariant,
+        InvariantId::VmStaleShoot,
+        "detail: {}",
+        v.detail
+    );
+    assert_eq!(v.at, r.time);
+}
+
+#[test]
+fn mutation_corrupt_tlb_entry_caught_as_tlb_pt() {
+    let r = run(mutated_cfg(MutationKind::CorruptTlbEntry, 1), PINGPONG);
+    let v = violation(&r);
+    assert_eq!(v.invariant, InvariantId::VmTlbPt, "detail: {}", v.detail);
+    assert_eq!(v.at, r.time);
+}
+
+/// Mutations are latched: exactly one firing per run, and the same seeded
+/// mutation aborts at the same cycle every time (deterministic triage).
+#[test]
+fn mutations_replay_deterministically() {
+    let a = run(mutated_cfg(MutationKind::CorruptFillData, 1), PINGPONG);
+    let b = run(mutated_cfg(MutationKind::CorruptFillData, 1), PINGPONG);
+    assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Triage: bisect-to-cycle + replay bundles.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn triage_bisects_and_bundle_replays() {
+    let cfg = mutated_cfg(MutationKind::CorruptFillData, 1);
+    let t =
+        run_with_triage(&cfg, "tiny", PINGPONG, Time::from_us(20)).expect("triage run succeeds");
+    assert_eq!(t.report.outcome, Outcome::InvariantViolation);
+    let b = t.bundle.expect("abnormal outcome produces a bundle");
+    assert_eq!(
+        b.first_fail, t.report.time,
+        "bisection converges to the manifest cycle"
+    );
+    assert_eq!(b.outcome, Outcome::InvariantViolation);
+    assert_eq!(
+        b.violation.as_ref().map(|v| v.invariant),
+        Some(InvariantId::MemDataValue)
+    );
+    assert!(b.snapshot_at < b.first_fail);
+    assert!(b.ring_total > 0, "uncore event ring captured");
+    assert!(!b.ring.is_empty());
+
+    // The bundle serializes and round-trips bit-exactly.
+    let bytes = b.to_bytes();
+    let b2 = ReplayBundle::from_bytes(&bytes).expect("bundle decodes");
+    assert_eq!(b, b2);
+
+    // And it deterministically reproduces the failure.
+    let (replayed, reproduced) = replay_bundle(&b2).expect("replay runs");
+    assert!(reproduced, "bundle must reproduce: {:?}", replayed.outcome);
+    assert_eq!(replayed.time, b.first_fail);
+}
+
+#[test]
+fn triage_on_healthy_run_yields_no_bundle() {
+    let cfg = SystemConfig::tiny();
+    let t = run_with_triage(&cfg, "tiny", PINGPONG, Time::from_us(50)).unwrap();
+    assert_eq!(t.report.outcome, Outcome::Completed);
+    assert!(t.bundle.is_none());
+}
+
+/// Corrupt bundle bytes surface as typed errors, never panics.
+#[test]
+fn bundle_decode_rejects_corruption() {
+    let cfg = mutated_cfg(MutationKind::CorruptFillData, 1);
+    let t = run_with_triage(&cfg, "tiny", PINGPONG, Time::from_us(20)).unwrap();
+    let bytes = t.bundle.unwrap().to_bytes();
+    assert!(ReplayBundle::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    let mut flipped = bytes.clone();
+    flipped[0] ^= 0xff; // magic
+    assert!(ReplayBundle::from_bytes(&flipped).is_err());
+    let mut vflip = bytes.clone();
+    vflip[8] ^= 0xff; // version word
+    assert!(ReplayBundle::from_bytes(&vflip).is_err());
+}

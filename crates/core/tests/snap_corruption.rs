@@ -1,0 +1,126 @@
+//! Snapshot corruption hardening: a machine image truncated at *every*
+//! possible offset, or with bytes flipped throughout, must always surface a
+//! typed [`SnapError`] or restore to a fully-validated machine — never
+//! panic, never hand back a half-restored simulator. (The byte-flip sweep
+//! allows `Ok` because payload bytes — cache data, register values — are
+//! not individually checksummed; the header hash guards config identity,
+//! and structural fields are bounds-checked. What is being proven is the
+//! absence of panics and of unbounded allocations on hostile input.)
+
+use ccsvm::{Machine, Outcome, SnapError, SystemConfig, Time};
+use ccsvm_isa::Program;
+
+const SRC: &str = "_CPU_ fn main() -> int { return 41 + 1; }";
+
+fn compile() -> Program {
+    ccsvm_xthreads::build(SRC).unwrap()
+}
+
+/// A mid-run image with live uncore state (queued events, cache contents,
+/// in-flight coherence), which exercises every codec in the restore path.
+fn mid_run_image(cfg: &SystemConfig) -> Vec<u8> {
+    let baseline = Machine::new(cfg.clone(), compile()).run();
+    assert_eq!(baseline.outcome, Outcome::Completed);
+    let mut m = Machine::new(cfg.clone(), compile());
+    let pause = Time::from_ps(baseline.time.as_ps() / 2);
+    assert!(m.run_until(pause).is_none(), "run outlives the pause point");
+    m.checkpoint_bytes()
+}
+
+#[test]
+fn truncation_at_every_offset_is_a_typed_error() {
+    let cfg = SystemConfig::tiny();
+    let bytes = mid_run_image(&cfg);
+    // A valid image restores (sanity for the sweep below).
+    Machine::restore_bytes(cfg.clone(), compile(), &bytes).expect("intact image restores");
+    let prog = compile();
+    for len in 0..bytes.len() {
+        match Machine::restore_bytes(cfg.clone(), prog.clone(), &bytes[..len]) {
+            Err(_) => {} // typed error: the only acceptable outcome
+            Ok(_) => panic!(
+                "truncation to {len}/{} bytes restored a machine",
+                bytes.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn byte_flip_at_every_offset_never_panics_cold_boot() {
+    let cfg = SystemConfig::tiny();
+    let bytes = Machine::new(cfg.clone(), compile()).checkpoint_bytes();
+    let prog = compile();
+    let mut typed_errors = 0usize;
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0xff;
+        // Either a typed SnapError or a fully-restored machine; the test
+        // harness turns any panic into a failure, which is the point.
+        if Machine::restore_bytes(cfg.clone(), prog.clone(), &corrupt).is_err() {
+            typed_errors += 1;
+        }
+    }
+    // Most flips land in structural fields and must be caught.
+    assert!(
+        typed_errors > bytes.len() / 4,
+        "only {typed_errors}/{} flips rejected — validation too loose?",
+        bytes.len()
+    );
+}
+
+#[test]
+fn byte_flips_throughout_a_live_image_never_panic() {
+    let cfg = SystemConfig::tiny();
+    let bytes = mid_run_image(&cfg);
+    let prog = compile();
+    // Strided sweep with co-prime steps so every region of the image —
+    // header, event queue, caches, directory, RNG, stats — gets hit under
+    // several different masks.
+    for (start, mask) in [(0usize, 0xffu8), (1, 0x01), (2, 0x80), (3, 0x55)] {
+        for i in (start..bytes.len()).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= mask;
+            let _ = Machine::restore_bytes(cfg.clone(), prog.clone(), &corrupt);
+        }
+    }
+}
+
+/// Length-prefix sabotage: set every aligned u32/u64 window to huge values.
+/// The reader must bounds-check lengths against the remaining bytes before
+/// allocating — a hostile length must produce a typed error, not an OOM.
+#[test]
+fn hostile_length_fields_are_bounds_checked() {
+    let cfg = SystemConfig::tiny();
+    let bytes = mid_run_image(&cfg);
+    let prog = compile();
+    for i in (20..bytes.len().saturating_sub(8)).step_by(13) {
+        let mut corrupt = bytes.clone();
+        corrupt[i..i + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        match Machine::restore_bytes(cfg.clone(), prog.clone(), &corrupt) {
+            Err(
+                SnapError::Truncated { .. }
+                | SnapError::Corrupt { .. }
+                | SnapError::BadMagic
+                | SnapError::SchemaMismatch { .. }
+                | SnapError::ConfigMismatch { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error variant at {i}: {other:?}"),
+            // A stomped window that happens to encode plausible small values
+            // can still parse; acceptable as long as nothing panicked.
+            Ok(_) => {}
+        }
+    }
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_typed_errors() {
+    let cfg = SystemConfig::tiny();
+    let prog = compile();
+    for img in [&[][..], &[0u8][..], &[0xff; 7][..], b"CCSVSNAP"] {
+        assert!(
+            Machine::restore_bytes(cfg.clone(), prog.clone(), img).is_err(),
+            "{} bytes must not restore",
+            img.len()
+        );
+    }
+}

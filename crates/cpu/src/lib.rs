@@ -97,9 +97,20 @@ struct TlbFaults {
 /// An architectural memory operation awaiting translation/access.
 #[derive(Clone, Copy, Debug)]
 enum OpKind {
-    Ld { rd: Reg, size: u8 },
-    St { size: u8, value: u64 },
-    Amo { rd: Reg, op: AmoKind, a: u64, b: u64 },
+    Ld {
+        rd: Reg,
+        size: u8,
+    },
+    St {
+        size: u8,
+        value: u64,
+    },
+    Amo {
+        rd: Reg,
+        op: AmoKind,
+        a: u64,
+        b: u64,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -125,7 +136,10 @@ enum Pending {
     Syscall,
     /// Waiting for the machine to resolve a page fault (the address is
     /// carried by the `PageFault` action; kept here for Debug dumps).
-    Fault { #[allow(dead_code)] va: VirtAddr },
+    Fault {
+        #[allow(dead_code)]
+        va: VirtAddr,
+    },
 }
 
 /// One in-order CPU core.
@@ -189,7 +203,11 @@ impl CpuCore {
     /// walk fails with probability `cfg.transient_rate`, charging
     /// `cfg.retry_penalty` and re-walking, instead of filling the TLB.
     pub fn install_tlb_faults(&mut self, cfg: TlbFaultConfig, rng: SplitMix64) {
-        self.tlb_faults = Some(TlbFaults { cfg, rng, transients: 0 });
+        self.tlb_faults = Some(TlbFaults {
+            cfg,
+            rng,
+            transients: 0,
+        });
     }
 
     /// Whether a thread is currently assigned.
@@ -252,6 +270,23 @@ impl CpuCore {
         self.tlb.invalidate(va);
     }
 
+    /// Live TLB translations, for the sanitizer's TLB⊆page-table check.
+    /// Read-only: no LRU or counter effects.
+    pub fn tlb_entries(&self) -> Vec<(u64, PhysAddr)> {
+        self.tlb.entries()
+    }
+
+    /// Whether the TLB still holds a translation for `va`'s page (read-only;
+    /// the sanitizer's stale-shootdown check).
+    pub fn tlb_holds(&self, va: VirtAddr) -> bool {
+        self.tlb.holds(va)
+    }
+
+    /// Test-only sanitizer mutation hook: corrupt one live TLB entry's frame.
+    pub fn test_corrupt_tlb(&mut self) -> bool {
+        self.tlb.test_corrupt_first_entry()
+    }
+
     fn token(&mut self) -> u64 {
         self.token_seq += 1;
         let t = self.token_prefix | self.token_seq;
@@ -288,7 +323,11 @@ impl CpuCore {
         self.outstanding_token = None;
         self.local_time = self.local_time.max(now);
         self.pending = match self.pending {
-            Pending::WalkRead { walk, op } => Pending::WalkReady { pte: value, walk, op },
+            Pending::WalkRead { walk, op } => Pending::WalkReady {
+                pte: value,
+                walk,
+                op,
+            },
             Pending::Access { op } => Pending::AccessReady { value, op },
             ref p => unreachable!("completion in state {p:?}"),
         };
@@ -384,7 +423,12 @@ impl CpuCore {
                     self.set(rd, imm as u64);
                     self.pc += 1;
                 }
-                Instr::Br { cond, ra, rb, target } => {
+                Instr::Br {
+                    cond,
+                    ra,
+                    rb,
+                    target,
+                } => {
                     self.pc = if cond.test(self.get(ra), self.get(rb)) {
                         target
                     } else {
@@ -413,17 +457,33 @@ impl CpuCore {
                     self.busy_time += self.local_time - start;
                     return CpuAction::Exited;
                 }
-                Instr::Ld { rd, base, off, size } => {
+                Instr::Ld {
+                    rd,
+                    base,
+                    off,
+                    size,
+                } => {
                     let va = VirtAddr(self.get(base).wrapping_add(off as u64));
-                    let op = MemOp { va, kind: OpKind::Ld { rd, size } };
+                    let op = MemOp {
+                        va,
+                        kind: OpKind::Ld { rd, size },
+                    };
                     if let Some(a) = self.issue_mem(op, port) {
                         return self.charge_and(a, start);
                     }
                 }
-                Instr::St { rs, base, off, size } => {
+                Instr::St {
+                    rs,
+                    base,
+                    off,
+                    size,
+                } => {
                     let va = VirtAddr(self.get(base).wrapping_add(off as u64));
                     let value = self.get(rs);
-                    let op = MemOp { va, kind: OpKind::St { size, value } };
+                    let op = MemOp {
+                        va,
+                        kind: OpKind::St { size, value },
+                    };
                     if let Some(a) = self.issue_mem(op, port) {
                         return self.charge_and(a, start);
                     }
@@ -432,7 +492,12 @@ impl CpuCore {
                     let va = VirtAddr(self.get(addr));
                     let mop = MemOp {
                         va,
-                        kind: OpKind::Amo { rd, op, a: self.get(a), b: self.get(b) },
+                        kind: OpKind::Amo {
+                            rd,
+                            op,
+                            a: self.get(a),
+                            b: self.get(b),
+                        },
                     };
                     if let Some(act) = self.issue_mem(mop, port) {
                         return self.charge_and(act, start);
@@ -461,9 +526,17 @@ impl CpuCore {
         }
     }
 
-    fn issue_walk_read(&mut self, walk: Walk, op: MemOp, port: &mut CorePort<'_>) -> Option<CpuAction> {
+    fn issue_walk_read(
+        &mut self,
+        walk: Walk,
+        op: MemOp,
+        port: &mut CorePort<'_>,
+    ) -> Option<CpuAction> {
         let token = self.token();
-        let access = Access::Read { paddr: walk.pte_addr(), size: 8 };
+        let access = Access::Read {
+            paddr: walk.pte_addr(),
+            size: 8,
+        };
         match port.access(self.local_time, token, access) {
             AccessResult::Hit { finish, value } => {
                 self.outstanding_token = None;
@@ -477,7 +550,9 @@ impl CpuCore {
             AccessResult::Retry => {
                 self.outstanding_token = None;
                 self.local_time += self.config.clock.period();
-                Some(CpuAction::Continue { at: self.local_time })
+                Some(CpuAction::Continue {
+                    at: self.local_time,
+                })
             }
             AccessResult::Poisoned => {
                 self.outstanding_token = None;
@@ -505,7 +580,9 @@ impl CpuCore {
                         // retry penalty and re-walks from scratch.
                         f.transients += 1;
                         self.local_time += f.cfg.retry_penalty;
-                        return Some(CpuAction::Continue { at: self.local_time });
+                        return Some(CpuAction::Continue {
+                            at: self.local_time,
+                        });
                     }
                 }
                 self.tlb.insert(op.va, frame);
@@ -526,13 +603,23 @@ impl CpuCore {
         port: &mut CorePort<'_>,
     ) -> Option<CpuAction> {
         let access = match op.kind {
-            OpKind::Ld { size, .. } => Access::Read { paddr, size: size as usize },
-            OpKind::St { size, value } => Access::Write { paddr, size: size as usize, value },
+            OpKind::Ld { size, .. } => Access::Read {
+                paddr,
+                size: size as usize,
+            },
+            OpKind::St { size, value } => Access::Write {
+                paddr,
+                size: size as usize,
+                value,
+            },
             OpKind::Amo { op: k, a, b, .. } => Access::Rmw {
                 paddr,
                 size: 8,
                 op: match k {
-                    AmoKind::Cas => AtomicOp::Cas { expected: a, value: b },
+                    AmoKind::Cas => AtomicOp::Cas {
+                        expected: a,
+                        value: b,
+                    },
                     AmoKind::Add => AtomicOp::Add { value: a },
                     AmoKind::Inc => AtomicOp::Inc,
                     AmoKind::Dec => AtomicOp::Dec,
@@ -555,7 +642,9 @@ impl CpuCore {
             AccessResult::Retry => {
                 self.outstanding_token = None;
                 self.local_time += self.config.clock.period();
-                Some(CpuAction::Continue { at: self.local_time })
+                Some(CpuAction::Continue {
+                    at: self.local_time,
+                })
             }
             AccessResult::Poisoned => {
                 self.outstanding_token = None;
@@ -651,8 +740,14 @@ impl MemOp {
     fn load(r: &mut SnapReader<'_>) -> Result<MemOp, SnapError> {
         let va = VirtAddr(r.get_u64()?);
         let kind = match r.get_u8()? {
-            0 => OpKind::Ld { rd: Reg(r.get_u8()?), size: r.get_u8()? },
-            1 => OpKind::St { size: r.get_u8()?, value: r.get_u64()? },
+            0 => OpKind::Ld {
+                rd: Reg(r.get_u8()?),
+                size: r.get_u8()?,
+            },
+            1 => OpKind::St {
+                size: r.get_u8()?,
+                value: r.get_u64()?,
+            },
             2 => OpKind::Amo {
                 rd: Reg(r.get_u8()?),
                 op: load_amo_kind(r)?,
@@ -700,16 +795,26 @@ impl Pending {
     fn load(r: &mut SnapReader<'_>) -> Result<Pending, SnapError> {
         Ok(match r.get_u8()? {
             0 => Pending::None,
-            1 => Pending::WalkRead { walk: Walk::load(r)?, op: MemOp::load(r)? },
+            1 => Pending::WalkRead {
+                walk: Walk::load(r)?,
+                op: MemOp::load(r)?,
+            },
             2 => Pending::WalkReady {
                 pte: r.get_u64()?,
                 walk: Walk::load(r)?,
                 op: MemOp::load(r)?,
             },
-            3 => Pending::Access { op: MemOp::load(r)? },
-            4 => Pending::AccessReady { value: r.get_u64()?, op: MemOp::load(r)? },
+            3 => Pending::Access {
+                op: MemOp::load(r)?,
+            },
+            4 => Pending::AccessReady {
+                value: r.get_u64()?,
+                op: MemOp::load(r)?,
+            },
             5 => Pending::Syscall,
-            6 => Pending::Fault { va: VirtAddr(r.get_u64()?) },
+            6 => Pending::Fault {
+                va: VirtAddr(r.get_u64()?),
+            },
             t => return Err(bad_tag("Pending", t)),
         })
     }
@@ -762,7 +867,11 @@ impl Snapshot for CpuCore {
         self.tlb.load(r)?;
         self.cr3 = PhysAddr(r.get_u64()?);
         self.token_seq = r.get_u64()?;
-        self.outstanding_token = if r.get_bool()? { Some(r.get_u64()?) } else { None };
+        self.outstanding_token = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
         self.icount = r.get_u64()?;
         self.mem_ops = r.get_u64()?;
         self.walks = r.get_u64()?;

@@ -79,7 +79,10 @@ pub struct TlbFaultConfig {
 
 impl Default for TlbFaultConfig {
     fn default() -> Self {
-        TlbFaultConfig { transient_rate: 0.0, retry_penalty: Time::from_ns(200) }
+        TlbFaultConfig {
+            transient_rate: 0.0,
+            retry_penalty: Time::from_ns(200),
+        }
     }
 }
 
@@ -98,7 +101,10 @@ pub struct DirTimeoutConfig {
 
 impl Default for DirTimeoutConfig {
     fn default() -> Self {
-        DirTimeoutConfig { timeout: None, retry_budget: 8 }
+        DirTimeoutConfig {
+            timeout: None,
+            retry_budget: 8,
+        }
     }
 }
 
@@ -116,7 +122,11 @@ pub struct WatchdogConfig {
 
 impl Default for WatchdogConfig {
     fn default() -> Self {
-        WatchdogConfig { enabled: true, period: Time::from_ms(1), quanta: 8 }
+        WatchdogConfig {
+            enabled: true,
+            period: Time::from_ms(1),
+            quanta: 8,
+        }
     }
 }
 
@@ -208,7 +218,11 @@ pub struct Watchdog {
 impl Watchdog {
     /// A watchdog that has just seen progress at time zero.
     pub fn new() -> Watchdog {
-        Watchdog { last_progress: 0, last_change: Time::ZERO, stale: 0 }
+        Watchdog {
+            last_progress: 0,
+            last_change: Time::ZERO,
+            stale: 0,
+        }
     }
 
     /// Records an observation of the progress counter at time `now`.
@@ -234,6 +248,80 @@ impl Watchdog {
 impl Default for Watchdog {
     fn default() -> Self {
         Watchdog::new()
+    }
+}
+
+/// Full-fidelity codec for replay bundles: a captured failure must replay
+/// under the exact fault schedule (rates, seeds, test knobs) that produced
+/// it. Not used by machine snapshots, which re-derive the config.
+impl ccsvm_snap::Snapshot for FaultConfig {
+    fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
+        w.put_u64(self.seed);
+        w.put_f64(self.noc.drop_rate);
+        w.put_u32(self.noc.max_retries);
+        w.put_u64(self.noc.backoff.as_ps());
+        w.put_u64(self.noc.backoff_cap.as_ps());
+        w.put_f64(self.dram.single_bit_rate);
+        w.put_f64(self.dram.double_bit_rate);
+        w.put_f64(self.tlb.transient_rate);
+        w.put_u64(self.tlb.retry_penalty.as_ps());
+        match self.dir.timeout {
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u64(t.as_ps());
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u32(self.dir.retry_budget);
+        w.put_bool(self.watchdog.enabled);
+        w.put_u64(self.watchdog.period.as_ps());
+        w.put_u32(self.watchdog.quanta);
+        for knob in [
+            self.drop_data_delivery,
+            self.blackhole_resp,
+            self.drop_one_resp,
+        ] {
+            match knob {
+                Some(k) => {
+                    w.put_bool(true);
+                    w.put_u64(k);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
+        self.seed = r.get_u64()?;
+        self.noc.drop_rate = r.get_f64()?;
+        self.noc.max_retries = r.get_u32()?;
+        self.noc.backoff = Time::from_ps(r.get_u64()?);
+        self.noc.backoff_cap = Time::from_ps(r.get_u64()?);
+        self.dram.single_bit_rate = r.get_f64()?;
+        self.dram.double_bit_rate = r.get_f64()?;
+        self.tlb.transient_rate = r.get_f64()?;
+        self.tlb.retry_penalty = Time::from_ps(r.get_u64()?);
+        self.dir.timeout = if r.get_bool()? {
+            Some(Time::from_ps(r.get_u64()?))
+        } else {
+            None
+        };
+        self.dir.retry_budget = r.get_u32()?;
+        self.watchdog.enabled = r.get_bool()?;
+        self.watchdog.period = Time::from_ps(r.get_u64()?);
+        self.watchdog.quanta = r.get_u32()?;
+        for knob in [
+            &mut self.drop_data_delivery,
+            &mut self.blackhole_resp,
+            &mut self.drop_one_resp,
+        ] {
+            *knob = if r.get_bool()? {
+                Some(r.get_u64()?)
+            } else {
+                None
+            };
+        }
+        Ok(())
     }
 }
 
@@ -269,7 +357,10 @@ mod tests {
 
     #[test]
     fn streams_are_deterministic_and_domain_independent() {
-        let plan = FaultPlan::new(FaultConfig { seed: 42, ..FaultConfig::default() });
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 42,
+            ..FaultConfig::default()
+        });
         let a1: Vec<u64> = {
             let mut s = plan.stream(FaultDomain::Noc);
             (0..8).map(|_| s.next_u64()).collect()
@@ -290,7 +381,10 @@ mod tests {
         let t1: u64 = plan.stream(FaultDomain::Tlb(1)).next_u64();
         assert_ne!(t0, t1, "per-core TLB streams decorrelate");
 
-        let other = FaultPlan::new(FaultConfig { seed: 43, ..FaultConfig::default() });
+        let other = FaultPlan::new(FaultConfig {
+            seed: 43,
+            ..FaultConfig::default()
+        });
         let c: Vec<u64> = {
             let mut s = other.stream(FaultDomain::Noc);
             (0..8).map(|_| s.next_u64()).collect()
@@ -311,7 +405,10 @@ mod tests {
         restored.load(&mut SnapReader::new(&bytes)).unwrap();
         assert_eq!(restored, wd);
         // Both continue identically: one more stale period, then a reset.
-        assert_eq!(restored.observe(Time::from_ns(30), 5), wd.observe(Time::from_ns(30), 5));
+        assert_eq!(
+            restored.observe(Time::from_ns(30), 5),
+            wd.observe(Time::from_ns(30), 5)
+        );
         assert_eq!(restored.observe(Time::from_ns(40), 9), 0);
         assert_eq!(restored.last_progress_at(), Time::from_ns(40));
     }

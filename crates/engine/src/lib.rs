@@ -35,15 +35,19 @@ mod event;
 mod fault;
 pub mod fxmap;
 mod rng;
+pub mod sanitizer;
 mod stats;
 mod time;
 
 pub use event::{EventQueue, ReferenceEventQueue};
-pub use fxmap::{fx_map_with_capacity, FxHashMap, FxHashSet};
 pub use fault::{
     DirTimeoutConfig, DramFaultConfig, FaultConfig, FaultDomain, FaultPlan, NocFaultConfig,
     TlbFaultConfig, Watchdog, WatchdogConfig,
 };
+pub use fxmap::{fx_map_with_capacity, FxHashMap, FxHashSet};
 pub use rng::SplitMix64;
+pub use sanitizer::{
+    EvRecord, EvRing, InvariantId, Mutation, MutationKind, SanitizerConfig, Violation,
+};
 pub use stats::{stat_id, StatId, Stats};
 pub use time::{Clock, Time};

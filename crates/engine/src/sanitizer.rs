@@ -1,0 +1,481 @@
+//! Online invariant checking ("coherence sanitizer") support types.
+//!
+//! The paper's results are only meaningful if the modeled memory system
+//! actually preserves the coherence and SVM invariants it claims (§3.2.2:
+//! single-writer/multiple-reader, the data-value invariant). The sanitizer is
+//! an opt-in check layer threaded through `mem`, `noc` and `vm` that verifies
+//! those invariants *online*, at event granularity, and turns the first
+//! violation into a typed, replayable failure instead of silent figure skew.
+//!
+//! This module holds the shared vocabulary:
+//!
+//! * [`InvariantId`] — stable identifiers for every checked invariant (the
+//!   full catalogue, with statements and cost classes, lives in DESIGN.md §9).
+//! * [`Violation`] — one detected violation: which invariant, at which cycle,
+//!   with a human-readable detail string.
+//! * [`SanitizerConfig`] — the toggle, the uncore-event ring capacity, and
+//!   the test-only protocol [`Mutation`] used to prove the checker fires.
+//! * [`EvRing`] — a bounded ring buffer of recent uncore events, captured
+//!   into replay bundles for post-mortem triage.
+//!
+//! Determinism contract: checks are read-only. Enabling the sanitizer must
+//! not change event order, statistics, RNG draws, or any other simulated
+//! state — a sanitizer-on run produces a bit-identical `RunReport` to a
+//! sanitizer-off run (enforced by `core/tests/sanitizer.rs`).
+
+use std::fmt;
+
+use ccsvm_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+use crate::time::Time;
+
+/// Stable identifier of one checked invariant. The string forms (via
+/// [`InvariantId::as_str`]) are part of the replay-bundle format and the
+/// test contract; never renumber or rename existing entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantId {
+    /// At most one L1 holds a block writable (M/E); a writable copy excludes
+    /// all other valid copies (single-writer/multiple-reader).
+    MemSwmr,
+    /// Every valid L1 copy is accounted for by the directory (as owner or
+    /// sharer) or by an active transaction on the block.
+    MemDirAgree,
+    /// All valid copies of a block agree on its data; clean copies match the
+    /// L2 backing value.
+    MemDataValue,
+    /// A delivered coherence response matches an expectation the directory
+    /// actually holds (no spurious or duplicated responses in strict mode).
+    MemMsgConserve,
+    /// Uncore message conservation: every event sent is delivered, sanctioned
+    /// by the fault plan, or still in flight — nothing lost or duplicated.
+    NocConserve,
+    /// Every TLB entry maps a page consistently with the OS page tables.
+    VmTlbPt,
+    /// After a shootdown (IPI/flush delivered, acks collected) no TLB retains
+    /// the invalidated translation.
+    VmStaleShoot,
+}
+
+impl InvariantId {
+    /// All invariants, in catalogue order (DESIGN.md §9).
+    pub const ALL: [InvariantId; 7] = [
+        InvariantId::MemSwmr,
+        InvariantId::MemDirAgree,
+        InvariantId::MemDataValue,
+        InvariantId::MemMsgConserve,
+        InvariantId::NocConserve,
+        InvariantId::VmTlbPt,
+        InvariantId::VmStaleShoot,
+    ];
+
+    /// The stable string form used in diagnostics, bundles, and tests.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InvariantId::MemSwmr => "MEM-SWMR",
+            InvariantId::MemDirAgree => "MEM-DIR-AGREE",
+            InvariantId::MemDataValue => "MEM-DATA-VALUE",
+            InvariantId::MemMsgConserve => "MEM-MSG-CONSERVE",
+            InvariantId::NocConserve => "NOC-CONSERVE",
+            InvariantId::VmTlbPt => "VM-TLB-PT",
+            InvariantId::VmStaleShoot => "VM-STALE-SHOOT",
+        }
+    }
+
+    fn snap_tag(self) -> u8 {
+        match self {
+            InvariantId::MemSwmr => 0,
+            InvariantId::MemDirAgree => 1,
+            InvariantId::MemDataValue => 2,
+            InvariantId::MemMsgConserve => 3,
+            InvariantId::NocConserve => 4,
+            InvariantId::VmTlbPt => 5,
+            InvariantId::VmStaleShoot => 6,
+        }
+    }
+
+    fn from_snap_tag(tag: u8) -> Result<InvariantId, SnapError> {
+        Ok(match tag {
+            0 => InvariantId::MemSwmr,
+            1 => InvariantId::MemDirAgree,
+            2 => InvariantId::MemDataValue,
+            3 => InvariantId::MemMsgConserve,
+            4 => InvariantId::NocConserve,
+            5 => InvariantId::VmTlbPt,
+            6 => InvariantId::VmStaleShoot,
+            t => {
+                return Err(SnapError::Corrupt {
+                    what: format!("unknown InvariantId tag {t:#04x}"),
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for InvariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: InvariantId,
+    /// Simulated time at which the violation was detected.
+    pub at: Time,
+    /// Human-readable description of the failing state.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.invariant, self.at, self.detail)
+    }
+}
+
+impl Snapshot for Violation {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u8(self.invariant.snap_tag());
+        w.put_u64(self.at.as_ps());
+        w.put_str(&self.detail);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.invariant = InvariantId::from_snap_tag(r.get_u8()?)?;
+        self.at = Time::from_ps(r.get_u64()?);
+        self.detail = r.get_str()?.to_string();
+        Ok(())
+    }
+}
+
+impl Default for Violation {
+    fn default() -> Self {
+        Violation {
+            invariant: InvariantId::MemSwmr,
+            at: Time::ZERO,
+            detail: String::new(),
+        }
+    }
+}
+
+/// A deliberate, test-only protocol corruption. Each kind targets a specific
+/// invariant; `core/tests/sanitizer.rs` applies every kind and asserts the
+/// sanitizer reports the matching [`InvariantId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Erase the directory's owner registration for the block of the n-th
+    /// data delivery (⇒ `MEM-DIR-AGREE`).
+    CorruptDirOwner,
+    /// Upgrade the n-th shared-grant data delivery to a modified grant,
+    /// creating a second writable copy (⇒ `MEM-SWMR`).
+    CorruptGrant,
+    /// Flip one payload byte of the n-th shared-grant data delivery
+    /// (⇒ `MEM-DATA-VALUE`).
+    CorruptFillData,
+    /// Re-deliver the n-th L1→directory response a second time
+    /// (⇒ `MEM-MSG-CONSERVE`).
+    DuplicateResp,
+    /// Silently discard the n-th L1→directory response — an unsanctioned
+    /// message loss (⇒ `NOC-CONSERVE`, surfaced at the watchdog abort).
+    DropResp,
+    /// Skip the TLB invalidation of the n-th shootdown IPI while still
+    /// acknowledging it (⇒ `VM-STALE-SHOOT`).
+    SkipTlbInvalidate,
+    /// Corrupt the frame of a live CPU TLB entry at the n-th uncore event
+    /// (⇒ `VM-TLB-PT`).
+    CorruptTlbEntry,
+}
+
+impl MutationKind {
+    fn snap_tag(self) -> u8 {
+        match self {
+            MutationKind::CorruptDirOwner => 0,
+            MutationKind::CorruptGrant => 1,
+            MutationKind::CorruptFillData => 2,
+            MutationKind::DuplicateResp => 3,
+            MutationKind::DropResp => 4,
+            MutationKind::SkipTlbInvalidate => 5,
+            MutationKind::CorruptTlbEntry => 6,
+        }
+    }
+
+    fn from_snap_tag(tag: u8) -> Result<MutationKind, SnapError> {
+        Ok(match tag {
+            0 => MutationKind::CorruptDirOwner,
+            1 => MutationKind::CorruptGrant,
+            2 => MutationKind::CorruptFillData,
+            3 => MutationKind::DuplicateResp,
+            4 => MutationKind::DropResp,
+            5 => MutationKind::SkipTlbInvalidate,
+            6 => MutationKind::CorruptTlbEntry,
+            t => {
+                return Err(SnapError::Corrupt {
+                    what: format!("unknown MutationKind tag {t:#04x}"),
+                })
+            }
+        })
+    }
+}
+
+/// A seeded protocol corruption: apply `kind` to the `nth` (1-based)
+/// matching event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mutation {
+    /// What to corrupt.
+    pub kind: MutationKind,
+    /// Which matching event to corrupt (1-based).
+    pub nth: u64,
+}
+
+/// Sanitizer knobs. `Default` is production: checks off, no mutation, a
+/// 256-entry event ring (only populated while checks are on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SanitizerConfig {
+    /// Master toggle for online invariant checks.
+    pub enabled: bool,
+    /// Capacity of the recent-uncore-event ring captured into replay bundles.
+    pub ring_capacity: usize,
+    /// Test-only protocol corruption. Unlike `enabled`, a mutation *changes
+    /// the simulation* and therefore participates in the config hash.
+    pub mutate: Option<Mutation>,
+}
+
+impl Default for SanitizerConfig {
+    fn default() -> Self {
+        SanitizerConfig {
+            enabled: false,
+            ring_capacity: 256,
+            mutate: None,
+        }
+    }
+}
+
+impl Snapshot for SanitizerConfig {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_bool(self.enabled);
+        w.put_usize(self.ring_capacity);
+        match self.mutate {
+            Some(m) => {
+                w.put_bool(true);
+                w.put_u8(m.kind.snap_tag());
+                w.put_u64(m.nth);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.enabled = r.get_bool()?;
+        self.ring_capacity = r.get_usize()?;
+        self.mutate = if r.get_bool()? {
+            Some(Mutation {
+                kind: MutationKind::from_snap_tag(r.get_u8()?)?,
+                nth: r.get_u64()?,
+            })
+        } else {
+            None
+        };
+        Ok(())
+    }
+}
+
+/// One recorded uncore event: a compact, formatting-free summary. The kind
+/// byte and operand meanings are assigned by the machine layer (see
+/// `ccsvm::ring_kind_name`); the engine only stores and replays them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvRecord {
+    /// Monotone sequence number (total events recorded so far).
+    pub seq: u64,
+    /// Simulated time of the event, in picoseconds.
+    pub at_ps: u64,
+    /// Machine-assigned kind code.
+    pub kind: u8,
+    /// First operand (usually the block or virtual address).
+    pub a: u64,
+    /// Second operand (usually the port or core index).
+    pub b: u64,
+}
+
+impl Snapshot for EvRecord {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.seq);
+        w.put_u64(self.at_ps);
+        w.put_u8(self.kind);
+        w.put_u64(self.a);
+        w.put_u64(self.b);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.seq = r.get_u64()?;
+        self.at_ps = r.get_u64()?;
+        self.kind = r.get_u8()?;
+        self.a = r.get_u64()?;
+        self.b = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// A bounded ring of the most recent [`EvRecord`]s. Recording is O(1) and
+/// allocation-free after the first wrap; the ring is deliberately *not* part
+/// of machine snapshots (triage re-runs rebuild it deterministically).
+#[derive(Clone, Debug, Default)]
+pub struct EvRing {
+    cap: usize,
+    seq: u64,
+    buf: Vec<EvRecord>,
+    /// Index of the oldest record once the buffer has wrapped.
+    head: usize,
+}
+
+impl EvRing {
+    /// A ring holding at most `cap` records (`cap == 0` disables recording).
+    pub fn new(cap: usize) -> EvRing {
+        EvRing {
+            cap,
+            seq: 0,
+            buf: Vec::new(),
+            head: 0,
+        }
+    }
+
+    /// Records one event summary.
+    pub fn record(&mut self, at: Time, kind: u8, a: u64, b: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        let rec = EvRecord {
+            seq: self.seq,
+            at_ps: at.as_ps(),
+            kind,
+            a,
+            b,
+        };
+        self.seq += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Total events ever recorded (not just retained).
+    pub fn total(&self) -> u64 {
+        self.seq
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<EvRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// Uncore message-conservation verdict: given end-of-run accounting, decide
+/// whether every sent event is delivered, fault-sanctioned, or still queued.
+/// Returns the violation detail on mismatch.
+pub fn check_conservation(
+    sent: u64,
+    delivered: u64,
+    sanctioned: u64,
+    in_flight: u64,
+) -> Option<String> {
+    let accounted = delivered + sanctioned + in_flight;
+    if accounted == sent {
+        return None;
+    }
+    if accounted < sent {
+        Some(format!(
+            "{} uncore event(s) lost without fault-plan sanction \
+             (sent {sent}, delivered {delivered}, sanctioned {sanctioned}, in flight {in_flight})",
+            sent - accounted
+        ))
+    } else {
+        Some(format!(
+            "{} uncore event(s) duplicated \
+             (sent {sent}, delivered {delivered}, sanctioned {sanctioned}, in flight {in_flight})",
+            accounted - sent
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariant_ids_round_trip_and_are_unique() {
+        let mut seen = Vec::new();
+        for id in InvariantId::ALL {
+            assert_eq!(InvariantId::from_snap_tag(id.snap_tag()).unwrap(), id);
+            assert!(!seen.contains(&id.as_str()), "duplicate id string");
+            seen.push(id.as_str());
+        }
+        assert!(InvariantId::from_snap_tag(200).is_err());
+    }
+
+    #[test]
+    fn violation_snapshot_round_trips() {
+        let v = Violation {
+            invariant: InvariantId::VmStaleShoot,
+            at: Time::from_ns(123),
+            detail: "stale va 0x4000 in cpu 1".to_string(),
+        };
+        let mut w = SnapWriter::new();
+        v.save(&mut w);
+        let bytes = w.into_vec();
+        let mut back = Violation::default();
+        back.load(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn sanitizer_config_round_trips() {
+        let cfg = SanitizerConfig {
+            enabled: true,
+            ring_capacity: 64,
+            mutate: Some(Mutation {
+                kind: MutationKind::DuplicateResp,
+                nth: 3,
+            }),
+        };
+        let mut w = SnapWriter::new();
+        cfg.save(&mut w);
+        let bytes = w.into_vec();
+        let mut back = SanitizerConfig::default();
+        back.load(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn ring_keeps_the_last_k_in_order() {
+        let mut ring = EvRing::new(4);
+        for i in 0..10u64 {
+            ring.record(Time::from_ns(i), 1, i, 0);
+        }
+        let recs = ring.records();
+        assert_eq!(ring.total(), 10);
+        assert_eq!(recs.len(), 4);
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        // Zero capacity records nothing.
+        let mut off = EvRing::new(0);
+        off.record(Time::ZERO, 1, 0, 0);
+        assert_eq!(off.total(), 0);
+        assert!(off.records().is_empty());
+    }
+
+    #[test]
+    fn conservation_flags_loss_and_duplication() {
+        assert_eq!(check_conservation(10, 8, 1, 1), None);
+        let lost = check_conservation(10, 8, 0, 1).expect("loss detected");
+        assert!(lost.contains("1 uncore event(s) lost"), "{lost}");
+        let dup = check_conservation(10, 11, 0, 0).expect("dup detected");
+        assert!(dup.contains("1 uncore event(s) duplicated"), "{dup}");
+    }
+}

@@ -278,7 +278,10 @@ impl Bank {
                 let data = self.array.data(block);
                 {
                     let meta = self.array.peek_mut(block).expect("hit");
-                    meta.dir = DirState::Owned { owner: from, sharers: 0 };
+                    meta.dir = DirState::Owned {
+                        owner: from,
+                        sharers: 0,
+                    };
                     meta.fresh = false; // E may silently upgrade to M
                 }
                 out.sends.push((
@@ -317,7 +320,11 @@ impl Bank {
                     };
                     out.sends.push((
                         from,
-                        DirToL1::Data { block, grant: Grant::S, data },
+                        DirToL1::Data {
+                            block,
+                            grant: Grant::S,
+                            data,
+                        },
                     ));
                     self.finish(block, out);
                     return;
@@ -339,7 +346,10 @@ impl Bank {
                 let data = self.array.data(block);
                 {
                     let meta = self.array.peek_mut(block).expect("hit");
-                    meta.dir = DirState::Owned { owner: from, sharers: 0 };
+                    meta.dir = DirState::Owned {
+                        owner: from,
+                        sharers: 0,
+                    };
                     meta.fresh = false;
                 }
                 out.sends.push((
@@ -408,7 +418,10 @@ impl Bank {
         let (from, upgrade) = (tx.req.from, tx.upgrade);
         {
             let meta = self.array.peek_mut(block).expect("hit");
-            meta.dir = DirState::Owned { owner: from, sharers: 0 };
+            meta.dir = DirState::Owned {
+                owner: from,
+                sharers: 0,
+            };
             meta.fresh = false;
         }
         if upgrade {
@@ -778,6 +791,78 @@ impl Bank {
         self.tx.get(&block).map(|t| format!("{:?}", t.phase))
     }
 
+    /// Whether `block` participates in any in-flight directory activity: a
+    /// demand transaction, a queued request, or a recall targeting it as a
+    /// victim. While busy, directory state and L1 copies are legitimately
+    /// transient, so the sanitizer's steady-state checks stand down.
+    pub fn busy_on(&self, block: u64) -> bool {
+        self.busy(block) || self.waiting.contains_key(&block)
+    }
+
+    /// The directory's record for `block` as `(owner, sharer mask)`, or
+    /// `None` when not resident in the L2. A `Shared` block reports no owner.
+    pub fn dir_record(&self, block: u64) -> Option<(Option<PortId>, u32)> {
+        let meta = self.array.peek(block)?;
+        Some(match meta.dir {
+            DirState::Unowned => (None, 0),
+            DirState::Shared(s) => (None, s),
+            DirState::Owned { owner, sharers } => (Some(owner), sharers),
+        })
+    }
+
+    /// Whether the bank expects the given response right now: a recall or an
+    /// `AwaitInvFetch`/`AwaitRecall` transaction with this responder still
+    /// pending. Mirrors the routing in [`Bank::resp_arrive`] without
+    /// mutating anything; the sanitizer's pre-delivery `MEM-MSG-CONSERVE`
+    /// check uses it to flag spurious/duplicated responses in strict mode.
+    pub fn expects_resp(&self, resp: &L1ToDir) -> bool {
+        let (rblock, from, is_fetch) = match resp {
+            L1ToDir::InvResp { block, from, .. } => (*block, *from, false),
+            L1ToDir::FetchResp { block, from, .. } => (*block, *from, true),
+        };
+        if let Some(&demand) = self.recall_owner.get(&rblock) {
+            let Some(recall) = self.tx.get(&demand).and_then(|t| t.recall.as_ref()) else {
+                return false;
+            };
+            return if is_fetch {
+                recall.fetch_from == Some(from)
+            } else {
+                recall.pending_inv & bit(from) != 0
+            };
+        }
+        let Some(tx) = self.tx.get(&rblock) else {
+            return false;
+        };
+        if tx.phase != Phase::AwaitInvFetch {
+            return false;
+        }
+        if is_fetch {
+            tx.fetch_from == Some(from)
+        } else {
+            tx.pending_inv & bit(from) != 0
+        }
+    }
+
+    /// Test-only sanitizer mutation hook: erase the directory's owner
+    /// registration for `block` (Owned → Unowned/Shared), leaving the L1
+    /// copy unaccounted for (⇒ `MEM-DIR-AGREE`). Returns whether it applied.
+    pub fn test_corrupt_owner(&mut self, block: u64) -> bool {
+        match self.array.peek_mut(block) {
+            Some(meta) => match meta.dir {
+                DirState::Owned { sharers, .. } => {
+                    meta.dir = if sharers == 0 {
+                        DirState::Unowned
+                    } else {
+                        DirState::Shared(sharers)
+                    };
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
     /// Blocks with an active transaction, sorted (for diagnostics).
     pub fn active_blocks(&self) -> Vec<u64> {
         let mut v: Vec<u64> = self.tx.keys().copied().collect();
@@ -1010,7 +1095,11 @@ impl Tx {
             fetch_inv: r.get_bool()?,
             upgrade: r.get_bool()?,
             fill_data: crate::msg::load_opt_data(r)?,
-            recall: if r.get_bool()? { Some(Recall::load(r)?) } else { None },
+            recall: if r.get_bool()? {
+                Some(Recall::load(r)?)
+            } else {
+                None
+            },
             epoch: r.get_u64()?,
             nacks: r.get_u32()?,
         })
@@ -1079,7 +1168,7 @@ impl Snapshot for Bank {
         self.waiting.clear();
         for _ in 0..r.get_usize()? {
             let block = r.get_u64()?;
-            let n = r.get_usize()?;
+            let n = r.get_count(1)?;
             let mut q = VecDeque::with_capacity(n);
             for _ in 0..n {
                 q.push_back(Request::load(r)?);

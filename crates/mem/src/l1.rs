@@ -225,8 +225,11 @@ impl L1 {
         if self.mshrs.len() >= self.config.max_mshrs {
             self.retries += 1;
             if self.retry_trace && self.retries.is_multiple_of(10000) {
-                eprintln!("RETRY mshr-full port={:?} mshrs={:?}", self.id,
-                    self.mshrs.keys().collect::<Vec<_>>());
+                eprintln!(
+                    "RETRY mshr-full port={:?} mshrs={:?}",
+                    self.id,
+                    self.mshrs.keys().collect::<Vec<_>>()
+                );
             }
             return L1Access::Retry;
         }
@@ -235,8 +238,12 @@ impl L1 {
         if state == L1State::I && !self.reserve_way(block, out) {
             self.retries += 1;
             if self.retry_trace && self.retries.is_multiple_of(10000) {
-                eprintln!("RETRY reserve-fail port={:?} block={block} set={} reserved={:?}",
-                    self.id, self.array.set_of(block), self.reserved);
+                eprintln!(
+                    "RETRY reserve-fail port={:?} block={block} set={} reserved={:?}",
+                    self.id,
+                    self.array.set_of(block),
+                    self.reserved
+                );
             }
             return L1Access::Retry;
         }
@@ -249,7 +256,11 @@ impl L1 {
             },
         );
         out.requests.push(Request {
-            kind: if needs_m { ReqKind::GetM } else { ReqKind::GetS },
+            kind: if needs_m {
+                ReqKind::GetM
+            } else {
+                ReqKind::GetS
+            },
             from: self.id,
             block,
             data: None,
@@ -296,7 +307,8 @@ impl L1 {
         match line.state {
             L1State::M | L1State::O => {
                 self.writebacks += 1;
-                self.evict_buf.insert(victim, EvictEntry { data, dirty: true });
+                self.evict_buf
+                    .insert(victim, EvictEntry { data, dirty: true });
                 out.requests.push(Request {
                     kind: ReqKind::PutDirty,
                     from: self.id,
@@ -308,7 +320,8 @@ impl L1 {
             L1State::E => {
                 // Clean, but we are the registered owner: the directory may
                 // still Fetch us, so buffer the data until PutAck.
-                self.evict_buf.insert(victim, EvictEntry { data, dirty: false });
+                self.evict_buf
+                    .insert(victim, EvictEntry { data, dirty: false });
                 out.requests.push(Request {
                     kind: ReqKind::PutClean,
                     from: self.id,
@@ -415,7 +428,10 @@ impl L1 {
                     // arrived after this L1 already answered and dropped the
                     // block. Stay silent — the data cannot be resent — and
                     // let the original answer (or the retry budget) decide.
-                    assert!(self.lenient, "Fetch for block neither resident nor evicting");
+                    assert!(
+                        self.lenient,
+                        "Fetch for block neither resident nor evicting"
+                    );
                     self.spurious_fetches += 1;
                 }
             }
@@ -437,7 +453,10 @@ impl L1 {
                         dirty: e.dirty,
                     });
                 } else {
-                    assert!(self.lenient, "FetchInv for block neither resident nor evicting");
+                    assert!(
+                        self.lenient,
+                        "FetchInv for block neither resident nor evicting"
+                    );
                     self.spurious_fetches += 1;
                 }
             }
@@ -454,7 +473,10 @@ impl L1 {
             Grant::M => L1State::M,
         };
         let set = self.array.set_of(block);
-        let r = self.reserved.get_mut(&set).expect("fill without reservation");
+        let r = self
+            .reserved
+            .get_mut(&set)
+            .expect("fill without reservation");
         *r -= 1;
         if *r == 0 {
             self.reserved.remove(&set);
@@ -476,10 +498,14 @@ impl L1 {
             match w.access {
                 Access::Read { paddr, size } => {
                     debug_assert!(state.readable(), "fill left block unreadable");
-                    out.completions.push((w.token, {
-                        let d = self.array.data(block);
-                        word_from_block(&d, paddr, size)
-                    }, block));
+                    out.completions.push((
+                        w.token,
+                        {
+                            let d = self.array.data(block);
+                            word_from_block(&d, paddr, size)
+                        },
+                        block,
+                    ));
                 }
                 Access::Write { .. } | Access::Rmw { .. } => {
                     if matches!(state, L1State::M | L1State::E) {
@@ -562,6 +588,12 @@ impl L1 {
         self.mshrs.is_empty() && self.evict_buf.is_empty()
     }
 
+    /// Blocks resident in any valid state, with their states (the
+    /// sanitizer's whole-cache sweep).
+    pub fn resident_blocks(&self) -> Vec<(u64, L1State)> {
+        self.array.iter().map(|(b, line)| (b, line.state)).collect()
+    }
+
     /// Blocks with an in-flight miss (MSHR allocated), sorted — the
     /// per-port "outstanding accesses" line of the watchdog's diagnostic
     /// dump.
@@ -623,7 +655,8 @@ impl L1State {
 /// byte stream is independent of insertion history.
 impl ccsvm_snap::Snapshot for L1 {
     fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
-        self.array.save_with(w, |line, w| w.put_u8(line.state.snap_tag()));
+        self.array
+            .save_with(w, |line, w| w.put_u8(line.state.snap_tag()));
 
         let mut blocks: Vec<u64> = self.mshrs.keys().copied().collect();
         blocks.sort_unstable();
@@ -675,14 +708,17 @@ impl ccsvm_snap::Snapshot for L1 {
     }
 
     fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
-        self.array
-            .load_with(r, |r| Ok(Line { state: L1State::from_snap_tag(r.get_u8()?)? }))?;
+        self.array.load_with(r, |r| {
+            Ok(Line {
+                state: L1State::from_snap_tag(r.get_u8()?)?,
+            })
+        })?;
 
         self.mshrs.clear();
         for _ in 0..r.get_usize()? {
             let block = r.get_u64()?;
             let wants_m = r.get_bool()?;
-            let n_waiters = r.get_usize()?;
+            let n_waiters = r.get_count(1)?;
             let mut waiters = Vec::with_capacity(n_waiters);
             for _ in 0..n_waiters {
                 waiters.push(Waiter {

@@ -27,6 +27,7 @@
 mod addr;
 mod bank;
 mod cache;
+mod check;
 mod dram;
 mod l1;
 mod msg;
@@ -37,8 +38,6 @@ pub use addr::{block_of, offset_in_block, PhysAddr, BLOCK_BYTES};
 pub use cache::{CacheArray, CacheConfig};
 pub use dram::{Dram, DramConfig};
 pub use l1::{L1Config, WritePolicy};
-pub use msg::{AtomicOp, BankId, MemEvent};
+pub use msg::{ring_kind_name, AtomicOp, BankId, MemEvent};
 pub use port::{CorePort, PortLog};
-pub use system::{
-    Access, AccessResult, BankConfig, Completion, MemConfig, MemorySystem, PortId,
-};
+pub use system::{Access, AccessResult, BankConfig, Completion, MemConfig, MemorySystem, PortId};

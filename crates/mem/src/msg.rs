@@ -89,7 +89,11 @@ pub(crate) struct Request {
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) enum DirToL1 {
     /// Grant with data and an installation state.
-    Data { block: u64, grant: Grant, data: BlockData },
+    Data {
+        block: u64,
+        grant: Grant,
+        data: BlockData,
+    },
     /// Upgrade grant (requestor already holds valid data).
     AckM { block: u64 },
     /// Invalidate a shared/owned copy; respond with `InvResp`.
@@ -155,7 +159,11 @@ pub(crate) enum MemEventKind {
     /// on invalidation/fetch responses to NACK and re-solicit them. `epoch`
     /// identifies which solicitation round armed the timer; a re-solicit
     /// bumps the transaction's epoch, turning older timeout events stale.
-    DirTimeout { bank: BankId, block: u64, epoch: u64 },
+    DirTimeout {
+        bank: BankId,
+        block: u64,
+        epoch: u64,
+    },
 }
 
 impl MemEvent {
@@ -174,6 +182,101 @@ impl MemEvent {
             | MemEventKind::RespArrive(_, L1ToDir::FetchResp { block, .. }) => Some(*block),
             _ => None,
         }
+    }
+
+    /// The cache block this event concerns (the sanitizer's scoped
+    /// post-event checks re-verify exactly this block's invariants).
+    pub fn block(&self) -> u64 {
+        match &self.0 {
+            MemEventKind::ReqArrive(req) => req.block,
+            MemEventKind::DirArrive(_, msg) => match msg {
+                DirToL1::Data { block, .. }
+                | DirToL1::AckM { block }
+                | DirToL1::Inv { block }
+                | DirToL1::Fetch { block }
+                | DirToL1::FetchInv { block }
+                | DirToL1::PutAck { block } => *block,
+            },
+            MemEventKind::RespArrive(_, resp) => match resp {
+                L1ToDir::InvResp { block, .. } | L1ToDir::FetchResp { block, .. } => *block,
+            },
+            MemEventKind::DramReadDone { block, .. }
+            | MemEventKind::BankReady { block, .. }
+            | MemEventKind::DirTimeout { block, .. } => *block,
+        }
+    }
+
+    /// Whether this event delivers an L1→directory response.
+    pub fn is_resp(&self) -> bool {
+        matches!(self.0, MemEventKind::RespArrive(..))
+    }
+
+    /// Compact `(kind, block, endpoint)` summary for the sanitizer's
+    /// recent-event ring. Kind codes match the snapshot tags; decode with
+    /// [`ring_kind_name`].
+    pub fn ring_summary(&self) -> (u8, u64, u64) {
+        match &self.0 {
+            MemEventKind::ReqArrive(req) => (0, req.block, req.from.0 as u64),
+            MemEventKind::DirArrive(port, _) => (1, self.block(), port.0 as u64),
+            MemEventKind::RespArrive(bank, _) => (2, self.block(), bank.0 as u64),
+            MemEventKind::DramReadDone { bank, block } => (3, *block, bank.0 as u64),
+            MemEventKind::BankReady { bank, block } => (4, *block, bank.0 as u64),
+            MemEventKind::DirTimeout { bank, block, .. } => (5, *block, bank.0 as u64),
+        }
+    }
+
+    /// Whether this event delivers a shared-grant data fill (the class the
+    /// grant/payload mutations count when locating their nth target).
+    pub fn is_s_grant(&self) -> bool {
+        matches!(
+            &self.0,
+            MemEventKind::DirArrive(
+                _,
+                DirToL1::Data {
+                    grant: Grant::S,
+                    ..
+                }
+            )
+        )
+    }
+
+    /// Test-only sanitizer mutation: upgrade a shared-grant data delivery to
+    /// a modified grant (manufactures a second writable copy ⇒ `MEM-SWMR`).
+    /// Returns whether this event matched.
+    pub fn test_upgrade_s_grant(&mut self) -> bool {
+        if let MemEventKind::DirArrive(_, DirToL1::Data { grant, .. }) = &mut self.0 {
+            if *grant == Grant::S {
+                *grant = Grant::M;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Test-only sanitizer mutation: flip one payload byte of a shared-grant
+    /// data delivery (⇒ `MEM-DATA-VALUE`). Returns whether it matched.
+    pub fn test_flip_s_fill_byte(&mut self) -> bool {
+        if let MemEventKind::DirArrive(_, DirToL1::Data { grant, data, .. }) = &mut self.0 {
+            if *grant == Grant::S {
+                data[0] ^= 0xFF;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Human-readable name for a ring-record kind code produced by
+/// [`MemEvent::ring_summary`].
+pub fn ring_kind_name(kind: u8) -> &'static str {
+    match kind {
+        0 => "ReqArrive",
+        1 => "DirArrive",
+        2 => "RespArrive",
+        3 => "DramReadDone",
+        4 => "BankReady",
+        5 => "DirTimeout",
+        _ => "?",
     }
 }
 
@@ -238,10 +341,14 @@ impl AtomicOp {
                 expected: r.get_u64()?,
                 value: r.get_u64()?,
             },
-            1 => AtomicOp::Add { value: r.get_u64()? },
+            1 => AtomicOp::Add {
+                value: r.get_u64()?,
+            },
             2 => AtomicOp::Inc,
             3 => AtomicOp::Dec,
-            4 => AtomicOp::Exch { value: r.get_u64()? },
+            4 => AtomicOp::Exch {
+                value: r.get_u64()?,
+            },
             t => return Err(bad_tag("AtomicOp", t)),
         })
     }
@@ -346,11 +453,21 @@ impl DirToL1 {
                 grant: Grant::load(r)?,
                 data: r.get_array()?,
             },
-            1 => DirToL1::AckM { block: r.get_u64()? },
-            2 => DirToL1::Inv { block: r.get_u64()? },
-            3 => DirToL1::Fetch { block: r.get_u64()? },
-            4 => DirToL1::FetchInv { block: r.get_u64()? },
-            5 => DirToL1::PutAck { block: r.get_u64()? },
+            1 => DirToL1::AckM {
+                block: r.get_u64()?,
+            },
+            2 => DirToL1::Inv {
+                block: r.get_u64()?,
+            },
+            3 => DirToL1::Fetch {
+                block: r.get_u64()?,
+            },
+            4 => DirToL1::FetchInv {
+                block: r.get_u64()?,
+            },
+            5 => DirToL1::PutAck {
+                block: r.get_u64()?,
+            },
             t => return Err(bad_tag("DirToL1", t)),
         })
     }
@@ -365,7 +482,12 @@ impl L1ToDir {
                 w.put_u64(*block);
                 save_opt_data(w, data);
             }
-            L1ToDir::FetchResp { from, block, data, dirty } => {
+            L1ToDir::FetchResp {
+                from,
+                block,
+                data,
+                dirty,
+            } => {
                 w.put_u8(1);
                 w.put_usize(from.0);
                 w.put_u64(*block);
@@ -461,8 +583,22 @@ mod tests {
 
     #[test]
     fn atomic_ops_apply() {
-        assert_eq!(AtomicOp::Cas { expected: 3, value: 9 }.apply(3), 9);
-        assert_eq!(AtomicOp::Cas { expected: 3, value: 9 }.apply(4), 4);
+        assert_eq!(
+            AtomicOp::Cas {
+                expected: 3,
+                value: 9
+            }
+            .apply(3),
+            9
+        );
+        assert_eq!(
+            AtomicOp::Cas {
+                expected: 3,
+                value: 9
+            }
+            .apply(4),
+            4
+        );
         assert_eq!(AtomicOp::Add { value: 5 }.apply(10), 15);
         assert_eq!(AtomicOp::Add { value: 1 }.apply(u64::MAX), 0);
         assert_eq!(AtomicOp::Inc.apply(7), 8);
@@ -483,20 +619,46 @@ mod tests {
             })),
             MemEvent(MemEventKind::DirArrive(
                 PortId(1),
-                DirToL1::Data { block: 2, grant: Grant::E, data: [9; 64] },
+                DirToL1::Data {
+                    block: 2,
+                    grant: Grant::E,
+                    data: [9; 64],
+                },
             )),
-            MemEvent(MemEventKind::DirArrive(PortId(0), DirToL1::AckM { block: 5 })),
+            MemEvent(MemEventKind::DirArrive(
+                PortId(0),
+                DirToL1::AckM { block: 5 },
+            )),
             MemEvent(MemEventKind::RespArrive(
                 BankId(2),
-                L1ToDir::InvResp { from: PortId(4), block: 8, data: None },
+                L1ToDir::InvResp {
+                    from: PortId(4),
+                    block: 8,
+                    data: None,
+                },
             )),
             MemEvent(MemEventKind::RespArrive(
                 BankId(0),
-                L1ToDir::FetchResp { from: PortId(2), block: 1, data: [3; 64], dirty: false },
+                L1ToDir::FetchResp {
+                    from: PortId(2),
+                    block: 1,
+                    data: [3; 64],
+                    dirty: false,
+                },
             )),
-            MemEvent(MemEventKind::DramReadDone { bank: BankId(1), block: 77 }),
-            MemEvent(MemEventKind::BankReady { bank: BankId(3), block: 88 }),
-            MemEvent(MemEventKind::DirTimeout { bank: BankId(0), block: 99, epoch: 6 }),
+            MemEvent(MemEventKind::DramReadDone {
+                bank: BankId(1),
+                block: 77,
+            }),
+            MemEvent(MemEventKind::BankReady {
+                bank: BankId(3),
+                block: 88,
+            }),
+            MemEvent(MemEventKind::DirTimeout {
+                bank: BankId(0),
+                block: 99,
+                epoch: 6,
+            }),
         ];
         let mut w = SnapWriter::new();
         for e in &events {

@@ -62,9 +62,9 @@ impl Access {
     /// The access width in bytes.
     pub fn size(&self) -> usize {
         match *self {
-            Access::Read { size, .. }
-            | Access::Write { size, .. }
-            | Access::Rmw { size, .. } => size,
+            Access::Read { size, .. } | Access::Write { size, .. } | Access::Rmw { size, .. } => {
+                size
+            }
         }
     }
 }
@@ -134,16 +134,16 @@ pub struct MemConfig {
 /// protocol description.
 #[derive(Debug)]
 pub struct MemorySystem {
-    l1s: Vec<L1>,
-    banks: Vec<Bank>,
+    pub(crate) l1s: Vec<L1>,
+    pub(crate) banks: Vec<Bank>,
     bank_cfg: Vec<BankConfig>,
     dram: Dram,
     ctrl_bytes: usize,
     data_bytes: usize,
     /// Blocks whose last DRAM fill carried an uncorrectable ECC error.
-    poisoned: BTreeSet<u64>,
+    pub(crate) poisoned: BTreeSet<u64>,
     /// Directory response timeout; `None` disables NACK/retry entirely.
-    dir_timeout: Option<Time>,
+    pub(crate) dir_timeout: Option<Time>,
     /// NACK resends allowed per transaction before the run aborts.
     dir_budget: u32,
     /// Set when a transaction spent its whole retry budget (sticky until
@@ -198,7 +198,8 @@ impl MemorySystem {
     pub fn install_faults(&mut self, plan: &FaultPlan) {
         let cfg = plan.config();
         if cfg.dram.single_bit_rate > 0.0 || cfg.dram.double_bit_rate > 0.0 {
-            self.dram.install_faults(cfg.dram, plan.stream(FaultDomain::Dram));
+            self.dram
+                .install_faults(cfg.dram, plan.stream(FaultDomain::Dram));
         }
         if let Some(timeout) = cfg.dir.timeout {
             self.dir_timeout = Some(timeout);
@@ -224,7 +225,7 @@ impl MemorySystem {
         self.l1s[port.0].config.hit_time
     }
 
-    fn home(&self, block: u64) -> usize {
+    pub(crate) fn home(&self, block: u64) -> usize {
         (block % self.banks.len() as u64) as usize
     }
 
@@ -313,7 +314,13 @@ impl MemorySystem {
                 let block = req.block;
                 if self.banks[b].req_arrive(req) {
                     let ready = now + self.bank_cfg[b].latency;
-                    sched(ready, MemEvent(MemEventKind::BankReady { bank: BankId(b), block }));
+                    sched(
+                        ready,
+                        MemEvent(MemEventKind::BankReady {
+                            bank: BankId(b),
+                            block,
+                        }),
+                    );
                 }
             }
             MemEventKind::BankReady { bank, block } => {
@@ -595,7 +602,10 @@ impl MemorySystem {
 
     /// Per-bank L2 occupancy and resident blocks (debug).
     pub fn l2_occupancy(&self) -> Vec<(usize, Vec<u64>)> {
-        self.banks.iter().map(|b| (b.occupancy(), b.resident())).collect()
+        self.banks
+            .iter()
+            .map(|b| (b.occupancy(), b.resident()))
+            .collect()
     }
 
     /// Aggregated statistics of every component.
@@ -649,8 +659,16 @@ impl Access {
         let size = r.get_usize()?;
         Ok(match tag {
             0 => Access::Read { paddr, size },
-            1 => Access::Write { paddr, size, value: r.get_u64()? },
-            2 => Access::Rmw { paddr, size, op: AtomicOp::load(r)? },
+            1 => Access::Write {
+                paddr,
+                size,
+                value: r.get_u64()?,
+            },
+            2 => Access::Rmw {
+                paddr,
+                size,
+                op: AtomicOp::load(r)?,
+            },
             t => return Err(crate::msg::bad_tag("Access", t)),
         })
     }

@@ -291,16 +291,22 @@ impl MttopCore {
     /// Creates an idle core. `token_prefix` must be unique per core.
     pub fn new(port: PortId, config: MttopConfig, token_prefix: u64) -> MttopCore {
         assert!(config.lanes >= 1 && config.lanes <= 8, "1..=8 lanes");
-        let alu_cost = Time::from_ps(
-            (config.clock.period().as_ps() / config.vliw_ops_per_lane).max(1),
-        );
+        let alu_cost =
+            Time::from_ps((config.clock.period().as_ps() / config.vliw_ops_per_lane).max(1));
         MttopCore {
             port,
             config,
             alu_cost,
             warps: vec![
                 Warp {
-                    lanes: vec![Lane { regs: [0; 32], pc: 0, live: false }; config.lanes],
+                    lanes: vec![
+                        Lane {
+                            regs: [0; 32],
+                            pc: 0,
+                            live: false
+                        };
+                        config.lanes
+                    ],
                     outstanding: 0,
                     plan: None,
                 };
@@ -350,7 +356,10 @@ impl MttopCore {
 
     /// Number of free warp contexts (the MIFD consults this).
     pub fn free_warps(&self) -> usize {
-        self.states.iter().filter(|&&s| s == WarpState::Free).count()
+        self.states
+            .iter()
+            .filter(|&&s| s == WarpState::Free)
+            .count()
     }
 
     /// Whether any warp is live.
@@ -372,6 +381,18 @@ impl MttopCore {
     /// paper suggests as future work in §3.2.1).
     pub fn tlb_invalidate(&mut self, va: VirtAddr) {
         self.tlb.invalidate(va);
+    }
+
+    /// Live TLB translations, for the sanitizer's TLB⊆page-table check.
+    /// Read-only: no LRU or counter effects.
+    pub fn tlb_entries(&self) -> Vec<(u64, PhysAddr)> {
+        self.tlb.entries()
+    }
+
+    /// Whether the TLB still holds a translation for `va`'s page (read-only;
+    /// the sanitizer's stale-shootdown check).
+    pub fn tlb_holds(&self, va: VirtAddr) -> bool {
+        self.tlb.holds(va)
     }
 
     /// Assigns a task chunk. In lockstep mode the chunk fills one warp's
@@ -491,7 +512,9 @@ impl MttopCore {
         loop {
             if self.local_time >= deadline {
                 return BatchOutcome {
-                    action: MttopAction::Continue { at: self.local_time },
+                    action: MttopAction::Continue {
+                        at: self.local_time,
+                    },
                     faults,
                     poisoned: self.poisoned,
                 };
@@ -548,10 +571,7 @@ impl MttopCore {
                 let any_blocked = self.states.iter().any(|&s| {
                     matches!(
                         s,
-                        WarpState::Mem
-                            | WarpState::Walk
-                            | WarpState::WalkQueued
-                            | WarpState::Fault
+                        WarpState::Mem | WarpState::Walk | WarpState::WalkQueued | WarpState::Fault
                     )
                 });
                 let action = if any_blocked {
@@ -559,7 +579,11 @@ impl MttopCore {
                 } else {
                     MttopAction::Idle
                 };
-                return BatchOutcome { action, faults, poisoned: self.poisoned };
+                return BatchOutcome {
+                    action,
+                    faults,
+                    poisoned: self.poisoned,
+                };
             }
             self.rr = (chosen[chosen.len() - 1] + 1) % n;
             let cycle_start = self.local_time;
@@ -652,7 +676,12 @@ impl MttopCore {
                 }
                 self.local_time += alu_charge;
             }
-            Instr::Br { cond, ra, rb, target } => {
+            Instr::Br {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 for &li in participating {
                     let lane = &mut self.warps[wi].lanes[li];
                     lane.pc = if cond.test(lane_get(lane, ra), lane_get(lane, rb)) {
@@ -721,13 +750,26 @@ impl MttopCore {
                 for &li in participating {
                     let lane = &self.warps[wi].lanes[li];
                     let (va, kind) = match instr {
-                        Instr::Ld { rd, base, off, size } => (
+                        Instr::Ld {
+                            rd,
+                            base,
+                            off,
+                            size,
+                        } => (
                             lane_get(lane, base).wrapping_add(off as u64),
                             LaneKind::Ld { rd, size },
                         ),
-                        Instr::St { rs, base, off, size } => (
+                        Instr::St {
+                            rs,
+                            base,
+                            off,
+                            size,
+                        } => (
                             lane_get(lane, base).wrapping_add(off as u64),
-                            LaneKind::St { size, value: lane_get(lane, rs) },
+                            LaneKind::St {
+                                size,
+                                value: lane_get(lane, rs),
+                            },
                         ),
                         Instr::Amo { op, addr, a, b, rd } => (
                             lane_get(lane, addr),
@@ -738,16 +780,25 @@ impl MttopCore {
                                         expected: lane_get(lane, a),
                                         value: lane_get(lane, b),
                                     },
-                                    AmoKind::Add => AtomicOp::Add { value: lane_get(lane, a) },
+                                    AmoKind::Add => AtomicOp::Add {
+                                        value: lane_get(lane, a),
+                                    },
                                     AmoKind::Inc => AtomicOp::Inc,
                                     AmoKind::Dec => AtomicOp::Dec,
-                                    AmoKind::Exch => AtomicOp::Exch { value: lane_get(lane, a) },
+                                    AmoKind::Exch => AtomicOp::Exch {
+                                        value: lane_get(lane, a),
+                                    },
                                 },
                             },
                         ),
                         _ => unreachable!(),
                     };
-                    ops.push(LaneOp { lane: li, va: VirtAddr(va), paddr: None, kind });
+                    ops.push(LaneOp {
+                        lane: li,
+                        va: VirtAddr(va),
+                        paddr: None,
+                        kind,
+                    });
                 }
                 self.warps[wi].plan = Some(Plan {
                     ops,
@@ -815,7 +866,10 @@ impl MttopCore {
     ) -> bool {
         loop {
             let token = self.token();
-            let access = Access::Read { paddr: walk.pte_addr(), size: 8 };
+            let access = Access::Read {
+                paddr: walk.pte_addr(),
+                size: 8,
+            };
             match port.access(self.local_time, token, access) {
                 AccessResult::Hit { finish, value } => {
                     self.local_time = self.local_time.max(finish);
@@ -828,7 +882,11 @@ impl MttopCore {
                         WalkResult::Fault(f) => {
                             self.faults += 1;
                             self.set_state(wi, WarpState::Fault);
-                            faults.push(PageFaultReq { warp: wi, va: f.va, cr3: self.cr3 });
+                            faults.push(PageFaultReq {
+                                warp: wi,
+                                va: f.va,
+                                cr3: self.cr3,
+                            });
                             return false;
                         }
                     }
@@ -837,7 +895,11 @@ impl MttopCore {
                     self.walker = Some((wi, walk));
                     self.flights.insert(
                         token,
-                        Flight { warp: wi, ops: Vec::new(), issued_at: self.local_time },
+                        Flight {
+                            warp: wi,
+                            ops: Vec::new(),
+                            issued_at: self.local_time,
+                        },
                     );
                     self.set_state(wi, WarpState::Walk);
                     return false;
@@ -859,11 +921,7 @@ impl MttopCore {
     /// All lanes translated: group by cache block (once) and issue the
     /// groups. On MSHR exhaustion the warp yields with the remaining groups
     /// parked in its plan; the retry re-enters here.
-    fn issue_accesses(
-        &mut self,
-        wi: usize,
-        port: &mut CorePort<'_>,
-    ) {
+    fn issue_accesses(&mut self, wi: usize, port: &mut CorePort<'_>) {
         if self.warps[wi].plan.as_ref().expect("plan").groups.is_none() {
             let plan = self.warps[wi].plan.as_mut().expect("plan");
             let mut groups: Vec<Vec<LaneOp>> = Vec::new();
@@ -964,7 +1022,11 @@ impl MttopCore {
         if matches!(result, AccessResult::Pending) {
             self.flights.insert(
                 token,
-                Flight { warp: wi, ops: group.to_vec(), issued_at: self.local_time },
+                Flight {
+                    warp: wi,
+                    ops: group.to_vec(),
+                    issued_at: self.local_time,
+                },
             );
         }
         result
@@ -974,13 +1036,7 @@ impl MttopCore {
     /// lanes peek/poke the now-resident block. If permission slipped away
     /// between completion and application, the lane's access is re-issued as
     /// its own timed flight.
-    fn apply_group(
-        &mut self,
-        wi: usize,
-        group: &[LaneOp],
-        value: u64,
-        port: &mut CorePort<'_>,
-    ) {
+    fn apply_group(&mut self, wi: usize, group: &[LaneOp], value: u64, port: &mut CorePort<'_>) {
         for (i, op) in group.iter().enumerate() {
             let paddr = op.paddr.expect("translated");
             match op.kind {
@@ -1047,14 +1103,29 @@ impl MttopCore {
         port: &mut CorePort<'_>,
         faults: &mut Vec<PageFaultReq>,
     ) {
-        let flight = self.flights.remove(&token).expect("unknown completion token");
+        let flight = self
+            .flights
+            .remove(&token)
+            .expect("unknown completion token");
         let lat = self.local_time.saturating_sub(flight.issued_at);
         self.miss_lat_sum += lat;
         self.miss_count += 1;
         if self.miss_trace && lat > Time::from_ns(400) {
-            let b = flight.ops.first().and_then(|o| o.paddr).map(ccsvm_mem::block_of);
-            eprintln!("SLOWMISS {}ns block {:?} kind {}", lat.as_ns() as u64, b,
-                if flight.ops.is_empty() { "walk" } else { "data" });
+            let b = flight
+                .ops
+                .first()
+                .and_then(|o| o.paddr)
+                .map(ccsvm_mem::block_of);
+            eprintln!(
+                "SLOWMISS {}ns block {:?} kind {}",
+                lat.as_ns() as u64,
+                b,
+                if flight.ops.is_empty() {
+                    "walk"
+                } else {
+                    "data"
+                }
+            );
         }
         if flight.ops.is_empty() {
             // A walker PTE read completed.
@@ -1081,7 +1152,11 @@ impl MttopCore {
                 WalkResult::Fault(f) => {
                     self.faults += 1;
                     self.set_state(wi, WarpState::Fault);
-                    faults.push(PageFaultReq { warp: wi, va: f.va, cr3: self.cr3 });
+                    faults.push(PageFaultReq {
+                        warp: wi,
+                        va: f.va,
+                        cr3: self.cr3,
+                    });
                 }
             }
             if self.walker.is_none() {
@@ -1103,11 +1178,7 @@ impl MttopCore {
         }
     }
 
-    fn wake_walker_queue(
-        &mut self,
-        port: &mut CorePort<'_>,
-        faults: &mut Vec<PageFaultReq>,
-    ) {
+    fn wake_walker_queue(&mut self, port: &mut CorePort<'_>, faults: &mut Vec<PageFaultReq>) {
         while self.walker.is_none() {
             let Some(wi) = self.walker_queue.pop() else {
                 return;
@@ -1126,14 +1197,20 @@ impl MttopCore {
         s.set_id(stat_id("warp_instructions"), self.warp_instrs as f64);
         s.set_id(stat_id("thread_instructions"), self.thread_instrs as f64);
         s.set_id(stat_id("mem_instructions"), self.mem_instrs as f64);
-        s.set_id(stat_id("coalesced_accesses"), self.coalesced_accesses as f64);
+        s.set_id(
+            stat_id("coalesced_accesses"),
+            self.coalesced_accesses as f64,
+        );
         s.set_id(stat_id("divergent_issues"), self.divergent_issues as f64);
         s.set_id(stat_id("tlb_walks"), self.walks as f64);
         s.set_id(stat_id("page_faults"), self.faults as f64);
         s.set_id(stat_id("tasks"), self.tasks as f64);
         s.set_id(stat_id("miss_count"), self.miss_count as f64);
         if self.miss_count > 0 {
-            s.set_id(stat_id("avg_miss_ns"), self.miss_lat_sum.as_ns() / self.miss_count as f64);
+            s.set_id(
+                stat_id("avg_miss_ns"),
+                self.miss_lat_sum.as_ns() / self.miss_count as f64,
+            );
         }
         s.merge_prefixed("tlb", &self.tlb.stats());
         s
@@ -1246,7 +1323,11 @@ impl Mifd {
             remaining[core] -= 1;
             self.cursor = (self.cursor + 1) % n;
             let last_tid = (tid + lanes as u64 - 1).min(last);
-            out.push(ChunkAssign { core, first_tid: tid, last_tid });
+            out.push(ChunkAssign {
+                core,
+                first_tid: tid,
+                last_tid,
+            });
             tid = last_tid + 1;
         }
         self.chunks += out.len() as u64;
@@ -1362,14 +1443,32 @@ impl LaneOp {
     fn load(r: &mut SnapReader<'_>) -> Result<LaneOp, SnapError> {
         let lane = r.get_usize()?;
         let va = VirtAddr(r.get_u64()?);
-        let paddr = if r.get_bool()? { Some(PhysAddr(r.get_u64()?)) } else { None };
+        let paddr = if r.get_bool()? {
+            Some(PhysAddr(r.get_u64()?))
+        } else {
+            None
+        };
         let kind = match r.get_u8()? {
-            0 => LaneKind::Ld { rd: Reg(r.get_u8()?), size: r.get_u8()? },
-            1 => LaneKind::St { size: r.get_u8()?, value: r.get_u64()? },
-            2 => LaneKind::Amo { rd: Reg(r.get_u8()?), op: AtomicOp::load(r)? },
+            0 => LaneKind::Ld {
+                rd: Reg(r.get_u8()?),
+                size: r.get_u8()?,
+            },
+            1 => LaneKind::St {
+                size: r.get_u8()?,
+                value: r.get_u64()?,
+            },
+            2 => LaneKind::Amo {
+                rd: Reg(r.get_u8()?),
+                op: AtomicOp::load(r)?,
+            },
             t => return Err(bad_tag("LaneKind", t)),
         };
-        Ok(LaneOp { lane, va, paddr, kind })
+        Ok(LaneOp {
+            lane,
+            va,
+            paddr,
+            kind,
+        })
     }
 }
 
@@ -1381,7 +1480,7 @@ fn save_lane_ops(w: &mut SnapWriter, ops: &[LaneOp]) {
 }
 
 fn load_lane_ops(r: &mut SnapReader<'_>) -> Result<Vec<LaneOp>, SnapError> {
-    let n = r.get_usize()?;
+    let n = r.get_count(1)?;
     let mut ops = Vec::with_capacity(n);
     for _ in 0..n {
         ops.push(LaneOp::load(r)?);
@@ -1413,7 +1512,7 @@ impl Plan {
         let next_translate = r.get_usize()?;
         let pc = r.get_usize()?;
         let groups = if r.get_bool()? {
-            let n = r.get_usize()?;
+            let n = r.get_count(1)?;
             let mut q = std::collections::VecDeque::with_capacity(n);
             for _ in 0..n {
                 q.push_back(load_lane_ops(r)?);
@@ -1575,7 +1674,11 @@ impl Snapshot for MttopCore {
                 }
             }
             warp.outstanding = r.get_usize()?;
-            warp.plan = if r.get_bool()? { Some(Plan::load(r)?) } else { None };
+            warp.plan = if r.get_bool()? {
+                Some(Plan::load(r)?)
+            } else {
+                None
+            };
         }
         // Route through `set_state` so `ready_mask` is rebuilt in sync.
         for wi in 0..n {
@@ -1603,7 +1706,14 @@ impl Snapshot for MttopCore {
             let warp = r.get_usize()?;
             let ops = load_lane_ops(r)?;
             let issued_at = Time::from_ps(r.get_u64()?);
-            self.flights.insert(token, Flight { warp, ops, issued_at });
+            self.flights.insert(
+                token,
+                Flight {
+                    warp,
+                    ops,
+                    issued_at,
+                },
+            );
         }
         self.arrived.clear();
         for _ in 0..r.get_usize()? {
@@ -1661,7 +1771,14 @@ mod tests {
         let mut m = Mifd::new();
         let plan = m.plan_launch(0, 31, 8, &[16, 16, 16]).unwrap();
         assert_eq!(plan.len(), 4);
-        assert_eq!(plan[0], ChunkAssign { core: 0, first_tid: 0, last_tid: 7 });
+        assert_eq!(
+            plan[0],
+            ChunkAssign {
+                core: 0,
+                first_tid: 0,
+                last_tid: 7
+            }
+        );
         assert_eq!(plan[1].core, 1);
         assert_eq!(plan[2].core, 2);
         assert_eq!(plan[3].core, 0, "wraps around");
@@ -1716,8 +1833,7 @@ mod tests {
         assert_eq!(core.warps[3].lanes[0].regs[1], 11);
         assert_eq!(core.warps[1].lanes[0].regs[2], 0x4000);
         assert_ne!(
-            core.warps[0].lanes[0].regs[30],
-            core.warps[1].lanes[0].regs[30],
+            core.warps[0].lanes[0].regs[30], core.warps[1].lanes[0].regs[30],
             "distinct stacks"
         );
     }
@@ -1728,7 +1844,14 @@ mod tests {
         assert_eq!(core.free_warps(), 16);
         assert!(core.start_task(
             Time::ZERO,
-            TaskChunk { entry: 0, args: 1, first_tid: 0, last_tid: 7, cr3: PhysAddr(0), ra: 0 }
+            TaskChunk {
+                entry: 0,
+                args: 1,
+                first_tid: 0,
+                last_tid: 7,
+                cr3: PhysAddr(0),
+                ra: 0
+            }
         ));
         assert_eq!(core.free_warps(), 15);
         let w = &core.warps[0];
@@ -1755,7 +1878,14 @@ mod tests {
         assert_eq!(core.free_warps(), 0);
         assert!(!core.start_task(
             Time::ZERO,
-            TaskChunk { entry: 0, args: 0, first_tid: 0, last_tid: 7, cr3: PhysAddr(0), ra: 0 }
+            TaskChunk {
+                entry: 0,
+                args: 0,
+                first_tid: 0,
+                last_tid: 7,
+                cr3: PhysAddr(0),
+                ra: 0
+            }
         ));
     }
 }

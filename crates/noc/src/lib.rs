@@ -202,6 +202,14 @@ pub struct Network {
     messages: u64,
     total_bytes: u64,
     total_hops: u64,
+    /// Message-conservation audit counters (DESIGN §9, NOC-CONSERVE): uncore
+    /// events the caller injected (`sent`), delivered (`delivered`), and
+    /// intentionally discarded under a fault plan (`sanctioned`). Always
+    /// maintained — counting is cheap and keeps snapshot images identical
+    /// whether or not the sanitizer evaluates them.
+    audit_sent: u64,
+    audit_delivered: u64,
+    audit_sanctioned: u64,
     faults: Option<NocFaults>,
 }
 
@@ -215,8 +223,34 @@ impl Network {
             messages: 0,
             total_bytes: 0,
             total_hops: 0,
+            audit_sent: 0,
+            audit_delivered: 0,
+            audit_sanctioned: 0,
             faults: None,
         }
+    }
+
+    /// Records `n` uncore events entering the network layer.
+    pub fn note_sent(&mut self, n: u64) {
+        self.audit_sent += n;
+    }
+
+    /// Records one uncore event delivered to its destination.
+    pub fn note_delivered(&mut self) {
+        self.audit_delivered += 1;
+    }
+
+    /// Records one uncore event intentionally discarded by a fault plan
+    /// (a *sanctioned* loss, exempt from NOC-CONSERVE).
+    pub fn note_sanctioned(&mut self) {
+        self.audit_sanctioned += 1;
+    }
+
+    /// The audit counters `(sent, delivered, sanctioned)` for the
+    /// NOC-CONSERVE check; `sent` must equal `delivered + sanctioned +
+    /// still-queued` at any quiescent point.
+    pub fn audit_counters(&self) -> (u64, u64, u64) {
+        (self.audit_sent, self.audit_delivered, self.audit_sanctioned)
     }
 
     /// Enables link-fault injection: each message may be "dropped" and
@@ -224,7 +258,12 @@ impl Network {
     /// Delivery is still guaranteed (link-level retry), only delayed and
     /// counted, so higher layers need no loss handling.
     pub fn install_faults(&mut self, cfg: NocFaultConfig, rng: SplitMix64) {
-        self.faults = Some(NocFaults { cfg, rng, retransmissions: 0, faulted_messages: 0 });
+        self.faults = Some(NocFaults {
+            cfg,
+            rng,
+            retransmissions: 0,
+            faulted_messages: 0,
+        });
     }
 
     /// The topology this network routes over.
@@ -352,6 +391,9 @@ impl ccsvm_snap::Snapshot for Network {
         w.put_u64(self.messages);
         w.put_u64(self.total_bytes);
         w.put_u64(self.total_hops);
+        w.put_u64(self.audit_sent);
+        w.put_u64(self.audit_delivered);
+        w.put_u64(self.audit_sanctioned);
         w.put_bool(self.faults.is_some());
         if let Some(f) = &self.faults {
             w.put_u64(f.rng.state());
@@ -377,6 +419,9 @@ impl ccsvm_snap::Snapshot for Network {
         self.messages = r.get_u64()?;
         self.total_bytes = r.get_u64()?;
         self.total_hops = r.get_u64()?;
+        self.audit_sent = r.get_u64()?;
+        self.audit_delivered = r.get_u64()?;
+        self.audit_sanctioned = r.get_u64()?;
         let has_faults = r.get_bool()?;
         if has_faults != self.faults.is_some() {
             return Err(ccsvm_snap::SnapError::Corrupt {
@@ -589,7 +634,10 @@ mod snapshot_tests {
         restored.load(&mut SnapReader::new(&bytes)).unwrap();
         for i in 60..120u64 {
             let t = Time::from_ns(i);
-            let (src, dst) = (NodeId((i % 16) as usize), NodeId(((i * 7 + 1) % 16) as usize));
+            let (src, dst) = (
+                NodeId((i % 16) as usize),
+                NodeId(((i * 7 + 1) % 16) as usize),
+            );
             assert_eq!(net.send(t, src, dst, 72), restored.send(t, src, dst, 72));
         }
         assert_eq!(net.stats(), restored.stats());
@@ -621,12 +669,18 @@ mod fault_tests {
         let mut plain = Network::new(topo, NocConfig::paper_default());
         let mut faulty = Network::new(topo, NocConfig::paper_default());
         faulty.install_faults(
-            NocFaultConfig { drop_rate: 0.0, ..NocFaultConfig::default() },
+            NocFaultConfig {
+                drop_rate: 0.0,
+                ..NocFaultConfig::default()
+            },
             SplitMix64::new(7),
         );
         for i in 0..50u64 {
             let t = Time::from_ns(i * 3);
-            let (src, dst) = (NodeId((i % 16) as usize), NodeId(((i * 5 + 3) % 16) as usize));
+            let (src, dst) = (
+                NodeId((i % 16) as usize),
+                NodeId(((i * 5 + 3) % 16) as usize),
+            );
             assert_eq!(plain.send(t, src, dst, 72), faulty.send(t, src, dst, 72));
         }
         // Fault counter keys appear only when installed; values stay zero at
@@ -673,7 +727,10 @@ mod fault_tests {
         faulty.install_faults(cfg, SplitMix64::new(3));
         for i in 0..100u64 {
             let t = Time::from_ns(i * 2);
-            let (src, dst) = (NodeId((i % 16) as usize), NodeId(((i * 3 + 2) % 16) as usize));
+            let (src, dst) = (
+                NodeId((i % 16) as usize),
+                NodeId(((i * 3 + 2) % 16) as usize),
+            );
             let base = clean.send(t, src, dst, 72);
             let delayed = faulty.send(t, src, dst, 72);
             assert!(delayed >= base);

@@ -51,7 +51,7 @@ pub const MAGIC: [u8; 8] = *b"CCSVSNAP";
 /// Schema version of the snapshot format. Bump on ANY change to what any
 /// component serializes, and document the change in DESIGN.md §8 (CI greps
 /// for this).
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Typed snapshot failure. Restoring under a mismatched config or schema, or
 /// from a truncated/corrupt file, yields one of these — never a panic and
@@ -295,6 +295,31 @@ impl<'a> SnapReader<'a> {
         usize::try_from(self.get_u64()?).map_err(|_| SnapError::Corrupt {
             what: "usize value exceeds host width".to_string(),
         })
+    }
+
+    /// Reads an element count that will drive a pre-sized allocation.
+    /// Validates the count against the bytes actually remaining in the
+    /// image (each element needs at least `min_elem_bytes` to encode), so a
+    /// corrupt length field yields [`SnapError::Corrupt`] instead of an
+    /// attempt to allocate terabytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when the count cannot possibly be satisfied
+    /// by the remaining data; [`SnapError::Truncated`] when the count field
+    /// itself is cut off.
+    pub fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize, SnapError> {
+        let n = self.get_usize()?;
+        let elem = min_elem_bytes.max(1);
+        if n > self.remaining() / elem {
+            return Err(SnapError::Corrupt {
+                what: format!(
+                    "element count {n} x >= {elem} B exceeds the {} bytes remaining",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(n)
     }
 
     /// Reads an `f64` from its bit pattern.

@@ -119,6 +119,33 @@ impl Tlb {
         self.entries.len()
     }
 
+    /// Every live `(vpn, frame base)` translation, in storage order — the
+    /// sanitizer's TLB⊆page-table check compares these against the OS's
+    /// authoritative mappings. Read-only: does not touch LRU or counters.
+    pub fn entries(&self) -> Vec<(u64, PhysAddr)> {
+        self.entries.iter().map(|e| (e.vpn, e.frame)).collect()
+    }
+
+    /// Whether the TLB holds a live translation for `va`'s page. Read-only
+    /// (unlike [`Tlb::lookup`], no LRU update, no hit/miss accounting).
+    pub fn holds(&self, va: VirtAddr) -> bool {
+        let vpn = va.vpn();
+        self.entries.iter().any(|e| e.vpn == vpn)
+    }
+
+    /// Test-only corruption hook for sanitizer mutation tests: offsets the
+    /// frame of the first live entry so it no longer matches the page table.
+    /// Returns `false` when the TLB is empty.
+    pub fn test_corrupt_first_entry(&mut self) -> bool {
+        match self.entries.first_mut() {
+            Some(e) => {
+                e.frame = PhysAddr(e.frame.0 ^ 0x1_0000);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Whether the TLB holds no translations.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -130,7 +157,10 @@ impl Tlb {
         s.set_id(stat_id("hits"), self.hits as f64);
         s.set_id(stat_id("misses"), self.misses as f64);
         s.set_id(stat_id("flushes"), self.flushes as f64);
-        s.set_id(stat_id("shootdown_invalidations"), self.shootdown_invalidations as f64);
+        s.set_id(
+            stat_id("shootdown_invalidations"),
+            self.shootdown_invalidations as f64,
+        );
         s
     }
 }
@@ -157,10 +187,7 @@ impl ccsvm_snap::Snapshot for Tlb {
         w.put_u64(self.shootdown_invalidations);
     }
 
-    fn load(
-        &mut self,
-        r: &mut ccsvm_snap::SnapReader<'_>,
-    ) -> Result<(), ccsvm_snap::SnapError> {
+    fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
         let capacity = r.get_usize()?;
         if capacity != self.capacity {
             return Err(ccsvm_snap::SnapError::Corrupt {

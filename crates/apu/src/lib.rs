@@ -160,9 +160,8 @@ pub fn run_offload(cfg: &ApuConfig, xthreads_src: &str, shape: OffloadShape) -> 
     let kernel_time = region_time(&r.printed, &r.printed_at, r.time);
     let kernel_dram = region_dram(&r.printed, &r.dram_at_print, r.dram_accesses);
 
-    let xfer = Time::from_ps(
-        (shape.buffer_bytes as f64 * 1_000.0 / cfg.dma_bytes_per_ns).ceil() as u64,
-    );
+    let xfer =
+        Time::from_ps((shape.buffer_bytes as f64 * 1_000.0 / cfg.dma_bytes_per_ns).ceil() as u64);
     let dma_time = cfg.dma_latency + xfer + cfg.dma_latency + xfer; // in + out
     let driver_time = Time::from_ps(cfg.launch_overhead.as_ps() * shape.launches);
     let total_no_init = kernel_time + dma_time + driver_time;
@@ -216,8 +215,14 @@ mod tests {
     #[test]
     fn dma_time_scales_with_bytes() {
         let cfg = ApuConfig::paper_scaled();
-        let small = OffloadShape { buffer_bytes: 64, launches: 1 };
-        let big = OffloadShape { buffer_bytes: 1 << 20, launches: 1 };
+        let small = OffloadShape {
+            buffer_bytes: 64,
+            launches: 1,
+        };
+        let big = OffloadShape {
+            buffer_bytes: 1 << 20,
+            launches: 1,
+        };
         let xfer = |s: OffloadShape| {
             Time::from_ps((s.buffer_bytes as f64 * 1000.0 / cfg.dma_bytes_per_ns).ceil() as u64)
         };

@@ -18,8 +18,15 @@ fn small_cfg() -> ApuConfig {
 #[test]
 fn offload_result_is_correct_and_decomposed() {
     let cfg = small_cfg();
-    let p = wl::matmul::MatmulParams { n: 8, max_threads: 64, seed: 3 };
-    let shape = OffloadShape { buffer_bytes: 3 * 8 * 8 * 8, launches: 1 };
+    let p = wl::matmul::MatmulParams {
+        n: 8,
+        max_threads: 64,
+        seed: 3,
+    };
+    let shape = OffloadShape {
+        buffer_bytes: 3 * 8 * 8 * 8,
+        launches: 1,
+    };
     let r = run_offload(&cfg, &wl::matmul::xthreads_source(&p), shape);
     assert_eq!(r.exit_code, wl::matmul::reference_checksum(&p));
     assert_eq!(
@@ -37,7 +44,11 @@ fn cpu_baseline_is_faster_than_ccsvm_cpu() {
     // The APU's out-of-order CPU (max IPC 4) must beat the CCSVM chip's
     // in-order core (max IPC 0.5) on the same program — the paper's
     // deliberately conservative stacking (§5.1).
-    let p = wl::matmul::MatmulParams { n: 16, max_threads: 64, seed: 3 };
+    let p = wl::matmul::MatmulParams {
+        n: 16,
+        max_threads: 64,
+        seed: 3,
+    };
     let src = wl::matmul::cpu_source(&p);
     let (apu_t, _, apu_code) = run_cpu(&small_cfg(), &src);
 
@@ -59,10 +70,28 @@ fn per_iteration_launches_hurt_apsp_style_workloads() {
     // Figure 6's mechanism: the same kernel with N launches pays N driver
     // overheads on the APU.
     let cfg = small_cfg();
-    let p = wl::matmul::MatmulParams { n: 8, max_threads: 64, seed: 3 };
+    let p = wl::matmul::MatmulParams {
+        n: 8,
+        max_threads: 64,
+        seed: 3,
+    };
     let src = wl::matmul::xthreads_source(&p);
-    let one = run_offload(&cfg, &src, OffloadShape { buffer_bytes: 1024, launches: 1 });
-    let many = run_offload(&cfg, &src, OffloadShape { buffer_bytes: 1024, launches: 64 });
+    let one = run_offload(
+        &cfg,
+        &src,
+        OffloadShape {
+            buffer_bytes: 1024,
+            launches: 1,
+        },
+    );
+    let many = run_offload(
+        &cfg,
+        &src,
+        OffloadShape {
+            buffer_bytes: 1024,
+            launches: 64,
+        },
+    );
     let delta = many.total_no_init.saturating_sub(one.total_no_init);
     let expect = Time::from_ps(cfg.launch_overhead.as_ps() * 63);
     assert_eq!(delta, expect);

@@ -5,7 +5,7 @@
 //! at the largest size.
 
 use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
-use ccsvm_bench::{check_eq, exit_with, header, ms, rel, BenchError, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, ms, rel, BenchError, Claims, Opts, Out};
 use ccsvm_workloads as wl;
 
 fn main() {
@@ -17,8 +17,9 @@ fn run() -> Result<(), BenchError> {
     let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
     let apu = ApuConfig::paper_scaled();
     let mut claims = Claims::new();
+    let mut out = Out::new(&opts, Some("results/fig5.txt"));
 
-    header(
+    out.header(
         "Figure 5: matmul runtime (ms, and relative to AMD CPU core = 1.0)",
         &[
             "   n",
@@ -63,7 +64,7 @@ fn run() -> Result<(), BenchError> {
     let mut rel_ccsvm_small = None;
     let mut last_ratio_noinit_over_ccsvm = 0.0;
     for (&n, (t_cpu, a, t_ccsvm)) in sizes.iter().zip(points) {
-        println!(
+        out.line(format!(
             "{n:4} | {} | {} | {} | {} | {} | {} | {}",
             ms(t_cpu),
             ms(a.total),
@@ -72,7 +73,7 @@ fn run() -> Result<(), BenchError> {
             rel(a.total, t_cpu),
             rel(a.total_no_init, t_cpu),
             rel(t_ccsvm, t_cpu),
-        );
+        ));
 
         if n == sizes[0] {
             rel_ccsvm_small = Some((t_ccsvm, a.total_no_init));
@@ -96,6 +97,7 @@ fn run() -> Result<(), BenchError> {
             "largest size: the no-init APU closes most of the gap (raw VLIW throughput)",
         );
     }
+    out.finish()?;
     claims.finish("fig5");
     Ok(())
 }

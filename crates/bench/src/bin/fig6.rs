@@ -6,7 +6,7 @@
 //! in shared memory.
 
 use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
-use ccsvm_bench::{check_eq, exit_with, header, ms, rel, BenchError, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, ms, rel, BenchError, Claims, Opts, Out};
 use ccsvm_workloads as wl;
 
 fn main() {
@@ -18,8 +18,9 @@ fn run() -> Result<(), BenchError> {
     let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
     let apu = ApuConfig::paper_scaled();
     let mut claims = Claims::new();
+    let mut out = Out::new(&opts, Some("results/fig6.txt"));
 
-    header(
+    out.header(
         "Figure 6: APSP runtime (ms, and relative to AMD CPU core = 1.0)",
         &[
             "   n",
@@ -56,7 +57,7 @@ fn run() -> Result<(), BenchError> {
         );
         check_eq(code, expect, format!("n={n}: CCSVM result"))?;
 
-        println!(
+        out.line(format!(
             "{n:4} | {} | {} | {} | {} | {} | {} | {}",
             ms(t_cpu),
             ms(a.total),
@@ -65,7 +66,7 @@ fn run() -> Result<(), BenchError> {
             rel(a.total, t_cpu),
             rel(a.total_no_init, t_cpu),
             rel(t_ccsvm, t_cpu),
-        );
+        ));
 
         claims.check(
             t_ccsvm < a.total_no_init,
@@ -86,6 +87,7 @@ fn run() -> Result<(), BenchError> {
             );
         }
     }
+    out.finish()?;
     claims.finish("fig6");
     Ok(())
 }

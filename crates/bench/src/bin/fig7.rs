@@ -5,7 +5,7 @@
 //! tight coupling).
 
 use ccsvm_apu::{run_cpu, ApuConfig};
-use ccsvm_bench::{check_eq, exit_with, header, ms, rel, BenchError, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, ms, rel, BenchError, Claims, Opts, Out};
 use ccsvm_workloads as wl;
 
 fn main() {
@@ -18,8 +18,9 @@ fn run() -> Result<(), BenchError> {
     let apu = ApuConfig::paper_scaled();
     let mut claims = Claims::new();
     let mut rels: Vec<f64> = Vec::new();
+    let mut out = Out::new(&opts, Some("results/fig7.txt"));
 
-    header(
+    out.header(
         "Figure 7: Barnes-Hut runtime (ms, and relative to AMD CPU core = 1.0)",
         &[
             "bodies",
@@ -53,14 +54,14 @@ fn run() -> Result<(), BenchError> {
         );
         check_eq(c3, oracle, format!("{nb} bodies: CCSVM result"))?;
 
-        println!(
+        out.line(format!(
             "{nb:6} | {} | {} | {} | {} | {}",
             ms(t_cpu),
             ms(t_pth),
             ms(t_ccsvm),
             rel(t_pth, t_cpu),
             rel(t_ccsvm, t_cpu),
-        );
+        ));
 
         if nb >= 512 {
             claims.check(
@@ -86,12 +87,13 @@ fn run() -> Result<(), BenchError> {
         rels.windows(2).all(|w| w[1] <= w[0] * 1.05),
         "CCSVM relative runtime improves (or holds) as the problem grows",
     );
-    println!(
+    out.line(format!(
         "note: CCSVM relative-runtime trend across sizes: {:?}",
         rels.iter()
             .map(|r| (r * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
-    );
+    ));
+    out.finish()?;
     claims.finish("fig7");
     Ok(())
 }

@@ -5,13 +5,14 @@
 //! thread) becomes the bottleneck.
 
 use ccsvm_apu::{run_cpu, ApuConfig};
-use ccsvm_bench::{check_eq, exit_with, header, ms, BenchError, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, ms, BenchError, Claims, Opts, Out};
 use ccsvm_workloads as wl;
 
 fn run_pair(
     apu: &ApuConfig,
     p: &wl::spmm::SpmmParams,
     opts: &Opts,
+    out: &mut Out,
 ) -> Result<(f64, u64), BenchError> {
     let expect = wl::spmm::reference_checksum(p);
     let (t_cpu, _, c1) = run_cpu(apu, &wl::spmm::cpu_source(p));
@@ -22,7 +23,7 @@ fn run_pair(
         &format!("fig8-n{}-d{}", p.n, p.density_tenths_pct),
     );
     check_eq(c2, expect, format!("n={}: CCSVM spmm result", p.n))?;
-    println!(
+    out.line(format!(
         "  n={:4} density={:4.1}% | CPU {} | CCSVM {} | speedup {:6.2} | allocs {}",
         p.n,
         p.density_tenths_pct as f64 / 10.0,
@@ -30,7 +31,7 @@ fn run_pair(
         ms(t_ccsvm),
         t_cpu.as_ps() as f64 / t_ccsvm.as_ps() as f64,
         wl::spmm::reference_allocations(p),
-    );
+    ));
     Ok((
         t_cpu.as_ps() as f64 / t_ccsvm.as_ps() as f64,
         wl::spmm::reference_allocations(p),
@@ -45,8 +46,9 @@ fn run() -> Result<(), BenchError> {
     let opts = Opts::parse();
     let apu = ApuConfig::paper_scaled();
     let mut claims = Claims::new();
+    let mut out = Out::new(&opts, Some("results/fig8.txt"));
 
-    header(
+    out.header(
         "Figure 8 (left): sparse matmul speedup vs size at 1% density",
         &["rows below"],
     );
@@ -59,7 +61,7 @@ fn run() -> Result<(), BenchError> {
             max_threads: 1280,
             seed: 42,
         };
-        left.push(run_pair(&apu, &p, &opts)?);
+        left.push(run_pair(&apu, &p, &opts, &mut out)?);
     }
     if !opts.quick {
         claims.check(
@@ -68,7 +70,7 @@ fn run() -> Result<(), BenchError> {
         );
     }
 
-    header(
+    out.header(
         "Figure 8 (right): sparse matmul speedup vs density at fixed size",
         &["rows below"],
     );
@@ -81,7 +83,7 @@ fn run() -> Result<(), BenchError> {
             max_threads: 1280,
             seed: 42,
         };
-        right.push(run_pair(&apu, &p, &opts)?);
+        right.push(run_pair(&apu, &p, &opts, &mut out)?);
     }
     if !opts.quick {
         let best = right.iter().map(|(s, _)| *s).fold(0.0f64, f64::max);
@@ -101,13 +103,14 @@ fn run() -> Result<(), BenchError> {
         // large" matrices made it. The mechanism is still measurable: the
         // per-allocation CPU round trip is the reason speedups stay ~1x
         // instead of the dense benchmarks' 2-4x. See EXPERIMENTS.md.
-        println!(
+        out.line(format!(
             "note: speedup-vs-density trend here: {:?} (paper shows a decline              at its much larger sizes)",
             right.iter().map(|(s, _)| (*s * 100.0).round() / 100.0).collect::<Vec<_>>()
-        );
+        ));
     } else {
-        println!("  (quick mode: sizes too small for the paper's trend; claims skipped)");
+        out.line("  (quick mode: sizes too small for the paper's trend; claims skipped)");
     }
+    out.finish()?;
     claims.finish("fig8");
     Ok(())
 }

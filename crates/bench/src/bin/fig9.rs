@@ -4,7 +4,7 @@
 //! outgrows its caches.
 
 use ccsvm_apu::{run_cpu, run_offload, ApuConfig, OffloadShape};
-use ccsvm_bench::{check_eq, exit_with, header, BenchError, Claims, Opts};
+use ccsvm_bench::{check_eq, exit_with, BenchError, Claims, Opts, Out};
 use ccsvm_workloads as wl;
 
 fn main() {
@@ -16,8 +16,9 @@ fn run() -> Result<(), BenchError> {
     let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
     let apu = ApuConfig::paper_scaled();
     let mut claims = Claims::new();
+    let mut out = Out::new(&opts, Some("results/fig9.txt"));
 
-    header(
+    out.header(
         "Figure 9: DRAM accesses for matmul",
         &["   n", "      CPU", "      APU", "    CCSVM", "APU/CCSVM"],
     );
@@ -48,17 +49,18 @@ fn run() -> Result<(), BenchError> {
     let points = points.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     for (&n, (cpu_dram, a, ccsvm_dram)) in sizes.iter().zip(points) {
-        println!(
+        out.line(format!(
             "{n:4} | {cpu_dram:8} | {:8} | {ccsvm_dram:8} | {:8.2}",
             a.dram_accesses,
             a.dram_accesses as f64 / ccsvm_dram as f64,
-        );
+        ));
 
         claims.check(
             a.dram_accesses > ccsvm_dram,
             &format!("n={n}: APU needs more DRAM accesses than CCSVM"),
         );
     }
+    out.finish()?;
     claims.finish("fig9");
     Ok(())
 }

@@ -435,15 +435,12 @@ fn run() -> Result<(), BenchError> {
          \"speedup_vs_baseline\": {speedup_json}\n}}\n",
         mode = if quick { "quick" } else { "full" },
     );
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| BenchError::io(dir, &e))?;
-        }
-    }
-    std::fs::write(&out_path, &json).map_err(|e| BenchError::io(&out_path, &e))?;
+    // Atomic temp-file + rename: a crash mid-write can never leave a torn
+    // perf artifact for the CI gate (or a later run) to trip over.
+    ccsvm_bench::write_results_atomic(&out_path, &json)?;
     println!("wrote {out_path}");
     if write_baseline {
-        std::fs::write(&baseline_file, &json).map_err(|e| BenchError::io(&baseline_file, &e))?;
+        ccsvm_bench::write_results_atomic(&baseline_file, &json)?;
         println!("wrote {baseline_file}");
     }
     Ok(())

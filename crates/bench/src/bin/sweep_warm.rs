@@ -14,9 +14,7 @@
 use std::time::Instant;
 
 use ccsvm::Machine;
-use ccsvm_bench::{
-    bench_cfg, exit_with, header, ms, pause_at_region_start, BenchError, Claims, Opts,
-};
+use ccsvm_bench::{bench_cfg, exit_with, ms, pause_at_region_start, BenchError, Claims, Opts, Out};
 use ccsvm_engine::Time;
 use ccsvm_workloads as wl;
 
@@ -32,8 +30,9 @@ fn run() -> Result<(), BenchError> {
     let opts = Opts::parse();
     let sizes = opts.pick(&[8, 16, 32, 64, 128], &[8, 16]);
     let mut claims = Claims::new();
+    let mut out = Out::new(&opts, Some("results/sweep_warm.txt"));
 
-    header(
+    out.header(
         "Warm-start sweep: fig5 CCSVM column, cold vs snapshot-forked",
         &[
             "   n",
@@ -100,12 +99,12 @@ fn run() -> Result<(), BenchError> {
         let ww = warm_wall.as_secs_f64() * 1e3;
         cold_total += cw;
         warm_total += ww;
-        println!(
+        out.line(format!(
             "{n:4} | {} | {cw:12.1} | {ww:12.1} | {:7.2}x | {:9.1}",
             ms(region),
             cw / ww,
             image_len as f64 / 1024.0,
-        );
+        ));
     }
     // Judged over the whole sweep (per-point wall-clock is noisy), and only
     // in full mode: quick's smallest sizes have almost no initialization to
@@ -116,12 +115,13 @@ fn run() -> Result<(), BenchError> {
             "whole sweep: warm-start wall-time beats cold re-simulation",
         );
     } else {
-        println!("  (quick mode: sizes too small to amortize a restore; wall-time claim skipped)");
+        out.line("  (quick mode: sizes too small to amortize a restore; wall-time claim skipped)");
     }
-    println!(
+    out.line(format!(
         "totals: cold {cold_total:.1} ms, warm {warm_total:.1} ms ({:.2}x)",
         cold_total / warm_total
-    );
+    ));
+    out.finish()?;
     claims.finish("sweep-warm");
     Ok(())
 }

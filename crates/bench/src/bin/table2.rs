@@ -1,7 +1,7 @@
 //! Table 2: the simulated CCSVM system and the modeled APU configurations.
 
-use ccsvm_apu::ApuConfig;
 use ccsvm::SystemConfig;
+use ccsvm_apu::ApuConfig;
 
 fn main() {
     println!("== Table 2: simulated CCSVM system configuration");
@@ -13,8 +13,7 @@ fn main() {
         "CPU:    {} out-of-order cores, {:.1} GHz, max IPC {}",
         apu.cpu_chip.n_cpus,
         apu.cpu_chip.cpu.clock.hz() / 1e9,
-        apu.cpu_chip.cpu.cycles_per_instr_den as f64
-            / apu.cpu_chip.cpu.cycles_per_instr_num as f64,
+        apu.cpu_chip.cpu.cycles_per_instr_den as f64 / apu.cpu_chip.cpu.cycles_per_instr_num as f64,
     );
     println!(
         "GPU:    {} SIMD units, {:.0} MHz, VLIW x{} (max {} ops/cycle)",
@@ -25,8 +24,14 @@ fn main() {
             * apu.gpu_chip.mttop.lanes as u64
             * apu.gpu_chip.mttop.vliw_ops_per_lane,
     );
-    println!("DRAM:   {} latency (Table 2: 72 ns)", apu.cpu_chip.dram.latency);
-    println!("OpenCL: compile {}  init {}", apu.compile_time, apu.init_time);
+    println!(
+        "DRAM:   {} latency (Table 2: 72 ns)",
+        apu.cpu_chip.dram.latency
+    );
+    println!(
+        "OpenCL: compile {}  init {}",
+        apu.compile_time, apu.init_time
+    );
     println!(
         "Driver: launch overhead {}  DMA {} + {:.1} B/ns",
         apu.launch_overhead, apu.dma_latency, apu.dma_bytes_per_ns

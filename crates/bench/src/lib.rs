@@ -105,6 +105,77 @@ pub fn exit_with(result: Result<(), BenchError>) -> ! {
     }
 }
 
+/// Exit status for a run stopped by SIGINT/SIGTERM after flushing its
+/// final checkpoint (POSIX convention: 128 + SIGINT).
+pub const EXIT_INTERRUPTED: i32 = 130;
+
+/// Writes a results artifact atomically: same-directory temp file, fsync,
+/// rename. A crash mid-write leaves either the old artifact or none — never
+/// a torn one. Parent directories are created as needed.
+///
+/// # Errors
+///
+/// [`BenchError::Io`] when the directory or file cannot be written.
+pub fn write_results_atomic(
+    path: impl AsRef<std::path::Path>,
+    contents: &str,
+) -> Result<(), BenchError> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| BenchError::io(dir, &e))?;
+        }
+    }
+    ccsvm_snap::write_file(path, contents.as_bytes()).map_err(BenchError::from)
+}
+
+/// Table sink for figure binaries: every [`Out::line`] goes to stdout
+/// immediately (so interactive runs look unchanged) *and* into a buffer
+/// that [`Out::finish`] writes atomically to the binary's results file.
+pub struct Out {
+    path: Option<PathBuf>,
+    buf: String,
+}
+
+impl Out {
+    /// A sink writing to `opts.out` if given, else to `default_path`
+    /// (pass `None` to keep a binary stdout-only by default).
+    pub fn new(opts: &Opts, default_path: Option<&str>) -> Out {
+        Out {
+            path: opts.out.clone().or_else(|| default_path.map(PathBuf::from)),
+            buf: String::new(),
+        }
+    }
+
+    /// Prints a table line and records it for the results artifact.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        println!("{text}");
+        self.buf.push_str(text);
+        self.buf.push('\n');
+    }
+
+    /// Prints the standard table header (see [`header`]) into this sink.
+    pub fn header(&mut self, title: &str, columns: &[&str]) {
+        self.line(format!("== {title}"));
+        self.line(columns.join(" | "));
+        self.line("-".repeat(columns.iter().map(|c| c.len() + 3).sum::<usize>()));
+    }
+
+    /// Atomically writes the captured table to the results file, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Io`] when the artifact cannot be written.
+    pub fn finish(&self) -> Result<(), BenchError> {
+        if let Some(path) = &self.path {
+            write_results_atomic(path, &self.buf)?;
+            println!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
 /// Checks a simulated result against its oracle, as a typed error rather
 /// than an `assert_eq!` panic.
 ///
@@ -136,6 +207,9 @@ pub struct Opts {
     pub checkpoint_at: Option<Time>,
     /// Directory of snapshot images to warm-start from (`--restore-from`).
     pub restore_from: Option<PathBuf>,
+    /// Results-file override (`--out FILE`); binaries with a default results
+    /// path still write it when this is unset.
+    pub out: Option<PathBuf>,
 }
 
 /// Prints the shared usage message and exits with status 2 (CLI misuse).
@@ -156,7 +230,10 @@ fn usage_exit(binary: &str, error: &str) -> ! {
          \x20                   (table output is unchanged)\n\
          \x20 --restore-from DIR  warm-start each point from DIR/<label>.ccsnap\n\
          \x20                   when present (cold boot otherwise); restored\n\
-         \x20                   runs are bit-identical, only wall-time drops"
+         \x20                   runs are bit-identical, only wall-time drops\n\
+         \x20 --out FILE        also write the table to FILE (atomic\n\
+         \x20                   temp-file + rename; overrides the binary's\n\
+         \x20                   default results path)"
     );
     std::process::exit(2);
 }
@@ -166,6 +243,10 @@ impl Opts {
     /// a usage message to stderr and exits with a nonzero status instead of
     /// panicking.
     pub fn parse() -> Opts {
+        // Every figure binary parses options first, so this is the one
+        // choke point to arm SIGINT/SIGTERM handling: long sweeps stop at
+        // the next checkpoint boundary instead of dying mid-run.
+        ccsvm_sweepd::sig::install_shutdown_handler();
         let binary = std::env::args()
             .next()
             .unwrap_or_else(|| "bench".to_string());
@@ -175,6 +256,7 @@ impl Opts {
         let mut sim_threads = 1usize;
         let mut checkpoint_at = None;
         let mut restore_from = None;
+        let mut out = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -240,6 +322,12 @@ impl Opts {
                     };
                     restore_from = Some(PathBuf::from(v));
                 }
+                "--out" => {
+                    let Some(v) = args.next() else {
+                        usage_exit(&binary, "--out needs a file path");
+                    };
+                    out = Some(PathBuf::from(v));
+                }
                 other => usage_exit(&binary, &format!("unknown argument `{other}`")),
             }
         }
@@ -250,6 +338,7 @@ impl Opts {
             sim_threads,
             checkpoint_at,
             restore_from,
+            out,
         }
     }
 
@@ -351,7 +440,7 @@ pub fn run_ccsvm_point(src: &str, opts: &Opts, label: &str) -> (Time, u64, u64) 
         let path = dir.join(format!("{label}.ccsnap"));
         if path.exists() {
             match Machine::restore(bench_cfg(opts.sim_threads), wl::build(src), &path) {
-                Ok(mut m) => return region_numbers(&m.run()),
+                Ok(mut m) => return region_numbers(&run_to_exit(&mut m, label)),
                 Err(e) => eprintln!(
                     "warning: {}: {e}; cold-booting `{label}` instead",
                     path.display()
@@ -373,12 +462,40 @@ pub fn run_ccsvm_point(src: &str, opts: &Opts, label: &str) -> (Time, u64, u64) 
                         eprintln!("warning: checkpoint {}: {e}", path.display());
                     }
                 }
-                m.run()
+                run_to_exit(&mut m, label)
             }
         },
-        None => m.run(),
+        None => run_to_exit(&mut m, label),
     };
     region_numbers(&report)
+}
+
+/// Runs a machine to completion, polling for SIGINT/SIGTERM every 1 ms of
+/// simulated time. On interruption the machine's state is flushed to
+/// `snapshots/<label>.interrupted.ccsnap` — resumable via `--restore-from`
+/// after renaming — and the process exits with [`EXIT_INTERRUPTED`].
+/// Uninterrupted, the report is bit-identical to `Machine::run` (pausing
+/// never perturbs the simulation).
+pub fn run_to_exit(m: &mut Machine, label: &str) -> RunReport {
+    use ccsvm_sweepd::sig;
+    match m.run_with_cadence(Time::from_ms(1), |_| !sig::shutdown_requested()) {
+        Some(report) => report,
+        None => {
+            let path = std::path::Path::new(SNAP_DIR).join(format!("{label}.interrupted.ccsnap"));
+            let flushed = std::fs::create_dir_all(SNAP_DIR)
+                .map_err(|e| ccsvm::SnapError::Io(e.to_string()))
+                .and_then(|()| m.checkpoint(&path));
+            match flushed {
+                Ok(()) => eprintln!(
+                    "interrupted at {}; state flushed to {}",
+                    m.now(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("interrupted at {}; checkpoint failed: {e}", m.now()),
+            }
+            std::process::exit(EXIT_INTERRUPTED);
+        }
+    }
 }
 
 /// Advances a fresh machine until the guest prints the measured-region start

@@ -1,0 +1,288 @@
+//! End-to-end tests for the `sweepd` orchestrator binary (DESIGN §10).
+//!
+//! These drive the real executable (`CARGO_BIN_EXE_sweepd`) through the same
+//! chaos schedules CI uses and pin the headline invariant: any interleaving
+//! of worker SIGKILLs and orchestrator crash-restarts converges to a
+//! `manifest.txt` byte-identical to an uninterrupted cold run's.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const SWEEPD: &str = env!("CARGO_BIN_EXE_sweepd");
+
+/// Fresh per-test sweep directory under the target-local tmp area.
+fn sweep_dir(test: &str, variant: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("sweepd")
+        .join(format!("{test}-{variant}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sweepd(dir: &Path, extra: &[&str]) -> Output {
+    let out = Command::new(SWEEPD)
+        .arg("--dir")
+        .arg(dir)
+        .args(extra)
+        .output()
+        .expect("spawn sweepd");
+    if !out.status.success() && out.status.code() != Some(0) {
+        eprintln!(
+            "--- sweepd stdout ---\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        eprintln!(
+            "--- sweepd stderr ---\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    out
+}
+
+fn manifest_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("manifest.txt")).expect("manifest written")
+}
+
+/// Parses `max resumed_at N ps` out of the summary line.
+fn max_resumed_at(stdout: &str) -> u64 {
+    let tail = stdout
+        .split("max resumed_at ")
+        .nth(1)
+        .expect("summary line present");
+    tail.split_whitespace()
+        .next()
+        .expect("value after max resumed_at")
+        .parse()
+        .expect("numeric resumed_at")
+}
+
+/// The base grid used by every convergence test: two vecadd points on the
+/// tiny preset with a 2 µs checkpoint cadence (several flushes per run, so
+/// a chaos-killed attempt always leaves a resumable checkpoint behind).
+const GRID: &[&str] = &[
+    "--preset",
+    "tiny",
+    "--workloads",
+    "vecadd",
+    "--sizes",
+    "16,32",
+    "--seeds",
+    "1",
+    "--ckpt-us",
+    "2",
+    "--max-attempts",
+    "4",
+];
+
+#[test]
+fn chaos_schedules_converge_to_the_cold_manifest() {
+    // Uninterrupted cold run: the reference manifest.
+    let cold = sweep_dir("chaos", "cold");
+    let out = sweepd(&cold, GRID);
+    assert_eq!(out.status.code(), Some(0), "cold run exits 0");
+    let reference = manifest_bytes(&cold);
+
+    // ≥3 seeds, each with every non-final worker attempt SIGKILLed and one
+    // orchestrator crash-restart in the middle of the sweep.
+    for seed in [7u64, 11, 23] {
+        let dir = sweep_dir("chaos", &format!("seed{seed}"));
+        let chaos = format!("kill=1.0,seed={seed},crashes=1");
+        let out = sweepd(&dir, &[GRID, &["--chaos", &chaos]].concat());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "chaos run (seed {seed}) exits 0"
+        );
+        assert!(
+            stderr.contains("chaos crash-restart"),
+            "seed {seed}: the armed orchestrator crash must actually fire"
+        );
+        assert_eq!(
+            manifest_bytes(&dir),
+            reference,
+            "seed {seed}: chaos manifest must be byte-identical to the cold run"
+        );
+        // Resumed jobs restart from a mid-run checkpoint, not from cycle 0.
+        assert!(
+            max_resumed_at(&stdout) > 0,
+            "seed {seed}: a retried worker must resume past cycle 0 \
+             (stdout: {stdout})"
+        );
+    }
+}
+
+#[test]
+fn warm_rerun_is_served_from_cache_and_reproduces_the_manifest() {
+    let dir = sweep_dir("warm", "run");
+    let out = sweepd(&dir, GRID);
+    assert_eq!(out.status.code(), Some(0));
+    let first = manifest_bytes(&dir);
+
+    let out = sweepd(&dir, GRID);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "warm rerun exits 0");
+    assert_eq!(manifest_bytes(&dir), first, "warm manifest identical");
+    assert!(
+        !stderr.contains("quarantin"),
+        "a healthy warm rerun must not quarantine anything: {stderr}"
+    );
+}
+
+#[test]
+fn exhausted_retries_poison_with_bundle_and_partial_manifest() {
+    // `wedge` spins forever; under tiny_brief's 100 µs budget every attempt
+    // ends in a watchdog deadlock, so the job exhausts its retries.
+    let dir = sweep_dir("poison", "wedge");
+    let out = sweepd(
+        &dir,
+        &[
+            "--preset",
+            "tiny_brief",
+            "--workloads",
+            "vecadd,wedge",
+            "--sizes",
+            "16",
+            "--seeds",
+            "1",
+            "--ckpt-us",
+            "2",
+            "--max-attempts",
+            "2",
+        ],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "a poisoned job is a named degradation, not a sweep failure"
+    );
+    assert!(
+        stdout.contains("1 poisoned: wedge-n16-s1"),
+        "summary names the poisoned job: {stdout}"
+    );
+
+    let manifest = String::from_utf8(manifest_bytes(&dir)).unwrap();
+    let poisoned_row = manifest
+        .lines()
+        .find(|l| l.contains("status=poisoned"))
+        .expect("manifest has a poisoned row");
+    assert!(poisoned_row.starts_with("job wedge-n16-s1 "));
+    let bundle_rel = poisoned_row
+        .split("bundle=")
+        .nth(1)
+        .expect("poisoned row names its replay bundle");
+    assert!(
+        dir.join(bundle_rel).is_file(),
+        "replay bundle {bundle_rel} exists on disk"
+    );
+    assert!(
+        manifest.contains("status=done") && manifest.ends_with("total=2 done=1 poisoned=1\n"),
+        "healthy job still lands in the partial manifest: {manifest}"
+    );
+}
+
+#[test]
+fn corrupt_journal_is_quarantined_and_the_sweep_rebuilds_from_cache() {
+    let dir = sweep_dir("corrupt", "flip");
+    let out = sweepd(&dir, GRID);
+    assert_eq!(out.status.code(), Some(0));
+    let reference = manifest_bytes(&dir);
+
+    // Flip a byte inside the first frame's payload (file header is 20
+    // bytes, frame header 12): the frame checksum now fails, which must
+    // surface as a typed recovery (quarantine + cache rebuild), never a
+    // panic or a non-zero exit.
+    let jpath = dir.join("sweep.journal");
+    let mut bytes = std::fs::read(&jpath).unwrap();
+    bytes[32] ^= 0x41;
+    std::fs::write(&jpath, &bytes).unwrap();
+
+    let out = sweepd(&dir, GRID);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "recovery run exits 0: {stderr}");
+    assert!(
+        stderr.contains("journal unusable"),
+        "corruption is reported as a typed recovery: {stderr}"
+    );
+    assert!(
+        dir.join("sweep.journal.corrupt").is_file(),
+        "the bad journal is quarantined, not deleted"
+    );
+    assert_eq!(
+        manifest_bytes(&dir),
+        reference,
+        "cache-rebuilt manifest identical to the original"
+    );
+}
+
+#[test]
+fn torn_journal_tail_is_dropped_and_the_sweep_resumes() {
+    let dir = sweep_dir("corrupt", "torn");
+    let out = sweepd(&dir, GRID);
+    assert_eq!(out.status.code(), Some(0));
+    let reference = manifest_bytes(&dir);
+
+    // Chop mid-frame, as if the machine lost power during an append. The
+    // codec drops the torn tail; the journal stays usable (no quarantine).
+    let jpath = dir.join("sweep.journal");
+    let bytes = std::fs::read(&jpath).unwrap();
+    std::fs::write(&jpath, &bytes[..bytes.len() - 3]).unwrap();
+
+    let out = sweepd(&dir, GRID);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "torn-tail rerun exits 0: {stderr}"
+    );
+    assert!(
+        !dir.join("sweep.journal.corrupt").exists(),
+        "a torn tail is recoverable in place, not quarantined"
+    );
+    assert_eq!(manifest_bytes(&dir), reference);
+}
+
+/// Property-style sweep over many random kill schedules. `proptest` is not
+/// vendorable offline, so schedules are drawn from a hand-rolled seeded
+/// generator instead; gated behind `--features slow-tests` because each
+/// schedule runs a full multi-process sweep.
+#[cfg(feature = "slow-tests")]
+#[test]
+fn random_kill_schedules_always_converge() {
+    let cold = sweep_dir("prop", "cold");
+    let out = sweepd(&cold, GRID);
+    assert_eq!(out.status.code(), Some(0));
+    let reference = manifest_bytes(&cold);
+
+    // SplitMix64, inlined so the test stays dependency-free.
+    let mut state = 0x5eed_cafe_f00d_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+
+    for case in 0..12u32 {
+        let seed = next();
+        let kill = 0.25 + (next() % 76) as f64 / 100.0; // 0.25–1.0
+        let crashes = 1 + next() % 2; // 1–2 orchestrator crash-restarts
+        let dir = sweep_dir("prop", &format!("case{case}"));
+        let chaos = format!("kill={kill:.2},seed={seed},crashes={crashes}");
+        let out = sweepd(&dir, &[GRID, &["--chaos", &chaos]].concat());
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "case {case} ({chaos}) exits 0: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            manifest_bytes(&dir),
+            reference,
+            "case {case} ({chaos}): manifest diverged from the cold run"
+        );
+    }
+}

@@ -160,8 +160,21 @@ impl SystemConfig {
         match name {
             "paper_default" => Some(SystemConfig::paper_default()),
             "tiny" => Some(SystemConfig::tiny()),
+            "tiny_brief" => Some(SystemConfig::tiny_brief()),
             _ => None,
         }
+    }
+
+    /// [`SystemConfig::tiny`] with a much shorter `max_sim_time` (100 µs).
+    /// Sweep jobs that wedge (spin loops, lost wakeups) hit the deadline and
+    /// abort with a typed outcome in well under a host-second, which keeps
+    /// retry-then-poison flows and their tests fast. Registered as the
+    /// `tiny_brief` preset so replay bundles captured from such jobs rebuild
+    /// the exact config.
+    pub fn tiny_brief() -> SystemConfig {
+        let mut c = SystemConfig::tiny();
+        c.max_sim_time = Time::from_us(100);
+        c
     }
 
     /// Total MTTOP thread contexts (the MIFD's capacity).

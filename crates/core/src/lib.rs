@@ -43,7 +43,7 @@ mod machine;
 mod triage;
 
 pub use config::{OsCosts, SystemConfig};
-pub use machine::{DiagnosticDump, HostPhases, Machine, Outcome, RunReport};
+pub use machine::{config_hash, DiagnosticDump, HostPhases, Machine, Outcome, RunReport};
 pub use triage::{
     replay_bundle, run_with_triage, ReplayBundle, TriageError, TriageResult, BUNDLE_MAGIC,
     BUNDLE_VERSION,

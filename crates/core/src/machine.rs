@@ -257,6 +257,97 @@ pub struct RunReport {
     pub stats: Stats,
 }
 
+impl RunReport {
+    /// Serializes the report with the snapshot codec (no header — callers
+    /// that persist reports, like the sweep orchestrator's result cache,
+    /// add their own magic/version/config-hash envelope). The encoding is
+    /// canonical: two bit-identical reports always serialize to identical
+    /// bytes, even across processes (stats are written as their sorted
+    /// logical view, not by process-local interning order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.time.as_ps());
+        w.put_usize(self.printed.len());
+        for s in &self.printed {
+            w.put_str(s);
+        }
+        for t in &self.printed_at {
+            w.put_u64(t.as_ps());
+        }
+        for d in &self.dram_at_print {
+            w.put_u64(*d);
+        }
+        w.put_u64(self.exit_code);
+        w.put_u64(self.dram_accesses);
+        w.put_u64(self.instructions);
+        w.put_u64(self.events);
+        w.put_u8(self.outcome.snap_tag());
+        match &self.diagnostic {
+            None => w.put_bool(false),
+            Some(d) => {
+                w.put_bool(true);
+                d.save(&mut w);
+            }
+        }
+        self.stats.save(&mut w);
+        w.into_vec()
+    }
+
+    /// Decodes a report written by [`RunReport::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SnapError`] on truncation, trailing bytes, or any
+    /// malformed field — never a panic and never a silently wrong report.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RunReport, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let time = Time::from_ps(r.get_u64()?);
+        let n = r.get_count(8)?;
+        let mut printed = Vec::with_capacity(n);
+        for _ in 0..n {
+            printed.push(r.get_str()?.to_string());
+        }
+        let mut printed_at = Vec::with_capacity(n);
+        for _ in 0..n {
+            printed_at.push(Time::from_ps(r.get_u64()?));
+        }
+        let mut dram_at_print = Vec::with_capacity(n);
+        for _ in 0..n {
+            dram_at_print.push(r.get_u64()?);
+        }
+        let exit_code = r.get_u64()?;
+        let dram_accesses = r.get_u64()?;
+        let instructions = r.get_u64()?;
+        let events = r.get_u64()?;
+        let outcome = Outcome::from_snap_tag(r.get_u8()?)?;
+        let diagnostic = if r.get_bool()? {
+            Some(DiagnosticDump::load_snap(&mut r)?)
+        } else {
+            None
+        };
+        let mut stats = Stats::new();
+        stats.load(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapError::Corrupt {
+                what: format!("{} trailing bytes after run report", r.remaining()),
+            });
+        }
+        Ok(RunReport {
+            time,
+            printed,
+            printed_at,
+            dram_at_print,
+            exit_code,
+            dram_accesses,
+            instructions,
+            events,
+            outcome,
+            diagnostic,
+            stats,
+        })
+    }
+}
+
 /// The CCSVM chip plus OsLite. See the [crate docs](crate).
 pub struct Machine {
     cfg: SystemConfig,
@@ -626,6 +717,38 @@ impl Machine {
         }
         self.final_check();
         Some(self.report())
+    }
+
+    /// Runs to completion, pausing every `every` of simulated time and
+    /// invoking `at_pause` at each inter-event boundary — the checkpoint
+    /// cadence hook: the closure typically flushes
+    /// [`Machine::checkpoint_bytes`] somewhere durable. Returning `false`
+    /// from the closure stops the run at that boundary and yields `None`
+    /// (used for cooperative shutdown on SIGTERM); otherwise the final
+    /// report is returned, bit-identical to an uninterrupted
+    /// [`Machine::run`] — pausing never perturbs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero (the cadence would never advance).
+    pub fn run_with_cadence(
+        &mut self,
+        every: Time,
+        mut at_pause: impl FnMut(&mut Machine) -> bool,
+    ) -> Option<RunReport> {
+        assert!(every > Time::ZERO, "checkpoint cadence must be positive");
+        let mut limit = self.now.plus(every);
+        loop {
+            match self.run_until(limit) {
+                Some(report) => return Some(report),
+                None => {
+                    if !at_pause(self) {
+                        return None;
+                    }
+                    limit = limit.plus(every);
+                }
+            }
+        }
     }
 
     /// One-time boot: address-space setup, `main` on CPU 0, watchdog arm.
@@ -1836,8 +1959,9 @@ fn bad_tag(what: &'static str, tag: u8) -> SnapError {
 /// Fingerprint of a `SystemConfig`, normalized so host-only execution knobs
 /// don't partition snapshots: a checkpoint taken at one `sim_threads` /
 /// `host_profile` setting restores at any other (the executors are
-/// bit-identical by construction, DESIGN.md §7).
-pub(crate) fn config_hash(cfg: &SystemConfig) -> u64 {
+/// bit-identical by construction, DESIGN.md §7). Public because sweep
+/// tooling keys jobs and result-cache entries by this hash.
+pub fn config_hash(cfg: &SystemConfig) -> u64 {
     let mut c = cfg.clone();
     c.sim_threads = 1;
     c.host_profile = false;

@@ -182,7 +182,9 @@ fn mttop_malloc_builds_linked_lists() {
              return total;
          }",
     );
-    let expect: u64 = (0..8u64).map(|t| (1..=3).map(|i| t * 10 + i).sum::<u64>()).sum();
+    let expect: u64 = (0..8u64)
+        .map(|t| (1..=3).map(|i| t * 10 + i).sum::<u64>())
+        .sum();
     assert_eq!(r.exit_code, expect);
 }
 
@@ -268,10 +270,7 @@ fn timing_matches_functional_semantics() {
 
 #[test]
 fn guest_alloc_init_and_read_roundtrip() {
-    let prog = ccsvm_xthreads::build(
-        "_CPU_ fn main() -> int { return 0; }",
-    )
-    .unwrap();
+    let prog = ccsvm_xthreads::build("_CPU_ fn main() -> int { return 0; }").unwrap();
     let mut m = Machine::new(SystemConfig::tiny(), prog);
     let data: Vec<u8> = (0..10000u32).map(|i| (i % 251) as u8).collect();
     let va = m.guest_alloc_init(&data);

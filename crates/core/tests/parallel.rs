@@ -99,14 +99,24 @@ fn zones_actually_form_under_offload() {
     let r = m.run();
     assert_eq!(r.outcome, Outcome::Completed);
     let ph = m.host_phases();
-    assert!(ph.zones > 0, "no fork-join zones formed — executor never forked");
-    assert!(ph.zone_batches >= 2 * ph.zones, "zones must hold ≥2 batches");
+    assert!(
+        ph.zones > 0,
+        "no fork-join zones formed — executor never forked"
+    );
+    assert!(
+        ph.zone_batches >= 2 * ph.zones,
+        "zones must hold ≥2 batches"
+    );
 }
 
 #[test]
 fn fault_injection_matrix_is_identical_across_sim_threads() {
     for seed in [3, 7, 11] {
-        let r = differential(&faulty_cfg(seed), &vecadd_src(32), &format!("faulty seed {seed}"));
+        let r = differential(
+            &faulty_cfg(seed),
+            &vecadd_src(32),
+            &format!("faulty seed {seed}"),
+        );
         assert_eq!(r.outcome, Outcome::Completed, "seed {seed}");
         assert!(
             r.stats.get("noc.retransmissions") > 0.0,
@@ -123,7 +133,11 @@ fn deadlock_abort_is_identical_across_sim_threads() {
     cfg.fault.drop_data_delivery = Some(1);
     cfg.fault.watchdog.period = Time::from_us(100);
     cfg.fault.watchdog.quanta = 4;
-    let r = differential(&cfg, "_CPU_ fn main() -> int { return 41 + 1; }", "deadlock");
+    let r = differential(
+        &cfg,
+        "_CPU_ fn main() -> int { return 41 + 1; }",
+        "deadlock",
+    );
     assert_eq!(r.outcome, Outcome::Deadlock);
     assert!(r.diagnostic.is_some());
 }

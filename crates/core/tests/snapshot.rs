@@ -70,12 +70,7 @@ fn reference(cfg: &SystemConfig, src: &str) -> RunReport {
 
 /// Pause a fresh machine at simulated time `at`, checkpoint it, restore the
 /// image into a machine running with `restore_threads`, and finish.
-fn checkpoint_resume(
-    cfg: &SystemConfig,
-    src: &str,
-    at: Time,
-    restore_threads: usize,
-) -> RunReport {
+fn checkpoint_resume(cfg: &SystemConfig, src: &str, at: Time, restore_threads: usize) -> RunReport {
     let mut m = Machine::new(cfg.clone(), compile(src));
     assert!(
         m.run_until(at).is_none(),
@@ -187,8 +182,7 @@ fn cold_boot_checkpoint_roundtrips() {
     let uninterrupted = reference(&cfg, &src);
     let m = Machine::new(cfg.clone(), compile(&src));
     let bytes = m.checkpoint_bytes();
-    let mut restored =
-        Machine::restore_bytes(cfg, compile(&src), &bytes).expect("cold restore");
+    let mut restored = Machine::restore_bytes(cfg, compile(&src), &bytes).expect("cold restore");
     assert_eq!(restored.run(), uninterrupted);
 }
 

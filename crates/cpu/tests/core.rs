@@ -70,9 +70,11 @@ impl Rig {
             assert!(guard < 1_000_000, "runaway test");
             let action = {
                 let mut log = PortLog::new();
-                let a = self
-                    .core
-                    .run_batch(self.now, &self.prog, &mut self.mem.core_port(PortId(0), &mut log));
+                let a = self.core.run_batch(
+                    self.now,
+                    &self.prog,
+                    &mut self.mem.core_port(PortId(0), &mut log),
+                );
                 let q = &mut self.queue;
                 let mut sched = |t: Time, e: MemEvent| q.push(t, e);
                 log.replay(&mut self.net, &mut sched);
@@ -109,7 +111,6 @@ impl Rig {
             }
         }
     }
-
 }
 
 #[test]

@@ -140,7 +140,11 @@ impl<E> EventQueue<E> {
             self.cursor = 0;
         }
         if ps >= self.window_start + SPAN {
-            self.overflow.push(Entry { time: at, seq, event });
+            self.overflow.push(Entry {
+                time: at,
+                seq,
+                event,
+            });
             return;
         }
         let idx = if ps < self.window_start {
@@ -190,7 +194,11 @@ impl<E> EventQueue<E> {
         let idx = self
             .first_occupied()
             .expect("ring_len > 0 implies an occupied bucket");
-        self.buckets[idx].iter().map(|&(t, s, _)| (t, s)).min().map(|(t, _)| t)
+        self.buckets[idx]
+            .iter()
+            .map(|&(t, s, _)| (t, s))
+            .min()
+            .map(|(t, _)| t)
     }
 
     /// Number of pending events.
@@ -242,7 +250,11 @@ impl<E> EventQueue<E> {
     /// Ring is empty, overflow is not: jump the window to the overflow
     /// minimum's era and move every now-in-window event into the ring.
     fn refill_from_overflow(&mut self) {
-        let head = self.overflow.peek().expect("refill needs overflow events").time;
+        let head = self
+            .overflow
+            .peek()
+            .expect("refill needs overflow events")
+            .time;
         self.window_start = align_down(head.as_ps());
         self.cursor = 0;
         let end = self.window_start + SPAN;
@@ -292,7 +304,11 @@ impl<E> ReferenceEventQueue<E> {
     pub fn push(&mut self, at: Time, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, if any.

@@ -41,7 +41,10 @@ struct Registry {
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
-        Mutex::new(Registry { names: Vec::new(), by_name: FxHashMap::default() })
+        Mutex::new(Registry {
+            names: Vec::new(),
+            by_name: FxHashMap::default(),
+        })
     })
 }
 
@@ -129,7 +132,11 @@ impl Stats {
 
     /// The value recorded for interned stat `id`, or `0.0` if absent.
     pub fn get_id(&self, id: StatId) -> f64 {
-        self.dense.get(id.0 as usize).copied().flatten().unwrap_or(0.0)
+        self.dense
+            .get(id.0 as usize)
+            .copied()
+            .flatten()
+            .unwrap_or(0.0)
     }
 
     /// Sets `key` to `value`, replacing any previous value. Routes to the
@@ -392,7 +399,10 @@ mod tests {
         s.set("test.routed.hits", 2.0);
         assert_eq!(s.get_id(id), 2.0);
         assert!(s.contains("test.routed.hits"));
-        assert!(s.values.is_empty(), "registered names must not hit the string map");
+        assert!(
+            s.values.is_empty(),
+            "registered names must not hit the string map"
+        );
     }
 
     #[test]
@@ -405,7 +415,11 @@ mod tests {
         let v: Vec<_> = s.iter().collect();
         assert_eq!(
             v,
-            vec![("test.union.a", 1.0), ("test.union.m", 7.0), ("test.union.z", 2.0)]
+            vec![
+                ("test.union.a", 1.0),
+                ("test.union.m", 7.0),
+                ("test.union.z", 2.0)
+            ]
         );
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());

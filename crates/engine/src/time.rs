@@ -286,10 +286,7 @@ mod tests {
     /// silent saturation — mirroring the multiply assert in the machine's
     /// `times()` helper.
     #[test]
-    #[cfg_attr(
-        debug_assertions,
-        should_panic(expected = "time addition overflowed")
-    )]
+    #[cfg_attr(debug_assertions, should_panic(expected = "time addition overflowed"))]
     fn time_add_overflow_is_guarded() {
         let _ = Time::MAX + Time::from_ns(1);
     }

@@ -82,7 +82,11 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
         while let Some(colon) = rest.find(':') {
             let (label, tail) = rest.split_at(colon);
             let label = label.trim();
-            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
                 return err(line_no, format!("bad label `{label}`"));
             }
             if symbols.insert(label.to_string(), stmts.len()).is_some() {
@@ -127,7 +131,10 @@ fn parse_stmt(
         if nops == n {
             Ok(())
         } else {
-            err(line, format!("`{mnemonic}` expects {n} operands, got {nops}"))
+            err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {nops}"),
+            )
         }
     };
 
@@ -185,8 +192,16 @@ fn parse_stmt(
             op,
             rd: reg(line, &ops[0])?,
             addr,
-            a: if n >= 3 { reg(line, &ops[2])? } else { Reg::ZERO },
-            b: if n >= 4 { reg(line, &ops[3])? } else { Reg::ZERO },
+            a: if n >= 3 {
+                reg(line, &ops[2])?
+            } else {
+                Reg::ZERO
+            },
+            b: if n >= 4 {
+                reg(line, &ops[3])?
+            } else {
+                Reg::ZERO
+            },
         })
     };
 
@@ -244,12 +259,10 @@ fn parse_stmt(
         }
         "lif" => {
             want(2)?;
-            let f: f64 = ops[1]
-                .parse()
-                .map_err(|_| AsmError {
-                    line,
-                    message: format!("bad float `{}`", ops[1]),
-                })?;
+            let f: f64 = ops[1].parse().map_err(|_| AsmError {
+                line,
+                message: format!("bad float `{}`", ops[1]),
+            })?;
             Ok(Instr::Li {
                 rd: reg(line, &ops[0])?,
                 imm: f.to_bits() as i64,
@@ -350,20 +363,13 @@ fn imm(line: usize, s: &str) -> Result<i64, AsmError> {
 
 fn label(line: usize, s: &str, symbols: &HashMap<String, usize>) -> Result<usize, AsmError> {
     let name = s.strip_prefix('@').unwrap_or(s);
-    symbols
-        .get(name)
-        .copied()
-        .ok_or_else(|| AsmError {
-            line,
-            message: format!("undefined label `{name}`"),
-        })
+    symbols.get(name).copied().ok_or_else(|| AsmError {
+        line,
+        message: format!("undefined label `{name}`"),
+    })
 }
 
-fn operand(
-    line: usize,
-    s: &str,
-    symbols: &HashMap<String, usize>,
-) -> Result<Operand, AsmError> {
+fn operand(line: usize, s: &str, symbols: &HashMap<String, usize>) -> Result<Operand, AsmError> {
     if let Some(name) = s.strip_prefix('@') {
         let pc = symbols.get(name).copied().ok_or_else(|| AsmError {
             line,
@@ -386,7 +392,11 @@ fn mem_operand(line: usize, s: &str) -> Result<(i64, Reg), AsmError> {
         return err(line, format!("missing `)` in `{s}`"));
     };
     let off_str = s[..open].trim();
-    let off = if off_str.is_empty() { 0 } else { imm(line, off_str)? };
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        imm(line, off_str)?
+    };
     Ok((off, reg(line, s[open + 1..close].trim())?))
 }
 
@@ -405,10 +415,8 @@ mod tests {
 
     #[test]
     fn basic_program() {
-        let p = assemble(
-            "start:\n  li r8, 5\n  add r8, r8, 3\n  beq r8, r0, start\n  exit\n",
-        )
-        .unwrap();
+        let p =
+            assemble("start:\n  li r8, 5\n  add r8, r8, 3\n  beq r8, r0, start\n  exit\n").unwrap();
         assert_eq!(p.text.len(), 4);
         assert_eq!(p.entry("start"), 0);
         assert_eq!(
@@ -422,7 +430,12 @@ mod tests {
         );
         assert_eq!(
             p.text[2],
-            Instr::Br { cond: Cond::Eq, ra: Reg(8), rb: Reg(0), target: 0 }
+            Instr::Br {
+                cond: Cond::Eq,
+                ra: Reg(8),
+                rb: Reg(0),
+                target: 0
+            }
         );
     }
 
@@ -436,9 +449,33 @@ mod tests {
     #[test]
     fn loads_stores_and_offsets() {
         let p = assemble("  ld8 r1, -16(r30)\n  st4 r2, (r9)\n  ld1 r3, 0x10(r4)\n").unwrap();
-        assert_eq!(p.text[0], Instr::Ld { rd: Reg(1), base: abi::SP, off: -16, size: 8 });
-        assert_eq!(p.text[1], Instr::St { rs: Reg(2), base: Reg(9), off: 0, size: 4 });
-        assert_eq!(p.text[2], Instr::Ld { rd: Reg(3), base: Reg(4), off: 16, size: 1 });
+        assert_eq!(
+            p.text[0],
+            Instr::Ld {
+                rd: Reg(1),
+                base: abi::SP,
+                off: -16,
+                size: 8
+            }
+        );
+        assert_eq!(
+            p.text[1],
+            Instr::St {
+                rs: Reg(2),
+                base: Reg(9),
+                off: 0,
+                size: 4
+            }
+        );
+        assert_eq!(
+            p.text[2],
+            Instr::Ld {
+                rd: Reg(3),
+                base: Reg(4),
+                off: 16,
+                size: 1
+            }
+        );
     }
 
     #[test]
@@ -447,11 +484,23 @@ mod tests {
             .unwrap();
         assert_eq!(
             p.text[0],
-            Instr::Amo { op: AmoKind::Cas, rd: Reg(1), addr: Reg(2), a: Reg(3), b: Reg(4) }
+            Instr::Amo {
+                op: AmoKind::Cas,
+                rd: Reg(1),
+                addr: Reg(2),
+                a: Reg(3),
+                b: Reg(4)
+            }
         );
         assert_eq!(
             p.text[1],
-            Instr::Amo { op: AmoKind::Inc, rd: Reg(5), addr: Reg(6), a: Reg(0), b: Reg(0) }
+            Instr::Amo {
+                op: AmoKind::Inc,
+                rd: Reg(5),
+                addr: Reg(6),
+                a: Reg(0),
+                b: Reg(0)
+            }
         );
     }
 
@@ -464,7 +513,13 @@ mod tests {
     #[test]
     fn float_immediates_and_aliases() {
         let p = assemble("  lif r8, 2.5\n  mv r9, r8\n  ret\n").unwrap();
-        assert_eq!(p.text[0], Instr::Li { rd: Reg(8), imm: 2.5f64.to_bits() as i64 });
+        assert_eq!(
+            p.text[0],
+            Instr::Li {
+                rd: Reg(8),
+                imm: 2.5f64.to_bits() as i64
+            }
+        );
         assert_eq!(p.text[2], Instr::JmpReg { rs: abi::RA });
     }
 
@@ -477,19 +532,52 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         assert_eq!(assemble("  nop\n  bogus r1\n").unwrap_err().line, 2);
-        assert!(assemble("  li r99, 1\n").unwrap_err().message.contains("bad register"));
-        assert!(assemble("  jmp nowhere\n").unwrap_err().message.contains("undefined label"));
-        assert!(assemble("x: nop\nx: nop\n").unwrap_err().message.contains("duplicate"));
-        assert!(assemble("  add r1, r2\n").unwrap_err().message.contains("expects 3"));
-        assert!(assemble("  ld8 r1, r2\n").unwrap_err().message.contains("offset(reg)"));
+        assert!(assemble("  li r99, 1\n")
+            .unwrap_err()
+            .message
+            .contains("bad register"));
+        assert!(assemble("  jmp nowhere\n")
+            .unwrap_err()
+            .message
+            .contains("undefined label"));
+        assert!(assemble("x: nop\nx: nop\n")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(assemble("  add r1, r2\n")
+            .unwrap_err()
+            .message
+            .contains("expects 3"));
+        assert!(assemble("  ld8 r1, r2\n")
+            .unwrap_err()
+            .message
+            .contains("offset(reg)"));
     }
 
     #[test]
     fn negative_and_hex_immediates() {
         let p = assemble("  li r1, -42\n  li r2, 0xff\n  li r3, -0x10\n").unwrap();
-        assert_eq!(p.text[0], Instr::Li { rd: Reg(1), imm: -42 });
-        assert_eq!(p.text[1], Instr::Li { rd: Reg(2), imm: 255 });
-        assert_eq!(p.text[2], Instr::Li { rd: Reg(3), imm: -16 });
+        assert_eq!(
+            p.text[0],
+            Instr::Li {
+                rd: Reg(1),
+                imm: -42
+            }
+        );
+        assert_eq!(
+            p.text[1],
+            Instr::Li {
+                rd: Reg(2),
+                imm: 255
+            }
+        );
+        assert_eq!(
+            p.text[2],
+            Instr::Li {
+                rd: Reg(3),
+                imm: -16
+            }
+        );
     }
 
     #[test]

@@ -50,11 +50,37 @@ impl fmt::Display for Operand {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // the variants are their own documentation
 pub enum AluOp {
-    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sar,
-    Slt, Sltu, Seq, Sne, Sle, Sgt,
-    FAdd, FSub, FMul, FDiv, FMin, FMax,
-    FSqrt, FNeg, FAbs, I2F, F2I,
-    FLt, FLe, FEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    Slt,
+    Sltu,
+    Seq,
+    Sne,
+    Sle,
+    Sgt,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FMin,
+    FMax,
+    FSqrt,
+    FNeg,
+    FAbs,
+    I2F,
+    F2I,
+    FLt,
+    FLe,
+    FEq,
 }
 
 impl AluOp {
@@ -75,10 +101,18 @@ impl AluOp {
             AluOp::Sub => ia.wrapping_sub(ib) as u64,
             AluOp::Mul => ia.wrapping_mul(ib) as u64,
             AluOp::Div => {
-                if ib == 0 { 0 } else { ia.wrapping_div(ib) as u64 }
+                if ib == 0 {
+                    0
+                } else {
+                    ia.wrapping_div(ib) as u64
+                }
             }
             AluOp::Rem => {
-                if ib == 0 { a } else { ia.wrapping_rem(ib) as u64 }
+                if ib == 0 {
+                    a
+                } else {
+                    ia.wrapping_rem(ib) as u64
+                }
             }
             AluOp::And => a & b,
             AluOp::Or => a | b,
@@ -103,7 +137,11 @@ impl AluOp {
             AluOp::FAbs => fa.abs().to_bits(),
             AluOp::I2F => (ia as f64).to_bits(),
             AluOp::F2I => {
-                if fa.is_nan() { 0 } else { (fa as i64) as u64 }
+                if fa.is_nan() {
+                    0
+                } else {
+                    (fa as i64) as u64
+                }
             }
             AluOp::FLt => (fa < fb) as u64,
             AluOp::FLe => (fa <= fb) as u64,
@@ -113,16 +151,36 @@ impl AluOp {
 
     fn mnemonic(self) -> &'static str {
         match self {
-            AluOp::Add => "add", AluOp::Sub => "sub", AluOp::Mul => "mul",
-            AluOp::Div => "div", AluOp::Rem => "rem", AluOp::And => "and",
-            AluOp::Or => "or", AluOp::Xor => "xor", AluOp::Shl => "shl",
-            AluOp::Shr => "shr", AluOp::Sar => "sar", AluOp::Slt => "slt",
-            AluOp::Sltu => "sltu", AluOp::Seq => "seq", AluOp::Sne => "sne",
-            AluOp::Sle => "sle", AluOp::Sgt => "sgt", AluOp::FAdd => "fadd",
-            AluOp::FSub => "fsub", AluOp::FMul => "fmul", AluOp::FDiv => "fdiv",
-            AluOp::FMin => "fmin", AluOp::FMax => "fmax", AluOp::FSqrt => "fsqrt",
-            AluOp::FNeg => "fneg", AluOp::FAbs => "fabs", AluOp::I2F => "i2f",
-            AluOp::F2I => "f2i", AluOp::FLt => "flt", AluOp::FLe => "fle",
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Seq => "seq",
+            AluOp::Sne => "sne",
+            AluOp::Sle => "sle",
+            AluOp::Sgt => "sgt",
+            AluOp::FAdd => "fadd",
+            AluOp::FSub => "fsub",
+            AluOp::FMul => "fmul",
+            AluOp::FDiv => "fdiv",
+            AluOp::FMin => "fmin",
+            AluOp::FMax => "fmax",
+            AluOp::FSqrt => "fsqrt",
+            AluOp::FNeg => "fneg",
+            AluOp::FAbs => "fabs",
+            AluOp::I2F => "i2f",
+            AluOp::F2I => "f2i",
+            AluOp::FLt => "flt",
+            AluOp::FLe => "fle",
             AluOp::FEq => "feq",
         }
     }
@@ -132,7 +190,11 @@ impl AluOp {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum AmoKind {
-    Cas, Add, Inc, Dec, Exch,
+    Cas,
+    Add,
+    Inc,
+    Dec,
+    Exch,
 }
 
 impl AmoKind {
@@ -151,7 +213,12 @@ impl AmoKind {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Cond {
-    Eq, Ne, LtS, GeS, LtU, GeU,
+    Eq,
+    Ne,
+    LtS,
+    GeS,
+    LtU,
+    GeU,
 }
 
 impl Cond {
@@ -292,10 +359,20 @@ impl fmt::Display for Instr {
                 }
             }
             Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
-            Instr::Ld { rd, base, off, size } => {
+            Instr::Ld {
+                rd,
+                base,
+                off,
+                size,
+            } => {
                 write!(f, "ld{size} {rd}, {off}({base})")
             }
-            Instr::St { rs, base, off, size } => {
+            Instr::St {
+                rs,
+                base,
+                off,
+                size,
+            } => {
                 write!(f, "st{size} {rs}, {off}({base})")
             }
             Instr::Amo { op, rd, addr, a, b } => match op {
@@ -303,7 +380,12 @@ impl fmt::Display for Instr {
                 AmoKind::Inc | AmoKind::Dec => write!(f, "{} {rd}, ({addr})", op.mnemonic()),
                 _ => write!(f, "{} {rd}, ({addr}), {a}", op.mnemonic()),
             },
-            Instr::Br { cond, ra, rb, target } => {
+            Instr::Br {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 write!(f, "{} {ra}, {rb}, @{target}", cond.mnemonic())
             }
             Instr::Jmp { target } => write!(f, "jmp @{target}"),
@@ -321,7 +403,10 @@ impl fmt::Display for Instr {
 impl Instr {
     /// Whether this instruction accesses data memory.
     pub fn is_mem(&self) -> bool {
-        matches!(self, Instr::Ld { .. } | Instr::St { .. } | Instr::Amo { .. })
+        matches!(
+            self,
+            Instr::Ld { .. } | Instr::St { .. } | Instr::Amo { .. }
+        )
     }
 }
 
@@ -375,15 +460,33 @@ mod tests {
             rb: Operand::Imm(4),
         };
         assert_eq!(i.to_string(), "add r8, r9, 4");
-        let l = Instr::Ld { rd: Reg(1), base: Reg(30), off: -8, size: 8 };
+        let l = Instr::Ld {
+            rd: Reg(1),
+            base: Reg(30),
+            off: -8,
+            size: 8,
+        };
         assert_eq!(l.to_string(), "ld8 r1, -8(r30)");
         assert_eq!(Instr::Exit.to_string(), "exit");
     }
 
     #[test]
     fn is_mem_classification() {
-        assert!(Instr::Ld { rd: Reg(1), base: Reg(2), off: 0, size: 8 }.is_mem());
-        assert!(Instr::Amo { op: AmoKind::Inc, rd: Reg(1), addr: Reg(2), a: Reg(0), b: Reg(0) }.is_mem());
+        assert!(Instr::Ld {
+            rd: Reg(1),
+            base: Reg(2),
+            off: 0,
+            size: 8
+        }
+        .is_mem());
+        assert!(Instr::Amo {
+            op: AmoKind::Inc,
+            rd: Reg(1),
+            addr: Reg(2),
+            a: Reg(0),
+            b: Reg(0)
+        }
+        .is_mem());
         assert!(!Instr::Nop.is_mem());
     }
 }

@@ -160,12 +160,22 @@ impl Interp {
                 self.set(rd, v);
             }
             Instr::Li { rd, imm } => self.set(rd, imm as u64),
-            Instr::Ld { rd, base, off, size } => {
+            Instr::Ld {
+                rd,
+                base,
+                off,
+                size,
+            } => {
                 let addr = self.get(base).wrapping_add(off as u64);
                 let v = mem.read(addr, size);
                 self.set(rd, v);
             }
-            Instr::St { rs, base, off, size } => {
+            Instr::St {
+                rs,
+                base,
+                off,
+                size,
+            } => {
                 let addr = self.get(base).wrapping_add(off as u64);
                 mem.write(addr, size, self.get(rs));
             }
@@ -188,7 +198,12 @@ impl Interp {
                 mem.write(address, 8, new);
                 self.set(rd, old);
             }
-            Instr::Br { cond, ra, rb, target } => {
+            Instr::Br {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 if cond.test(self.get(ra), self.get(rb)) {
                     next = target;
                 }
@@ -332,8 +347,7 @@ mod tests {
     #[test]
     fn arithmetic_and_branches() {
         // Sum 1..=10 with a loop.
-        let (t, _, _) = run(
-            "main:
+        let (t, _, _) = run("main:
                 li r8, 0      ; sum
                 li r9, 1      ; i
              loop:
@@ -342,22 +356,19 @@ mod tests {
                 li r10, 10
                 bge r10, r9, loop
                 mv r1, r8
-                exit",
-        );
+                exit");
         assert_eq!(t.regs[1], 55);
     }
 
     #[test]
     fn memory_roundtrip_and_subword() {
-        let (t, mem, _) = run(
-            "main:
+        let (t, mem, _) = run("main:
                 li r8, 0x1000
                 li r9, 0x11223344AABBCCDD
                 st8 r9, 0(r8)
                 ld4 r1, 4(r8)
                 ld1 r2, 0(r8)
-                exit",
-        );
+                exit");
         assert_eq!(t.regs[1], 0x11223344);
         assert_eq!(t.regs[2], 0xDD);
         assert_eq!(mem.read(0x1000, 8), 0x11223344AABBCCDD);
@@ -365,23 +376,20 @@ mod tests {
 
     #[test]
     fn calls_and_stack() {
-        let (t, _, _) = run(
-            "main:
+        let (t, _, _) = run("main:
                 li r1, 5
                 call double
                 call double
                 exit
              double:
                 add r1, r1, r1
-                ret",
-        );
+                ret");
         assert_eq!(t.regs[1], 20);
     }
 
     #[test]
     fn recursion_factorial() {
-        let (t, _, _) = run(
-            "main:
+        let (t, _, _) = run("main:
                 li r1, 6
                 call fact
                 exit
@@ -400,30 +408,26 @@ mod tests {
                 mul r1, r1, r9
                 ld8 r31, 0(r30)
                 add r30, r30, 16
-                ret",
-        );
+                ret");
         assert_eq!(t.regs[1], 720);
     }
 
     #[test]
     fn float_pipeline() {
-        let (t, _, _) = run(
-            "main:
+        let (t, _, _) = run("main:
                 lif r8, 3.0
                 lif r9, 4.0
                 fmul r8, r8, r8
                 fmul r9, r9, r9
                 fadd r8, r8, r9
                 fsqrt r1, r8
-                exit",
-        );
+                exit");
         assert_eq!(f64::from_bits(t.regs[1]), 5.0);
     }
 
     #[test]
     fn atomics_functional() {
-        let (t, mem, _) = run(
-            "main:
+        let (t, mem, _) = run("main:
                 li r8, 0x2000
                 li r9, 41
                 st8 r9, 0(r8)
@@ -431,8 +435,7 @@ mod tests {
                 li r10, 42
                 li r11, 99
                 amocas r2, (r8), r10, r11
-                exit",
-        );
+                exit");
         assert_eq!(t.regs[1], 41);
         assert_eq!(t.regs[2], 42);
         assert_eq!(mem.read(0x2000, 8), 99);
@@ -440,8 +443,7 @@ mod tests {
 
     #[test]
     fn syscalls_malloc_print() {
-        let (t, _, os) = run(
-            "main:
+        let (t, _, os) = run("main:
                 li r1, 2       ; MALLOC
                 li r2, 64
                 syscall
@@ -450,8 +452,7 @@ mod tests {
                 li r2, -7
                 syscall
                 mv r1, r8
-                exit",
-        );
+                exit");
         assert_eq!(os.printed, vec!["-7"]);
         assert_eq!(t.regs[1], abi::HEAP_BASE);
     }
@@ -459,8 +460,7 @@ mod tests {
     #[test]
     fn synchronous_launch_runs_all_threads() {
         // Kernel: out[tid] = tid * 2; launch tids 0..=7.
-        let (_, mem, _) = run(
-            "main:
+        let (_, mem, _) = run("main:
                 li r8, 0x3000      ; descriptor
                 li r9, @kernel
                 st8 r9, 0(r8)
@@ -478,8 +478,7 @@ mod tests {
                 mul r9, r1, 8
                 add r9, r2, r9
                 st8 r8, 0(r9)
-                exit",
-        );
+                exit");
         for tid in 0..8u64 {
             assert_eq!(mem.read(0x4000 + tid * 8, 8), tid * 2, "tid {tid}");
         }

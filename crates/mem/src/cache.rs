@@ -253,10 +253,7 @@ impl<M> CacheArray<M> {
 
     /// Whether `block`'s set has an invalid (free) way.
     pub fn has_free_way(&self, block: u64) -> bool {
-        self.find(block).is_some()
-            || self
-                .set_range(block)
-                .any(|i| self.ways[i].block.is_none())
+        self.find(block).is_some() || self.set_range(block).any(|i| self.ways[i].block.is_none())
     }
 
     /// Number of invalid (free) ways in `block`'s set.
@@ -342,7 +339,9 @@ impl<M> CacheArray<M> {
 
     /// Iterates over all resident blocks as `(block, &meta)`.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &M)> {
-        self.ways.iter().filter_map(|w| w.block.map(|b| (b, &w.meta)))
+        self.ways
+            .iter()
+            .filter_map(|w| w.block.map(|b| (b, &w.meta)))
     }
 
     /// Serializes the array (tags, LRU ticks, metadata, block data) with a
@@ -457,7 +456,10 @@ mod tests {
     /// First `n` blocks that share block 0's (hashed) set.
     fn conflicting<M: Default + Clone>(c: &CacheArray<M>, n: usize) -> Vec<u64> {
         let set0 = c.set_of(0);
-        (0u64..100_000).filter(|&b| c.set_of(b) == set0).take(n).collect()
+        (0u64..100_000)
+            .filter(|&b| c.set_of(b) == set0)
+            .take(n)
+            .collect()
     }
 
     #[test]

@@ -87,7 +87,12 @@ impl Dram {
 
     /// Enables the SECDED ECC fault model with its own RNG stream.
     pub fn install_faults(&mut self, cfg: DramFaultConfig, rng: SplitMix64) {
-        self.faults = Some(DramFaults { cfg, rng, corrected: 0, poisoned_events: 0 });
+        self.faults = Some(DramFaults {
+            cfg,
+            rng,
+            corrected: 0,
+            poisoned_events: 0,
+        });
     }
 
     /// The timing configuration.
@@ -133,7 +138,9 @@ impl Dram {
         channel_key: usize,
         block: u64,
     ) -> (Time, BlockData, bool) {
-        if std::env::var("CCSVM_DRAM_TRACE").is_ok() { eprintln!("DRAMRD {block}"); }
+        if std::env::var("CCSVM_DRAM_TRACE").is_ok() {
+            eprintln!("DRAMRD {block}");
+        }
         self.reads += 1;
         let done = self.reserve(now, channel_key);
         let mut data = [0u8; BLOCK_BYTES as usize];
@@ -153,7 +160,13 @@ impl Dram {
 
     /// Timed writeback of a block; returns completion time and counts one
     /// DRAM access.
-    pub fn timed_write_block(&mut self, now: Time, channel_key: usize, block: u64, data: &BlockData) -> Time {
+    pub fn timed_write_block(
+        &mut self,
+        now: Time,
+        channel_key: usize,
+        block: u64,
+        data: &BlockData,
+    ) -> Time {
         self.writes += 1;
         let done = self.reserve(now, channel_key);
         self.write_bytes(crate::addr::base_of_block(block), data);
@@ -163,7 +176,13 @@ impl Dram {
     /// Timed bulk transfer of `bytes` (used by the APU's DMA model); returns
     /// completion time and counts `ceil(bytes / 64)` accesses in the given
     /// direction.
-    pub fn timed_bulk(&mut self, now: Time, channel_key: usize, bytes: u64, is_write: bool) -> Time {
+    pub fn timed_bulk(
+        &mut self,
+        now: Time,
+        channel_key: usize,
+        bytes: u64,
+        is_write: bool,
+    ) -> Time {
         let blocks = bytes.div_ceil(BLOCK_BYTES);
         if is_write {
             self.writes += blocks;
@@ -180,9 +199,8 @@ impl Dram {
 
     fn reserve(&mut self, now: Time, channel_key: usize) -> Time {
         let ch = channel_key % self.channel_free.len();
-        let xfer = Time::from_ps(
-            (BLOCK_BYTES as f64 * 1_000.0 / self.config.bytes_per_ns).ceil() as u64,
-        );
+        let xfer =
+            Time::from_ps((BLOCK_BYTES as f64 * 1_000.0 / self.config.bytes_per_ns).ceil() as u64);
         let start = now.max(self.channel_free[ch]);
         let done = start + self.config.latency + xfer;
         self.channel_free[ch] = start + xfer; // pipelined: occupancy is the burst
@@ -247,10 +265,7 @@ impl ccsvm_snap::Snapshot for Dram {
         }
     }
 
-    fn load(
-        &mut self,
-        r: &mut ccsvm_snap::SnapReader<'_>,
-    ) -> Result<(), ccsvm_snap::SnapError> {
+    fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
         self.pages.clear();
         for _ in 0..r.get_usize()? {
             let frame = r.get_u64()?;
@@ -303,7 +318,10 @@ pub(crate) fn word_from_block(data: &BlockData, addr: PhysAddr, size: usize) -> 
 pub(crate) fn word_to_block(data: &mut BlockData, addr: PhysAddr, size: usize, value: u64) {
     let off = offset_in_block(addr);
     data[off..off + size].copy_from_slice(&value.to_le_bytes()[..size]);
-    debug_assert_eq!(crate::addr::block_of(addr), crate::addr::block_of(PhysAddr(addr.0 + size as u64 - 1)));
+    debug_assert_eq!(
+        crate::addr::block_of(addr),
+        crate::addr::block_of(PhysAddr(addr.0 + size as u64 - 1))
+    );
 }
 
 #[cfg(test)]
@@ -372,10 +390,12 @@ mod tests {
         assert_eq!(d.accesses(), 0);
     }
 
-
     #[test]
     fn ecc_corrects_singles_poisons_doubles_deterministically() {
-        let cfg = DramFaultConfig { single_bit_rate: 0.3, double_bit_rate: 0.1 };
+        let cfg = DramFaultConfig {
+            single_bit_rate: 0.3,
+            double_bit_rate: 0.1,
+        };
         let run = |seed: u64| {
             let mut d = Dram::new(DramConfig::paper_default());
             d.write_bytes(PhysAddr(0), &[5]);
@@ -390,11 +410,19 @@ mod tests {
                     poisons.push(i);
                 }
             }
-            (poisons, d.stats().get("ecc_corrected"), d.stats().get("ecc_poisoned"))
+            (
+                poisons,
+                d.stats().get("ecc_corrected"),
+                d.stats().get("ecc_poisoned"),
+            )
         };
         let (p1, c1, d1) = run(11);
         let (p2, c2, d2) = run(11);
-        assert_eq!((&p1, c1, d1), (&p2, c2, d2), "same seed replays bit-for-bit");
+        assert_eq!(
+            (&p1, c1, d1),
+            (&p2, c2, d2),
+            "same seed replays bit-for-bit"
+        );
         assert!(c1 > 0.0 && d1 > 0.0, "rates high enough to observe both");
         assert_eq!(d1 as usize, p1.len());
         let (p3, _, _) = run(12);

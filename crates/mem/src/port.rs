@@ -88,7 +88,14 @@ impl<'a> CorePort<'a> {
         data_bytes: usize,
         log: &'a mut PortLog,
     ) -> CorePort<'a> {
-        CorePort { l1, poisoned, banks, ctrl_bytes, data_bytes, log }
+        CorePort {
+            l1,
+            poisoned,
+            banks,
+            ctrl_bytes,
+            data_bytes,
+            log,
+        }
     }
 
     fn home(&self, block: u64) -> usize {
@@ -141,7 +148,12 @@ impl<'a> CorePort<'a> {
         }
         for (token, value, block) in out.completions {
             let poisoned = !self.poisoned.is_empty() && self.poisoned.contains(&block);
-            completions.push(Completion { port: self.l1.id, token, value, poisoned });
+            completions.push(Completion {
+                port: self.l1.id,
+                token,
+                value,
+                poisoned,
+            });
         }
     }
 
@@ -161,7 +173,10 @@ impl<'a> CorePort<'a> {
                 if !self.poisoned.is_empty() && self.poisoned.contains(&block_of(access.addr())) {
                     return AccessResult::Poisoned;
                 }
-                AccessResult::Hit { finish: now + hit_time, value }
+                AccessResult::Hit {
+                    finish: now + hit_time,
+                    value,
+                }
             }
             L1Access::Pending => AccessResult::Pending,
             L1Access::Retry => AccessResult::Retry,

@@ -224,11 +224,14 @@ fn atomics_are_atomic_under_contention() {
     // Issue 4 concurrent fetch-and-adds (no draining in between).
     let mut tokens = Vec::new();
     for port in 0..4 {
-        let (tok, hit) = h.issue(port, Access::Rmw {
-            paddr: PhysAddr(0x200),
-            size: 8,
-            op: AtomicOp::Add { value: 1 },
-        });
+        let (tok, hit) = h.issue(
+            port,
+            Access::Rmw {
+                paddr: PhysAddr(0x200),
+                size: 8,
+                op: AtomicOp::Add { value: 1 },
+            },
+        );
         assert!(hit.is_none() || port == 0, "only first could possibly hit");
         tokens.push((tok, hit));
     }
@@ -237,9 +240,7 @@ fn atomics_are_atomic_under_contention() {
     let mut olds: Vec<u64> = tokens
         .iter()
         .map(|(tok, hit)| {
-            hit.unwrap_or_else(|| {
-                done.iter().find(|c| c.token == *tok).expect("done").value
-            })
+            hit.unwrap_or_else(|| done.iter().find(|c| c.token == *tok).expect("done").value)
         })
         .collect();
     olds.sort();
@@ -251,10 +252,24 @@ fn atomics_are_atomic_under_contention() {
 fn cas_success_and_failure() {
     let mut h = Harness::tiny(2, 1);
     h.write(0, 0x40, 5);
-    let old = h.rmw(1, 0x40, AtomicOp::Cas { expected: 5, value: 9 });
+    let old = h.rmw(
+        1,
+        0x40,
+        AtomicOp::Cas {
+            expected: 5,
+            value: 9,
+        },
+    );
     assert_eq!(old, 5);
     assert_eq!(h.read(0, 0x40), 9);
-    let old = h.rmw(0, 0x40, AtomicOp::Cas { expected: 5, value: 100 });
+    let old = h.rmw(
+        0,
+        0x40,
+        AtomicOp::Cas {
+            expected: 5,
+            value: 100,
+        },
+    );
     assert_eq!(old, 9, "failed CAS returns current value");
     assert_eq!(h.read(1, 0x40), 9, "failed CAS must not write");
 }
@@ -313,7 +328,8 @@ fn backdoor_read_sees_dirty_l1_data() {
 #[test]
 fn backdoor_write_then_coherent_read() {
     let mut h = Harness::tiny(2, 2);
-    h.mem.backdoor_write(PhysAddr(0x1000), &123u64.to_le_bytes());
+    h.mem
+        .backdoor_write(PhysAddr(0x1000), &123u64.to_le_bytes());
     assert_eq!(h.read(1, 0x1000), 123);
 }
 
@@ -334,9 +350,22 @@ fn peek_and_poke_follow_permissions() {
 fn sub_word_accesses() {
     let mut h = Harness::tiny(1, 1);
     h.write(0, 0x40, 0x1122_3344_5566_7788);
-    let (_, v) = h.issue(0, Access::Read { paddr: PhysAddr(0x42), size: 2 });
+    let (_, v) = h.issue(
+        0,
+        Access::Read {
+            paddr: PhysAddr(0x42),
+            size: 2,
+        },
+    );
     assert_eq!(v.unwrap(), 0x5566);
-    let (_, _) = h.issue(0, Access::Write { paddr: PhysAddr(0x40), size: 1, value: 0xFF });
+    let (_, _) = h.issue(
+        0,
+        Access::Write {
+            paddr: PhysAddr(0x40),
+            size: 1,
+            value: 0xFF,
+        },
+    );
     assert_eq!(h.read(0, 0x40), 0x1122_3344_5566_77FF);
 }
 
@@ -435,11 +464,14 @@ fn concurrent_increments_from_all_cores() {
     let mut pending = 0;
     for round in 0..per_core {
         for port in 0..8 {
-            let (_, hit) = h.issue(port, Access::Rmw {
-                paddr: PhysAddr(0x300),
-                size: 8,
-                op: AtomicOp::Add { value: 1 },
-            });
+            let (_, hit) = h.issue(
+                port,
+                Access::Rmw {
+                    paddr: PhysAddr(0x300),
+                    size: 8,
+                    op: AtomicOp::Add { value: 1 },
+                },
+            );
             if hit.is_none() {
                 pending += 1;
             }

@@ -43,6 +43,8 @@
 //! r.end_section(end).unwrap();
 //! ```
 
+pub mod journal;
+
 use std::fmt;
 
 /// File magic: identifies a ccsvm snapshot.
@@ -423,11 +425,29 @@ pub trait Snapshot {
     fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
-/// Writes snapshot bytes to `path` atomically enough for our purposes
-/// (write then rename is overkill for a simulator checkpoint; a failed
-/// restore is always detected by header/section checks).
+/// Writes snapshot bytes to `path` atomically: the bytes land in a
+/// same-directory temp file which is fsynced and renamed over `path`, so a
+/// crash mid-write can never leave a torn file under the final name — a
+/// reader sees either the old complete image or the new one. (Header and
+/// section checks would *detect* a torn image, but the sweep orchestrator
+/// resumes from "the newest valid checkpoint", which must never be a
+/// half-written one.)
 pub fn write_file(path: &std::path::Path, bytes: &[u8]) -> Result<(), SnapError> {
-    std::fs::write(path, bytes).map_err(|e| SnapError::Io(format!("{}: {e}", path.display())))
+    use std::io::Write;
+    let io = |e: &std::io::Error| SnapError::Io(format!("{}: {e}", path.display()));
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io(&e))?;
+        f.write_all(bytes).map_err(|e| io(&e))?;
+        f.sync_data().map_err(|e| io(&e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io(&e))
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads snapshot bytes from `path`.

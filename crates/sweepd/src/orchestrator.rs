@@ -1,0 +1,588 @@
+//! The supervisor: expands the spec, journals every transition, runs worker
+//! processes with timeouts and seeded backoff retries, and degrades
+//! gracefully to a partial manifest when a job exhausts its budget.
+//!
+//! # Crash recovery
+//!
+//! On start the orchestrator replays `sweep.journal` (torn tail dropped by
+//! the codec) and folds it into a [`JournalState`]: done and poisoned jobs
+//! are final, and every `AttemptStarted` — even one whose worker died with
+//! the previous orchestrator — counts against the job's retry budget. A
+//! journal that fails to *decode* (corruption past the frame checksums) is
+//! quarantined with a typed error and the sweep rebuilds from the result
+//! cache, which is the ground truth for "done".
+//!
+//! # Chaos
+//!
+//! [`ChaosPlan`] makes failure injection deterministic: worker kills are
+//! decided per `(seed, key, attempt)` — never on a job's final attempt, so
+//! every healthy job is guaranteed a clean attempt and the sweep converges —
+//! and an armed orchestrator crash SIGKILLs all workers and returns
+//! [`SweepOutcome::ChaosCrashed`] after a seeded number of journal appends,
+//! letting the front-end restart the whole orchestrator a bounded number of
+//! times. The invariant under any such schedule: the final manifest is
+//! byte-identical to an uninterrupted cold run's.
+
+use std::collections::VecDeque;
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ccsvm::config_hash;
+use ccsvm_engine::SplitMix64;
+use ccsvm_snap::journal::{replay, JournalWriter};
+use ccsvm_snap::{fnv1a, write_file, SnapError};
+
+use crate::cache::ReportCache;
+use crate::records::{AttemptStatus, JournalState, Record};
+use crate::sig;
+use crate::spec::{JobSpec, SweepSpec};
+use crate::worker::{self, WorkerJob, EXIT_INTERRUPTED, EXIT_OK};
+use crate::SweepError;
+
+/// Deterministic failure injection for one orchestrator run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosPlan {
+    /// Probability a given (job, attempt) worker is chaos-killed.
+    pub kill_prob: f64,
+    /// Seed for all chaos decisions (independent of the sweep seed).
+    pub seed: u64,
+    /// Arm one orchestrator crash in this invocation.
+    pub orch_crash: bool,
+}
+
+/// What a completed sweep looked like.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Unique jobs in the sweep.
+    pub total: usize,
+    /// Jobs with a verified cache entry.
+    pub done: usize,
+    /// Labels of poisoned jobs (empty on a fully healthy sweep).
+    pub poisoned: Vec<String>,
+    /// Where the manifest was written.
+    pub manifest_path: PathBuf,
+    /// FNV-1a of the manifest bytes (the chaos-equality witness).
+    pub manifest_fnv: u64,
+    /// Orchestrator restarts observed in the journal (including this one).
+    pub recoveries: u32,
+    /// Highest `resumed_at_ps` over all attempts (0 = nothing ever resumed).
+    pub max_resumed_at_ps: u64,
+}
+
+/// How `run_sweep` returned.
+#[derive(Debug)]
+pub enum SweepOutcome {
+    /// Every job is done or poisoned and the manifest is on disk.
+    Completed(Summary),
+    /// The armed chaos crash fired; restart to continue.
+    ChaosCrashed,
+    /// SIGINT/SIGTERM: state journaled, workers stopped; rerun to resume.
+    Interrupted,
+}
+
+/// Name of the write-ahead journal inside the sweep directory.
+pub const JOURNAL_FILE: &str = "sweep.journal";
+/// Name of the final manifest inside the sweep directory.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+
+struct Running {
+    key: u64,
+    attempt: u32,
+    child: Child,
+    deadline: Instant,
+}
+
+struct Pending {
+    job: JobSpec,
+    burned: u32,
+    eligible: Instant,
+}
+
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Chaos decision for one (job, attempt): 0 = let it live, k > 0 = the
+/// worker self-SIGKILLs after its k-th checkpoint flush.
+fn chaos_die_after(chaos: Option<&ChaosPlan>, key: u64, attempt: u32, max_attempts: u32) -> u32 {
+    let Some(c) = chaos else { return 0 };
+    if c.kill_prob <= 0.0 || attempt >= max_attempts {
+        // The final attempt is always clean: guarantees convergence.
+        return 0;
+    }
+    let mut rng = SplitMix64::new(c.seed ^ key ^ (u64::from(attempt)).wrapping_mul(GOLDEN));
+    if rng.next_f64() < c.kill_prob {
+        1 + rng.next_below(2) as u32
+    } else {
+        0
+    }
+}
+
+/// Exponential backoff with seeded jitter: base 25 ms doubling per burned
+/// attempt, capped at 1 s, scaled by a deterministic 0.5–1.5× jitter drawn
+/// from (sweep seed, key, attempt) — so a re-run of the same sweep waits the
+/// same way, but jobs don't thundering-herd each other.
+fn backoff_after(spec_seed: u64, key: u64, burned: u32) -> Duration {
+    let base_ms = 25u64.saturating_mul(1 << burned.min(10)).min(1_000);
+    let mut rng = SplitMix64::new(spec_seed ^ key ^ u64::from(burned) ^ GOLDEN);
+    let jitter = 0.5 + rng.next_f64();
+    Duration::from_millis((base_ms as f64 * jitter) as u64)
+}
+
+/// Opens (or recovers) the sweep journal. A journal that exists but cannot
+/// be replayed or folded is quarantined as `sweep.journal.corrupt` with the
+/// typed error logged, and a fresh journal is started — the result cache
+/// then re-establishes which jobs are already done.
+fn open_journal(path: &Path, tag: u64) -> Result<(JournalWriter, JournalState), SweepError> {
+    if !path.exists() {
+        return Ok((JournalWriter::create(path, tag)?, JournalState::default()));
+    }
+    let recovered = replay(path).and_then(|r| {
+        if r.tag != tag {
+            return Err(SnapError::ConfigMismatch {
+                found: r.tag,
+                expected: tag,
+            });
+        }
+        let st = JournalState::fold(&r.records)?;
+        Ok((r.torn, st))
+    });
+    match recovered {
+        Ok((torn, st)) => {
+            if torn {
+                eprintln!("sweepd: journal had a torn final record (crash mid-append); dropped");
+            }
+            let w = JournalWriter::open_append(path, tag)?;
+            Ok((w, st))
+        }
+        Err(e) => {
+            eprintln!("sweepd: journal unusable ({e}); quarantining and rebuilding from cache");
+            let mut bad = path.as_os_str().to_owned();
+            bad.push(".corrupt");
+            std::fs::rename(path, PathBuf::from(&bad)).map_err(|err| SweepError::io(path, &err))?;
+            Ok((JournalWriter::create(path, tag)?, JournalState::default()))
+        }
+    }
+}
+
+fn kill_all(running: &mut Vec<Running>) {
+    for r in running.iter_mut() {
+        let _ = r.child.kill();
+        let _ = r.child.wait();
+    }
+    running.clear();
+}
+
+fn read_child_stdout(child: &mut Child) -> String {
+    let mut out = String::new();
+    if let Some(mut pipe) = child.stdout.take() {
+        let _ = pipe.read_to_string(&mut out);
+    }
+    out
+}
+
+/// Runs (or resumes) the sweep described by `spec` in `dir`, spawning
+/// `worker_exe --worker ...` child processes.
+///
+/// # Errors
+///
+/// Harness-level failures only (unwritable directory, bad spec, journal
+/// append I/O). Job failures never error: they retry, then poison.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    dir: &Path,
+    worker_exe: &Path,
+    chaos: Option<&ChaosPlan>,
+) -> Result<SweepOutcome, SweepError> {
+    sig::install_shutdown_handler();
+    std::fs::create_dir_all(dir).map_err(|e| SweepError::io(dir, &e))?;
+    let (jobs, dups) = spec.expand()?;
+    let cfg_hash = config_hash(&spec.preset_config()?);
+    let cache = ReportCache::new(dir.join("cache"))?;
+    let (mut journal, state) = open_journal(&dir.join(JOURNAL_FILE), spec.tag())?;
+    let append = |journal: &mut JournalWriter, rec: &Record| -> Result<(), SweepError> {
+        journal.append(&rec.encode()).map_err(SweepError::from)
+    };
+
+    // Recovery point: after this record, the journal proves how far the
+    // previous incarnation got.
+    let prior_done = state.done.len() as u32;
+    append(
+        &mut journal,
+        &Record::Recovered {
+            done: prior_done,
+            pending: jobs.len() as u32 - prior_done.min(jobs.len() as u32),
+        },
+    )?;
+
+    // Plan: journal the universe, satisfy what the cache already has.
+    let mut done: std::collections::BTreeSet<u64> = state.done.clone();
+    let mut poisoned: std::collections::BTreeSet<u64> = state.poisoned.clone();
+    let mut max_resumed = state.resumed_at.values().copied().max().unwrap_or(0);
+    let now = Instant::now();
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    for job in &jobs {
+        if done.contains(&job.key) || poisoned.contains(&job.key) {
+            continue;
+        }
+        append(
+            &mut journal,
+            &Record::Planned {
+                key: job.key,
+                label: job.label.clone(),
+            },
+        )?;
+        match cache.lookup(job.key, cfg_hash) {
+            Ok(Some(_)) => {
+                append(&mut journal, &Record::SkippedCached { key: job.key })?;
+                append(&mut journal, &Record::Done { key: job.key })?;
+                done.insert(job.key);
+            }
+            Ok(None) => {
+                let burned = state.attempts.get(&job.key).copied().unwrap_or(0);
+                pending.push_back(Pending {
+                    job: job.clone(),
+                    burned,
+                    eligible: now,
+                });
+            }
+            Err(e) => {
+                // Typed miss: log, quarantine, re-run the job.
+                eprintln!(
+                    "sweepd: cache entry for {} invalid ({e}); quarantined, will re-run",
+                    job.label
+                );
+                cache.quarantine(job.key);
+                let burned = state.attempts.get(&job.key).copied().unwrap_or(0);
+                pending.push_back(Pending {
+                    job: job.clone(),
+                    burned,
+                    eligible: now,
+                });
+            }
+        }
+    }
+    for label in &dups {
+        append(
+            &mut journal,
+            &Record::SkippedDuplicate {
+                key: 0,
+                label: label.clone(),
+            },
+        )?;
+    }
+
+    // Armed orchestrator crash: fire after a seeded number of *post-plan*
+    // appends, so each restart makes scheduling progress before dying.
+    let crash_after = chaos.filter(|c| c.orch_crash).map(|c| {
+        let mut rng = SplitMix64::new(c.seed ^ GOLDEN);
+        journal.appended() + 2 + rng.next_below(8)
+    });
+
+    let mut running: Vec<Running> = Vec::new();
+    let timeout = Duration::from_millis(spec.timeout_ms);
+
+    while !pending.is_empty() || !running.is_empty() {
+        if sig::shutdown_requested() {
+            append(&mut journal, &Record::Interrupted)?;
+            for r in running.iter_mut() {
+                sig::send_signal(r.child.id() as i32, sig::SIGTERM);
+            }
+            // Give workers a moment to flush their final checkpoint.
+            std::thread::sleep(Duration::from_millis(300));
+            kill_all(&mut running);
+            return Ok(SweepOutcome::Interrupted);
+        }
+        if let Some(limit) = crash_after {
+            if journal.appended() >= limit {
+                kill_all(&mut running);
+                return Ok(SweepOutcome::ChaosCrashed);
+            }
+        }
+
+        // Spawn while there is capacity and an eligible job.
+        while running.len() < spec.inflight.max(1) {
+            let now = Instant::now();
+            let Some(idx) = pending.iter().position(|p| p.eligible <= now) else {
+                break;
+            };
+            let mut p = pending.remove(idx).expect("idx in range");
+            let attempt = p.burned + 1;
+            let die_after = chaos_die_after(chaos, p.job.key, attempt, spec.max_attempts);
+            let wjob = WorkerJob {
+                dir: dir.to_path_buf(),
+                label: p.job.label.clone(),
+                key: p.job.key,
+                preset: p.job.preset.clone(),
+                workload: p.job.workload.clone(),
+                size: p.job.size,
+                seed: p.job.seed,
+                checkpoint_every_ps: spec.checkpoint_every_ps,
+                die_after_checkpoints: die_after,
+                final_attempt: attempt >= spec.max_attempts,
+            };
+            append(
+                &mut journal,
+                &Record::AttemptStarted {
+                    key: p.job.key,
+                    attempt,
+                },
+            )?;
+            let spawned = Command::new(worker_exe)
+                .arg("--worker")
+                .args(wjob.to_args())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn();
+            match spawned {
+                Ok(child) => running.push(Running {
+                    key: p.job.key,
+                    attempt,
+                    child,
+                    deadline: Instant::now() + timeout,
+                }),
+                Err(e) => {
+                    eprintln!("sweepd: spawn failed for {}: {e}", p.job.label);
+                    append(
+                        &mut journal,
+                        &Record::AttemptEnded {
+                            key: p.job.key,
+                            attempt,
+                            status: AttemptStatus::SpawnFailed,
+                            resumed_at_ps: 0,
+                        },
+                    )?;
+                    p.burned = attempt;
+                    retire_or_requeue(spec, &mut journal, &mut pending, &mut poisoned, p, false)?;
+                }
+            }
+        }
+
+        // Reap finished and timed-out workers.
+        let mut i = 0;
+        while i < running.len() {
+            let timed_out = Instant::now() > running[i].deadline;
+            let status = match running[i].child.try_wait() {
+                Ok(Some(st)) => Some(st),
+                Ok(None) if timed_out => {
+                    let _ = running[i].child.kill();
+                    let _ = running[i].child.wait();
+                    None
+                }
+                Ok(None) => {
+                    i += 1;
+                    continue;
+                }
+                Err(_) => None,
+            };
+            let mut r = running.remove(i);
+            let stdout = read_child_stdout(&mut r.child);
+            let resumed_at_ps = worker::marker_value(&stdout, "resumed_at_ps")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            max_resumed = max_resumed.max(resumed_at_ps);
+            let bundled = worker::marker_value(&stdout, "bundle").as_deref() == Some("1");
+            let verdict = match status {
+                None if timed_out => AttemptStatus::Timeout,
+                None => AttemptStatus::Killed,
+                Some(st) => match st.code() {
+                    Some(EXIT_OK) => {
+                        // Trust but verify: the cache entry is the result.
+                        match cache.lookup(r.key, cfg_hash) {
+                            Ok(Some(_)) => AttemptStatus::Completed,
+                            Ok(None) => AttemptStatus::Abnormal,
+                            Err(e) => {
+                                eprintln!(
+                                    "sweepd: worker said done but cache invalid ({e}); retrying"
+                                );
+                                cache.quarantine(r.key);
+                                AttemptStatus::Abnormal
+                            }
+                        }
+                    }
+                    Some(EXIT_INTERRUPTED) => AttemptStatus::Interrupted,
+                    Some(_) => AttemptStatus::Abnormal,
+                    None => AttemptStatus::Killed,
+                },
+            };
+            append(
+                &mut journal,
+                &Record::AttemptEnded {
+                    key: r.key,
+                    attempt: r.attempt,
+                    status: verdict,
+                    resumed_at_ps,
+                },
+            )?;
+            if verdict == AttemptStatus::Completed {
+                append(&mut journal, &Record::Done { key: r.key })?;
+                done.insert(r.key);
+            } else {
+                let job = jobs
+                    .iter()
+                    .find(|j| j.key == r.key)
+                    .expect("running job is in the plan")
+                    .clone();
+                let p = Pending {
+                    job,
+                    burned: r.attempt,
+                    eligible: Instant::now() + backoff_after(spec.seed, r.key, r.attempt),
+                };
+                retire_or_requeue(spec, &mut journal, &mut pending, &mut poisoned, p, bundled)?;
+            }
+        }
+
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Everything resolved: emit the manifest and close the journal.
+    let manifest = render_manifest(spec, &jobs, &dups, &done, &poisoned, &cache, cfg_hash)?;
+    let manifest_path = dir.join(MANIFEST_FILE);
+    write_file(&manifest_path, manifest.as_bytes())?;
+    let manifest_fnv = fnv1a(manifest.as_bytes());
+    append(&mut journal, &Record::SweepClosed { manifest_fnv })?;
+    let poisoned_labels: Vec<String> = jobs
+        .iter()
+        .filter(|j| poisoned.contains(&j.key))
+        .map(|j| j.label.clone())
+        .collect();
+    Ok(SweepOutcome::Completed(Summary {
+        total: jobs.len(),
+        done: done.len(),
+        poisoned: poisoned_labels,
+        manifest_path,
+        manifest_fnv,
+        recoveries: state.recoveries + 1,
+        max_resumed_at_ps: max_resumed,
+    }))
+}
+
+/// Requeues a failed job with backoff, or poisons it once the budget is gone.
+fn retire_or_requeue(
+    spec: &SweepSpec,
+    journal: &mut JournalWriter,
+    pending: &mut VecDeque<Pending>,
+    poisoned: &mut std::collections::BTreeSet<u64>,
+    p: Pending,
+    bundled: bool,
+) -> Result<(), SweepError> {
+    if p.burned >= spec.max_attempts {
+        eprintln!(
+            "sweepd: {} exhausted {} attempts; poisoned (bundle: {})",
+            p.job.label,
+            spec.max_attempts,
+            if bundled { "captured" } else { "none" }
+        );
+        journal.append(
+            &Record::Poisoned {
+                key: p.job.key,
+                bundled,
+            }
+            .encode(),
+        )?;
+        poisoned.insert(p.job.key);
+    } else {
+        pending.push_back(p);
+    }
+    Ok(())
+}
+
+/// Renders the deterministic results manifest. Rows are in spec expansion
+/// order; every field is derived from the spec or from cache bytes, never
+/// from wall-clock, attempt counts, or chaos history — that is what makes
+/// the chaos-equality invariant possible.
+fn render_manifest(
+    spec: &SweepSpec,
+    jobs: &[JobSpec],
+    dups: &[String],
+    done: &std::collections::BTreeSet<u64>,
+    poisoned: &std::collections::BTreeSet<u64>,
+    cache: &ReportCache,
+    cfg_hash: u64,
+) -> Result<String, SweepError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# sweepd manifest v1");
+    let _ = writeln!(out, "# spec tag {:016x} preset {}", spec.tag(), spec.preset);
+    for job in jobs {
+        if poisoned.contains(&job.key) {
+            let _ = writeln!(
+                out,
+                "job {} key={:016x} status=poisoned bundle=bundles/{:016x}.bundle",
+                job.label, job.key, job.key
+            );
+            continue;
+        }
+        if !done.contains(&job.key) {
+            return Err(SweepError::Worker(format!(
+                "manifest requested before {} resolved",
+                job.label
+            )));
+        }
+        let report = cache
+            .lookup(job.key, cfg_hash)?
+            .ok_or_else(|| SweepError::Worker(format!("{}: done but not cached", job.label)))?;
+        let _ = writeln!(
+            out,
+            "job {} key={:016x} status=done time_ps={} exit={} dram={} report_fnv={:016x}",
+            job.label,
+            job.key,
+            report.time.as_ps(),
+            report.exit_code,
+            report.dram_accesses,
+            fnv1a(&report.to_bytes()),
+        );
+    }
+    for label in dups {
+        let _ = writeln!(out, "dup {label}");
+    }
+    let _ = writeln!(
+        out,
+        "total={} done={} poisoned={}",
+        jobs.len(),
+        done.len(),
+        poisoned.len()
+    );
+    Ok(out)
+}
+
+impl SweepSpec {
+    /// The `SystemConfig` this sweep runs under.
+    pub fn preset_config(&self) -> Result<ccsvm::SystemConfig, SweepError> {
+        ccsvm::SystemConfig::by_preset(&self.preset)
+            .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", self.preset)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_decisions_are_deterministic_and_spare_the_final_attempt() {
+        let c = ChaosPlan {
+            kill_prob: 1.0,
+            seed: 7,
+            orch_crash: false,
+        };
+        let a = chaos_die_after(Some(&c), 42, 1, 3);
+        let b = chaos_die_after(Some(&c), 42, 1, 3);
+        assert_eq!(a, b);
+        assert!(a >= 1, "kill_prob=1.0 must kill non-final attempts");
+        assert_eq!(
+            chaos_die_after(Some(&c), 42, 3, 3),
+            0,
+            "final attempt is clean"
+        );
+        assert_eq!(chaos_die_after(None, 42, 1, 3), 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let a1 = backoff_after(1, 9, 1);
+        assert_eq!(a1, backoff_after(1, 9, 1));
+        // Jitter is 0.5–1.5x, so 4 doublings always dominate one step.
+        assert!(backoff_after(1, 9, 5) > backoff_after(1, 9, 1));
+        assert!(backoff_after(1, 9, 30) <= Duration::from_millis(1_500));
+    }
+}

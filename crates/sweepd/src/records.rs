@@ -1,0 +1,398 @@
+//! Typed journal records over the raw `ccsvm_snap::journal` frames.
+//!
+//! Every sweep state transition is one appended record. Replaying the
+//! journal's surviving prefix after a crash and folding it with
+//! [`JournalState::fold`] reconstructs exactly which jobs are done, which
+//! are poisoned, and how many attempts each pending job has burned — the
+//! orchestrator resumes from that state instead of restarting the sweep.
+//!
+//! Encoding is the snap codec style: a one-byte discriminant followed by
+//! fixed-width little-endian fields. Unknown discriminants and short
+//! payloads decode to a typed [`SnapError`], never a panic.
+
+use ccsvm_snap::{SnapError, SnapReader, SnapWriter};
+
+/// How one worker attempt ended, as observed by the supervisor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptStatus {
+    /// Worker exited 0 and its report landed in the cache.
+    Completed,
+    /// Worker exited nonzero: the simulation finished with a non-Completed
+    /// outcome (deadlock, invariant violation) or the harness failed.
+    Abnormal,
+    /// Worker died on a signal (chaos SIGKILL, OOM-kill, ...).
+    Killed,
+    /// Supervisor killed the worker at the wall-clock timeout.
+    Timeout,
+    /// Worker was interrupted (SIGINT/SIGTERM) and exited cleanly.
+    Interrupted,
+    /// The worker process could not be spawned at all.
+    SpawnFailed,
+}
+
+impl AttemptStatus {
+    fn to_u8(self) -> u8 {
+        match self {
+            AttemptStatus::Completed => 0,
+            AttemptStatus::Abnormal => 1,
+            AttemptStatus::Killed => 2,
+            AttemptStatus::Timeout => 3,
+            AttemptStatus::Interrupted => 4,
+            AttemptStatus::SpawnFailed => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<AttemptStatus, SnapError> {
+        Ok(match b {
+            0 => AttemptStatus::Completed,
+            1 => AttemptStatus::Abnormal,
+            2 => AttemptStatus::Killed,
+            3 => AttemptStatus::Timeout,
+            4 => AttemptStatus::Interrupted,
+            5 => AttemptStatus::SpawnFailed,
+            other => {
+                return Err(SnapError::Corrupt {
+                    what: format!("unknown attempt status {other}"),
+                })
+            }
+        })
+    }
+}
+
+/// One journal record. `key` is always [`crate::JobSpec::key`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// Job admitted to the run queue.
+    Planned {
+        /// Job identity.
+        key: u64,
+        /// Human label for logs and the manifest.
+        label: String,
+    },
+    /// Job satisfied by a valid cache entry; no worker will run.
+    SkippedCached {
+        /// Job identity.
+        key: u64,
+    },
+    /// An axis point collapsed into an already-planned job.
+    SkippedDuplicate {
+        /// Key of the job it collapsed into.
+        key: u64,
+        /// Label of the collapsed axis point.
+        label: String,
+    },
+    /// A worker process was (about to be) spawned.
+    AttemptStarted {
+        /// Job identity.
+        key: u64,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// The attempt's worker is gone and its exit was classified.
+    AttemptEnded {
+        /// Job identity.
+        key: u64,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Supervisor's classification of the exit.
+        status: AttemptStatus,
+        /// Simulated time the worker reported resuming from (0 = cold boot).
+        resumed_at_ps: u64,
+    },
+    /// Job completed; its report is in the cache.
+    Done {
+        /// Job identity.
+        key: u64,
+    },
+    /// Job exhausted its retry budget and was retired.
+    Poisoned {
+        /// Job identity.
+        key: u64,
+        /// Whether a replay bundle was captured on the final attempt.
+        bundled: bool,
+    },
+    /// Orchestrator (re)started and folded the journal up to here.
+    Recovered {
+        /// Jobs already done at recovery.
+        done: u32,
+        /// Jobs still pending at recovery.
+        pending: u32,
+    },
+    /// Orchestrator caught SIGINT/SIGTERM and is shutting down.
+    Interrupted,
+    /// Sweep finished; the manifest was written.
+    SweepClosed {
+        /// FNV-1a of the manifest bytes, for cross-run comparison.
+        manifest_fnv: u64,
+    },
+}
+
+impl Record {
+    /// Encodes to the journal payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        match self {
+            Record::Planned { key, label } => {
+                w.put_u8(1);
+                w.put_u64(*key);
+                w.put_str(label);
+            }
+            Record::SkippedCached { key } => {
+                w.put_u8(2);
+                w.put_u64(*key);
+            }
+            Record::SkippedDuplicate { key, label } => {
+                w.put_u8(3);
+                w.put_u64(*key);
+                w.put_str(label);
+            }
+            Record::AttemptStarted { key, attempt } => {
+                w.put_u8(4);
+                w.put_u64(*key);
+                w.put_u32(*attempt);
+            }
+            Record::AttemptEnded {
+                key,
+                attempt,
+                status,
+                resumed_at_ps,
+            } => {
+                w.put_u8(5);
+                w.put_u64(*key);
+                w.put_u32(*attempt);
+                w.put_u8(status.to_u8());
+                w.put_u64(*resumed_at_ps);
+            }
+            Record::Done { key } => {
+                w.put_u8(6);
+                w.put_u64(*key);
+            }
+            Record::Poisoned { key, bundled } => {
+                w.put_u8(7);
+                w.put_u64(*key);
+                w.put_u8(u8::from(*bundled));
+            }
+            Record::Recovered { done, pending } => {
+                w.put_u8(8);
+                w.put_u32(*done);
+                w.put_u32(*pending);
+            }
+            Record::Interrupted => {
+                w.put_u8(9);
+            }
+            Record::SweepClosed { manifest_fnv } => {
+                w.put_u8(10);
+                w.put_u64(*manifest_fnv);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a journal payload. Trailing bytes are an error: records are
+    /// fixed forms, not containers.
+    pub fn decode(payload: &[u8]) -> Result<Record, SnapError> {
+        let mut r = SnapReader::new(payload);
+        let rec = match r.get_u8()? {
+            1 => Record::Planned {
+                key: r.get_u64()?,
+                label: r.get_str()?.to_string(),
+            },
+            2 => Record::SkippedCached { key: r.get_u64()? },
+            3 => Record::SkippedDuplicate {
+                key: r.get_u64()?,
+                label: r.get_str()?.to_string(),
+            },
+            4 => Record::AttemptStarted {
+                key: r.get_u64()?,
+                attempt: r.get_u32()?,
+            },
+            5 => Record::AttemptEnded {
+                key: r.get_u64()?,
+                attempt: r.get_u32()?,
+                status: AttemptStatus::from_u8(r.get_u8()?)?,
+                resumed_at_ps: r.get_u64()?,
+            },
+            6 => Record::Done { key: r.get_u64()? },
+            7 => Record::Poisoned {
+                key: r.get_u64()?,
+                bundled: r.get_u8()? != 0,
+            },
+            8 => Record::Recovered {
+                done: r.get_u32()?,
+                pending: r.get_u32()?,
+            },
+            9 => Record::Interrupted,
+            10 => Record::SweepClosed {
+                manifest_fnv: r.get_u64()?,
+            },
+            other => {
+                return Err(SnapError::Corrupt {
+                    what: format!("unknown journal record kind {other}"),
+                })
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(SnapError::Corrupt {
+                what: format!("{} trailing bytes after journal record", r.remaining()),
+            });
+        }
+        Ok(rec)
+    }
+}
+
+/// The sweep state a journal prefix implies.
+#[derive(Clone, Debug, Default)]
+pub struct JournalState {
+    /// Keys with a `Done` record.
+    pub done: std::collections::BTreeSet<u64>,
+    /// Keys with a `Poisoned` record.
+    pub poisoned: std::collections::BTreeSet<u64>,
+    /// Attempts *ended* per key (an `AttemptStarted` without a matching
+    /// `AttemptEnded` means the attempt died with the orchestrator and is
+    /// counted as burned — its worker may have been orphan-killed).
+    pub attempts: std::collections::BTreeMap<u64, u32>,
+    /// Highest `resumed_at_ps` seen per key (proves checkpoint resume).
+    pub resumed_at: std::collections::BTreeMap<u64, u64>,
+    /// A `SweepClosed` record was seen.
+    pub closed: bool,
+    /// Number of `Recovered` records (orchestrator restarts observed).
+    pub recoveries: u32,
+}
+
+impl JournalState {
+    /// Folds decoded records into the implied sweep state. A decode failure
+    /// is returned as-is — callers quarantine the journal and rebuild from
+    /// the cache rather than trusting a half-understood log.
+    pub fn fold(payloads: &[Vec<u8>]) -> Result<JournalState, SnapError> {
+        let mut st = JournalState::default();
+        for p in payloads {
+            match Record::decode(p)? {
+                Record::AttemptStarted { key, attempt } => {
+                    let burned = st.attempts.entry(key).or_insert(0);
+                    *burned = (*burned).max(attempt);
+                }
+                Record::AttemptEnded {
+                    key,
+                    attempt,
+                    resumed_at_ps,
+                    ..
+                } => {
+                    let burned = st.attempts.entry(key).or_insert(0);
+                    *burned = (*burned).max(attempt);
+                    if resumed_at_ps > 0 {
+                        let r = st.resumed_at.entry(key).or_insert(0);
+                        *r = (*r).max(resumed_at_ps);
+                    }
+                }
+                Record::Done { key } => {
+                    st.done.insert(key);
+                }
+                Record::Poisoned { key, .. } => {
+                    st.poisoned.insert(key);
+                }
+                Record::Recovered { .. } => st.recoveries += 1,
+                Record::SweepClosed { .. } => st.closed = true,
+                Record::Planned { .. }
+                | Record::SkippedCached { .. }
+                | Record::SkippedDuplicate { .. }
+                | Record::Interrupted => {}
+            }
+        }
+        Ok(st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record::Planned {
+                key: 0xdead_beef,
+                label: "vecadd-n64-s1".into(),
+            },
+            Record::SkippedCached { key: 7 },
+            Record::SkippedDuplicate {
+                key: 7,
+                label: "wedge-n16-s2".into(),
+            },
+            Record::AttemptStarted { key: 7, attempt: 1 },
+            Record::AttemptEnded {
+                key: 7,
+                attempt: 1,
+                status: AttemptStatus::Killed,
+                resumed_at_ps: 0,
+            },
+            Record::AttemptEnded {
+                key: 7,
+                attempt: 2,
+                status: AttemptStatus::Completed,
+                resumed_at_ps: 123_456,
+            },
+            Record::Done { key: 7 },
+            Record::Poisoned {
+                key: 9,
+                bundled: true,
+            },
+            Record::Recovered {
+                done: 3,
+                pending: 2,
+            },
+            Record::Interrupted,
+            Record::SweepClosed {
+                manifest_fnv: 0x1234_5678_9abc_def0,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            assert_eq!(Record::decode(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_kinds_are_corrupt() {
+        let mut bytes = Record::Done { key: 1 }.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Record::decode(&bytes),
+            Err(SnapError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            Record::decode(&[0xff]),
+            Err(SnapError::Corrupt { .. })
+        ));
+        assert!(Record::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            for cut in 0..bytes.len() {
+                // Every strict prefix either fails typed or (never) panics.
+                // Prefixes can accidentally decode only if the form has no
+                // fields; none of ours are both valid and shorter.
+                if let Ok(decoded) = Record::decode(&bytes[..cut]) {
+                    panic!("prefix {cut} of {rec:?} decoded as {decoded:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_reconstructs_state() {
+        let payloads: Vec<Vec<u8>> = samples().iter().map(Record::encode).collect();
+        let st = JournalState::fold(&payloads).unwrap();
+        assert!(st.done.contains(&7));
+        assert!(st.poisoned.contains(&9));
+        assert_eq!(st.attempts.get(&7), Some(&2));
+        assert_eq!(st.resumed_at.get(&7), Some(&123_456));
+        assert!(st.closed);
+        assert_eq!(st.recoveries, 1);
+    }
+}

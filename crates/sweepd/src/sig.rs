@@ -1,0 +1,107 @@
+//! Minimal Unix signal plumbing, without the `libc` crate.
+//!
+//! The workspace builds from a cold cargo cache, so we declare the three
+//! POSIX entry points we need (`signal`, `kill`, `getpid`) directly against
+//! the C runtime that every Linux Rust binary already links. On non-Unix
+//! targets everything degrades to a no-op: shutdown requests simply never
+//! arrive and sweeps run uninterruptible, which is safe because the journal
+//! and cache tolerate being killed at any instant anyway.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// SIGINT (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// SIGKILL (unblockable kill; what the chaos harness uses).
+pub const SIGKILL: i32 = 9;
+/// SIGTERM (polite kill; what the supervisor sends workers on shutdown).
+pub const SIGTERM: i32 = 15;
+
+/// Set by the handler on SIGINT/SIGTERM; polled by orchestrator and worker
+/// loops at their next safe pause point.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+        pub fn kill(pid: i32, sig: i32) -> i32;
+        pub fn getpid() -> i32;
+    }
+
+    pub extern "C" fn on_shutdown_signal(_sig: i32) {
+        // Async-signal-safe: a single relaxed store.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler that raises the shutdown flag.
+/// Call once near the top of `main`; harmless to call again.
+pub fn install_shutdown_handler() {
+    #[cfg(unix)]
+    unsafe {
+        unix::signal(SIGINT, unix::on_shutdown_signal as *const () as usize);
+        unix::signal(SIGTERM, unix::on_shutdown_signal as *const () as usize);
+    }
+}
+
+/// Whether a shutdown signal has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Test/internal hook: raise or clear the flag without a real signal.
+pub fn set_shutdown(v: bool) {
+    SHUTDOWN.store(v, Ordering::Relaxed);
+}
+
+/// Sends `sig` to `pid`. No-op off Unix.
+pub fn send_signal(pid: i32, sig: i32) {
+    #[cfg(unix)]
+    unsafe {
+        unix::kill(pid, sig);
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (pid, sig);
+    }
+}
+
+/// This process's pid (0 off Unix).
+pub fn my_pid() -> i32 {
+    #[cfg(unix)]
+    unsafe {
+        unix::getpid()
+    }
+    #[cfg(not(unix))]
+    {
+        0
+    }
+}
+
+/// SIGKILLs the current process — the chaos harness's way for a worker to
+/// die exactly as if the machine had lost power: no unwinding, no flushes.
+pub fn kill_self() {
+    send_signal(my_pid(), SIGKILL);
+    // If the signal somehow didn't take (non-Unix), make death explicit.
+    std::process::exit(137);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        set_shutdown(false);
+        assert!(!shutdown_requested());
+        set_shutdown(true);
+        assert!(shutdown_requested());
+        set_shutdown(false);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn pid_is_positive() {
+        assert!(my_pid() > 0);
+    }
+}

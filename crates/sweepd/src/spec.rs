@@ -1,0 +1,242 @@
+//! Sweep specification and job expansion.
+//!
+//! A [`SweepSpec`] is the cross product of workload, size, and seed axes on
+//! one config preset. Expansion dedupes jobs by [`JobSpec::key`] — the FNV-1a
+//! of the normalized [`ccsvm::config_hash`] plus the full XC source — so two
+//! axis points that compile to the identical simulation run once and share
+//! one cache entry.
+
+use ccsvm::{config_hash, SystemConfig};
+use ccsvm_engine::Time;
+use ccsvm_snap::fnv1a;
+use ccsvm_workloads::{matmul, vecadd};
+
+use crate::SweepError;
+
+/// Built-in workload generators the sweep axes can name.
+const WORKLOADS: &[&str] = &["vecadd", "matmul", "wedge"];
+
+/// A sweep: one preset, a workload × size × seed grid, and the supervision
+/// policy (retries, timeouts, checkpoint cadence).
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Config preset name (`SystemConfig::by_preset`).
+    pub preset: String,
+    /// Workload generator names (see [`SweepSpec::expand`] for the set).
+    pub workloads: Vec<String>,
+    /// Problem sizes (meaning is per-workload; `wedge` ignores it).
+    pub sizes: Vec<u64>,
+    /// Input seeds.
+    pub seeds: Vec<u64>,
+    /// Max attempts per job before it is poisoned (>= 1).
+    pub max_attempts: u32,
+    /// Per-attempt wall-clock timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Max concurrently running workers.
+    pub inflight: usize,
+    /// Simulated-time checkpoint cadence for workers, in picoseconds.
+    /// `0` disables mid-run checkpoints (retries then cold-boot).
+    pub checkpoint_every_ps: u64,
+    /// Orchestrator seed: drives backoff jitter and the chaos schedule.
+    pub seed: u64,
+}
+
+impl Default for SweepSpec {
+    fn default() -> SweepSpec {
+        SweepSpec {
+            preset: "tiny".into(),
+            workloads: vec!["vecadd".into()],
+            sizes: vec![64],
+            seeds: vec![1],
+            max_attempts: 3,
+            timeout_ms: 120_000,
+            inflight: 2,
+            checkpoint_every_ps: Time::from_us(2).as_ps(),
+            seed: 1,
+        }
+    }
+}
+
+/// One expanded, deduplicated job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Human label, `{workload}-n{size}-s{seed}` (first axis point to map
+    /// to this key, when duplicates collapse).
+    pub label: String,
+    /// Identity: `fnv1a(config_hash(cfg) ‖ source)`. Journal records, cache
+    /// entries, and chaos decisions are all keyed by this.
+    pub key: u64,
+    /// Preset name (workers re-derive the `SystemConfig` from it).
+    pub preset: String,
+    /// Workload generator name (workers re-derive the source from it).
+    pub workload: String,
+    /// Problem size.
+    pub size: u64,
+    /// Input seed.
+    pub seed: u64,
+    /// Full XC source for the job.
+    pub source: String,
+}
+
+impl JobSpec {
+    /// Rebuilds the job's `SystemConfig` from its preset name.
+    pub fn config(&self) -> Result<SystemConfig, SweepError> {
+        SystemConfig::by_preset(&self.preset)
+            .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", self.preset)))
+    }
+}
+
+/// Generates the XC source for one axis point. `wedge` is a diagnostic
+/// workload that spins forever; on the `tiny_brief` preset it hits
+/// `max_sim_time` and exits with a typed `Outcome::Deadlock`, which makes it
+/// the canonical poison-path exerciser.
+pub fn source_for(workload: &str, size: u64, seed: u64) -> Result<String, SweepError> {
+    match workload {
+        "vecadd" => Ok(vecadd::xthreads_source(&vecadd::VecaddParams {
+            n: size,
+            seed,
+        })),
+        "matmul" => Ok(matmul::xthreads_source(&matmul::MatmulParams::new(
+            size, seed,
+        ))),
+        "wedge" => Ok("_CPU_ fn main() -> int {
+                 let x = 0;
+                 while (x < 1) { x = x * 1; }
+                 return 0;
+             }"
+        .into()),
+        other => Err(SweepError::Spec(format!(
+            "unknown workload {other:?} (have {WORKLOADS:?})"
+        ))),
+    }
+}
+
+impl SweepSpec {
+    /// A tag identifying the sweep's job universe; written into the journal
+    /// header so a journal can't silently be replayed against a different
+    /// sweep. Supervision knobs (retries, timeouts, inflight) are excluded:
+    /// they change pacing, never which jobs exist or what they compute.
+    pub fn tag(&self) -> u64 {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(self.preset.as_bytes());
+        for w in &self.workloads {
+            buf.push(0xfe);
+            buf.extend_from_slice(w.as_bytes());
+        }
+        for &n in &self.sizes {
+            buf.push(0xfd);
+            buf.extend_from_slice(&n.to_le_bytes());
+        }
+        for &s in &self.seeds {
+            buf.push(0xfc);
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        fnv1a(&buf)
+    }
+
+    /// Expands the axes into deduplicated jobs (stable spec order) plus the
+    /// labels of axis points that collapsed into an earlier job.
+    pub fn expand(&self) -> Result<(Vec<JobSpec>, Vec<String>), SweepError> {
+        if self.workloads.is_empty() || self.sizes.is_empty() || self.seeds.is_empty() {
+            return Err(SweepError::Spec("empty axis".into()));
+        }
+        if self.max_attempts == 0 {
+            return Err(SweepError::Spec("max_attempts must be >= 1".into()));
+        }
+        let cfg = SystemConfig::by_preset(&self.preset)
+            .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", self.preset)))?;
+        let cfg_hash = config_hash(&cfg);
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        let mut dups = Vec::new();
+        for w in &self.workloads {
+            for &size in &self.sizes {
+                for &seed in &self.seeds {
+                    let label = format!("{w}-n{size}-s{seed}");
+                    let source = source_for(w, size, seed)?;
+                    let mut buf = cfg_hash.to_le_bytes().to_vec();
+                    buf.extend_from_slice(source.as_bytes());
+                    let key = fnv1a(&buf);
+                    if jobs.iter().any(|j| j.key == key) {
+                        dups.push(label);
+                    } else {
+                        jobs.push(JobSpec {
+                            label,
+                            key,
+                            preset: self.preset.clone(),
+                            workload: w.clone(),
+                            size,
+                            seed,
+                            source,
+                        });
+                    }
+                }
+            }
+        }
+        Ok((jobs, dups))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_dedupes_by_key() {
+        let spec = SweepSpec {
+            preset: "tiny".into(),
+            workloads: vec!["wedge".into()],
+            sizes: vec![8, 16], // wedge ignores size -> identical source
+            seeds: vec![1, 2],  // and seed
+            ..SweepSpec::default()
+        };
+        let (jobs, dups) = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(dups.len(), 3);
+        assert_eq!(jobs[0].label, "wedge-n8-s1");
+    }
+
+    #[test]
+    fn distinct_points_get_distinct_keys() {
+        let spec = SweepSpec {
+            workloads: vec!["vecadd".into(), "matmul".into()],
+            sizes: vec![8, 16],
+            seeds: vec![3],
+            ..SweepSpec::default()
+        };
+        let (jobs, dups) = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 4);
+        assert!(dups.is_empty());
+        let mut keys: Vec<u64> = jobs.iter().map(|j| j.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn bad_axes_are_typed_errors() {
+        let mut spec = SweepSpec {
+            workloads: vec!["no-such".into()],
+            ..SweepSpec::default()
+        };
+        assert!(matches!(spec.expand(), Err(SweepError::Spec(_))));
+        spec.workloads = vec![];
+        assert!(matches!(spec.expand(), Err(SweepError::Spec(_))));
+        spec.workloads = vec!["vecadd".into()];
+        spec.preset = "no-such".into();
+        assert!(matches!(spec.expand(), Err(SweepError::Spec(_))));
+    }
+
+    #[test]
+    fn tag_tracks_axes_not_policy() {
+        let a = SweepSpec::default();
+        let mut b = SweepSpec {
+            max_attempts: 9,
+            timeout_ms: 1,
+            inflight: 7,
+            ..SweepSpec::default()
+        };
+        assert_eq!(a.tag(), b.tag());
+        b.sizes = vec![65];
+        assert_ne!(a.tag(), b.tag());
+    }
+}

@@ -1,0 +1,320 @@
+//! The worker half of sweepd: one process, one job attempt.
+//!
+//! A worker rebuilds its job from `k=v` argument pairs, resumes from the
+//! newest valid checkpoint if one survived an earlier attempt, simulates
+//! with a periodic checkpoint flush, and reports back through three narrow
+//! channels the supervisor can trust even when the process dies mid-word:
+//!
+//! * `::sweepd:: k=v` **stdout markers** (resume point, completion),
+//! * its **exit status** ([`EXIT_OK`] / [`EXIT_ABNORMAL`] /
+//!   [`EXIT_INTERRUPTED`], or signal death),
+//! * durable artifacts: the checkpoint file, the cache entry (written
+//!   atomically *before* the completion marker), and — on the final
+//!   attempt of a failing job — a replay bundle.
+//!
+//! Under `die_after_checkpoints > 0` (chaos mode) the worker SIGKILLs
+//! itself immediately *after* the k-th checkpoint flush, which guarantees
+//! the retry finds a valid image and resumes at `resumed_at_ps > 0`.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ccsvm::{config_hash, Machine, Outcome, SystemConfig};
+use ccsvm_engine::Time;
+
+use crate::cache::ReportCache;
+use crate::sig;
+use crate::spec::source_for;
+use crate::SweepError;
+
+/// Job completed; report is in the cache.
+pub const EXIT_OK: i32 = 0;
+/// Simulation finished with a non-`Completed` outcome, or the harness hit a
+/// typed error. Retryable from the supervisor's point of view.
+pub const EXIT_ABNORMAL: i32 = 3;
+/// Worker caught SIGINT/SIGTERM and stopped at a checkpoint boundary.
+pub const EXIT_INTERRUPTED: i32 = 130;
+
+/// Prefix of machine-readable lines on worker stdout.
+pub const MARKER: &str = "::sweepd::";
+
+/// A parsed worker invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerJob {
+    /// Sweep directory (journal, cache, checkpoints, bundles live here).
+    pub dir: PathBuf,
+    /// Human label for logs.
+    pub label: String,
+    /// Job key (validated against the recomputed key before running).
+    pub key: u64,
+    /// Config preset name.
+    pub preset: String,
+    /// Workload generator name.
+    pub workload: String,
+    /// Problem size.
+    pub size: u64,
+    /// Input seed.
+    pub seed: u64,
+    /// Checkpoint cadence in simulated picoseconds (0 = none).
+    pub checkpoint_every_ps: u64,
+    /// Chaos: SIGKILL self right after this many checkpoint flushes (0 = off).
+    pub die_after_checkpoints: u32,
+    /// This is the job's last attempt: capture a replay bundle if it fails.
+    pub final_attempt: bool,
+}
+
+impl WorkerJob {
+    /// Renders the `k=v` argument list [`WorkerJob::parse_args`] accepts.
+    pub fn to_args(&self) -> Vec<String> {
+        vec![
+            format!("dir={}", self.dir.display()),
+            format!("label={}", self.label),
+            format!("key={:016x}", self.key),
+            format!("preset={}", self.preset),
+            format!("workload={}", self.workload),
+            format!("size={}", self.size),
+            format!("seed={}", self.seed),
+            format!("ckpt-ps={}", self.checkpoint_every_ps),
+            format!("die-after={}", self.die_after_checkpoints),
+            format!("final={}", u8::from(self.final_attempt)),
+        ]
+    }
+
+    /// Parses the `k=v` pairs the supervisor passed after `--worker`.
+    pub fn parse_args(args: &[String]) -> Result<WorkerJob, SweepError> {
+        let mut job = WorkerJob {
+            dir: PathBuf::new(),
+            label: String::new(),
+            key: 0,
+            preset: String::new(),
+            workload: String::new(),
+            size: 0,
+            seed: 0,
+            checkpoint_every_ps: 0,
+            die_after_checkpoints: 0,
+            final_attempt: false,
+        };
+        let bad = |what: &str, v: &str| SweepError::Worker(format!("bad {what}: {v:?}"));
+        for a in args {
+            let (k, v) = a
+                .split_once('=')
+                .ok_or_else(|| bad("worker arg (want k=v)", a))?;
+            match k {
+                "dir" => job.dir = PathBuf::from(v),
+                "label" => job.label = v.to_string(),
+                "key" => {
+                    job.key = u64::from_str_radix(v, 16).map_err(|_| bad("key", v))?;
+                }
+                "preset" => job.preset = v.to_string(),
+                "workload" => job.workload = v.to_string(),
+                "size" => job.size = v.parse().map_err(|_| bad("size", v))?,
+                "seed" => job.seed = v.parse().map_err(|_| bad("seed", v))?,
+                "ckpt-ps" => {
+                    job.checkpoint_every_ps = v.parse().map_err(|_| bad("ckpt-ps", v))?;
+                }
+                "die-after" => {
+                    job.die_after_checkpoints = v.parse().map_err(|_| bad("die-after", v))?;
+                }
+                "final" => job.final_attempt = v == "1",
+                other => return Err(bad("worker arg key", other)),
+            }
+        }
+        if job.dir.as_os_str().is_empty() || job.preset.is_empty() || job.workload.is_empty() {
+            return Err(SweepError::Worker("missing dir/preset/workload".into()));
+        }
+        Ok(job)
+    }
+}
+
+/// Where this job's checkpoint image lives.
+pub fn checkpoint_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join("ck").join(format!("{key:016x}.ck"))
+}
+
+/// Where this job's replay bundle lands if it poisons.
+pub fn bundle_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join("bundles").join(format!("{key:016x}.bundle"))
+}
+
+fn emit_marker(kv: &str) {
+    println!("{MARKER} {kv}");
+    let _ = std::io::stdout().flush();
+}
+
+/// Runs one attempt and returns the process exit code.
+///
+/// # Errors
+///
+/// Only setup problems (bad spec, unwritable sweep dir) error out; once the
+/// simulation starts, every path ends in an exit code.
+pub fn run_worker(job: &WorkerJob) -> Result<i32, SweepError> {
+    sig::install_shutdown_handler();
+    let cfg = SystemConfig::by_preset(&job.preset)
+        .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", job.preset)))?;
+    let cfg_hash = config_hash(&cfg);
+    let source = source_for(&job.workload, job.size, job.seed)?;
+    // The key is the supervisor's contract with the cache: recompute and
+    // refuse to run if the argument list disagrees (a wrong key would file
+    // this result under another job's identity).
+    let mut buf = cfg_hash.to_le_bytes().to_vec();
+    buf.extend_from_slice(source.as_bytes());
+    let want = ccsvm_snap::fnv1a(&buf);
+    if want != job.key {
+        return Err(SweepError::Worker(format!(
+            "key mismatch: args say {:016x}, job derives {want:016x}",
+            job.key
+        )));
+    }
+    let prog = ccsvm_xthreads::build(&source)
+        .map_err(|e| SweepError::Worker(format!("{}: compile: {e}", job.label)))?;
+
+    let ck_path = checkpoint_path(&job.dir, job.key);
+    if let Some(parent) = ck_path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| SweepError::io(parent, &e))?;
+    }
+
+    // Resume from a prior attempt's checkpoint when one restores cleanly;
+    // any typed failure (truncated, wrong config, stale schema) quarantines
+    // the image and cold-boots. Never a panic, never silent trust.
+    let mut machine = None;
+    if ck_path.exists() {
+        match Machine::restore(cfg.clone(), prog.clone(), &ck_path) {
+            Ok(m) => machine = Some(m),
+            Err(e) => {
+                eprintln!(
+                    "sweepd-worker[{}]: checkpoint unusable ({e}); cold boot",
+                    job.label
+                );
+                let mut bad = ck_path.as_os_str().to_owned();
+                bad.push(".bad");
+                let _ = std::fs::rename(&ck_path, PathBuf::from(bad));
+            }
+        }
+    }
+    let resumed_at_ps = machine.as_ref().map_or(0, |m| m.now().as_ps());
+    let mut machine = machine.unwrap_or_else(|| Machine::new(cfg.clone(), prog));
+    emit_marker(&format!("resumed_at_ps={resumed_at_ps}"));
+
+    let report = if job.checkpoint_every_ps == 0 {
+        Some(machine.run())
+    } else {
+        let mut flushed: u32 = 0;
+        let die_after = job.die_after_checkpoints;
+        let ck = ck_path.clone();
+        machine.run_with_cadence(Time::from_ps(job.checkpoint_every_ps), move |m| {
+            if let Err(e) = m.checkpoint(&ck) {
+                // A failed flush costs resumability, not correctness.
+                eprintln!("sweepd-worker: checkpoint flush failed: {e}");
+            } else {
+                flushed += 1;
+                if die_after > 0 && flushed >= die_after {
+                    // Chaos: die as if power-cut, right where a valid
+                    // checkpoint is guaranteed to exist.
+                    sig::kill_self();
+                }
+            }
+            !sig::shutdown_requested()
+        })
+    };
+
+    let report = match report {
+        Some(r) => r,
+        None => {
+            // Cooperative shutdown: the last cadence pause already flushed a
+            // checkpoint; tell the supervisor this was an interruption.
+            emit_marker("interrupted=1");
+            return Ok(EXIT_INTERRUPTED);
+        }
+    };
+
+    if report.outcome == Outcome::Completed {
+        let cache = ReportCache::new(job.dir.join("cache"))?;
+        // Store *before* the completion marker: if we die between the two,
+        // the supervisor re-runs the job and the idempotent store rewrites
+        // identical bytes.
+        cache.store(job.key, cfg_hash, &report)?;
+        emit_marker("completed=1");
+        let _ = std::fs::remove_file(&ck_path);
+        return Ok(EXIT_OK);
+    }
+
+    eprintln!(
+        "sweepd-worker[{}]: outcome {:?} at {}",
+        job.label, report.outcome, report.time
+    );
+    if job.final_attempt {
+        // Last attempt of a failing job: capture the PR-5 replay bundle so
+        // the poisoned manifest row points at a reproducer.
+        let every = if job.checkpoint_every_ps > 0 {
+            Time::from_ps(job.checkpoint_every_ps)
+        } else {
+            Time::from_us(10)
+        };
+        match ccsvm::run_with_triage(&cfg, &job.preset, &source, every) {
+            Ok(t) => {
+                if let Some(bundle) = t.bundle {
+                    let bpath = bundle_path(&job.dir, job.key);
+                    if let Some(parent) = bpath.parent() {
+                        std::fs::create_dir_all(parent).map_err(|e| SweepError::io(parent, &e))?;
+                    }
+                    bundle.write(&bpath)?;
+                    emit_marker("bundle=1");
+                }
+            }
+            Err(e) => eprintln!("sweepd-worker[{}]: triage failed: {e}", job.label),
+        }
+    }
+    Ok(EXIT_ABNORMAL)
+}
+
+/// Extracts `k` from the `::sweepd:: k=v` markers in captured stdout.
+pub fn marker_value(stdout: &str, key: &str) -> Option<String> {
+    for line in stdout.lines() {
+        if let Some(rest) = line.strip_prefix(MARKER) {
+            if let Some((k, v)) = rest.trim().split_once('=') {
+                if k == key {
+                    return Some(v.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_round_trip() {
+        let job = WorkerJob {
+            dir: PathBuf::from("/tmp/sweep"),
+            label: "vecadd-n8-s1".into(),
+            key: 0xdead_beef_cafe_f00d,
+            preset: "tiny".into(),
+            workload: "vecadd".into(),
+            size: 8,
+            seed: 1,
+            checkpoint_every_ps: 2_000_000,
+            die_after_checkpoints: 2,
+            final_attempt: true,
+        };
+        let back = WorkerJob::parse_args(&job.to_args()).unwrap();
+        assert_eq!(back, job);
+    }
+
+    #[test]
+    fn bad_args_are_typed() {
+        assert!(WorkerJob::parse_args(&["nope".into()]).is_err());
+        assert!(WorkerJob::parse_args(&["zork=1".into()]).is_err());
+        assert!(WorkerJob::parse_args(&[]).is_err()); // missing dir/preset
+    }
+
+    #[test]
+    fn marker_parsing_ignores_noise() {
+        let out = "guest print\n::sweepd:: resumed_at_ps=123\njunk\n::sweepd:: completed=1\n";
+        assert_eq!(marker_value(out, "resumed_at_ps").as_deref(), Some("123"));
+        assert_eq!(marker_value(out, "completed").as_deref(), Some("1"));
+        assert_eq!(marker_value(out, "bundle"), None);
+    }
+}

@@ -139,10 +139,7 @@ impl ccsvm_snap::Snapshot for GuestHeap {
         }
     }
 
-    fn load(
-        &mut self,
-        r: &mut ccsvm_snap::SnapReader<'_>,
-    ) -> Result<(), ccsvm_snap::SnapError> {
+    fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
         self.free.clear();
         for _ in 0..r.get_usize()? {
             let start = r.get_u64()?;

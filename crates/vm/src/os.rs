@@ -64,7 +64,10 @@ impl OsLite {
     ///
     /// Panics if the pool is empty or misaligned.
     pub fn new(phys_base: u64, phys_end: u64) -> OsLite {
-        assert!(phys_base.is_multiple_of(PAGE_BYTES), "pool must be page-aligned");
+        assert!(
+            phys_base.is_multiple_of(PAGE_BYTES),
+            "pool must be page-aligned"
+        );
         assert!(phys_end > phys_base, "empty physical pool");
         let mut os = OsLite {
             next_frame: phys_base,
@@ -122,7 +125,10 @@ impl OsLite {
     ///
     /// Panics if the page is already mapped or `frame` is not page-aligned.
     pub fn map_fixed(&mut self, va: VirtAddr, frame: PhysAddr) -> Vec<PteWrite> {
-        assert!(frame.0.is_multiple_of(PAGE_BYTES), "frame must be page-aligned");
+        assert!(
+            frame.0.is_multiple_of(PAGE_BYTES),
+            "frame must be page-aligned"
+        );
         assert!(
             !self.pages.contains_key(&va.vpn()),
             "page {va} already mapped"
@@ -235,10 +241,7 @@ impl ccsvm_snap::Snapshot for OsLite {
         w.put_u64(self.faults_handled);
     }
 
-    fn load(
-        &mut self,
-        r: &mut ccsvm_snap::SnapReader<'_>,
-    ) -> Result<(), ccsvm_snap::SnapError> {
+    fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
         self.next_frame = r.get_u64()?;
         self.free_frames.clear();
         for _ in 0..r.get_usize()? {
@@ -278,9 +281,7 @@ mod tests {
             let pte = mem.get(&walk.pte_addr().0).copied().unwrap_or(0);
             match walk.feed(pte) {
                 WalkResult::Continue(w) => walk = w,
-                WalkResult::Done(frame) => {
-                    return Some(crate::walk::frame_plus_offset(frame, va))
-                }
+                WalkResult::Done(frame) => return Some(crate::walk::frame_plus_offset(frame, va)),
                 WalkResult::Fault(_) => return None,
             }
         }

@@ -227,10 +227,7 @@ mod tests {
     fn walk_faults_at_any_level() {
         let va = VirtAddr(0x1000);
         let w = Walk::new(PhysAddr(0x10_0000), va);
-        assert_eq!(
-            w.feed(0),
-            WalkResult::Fault(Fault { va, level: 3 })
-        );
+        assert_eq!(w.feed(0), WalkResult::Fault(Fault { va, level: 3 }));
         let w = Walk::new(PhysAddr(0x10_0000), va);
         let w = match w.feed(0x20_0000 | PTE_PRESENT) {
             WalkResult::Continue(w) => w,

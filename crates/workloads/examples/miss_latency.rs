@@ -38,7 +38,11 @@ fn main() {
     let mut m = Machine::new(SystemConfig::paper_default(), wl::build(src));
     let r = m.run();
     let reg = wl::region_time(&r.printed, &r.printed_at, r.time);
-    println!("chase of 2000 blocks: {} => {} per hop (exit {})",
-        reg, ccsvm_engine::Time::from_ps(reg.as_ps()/2000), r.exit_code);
+    println!(
+        "chase of 2000 blocks: {} => {} per hop (exit {})",
+        reg,
+        ccsvm_engine::Time::from_ps(reg.as_ps() / 2000),
+        r.exit_code
+    );
     println!("avg_miss {:?}", r.stats.get("mttop.0.avg_miss_ns"));
 }

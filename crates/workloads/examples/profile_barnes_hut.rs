@@ -7,20 +7,35 @@ use ccsvm::{Machine, SystemConfig};
 use ccsvm_workloads as wl;
 
 fn main() {
-    let p = wl::barnes_hut::BhParams { bodies: 256, steps: 1, max_threads: 1280, seed: 42 };
+    let p = wl::barnes_hut::BhParams {
+        bodies: 256,
+        steps: 1,
+        max_threads: 1280,
+        seed: 42,
+    };
     // Patch the xthreads source to add phase markers.
     let src = wl::barnes_hut::xthreads_source(&p)
-        .replace("g->root = build_tree(g->bodies);",
-                 "print_int(101); g->root = build_tree(g->bodies); print_int(102);")
-        .replace("xt_wait(g->done, 0, g->nt - 1);",
-                 "xt_wait(g->done, 0, g->nt - 1); print_int(103);");
+        .replace(
+            "g->root = build_tree(g->bodies);",
+            "print_int(101); g->root = build_tree(g->bodies); print_int(102);",
+        )
+        .replace(
+            "xt_wait(g->done, 0, g->nt - 1);",
+            "xt_wait(g->done, 0, g->nt - 1); print_int(103);",
+        );
     let mut m = Machine::new(SystemConfig::paper_default(), wl::build(&src));
     let r = m.run();
     for (s, t) in r.printed.iter().zip(&r.printed_at) {
         println!("{s} at {t}");
     }
     for (k, v) in r.stats.iter() {
-        if v != 0.0 && (k.contains("mttop.0.") || k.contains("mem.l1.4") || k.contains("mem.l2.0") || k.contains("dram") || k.contains("noc")) {
+        if v != 0.0
+            && (k.contains("mttop.0.")
+                || k.contains("mem.l1.4")
+                || k.contains("mem.l2.0")
+                || k.contains("dram")
+                || k.contains("noc"))
+        {
             println!("{k} = {v}");
         }
     }

@@ -26,7 +26,11 @@ pub const INF: i64 = 1_000_000;
 impl ApspParams {
     /// `n` nodes on the paper-default chip.
     pub fn new(n: u64, seed: u64) -> ApspParams {
-        ApspParams { n, max_threads: 1280, seed }
+        ApspParams {
+            n,
+            max_threads: 1280,
+            seed,
+        }
     }
 
     /// Threads actually launched. APSP barriers cost O(threads) per outer
@@ -195,7 +199,11 @@ mod tests {
     #[test]
     fn cpu_version_matches_reference() {
         for n in [2, 4, 8] {
-            let p = ApspParams { n, max_threads: 16, seed: 7 };
+            let p = ApspParams {
+                n,
+                max_threads: 16,
+                seed: 7,
+            };
             let got = crate::run_functional(&cpu_source(&p), 500_000_000);
             assert_eq!(got, reference_checksum(&p), "n={n}");
         }
@@ -208,7 +216,11 @@ mod tests {
     #[test]
     fn reference_shrinks_distances() {
         // After FW, distances never exceed direct edges.
-        let p = ApspParams { n: 6, max_threads: 8, seed: 3 };
+        let p = ApspParams {
+            n: 6,
+            max_threads: 8,
+            seed: 3,
+        };
         let _ = reference_checksum(&p); // smoke: no panic, deterministic
         assert_eq!(reference_checksum(&p), reference_checksum(&p));
     }

@@ -36,7 +36,12 @@ pub struct BhParams {
 impl BhParams {
     /// `bodies` over one step on the paper-default chip.
     pub fn new(bodies: u64, seed: u64) -> BhParams {
-        BhParams { bodies, steps: 1, max_threads: 1280, seed }
+        BhParams {
+            bodies,
+            steps: 1,
+            max_threads: 1280,
+            seed,
+        }
     }
 
     /// Threads launched per force phase. Recursion keeps a real stack per
@@ -411,7 +416,12 @@ mod tests {
 
     #[test]
     fn cpu_and_xthreads_agree_functionally() {
-        let p = BhParams { bodies: 24, steps: 2, max_threads: 8, seed: 9 };
+        let p = BhParams {
+            bodies: 24,
+            steps: 2,
+            max_threads: 8,
+            seed: 9,
+        };
         let cpu = crate::run_functional(&cpu_source(&p), 1_000_000_000);
         let xt = crate::run_functional(&xthreads_source(&p), 1_000_000_000);
         assert_eq!(cpu, xt, "same arithmetic on both versions");
@@ -420,13 +430,23 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let p = BhParams { bodies: 16, steps: 1, max_threads: 4, seed: 3 };
+        let p = BhParams {
+            bodies: 16,
+            steps: 1,
+            max_threads: 4,
+            seed: 3,
+        };
         assert_eq!(oracle_checksum(&p), oracle_checksum(&p));
     }
 
     #[test]
     fn pthreads_source_compiles() {
-        let p = BhParams { bodies: 16, steps: 1, max_threads: 4, seed: 3 };
+        let p = BhParams {
+            bodies: 16,
+            steps: 1,
+            max_threads: 4,
+            seed: 3,
+        };
         let _ = crate::build(&pthreads_source(&p, 4));
     }
 }

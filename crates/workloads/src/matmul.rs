@@ -21,7 +21,11 @@ pub struct MatmulParams {
 impl MatmulParams {
     /// `n×n` with the paper-default 1280-thread chip.
     pub fn new(n: u64, seed: u64) -> MatmulParams {
-        MatmulParams { n, max_threads: 1280, seed }
+        MatmulParams {
+            n,
+            max_threads: 1280,
+            seed,
+        }
     }
 
     /// Threads actually launched.
@@ -173,7 +177,11 @@ mod tests {
     #[test]
     fn functional_matches_reference_both_versions() {
         for n in [1, 2, 4, 7] {
-            let p = MatmulParams { n, max_threads: 16, seed: 42 };
+            let p = MatmulParams {
+                n,
+                max_threads: 16,
+                seed: 42,
+            };
             let expect = reference_checksum(&p);
             let got = crate::run_functional(&xthreads_source(&p), 500_000_000);
             assert_eq!(got, expect, "xthreads n={n}");
@@ -186,7 +194,11 @@ mod tests {
     fn thread_clamping() {
         assert_eq!(MatmulParams::new(4, 0).threads(), 16);
         assert_eq!(MatmulParams::new(64, 0).threads(), 1280);
-        let p = MatmulParams { n: 64, max_threads: 64, seed: 0 };
+        let p = MatmulParams {
+            n: 64,
+            max_threads: 64,
+            seed: 0,
+        };
         assert_eq!(p.threads(), 64);
     }
 

@@ -28,7 +28,12 @@ pub struct SpmmParams {
 impl SpmmParams {
     /// The paper's fixed-sparsity (1%) configuration.
     pub fn one_percent(n: u64, seed: u64) -> SpmmParams {
-        SpmmParams { n, density_tenths_pct: 10, max_threads: 1280, seed }
+        SpmmParams {
+            n,
+            density_tenths_pct: 10,
+            max_threads: 1280,
+            seed,
+        }
     }
 
     /// Threads actually launched (≤ one per row).
@@ -274,7 +279,12 @@ mod tests {
     #[test]
     fn cpu_version_matches_reference() {
         for (n, th) in [(8, 100), (12, 300), (16, 50)] {
-            let p = SpmmParams { n, density_tenths_pct: th, max_threads: 8, seed: 11 };
+            let p = SpmmParams {
+                n,
+                density_tenths_pct: th,
+                max_threads: 8,
+                seed: 11,
+            };
             let got = crate::run_functional(&cpu_source(&p), 500_000_000);
             assert_eq!(got, reference_checksum(&p), "n={n} th={th}");
         }
@@ -283,7 +293,12 @@ mod tests {
     #[test]
     fn dense_limit_matches_matmul_shape() {
         // 100% density: every row full.
-        let p = SpmmParams { n: 6, density_tenths_pct: 1000, max_threads: 4, seed: 2 };
+        let p = SpmmParams {
+            n: 6,
+            density_tenths_pct: 1000,
+            max_threads: 4,
+            seed: 2,
+        };
         assert_eq!(reference_allocations(&p), 36);
         let got = crate::run_functional(&cpu_source(&p), 500_000_000);
         assert_eq!(got, reference_checksum(&p));
@@ -291,7 +306,12 @@ mod tests {
 
     #[test]
     fn zero_density_allocates_nothing() {
-        let p = SpmmParams { n: 8, density_tenths_pct: 0, max_threads: 4, seed: 2 };
+        let p = SpmmParams {
+            n: 8,
+            density_tenths_pct: 0,
+            max_threads: 4,
+            seed: 2,
+        };
         assert_eq!(reference_allocations(&p), 0);
         assert_eq!(reference_checksum(&p), 0);
     }

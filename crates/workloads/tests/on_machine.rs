@@ -30,14 +30,22 @@ fn vecadd_checksum_and_markers() {
 
 #[test]
 fn matmul_xthreads_matches_reference() {
-    let p = wl::matmul::MatmulParams { n: 8, max_threads: 32, seed: 4 };
+    let p = wl::matmul::MatmulParams {
+        n: 8,
+        max_threads: 32,
+        seed: 4,
+    };
     let (code, _, _) = run_timed(&wl::matmul::xthreads_source(&p), small_chip());
     assert_eq!(code, wl::matmul::reference_checksum(&p));
 }
 
 #[test]
 fn matmul_cpu_matches_reference() {
-    let p = wl::matmul::MatmulParams { n: 8, max_threads: 32, seed: 4 };
+    let p = wl::matmul::MatmulParams {
+        n: 8,
+        max_threads: 32,
+        seed: 4,
+    };
     let (code, _, _) = run_timed(&wl::matmul::cpu_source(&p), small_chip());
     assert_eq!(code, wl::matmul::reference_checksum(&p));
 }
@@ -45,7 +53,11 @@ fn matmul_cpu_matches_reference() {
 #[test]
 fn apsp_xthreads_barriers_converge() {
     // Per-k CPU+MTTOP barriers across 2 MTTOP cores.
-    let p = wl::apsp::ApspParams { n: 6, max_threads: 16, seed: 13 };
+    let p = wl::apsp::ApspParams {
+        n: 6,
+        max_threads: 16,
+        seed: 13,
+    };
     let (code, _, r) = run_timed(&wl::apsp::xthreads_source(&p), small_chip());
     assert_eq!(code, wl::apsp::reference_checksum(&p));
     assert_eq!(r.stats.get("mifd.launches"), 1.0, "one launch, N barriers");
@@ -53,14 +65,24 @@ fn apsp_xthreads_barriers_converge() {
 
 #[test]
 fn spmm_xthreads_with_malloc_server() {
-    let p = wl::spmm::SpmmParams { n: 12, density_tenths_pct: 150, max_threads: 8, seed: 21 };
+    let p = wl::spmm::SpmmParams {
+        n: 12,
+        density_tenths_pct: 150,
+        max_threads: 8,
+        seed: 21,
+    };
     let (code, _, _) = run_timed(&wl::spmm::xthreads_source(&p), small_chip());
     assert_eq!(code, wl::spmm::reference_checksum(&p));
 }
 
 #[test]
 fn barnes_hut_xthreads_matches_oracle() {
-    let p = wl::barnes_hut::BhParams { bodies: 16, steps: 1, max_threads: 8, seed: 17 };
+    let p = wl::barnes_hut::BhParams {
+        bodies: 16,
+        steps: 1,
+        max_threads: 8,
+        seed: 17,
+    };
     let oracle = wl::barnes_hut::oracle_checksum(&p);
     let (code, _, _) = run_timed(&wl::barnes_hut::xthreads_source(&p), small_chip());
     assert_eq!(code, oracle);
@@ -68,7 +90,12 @@ fn barnes_hut_xthreads_matches_oracle() {
 
 #[test]
 fn barnes_hut_pthreads_matches_oracle() {
-    let p = wl::barnes_hut::BhParams { bodies: 16, steps: 1, max_threads: 8, seed: 17 };
+    let p = wl::barnes_hut::BhParams {
+        bodies: 16,
+        steps: 1,
+        max_threads: 8,
+        seed: 17,
+    };
     let oracle = wl::barnes_hut::oracle_checksum(&p);
     let (code, _, _) = run_timed(&wl::barnes_hut::pthreads_source(&p, 2), small_chip());
     assert_eq!(code, oracle);
@@ -78,7 +105,11 @@ fn barnes_hut_pthreads_matches_oracle() {
 fn offload_beats_single_cpu_on_parallel_work() {
     // The paper's core claim in miniature: with enough parallel work, the
     // MTTOP offload (even on the tiny chip) beats one slow CPU core.
-    let p = wl::matmul::MatmulParams { n: 32, max_threads: 64, seed: 2 };
+    let p = wl::matmul::MatmulParams {
+        n: 32,
+        max_threads: 64,
+        seed: 2,
+    };
     let (_, t_xt, _) = run_timed(&wl::matmul::xthreads_source(&p), small_chip());
     let (_, t_cpu, _) = run_timed(&wl::matmul::cpu_source(&p), small_chip());
     assert!(

@@ -58,17 +58,33 @@ pub enum FnKind {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinOp {
-    Add, Sub, Mul, Div, Rem,
-    And, Or, Xor, Shl, Shr,
-    Lt, Le, Gt, Ge, Eq, Ne,
-    LogicalAnd, LogicalOr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogicalAnd,
+    LogicalOr,
 }
 
 /// Unary operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum UnOp {
-    Neg, Not, Deref,
+    Neg,
+    Not,
+    Deref,
 }
 
 /// An expression, tagged with its source line.

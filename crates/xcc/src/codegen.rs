@@ -66,11 +66,7 @@ pub(crate) fn generate(items: &[Item]) -> Result<(String, CompiledInfo), Compile
     let info = CompiledInfo {
         globals_size: cg.globals_size,
         globals: cg.globals.clone(),
-        functions: cg
-            .fns
-            .iter()
-            .map(|(k, v)| (k.clone(), v.kind))
-            .collect(),
+        functions: cg.fns.iter().map(|(k, v)| (k.clone(), v.kind)).collect(),
     };
     Ok((cg.out, info))
 }
@@ -243,14 +239,10 @@ impl Codegen {
     fn fold_const(&self, e: &Expr, line: usize) -> Result<i64, CompileError> {
         match &e.kind {
             ExprKind::IntLit(v) => Ok(*v),
-            ExprKind::Name(n) => self
-                .consts
-                .get(n)
-                .copied()
-                .ok_or_else(|| CompileError {
-                    line,
-                    message: format!("`{n}` is not a constant"),
-                }),
+            ExprKind::Name(n) => self.consts.get(n).copied().ok_or_else(|| CompileError {
+                line,
+                message: format!("`{n}` is not a constant"),
+            }),
             ExprKind::SizeOf(t) => Ok(self.sizeof_type(t, line)? as i64),
             ExprKind::Un(UnOp::Neg, inner) => Ok(-self.fold_const(inner, line)?),
             ExprKind::Bin(op, a, b) => {
@@ -294,14 +286,15 @@ impl Codegen {
     fn sizeof_type(&self, ty: &Type, line: usize) -> Result<u64, CompileError> {
         match ty {
             Type::Int | Type::Float | Type::Ptr(_) => Ok(WORD),
-            Type::Struct(name) => self
-                .structs
-                .get(name)
-                .map(|s| s.size)
-                .ok_or_else(|| CompileError {
-                    line,
-                    message: format!("unknown struct `{name}`"),
-                }),
+            Type::Struct(name) => {
+                self.structs
+                    .get(name)
+                    .map(|s| s.size)
+                    .ok_or_else(|| CompileError {
+                        line,
+                        message: format!("unknown struct `{name}`"),
+                    })
+            }
         }
     }
 
@@ -346,7 +339,10 @@ impl Codegen {
                 Place::Reg(r) => self.emit(&format!("mv r{r}, r{}", i + 1)),
                 Place::Frame(off) => self.emit(&format!("st8 r{}, {off}(r29)", i + 1)),
             }
-            let local = Local { place, ty: pty.clone() };
+            let local = Local {
+                place,
+                ty: pty.clone(),
+            };
             if ctx.scopes[0].insert(pname.clone(), local).is_some() {
                 return cerr(f.line, format!("duplicate parameter `{pname}`"));
             }
@@ -391,7 +387,12 @@ impl Codegen {
 
     fn stmt(&mut self, ctx: &mut FnCtx, s: &Stmt) -> Result<(), CompileError> {
         match s {
-            Stmt::Let { line, name, ty, init } => {
+            Stmt::Let {
+                line,
+                name,
+                ty,
+                init,
+            } => {
                 let ity = self.expr(ctx, init, 0)?;
                 let final_ty = match ty {
                     Some(declared) => {
@@ -413,14 +414,25 @@ impl Codegen {
                     Place::Reg(r) => self.emit(&format!("mv r{r}, r8")),
                     Place::Frame(off) => self.emit(&format!("st8 r8, {off}(r29)")),
                 }
-                ctx.scopes
-                    .last_mut()
-                    .expect("scope")
-                    .insert(name.clone(), Local { place, ty: final_ty });
+                ctx.scopes.last_mut().expect("scope").insert(
+                    name.clone(),
+                    Local {
+                        place,
+                        ty: final_ty,
+                    },
+                );
                 Ok(())
             }
-            Stmt::Assign { line, target, value } => self.assign(ctx, target, value, *line),
-            Stmt::If { cond, then_blk, else_blk } => {
+            Stmt::Assign {
+                line,
+                target,
+                value,
+            } => self.assign(ctx, target, value, *line),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let else_l = self.label("else");
                 let end_l = self.label("endif");
                 self.branch_if_false(ctx, cond, &else_l)?;
@@ -580,12 +592,7 @@ impl Codegen {
 
     /// Computes the address of an lvalue into `r(8+d)`; returns the element
     /// type stored there.
-    fn lvalue_addr(
-        &mut self,
-        ctx: &mut FnCtx,
-        e: &Expr,
-        d: usize,
-    ) -> Result<Type, CompileError> {
+    fn lvalue_addr(&mut self, ctx: &mut FnCtx, e: &Expr, d: usize) -> Result<Type, CompileError> {
         let rd = reg(d)?;
         match &e.kind {
             ExprKind::Name(n) => {
@@ -676,13 +683,10 @@ impl Codegen {
             },
             other => return cerr(line, format!("`->` needs a struct pointer, got `{other}`")),
         };
-        let info = self
-            .structs
-            .get(&sname)
-            .ok_or_else(|| CompileError {
-                line,
-                message: format!("unknown struct `{sname}`"),
-            })?;
+        let info = self.structs.get(&sname).ok_or_else(|| CompileError {
+            line,
+            message: format!("unknown struct `{sname}`"),
+        })?;
         let (off, fty) = info
             .fields
             .get(fname)
@@ -780,9 +784,7 @@ impl Codegen {
                     }
                     UnOp::Deref => match t {
                         Type::Ptr(inner) => match *inner {
-                            Type::Struct(_) => {
-                                cerr(e.line, "cannot load a whole struct; use `->`")
-                            }
+                            Type::Struct(_) => cerr(e.line, "cannot load a whole struct; use `->`"),
                             elem => {
                                 self.emit(&format!("ld8 {rd}, 0({rd})"));
                                 Ok(elem)
@@ -925,12 +927,13 @@ impl Codegen {
                     _ => return cerr(line, "operator not defined for floats"),
                 };
                 self.emit(&text);
-                Ok(if is_comparison(op) { Type::Int } else { Type::Float })
+                Ok(if is_comparison(op) {
+                    Type::Int
+                } else {
+                    Type::Float
+                })
             }
-            _ => cerr(
-                line,
-                "mixed int/float operands; cast explicitly with `as`",
-            ),
+            _ => cerr(line, "mixed int/float operands; cast explicitly with `as`"),
         }
     }
 
@@ -956,7 +959,11 @@ impl Codegen {
             Err(_) => return Ok(None),
         };
         self.emit(&format!("{mn} {rd}, {rd}, {c}"));
-        Ok(Some(if is_comparison(op) { Type::Int } else { ta.clone() }))
+        Ok(Some(if is_comparison(op) {
+            Type::Int
+        } else {
+            ta.clone()
+        }))
     }
 
     // ----- calls ----------------------------------------------------------
@@ -977,7 +984,11 @@ impl Codegen {
                 if args.len() != sig.params.len() {
                     return cerr(
                         line,
-                        format!("`{n}` takes {} arguments, got {}", sig.params.len(), args.len()),
+                        format!(
+                            "`{n}` takes {} arguments, got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
                     );
                 }
                 if ctx.kind == FnKind::Mttop && sig.kind == FnKind::Cpu {
@@ -991,7 +1002,11 @@ impl Codegen {
                     if !compatible(&sig.params[i], &t) {
                         return cerr(
                             arg.line,
-                            format!("argument {} of `{n}`: expected `{}`, got `{t}`", i + 1, sig.params[i]),
+                            format!(
+                                "argument {} of `{n}`: expected `{}`, got `{t}`",
+                                i + 1,
+                                sig.params[i]
+                            ),
                         );
                     }
                 }
@@ -1065,7 +1080,10 @@ impl Codegen {
             if args.len() == n {
                 Ok(())
             } else {
-                cerr(line, format!("`{name}` takes {n} arguments, got {}", args.len()))
+                cerr(
+                    line,
+                    format!("`{name}` takes {n} arguments, got {}", args.len()),
+                )
             }
         };
         let cpu_only = |ctx: &FnCtx| -> Result<(), CompileError> {
@@ -1084,7 +1102,11 @@ impl Codegen {
                 argc(2)?;
                 self.expr(ctx, &args[0], d)?;
                 self.expr(ctx, &args[1], d + 1)?;
-                let mn = if name == "atomic_add" { "amoadd" } else { "amoswap" };
+                let mn = if name == "atomic_add" {
+                    "amoadd"
+                } else {
+                    "amoswap"
+                };
                 self.emit(&format!("{mn} {rd}, ({rd}), {}", reg(d + 1)?));
                 Ok(Type::Int)
             }
@@ -1103,7 +1125,11 @@ impl Codegen {
             "atomic_inc" | "atomic_dec" => {
                 argc(1)?;
                 self.expr(ctx, &args[0], d)?;
-                let mn = if name == "atomic_inc" { "amoinc" } else { "amodec" };
+                let mn = if name == "atomic_inc" {
+                    "amoinc"
+                } else {
+                    "amodec"
+                };
                 self.emit(&format!("{mn} {rd}, ({rd})"));
                 Ok(Type::Int)
             }
@@ -1257,7 +1283,11 @@ fn collect_addr_taken_stmts(stmts: &[Stmt], out: &mut std::collections::HashSet<
                 collect_addr_taken_expr(target, out);
                 collect_addr_taken_expr(value, out);
             }
-            Stmt::If { cond, then_blk, else_blk } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 collect_addr_taken_expr(cond, out);
                 collect_addr_taken_stmts(then_blk, out);
                 collect_addr_taken_stmts(else_blk, out);

@@ -17,8 +17,8 @@ pub(crate) enum Tok {
     Semi,
     Colon,
     Comma,
-    Arrow,     // ->
-    Assign,    // =
+    Arrow,  // ->
+    Assign, // =
     Plus,
     Minus,
     Star,
@@ -88,12 +88,14 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         i += 1;
                     }
                     let text: String = bytes[start + 2..i].iter().collect();
-                    let v = u64::from_str_radix(&text, 16)
-                        .map_err(|_| CompileError {
-                            line,
-                            message: format!("bad hex literal `0x{text}`"),
-                        })?;
-                    out.push(Token { tok: Tok::Int(v as i64), line });
+                    let v = u64::from_str_radix(&text, 16).map_err(|_| CompileError {
+                        line,
+                        message: format!("bad hex literal `0x{text}`"),
+                    })?;
+                    out.push(Token {
+                        tok: Tok::Int(v as i64),
+                        line,
+                    });
                     continue;
                 }
                 while i < n && bytes[i].is_ascii_digit() {
@@ -119,14 +121,20 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         line,
                         message: format!("bad float literal `{text}`"),
                     })?;
-                    out.push(Token { tok: Tok::Float(v), line });
+                    out.push(Token {
+                        tok: Tok::Float(v),
+                        line,
+                    });
                 } else {
                     let text: String = bytes[start..i].iter().collect();
                     let v: i64 = text.parse().map_err(|_| CompileError {
                         line,
                         message: format!("bad integer literal `{text}`"),
                     })?;
-                    out.push(Token { tok: Tok::Int(v), line });
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        line,
+                    });
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -140,9 +148,7 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 });
             }
             _ => {
-                let two = |a: char, b: char| -> bool {
-                    c == a && i + 1 < n && bytes[i + 1] == b
-                };
+                let two = |a: char, b: char| -> bool { c == a && i + 1 < n && bytes[i + 1] == b };
                 let (tok, len) = if two('-', '>') {
                     (Tok::Arrow, 2)
                 } else if two('&', '&') {
@@ -185,9 +191,7 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         '<' => Tok::Lt,
                         '>' => Tok::Gt,
                         '.' => Tok::Dot,
-                        other => {
-                            return cerr(line, format!("unexpected character `{other}`"))
-                        }
+                        other => return cerr(line, format!("unexpected character `{other}`")),
                     };
                     (t, 1)
                 };
@@ -196,7 +200,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, line });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -228,9 +235,20 @@ mod tests {
         assert_eq!(
             kinds("-> && || == != <= >= << >> < > = !"),
             vec![
-                Tok::Arrow, Tok::AndAnd, Tok::OrOr, Tok::EqEq, Tok::NotEq,
-                Tok::Le, Tok::Ge, Tok::Shl, Tok::Shr, Tok::Lt, Tok::Gt,
-                Tok::Assign, Tok::Not, Tok::Eof
+                Tok::Arrow,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Assign,
+                Tok::Not,
+                Tok::Eof
             ]
         );
     }

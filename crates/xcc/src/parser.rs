@@ -56,7 +56,10 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            cerr(self.line(), format!("expected {what}, found {:?}", self.peek()))
+            cerr(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            )
         }
     }
 
@@ -198,7 +201,12 @@ impl Parser {
             self.expect(&Tok::Assign, "`=`")?;
             let init = self.expr()?;
             self.expect(&Tok::Semi, "`;`")?;
-            return Ok(Stmt::Let { line, name, ty, init });
+            return Ok(Stmt::Let {
+                line,
+                name,
+                ty,
+                init,
+            });
         }
         if self.eat_kw("if") {
             return self.if_stmt();
@@ -235,7 +243,11 @@ impl Parser {
         if self.eat(&Tok::Assign) {
             let value = self.expr()?;
             self.expect(&Tok::Semi, "`;`")?;
-            return Ok(Stmt::Assign { line, target: e, value });
+            return Ok(Stmt::Assign {
+                line,
+                target: e,
+                value,
+            });
         }
         self.expect(&Tok::Semi, "`;`")?;
         Ok(Stmt::ExprStmt(e))
@@ -281,10 +293,7 @@ impl Parser {
             );
         }
         body.push(step);
-        Ok(Stmt::Block(vec![
-            init,
-            Stmt::While { cond, body },
-        ]))
+        Ok(Stmt::Block(vec![init, Stmt::While { cond, body }]))
     }
 
     /// `let x = e` or `lvalue = e` or a bare expression (no semicolon).
@@ -299,12 +308,21 @@ impl Parser {
             };
             self.expect(&Tok::Assign, "`=`")?;
             let init = self.expr()?;
-            return Ok(Stmt::Let { line, name, ty, init });
+            return Ok(Stmt::Let {
+                line,
+                name,
+                ty,
+                init,
+            });
         }
         let e = self.expr()?;
         if self.eat(&Tok::Assign) {
             let value = self.expr()?;
-            return Ok(Stmt::Assign { line, target: e, value });
+            return Ok(Stmt::Assign {
+                line,
+                target: e,
+                value,
+            });
         }
         Ok(Stmt::ExprStmt(e))
     }
@@ -349,7 +367,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.bit_xor()?;
-            e = Expr { line, kind: ExprKind::Bin(BinOp::Or, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(BinOp::Or, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -360,7 +381,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.bit_and()?;
-            e = Expr { line, kind: ExprKind::Bin(BinOp::Xor, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(BinOp::Xor, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -371,7 +395,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.equality()?;
-            e = Expr { line, kind: ExprKind::Bin(BinOp::And, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(BinOp::And, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -387,7 +414,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.relational()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -405,7 +435,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.shift()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -421,7 +454,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.additive()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -437,7 +473,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.multiplicative()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -454,7 +493,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.cast()?;
-            e = Expr { line, kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)) };
+            e = Expr {
+                line,
+                kind: ExprKind::Bin(op, Box::new(e), Box::new(rhs)),
+            };
         }
         Ok(e)
     }
@@ -465,7 +507,10 @@ impl Parser {
             let line = self.line();
             self.bump();
             let ty = self.ty()?;
-            e = Expr { line, kind: ExprKind::Cast(Box::new(e), ty) };
+            e = Expr {
+                line,
+                kind: ExprKind::Cast(Box::new(e), ty),
+            };
         }
         Ok(e)
     }
@@ -474,19 +519,31 @@ impl Parser {
         let line = self.line();
         if self.eat(&Tok::Minus) {
             let e = self.unary()?;
-            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Neg, Box::new(e)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Un(UnOp::Neg, Box::new(e)),
+            });
         }
         if self.eat(&Tok::Not) {
             let e = self.unary()?;
-            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Not, Box::new(e)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Un(UnOp::Not, Box::new(e)),
+            });
         }
         if self.eat(&Tok::Star) {
             let e = self.unary()?;
-            return Ok(Expr { line, kind: ExprKind::Un(UnOp::Deref, Box::new(e)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Un(UnOp::Deref, Box::new(e)),
+            });
         }
         if self.eat(&Tok::Amp) {
             let e = self.unary()?;
-            return Ok(Expr { line, kind: ExprKind::AddrOf(Box::new(e)) });
+            return Ok(Expr {
+                line,
+                kind: ExprKind::AddrOf(Box::new(e)),
+            });
         }
         self.postfix()
     }
@@ -498,10 +555,16 @@ impl Parser {
             if self.eat(&Tok::LBracket) {
                 let idx = self.expr()?;
                 self.expect(&Tok::RBracket, "`]`")?;
-                e = Expr { line, kind: ExprKind::Index(Box::new(e), Box::new(idx)) };
+                e = Expr {
+                    line,
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                };
             } else if self.eat(&Tok::Arrow) {
                 let field = self.ident("field name")?;
-                e = Expr { line, kind: ExprKind::Field(Box::new(e), field) };
+                e = Expr {
+                    line,
+                    kind: ExprKind::Field(Box::new(e), field),
+                };
             } else if self.eat(&Tok::LParen) {
                 let mut args = Vec::new();
                 while !self.eat(&Tok::RParen) {
@@ -510,7 +573,10 @@ impl Parser {
                     }
                     args.push(self.expr()?);
                 }
-                e = Expr { line, kind: ExprKind::Call(Box::new(e), args) };
+                e = Expr {
+                    line,
+                    kind: ExprKind::Call(Box::new(e), args),
+                };
             } else {
                 break;
             }
@@ -521,15 +587,27 @@ impl Parser {
     fn primary(&mut self) -> Result<Expr, CompileError> {
         let line = self.line();
         match self.bump() {
-            Tok::Int(v) => Ok(Expr { line, kind: ExprKind::IntLit(v) }),
-            Tok::Float(v) => Ok(Expr { line, kind: ExprKind::FloatLit(v) }),
+            Tok::Int(v) => Ok(Expr {
+                line,
+                kind: ExprKind::IntLit(v),
+            }),
+            Tok::Float(v) => Ok(Expr {
+                line,
+                kind: ExprKind::FloatLit(v),
+            }),
             Tok::Ident(s) if s == "sizeof" => {
                 self.expect(&Tok::LParen, "`(`")?;
                 let ty = self.ty()?;
                 self.expect(&Tok::RParen, "`)`")?;
-                Ok(Expr { line, kind: ExprKind::SizeOf(ty) })
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::SizeOf(ty),
+                })
             }
-            Tok::Ident(s) => Ok(Expr { line, kind: ExprKind::Name(s) }),
+            Tok::Ident(s) => Ok(Expr {
+                line,
+                kind: ExprKind::Name(s),
+            }),
             Tok::LParen => {
                 let e = self.expr()?;
                 self.expect(&Tok::RParen, "`)`")?;
@@ -543,9 +621,9 @@ impl Parser {
 fn contains_continue(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match s {
         Stmt::Continue { .. } => true,
-        Stmt::If { then_blk, else_blk, .. } => {
-            contains_continue(then_blk) || contains_continue(else_blk)
-        }
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => contains_continue(then_blk) || contains_continue(else_blk),
         Stmt::Block(b) => contains_continue(b),
         // `continue` inside a nested loop binds to that loop: fine.
         _ => false,
@@ -586,7 +664,9 @@ mod tests {
     fn precedence() {
         let items = parse_ok("fn f() { let x = 1 + 2 * 3 < 4 && 5 == 6; }");
         let Item::Fn(f) = &items[0] else { panic!() };
-        let Stmt::Let { init, .. } = &f.body[0] else { panic!() };
+        let Stmt::Let { init, .. } = &f.body[0] else {
+            panic!()
+        };
         // Top node must be LogicalAnd.
         match &init.kind {
             ExprKind::Bin(BinOp::LogicalAnd, l, _) => match &l.kind {
@@ -604,7 +684,8 @@ mod tests {
 
     #[test]
     fn postfix_chains() {
-        let items = parse_ok("fn f(a: P*) { a->next[3]->val = 7; } struct P { next: P*; val: int; }");
+        let items =
+            parse_ok("fn f(a: P*) { a->next[3]->val = 7; } struct P { next: P*; val: int; }");
         let Item::Fn(f) = &items[0] else { panic!() };
         assert!(matches!(&f.body[0], Stmt::Assign { .. }));
     }
@@ -644,9 +725,13 @@ mod tests {
     fn bitand_vs_logical_and_disambiguation() {
         let items = parse_ok("fn f(a: int, b: int) { let x = a & b; let y = a && b; }");
         let Item::Fn(f) = &items[0] else { panic!() };
-        let Stmt::Let { init, .. } = &f.body[0] else { panic!() };
+        let Stmt::Let { init, .. } = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(init.kind, ExprKind::Bin(BinOp::And, _, _)));
-        let Stmt::Let { init, .. } = &f.body[1] else { panic!() };
+        let Stmt::Let { init, .. } = &f.body[1] else {
+            panic!()
+        };
         assert!(matches!(init.kind, ExprKind::Bin(BinOp::LogicalAnd, _, _)));
     }
 

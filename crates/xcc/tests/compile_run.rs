@@ -27,14 +27,26 @@ fn arithmetic_and_precedence() {
     assert_eq!(ret("_CPU_ fn main() -> int { return -5 + 2; }"), -3);
     assert_eq!(ret("_CPU_ fn main() -> int { return 1 << 10; }"), 1024);
     assert_eq!(ret("_CPU_ fn main() -> int { return 0xFF >> 4; }"), 15);
-    assert_eq!(ret("_CPU_ fn main() -> int { return (6 & 3) | (8 ^ 12); }"), 6);
+    assert_eq!(
+        ret("_CPU_ fn main() -> int { return (6 & 3) | (8 ^ 12); }"),
+        6
+    );
 }
 
 #[test]
 fn comparisons_and_logical() {
-    assert_eq!(ret("_CPU_ fn main() -> int { return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5); }"), 3);
-    assert_eq!(ret("_CPU_ fn main() -> int { return (1 == 1) + (1 != 1); }"), 1);
-    assert_eq!(ret("_CPU_ fn main() -> int { return (1 && 0) + (1 || 0) + !0; }"), 2);
+    assert_eq!(
+        ret("_CPU_ fn main() -> int { return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5); }"),
+        3
+    );
+    assert_eq!(
+        ret("_CPU_ fn main() -> int { return (1 == 1) + (1 != 1); }"),
+        1
+    );
+    assert_eq!(
+        ret("_CPU_ fn main() -> int { return (1 && 0) + (1 || 0) + !0; }"),
+        2
+    );
     // Short-circuit: the divide-by... deref of null must not run.
     assert_eq!(
         ret("_CPU_ fn main() -> int { let p: int* = 0 as int*; if (0 && *p) { return 1; } return 2; }"),
@@ -83,8 +95,10 @@ fn while_for_break_continue() {
 #[test]
 fn functions_args_recursion() {
     assert_eq!(
-        ret("fn add3(a: int, b: int, c: int) -> int { return a + b + c; }
-             _CPU_ fn main() -> int { return add3(1, 2, 3) + add3(4, 5, 6); }"),
+        ret(
+            "fn add3(a: int, b: int, c: int) -> int { return a + b + c; }
+             _CPU_ fn main() -> int { return add3(1, 2, 3) + add3(4, 5, 6); }"
+        ),
         21
     );
     assert_eq!(
@@ -206,12 +220,10 @@ fn floats_and_casts() {
             }"),
         6
     );
-    let (r, _, _) = run(
-        "_CPU_ fn main() -> float {
+    let (r, _, _) = run("_CPU_ fn main() -> float {
             let n = 2;
             return sqrt((n as float) * 8.0);    // sqrt(16) = 4
-        }",
-    );
+        }");
     assert_eq!(f64::from_bits(r), 4.0);
     assert_eq!(
         ret("_CPU_ fn main() -> int {
@@ -220,7 +232,8 @@ fn floats_and_casts() {
             }"),
         1
     );
-    let (r, _, _) = run("_CPU_ fn main() -> float { return fminf(3.0, fmaxf(1.0, 2.0)) + fabsf(-1.0); }");
+    let (r, _, _) =
+        run("_CPU_ fn main() -> float { return fminf(3.0, fmaxf(1.0, 2.0)) + fabsf(-1.0); }");
     assert_eq!(f64::from_bits(r), 3.0);
 }
 
@@ -265,8 +278,7 @@ fn function_pointers() {
 
 #[test]
 fn print_and_launch() {
-    let (_, mem, printed) = run(
-        "struct Args { out: int*; }
+    let (_, mem, printed) = run("struct Args { out: int*; }
          _MTTOP_ fn kernel(tid: int, args: Args*) {
              args->out[tid] = tid * tid;
          }
@@ -278,8 +290,7 @@ fn print_and_launch() {
              mifd_launch(d as int);
              print_int(a->out[5]);
              return a->out[7];
-         }",
-    );
+         }");
     assert_eq!(printed, vec!["25"]);
     // Return value is in r1; also spot-check memory through printed value.
     let _ = mem;
@@ -310,8 +321,14 @@ fn type_errors() {
         ("_CPU_ fn main() { break; }", "outside a loop"),
         ("_CPU_ fn main() { let y = nope; }", "unknown name"),
         ("_CPU_ fn main() { undefined_fn(); }", "unknown name"),
-        ("struct S { a: int; } _CPU_ fn main() { let s: S* = 0 as S*; let v = s->b; }", "no field"),
-        ("_CPU_ fn main(a: int, b: int, c: int, d: int, e: int, f: int, g: int) { }", "at most 6"),
+        (
+            "struct S { a: int; } _CPU_ fn main() { let s: S* = 0 as S*; let v = s->b; }",
+            "no field",
+        ),
+        (
+            "_CPU_ fn main(a: int, b: int, c: int, d: int, e: int, f: int, g: int) { }",
+            "at most 6",
+        ),
     ];
     for (src, needle) in cases {
         let e = ccsvm_xcc::compile_to_program(src).unwrap_err();
@@ -335,8 +352,7 @@ fn sizeof_struct() {
 #[test]
 fn matmul_reference_small() {
     // 4x4 integer matmul compiled and run functionally.
-    let (r, _, _) = run(
-        "const N = 4;
+    let (r, _, _) = run("const N = 4;
          _CPU_ fn main() -> int {
              let a: int* = malloc(N * N * 8);
              let b: int* = malloc(N * N * 8);
@@ -359,8 +375,7 @@ fn matmul_reference_small() {
              let total = 0;
              for (let i = 0; i < N * N; i = i + 1) { total = total + c[i]; }
              return total;
-         }",
-    );
+         }");
     // Rust reference.
     let n = 4i64;
     let mut total = 0;

@@ -21,10 +21,22 @@ struct GenExpr {
 
 fn leaf(a: i64, b: i64, c: i64) -> impl Strategy<Value = GenExpr> {
     prop_oneof![
-        (-100i64..100).prop_map(|v| GenExpr { src: format!("{v}"), eval: v }),
-        Just(GenExpr { src: "a".into(), eval: a }),
-        Just(GenExpr { src: "b".into(), eval: b }),
-        Just(GenExpr { src: "c".into(), eval: c }),
+        (-100i64..100).prop_map(|v| GenExpr {
+            src: format!("{v}"),
+            eval: v
+        }),
+        Just(GenExpr {
+            src: "a".into(),
+            eval: a
+        }),
+        Just(GenExpr {
+            src: "b".into(),
+            eval: b
+        }),
+        Just(GenExpr {
+            src: "c".into(),
+            eval: c
+        }),
     ]
 }
 
@@ -37,11 +49,19 @@ fn expr(a: i64, b: i64, c: i64) -> impl Strategy<Value = GenExpr> {
                 2 => ("*", l.eval.wrapping_mul(r.eval)),
                 3 => (
                     "/",
-                    if r.eval == 0 { 0 } else { l.eval.wrapping_div(r.eval) },
+                    if r.eval == 0 {
+                        0
+                    } else {
+                        l.eval.wrapping_div(r.eval)
+                    },
                 ),
                 4 => (
                     "%",
-                    if r.eval == 0 { l.eval } else { l.eval.wrapping_rem(r.eval) },
+                    if r.eval == 0 {
+                        l.eval
+                    } else {
+                        l.eval.wrapping_rem(r.eval)
+                    },
                 ),
                 5 => ("&", l.eval & r.eval),
                 6 => ("|", l.eval | r.eval),
@@ -60,8 +80,8 @@ fn expr(a: i64, b: i64, c: i64) -> impl Strategy<Value = GenExpr> {
 }
 
 fn run_main(src: &str) -> i64 {
-    let p = ccsvm_xcc::compile_to_program(src)
-        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let p =
+        ccsvm_xcc::compile_to_program(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
     let mut mem = FlatMem::new();
     let mut os = FuncOs::new();
     let mut t = Interp::new(p.entry("__start"), 0);

@@ -11,7 +11,12 @@ use ccsvm::{Machine, SystemConfig};
 use ccsvm_workloads::barnes_hut::{oracle_checksum, xthreads_source, BhParams};
 
 fn main() {
-    let params = BhParams { bodies: 256, steps: 2, max_threads: 1280, seed: 2024 };
+    let params = BhParams {
+        bodies: 256,
+        steps: 2,
+        max_threads: 1280,
+        seed: 2024,
+    };
     println!(
         "Barnes-Hut: {} bodies, {} timesteps, θ = 0.5, on the Table 2 chip",
         params.bodies, params.steps
@@ -23,7 +28,10 @@ fn main() {
 
     let oracle = oracle_checksum(&params);
     println!("Runtime:            {}", report.time);
-    println!("Position checksum:  {} (oracle {})", report.exit_code, oracle);
+    println!(
+        "Position checksum:  {} (oracle {})",
+        report.exit_code, oracle
+    );
     println!(
         "MTTOP page faults forwarded through the MIFD: {}",
         report.stats.get("mifd.faults_forwarded")
@@ -32,6 +40,9 @@ fn main() {
         "Launches (one per timestep's force phase): {}",
         report.stats.get("mifd.launches")
     );
-    assert_eq!(report.exit_code, oracle, "timing machine matches the functional oracle");
+    assert_eq!(
+        report.exit_code, oracle,
+        "timing machine matches the functional oracle"
+    );
     println!("ok: pointer-chasing recursion ran on MTTOP cores over a CPU-built tree");
 }

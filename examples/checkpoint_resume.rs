@@ -45,7 +45,10 @@ fn main() {
 
     // The uninterrupted reference run.
     let reference = Machine::new(cfg.clone(), build()).run();
-    println!("reference run: exit {} at {}", reference.exit_code, reference.time);
+    println!(
+        "reference run: exit {} at {}",
+        reference.exit_code, reference.time
+    );
 
     // Run a second machine to the middle of that, then checkpoint. A paused
     // machine sits between two dispatched events — mid-offload here, with
@@ -67,7 +70,10 @@ fn main() {
     // recovery) and finish the run.
     let mut restored = Machine::restore(cfg.clone(), build(), &path).expect("restore snapshot");
     let resumed = restored.run();
-    println!("resumed run:   exit {} at {}", resumed.exit_code, resumed.time);
+    println!(
+        "resumed run:   exit {} at {}",
+        resumed.exit_code, resumed.time
+    );
     assert_eq!(resumed, reference, "resumed report is bit-identical");
 
     // A snapshot never restores into the wrong machine: mismatched

@@ -71,7 +71,10 @@ fn main() {
     println!("Nodes allocated by MTTOP threads: {}", report.printed[0]);
     println!("Checksum walked by the CPU:       {}", report.printed[1]);
     println!("Expected:                         {expect}");
-    println!("Runtime: {}   (mttop_malloc requests proxied through a CPU server)", report.time);
+    println!(
+        "Runtime: {}   (mttop_malloc requests proxied through a CPU server)",
+        report.time
+    );
     assert_eq!(report.exit_code, expect);
     assert_eq!(report.printed[0], "320");
     println!("ok: 320 heap nodes allocated from MTTOP threads and traversed by the CPU");

@@ -67,8 +67,12 @@ fn write_through_ablation_config_is_correct_but_heavier() {
     cfg.l1_write_policy = WritePolicy::WriteThrough;
     let wt = run(cfg, src);
     assert_eq!(wb.exit_code, wt.exit_code, "policy must not change results");
-    let wb_writebacks: f64 = (0..4).map(|i| wb.stats.get(&format!("mem.l1.{i}.writebacks"))).sum();
-    let wt_writebacks: f64 = (0..4).map(|i| wt.stats.get(&format!("mem.l1.{i}.writebacks"))).sum();
+    let wb_writebacks: f64 = (0..4)
+        .map(|i| wb.stats.get(&format!("mem.l1.{i}.writebacks")))
+        .sum();
+    let wt_writebacks: f64 = (0..4)
+        .map(|i| wt.stats.get(&format!("mem.l1.{i}.writebacks")))
+        .sum();
     assert!(
         wt_writebacks > wb_writebacks,
         "write-through pushes a data message per store (paper 6.1): {wt_writebacks} vs {wb_writebacks}"

@@ -31,7 +31,7 @@
 
 use std::time::Instant;
 
-use ccsvm::{HostPhases, Machine, Outcome, SystemConfig};
+use ccsvm::{HostPhases, Machine, Outcome, SbStats, SystemConfig};
 use ccsvm_bench::{exit_with, sweep, BenchError};
 use ccsvm_workloads as wl;
 
@@ -106,11 +106,15 @@ struct Measure {
     host_ms: f64,
     sim_ms: f64,
     phases: HostPhases,
+    /// Superblock-cache counters from the profiled run (host telemetry;
+    /// identical work across the timed runs).
+    sb: SbStats,
 }
 
 fn run_point(
     p: &Point,
     sim_threads: usize,
+    sb_cache: bool,
     checkpoint_at: Option<ccsvm::Time>,
     restore_from: Option<&std::path::Path>,
 ) -> Result<Measure, BenchError> {
@@ -120,6 +124,7 @@ fn run_point(
         cfg.max_sim_time = ccsvm::Time::from_ms(60_000);
         cfg.sim_threads = sim_threads;
         cfg.host_profile = host_profile;
+        cfg.sb_cache = sb_cache;
         cfg
     };
     // `--restore-from`: warm-start the timed runs from this point's image
@@ -151,6 +156,7 @@ fn run_point(
             host_ms,
             sim_ms: r.time.as_ms(),
             phases: HostPhases::default(),
+            sb: SbStats::default(),
         };
         best = Some(match best {
             Some(b) if b.host_ms <= candidate.host_ms => b,
@@ -170,6 +176,7 @@ fn run_point(
         )));
     }
     best.phases = m.host_phases();
+    best.sb = m.sb_stats();
     // `--checkpoint-at`: one extra untimed run pauses at the requested cycle
     // and writes this point's image, so the timed numbers above are never
     // perturbed by serialization or disk writes.
@@ -260,7 +267,8 @@ fn usage_exit(error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
         "usage: perf [--quick] [--threads N] [--sim-threads N] [--out PATH] [--write-baseline]\n\
-         \x20            [--checkpoint-at NS] [--restore-from DIR]\n\
+         \x20            [--checkpoint-at NS] [--restore-from DIR] [--no-sb-cache]\n\
+         \x20            [--gate-drop PCT]\n\
          \n\
          \x20 --quick           smaller matrix for CI smoke runs\n\
          \x20 --threads N       run matrix points on N worker threads (default 1;\n\
@@ -278,7 +286,13 @@ fn usage_exit(error: &str) -> ! {
          \x20 --restore-from DIR  warm-start each point's timed runs from\n\
          \x20                   DIR/perf-<name>.ccsnap when present; warm captures\n\
          \x20                   measure restore + the resumed tail and are not\n\
-         \x20                   comparable to cold ones"
+         \x20                   comparable to cold ones\n\
+         \x20 --no-sb-cache     disable the decoded-superblock cache (host-perf\n\
+         \x20                   ablation; simulated results are bit-identical)\n\
+         \x20 --gate-drop PCT   CI regression gate: exit nonzero when\n\
+         \x20                   events_per_sec_total drops more than PCT% below\n\
+         \x20                   the committed mode-keyed baseline (errors if no\n\
+         \x20                   baseline file exists)"
     );
     std::process::exit(2);
 }
@@ -304,10 +318,17 @@ fn run() -> Result<(), BenchError> {
     let mut write_baseline = false;
     let mut checkpoint_at = None;
     let mut restore_from: Option<std::path::PathBuf> = None;
+    let mut sb_cache = true;
+    let mut gate_drop: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--no-sb-cache" => sb_cache = false,
+            "--gate-drop" => match args.next().and_then(|v| v.trim().parse::<f64>().ok()) {
+                Some(pct) if (0.0..100.0).contains(&pct) => gate_drop = Some(pct),
+                _ => usage_exit("--gate-drop needs a percentage in [0, 100)"),
+            },
             "--threads" => match args.next().and_then(|v| v.trim().parse::<usize>().ok()) {
                 Some(n) if n > 0 => threads = n,
                 _ => usage_exit("--threads needs a positive integer"),
@@ -350,10 +371,14 @@ fn run() -> Result<(), BenchError> {
         "sim ns/host ms",
         "core/uncore/merge ms"
     );
+    if !sb_cache {
+        println!("(superblock cache DISABLED: --no-sb-cache ablation)");
+    }
     let results = sweep(points.len(), threads, |i| {
         run_point(
             &points[i],
             sim_threads,
+            sb_cache,
             checkpoint_at,
             restore_from.as_deref(),
         )
@@ -368,7 +393,8 @@ fn run() -> Result<(), BenchError> {
         let sim_ns_per_host_ms = m.sim_ms * 1e6 / m.host_ms;
         let ph = &m.phases;
         println!(
-            "{:<18} | {:>12} | {:>9.2} | {:>9.4} | {:>12.0} | {:>14.1} | {:>6.1}/{:>6.1}/{:>6.1}",
+            "{:<18} | {:>12} | {:>9.2} | {:>9.4} | {:>12.0} | {:>14.1} | {:>6.1}/{:>6.1}/{:>6.1} \
+             | sb {}h/{}m/{}e len {:.1}",
             m.name,
             m.events,
             m.host_ms,
@@ -377,7 +403,11 @@ fn run() -> Result<(), BenchError> {
             sim_ns_per_host_ms,
             ph.core_exec_ms,
             ph.uncore_ms,
-            ph.merge_ms
+            ph.merge_ms,
+            m.sb.hits,
+            m.sb.misses,
+            m.sb.evictions,
+            m.sb.mean_decoded_len(),
         );
         events_total += m.events;
         host_ms_total += m.host_ms;
@@ -385,8 +415,10 @@ fn run() -> Result<(), BenchError> {
             "    {{\"name\": \"{}\", \"events\": {}, \"host_ms\": {:.3}, \"sim_ms\": {:.6}, \
              \"events_per_sec\": {:.0}, \"sim_ns_per_host_ms\": {:.1}, \
              \"phases\": {{\"core_exec_ms\": {:.3}, \"uncore_ms\": {:.3}, \
-             \"merge_ms\": {:.3}, \"other_ms\": {:.3}, \"zones\": {}, \
-             \"zone_batches\": {}}}}},\n",
+             \"merge_ms\": {:.3}, \"other_ms\": {:.3}, \"decode_ms\": {:.3}, \"zones\": {}, \
+             \"zone_batches\": {}}}, \
+             \"sb\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"mean_decoded_len\": {:.2}}}}},\n",
             m.name,
             m.events,
             m.host_ms,
@@ -397,8 +429,13 @@ fn run() -> Result<(), BenchError> {
             ph.uncore_ms,
             ph.merge_ms,
             ph.other_ms,
+            ph.decode_ms,
             ph.zones,
-            ph.zone_batches
+            ph.zone_batches,
+            m.sb.hits,
+            m.sb.misses,
+            m.sb.evictions,
+            m.sb.mean_decoded_len(),
         ));
     }
     let rows = rows.trim_end_matches(",\n").to_string();
@@ -426,8 +463,9 @@ fn run() -> Result<(), BenchError> {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"ccsvm-hotpath-perf-v3\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"ccsvm-hotpath-perf-v4\",\n  \"mode\": \"{mode}\",\n  \
          \"threads\": {threads},\n  \"sim_threads\": {sim_threads},\n  \
+         \"sb_cache\": {sb_cache},\n  \
          \"workloads\": [\n{rows}\n  ],\n  \
          \"events_total\": {events_total},\n  \"host_ms_total\": {host_ms_total:.3},\n  \
          \"events_per_sec_total\": {eps_total:.0},\n  \
@@ -442,6 +480,25 @@ fn run() -> Result<(), BenchError> {
     if write_baseline {
         ccsvm_bench::write_results_atomic(&baseline_file, &json)?;
         println!("wrote {baseline_file}");
+    }
+    // `--gate-drop`: the CI regression gate. Runs against the *committed*
+    // mode-keyed baseline so a hot-path regression fails the build instead
+    // of silently shipping.
+    if let Some(pct) = gate_drop {
+        let Some(b) = baseline.filter(|b| *b > 0.0) else {
+            return Err(BenchError::Run(format!(
+                "--gate-drop: no baseline at {baseline_file}; run with --write-baseline \
+                 on a known-good build and commit it"
+            )));
+        };
+        let floor = b * (1.0 - pct / 100.0);
+        if eps_total < floor {
+            return Err(BenchError::Run(format!(
+                "perf regression gate: {eps_total:.0} events/s is more than {pct}% below \
+                 the baseline {b:.0} (floor {floor:.0})"
+            )));
+        }
+        println!("gate: {eps_total:.0} events/s >= floor {floor:.0} ({pct}% below {b:.0}) — ok");
     }
     Ok(())
 }

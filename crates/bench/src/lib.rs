@@ -210,6 +210,10 @@ pub struct Opts {
     /// Results-file override (`--out FILE`); binaries with a default results
     /// path still write it when this is unset.
     pub out: Option<PathBuf>,
+    /// Decoded-superblock cache ablation (`--no-sb-cache` clears it). Pure
+    /// host-perf knob: simulated tables are bit-identical either way
+    /// (DESIGN §11).
+    pub sb_cache: bool,
 }
 
 /// Prints the shared usage message and exits with status 2 (CLI misuse).
@@ -233,7 +237,10 @@ fn usage_exit(binary: &str, error: &str) -> ! {
          \x20                   runs are bit-identical, only wall-time drops\n\
          \x20 --out FILE        also write the table to FILE (atomic\n\
          \x20                   temp-file + rename; overrides the binary's\n\
-         \x20                   default results path)"
+         \x20                   default results path)\n\
+         \x20 --no-sb-cache     disable the decoded-superblock cache on CCSVM\n\
+         \x20                   cores (host-perf ablation; simulated tables\n\
+         \x20                   are bit-identical either way)"
     );
     std::process::exit(2);
 }
@@ -257,10 +264,12 @@ impl Opts {
         let mut checkpoint_at = None;
         let mut restore_from = None;
         let mut out = None;
+        let mut sb_cache = true;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => quick = true,
+                "--no-sb-cache" => sb_cache = false,
                 "--sizes" => {
                     let Some(list) = args.next() else {
                         usage_exit(&binary, "--sizes needs a value");
@@ -339,6 +348,7 @@ impl Opts {
             checkpoint_at,
             restore_from,
             out,
+            sb_cache,
         }
     }
 
@@ -436,10 +446,12 @@ pub fn region_numbers(r: &RunReport) -> (Time, u64, u64) {
 /// restoring replays it bit-for-bit), so tables never change — only
 /// wall-time does.
 pub fn run_ccsvm_point(src: &str, opts: &Opts, label: &str) -> (Time, u64, u64) {
+    let mut cfg = bench_cfg(opts.sim_threads);
+    cfg.sb_cache = opts.sb_cache;
     if let Some(dir) = &opts.restore_from {
         let path = dir.join(format!("{label}.ccsnap"));
         if path.exists() {
-            match Machine::restore(bench_cfg(opts.sim_threads), wl::build(src), &path) {
+            match Machine::restore(cfg.clone(), wl::build(src), &path) {
                 Ok(mut m) => return region_numbers(&run_to_exit(&mut m, label)),
                 Err(e) => eprintln!(
                     "warning: {}: {e}; cold-booting `{label}` instead",
@@ -448,7 +460,7 @@ pub fn run_ccsvm_point(src: &str, opts: &Opts, label: &str) -> (Time, u64, u64) 
             }
         }
     }
-    let mut m = bench_machine(src, opts.sim_threads);
+    let mut m = Machine::new(cfg, wl::build(src));
     let report = match opts.checkpoint_at {
         Some(at) => match m.run_until(at) {
             // The point finished before the checkpoint cycle: nothing to save.

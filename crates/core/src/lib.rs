@@ -60,3 +60,6 @@ pub use ccsvm_engine::{EvRecord, InvariantId, Mutation, MutationKind, SanitizerC
 // Snapshot error type and schema version, re-exported so harnesses can
 // handle checkpoint/restore failures without depending on the snap crate.
 pub use ccsvm_snap::{SnapError, SCHEMA_VERSION as SNAP_SCHEMA_VERSION};
+// Decoded-superblock cache counters (DESIGN §11), re-exported so perf
+// harnesses can report [`Machine::sb_stats`] without an isa dependency.
+pub use ccsvm_isa::SbStats;

@@ -61,6 +61,12 @@ pub struct HostPhases {
     pub merge_ms: f64,
     /// Everything else (OS services, MIFD, shootdowns, watchdog).
     pub other_ms: f64,
+    /// Host time spent decoding superblocks (DESIGN §11). Decoding happens
+    /// inline during core batch execution, so this is a *subset* of
+    /// `core_exec_ms`, not an additional phase. Unlike the other fields it
+    /// is counted unconditionally (no `host_profile` gate — the cache keeps
+    /// its own counters).
+    pub decode_ms: f64,
     /// Fork-join zones executed (multi-batch same-timestamp groups).
     pub zones: u64,
     /// Core batches executed inside those zones.
@@ -498,13 +504,19 @@ impl Machine {
                 c.install_tlb_faults(cfg.fault.tlb, plan.stream(FaultDomain::Tlb(i as u32)));
             }
         }
-        let mttops: Vec<MttopCore> = (0..cfg.n_mttops)
+        let mut mttops: Vec<MttopCore> = (0..cfg.n_mttops)
             .map(|i| {
                 let mut mc = cfg.mttop;
                 mc.ctx_base = (cfg.n_cpus + i * mc.warps * mc.lanes) as u64;
                 MttopCore::new(PortId(cfg.n_cpus + i), mc, prefix(KIND_MTTOP, i))
             })
             .collect();
+        for c in &mut cpus {
+            c.set_sb_cache(cfg.sb_cache);
+        }
+        for m in &mut mttops {
+            m.set_sb_cache(cfg.sb_cache);
+        }
 
         let os = OsLite::new(cfg.phys_pool.0, cfg.phys_pool.1);
         let heap = GuestHeap::new(
@@ -572,6 +584,7 @@ impl Machine {
             uncore_ms: ms(self.prof_phase[PH_UNCORE]),
             merge_ms: ms(self.prof_phase[PH_MERGE]),
             other_ms: ms(self.prof_phase[PH_OTHER]),
+            decode_ms: self.sb_stats().decode_ns as f64 / 1e6,
             zones: self.zones,
             zone_batches: self.zone_batches,
         }
@@ -580,6 +593,21 @@ impl Machine {
     /// The configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Aggregated decoded-superblock cache counters over every CPU and MTTOP
+    /// core (DESIGN §11). Host-side telemetry only — never part of
+    /// [`ccsvm_engine::Stats`] or the `RunReport`, so enabling/disabling the
+    /// cache cannot perturb simulated results.
+    pub fn sb_stats(&self) -> ccsvm_isa::SbStats {
+        let mut total = ccsvm_isa::SbStats::default();
+        for c in &self.cpus {
+            total.merge(&c.sb_stats());
+        }
+        for m in &self.mttops {
+            total.merge(&m.sb_stats());
+        }
+        total
     }
 
     /// Current simulated time (the timestamp of the last dispatched event).
@@ -1972,6 +2000,10 @@ pub fn config_hash(cfg: &SystemConfig) -> u64 {
     // changes simulated behavior.
     c.sanitizer.enabled = false;
     c.sanitizer.ring_capacity = 0;
+    // The decoded-superblock cache is a pure host-perf knob (bit-identical
+    // on/off, DESIGN §11): a cache-off checkpoint restores into a cache-on
+    // run and vice versa.
+    c.sb_cache = true;
     ccsvm_snap::fnv1a(format!("{c:?}").as_bytes())
 }
 
@@ -2661,6 +2693,7 @@ mod tests {
         let mut threads = base.clone();
         threads.sim_threads = 8;
         threads.host_profile = true;
+        threads.sb_cache = false;
         assert_eq!(config_hash(&base), config_hash(&threads));
 
         let mut other = base.clone();

@@ -1,0 +1,200 @@
+//! Differential suite for the decoded-superblock cache (DESIGN §11): the
+//! cache is host-side memoization only, so every observable of a run —
+//! outcome, exit code, stats, simulated timings, printed output, event
+//! count, even the snapshot image bytes — must be bit-identical with the
+//! cache enabled and disabled, at every `sim_threads` value, fault-free and
+//! under an active fault plan, and across checkpoint/restore in either
+//! direction (checkpoint with the cache on, restore with it off, and vice
+//! versa — images are portable across the host knob).
+
+use ccsvm::{Machine, Outcome, RunReport, SystemConfig, Time};
+use ccsvm_isa::Program;
+
+fn compile(src: &str) -> Program {
+    ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"))
+}
+
+/// The CPU+MTTOP workload shape the fault and snapshot suites use: real
+/// NoC/L2/DRAM traffic, MTTOP offload, and straight-line ALU bodies long
+/// enough for the decoder to form multi-op superblocks.
+fn vecadd_src(n: u64) -> String {
+    format!(
+        "struct Args {{ v1: int*; v2: int*; sum: int*; done: int*; }}
+         _MTTOP_ fn add(tid: int, a: Args*) {{
+             a->sum[tid] = a->v1[tid] * 5 + a->v2[tid] * 3 + tid;
+             xt_msignal(a->done, tid);
+         }}
+         _CPU_ fn main() -> int {{
+             let n = {n};
+             let a: Args* = malloc(sizeof(Args));
+             a->v1 = malloc(n * 8);
+             a->v2 = malloc(n * 8);
+             a->sum = malloc(n * 8);
+             a->done = malloc(n * 8);
+             for (let i = 0; i < n; i = i + 1) {{
+                 a->v1[i] = i * 3;
+                 a->v2[i] = i + 7;
+                 a->done[i] = 0;
+             }}
+             let err = xt_create_mthread(add, a as int, 0, n - 1);
+             if (err != 0) {{ return -1; }}
+             xt_wait(a->done, 0, n - 1);
+             let total = 0;
+             for (let i = 0; i < n; i = i + 1) {{ total = total + a->sum[i]; }}
+             return total;
+         }}"
+    )
+}
+
+/// The fault matrix of `faults.rs`: NoC drops + correctable DRAM ECC flips +
+/// transient TLB-walk failures, seeded.
+fn faulty_cfg(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.seed = seed;
+    cfg.fault.noc.drop_rate = 0.02;
+    cfg.fault.dram.single_bit_rate = 0.2;
+    cfg.fault.tlb.transient_rate = 0.02;
+    cfg
+}
+
+fn run_with(mut cfg: SystemConfig, src: &str, sb_cache: bool, sim_threads: usize) -> RunReport {
+    cfg.sb_cache = sb_cache;
+    cfg.sim_threads = sim_threads;
+    Machine::new(cfg, compile(src)).run()
+}
+
+/// Runs `src` with the cache on and off at `sim_threads ∈ {1, 2, 4}`,
+/// asserting every report equals the serial cache-off reference, and returns
+/// that reference.
+fn differential(cfg: &SystemConfig, src: &str, label: &str) -> RunReport {
+    let reference = run_with(cfg.clone(), src, false, 1);
+    for sim_threads in [1, 2, 4] {
+        for sb_cache in [false, true] {
+            let r = run_with(cfg.clone(), src, sb_cache, sim_threads);
+            assert_eq!(
+                reference, r,
+                "{label}: sb_cache={sb_cache} sim_threads={sim_threads} diverged \
+                 from the serial cache-off reference"
+            );
+        }
+    }
+    reference
+}
+
+#[test]
+fn cache_toggle_is_invisible_across_sim_threads() {
+    let r = differential(&SystemConfig::tiny(), &vecadd_src(64), "vecadd_n64");
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.exit_code, (0..64).map(|i| i * 3 * 5 + (i + 7) * 3 + i).sum::<u64>());
+}
+
+#[test]
+fn cache_toggle_is_invisible_on_paper_default_machine() {
+    // Full-size machine (10 MTTOP cores): the configuration where warps run
+    // lockstep and the batched-sprint fast path actually fires.
+    let src = ccsvm_workloads::matmul::xthreads_source(
+        &ccsvm_workloads::matmul::MatmulParams::new(16, 42),
+    );
+    let r = differential(&SystemConfig::paper_default(), &src, "matmul_n16");
+    assert_eq!(r.outcome, Outcome::Completed);
+}
+
+#[test]
+fn cache_toggle_is_invisible_under_fault_plan() {
+    for seed in [3, 7] {
+        let r = differential(&faulty_cfg(seed), &vecadd_src(32), &format!("faulty seed {seed}"));
+        assert_eq!(r.outcome, Outcome::Completed, "seed {seed}");
+        assert!(
+            r.stats.get("noc.retransmissions") > 0.0,
+            "seed {seed}: NoC faults must actually fire in the compared runs"
+        );
+    }
+}
+
+#[test]
+fn cache_actually_hits_in_the_compared_runs() {
+    // Guard against the differential being vacuous: the cache-on run must
+    // decode superblocks and then serve issues from them.
+    let mut cfg = SystemConfig::tiny();
+    cfg.sb_cache = true;
+    let mut m = Machine::new(cfg, compile(&vecadd_src(64)));
+    let r = m.run();
+    assert_eq!(r.outcome, Outcome::Completed);
+    let sb = m.sb_stats();
+    assert!(sb.hits > 0, "no superblock hits — the fast path never engaged");
+    assert!(sb.decoded_ops > 0, "nothing was decoded into superblocks");
+
+    // And the ablated run must report an idle cache.
+    let mut cfg = SystemConfig::tiny();
+    cfg.sb_cache = false;
+    let mut m = Machine::new(cfg, compile(&vecadd_src(64)));
+    m.run();
+    assert_eq!(m.sb_stats().hits, 0, "--no-sb-cache still served hits");
+}
+
+/// Pause a fresh machine (cache set per `checkpoint_on`) at simulated time
+/// `at`, then restore the image into a machine with the opposite setting and
+/// finish the run.
+fn checkpoint_cross_restore(
+    cfg: &SystemConfig,
+    src: &str,
+    at: Time,
+    checkpoint_on: bool,
+) -> RunReport {
+    let mut ccfg = cfg.clone();
+    ccfg.sb_cache = checkpoint_on;
+    let mut m = Machine::new(ccfg, compile(src));
+    assert!(
+        m.run_until(at).is_none(),
+        "run finished before the checkpoint cycle {at} — pick an earlier one"
+    );
+    let bytes = m.checkpoint_bytes();
+    let mut rcfg = cfg.clone();
+    rcfg.sb_cache = !checkpoint_on;
+    let mut restored =
+        Machine::restore_bytes(rcfg, compile(src), &bytes).expect("restore must succeed");
+    restored.run()
+}
+
+#[test]
+fn checkpoint_restore_crosses_the_cache_boundary() {
+    let cfg = SystemConfig::tiny();
+    let src = vecadd_src(32);
+    let uninterrupted = run_with(cfg.clone(), &src, false, 1);
+    assert_eq!(uninterrupted.outcome, Outcome::Completed);
+    // Early and mid-offload checkpoints, in both toggle directions.
+    for den in [16, 2] {
+        let at = Time::from_ps(uninterrupted.time.as_ps() / den);
+        for checkpoint_on in [false, true] {
+            let resumed = checkpoint_cross_restore(&cfg, &src, at, checkpoint_on);
+            assert_eq!(
+                resumed, uninterrupted,
+                "checkpoint at {at} with sb_cache={checkpoint_on} restored with \
+                 the opposite setting diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_identical_on_vs_off() {
+    // The cache is excluded from the image entirely, so pausing cache-on and
+    // cache-off runs at the same cycle must produce byte-identical snapshots
+    // — this is what makes images portable across the `--no-sb-cache` knob.
+    let cfg = SystemConfig::tiny();
+    let src = vecadd_src(32);
+    let done = run_with(cfg.clone(), &src, false, 1);
+    let at = Time::from_ps(done.time.as_ps() / 2);
+    let mut imgs = Vec::new();
+    for sb_cache in [false, true] {
+        let mut c = cfg.clone();
+        c.sb_cache = sb_cache;
+        let mut m = Machine::new(c, compile(&src));
+        assert!(m.run_until(at).is_none());
+        imgs.push(m.checkpoint_bytes());
+    }
+    assert_eq!(
+        imgs[0], imgs[1],
+        "snapshot bytes differ between cache-off and cache-on runs"
+    );
+}

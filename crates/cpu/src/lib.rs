@@ -15,7 +15,7 @@
 //! granularity (the gem5 approach).
 
 use ccsvm_engine::{stat_id, Clock, SplitMix64, Stats, Time, TlbFaultConfig};
-use ccsvm_isa::{abi, AmoKind, Instr, Operand, Program, Reg};
+use ccsvm_isa::{abi, decodable, AmoKind, Instr, Operand, Program, Reg, SbCache, SbStats};
 use ccsvm_mem::{Access, AccessResult, AtomicOp, CorePort, PhysAddr, PortId};
 use ccsvm_vm::{frame_plus_offset, Tlb, VirtAddr, Walk, WalkResult};
 
@@ -166,6 +166,9 @@ pub struct CpuCore {
     faults: u64,
     busy_time: Time,
     tlb_faults: Option<TlbFaults>,
+    /// Decoded-superblock cache: host-side memoization only, never
+    /// serialized (rebuilt on demand after a snapshot restore).
+    sb: SbCache,
 }
 
 impl CpuCore {
@@ -196,7 +199,20 @@ impl CpuCore {
             faults: 0,
             busy_time: Time::ZERO,
             tlb_faults: None,
+            sb: SbCache::new(SbCache::DEFAULT_CAPACITY),
         }
+    }
+
+    /// Enables/disables the decoded-superblock fast path (the
+    /// `SystemConfig::sb_cache` ablation knob). Pure host-perf toggle: the
+    /// executed instruction stream, timing and stats are identical either way.
+    pub fn set_sb_cache(&mut self, enabled: bool) {
+        self.sb.set_enabled(enabled);
+    }
+
+    /// Superblock-cache counters (host-side; not part of [`CpuCore::stats`]).
+    pub fn sb_stats(&self) -> SbStats {
+        *self.sb.stats()
     }
 
     /// Installs seeded transient TLB-walk fault injection: each completed
@@ -406,6 +422,31 @@ impl CpuCore {
             let Some(&instr) = prog.text.get(self.pc) else {
                 panic!("CPU pc {} outside text (len {})", self.pc, prog.text.len());
             };
+
+            // Decoded-superblock fast path (`ccsvm_isa::decode`): execute the
+            // straight-line run from here in a tight loop. Each micro-op
+            // retires with exactly the serial bookkeeping below — icount,
+            // then the time charge, then the register write — and the same
+            // quantum-deadline check between instructions, so timing and
+            // stats are bit-identical to the one-`match`-per-instruction path.
+            if decodable(&instr) {
+                if let Some(r) = self.sb.entry(prog, self.pc) {
+                    let ops = self.sb.ops_at(r).expect("fresh superblock ref");
+                    let mut k = 0;
+                    while k < ops.len() {
+                        self.icount += 1;
+                        self.local_time += self.instr_cost;
+                        ops[k].exec(&mut self.regs);
+                        k += 1;
+                        if self.local_time >= deadline {
+                            break;
+                        }
+                    }
+                    self.pc += k;
+                    continue;
+                }
+            }
+
             self.icount += 1;
             self.local_time += self.instr_cost;
 

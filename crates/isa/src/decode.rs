@@ -1,0 +1,543 @@
+//! Decoded-HIR superblocks: pre-resolved micro-ops and a per-core cache.
+//!
+//! Matching the [`Instr`] enum (and re-resolving its [`Operand`]s) per
+//! instruction per lane dominates host time on compute-bound workloads. This
+//! module decodes **straight-line runs** of timing-free instructions — from an
+//! entry PC up to, but not including, the next control-flow or memory-timing
+//! boundary — into a flat buffer of [`MicroOp`]s that a core can execute with
+//! one bounds check and no enum re-matching per retired instruction.
+//!
+//! # Superblock boundaries
+//!
+//! Only instructions that neither touch data memory nor redirect the PC are
+//! decodable: [`Instr::Alu`], [`Instr::Li`], [`Instr::Fence`] and
+//! [`Instr::Nop`]. Everything else — branches, jumps, calls, `syscall`,
+//! `exit`, and all memory instructions (whose timing flows through the TLB and
+//! cache hierarchy) — terminates the block and executes on the core's ordinary
+//! path. A superblock therefore never carries timing or trap side effects of
+//! its own: executing its micro-ops one at a time is architecturally identical
+//! to interpreting the corresponding `Instr`s one at a time.
+//!
+//! # Determinism
+//!
+//! The cache is pure host-side memoization. Micro-ops are derived from the
+//! program text alone, cores still charge time and retire counters per
+//! instruction exactly as before, and no decoded state is ever serialized into
+//! snapshots (it is rebuilt on demand after restore). Cache statistics live in
+//! [`SbStats`], outside the architectural `Stats`, so `RunReport`s are
+//! bit-identical with the cache on or off.
+//!
+//! # The `r0` invariant
+//!
+//! [`MicroOp::exec`] reads source registers without the `r == 0` guard the
+//! slow paths use. This is sound because every writer in the system (cores,
+//! interpreter, syscall glue) already refuses to write `r0`, so `regs[0]` is
+//! invariantly zero; the decoder additionally turns any instruction *writing*
+//! `r0` into [`MicroOp::Skip`], which preserves the invariant from inside the
+//! fast path itself.
+
+use std::time::Instant;
+
+use crate::instr::{AluOp, Instr, Operand};
+use crate::Program;
+
+/// A pre-resolved micro-op. `Instr` operands (`Reg` wrappers, `Operand`
+/// register/immediate split) are flattened at decode time so execution is a
+/// couple of array indexes and one `AluOp::apply`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MicroOp {
+    /// `regs[rd] = op(regs[ra], regs[rb])` — `rd != 0`.
+    AluRR {
+        /// Operation.
+        op: AluOp,
+        /// Destination register index (never 0).
+        rd: u8,
+        /// First source register index.
+        ra: u8,
+        /// Second source register index.
+        rb: u8,
+    },
+    /// `regs[rd] = op(regs[ra], imm)` — `rd != 0`.
+    AluRI {
+        /// Operation.
+        op: AluOp,
+        /// Destination register index (never 0).
+        rd: u8,
+        /// First source register index.
+        ra: u8,
+        /// Pre-converted immediate.
+        imm: u64,
+    },
+    /// `regs[rd] = imm` — `rd != 0`.
+    Li {
+        /// Destination register index (never 0).
+        rd: u8,
+        /// Pre-converted immediate.
+        imm: u64,
+    },
+    /// Architectural no-op: `fence`, `nop`, or any ALU/`li` writing `r0`.
+    Skip,
+}
+
+impl MicroOp {
+    /// Executes the micro-op over a register file. The caller advances the PC
+    /// and charges time; this only performs the architectural register write.
+    #[inline(always)]
+    pub fn exec(self, regs: &mut [u64; 32]) {
+        debug_assert_eq!(regs[0], 0, "r0 invariant violated");
+        match self {
+            MicroOp::AluRR { op, rd, ra, rb } => {
+                regs[rd as usize] = op.apply(regs[ra as usize], regs[rb as usize]);
+            }
+            MicroOp::AluRI { op, rd, ra, imm } => {
+                regs[rd as usize] = op.apply(regs[ra as usize], imm);
+            }
+            MicroOp::Li { rd, imm } => regs[rd as usize] = imm,
+            MicroOp::Skip => {}
+        }
+    }
+
+    /// Executes the micro-op over every register file yielded by `regs` —
+    /// the SIMT case. Semantically identical to calling [`MicroOp::exec`] per
+    /// file; the point is that the enum dispatch happens once per warp-op
+    /// instead of once per lane.
+    #[inline(always)]
+    pub fn exec_all<'a, I: IntoIterator<Item = &'a mut [u64; 32]>>(self, regs: I) {
+        match self {
+            MicroOp::AluRR { op, rd, ra, rb } => {
+                for r in regs {
+                    debug_assert_eq!(r[0], 0, "r0 invariant violated");
+                    r[rd as usize] = op.apply(r[ra as usize], r[rb as usize]);
+                }
+            }
+            MicroOp::AluRI { op, rd, ra, imm } => {
+                for r in regs {
+                    debug_assert_eq!(r[0], 0, "r0 invariant violated");
+                    r[rd as usize] = op.apply(r[ra as usize], imm);
+                }
+            }
+            MicroOp::Li { rd, imm } => {
+                for r in regs {
+                    r[rd as usize] = imm;
+                }
+            }
+            MicroOp::Skip => {}
+        }
+    }
+}
+
+/// Whether `instr` may appear inside a superblock (no memory timing, no
+/// control flow, no traps).
+#[inline]
+pub fn decodable(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Alu { .. } | Instr::Li { .. } | Instr::Fence | Instr::Nop
+    )
+}
+
+fn decode_one(instr: &Instr) -> Option<MicroOp> {
+    Some(match *instr {
+        Instr::Alu { op, rd, ra, rb } => {
+            if rd.0 == 0 {
+                MicroOp::Skip
+            } else {
+                match rb {
+                    Operand::Reg(r) => MicroOp::AluRR {
+                        op,
+                        rd: rd.0,
+                        ra: ra.0,
+                        rb: r.0,
+                    },
+                    Operand::Imm(i) => MicroOp::AluRI {
+                        op,
+                        rd: rd.0,
+                        ra: ra.0,
+                        imm: i as u64,
+                    },
+                }
+            }
+        }
+        Instr::Li { rd, imm } => {
+            if rd.0 == 0 {
+                MicroOp::Skip
+            } else {
+                MicroOp::Li {
+                    rd: rd.0,
+                    imm: imm as u64,
+                }
+            }
+        }
+        Instr::Fence | Instr::Nop => MicroOp::Skip,
+        _ => return None,
+    })
+}
+
+/// Decodes the straight-line run starting at `entry`. Empty iff the entry
+/// instruction is itself a boundary (or the PC is outside the text).
+pub fn decode_run(text: &[Instr], entry: usize) -> Vec<MicroOp> {
+    let mut ops = Vec::new();
+    if let Some(tail) = text.get(entry..) {
+        for instr in tail {
+            match decode_one(instr) {
+                Some(op) => ops.push(op),
+                None => break,
+            }
+        }
+    }
+    ops
+}
+
+/// Host-side superblock-cache counters (never part of `Stats`/`RunReport`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SbStats {
+    /// Entry lookups served from an already-decoded slot.
+    pub hits: u64,
+    /// Entry lookups that had to decode (equals blocks decoded).
+    pub misses: u64,
+    /// Slots recycled by the LRU policy.
+    pub evictions: u64,
+    /// Total micro-ops produced by all decodes.
+    pub decoded_ops: u64,
+    /// Host nanoseconds spent decoding.
+    pub decode_ns: u64,
+}
+
+impl SbStats {
+    /// Accumulates `other` into `self` (for aggregating across cores).
+    pub fn merge(&mut self, other: &SbStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.decoded_ops += other.decoded_ops;
+        self.decode_ns += other.decode_ns;
+    }
+
+    /// Mean micro-ops per decoded superblock (0.0 if nothing was decoded).
+    pub fn mean_decoded_len(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.decoded_ops as f64 / self.misses as f64
+        }
+    }
+}
+
+/// A validated reference to a cached superblock. Holders must revalidate
+/// through [`SbCache::ops_at`] (the generation check) before every use, so a
+/// stale reference after an eviction is harmless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SbRef {
+    /// Slot index.
+    pub slot: u32,
+    /// Slot generation at lookup time.
+    pub gen: u32,
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: u32,
+    gen: u32,
+    last_use: u64,
+    ops: Box<[MicroOp]>,
+}
+
+/// Per-core decoded-superblock cache: entry PC → micro-op buffer, bounded to
+/// `capacity` blocks with strict least-recently-used eviction (the LRU clock
+/// is a monotonic lookup counter, so eviction order is a pure function of the
+/// lookup sequence — deterministic across runs and hosts).
+///
+/// The cache binds to one program at a time, keyed by the identity of its
+/// text section; looking up against a different program flushes everything
+/// (invalidate-on-swap). Within a `Machine` the program never changes, so in
+/// practice this fires once at first use.
+#[derive(Debug)]
+pub struct SbCache {
+    enabled: bool,
+    capacity: usize,
+    /// Entry PC → slot index + 1 (0 = not cached). Sized to the bound text.
+    index: Vec<u32>,
+    slots: Vec<Slot>,
+    tick: u64,
+    /// Identity of the bound text: (address, length).
+    prog_key: (usize, usize),
+    stats: SbStats,
+}
+
+impl SbCache {
+    /// Default capacity in superblocks; far above any hot working set in the
+    /// paper's workloads, so evictions only occur on pathological programs.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An enabled cache holding at most `capacity` decoded blocks.
+    pub fn new(capacity: usize) -> SbCache {
+        SbCache {
+            enabled: true,
+            capacity: capacity.max(1),
+            index: Vec::new(),
+            slots: Vec::new(),
+            tick: 0,
+            prog_key: (0, 0),
+            stats: SbStats::default(),
+        }
+    }
+
+    /// Enables or disables the cache (the `SystemConfig::sb_cache` ablation
+    /// knob). Disabled, every lookup returns `None` and cores use their
+    /// ordinary decode-per-instruction path.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether lookups can succeed.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &SbStats {
+        &self.stats
+    }
+
+    /// Drops all decoded blocks (bumping generations so outstanding
+    /// [`SbRef`]s go stale) but keeps counters and the program binding.
+    pub fn flush(&mut self) {
+        for slot in &mut self.slots {
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.ops = Box::new([]);
+        }
+        self.slots.clear();
+        self.index.iter_mut().for_each(|e| *e = 0);
+    }
+
+    fn bind(&mut self, prog: &Program) {
+        let key = (prog.text.as_ptr() as usize, prog.text.len());
+        if self.prog_key != key {
+            self.flush();
+            self.index = vec![0; prog.text.len()];
+            self.prog_key = key;
+        }
+    }
+
+    /// Looks up (decoding on miss) the superblock entered at `pc`. Returns
+    /// `None` when disabled, when `pc` is out of range, or when the entry
+    /// instruction is a boundary (nothing to decode).
+    pub fn entry(&mut self, prog: &Program, pc: usize) -> Option<SbRef> {
+        if !self.enabled {
+            return None;
+        }
+        self.bind(prog);
+        let idx = *self.index.get(pc)?;
+        self.tick += 1;
+        if idx != 0 {
+            let slot = &mut self.slots[(idx - 1) as usize];
+            slot.last_use = self.tick;
+            self.stats.hits += 1;
+            return Some(SbRef {
+                slot: idx - 1,
+                gen: slot.gen,
+            });
+        }
+        if !decodable(&prog.text[pc]) {
+            return None;
+        }
+        let t0 = Instant::now();
+        let ops = decode_run(&prog.text, pc).into_boxed_slice();
+        self.stats.decode_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.misses += 1;
+        self.stats.decoded_ops += ops.len() as u64;
+        let si = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                entry: pc as u32,
+                gen: 0,
+                last_use: self.tick,
+                ops,
+            });
+            self.slots.len() - 1
+        } else {
+            // Strict LRU: recycle the slot with the oldest last_use (ties
+            // impossible — the clock is strictly monotonic).
+            let si = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1");
+            let slot = &mut self.slots[si];
+            self.index[slot.entry as usize] = 0;
+            slot.entry = pc as u32;
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.last_use = self.tick;
+            slot.ops = ops;
+            self.stats.evictions += 1;
+            si
+        };
+        self.index[pc] = si as u32 + 1;
+        Some(SbRef {
+            slot: si as u32,
+            gen: self.slots[si].gen,
+        })
+    }
+
+    /// The micro-ops behind `r`, or `None` if the slot was since evicted
+    /// (generation mismatch) — the revalidation step for held cursors.
+    #[inline]
+    pub fn ops_at(&self, r: SbRef) -> Option<&[MicroOp]> {
+        let slot = self.slots.get(r.slot as usize)?;
+        (slot.gen == r.gen).then_some(&slot.ops[..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    fn prog(src: &str) -> Program {
+        assemble(src).unwrap()
+    }
+
+    #[test]
+    fn decode_stops_at_boundaries() {
+        let p = prog("main:
+                li r1, 6
+                mul r1, r1, 7
+                fence
+                nop
+                st8 r1, 0(r2)
+                exit");
+        let ops = decode_run(&p.text, 0);
+        assert_eq!(ops.len(), 4, "run ends before the store");
+        assert_eq!(ops[0], MicroOp::Li { rd: 1, imm: 6 });
+        assert!(matches!(ops[1], MicroOp::AluRI { op: AluOp::Mul, rd: 1, ra: 1, imm: 7 }));
+        assert_eq!(ops[2], MicroOp::Skip);
+        assert_eq!(ops[3], MicroOp::Skip);
+        assert_eq!(decode_run(&p.text, 4).len(), 0, "entry on a boundary");
+        assert_eq!(decode_run(&p.text, 99).len(), 0, "entry out of range");
+    }
+
+    #[test]
+    fn writes_to_r0_become_skips() {
+        let p = prog("main:
+                li r0, 99
+                add r0, r1, r2
+                exit");
+        let ops = decode_run(&p.text, 0);
+        assert_eq!(ops, vec![MicroOp::Skip, MicroOp::Skip]);
+        let mut regs = [0u64; 32];
+        regs[1] = 5;
+        regs[2] = 7;
+        for op in ops {
+            op.exec(&mut regs);
+        }
+        assert_eq!(regs[0], 0, "r0 stays hardwired zero");
+    }
+
+    #[test]
+    fn exec_matches_interpreter_semantics() {
+        // Differential check: every decodable instruction form, micro-op exec
+        // vs `Interp::step`.
+        let src = "main:
+                li r1, -3
+                li r2, 10
+                add r3, r1, r2
+                sub r4, r2, 5
+                mul r5, r3, r4
+                div r6, r5, r1
+                and r7, r2, 6
+                shl r8, r2, r1
+                slt r9, r1, r2
+                lif r10, 2.0
+                fmul r11, r10, r10
+                fsqrt r12, r11
+                mv r13, r12
+                fence
+                nop
+                exit";
+        let p = prog(src);
+        let mut interp = crate::Interp::new(0, 0);
+        let mut mem = crate::FlatMem::new();
+        let mut os = crate::FuncOs::new();
+        let ops = decode_run(&p.text, 0);
+        assert_eq!(ops.len(), p.text.len() - 1, "everything but exit decodes");
+
+        let mut regs = interp.regs;
+        for op in &ops {
+            op.exec(&mut regs);
+        }
+        interp.run(&p, &mut mem, &mut os, 1000).unwrap();
+        assert_eq!(regs, interp.regs);
+    }
+
+    #[test]
+    fn cache_hits_misses_and_program_swap() {
+        let p = prog("main:\n li r1, 1\n add r1, r1, 1\n exit\n");
+        let mut c = SbCache::new(16);
+        let r1 = c.entry(&p, 0).unwrap();
+        assert_eq!((c.stats().hits, c.stats().misses), (0, 1));
+        assert_eq!(c.ops_at(r1).unwrap().len(), 2);
+        let r2 = c.entry(&p, 0).unwrap();
+        assert_eq!((c.stats().hits, c.stats().misses), (1, 1));
+        assert_eq!(r1, r2);
+        assert_eq!(c.stats().decoded_ops, 2);
+        assert!((c.stats().mean_decoded_len() - 2.0).abs() < 1e-9);
+        // Boundary entry: no block.
+        assert!(c.entry(&p, 2).is_none());
+
+        // A different program invalidates everything.
+        let q = prog("main:\n li r2, 9\n exit\n");
+        let r3 = c.entry(&q, 0).unwrap();
+        assert_eq!(c.ops_at(r3).unwrap(), &[MicroOp::Li { rd: 2, imm: 9 }]);
+        assert!(
+            c.ops_at(r1).is_none() || c.ops_at(r1).unwrap() == c.ops_at(r3).unwrap(),
+            "stale refs must not resolve to the old program's ops"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Capacity 2; touch pattern makes pc=0 most recent, pc=2 LRU.
+        let p = prog("main:
+                li r1, 1
+                exit
+                li r2, 2
+                exit
+                li r3, 3
+                exit");
+        let mut c = SbCache::new(2);
+        let r0 = c.entry(&p, 0).unwrap();
+        let r2 = c.entry(&p, 2).unwrap();
+        c.entry(&p, 0).unwrap(); // touch 0 → 2 becomes LRU
+        let r4 = c.entry(&p, 4).unwrap(); // must evict pc=2
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.ops_at(r2).is_none(), "evicted ref revalidation fails");
+        assert!(c.ops_at(r0).is_some());
+        assert_eq!(c.ops_at(r4).unwrap(), &[MicroOp::Li { rd: 3, imm: 3 }]);
+        // Re-entering the evicted block decodes again (miss), evicting the
+        // new LRU (pc=0).
+        c.entry(&p, 2).unwrap();
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn disabled_cache_never_resolves() {
+        let p = prog("main:\n li r1, 1\n exit\n");
+        let mut c = SbCache::new(16);
+        c.set_enabled(false);
+        assert!(c.entry(&p, 0).is_none());
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn unary_ops_ignore_second_operand_source() {
+        // `fsqrt r1, r2` decodes with an arbitrary rb; exec must match apply.
+        let p = prog("main:\n fsqrt r1, r2\n exit\n");
+        let ops = decode_run(&p.text, 0);
+        let mut regs = [0u64; 32];
+        regs[2] = 9.0f64.to_bits();
+        ops[0].exec(&mut regs);
+        assert_eq!(f64::from_bits(regs[1]), 3.0);
+    }
+}

@@ -234,6 +234,14 @@ impl Interp {
 
     /// Runs until `exit` or `max_steps`.
     ///
+    /// Straight-line runs execute over decoded superblocks
+    /// ([`crate::decode`]) — the same fast path the timing cores use — while
+    /// every boundary instruction (branch, memory, syscall, exit) goes
+    /// through [`Interp::step`], which remains the per-instruction semantic
+    /// oracle. The superblock cache is local to one `run` call, so handing
+    /// the same `Interp` a different program later can never observe stale
+    /// decoded state.
+    ///
     /// # Errors
     ///
     /// Traps as in [`Interp::step`], plus [`TrapKind::OutOfGas`] at the
@@ -245,7 +253,23 @@ impl Interp {
         os: &mut dyn Syscalls,
         max_steps: u64,
     ) -> Result<(), TrapKind> {
-        for _ in 0..max_steps {
+        let mut sb = crate::decode::SbCache::new(crate::decode::SbCache::DEFAULT_CAPACITY);
+        let mut gas = max_steps;
+        while gas > 0 {
+            let ops = sb.entry(prog, self.pc).and_then(|r| sb.ops_at(r));
+            if let Some(ops) = ops {
+                // Budget-capped tail of the superblock; each micro-op is one
+                // retired instruction, exactly as if stepped individually.
+                let n = (ops.len() as u64).min(gas) as usize;
+                for op in &ops[..n] {
+                    op.exec(&mut self.regs);
+                }
+                self.pc += n;
+                self.icount += n as u64;
+                gas -= n as u64;
+                continue;
+            }
+            gas -= 1;
             if self.step(prog, mem, os)? == StepOutcome::Exited {
                 return Ok(());
             }

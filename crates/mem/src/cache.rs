@@ -36,18 +36,10 @@ impl CacheConfig {
     }
 }
 
-/// One way of one set.
-#[derive(Clone, Debug)]
-struct Way<M> {
-    /// Block number tagged here, or `None` if invalid.
-    block: Option<u64>,
-    /// LRU timestamp (monotone counter value at last touch).
-    lru: u64,
-    /// Protocol metadata (state bits, dirty bit, directory sharer set...).
-    meta: M,
-    /// The actual cached bytes.
-    data: [u8; BLOCK_BYTES as usize],
-}
+/// Sentinel tag for an invalid way. A real block number is `addr >> 6`,
+/// which cannot reach `u64::MAX` for any physical address the simulator can
+/// produce.
+const TAG_INVALID: u64 = u64::MAX;
 
 /// A set-associative array of 64-byte blocks carrying metadata `M`.
 ///
@@ -64,15 +56,33 @@ struct Way<M> {
 /// assert!(evicted.is_none());
 /// assert!(c.lookup(10).is_some());
 /// ```
+/// Storage is struct-of-arrays: the tag scan in `find` runs on every access
+/// of every cache in the machine, and a dense `tags` vector keeps one set's
+/// tags in a single cache line instead of striding across ~100-byte
+/// way structs.
 #[derive(Clone, Debug)]
 pub struct CacheArray<M> {
     config: CacheConfig,
-    ways: Vec<Way<M>>,
+    /// Block number per way, or `TAG_INVALID`.
+    tags: Vec<u64>,
+    /// LRU timestamp per way (monotone counter value at last touch).
+    lru: Vec<u64>,
+    /// Protocol metadata per way (state bits, dirty bit, sharer set...).
+    metas: Vec<M>,
+    /// Cached bytes per way.
+    data: Vec<[u8; BLOCK_BYTES as usize]>,
     tick: u64,
     /// Low block bits skipped when computing the set index (a banked shared
     /// cache selects the bank with those bits, so indexing with them again
     /// would leave most sets unused).
     index_shift: u32,
+    /// `sets - 1` when `sets` is a power of two, else `u64::MAX` as a
+    /// "divide instead" sentinel — `set_of` sits on every access's tag
+    /// lookup, and `h & mask` is an order of magnitude cheaper than `h %
+    /// sets` (identical result for power-of-two set counts).
+    set_mask: u64,
+    /// Precomputed XOR-fold width for `hash_index`.
+    fold_w: u32,
 }
 
 /// An evicted block returned by [`CacheArray::insert`].
@@ -110,19 +120,21 @@ impl<M> CacheArray<M> {
         M: Default + Clone,
     {
         assert!(config.sets > 0 && config.ways > 0, "degenerate cache");
+        let n = config.sets * config.ways;
         CacheArray {
             config,
-            ways: vec![
-                Way {
-                    block: None,
-                    lru: 0,
-                    meta: M::default(),
-                    data: [0; BLOCK_BYTES as usize],
-                };
-                config.sets * config.ways
-            ],
+            tags: vec![TAG_INVALID; n],
+            lru: vec![0; n],
+            metas: vec![M::default(); n],
+            data: vec![[0; BLOCK_BYTES as usize]; n],
             tick: 0,
             index_shift,
+            set_mask: if config.sets.is_power_of_two() {
+                (config.sets - 1) as u64
+            } else {
+                u64::MAX
+            },
+            fold_w: usize::BITS - (config.sets.max(2) - 1).leading_zeros(),
         }
     }
 
@@ -143,39 +155,77 @@ impl<M> CacheArray<M> {
     /// across page-strided footprints) land in the index.
     fn hash_index(&self, block: u64) -> u64 {
         let x = block >> self.index_shift;
-        let w = usize::BITS - (self.config.sets.max(2) - 1).leading_zeros();
+        let w = self.fold_w;
         x ^ (x >> w) ^ (x >> (2 * w)) ^ (x >> (3 * w))
     }
 
     fn find(&self, block: u64) -> Option<usize> {
-        self.set_range(block)
-            .find(|&i| self.ways[i].block == Some(block))
+        debug_assert_ne!(block, TAG_INVALID);
+        self.set_range(block).find(|&i| self.tags[i] == block)
     }
 
     /// Shared access to a resident block's metadata, touching LRU.
     pub fn lookup(&mut self, block: u64) -> Option<&M> {
-        let i = self.find(block)?;
-        self.tick += 1;
-        self.ways[i].lru = self.tick;
-        Some(&self.ways[i].meta)
+        let i = self.lookup_idx(block)?;
+        Some(&self.metas[i])
     }
 
     /// Mutable access to a resident block's metadata, touching LRU.
     pub fn lookup_mut(&mut self, block: u64) -> Option<&mut M> {
+        let i = self.lookup_idx(block)?;
+        Some(&mut self.metas[i])
+    }
+
+    /// Resolves `block` to its way index, touching LRU exactly like
+    /// [`CacheArray::lookup`]. The `_at` accessors below then operate on that
+    /// way without re-running the set scan — the hot hit path does exactly
+    /// one tag lookup per access instead of one per read/write/meta touch.
+    pub fn lookup_idx(&mut self, block: u64) -> Option<usize> {
         let i = self.find(block)?;
         self.tick += 1;
-        self.ways[i].lru = self.tick;
-        Some(&mut self.ways[i].meta)
+        self.lru[i] = self.tick;
+        Some(i)
+    }
+
+    /// Resolves `block` to its way index without disturbing LRU.
+    pub fn peek_idx(&self, block: u64) -> Option<usize> {
+        self.find(block)
+    }
+
+    /// Touches LRU on way `i` (one tick, same as a `lookup` would charge).
+    pub fn touch_at(&mut self, i: usize) {
+        self.tick += 1;
+        self.lru[i] = self.tick;
+    }
+
+    /// Metadata of way `i` (from `lookup_idx`/`peek_idx`).
+    pub fn meta_at(&self, i: usize) -> &M {
+        &self.metas[i]
+    }
+
+    /// Mutable metadata of way `i` without an LRU touch.
+    pub fn meta_at_mut(&mut self, i: usize) -> &mut M {
+        &mut self.metas[i]
+    }
+
+    /// Block data of way `i`.
+    pub fn data_at(&self, i: usize) -> &[u8; BLOCK_BYTES as usize] {
+        &self.data[i]
+    }
+
+    /// Mutable block data of way `i`.
+    pub fn data_at_mut(&mut self, i: usize) -> &mut [u8; BLOCK_BYTES as usize] {
+        &mut self.data[i]
     }
 
     /// Metadata access without disturbing LRU (for snoops/invalidations).
     pub fn peek(&self, block: u64) -> Option<&M> {
-        self.find(block).map(|i| &self.ways[i].meta)
+        self.find(block).map(|i| &self.metas[i])
     }
 
     /// Mutable metadata access without disturbing LRU.
     pub fn peek_mut(&mut self, block: u64) -> Option<&mut M> {
-        self.find(block).map(move |i| &mut self.ways[i].meta)
+        self.find(block).map(move |i| &mut self.metas[i])
     }
 
     /// Reads bytes from a resident block.
@@ -185,7 +235,7 @@ impl<M> CacheArray<M> {
     /// Panics if the block is not resident or the range exceeds the block.
     pub fn read(&self, block: u64, offset: usize, buf: &mut [u8]) {
         let i = self.find(block).expect("read of non-resident block");
-        buf.copy_from_slice(&self.ways[i].data[offset..offset + buf.len()]);
+        buf.copy_from_slice(&self.data[i][offset..offset + buf.len()]);
     }
 
     /// Writes bytes into a resident block.
@@ -195,7 +245,7 @@ impl<M> CacheArray<M> {
     /// Panics if the block is not resident or the range exceeds the block.
     pub fn write(&mut self, block: u64, offset: usize, bytes: &[u8]) {
         let i = self.find(block).expect("write of non-resident block");
-        self.ways[i].data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.data[i][offset..offset + bytes.len()].copy_from_slice(bytes);
     }
 
     /// Copy of a resident block's full data.
@@ -205,7 +255,7 @@ impl<M> CacheArray<M> {
     /// Panics if the block is not resident.
     pub fn data(&self, block: u64) -> [u8; BLOCK_BYTES as usize] {
         let i = self.find(block).expect("data of non-resident block");
-        self.ways[i].data
+        self.data[i]
     }
 
     /// Replaces the full data of a resident block.
@@ -215,7 +265,7 @@ impl<M> CacheArray<M> {
     /// Panics if the block is not resident.
     pub fn set_data(&mut self, block: u64, data: [u8; BLOCK_BYTES as usize]) {
         let i = self.find(block).expect("set_data of non-resident block");
-        self.ways[i].data = data;
+        self.data[i] = data;
     }
 
     /// Whether inserting `block` would evict a valid block (i.e. its set is
@@ -226,10 +276,10 @@ impl<M> CacheArray<M> {
         }
         let mut victim: Option<(u64, u64)> = None; // (lru, block)
         for i in self.set_range(block) {
-            match self.ways[i].block {
-                None => return None,
-                Some(b) => {
-                    let lru = self.ways[i].lru;
+            match self.tags[i] {
+                TAG_INVALID => return None,
+                b => {
+                    let lru = self.lru[i];
                     if victim.is_none_or(|(vl, _)| lru < vl) {
                         victim = Some((lru, b));
                     }
@@ -245,7 +295,8 @@ impl<M> CacheArray<M> {
     pub fn victims_lru(&self, block: u64) -> Vec<u64> {
         let mut v: Vec<(u64, u64)> = self
             .set_range(block)
-            .filter_map(|i| self.ways[i].block.map(|b| (self.ways[i].lru, b)))
+            .filter(|&i| self.tags[i] != TAG_INVALID)
+            .map(|i| (self.lru[i], self.tags[i]))
             .collect();
         v.sort();
         v.into_iter().map(|(_, b)| b).collect()
@@ -253,19 +304,24 @@ impl<M> CacheArray<M> {
 
     /// Whether `block`'s set has an invalid (free) way.
     pub fn has_free_way(&self, block: u64) -> bool {
-        self.find(block).is_some() || self.set_range(block).any(|i| self.ways[i].block.is_none())
+        self.find(block).is_some() || self.set_range(block).any(|i| self.tags[i] == TAG_INVALID)
     }
 
     /// Number of invalid (free) ways in `block`'s set.
     pub fn free_ways(&self, block: u64) -> usize {
         self.set_range(block)
-            .filter(|&i| self.ways[i].block.is_none())
+            .filter(|&i| self.tags[i] == TAG_INVALID)
             .count()
     }
 
     /// The set index `block` maps to.
     pub fn set_of(&self, block: u64) -> u64 {
-        self.hash_index(block) % self.config.sets as u64
+        let h = self.hash_index(block);
+        if self.set_mask != u64::MAX {
+            h & self.set_mask
+        } else {
+            h % self.config.sets as u64
+        }
     }
 
     /// Installs `block`, evicting the LRU way of its set if necessary.
@@ -284,20 +340,20 @@ impl<M> CacheArray<M> {
         self.tick += 1;
         let tick = self.tick;
         if let Some(i) = self.find(block) {
-            self.ways[i].meta = meta;
-            self.ways[i].data = data;
-            self.ways[i].lru = tick;
+            self.metas[i] = meta;
+            self.data[i] = data;
+            self.lru[i] = tick;
             return None;
         }
         // Prefer an invalid way; otherwise evict true-LRU.
         let mut slot = None;
         let mut lru_slot = None;
         for i in self.set_range(block) {
-            if self.ways[i].block.is_none() {
+            if self.tags[i] == TAG_INVALID {
                 slot = Some(i);
                 break;
             }
-            if lru_slot.is_none_or(|j: usize| self.ways[i].lru < self.ways[j].lru) {
+            if lru_slot.is_none_or(|j: usize| self.lru[i] < self.lru[j]) {
                 lru_slot = Some(i);
             }
         }
@@ -305,23 +361,20 @@ impl<M> CacheArray<M> {
             Some(i) => (i, None),
             None => {
                 let i = lru_slot.expect("set has ways");
-                let w = &self.ways[i];
                 (
                     i,
                     Some(Evicted {
-                        block: w.block.expect("valid victim"),
-                        meta: w.meta.clone(),
-                        data: w.data,
+                        block: self.tags[i],
+                        meta: self.metas[i].clone(),
+                        data: self.data[i],
                     }),
                 )
             }
         };
-        self.ways[i] = Way {
-            block: Some(block),
-            lru: tick,
-            meta,
-            data,
-        };
+        self.tags[i] = block;
+        self.lru[i] = tick;
+        self.metas[i] = meta;
+        self.data[i] = data;
         evicted
     }
 
@@ -331,17 +384,18 @@ impl<M> CacheArray<M> {
         M: Default,
     {
         let i = self.find(block)?;
-        let w = &mut self.ways[i];
-        w.block = None;
-        let meta = std::mem::take(&mut w.meta);
-        Some((meta, w.data))
+        self.tags[i] = TAG_INVALID;
+        let meta = std::mem::take(&mut self.metas[i]);
+        Some((meta, self.data[i]))
     }
 
     /// Iterates over all resident blocks as `(block, &meta)`.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &M)> {
-        self.ways
+        self.tags
             .iter()
-            .filter_map(|w| w.block.map(|b| (b, &w.meta)))
+            .zip(&self.metas)
+            .filter(|(&t, _)| t != TAG_INVALID)
+            .map(|(&t, m)| (t, m))
     }
 
     /// Serializes the array (tags, LRU ticks, metadata, block data) with a
@@ -353,22 +407,22 @@ impl<M> CacheArray<M> {
         save_meta: impl Fn(&M, &mut ccsvm_snap::SnapWriter),
     ) {
         w.put_u64(self.tick);
-        w.put_usize(self.ways.len());
+        w.put_usize(self.tags.len());
         // Sparse: an invalid way's lru/meta/data can never influence the
         // simulation (victim selection and lookup both filter on the tag, and
         // `insert` overwrites the whole way), so only resident blocks are
         // written. This keeps images proportional to the touched working set
         // rather than to cache capacity.
-        for way in &self.ways {
-            match way.block {
-                Some(b) => {
+        for i in 0..self.tags.len() {
+            match self.tags[i] {
+                TAG_INVALID => w.put_bool(false),
+                b => {
                     w.put_bool(true);
                     w.put_u64(b);
-                    w.put_u64(way.lru);
-                    save_meta(&way.meta, w);
-                    w.put_raw(&way.data);
+                    w.put_u64(self.lru[i]);
+                    save_meta(&self.metas[i], w);
+                    w.put_raw(&self.data[i]);
                 }
-                None => w.put_bool(false),
             }
         }
     }
@@ -385,22 +439,22 @@ impl<M> CacheArray<M> {
     {
         self.tick = r.get_u64()?;
         let n = r.get_usize()?;
-        if n != self.ways.len() {
+        if n != self.tags.len() {
             return Err(ccsvm_snap::SnapError::Corrupt {
-                what: format!("cache array has {n} ways, machine has {}", self.ways.len()),
+                what: format!("cache array has {n} ways, machine has {}", self.tags.len()),
             });
         }
-        for way in &mut self.ways {
+        for i in 0..n {
             if r.get_bool()? {
-                way.block = Some(r.get_u64()?);
-                way.lru = r.get_u64()?;
-                way.meta = load_meta(r)?;
-                r.get_raw(&mut way.data)?;
+                self.tags[i] = r.get_u64()?;
+                self.lru[i] = r.get_u64()?;
+                self.metas[i] = load_meta(r)?;
+                r.get_raw(&mut self.data[i])?;
             } else {
-                way.block = None;
-                way.lru = 0;
-                way.meta = M::default();
-                way.data = [0; BLOCK_BYTES as usize];
+                self.tags[i] = TAG_INVALID;
+                self.lru[i] = 0;
+                self.metas[i] = M::default();
+                self.data[i] = [0; BLOCK_BYTES as usize];
             }
         }
         Ok(())
@@ -408,7 +462,7 @@ impl<M> CacheArray<M> {
 
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
-        self.ways.iter().filter(|w| w.block.is_some()).count()
+        self.tags.iter().filter(|&&t| t != TAG_INVALID).count()
     }
 
     /// Whether the array holds no blocks.

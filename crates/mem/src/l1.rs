@@ -167,6 +167,41 @@ impl L1 {
         self.lenient = true;
     }
 
+    /// Replays the counter effects of re-attempting an access that returned
+    /// [`L1Access::Retry`] earlier in the same core batch. MSHRs, eviction
+    /// buffers and way reservations drain only via message deliveries that
+    /// happen between core batches, so within one batch the retry outcome is
+    /// invariant: the controller run can be skipped, but its counters (and
+    /// the sampled retry trace) must advance exactly as a real attempt would.
+    pub fn count_doomed_retry(&mut self, access: Access) {
+        match access {
+            Access::Read { .. } => self.loads += 1,
+            Access::Write { .. } => self.stores += 1,
+            Access::Rmw { .. } => self.atomics += 1,
+        }
+        self.retries += 1;
+        if self.retry_trace && self.retries.is_multiple_of(10000) {
+            // Recompute the cause for the trace line: the state the decision
+            // reads is frozen for the rest of the batch, so this matches what
+            // a real re-attempt would have printed.
+            if self.mshrs.len() >= self.config.max_mshrs {
+                eprintln!(
+                    "RETRY mshr-full port={:?} mshrs={:?}",
+                    self.id,
+                    self.mshrs.keys().collect::<Vec<_>>()
+                );
+            } else {
+                let block = block_of(access.addr());
+                eprintln!(
+                    "RETRY reserve-fail port={:?} block={block} set={} reserved={:?}",
+                    self.id,
+                    self.array.set_of(block),
+                    self.reserved
+                );
+            }
+        }
+    }
+
     fn read_word(&self, addr: PhysAddr, size: usize) -> u64 {
         let data = self.array.data(block_of(addr));
         word_from_block(&data, addr, size)
@@ -192,20 +227,44 @@ impl L1 {
             Access::Rmw { .. } => self.atomics += 1,
         }
         let block = block_of(addr);
-        let state = self.array.lookup(block).map_or(L1State::I, |l| l.state);
+        // One tag lookup resolves the way; the hit paths below reuse the
+        // index instead of re-scanning the set per read/write/meta touch.
+        // LRU tick behaviour is unchanged: one touch for a read hit, two for
+        // a write hit (`lookup` + the old `lookup_mut`).
+        let idx = self.array.lookup_idx(block);
+        let state = idx.map_or(L1State::I, |i| self.array.meta_at(i).state);
         let needs_m = !matches!(access, Access::Read { .. });
 
         // Hit paths.
         if state.readable() && !needs_m {
             self.hits += 1;
+            let i = idx.expect("readable implies resident");
             return L1Access::Hit {
-                value: self.read_word(addr, size),
+                value: word_from_block(self.array.data_at(i), addr, size),
             };
         }
         if needs_m && matches!(state, L1State::M | L1State::E) {
             self.hits += 1;
-            let value = self.perform_write(access);
-            self.array.lookup_mut(block).expect("resident").state = L1State::M;
+            let i = idx.expect("writable implies resident");
+            let off = offset_in_block(addr);
+            let data = self.array.data_at_mut(i);
+            let value = match access {
+                Access::Read { .. } => unreachable!("needs_m excludes reads"),
+                Access::Write { value, .. } => {
+                    data[off..off + size].copy_from_slice(&value.to_le_bytes()[..size]);
+                    value
+                }
+                Access::Rmw { op, .. } => {
+                    let mut v = [0u8; 8];
+                    v[..size].copy_from_slice(&data[off..off + size]);
+                    let old = u64::from_le_bytes(v);
+                    data[off..off + size]
+                        .copy_from_slice(&op.apply(old).to_le_bytes()[..size]);
+                    old
+                }
+            };
+            self.array.touch_at(i);
+            self.array.meta_at_mut(i).state = L1State::M;
             self.maybe_write_through(block, out);
             return L1Access::Hit { value };
         }
@@ -541,22 +600,23 @@ impl L1 {
     /// the backdoor). Returns `None` when the block is not readable here.
     pub fn peek_word(&self, addr: PhysAddr, size: usize) -> Option<u64> {
         let block = block_of(addr);
-        let line = self.array.peek(block)?;
-        if !line.state.readable() {
+        let i = self.array.peek_idx(block)?;
+        if !self.array.meta_at(i).state.readable() {
             return None;
         }
-        let data = self.array.data(block);
-        Some(word_from_block(&data, addr, size))
+        Some(word_from_block(self.array.data_at(i), addr, size))
     }
 
     /// Untimed write to a block held in M or E (E silently upgrades to M).
     /// Returns `false` when the cache lacks write permission.
     pub fn poke_word(&mut self, addr: PhysAddr, size: usize, value: u64) -> bool {
         let block = block_of(addr);
-        match self.array.peek_mut(block) {
-            Some(line) if matches!(line.state, L1State::M | L1State::E) => {
-                line.state = L1State::M;
-                self.write_word(addr, size, value);
+        match self.array.peek_idx(block) {
+            Some(i) if matches!(self.array.meta_at(i).state, L1State::M | L1State::E) => {
+                self.array.meta_at_mut(i).state = L1State::M;
+                let off = offset_in_block(addr);
+                self.array.data_at_mut(i)[off..off + size]
+                    .copy_from_slice(&value.to_le_bytes()[..size]);
                 true
             }
             _ => false,

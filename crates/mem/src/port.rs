@@ -183,6 +183,13 @@ impl<'a> CorePort<'a> {
         }
     }
 
+    /// Replays the counter effects of re-attempting an access that returned
+    /// [`AccessResult::Retry`] earlier in the same core batch, without
+    /// re-running the controller (see [`L1::count_doomed_retry`]).
+    pub fn count_doomed_retry(&mut self, access: Access) {
+        self.l1.count_doomed_retry(access);
+    }
+
     /// Untimed read of a word through this port's L1, if the block is resident
     /// and readable here (SIMT lane coalescing).
     pub fn peek(&self, paddr: PhysAddr, size: usize) -> Option<u64> {

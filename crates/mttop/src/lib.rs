@@ -17,19 +17,56 @@
 //!   the many outstanding per-thread misses.
 //! * **Lockstep SIMT** (the APU baseline's Radeon,
 //!   [`MttopConfig::apu_gpu`]): 16 warps × 8 lanes, one warp-instruction per
-//!   cycle, min-PC divergence handling (each issue executes the lanes at the
-//!   warp's minimum PC, so lagging lanes catch up and structured code
-//!   reconverges without a reconvergence stack), per-warp **coalescing**
+//!   cycle with min-PC divergence handling, per-warp **coalescing**
 //!   (same-instruction accesses to one 64 B block merge into one L1 access;
 //!   atomics never coalesce), and `vliw_ops_per_lane` packing (4 ⇒ Table 2's
 //!   "max 320 operations per cycle").
+//!
+//! # The min-PC reconvergence rule (exact)
+//!
+//! Earlier revisions of this doc said only that "lanes at the warp's minimum
+//! PC execute so lagging lanes catch up", which drifted from what `issue`
+//! actually implements (and under-specified what any fast-path dispatcher
+//! must preserve). The precise rule, asserted by the
+//! `lagging_lane_reconverges_at_min_pc` litmus test:
+//!
+//! 1. **Participating set**: before *every* issued warp-instruction, the set
+//!    is recomputed as the **live** lanes whose PC equals the minimum PC over
+//!    all live lanes. Dead lanes (`exit`ed) never participate and never hold
+//!    the minimum.
+//! 2. The participating lanes all execute the *same* instruction (the one at
+//!    the min PC) in the same issue slot; non-participating live lanes are
+//!    untouched.
+//! 3. `divergent_issues` increments once per issue whose participating set is
+//!    a strict subset of the live lanes.
+//! 4. **Reconvergence** is emergent, not stack-based: a lane group behind the
+//!    others keeps holding the minimum until its PC reaches another lane's
+//!    PC, at which point the recomputation in (1) merges them into one set.
+//!    Hence the batched superblock dispatcher may reuse a cached
+//!    participating set **only up to the smallest lagging live lane's PC** —
+//!    one micro-op short of it, the cursor dies and the next issue
+//!    recomputes, exactly as the per-instruction loop would.
+//! 5. A warp whose live-lane set is empty frees its context; a warp whose
+//!    participating lanes sit on a memory instruction issues it for those
+//!    lanes only (coalescing applies within the participating set).
+//!
+//! Timing quirk, kept deliberately: `CallReg` charges
+//! `clock.period()` in **both** modes (fine-grained included), unlike `Call`
+//! which charges the mode-dependent `full_charge` (zero in fine-grained
+//! mode). Golden `RunReport`s bake this in, so the fast path must *not*
+//! "fix" it; it is harmless because indirect calls are a superblock boundary
+//! and always take the slow path.
 //!
 //! Page faults cannot trap to an OS here (MTTOPs don't run the OS): the core
 //! reports them and the machine forwards them through the [`Mifd`] to a CPU
 //! core (§3.2.1).
 
+use std::collections::VecDeque;
+
 use ccsvm_engine::{stat_id, Clock, FxHashMap, Stats, Time};
-use ccsvm_isa::{abi, AmoKind, Instr, Operand, Program, Reg};
+use ccsvm_isa::{
+    abi, decodable, AmoKind, Instr, MicroOp, Operand, Program, Reg, SbCache, SbRef, SbStats,
+};
 use ccsvm_mem::{Access, AccessResult, AtomicOp, CorePort, PhysAddr, PortId};
 use ccsvm_vm::{frame_plus_offset, Tlb, VirtAddr, Walk, WalkResult};
 
@@ -164,6 +201,85 @@ struct Lane {
     live: bool,
 }
 
+/// Executes `op` on the lanes selected by `mask`, advancing each lane's PC
+/// by `pc_step`. Three shapes, chosen by how many lanes participate: the
+/// full-warp case hands every register file to [`MicroOp::exec_all`] (one
+/// enum dispatch per warp-op, no per-lane mask test), the single-lane case
+/// (deep divergence) skips iteration entirely, and the partial case walks
+/// the mask bits.
+#[inline(always)]
+fn exec_masked(op: MicroOp, lanes: &mut [Lane], mask: u8, full: u8, pc_step: usize) {
+    if mask == full {
+        op.exec_all(lanes.iter_mut().map(|l| &mut l.regs));
+        for lane in lanes {
+            lane.pc += pc_step;
+        }
+    } else if mask.is_power_of_two() {
+        let lane = &mut lanes[mask.trailing_zeros() as usize];
+        op.exec(&mut lane.regs);
+        lane.pc += pc_step;
+    } else {
+        let mut m = mask;
+        while m != 0 {
+            let li = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let lane = &mut lanes[li];
+            op.exec(&mut lane.regs);
+            lane.pc += pc_step;
+        }
+    }
+}
+
+/// Sprint body: executes a whole run of micro-ops on the lanes selected by
+/// `mask` and advances their PCs by `ops.len()`. Full warps go op-outer so
+/// the enum dispatch happens once per op for all lanes; divergent warps go
+/// lane-outer so one lane's register file stays hot across the run.
+#[inline(always)]
+fn sprint_masked(ops: &[MicroOp], lanes: &mut [Lane], mask: u8, full: u8) {
+    if mask == full {
+        for op in ops {
+            op.exec_all(lanes.iter_mut().map(|l| &mut l.regs));
+        }
+        for lane in lanes {
+            lane.pc += ops.len();
+        }
+    } else {
+        let mut m = mask;
+        while m != 0 {
+            let li = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let lane = &mut lanes[li];
+            for op in ops {
+                op.exec(&mut lane.regs);
+            }
+            lane.pc += ops.len();
+        }
+    }
+}
+
+/// The timed access a coalesced group issues: the lead lane's operation.
+/// Shared by the real issue path and the doomed-retry short circuit so the
+/// two can never disagree about what a group's access looks like.
+fn group_access(group: &[LaneOp]) -> Access {
+    let lead = group[0];
+    match lead.kind {
+        LaneKind::Ld { size, .. } => Access::Read {
+            paddr: lead.paddr.expect("t"),
+            size: size as usize,
+        },
+        LaneKind::St { size, value } => Access::Write {
+            paddr: lead.paddr.expect("t"),
+            size: size as usize,
+            value,
+        },
+        LaneKind::Amo { op, .. } => Access::Rmw {
+            paddr: lead.paddr.expect("t"),
+            size: 8,
+            op,
+        },
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum WarpState {
     Free,
@@ -237,6 +353,46 @@ struct Flight {
     issued_at: Time,
 }
 
+/// Per-warp cursor into a decoded superblock (`ccsvm_isa::decode`). While
+/// valid (`rem > 0`), [`MttopCore::issue`] retires one micro-op per issue
+/// slot for the cached participating-lane set without recomputing the min-PC
+/// set or re-matching the `Instr` enum. Strictly host-side: never serialized,
+/// cleared on snapshot load and task assignment, and revalidated (slot
+/// generation + expected PC) before every use, so a stale cursor is harmless.
+#[derive(Clone, Copy, Debug)]
+struct SbCursor {
+    sb: SbRef,
+    /// Index of the next micro-op to execute.
+    off: u32,
+    /// Micro-ops this warp may still execute from the block; `0` = invalid.
+    /// Capped at entry so the run ends exactly where a lagging live lane's
+    /// PC forces the min-PC participating set to be recomputed
+    /// (reconvergence — see the module docs).
+    rem: u32,
+    /// Expected participating-lane PC at the next issue (validation).
+    pc: u32,
+    /// Participating lane set (bit per lane; `lanes <= 8`).
+    mask: u8,
+    /// Participating lane count.
+    np: u8,
+    /// Live lane count at block entry (for the `divergent_issues` counter;
+    /// liveness cannot change while the warp is mid-block — only `exit`
+    /// kills lanes, and `exit` is a superblock boundary).
+    live: u8,
+}
+
+impl SbCursor {
+    const INVALID: SbCursor = SbCursor {
+        sb: SbRef { slot: 0, gen: 0 },
+        off: 0,
+        rem: 0,
+        pc: 0,
+        mask: 0,
+        np: 0,
+        live: 0,
+    };
+}
+
 /// One SIMT MTTOP core.
 #[derive(Debug)]
 pub struct MttopCore {
@@ -244,6 +400,12 @@ pub struct MttopCore {
     pub port: PortId,
     config: MttopConfig,
     alu_cost: Time,
+    /// `l1_banks - 1` when the bank count is a power of two, else `u64::MAX`
+    /// as a "divide instead" sentinel — the bank-cycle charge in
+    /// `issue_accesses` sits on every issued group.
+    l1_bank_mask: u64,
+    /// Participating-set mask meaning "all lanes" (`config.lanes` ones).
+    full_lane_mask: u8,
     warps: Vec<Warp>,
     /// `states[wi]` = scheduling state of warp `wi`. Kept out of [`Warp`]
     /// so the per-cycle ready scan stays within a couple of cache lines.
@@ -285,6 +447,20 @@ pub struct MttopCore {
     /// Set (sticky) when any access observed ECC poison; surfaced through
     /// [`BatchOutcome::poisoned`] so the machine can abort gracefully.
     poisoned: bool,
+    /// Decoded-superblock cache (`ccsvm_isa::decode`). Host-side memoization
+    /// of the immutable text section — never serialized, and draining or
+    /// disabling it cannot change simulated behaviour.
+    sb: SbCache,
+    /// `sb_cur[wi]` = warp `wi`'s fast-path cursor (invalid when `rem == 0`).
+    sb_cur: Vec<SbCursor>,
+    /// Monotone batch counter for the doomed-retry short circuit; never
+    /// serialized (epochs restart after a snapshot load).
+    batch_epoch: u64,
+    /// `retry_epoch[wi]` = the batch in which warp `wi`'s head group last
+    /// drew [`AccessResult::Retry`], or `u64::MAX`. While it equals
+    /// `batch_epoch`, re-attempts are provably doomed (MSHRs and way
+    /// reservations drain only between batches) and are short-circuited.
+    retry_epoch: Vec<u64>,
 }
 
 impl MttopCore {
@@ -293,10 +469,21 @@ impl MttopCore {
         assert!(config.lanes >= 1 && config.lanes <= 8, "1..=8 lanes");
         let alu_cost =
             Time::from_ps((config.clock.period().as_ps() / config.vliw_ops_per_lane).max(1));
+        let l1_bank_mask = if config.l1_banks.is_power_of_two() {
+            config.l1_banks - 1
+        } else {
+            u64::MAX
+        };
         MttopCore {
             port,
             config,
             alu_cost,
+            l1_bank_mask,
+            full_lane_mask: if config.lanes == 8 {
+                0xff
+            } else {
+                (1u8 << config.lanes) - 1
+            },
             warps: vec![
                 Warp {
                     lanes: vec![
@@ -338,7 +525,28 @@ impl MttopCore {
             miss_lat_sum: Time::ZERO,
             miss_count: 0,
             poisoned: false,
+            sb: SbCache::new(SbCache::DEFAULT_CAPACITY),
+            sb_cur: vec![SbCursor::INVALID; config.warps],
+            batch_epoch: 0,
+            retry_epoch: vec![u64::MAX; config.warps],
         }
+    }
+
+    /// Enables or disables the decoded-superblock cache (the `--no-sb-cache`
+    /// ablation). Pure host-perf knob: simulated timing and results are
+    /// bit-identical either way.
+    pub fn set_sb_cache(&mut self, enabled: bool) {
+        self.sb.set_enabled(enabled);
+        if !enabled {
+            for c in &mut self.sb_cur {
+                *c = SbCursor::INVALID;
+            }
+        }
+    }
+
+    /// Superblock-cache host counters (hits/misses/evictions/decode time).
+    pub fn sb_stats(&self) -> SbStats {
+        *self.sb.stats()
     }
 
     /// Transitions warp `wi` to `s`, keeping the ready bitmap in sync.
@@ -429,6 +637,7 @@ impl MttopCore {
                 lane.live = true;
                 warp.outstanding = 0;
                 warp.plan = None;
+                self.sb_cur[wi] = SbCursor::INVALID;
                 self.set_state(wi, WarpState::Ready);
                 self.ready_at[wi] = now;
             }
@@ -458,6 +667,7 @@ impl MttopCore {
         }
         warp.outstanding = 0;
         warp.plan = None;
+        self.sb_cur[wi] = SbCursor::INVALID;
         self.set_state(wi, WarpState::Ready);
         self.ready_at[wi] = now;
         true
@@ -496,6 +706,7 @@ impl MttopCore {
         port: &mut CorePort<'_>,
     ) -> BatchOutcome {
         self.local_time = self.local_time.max(now);
+        self.batch_epoch += 1;
         let mut faults = Vec::new();
 
         let arrived = std::mem::take(&mut self.arrived);
@@ -509,9 +720,13 @@ impl MttopCore {
         } else {
             self.config.issue_width.max(1)
         };
-        loop {
+        // `chosen` is taken out of `self` once per batch (not per cycle): the
+        // scheduler loop below is the hottest host loop in the core, and the
+        // take/restore pair per cycle showed up in profiles.
+        let mut chosen = std::mem::take(&mut self.chosen);
+        let outcome = loop {
             if self.local_time >= deadline {
-                return BatchOutcome {
+                break BatchOutcome {
                     action: MttopAction::Continue {
                         at: self.local_time,
                     },
@@ -525,33 +740,24 @@ impl MttopCore {
             // 128), in exactly the order the old full scan produced:
             // rr..n, then 0..rr.
             let n = self.warps.len();
-            let mut chosen = std::mem::take(&mut self.chosen);
             chosen.clear();
             let mut earliest: Option<Time> = None;
-            'scan: for (lo, hi) in [(self.rr, n), (0, self.rr)] {
-                if lo >= hi {
-                    continue;
-                }
-                let first_word = lo >> 6;
-                let last_word = (hi + 63) >> 6; // exclusive
-                for w in first_word..last_word {
-                    let mut bits = self.ready_mask[w];
-                    if w == first_word {
-                        bits &= !0u64 << (lo & 63);
-                    }
-                    if (w + 1) << 6 > hi {
-                        // Partial last word (only possible when `hi` is not
-                        // word-aligned, i.e. `hi & 63 != 0`).
-                        bits &= (1u64 << (hi & 63)) - 1;
-                    }
+            if n <= 64 {
+                // Single-word specialization (the paper-default core has 16
+                // warps): the rr..n / 0..rr rotation is two masked views of
+                // `ready_mask[0]`. Bits at or above `n` are never set, and
+                // `rr < n <= 64` keeps the shift in range.
+                let mask0 = self.ready_mask[0];
+                let hi_bits = mask0 & (!0u64 << (self.rr & 63));
+                'scan1: for mut bits in [hi_bits, mask0 ^ hi_bits] {
                     while bits != 0 {
-                        let wi = (w << 6) | bits.trailing_zeros() as usize;
+                        let wi = bits.trailing_zeros() as usize;
                         bits &= bits - 1;
                         let at = self.ready_at[wi];
                         if at <= self.local_time {
                             chosen.push(wi);
                             if chosen.len() == per_cycle {
-                                break 'scan;
+                                break 'scan1;
                             }
                         } else {
                             earliest = Some(match earliest {
@@ -561,9 +767,43 @@ impl MttopCore {
                         }
                     }
                 }
+            } else {
+                'scan: for (lo, hi) in [(self.rr, n), (0, self.rr)] {
+                    if lo >= hi {
+                        continue;
+                    }
+                    let first_word = lo >> 6;
+                    let last_word = (hi + 63) >> 6; // exclusive
+                    for w in first_word..last_word {
+                        let mut bits = self.ready_mask[w];
+                        if w == first_word {
+                            bits &= !0u64 << (lo & 63);
+                        }
+                        if (w + 1) << 6 > hi {
+                            // Partial last word (only possible when `hi` is not
+                            // word-aligned, i.e. `hi & 63 != 0`).
+                            bits &= (1u64 << (hi & 63)) - 1;
+                        }
+                        while bits != 0 {
+                            let wi = (w << 6) | bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let at = self.ready_at[wi];
+                            if at <= self.local_time {
+                                chosen.push(wi);
+                                if chosen.len() == per_cycle {
+                                    break 'scan;
+                                }
+                            } else {
+                                earliest = Some(match earliest {
+                                    Some(e) => e.min(at),
+                                    None => at,
+                                });
+                            }
+                        }
+                    }
+                }
             }
             if chosen.is_empty() {
-                self.chosen = chosen;
                 if let Some(e) = earliest {
                     self.local_time = e.min(deadline);
                     continue;
@@ -579,23 +819,126 @@ impl MttopCore {
                 } else {
                     MttopAction::Idle
                 };
-                return BatchOutcome {
+                break BatchOutcome {
                     action,
                     faults,
                     poisoned: self.poisoned,
                 };
+            }
+            // ALU sprint: when every warp that can issue right now is
+            // mid-superblock, whole rounds of the per-cycle rotation are pure
+            // ALU work with no port traffic, so they can be retired in
+            // per-warp blocks (see `try_sprint` for the equivalence argument).
+            if self.config.lockstep && n <= 64 && chosen.len() == 1 && self.try_sprint(deadline) {
+                continue;
             }
             self.rr = (chosen[chosen.len() - 1] + 1) % n;
             let cycle_start = self.local_time;
             for &wi in &chosen {
                 self.issue(wi, prog, port, &mut faults);
             }
-            self.chosen = chosen;
             if !self.config.lockstep {
                 // Fine-grained mode: the cycle itself is the charge.
                 self.local_time = cycle_start + self.config.clock.period();
             }
+        };
+        self.chosen = chosen;
+        outcome
+    }
+
+    /// Attempts to retire several full rotation rounds of decoded ALU
+    /// micro-ops in one pass (lockstep mode, `warps <= 64`). Returns `true`
+    /// if it issued anything; the caller then rescans.
+    ///
+    /// # Equivalence
+    ///
+    /// The per-cycle lockstep loop, while the set `S` of warps eligible *now*
+    /// is stable and every member is mid-superblock, does exactly this each
+    /// round: visit `S` in rotation order from `rr`, issue one ALU micro-op
+    /// per warp, advance `local_time` by one ALU charge per issue. Those
+    /// issues touch no shared state — superblock ops are port-free and
+    /// branch-free, warp register files are private, and the instruction
+    /// counters are commutative sums — and intermediate `local_time` values
+    /// are unobservable because nothing else runs inside the window. So `k`
+    /// full rounds can be retired warp-by-warp instead of round-by-round,
+    /// provided `S` cannot change within the window:
+    ///
+    /// * nothing *leaves* `S` — a warp leaves only by exhausting its run,
+    ///   so `k` is clipped to the minimum remaining run length;
+    /// * nothing *joins* `S` — a parked warp with wake time `ta` joins at
+    ///   cycle `ceil((ta - t) / c)`, so `k*|S|` issues are clipped below
+    ///   that; the quantum deadline clips identically (`t + m*c < D`), the
+    ///   same comparisons the per-cycle loop performs at cycle granularity;
+    /// * `rr` ends one past the last warp of a rotation round, and the
+    ///   rotation order re-stabilizes after the first round, so the final
+    ///   `rr` equals `(last of round 1) + 1` — what the loop would leave;
+    /// * the attempt bails (returns `false`) unless EVERY eligible warp has
+    ///   a valid superblock cursor, so a slow-path warp in `S` forces the
+    ///   exact per-cycle interleaving instead.
+    fn try_sprint(&mut self, deadline: Time) -> bool {
+        let n = self.warps.len();
+        let t = self.local_time;
+        let mask0 = self.ready_mask[0];
+        let hi = mask0 & (!0u64 << (self.rr & 63));
+        let mut s_buf = [0usize; 64];
+        let mut s_len = 0usize;
+        let mut min_rem = u32::MAX;
+        let mut earliest_future: Option<Time> = None;
+        for mut bits in [hi, mask0 ^ hi] {
+            while bits != 0 {
+                let wi = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let at = self.ready_at[wi];
+                if at <= t {
+                    let cur = &self.sb_cur[wi];
+                    if cur.rem == 0
+                        || self.sb.ops_at(cur.sb).is_none()
+                        || self.warps[wi].lanes[cur.mask.trailing_zeros() as usize].pc
+                            != cur.pc as usize
+                    {
+                        return false;
+                    }
+                    s_buf[s_len] = wi;
+                    s_len += 1;
+                    min_rem = min_rem.min(cur.rem);
+                } else {
+                    earliest_future = Some(earliest_future.map_or(at, |e| e.min(at)));
+                }
+            }
         }
+        debug_assert!(s_len >= 1, "caller chose an eligible warp");
+        let c = self.alu_cost.as_ps().max(1);
+        // Cycle `m` (issue `m`) runs iff `t + m*c < deadline`, and a parked
+        // warp with wake time `ta` joins the eligible set from cycle
+        // `ceil((ta - t) / c)` on — identical to the per-cycle loop's
+        // comparisons.
+        let mut max_issues = (deadline.as_ps().saturating_sub(t.as_ps())).div_ceil(c);
+        if let Some(f) = earliest_future {
+            max_issues = max_issues.min((f.as_ps() - t.as_ps()).div_ceil(c));
+        }
+        let k = (min_rem as u64).min(max_issues / s_len as u64) as usize;
+        if k * s_len < 2 {
+            return false;
+        }
+        for &wi in &s_buf[..s_len] {
+            let cur = self.sb_cur[wi];
+            let ops = self.sb.ops_at(cur.sb).expect("validated above");
+            let ops = &ops[cur.off as usize..cur.off as usize + k];
+            let warp = &mut self.warps[wi];
+            sprint_masked(ops, &mut warp.lanes, cur.mask, self.full_lane_mask);
+            if cur.np < cur.live {
+                self.divergent_issues += k as u64;
+            }
+            self.warp_instrs += k as u64;
+            self.thread_instrs += k as u64 * cur.np as u64;
+            let cu = &mut self.sb_cur[wi];
+            cu.rem -= k as u32;
+            cu.off += k as u32;
+            cu.pc += k as u32;
+        }
+        self.rr = (s_buf[s_len - 1] + 1) % n;
+        self.local_time = Time::from_ps(t.as_ps() + (k * s_len) as u64 * c);
+        true
     }
 
     /// Executes one warp-instruction for warp `wi`.
@@ -608,9 +951,84 @@ impl MttopCore {
     ) {
         // A Ready warp with a plan is retrying after a fault resolution.
         if self.warps[wi].plan.is_some() {
+            // Doomed-retry short circuit: this warp's head group already drew
+            // `Retry` earlier in this same batch, and nothing that could
+            // change the outcome (MSHR frees, way-reservation releases, line
+            // fills) happens mid-batch — completions are delivered between
+            // batches. Replay the real attempt's exact side effects — the
+            // bank-boundary charge, the token draw, the L1 counter bumps and
+            // the backoff — without re-running the memory controller.
+            if self.retry_epoch[wi] == self.batch_epoch {
+                let plan = self.warps[wi].plan.as_ref().expect("plan");
+                let issued = plan.issued;
+                let access =
+                    group_access(plan.groups.as_ref().expect("groups").front().expect("retried"));
+                let on_bank_boundary = if self.l1_bank_mask != u64::MAX {
+                    issued as u64 & self.l1_bank_mask == 0
+                } else {
+                    (issued as u64).is_multiple_of(self.config.l1_banks)
+                };
+                if issued > 0 && on_bank_boundary {
+                    self.local_time += self.config.clock.period();
+                }
+                let _ = self.token();
+                port.count_doomed_retry(access);
+                self.ready_at[wi] = self.local_time + self.config.clock.cycles(8);
+                return;
+            }
             self.set_state(wi, WarpState::Mem);
             self.continue_plan(wi, port, faults);
             return;
+        }
+        // Superblock fast path: a valid cursor means this warp is mid-run in
+        // a decoded straight-line block. Retire exactly ONE micro-op for the
+        // cached participating set — cycle-exact: counters, charges, and the
+        // issue-slot rotation match the slow path op for op; the win is the
+        // dispatch itself (no min-PC recompute, no `Instr` match), not op
+        // batching, so event interleaving with other warps is unchanged.
+        let cur = self.sb_cur[wi];
+        if cur.rem > 0 {
+            let lead = cur.mask.trailing_zeros() as usize;
+            let op = if self.warps[wi].lanes[lead].pc == cur.pc as usize {
+                self.sb.ops_at(cur.sb).map(|ops| ops[cur.off as usize])
+            } else {
+                None
+            };
+            if let Some(op) = op {
+                #[cfg(debug_assertions)]
+                {
+                    // The cached participating set must still be exactly the
+                    // live lanes at the warp's min PC.
+                    let warp = &self.warps[wi];
+                    let mut m = cur.mask;
+                    while m != 0 {
+                        let li = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let lane = &warp.lanes[li];
+                        debug_assert!(lane.live && lane.pc == cur.pc as usize);
+                    }
+                    let live = warp.lanes.iter().filter(|l| l.live).count();
+                    debug_assert_eq!(live, cur.live as usize);
+                }
+                let warp = &mut self.warps[wi];
+                exec_masked(op, &mut warp.lanes, cur.mask, self.full_lane_mask, 1);
+                if (cur.np as usize) < cur.live as usize {
+                    self.divergent_issues += 1;
+                }
+                self.warp_instrs += 1;
+                self.thread_instrs += cur.np as u64;
+                if self.config.lockstep {
+                    self.local_time += self.alu_cost;
+                }
+                let c = &mut self.sb_cur[wi];
+                c.rem -= 1;
+                c.off += 1;
+                c.pc += 1;
+                return;
+            }
+            // Stale cursor (snapshot load, eviction, task reuse): drop it and
+            // re-derive everything on the slow path below.
+            self.sb_cur[wi] = SbCursor::INVALID;
         }
         let min_pc = self.warps[wi]
             .lanes
@@ -653,6 +1071,52 @@ impl MttopCore {
         };
         self.warp_instrs += 1;
         self.thread_instrs += participating.len() as u64;
+
+        // First touch of a decodable run: resolve (or decode) the superblock
+        // at `pc`, execute its first micro-op in this issue slot, and park a
+        // cursor so subsequent issues take the fast path above. The cursor is
+        // capped at the nearest lagging live lane's PC: when the
+        // participating set would reach it, the min-PC rule must recompute
+        // the set so the lagging lane rejoins (reconvergence — see the
+        // module docs and `lagging_lane_reconverges_at_min_pc`).
+        if decodable(&instr) {
+            if let Some(r) = self.sb.entry(prog, pc) {
+                let (op0, len) = {
+                    let ops = self.sb.ops_at(r).expect("fresh superblock ref");
+                    (ops[0], ops.len())
+                };
+                let mut cap = len;
+                if np < live {
+                    for l in &self.warps[wi].lanes {
+                        if l.live && l.pc > pc {
+                            cap = cap.min(l.pc - pc);
+                        }
+                    }
+                }
+                let mut mask = 0u8;
+                for &li in participating {
+                    let lane = &mut self.warps[wi].lanes[li];
+                    op0.exec(&mut lane.regs);
+                    lane.pc += 1;
+                    mask |= 1 << li;
+                }
+                self.local_time += alu_charge;
+                self.sb_cur[wi] = if cap > 1 {
+                    SbCursor {
+                        sb: r,
+                        off: 1,
+                        rem: (cap - 1) as u32,
+                        pc: (pc + 1) as u32,
+                        mask,
+                        np: np as u8,
+                        live: live as u8,
+                    }
+                } else {
+                    SbCursor::INVALID
+                };
+                return;
+            }
+        }
 
         match instr {
             Instr::Alu { op, rd, ra, rb } => {
@@ -746,53 +1210,17 @@ impl MttopCore {
             Instr::Ld { .. } | Instr::St { .. } | Instr::Amo { .. } => {
                 self.mem_instrs += 1;
                 self.local_time += full_charge;
+                // Single participating lane (always true in fine-grained
+                // mode): one op is one coalesced group of one, so on a
+                // TLB-present translation the access issues without the
+                // plan's per-instruction allocations.
+                if np == 1 && self.mem_single(wi, lane_buf[0], pc, instr, port) {
+                    return;
+                }
                 let mut ops = Vec::with_capacity(participating.len());
                 for &li in participating {
                     let lane = &self.warps[wi].lanes[li];
-                    let (va, kind) = match instr {
-                        Instr::Ld {
-                            rd,
-                            base,
-                            off,
-                            size,
-                        } => (
-                            lane_get(lane, base).wrapping_add(off as u64),
-                            LaneKind::Ld { rd, size },
-                        ),
-                        Instr::St {
-                            rs,
-                            base,
-                            off,
-                            size,
-                        } => (
-                            lane_get(lane, base).wrapping_add(off as u64),
-                            LaneKind::St {
-                                size,
-                                value: lane_get(lane, rs),
-                            },
-                        ),
-                        Instr::Amo { op, addr, a, b, rd } => (
-                            lane_get(lane, addr),
-                            LaneKind::Amo {
-                                rd,
-                                op: match op {
-                                    AmoKind::Cas => AtomicOp::Cas {
-                                        expected: lane_get(lane, a),
-                                        value: lane_get(lane, b),
-                                    },
-                                    AmoKind::Add => AtomicOp::Add {
-                                        value: lane_get(lane, a),
-                                    },
-                                    AmoKind::Inc => AtomicOp::Inc,
-                                    AmoKind::Dec => AtomicOp::Dec,
-                                    AmoKind::Exch => AtomicOp::Exch {
-                                        value: lane_get(lane, a),
-                                    },
-                                },
-                            },
-                        ),
-                        _ => unreachable!(),
-                    };
+                    let (va, kind) = lane_mem_op(lane, instr);
                     ops.push(LaneOp {
                         lane: li,
                         va: VirtAddr(va),
@@ -813,6 +1241,126 @@ impl MttopCore {
                 self.continue_plan(wi, port, faults);
             }
         }
+    }
+
+    /// Fast path for a memory instruction with exactly one participating
+    /// lane: one lane op is one coalesced group of one, so on a TLB-present
+    /// translation the access can issue immediately without building the
+    /// `Plan`'s per-instruction allocations (ops `Vec` + groups `VecDeque`).
+    /// Every state transition, counter, token draw, TLB LRU touch, and time
+    /// charge replicates the generic `continue_plan`/`issue_accesses` path
+    /// exactly, and on Pending/Retry/Poisoned the warp is parked with the
+    /// byte-identical `Plan` the generic path would have left — a snapshot
+    /// taken mid-access cannot tell the paths apart. Returns `false` (no
+    /// state touched beyond one read-only TLB probe) when the translation is
+    /// absent; the caller then falls back to the generic walker path, which
+    /// performs the one counted TLB miss exactly as before.
+    fn mem_single(
+        &mut self,
+        wi: usize,
+        li: usize,
+        pc: usize,
+        instr: Instr,
+        port: &mut CorePort<'_>,
+    ) -> bool {
+        let (va, kind) = lane_mem_op(&self.warps[wi].lanes[li], instr);
+        let va = VirtAddr(va);
+        // One combined probe: a hit counts exactly like `lookup`, a miss is
+        // a no-op and the generic path performs the counted miss itself.
+        let Some(frame) = self.tlb.try_lookup(va) else {
+            return false;
+        };
+        let paddr = frame_plus_offset(frame, va);
+        let op = LaneOp {
+            lane: li,
+            va,
+            paddr: Some(paddr),
+            kind,
+        };
+        // `issue_accesses` would build exactly one group here.
+        self.coalesced_accesses += 1;
+        let start = self.local_time; // the plan's `finish` baseline
+        let access = match kind {
+            LaneKind::Ld { size, .. } => Access::Read {
+                paddr,
+                size: size as usize,
+            },
+            LaneKind::St { size, value } => Access::Write {
+                paddr,
+                size: size as usize,
+                value,
+            },
+            LaneKind::Amo { op, .. } => Access::Rmw {
+                paddr,
+                size: 8,
+                op,
+            },
+        };
+        let token = self.token();
+        match port.access(self.local_time, token, access) {
+            AccessResult::Hit { finish, value } => {
+                match kind {
+                    LaneKind::Ld { rd, .. } | LaneKind::Amo { rd, .. } => {
+                        lane_set(&mut self.warps[wi].lanes[li], rd, value);
+                    }
+                    LaneKind::St { .. } => {}
+                }
+                self.warps[wi].lanes[li].pc = pc + 1;
+                self.set_state(wi, WarpState::Ready);
+                self.ready_at[wi] = start.max(finish).max(self.local_time);
+            }
+            AccessResult::Pending => {
+                self.flights.insert(
+                    token,
+                    Flight {
+                        warp: wi,
+                        ops: vec![op],
+                        issued_at: self.local_time,
+                    },
+                );
+                self.warps[wi].plan = Some(Plan {
+                    ops: vec![op],
+                    next_translate: 1,
+                    pc,
+                    groups: Some(VecDeque::new()),
+                    issued: 1,
+                    finish: start,
+                });
+                self.warps[wi].outstanding = 1;
+                self.set_state(wi, WarpState::Mem);
+            }
+            AccessResult::Retry => {
+                let mut groups = VecDeque::with_capacity(1);
+                groups.push_back(vec![op]);
+                self.warps[wi].plan = Some(Plan {
+                    ops: vec![op],
+                    next_translate: 1,
+                    pc,
+                    groups: Some(groups),
+                    issued: 0,
+                    finish: start,
+                });
+                self.warps[wi].outstanding = 0;
+                self.set_state(wi, WarpState::Ready);
+                self.ready_at[wi] = self.local_time + self.config.clock.cycles(8);
+            }
+            AccessResult::Poisoned => {
+                let mut groups = VecDeque::with_capacity(1);
+                groups.push_back(vec![op]);
+                self.warps[wi].plan = Some(Plan {
+                    ops: vec![op],
+                    next_translate: 1,
+                    pc,
+                    groups: Some(groups),
+                    issued: 0,
+                    finish: start,
+                });
+                self.warps[wi].outstanding = 0;
+                self.poisoned = true;
+                self.set_state(wi, WarpState::Mem);
+            }
+        }
+        true
     }
 
     /// Drives a warp's memory plan: translate every lane, then issue the
@@ -953,7 +1501,12 @@ impl MttopCore {
             let Some(group) = plan.groups.as_mut().expect("groups").pop_front() else {
                 break;
             };
-            if plan.issued > 0 && (plan.issued as u64).is_multiple_of(self.config.l1_banks) {
+            let on_bank_boundary = if self.l1_bank_mask != u64::MAX {
+                plan.issued as u64 & self.l1_bank_mask == 0
+            } else {
+                (plan.issued as u64).is_multiple_of(self.config.l1_banks)
+            };
+            if plan.issued > 0 && on_bank_boundary {
                 // A cycle per `l1_banks` groups: banked L1 ports.
                 self.local_time += self.config.clock.period();
             }
@@ -970,9 +1523,12 @@ impl MttopCore {
                     plan.issued += 1;
                 }
                 AccessResult::Retry => {
-                    // Yield: let the event loop drain MSHR completions.
+                    // Yield: let the event loop drain MSHR completions. Until
+                    // then, re-attempts of this head group are doomed — mark
+                    // the batch so `issue` can short-circuit them.
                     let plan = self.warps[wi].plan.as_mut().expect("plan");
                     plan.groups.as_mut().expect("groups").push_front(group);
+                    self.retry_epoch[wi] = self.batch_epoch;
                     self.set_state(wi, WarpState::Ready);
                     self.ready_at[wi] = self.local_time + self.config.clock.cycles(8);
                     return;
@@ -1000,23 +1556,7 @@ impl MttopCore {
         group: &[LaneOp],
         port: &mut CorePort<'_>,
     ) -> AccessResult {
-        let lead = group[0];
-        let access = match lead.kind {
-            LaneKind::Ld { size, .. } => Access::Read {
-                paddr: lead.paddr.expect("t"),
-                size: size as usize,
-            },
-            LaneKind::St { size, value } => Access::Write {
-                paddr: lead.paddr.expect("t"),
-                size: size as usize,
-                value,
-            },
-            LaneKind::Amo { op, .. } => Access::Rmw {
-                paddr: lead.paddr.expect("t"),
-                size: 8,
-                op,
-            },
-        };
+        let access = group_access(group);
         let token = self.token();
         let result = port.access(self.local_time, token, access);
         if matches!(result, AccessResult::Pending) {
@@ -1235,6 +1775,60 @@ fn lane_get(lane: &Lane, r: Reg) -> u64 {
 fn lane_set(lane: &mut Lane, r: Reg, v: u64) {
     if r.0 != 0 {
         lane.regs[r.0 as usize] = v;
+    }
+}
+
+/// One lane's (virtual address, lane-op kind) for a memory instruction.
+/// Shared by the generic plan builder and the single-lane fast path so the
+/// two can never drift.
+///
+/// # Panics
+///
+/// Panics if `instr` is not `Ld`/`St`/`Amo`.
+fn lane_mem_op(lane: &Lane, instr: Instr) -> (u64, LaneKind) {
+    match instr {
+        Instr::Ld {
+            rd,
+            base,
+            off,
+            size,
+        } => (
+            lane_get(lane, base).wrapping_add(off as u64),
+            LaneKind::Ld { rd, size },
+        ),
+        Instr::St {
+            rs,
+            base,
+            off,
+            size,
+        } => (
+            lane_get(lane, base).wrapping_add(off as u64),
+            LaneKind::St {
+                size,
+                value: lane_get(lane, rs),
+            },
+        ),
+        Instr::Amo { op, addr, a, b, rd } => (
+            lane_get(lane, addr),
+            LaneKind::Amo {
+                rd,
+                op: match op {
+                    AmoKind::Cas => AtomicOp::Cas {
+                        expected: lane_get(lane, a),
+                        value: lane_get(lane, b),
+                    },
+                    AmoKind::Add => AtomicOp::Add {
+                        value: lane_get(lane, a),
+                    },
+                    AmoKind::Inc => AtomicOp::Inc,
+                    AmoKind::Dec => AtomicOp::Dec,
+                    AmoKind::Exch => AtomicOp::Exch {
+                        value: lane_get(lane, a),
+                    },
+                },
+            },
+        ),
+        _ => unreachable!("lane_mem_op on non-memory instruction"),
     }
 }
 
@@ -1667,6 +2261,12 @@ impl Snapshot for MttopCore {
                     for v in &mut lane.regs {
                         *v = r.get_u64()?;
                     }
+                    // `r0` reads as zero regardless of storage (`lane_get`
+                    // masks it), so normalizing here changes nothing
+                    // observable while re-establishing the `regs[0] == 0`
+                    // invariant the decoded fast path relies on, even for a
+                    // hand-corrupted image.
+                    lane.regs[0] = 0;
                     lane.pc = r.get_usize()?;
                 } else {
                     lane.regs = [0; 32];
@@ -1737,6 +2337,17 @@ impl Snapshot for MttopCore {
         self.miss_lat_sum = Time::from_ps(r.get_u64()?);
         self.miss_count = r.get_u64()?;
         self.poisoned = r.get_bool()?;
+        // Superblock cursors and retry epochs are host-side memoization of
+        // restored state, never part of the image; drop them so the next
+        // issue re-derives the participating set from the loaded lanes and
+        // the first post-restore retry runs the real controller.
+        for c in &mut self.sb_cur {
+            *c = SbCursor::INVALID;
+        }
+        self.batch_epoch = 0;
+        for e in &mut self.retry_epoch {
+            *e = u64::MAX;
+        }
         Ok(())
     }
 }
@@ -1765,6 +2376,8 @@ impl Snapshot for Mifd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccsvm_isa::{AluOp, Cond};
+    use ccsvm_mem::{MemorySystem, PortLog};
 
     #[test]
     fn mifd_round_robin_assignment() {
@@ -1887,5 +2500,129 @@ mod tests {
                 ra: 0
             }
         ));
+    }
+
+    /// Builds a single-core memory system just big enough to hand
+    /// `run_batch` a real [`CorePort`]; the litmus program is pure ALU +
+    /// branch, so the port is never actually hit.
+    fn litmus_mem() -> MemorySystem {
+        MemorySystem::new(ccsvm_mem::MemConfig {
+            l1s: vec![ccsvm_mem::L1Config {
+                node: ccsvm_noc::NodeId(0),
+                cache: ccsvm_mem::CacheConfig { sets: 64, ways: 4 },
+                hit_time: Time::from_ps(1000),
+                max_mshrs: 8,
+                write_policy: ccsvm_mem::WritePolicy::WriteBack,
+            }],
+            banks: vec![ccsvm_mem::BankConfig {
+                node: ccsvm_noc::NodeId(1),
+                cache: ccsvm_mem::CacheConfig { sets: 256, ways: 8 },
+                latency: Time::from_ps(10_000),
+            }],
+            dram: ccsvm_mem::DramConfig::paper_default(),
+            ctrl_bytes: 8,
+            data_bytes: 72,
+        })
+    }
+
+    /// Runs `prog` to completion on one lockstep warp (tids 0..=7) and
+    /// returns `(per-lane r4, divergent_issues, warp_instrs, thread_instrs,
+    /// final local_time)`.
+    fn run_litmus(prog: &Program, sb_cache: bool) -> ([u64; 8], u64, u64, u64, Time) {
+        let mut core = MttopCore::new(PortId(0), MttopConfig::apu_gpu(0), 0);
+        core.set_sb_cache(sb_cache);
+        let mut mem = litmus_mem();
+        let mut logs = vec![PortLog::new()];
+        let mut ports = mem.core_ports(&mut logs);
+        assert!(core.start_task(
+            Time::ZERO,
+            TaskChunk {
+                entry: 0,
+                args: 0,
+                first_tid: 0,
+                last_tid: 7,
+                cr3: PhysAddr(0),
+                ra: 0,
+            }
+        ));
+        let mut now = Time::ZERO;
+        for _ in 0..64 {
+            let out = core.run_batch(now, prog, &mut ports[0]);
+            assert!(out.faults.is_empty(), "ALU litmus cannot fault");
+            match out.action {
+                MttopAction::Continue { at } => now = at,
+                MttopAction::Idle => break,
+                MttopAction::Blocked => panic!("ALU litmus cannot block on memory"),
+            }
+        }
+        assert!(!core.busy(), "litmus did not finish");
+        let mut r4 = [0u64; 8];
+        for (i, lane) in core.warps[0].lanes.iter().enumerate() {
+            r4[i] = lane.regs[4];
+        }
+        (
+            r4,
+            core.divergent_issues,
+            core.warp_instrs,
+            core.thread_instrs,
+            core.local_time,
+        )
+    }
+
+    /// The module-doc min-PC reconvergence rule, end to end: after a branch
+    /// splits lane 0 from lanes 1..7, lane 0 (the min-PC holder) issues
+    /// *alone* through its catch-up path, and the moment its PC reaches the
+    /// waiting lanes' PC the recomputed participating set merges them back
+    /// into one full-warp issue — with identical architectural results and
+    /// counters whether the superblock fast path is on or off (rule 4: a
+    /// cached run must die at the smallest lagging live lane's PC).
+    #[test]
+    fn lagging_lane_reconverges_at_min_pc() {
+        let r4 = Reg(4);
+        let add = |imm: i64| Instr::Alu {
+            op: AluOp::Add,
+            rd: r4,
+            ra: r4,
+            rb: Operand::Imm(imm),
+        };
+        let prog = Program {
+            text: vec![
+                // Lanes with tid != 0 hop over the catch-up path.
+                Instr::Br {
+                    cond: Cond::Ne,
+                    ra: Reg(1),
+                    rb: Reg(0),
+                    target: 3,
+                },
+                add(100), // lane 0 only
+                add(100), // lane 0 only — last lagging op before reconvergence
+                add(1),   // full warp again (decodes into one superblock run)
+                add(1),
+                add(1),
+                Instr::Exit,
+            ],
+            symbols: Default::default(),
+            globals_size: 0,
+            data: Vec::new(),
+        };
+        let (r4_on, div_on, wi_on, ti_on, t_on) = run_litmus(&prog, true);
+        assert_eq!(r4_on[0], 203, "lane 0 must run its solo path then rejoin");
+        for (i, &v) in r4_on.iter().enumerate().skip(1) {
+            assert_eq!(v, 3, "lane {i} must wait at the join PC, then run 3 adds");
+        }
+        assert_eq!(
+            div_on, 2,
+            "exactly the two solo catch-up issues are divergent; more means \
+             the dispatcher ran past the reconvergence point"
+        );
+        // The host-side cache must be invisible: identical results, counters
+        // and simulated clock with the fast path ablated.
+        let (r4_off, div_off, wi_off, ti_off, t_off) = run_litmus(&prog, false);
+        assert_eq!(r4_on, r4_off);
+        assert_eq!(
+            (div_on, wi_on, ti_on, t_on),
+            (div_off, wi_off, ti_off, t_off),
+            "superblock fast path perturbed counters or simulated time"
+        );
     }
 }

@@ -29,12 +29,20 @@ struct Entry {
 pub struct Tlb {
     entries: Vec<Entry>,
     capacity: usize,
+    /// Direct-mapped position hints: `memo[vpn % 64]` is the index in
+    /// `entries` where that page was last found. Purely a host-side lookup
+    /// accelerator: every hint is validated against the entry's `vpn` before
+    /// use, so stale hints (after `swap_remove`, flushes, or snapshot load)
+    /// simply fall back to the linear scan. Never serialized.
+    memo: [u32; MEMO_SLOTS],
     tick: u64,
     hits: u64,
     misses: u64,
     flushes: u64,
     shootdown_invalidations: u64,
 }
+
+const MEMO_SLOTS: usize = 64;
 
 impl Tlb {
     /// Creates an empty TLB with `capacity` entries.
@@ -47,6 +55,7 @@ impl Tlb {
         Tlb {
             entries: Vec::with_capacity(capacity),
             capacity,
+            memo: [u32::MAX; MEMO_SLOTS],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -55,27 +64,63 @@ impl Tlb {
         }
     }
 
+    /// Finds `vpn`'s index, trying the memo hint before the linear scan, and
+    /// refreshing the hint on a scan hit. Does not touch LRU or counters.
+    #[inline]
+    fn find(&mut self, vpn: u64) -> Option<usize> {
+        let slot = (vpn as usize) % MEMO_SLOTS;
+        let hint = self.memo[slot] as usize;
+        if let Some(e) = self.entries.get(hint) {
+            if e.vpn == vpn {
+                return Some(hint);
+            }
+        }
+        let idx = self.entries.iter().position(|e| e.vpn == vpn)?;
+        self.memo[slot] = idx as u32;
+        Some(idx)
+    }
+
     /// Looks up the translation of `va`'s page, counting a hit or miss.
     /// Returns the *frame base* (combine with the page offset).
     pub fn lookup(&mut self, va: VirtAddr) -> Option<PhysAddr> {
         let vpn = va.vpn();
         self.tick += 1;
-        for e in &mut self.entries {
-            if e.vpn == vpn {
+        match self.find(vpn) {
+            Some(idx) => {
+                let e = &mut self.entries[idx];
                 e.lru = self.tick;
                 self.hits += 1;
-                return Some(e.frame);
+                Some(e.frame)
+            }
+            None => {
+                self.misses += 1;
+                None
             }
         }
-        self.misses += 1;
-        None
+    }
+
+    /// Like [`Tlb::lookup`] on a hit (LRU touch, hit count), but a **no-op on
+    /// a miss**: no tick advance, no miss count. Fast paths use this as a
+    /// combined `holds` + `lookup` probe; on `None` they fall back to the
+    /// generic path, whose own `lookup` then performs the one counted miss —
+    /// so composing `try_lookup` + fallback is observably identical to the
+    /// generic path alone.
+    pub fn try_lookup(&mut self, va: VirtAddr) -> Option<PhysAddr> {
+        let vpn = va.vpn();
+        let idx = self.find(vpn)?;
+        self.tick += 1;
+        let e = &mut self.entries[idx];
+        e.lru = self.tick;
+        self.hits += 1;
+        Some(e.frame)
     }
 
     /// Installs a translation, evicting LRU if full.
     pub fn insert(&mut self, va: VirtAddr, frame: PhysAddr) {
         let vpn = va.vpn();
         self.tick += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
+        if let Some(idx) = self.find(vpn) {
+            let e = &mut self.entries[idx];
             e.frame = frame;
             e.lru = self.tick;
             return;
@@ -89,6 +134,7 @@ impl Tlb {
                 .expect("nonempty");
             self.entries.swap_remove(idx);
         }
+        self.memo[(vpn as usize) % MEMO_SLOTS] = self.entries.len() as u32;
         self.entries.push(Entry {
             vpn,
             frame,

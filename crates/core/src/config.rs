@@ -34,6 +34,37 @@ impl OsCosts {
     }
 }
 
+/// Speculative epoch executor knobs (DESIGN §12). Host-perf only, like
+/// `sim_threads`: changing any of these never changes simulated behavior —
+/// `RunReport`s stay bit-identical — only how much host parallelism the
+/// fork-join executor can mine out of the event queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpeculationConfig {
+    /// Execute MTTOP batches from *different* timestamps optimistically,
+    /// with undo-log rollback on conflict. Only consulted when
+    /// `sim_threads > 1`; the serial loop never speculates.
+    pub enabled: bool,
+    /// Maximum members (live MTTOP batch events) claimed into one epoch.
+    pub max_epoch: usize,
+    /// Event-queue scan budget when forming an epoch: how many queued
+    /// entries formation may inspect before giving up.
+    pub max_scan: usize,
+    /// Per-member undo-journal budget in cache sets; past this the journal
+    /// falls back to a full L1 snapshot (the PR-4 machinery).
+    pub undo_sets: usize,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> SpeculationConfig {
+        SpeculationConfig {
+            enabled: true,
+            max_epoch: 16,
+            max_scan: 64,
+            undo_sets: 24,
+        }
+    }
+}
+
 /// Full-chip configuration. [`SystemConfig::paper_default`] reproduces the
 /// Table 2 CCSVM column.
 #[derive(Clone, Debug)]
@@ -106,6 +137,9 @@ pub struct SystemConfig {
     /// never changes simulated behavior — `RunReport`s stay bit-identical —
     /// it only ablates the host-side decoded-dispatch fast path.
     pub sb_cache: bool,
+    /// Cross-timestamp speculative epoch executor (DESIGN §12). Host-perf
+    /// knobs; never change simulated results.
+    pub speculation: SpeculationConfig,
 }
 
 impl SystemConfig {
@@ -139,6 +173,7 @@ impl SystemConfig {
             sim_threads: 1,
             host_profile: false,
             sb_cache: true,
+            speculation: SpeculationConfig::default(),
         }
     }
 

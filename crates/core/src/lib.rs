@@ -42,7 +42,7 @@ mod config;
 mod machine;
 mod triage;
 
-pub use config::{OsCosts, SystemConfig};
+pub use config::{OsCosts, SpeculationConfig, SystemConfig};
 pub use machine::{config_hash, DiagnosticDump, HostPhases, Machine, Outcome, RunReport};
 pub use triage::{
     replay_bundle, run_with_triage, ReplayBundle, TriageError, TriageResult, BUNDLE_MAGIC,
@@ -63,3 +63,6 @@ pub use ccsvm_snap::{SnapError, SCHEMA_VERSION as SNAP_SCHEMA_VERSION};
 // Decoded-superblock cache counters (DESIGN §11), re-exported so perf
 // harnesses can report [`Machine::sb_stats`] without an isa dependency.
 pub use ccsvm_isa::SbStats;
+// Speculative epoch executor counters (DESIGN §12), re-exported so perf
+// harnesses can report [`Machine::spec_stats`] alongside the phases.
+pub use ccsvm_engine::SpecStats;

@@ -6,18 +6,19 @@ use std::time::{Duration, Instant};
 use ccsvm_cpu::{CpuAction, CpuCore};
 use ccsvm_engine::{
     sanitizer::check_conservation, stat_id, EvRecord, EvRing, EventQueue, FaultDomain, FaultPlan,
-    MutationKind, Stats, Time, Violation, Watchdog,
+    MutationKind, ScanControl, SpecStats, Stats, Time, Violation, Watchdog,
 };
 use ccsvm_isa::{sys, Program};
 use ccsvm_mem::{
     Access, AccessResult, BankConfig, Completion, CorePort, L1Config, MemConfig, MemEvent,
     MemorySystem, PortId, PortLog,
 };
-use ccsvm_mttop::{BatchOutcome, Mifd, MttopAction, MttopCore, PageFaultReq, TaskChunk};
+use ccsvm_mttop::{BatchOutcome, Mifd, MttopAction, MttopCore, PageFaultReq, SpecUndo, TaskChunk};
 use ccsvm_noc::{Network, NodeId, Topology};
 use ccsvm_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use ccsvm_vm::{GuestHeap, OsLite, PteWrite, VirtAddr, PAGE_BYTES};
 
+use crate::config::SpeculationConfig;
 use crate::SystemConfig;
 
 const KIND_SHIFT: u32 = 60;
@@ -38,6 +39,128 @@ fn times(t: Time, k: u64) -> Time {
         t.as_ps()
     );
     Time::from_ps(ps.unwrap_or(u64::MAX))
+}
+
+/// One claimed member of a speculative epoch (DESIGN §12).
+#[derive(Debug)]
+struct EpochMember {
+    core: usize,
+    /// Queue key of the member's batch event: the member commits only after
+    /// every event ordered strictly before `(time, qseq)` has drained.
+    time: Time,
+    qseq: u64,
+    /// The batch schedule sequence claimed at formation; a mismatch with the
+    /// core's live sequence at commit time means the schedule was superseded
+    /// mid-epoch (stale — discarded exactly as the serial loop would).
+    bseq: u64,
+    state: MemberState,
+    outcome: Option<BatchOutcome>,
+}
+
+#[derive(Debug)]
+enum MemberState {
+    /// The epoch head: popped from the queue front, so nothing can drain
+    /// before its slot and it commits unconditionally (no undo journal).
+    Head,
+    /// Speculated with an open L1 undo journal + saved core snapshot.
+    Spec,
+    /// Conflicted and rolled back; re-executes serially at its commit slot.
+    RolledBack,
+}
+
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of host worker threads for core-batch rounds.
+///
+/// The zoned and epoch executors run *thousands* of small fork-join rounds
+/// per simulated run; spawning OS threads per round (`std::thread::scope`)
+/// costs tens of microseconds each and dominated the parallel phase
+/// wall-clock, so the pool spawns its workers once per machine and a round
+/// becomes a channel send plus a completion barrier. The worker count is
+/// `exec_threads - 1` — `sim_threads` clamped to the host's available
+/// parallelism — because on a host with fewer CPUs than `sim_threads` the
+/// extra workers would only time-slice; with zero workers a round runs
+/// entirely inline on the calling thread and the pool is pure bookkeeping.
+///
+/// [`WorkerPool::round`] provides scoped-execution semantics over
+/// `'static` channels by erasing job lifetimes; it is sound because it
+/// never returns (or unwinds) before every dispatched job has signalled
+/// completion, so no job outlives the borrows it captures.
+struct WorkerPool {
+    txs: Vec<std::sync::mpsc::Sender<PoolJob>>,
+    done_rx: std::sync::mpsc::Receiver<std::thread::Result<()>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<PoolJob>();
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for job in rx {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    if done.send(r).is_err() {
+                        break;
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        WorkerPool {
+            txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Runs each of `jobs` on a distinct worker and `own` on the calling
+    /// thread, returning only after all of them finish. A panic from any
+    /// job (or from `own`) is re-raised here — after the barrier, so
+    /// borrowed data is never freed under a still-running job.
+    fn round<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>, own: impl FnOnce()) {
+        assert!(jobs.len() <= self.txs.len(), "more jobs than pool workers");
+        let mut sent = 0;
+        for (i, job) in jobs.into_iter().enumerate() {
+            // SAFETY: lifetime erasure only — layout is identical. The
+            // completion barrier below keeps every borrow captured by `job`
+            // alive until the job has finished running; a job whose send
+            // fails (dead worker) is dropped immediately, never run.
+            let job: PoolJob = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, PoolJob>(job)
+            };
+            if self.txs[i].send(job).is_ok() {
+                sent += 1;
+            }
+        }
+        let own_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(own));
+        let mut worker_panic = None;
+        for _ in 0..sent {
+            match self.done_rx.recv().expect("pool worker died without reporting") {
+                Ok(()) => {}
+                Err(p) => worker_panic = Some(p),
+            }
+        }
+        // Barrier reached: all borrows are dead; now surface any panic.
+        if let Err(p) = own_result {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(p) = worker_panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.txs.clear(); // closes the job channels; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
 }
 
 /// Host wall-clock phase indices for the `prof_phase` accumulator.
@@ -67,9 +190,11 @@ pub struct HostPhases {
     /// is counted unconditionally (no `host_profile` gate — the cache keeps
     /// its own counters).
     pub decode_ms: f64,
-    /// Fork-join zones executed (multi-batch same-timestamp groups).
+    /// Fork-join groups executed: same-timestamp zones under the zoned
+    /// executor, cross-timestamp epochs under the speculative executor
+    /// (DESIGN §7/§12).
     pub zones: u64,
-    /// Core batches executed inside those zones.
+    /// Core batches executed inside those groups.
     pub zone_batches: u64,
 }
 
@@ -397,11 +522,29 @@ pub struct Machine {
     /// Host wall-clock per phase (`PH_*`); only written when
     /// `cfg.host_profile` is set.
     prof_phase: [Duration; 4],
-    /// Fork-join zones executed and batches stepped inside them (telemetry;
-    /// deliberately kept out of `Stats` so reports stay identical across
-    /// `sim_threads` values).
+    /// Fork-join zones/epochs executed and batches stepped inside them
+    /// (telemetry; deliberately kept out of `Stats` so reports stay
+    /// identical across `sim_threads` values).
     zones: u64,
     zone_batches: u64,
+    /// Speculative epoch executor telemetry (DESIGN §12). Host-side only —
+    /// never serialized, never part of a `RunReport`.
+    spec_stats: SpecStats,
+    /// Reusable per-MTTOP-core undo records for epoch members' architectural
+    /// state, captured at `spec_begin` time ([`ccsvm_mttop::SpecUndo`]:
+    /// touched warps + scalar scheduler state, not a full-core snapshot).
+    spec_undo: Vec<SpecUndo>,
+    /// [`MttopConfig::wake_grid_cycles`] converted to picoseconds once
+    /// (`sched_mttop_batch` is hot); `0` disables grid alignment.
+    wake_grid_ps: u64,
+    /// Lazily spawned persistent worker pool shared by the zoned and epoch
+    /// executors (host-side only; never serialized).
+    pool: Option<WorkerPool>,
+    /// `sim_threads` clamped to the host's available parallelism. Execution
+    /// chunking and pool sizing use this; *semantics* (which executor runs,
+    /// epoch formation, commit order) follow `sim_threads` alone, so
+    /// results and speculation coverage are identical on any host.
+    exec_threads: usize,
     /// Forward-progress watchdog, observed on every `Ev::WatchdogTick`. A
     /// `Machine` field (not a run-loop local) so its memory of the last
     /// progress survives a checkpoint/restore of a wedged run.
@@ -533,6 +676,14 @@ impl Machine {
             port_logs: (0..cfg.n_cpus + cfg.n_mttops)
                 .map(|_| PortLog::new())
                 .collect(),
+            spec_undo: (0..cfg.n_mttops).map(|_| SpecUndo::default()).collect(),
+            wake_grid_ps: cfg.mttop.clock.cycles(cfg.mttop.wake_grid_cycles).as_ps(),
+            pool: None,
+            exec_threads: cfg.sim_threads.max(1).min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
             san_ring: EvRing::new(if cfg.sanitizer.enabled {
                 cfg.sanitizer.ring_capacity
             } else {
@@ -565,6 +716,7 @@ impl Machine {
             prof_phase: [Duration::ZERO; 4],
             zones: 0,
             zone_batches: 0,
+            spec_stats: SpecStats::default(),
             watchdog: Watchdog::new(),
             failure: None,
             data_deliveries: 0,
@@ -593,6 +745,15 @@ impl Machine {
     /// The configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Speculative epoch executor telemetry (DESIGN §12): epochs formed,
+    /// members committed/rolled back/stale, undo-journal overflows, and the
+    /// live-batch denominator for epoch coverage. Host-side only — never part
+    /// of [`ccsvm_engine::Stats`] or the `RunReport`, so speculation settings
+    /// cannot perturb simulated results.
+    pub fn spec_stats(&self) -> SpecStats {
+        self.spec_stats
     }
 
     /// Aggregated decoded-superblock cache counters over every CPU and MTTOP
@@ -732,7 +893,14 @@ impl Machine {
             self.boot();
         }
         let paused = if self.cfg.sim_threads > 1 {
-            self.run_zoned(limit)
+            // Mutation campaigns deliberately break coherence invariants, so
+            // the epoch executor's conflict rules no longer imply serial
+            // equivalence there — fall back to same-timestamp zoning.
+            if self.cfg.speculation.enabled && self.cfg.sanitizer.mutate.is_none() {
+                self.run_epochs(limit)
+            } else {
+                self.run_zoned(limit)
+            }
         } else {
             self.run_serial(limit)
         };
@@ -984,6 +1152,516 @@ impl Machine {
             }
         }
         false
+    }
+
+    /// Event-loop trace line, mirrored exactly by every executor so traces
+    /// diff cleanly across `sim_threads`/speculation settings.
+    fn trace_ev(&self, enabled: bool, t: Time, ev: &Ev) {
+        if !enabled {
+            return;
+        }
+        let nev = self.events;
+        if nev < 5000 {
+            eprintln!("[{nev}] t={t:?} {ev:?}");
+        }
+        if nev.is_multiple_of(1_000_000) {
+            eprintln!("[{nev}] t={t:?} qlen={}", self.queue.len());
+        }
+    }
+
+    /// The speculative epoch loop (`sim_threads > 1` with
+    /// [`SpeculationConfig::enabled`], DESIGN §12): like
+    /// [`Machine::run_zoned`], but a live MTTOP batch at the queue head may
+    /// claim further live MTTOP batches from *later* timestamps as one
+    /// epoch. Members execute concurrently over disjoint `CorePort`s with
+    /// undo journals open, then commit strictly in queue-key order; events
+    /// ordered between members drain through the normal serial dispatch
+    /// path, rolling back any member they could affect. The result stream —
+    /// and hence the `RunReport` — is bit-identical to serial.
+    fn run_epochs(&mut self, limit: Time) -> bool {
+        let wd_cfg = self.cfg.fault.watchdog;
+        let trace = std::env::var("CCSVM_TRACE").is_ok();
+        let profile = self.cfg.host_profile;
+        loop {
+            match self.queue.peek_time() {
+                None => break,
+                Some(next) if next > limit => return true,
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events += 1;
+            self.trace_ev(trace, t, &ev);
+            if t > self.cfg.max_sim_time {
+                let reason = format!("simulation exceeded max_sim_time {}", self.cfg.max_sim_time);
+                self.failure = Some((Outcome::Deadlock, self.dump(reason)));
+                break;
+            }
+            match ev {
+                Ev::WatchdogTick => {
+                    let stale = self.watchdog.observe(self.now, self.progress);
+                    if stale >= wd_cfg.quanta {
+                        self.watchdog_abort(stale, wd_cfg.period);
+                        break;
+                    }
+                    self.queue.push(self.now + wd_cfg.period, Ev::WatchdogTick);
+                }
+                Ev::MttopBatch { core, seq } => {
+                    if seq != self.mttop_seq[core] {
+                        continue; // stale: superseded by a later schedule
+                    }
+                    // A poisoned block can abort any batch mid-epoch; run
+                    // the head serially until the poison resolves the run.
+                    if self.mem.has_poisoned() {
+                        self.run_mttop_batch(core);
+                    } else {
+                        self.run_epoch(core, limit, trace, profile, &wd_cfg);
+                    }
+                    if self.main_exited || self.failure.is_some() {
+                        break;
+                    }
+                }
+                other => {
+                    let cls = if profile && !matches!(other, Ev::CpuBatch { .. }) {
+                        Some((Instant::now(), matches!(other, Ev::Mem(_))))
+                    } else {
+                        None
+                    };
+                    self.dispatch(other);
+                    if let Some((t0, is_mem)) = cls {
+                        self.prof_phase[if is_mem { PH_UNCORE } else { PH_OTHER }] += t0.elapsed();
+                    }
+                    if self.main_exited || self.failure.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Scans the queue in key order for up to
+    /// [`SpeculationConfig::max_scan`] entries, extracting live MTTOP batch
+    /// events for cores not already claimed in `mask`, and stopping at the
+    /// first event that could invalidate speculation (any OS/MIFD/fault
+    /// event), past the horizon, or once `left` claims are spent. Memory
+    /// events, CPU batches, watchdog ticks, and stale/duplicate batch
+    /// events are skipped — the commit-time drain handles each of those
+    /// without ending the epoch.
+    fn claim_members(
+        &mut self,
+        horizon: Time,
+        mask: &mut u128,
+        left: &mut usize,
+    ) -> Vec<EpochMember> {
+        let max_scan = self.cfg.speculation.max_scan;
+        let taken = {
+            let mttop_seq = &self.mttop_seq;
+            let mask = &mut *mask;
+            let left = &mut *left;
+            self.queue.scan_extract(max_scan, |t, ev| {
+                if t > horizon || *left == 0 {
+                    return ScanControl::Stop;
+                }
+                match *ev {
+                    // Memory events between members are handled by the
+                    // commit-time drain (rolling back exactly the members
+                    // they could touch); CPU batches execute against their
+                    // own core + L1 and only conflict through OS-entering
+                    // merge actions, which the drain detects after the fact;
+                    // watchdog ticks are progress-neutral.
+                    Ev::Mem(_) | Ev::CpuBatch { .. } | Ev::WatchdogTick => ScanControl::Skip,
+                    Ev::MttopBatch { core, seq } => {
+                        if seq != mttop_seq[core] || *mask & (1u128 << core) != 0 {
+                            // Stale (drains as a no-op later) or a core with
+                            // an uncommitted member: leave it in the queue.
+                            ScanControl::Skip
+                        } else {
+                            *mask |= 1u128 << core;
+                            *left -= 1;
+                            ScanControl::Take
+                        }
+                    }
+                    // Any OS/MIFD/fault event can reach arbitrary cores
+                    // synchronously — don't speculate past it.
+                    _ => ScanControl::Stop,
+                }
+            })
+        };
+        taken
+            .into_iter()
+            .map(|(t, qseq, ev)| {
+                let Ev::MttopBatch { core, seq } = ev else {
+                    unreachable!("formation takes only MTTOP batch events");
+                };
+                EpochMember {
+                    core,
+                    time: t,
+                    qseq,
+                    bseq: seq,
+                    state: MemberState::Spec,
+                    outcome: None,
+                }
+            })
+            .collect()
+    }
+
+    /// Opens undo journals for every speculating member of `round` (the
+    /// head, if present, runs journal-free — it never rolls back) and
+    /// executes all of them concurrently over disjoint `CorePort`s. Cores
+    /// within a round are distinct by construction (`mask`), so each task
+    /// owns its `MttopCore` + L1 port exclusively.
+    fn launch_round(&mut self, round: &mut [EpochMember], profile: bool) {
+        let spec = self.cfg.speculation;
+        let n_cpus = self.cfg.n_cpus;
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.exec_threads.saturating_sub(1)));
+        }
+        for m in round.iter() {
+            if matches!(m.state, MemberState::Spec) {
+                let port = PortId(n_cpus + m.core);
+                self.mem.spec_begin(port, spec.undo_sets);
+                self.mttops[m.core].spec_save(&mut self.spec_undo[m.core]);
+            }
+        }
+
+        let t0 = profile.then(Instant::now);
+        {
+            struct EpochTask<'a> {
+                at: Time,
+                mc: &'a mut MttopCore,
+                port: CorePort<'a>,
+                outcome: Option<BatchOutcome>,
+            }
+            let prog = &self.prog;
+            let pool = self.pool.as_ref().expect("pool created above");
+            let mut ports: Vec<Option<CorePort<'_>>> = self
+                .mem
+                .core_ports(&mut self.port_logs)
+                .into_iter()
+                .map(Some)
+                .collect();
+            let mut mcs: Vec<Option<&mut MttopCore>> = self.mttops.iter_mut().map(Some).collect();
+            let mut tasks: Vec<EpochTask<'_>> = round
+                .iter()
+                .map(|m| EpochTask {
+                    at: m.time,
+                    mc: mcs[m.core].take().expect("epoch cores are distinct"),
+                    port: ports[n_cpus + m.core].take().expect("epoch ports are distinct"),
+                    outcome: None,
+                })
+                .collect();
+            let workers = self.exec_threads.min(tasks.len());
+            let chunk = tasks.len().div_ceil(workers);
+            let mut chunks = tasks.chunks_mut(chunk);
+            let own = chunks.next();
+            let step = |task: &mut EpochTask<'_>| {
+                task.outcome = Some(task.mc.run_batch(task.at, prog, &mut task.port));
+            };
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .map(|rest| {
+                    Box::new(move || rest.iter_mut().for_each(step))
+                        as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.round(jobs, || {
+                if let Some(own) = own {
+                    own.iter_mut().for_each(step);
+                }
+            });
+            for (m, task) in round.iter_mut().zip(tasks) {
+                m.outcome = Some(task.outcome.expect("epoch task ran"));
+            }
+        }
+        if let Some(t) = t0 {
+            self.prof_phase[PH_CORE] += t.elapsed();
+        }
+    }
+
+    /// Forms and runs one speculative epoch headed by `core0`'s live batch
+    /// (already popped at `self.now`).
+    ///
+    /// *Formation* ([`claim_members`]) extracts live MTTOP batch events for
+    /// distinct cores from later timestamps. *Execution* ([`launch_round`])
+    /// journals every non-head member (L1 undo sets + architectural core
+    /// snapshot), then steps the round concurrently. *Commit* walks members
+    /// in queue-key order: the events ordered before each member drain
+    /// serially first ([`drain_epoch`]), and the member then either commits
+    /// (journal discarded, port log replayed — byte-identical to having run
+    /// serially at its slot, since nothing that drained touched its core or
+    /// L1) or, having been rolled back by a conflict, re-executes serially.
+    ///
+    /// After every commit the epoch *reforms*: batch completions drained
+    /// between member slots schedule fresh batch events (MTTOP batches are
+    /// scheduled just-in-time by their last fill, so they rarely coexist in
+    /// the queue up front), and a re-scan claims them into the same epoch —
+    /// including cores whose earlier member already committed. Each claim's
+    /// speculative start state is the serial state at its claim point, and
+    /// the drain's conflict rules cover everything ordered between claim
+    /// and slot, so the serial-equivalence argument is unchanged. The epoch
+    /// thus rolls forward as a pipeline until [`SpeculationConfig::max_epoch`]
+    /// claims are spent or a barrier event stops the scan.
+    ///
+    /// The head member never rolls back: it was the queue head, so no event
+    /// drains before its slot.
+    fn run_epoch(
+        &mut self,
+        core0: usize,
+        limit: Time,
+        trace: bool,
+        profile: bool,
+        wd_cfg: &ccsvm_engine::WatchdogConfig,
+    ) {
+        let spec = self.cfg.speculation;
+        let n_cpus = self.cfg.n_cpus;
+        let horizon = limit.min(self.cfg.max_sim_time);
+
+        // ---- formation --------------------------------------------------
+        let mut mask: u128 = 1u128 << core0;
+        let mut left = spec.max_epoch.saturating_sub(1);
+        let fresh = self.claim_members(horizon, &mut mask, &mut left);
+        if fresh.is_empty() {
+            self.run_mttop_batch(core0);
+            return;
+        }
+
+        // ---- speculative execution --------------------------------------
+        let mut members: Vec<EpochMember> = Vec::with_capacity(1 + fresh.len());
+        members.push(EpochMember {
+            core: core0,
+            time: self.now,
+            qseq: 0,
+            bseq: self.mttop_seq[core0],
+            state: MemberState::Head,
+            outcome: None,
+        });
+        members.extend(fresh);
+        self.spec_stats.epochs += 1;
+        self.spec_stats.members += members.len() as u64;
+        self.zones += 1;
+        self.zone_batches += members.len() as u64;
+        self.launch_round(&mut members, profile);
+
+        // ---- ordered commit ---------------------------------------------
+        let mut i = 0;
+        while i < members.len() {
+            if i > 0 {
+                let bound = (members[i].time, members[i].qseq);
+                if !self.drain_epoch(bound, &mut members, i, trace, profile, wd_cfg) {
+                    return; // aborted; uncommitted members already rolled back
+                }
+                // The member's own queue slot (the head was popped already).
+                let (mtime, core, bseq) = (members[i].time, members[i].core, members[i].bseq);
+                self.now = mtime;
+                self.events += 1;
+                self.trace_ev(trace, mtime, &Ev::MttopBatch { core, seq: bseq });
+            }
+            let m = &mut members[i];
+            let core = m.core;
+            if m.bseq != self.mttop_seq[core] {
+                // Superseded during the epoch (a drained completion
+                // rescheduled the core): discard, exactly as serial would. A
+                // speculating member cannot go stale — every seq-bump path
+                // rolls it back first — but close the journal defensively.
+                debug_assert!(
+                    !matches!(m.state, MemberState::Spec),
+                    "a speculating member went stale without a rollback"
+                );
+                if matches!(m.state, MemberState::Spec) {
+                    self.rollback_member(m);
+                }
+                self.spec_stats.stale += 1;
+            } else {
+                match m.state {
+                    MemberState::Head | MemberState::Spec => {
+                        if matches!(m.state, MemberState::Spec) {
+                            self.mem.spec_commit(PortId(n_cpus + core));
+                        }
+                        self.spec_stats.committed += 1;
+                        self.spec_stats.batches_total += 1;
+                        let outcome = m.outcome.take().expect("epoch member executed");
+                        let t1 = profile.then(Instant::now);
+                        let mut log = std::mem::take(&mut self.port_logs[n_cpus + core]);
+                        self.replay_log(&mut log);
+                        self.port_logs[n_cpus + core] = log;
+                        self.apply_mttop_outcome(core, outcome);
+                        if let Some(t) = t1 {
+                            self.prof_phase[PH_MERGE] += t.elapsed();
+                        }
+                    }
+                    MemberState::RolledBack => self.run_mttop_batch(core),
+                }
+                if self.main_exited || self.failure.is_some() {
+                    self.rollback_from(&mut members, i + 1);
+                    return;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Serially dispatches every queued event whose key orders strictly
+    /// before `bound`, applying the epoch conflict rules to the uncommitted
+    /// members `members[from..]`:
+    ///
+    /// * a directory delivery (`DirArrive`) to a still-speculating member's
+    ///   L1 rolls that member back *before* dispatch — speculation never
+    ///   observes or perturbs a coherence delivery;
+    /// * any other core/OS event rolls back **all** uncommitted members
+    ///   before dispatch (its synchronous effects can reach arbitrary
+    ///   cores); stale batch events are discarded without rollback;
+    /// * a live MTTOP batch (one not claimed at formation) runs serially
+    ///   in place — its core is never a still-speculating member;
+    /// * ECC poison appearing rolls back all members (a poisoned block
+    ///   aborts batches, so later members must re-execute serially).
+    ///
+    /// Returns `false` when the run aborted (watchdog, failure, exit) —
+    /// uncommitted members have already been rolled back so the machine
+    /// state matches the serial abort exactly.
+    fn drain_epoch(
+        &mut self,
+        bound: (Time, u64),
+        members: &mut [EpochMember],
+        from: usize,
+        trace: bool,
+        profile: bool,
+        wd_cfg: &ccsvm_engine::WatchdogConfig,
+    ) -> bool {
+        let n_cpus = self.cfg.n_cpus;
+        while let Some(key) = self.queue.peek_key() {
+            if key >= bound {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events += 1;
+            self.trace_ev(trace, t, &ev);
+            match ev {
+                Ev::WatchdogTick => {
+                    let stale = self.watchdog.observe(self.now, self.progress);
+                    if stale >= wd_cfg.quanta {
+                        self.rollback_from(members, from);
+                        self.watchdog_abort(stale, wd_cfg.period);
+                        return false;
+                    }
+                    self.queue.push(self.now + wd_cfg.period, Ev::WatchdogTick);
+                }
+                Ev::Mem(me) => {
+                    if let Some(port) = me.dir_port() {
+                        if let Some(j) = members[from..].iter().position(|m| {
+                            matches!(m.state, MemberState::Spec) && n_cpus + m.core == port.0
+                        }) {
+                            self.rollback_member(&mut members[from + j]);
+                        }
+                    }
+                    let t0 = profile.then(Instant::now);
+                    self.dispatch(Ev::Mem(me));
+                    if let Some(t0) = t0 {
+                        self.prof_phase[PH_UNCORE] += t0.elapsed();
+                    }
+                    if self.mem.has_poisoned() {
+                        self.rollback_from(members, from);
+                    }
+                    if self.failure.is_some() {
+                        self.rollback_from(members, from);
+                        return false;
+                    }
+                }
+                Ev::MttopBatch { core, seq } => {
+                    if seq == self.mttop_seq[core] {
+                        // Only possible for a non-member or an already
+                        // rolled-back member core (its reschedule landed
+                        // before the old slot); a speculating member's live
+                        // event was extracted at formation.
+                        debug_assert!(
+                            !members[from..]
+                                .iter()
+                                .any(|m| m.core == core && matches!(m.state, MemberState::Spec)),
+                            "live batch drained for a speculating member"
+                        );
+                        self.run_mttop_batch(core);
+                        if self.main_exited || self.failure.is_some() {
+                            self.rollback_from(members, from);
+                            return false;
+                        }
+                    }
+                }
+                Ev::CpuBatch { core, seq } => {
+                    if seq == self.cpu_seq[core] {
+                        let action = self.step_cpu_batch(core);
+                        // Execution touched only the CPU core and its own
+                        // L1 (coherence with speculating L1s flows through
+                        // queued `DirArrive`s, caught above). OS-entering
+                        // actions conflict with everything: a syscall can
+                        // backdoor-read a descriptor out of a speculating
+                        // L1, fault handling can backdoor-patch PTEs into
+                        // one, and an exit aborts the epoch.
+                        if !matches!(
+                            action,
+                            CpuAction::Continue { .. } | CpuAction::Blocked | CpuAction::Idle
+                        ) {
+                            self.rollback_from(members, from);
+                        }
+                        let t1 = profile.then(Instant::now);
+                        self.apply_cpu_action(core, action);
+                        if let Some(t1) = t1 {
+                            self.prof_phase[PH_MERGE] += t1.elapsed();
+                        }
+                        if self.main_exited || self.failure.is_some() {
+                            return false;
+                        }
+                    }
+                    // Stale CPU schedule: a pure no-op in serial too.
+                }
+                other => {
+                    self.rollback_from(members, from);
+                    let t0 = profile.then(Instant::now);
+                    self.dispatch(other);
+                    if let Some(t0) = t0 {
+                        self.prof_phase[PH_OTHER] += t0.elapsed();
+                    }
+                    if self.main_exited || self.failure.is_some() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Rolls one speculating member back to its pre-epoch state: L1 undo
+    /// journal (or full snapshot on overflow), buffered port log dropped
+    /// (its requests were never sent), architectural core state restored
+    /// from the undo record. The member then re-executes serially at its
+    /// commit slot.
+    fn rollback_member(&mut self, m: &mut EpochMember) {
+        debug_assert!(matches!(m.state, MemberState::Spec));
+        let port = PortId(self.cfg.n_cpus + m.core);
+        let overflowed = self.mem.spec_rollback(port);
+        self.port_logs[port.0].clear();
+        self.mttops[m.core].spec_restore(&self.spec_undo[m.core]);
+        m.state = MemberState::RolledBack;
+        m.outcome = None;
+        self.spec_stats.rolled_back += 1;
+        if overflowed {
+            self.spec_stats.overflows += 1;
+        }
+    }
+
+    /// Rolls back every still-speculating member in `members[from..]`.
+    fn rollback_from(&mut self, members: &mut [EpochMember], from: usize) {
+        let mut any = false;
+        for m in &mut members[from..] {
+            if matches!(m.state, MemberState::Spec) {
+                self.rollback_member(m);
+                any = true;
+            }
+        }
+        if any {
+            self.spec_stats.rollback_all += 1;
+        }
     }
 
     /// Records a watchdog abort. The dump's `at` is the simulated time of
@@ -1256,11 +1934,22 @@ impl Machine {
             .push(at.max(self.now), Ev::CpuBatch { core, seq });
     }
 
+    /// Schedules (or reschedules) `core`'s next batch. The wakeup aligns to
+    /// the warp scheduler's clocked grid
+    /// ([`MttopConfig::wake_grid_cycles`]): completions landing within one
+    /// grid tick coalesce into a single batch event, exactly as a clocked
+    /// scheduler samples runnable warps at tick edges. Part of the timing
+    /// model — every executor (serial, zoned, epochs) observes the same
+    /// grid, so results stay bit-identical across `sim_threads`.
     fn sched_mttop_batch(&mut self, core: usize, at: Time) {
         self.mttop_seq[core] += 1;
         let seq = self.mttop_seq[core];
-        self.queue
-            .push(at.max(self.now), Ev::MttopBatch { core, seq });
+        let mut at = at.max(self.now);
+        if self.wake_grid_ps > 0 {
+            let ps = at.as_ps();
+            at = Time::from_ps(ps.div_ceil(self.wake_grid_ps) * self.wake_grid_ps);
+        }
+        self.queue.push(at, Ev::MttopBatch { core, seq });
     }
 
     // ----- dispatch --------------------------------------------------------
@@ -1520,7 +2209,12 @@ impl Machine {
         self.net.note_sent(sent);
     }
 
-    fn run_cpu_batch(&mut self, core: usize) {
+    /// Steps one CPU batch (core execution + uncore replay) and returns the
+    /// merge action *unapplied*: execution touches only the CPU core and its
+    /// own L1, while the action may enter the OS — the epoch drain uses the
+    /// split to roll back speculation before OS-entering actions only
+    /// (DESIGN §12).
+    fn step_cpu_batch(&mut self, core: usize) -> CpuAction {
         let profile = self.cfg.host_profile;
         let t0 = profile.then(Instant::now);
         let mut log = std::mem::take(&mut self.port_logs[core]);
@@ -1535,6 +2229,15 @@ impl Machine {
         let t1 = profile.then(Instant::now);
         self.replay_log(&mut log);
         self.port_logs[core] = log;
+        if let Some(t) = t1 {
+            self.prof_phase[PH_MERGE] += t.elapsed();
+        }
+        action
+    }
+
+    fn run_cpu_batch(&mut self, core: usize) {
+        let action = self.step_cpu_batch(core);
+        let t1 = self.cfg.host_profile.then(Instant::now);
         self.apply_cpu_action(core, action);
         if let Some(t) = t1 {
             self.prof_phase[PH_MERGE] += t.elapsed();
@@ -1568,6 +2271,7 @@ impl Machine {
     }
 
     fn run_mttop_batch(&mut self, core: usize) {
+        self.spec_stats.batches_total += 1;
         let profile = self.cfg.host_profile;
         let t0 = profile.then(Instant::now);
         let port = PortId(self.cfg.n_cpus + core);
@@ -1620,6 +2324,9 @@ impl Machine {
     /// port, and all shared state waits for the merge.
     fn run_mttop_zone(&mut self, cores: &[usize]) {
         let profile = self.cfg.host_profile;
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.exec_threads.saturating_sub(1)));
+        }
         let t0 = profile.then(Instant::now);
         let now = self.now;
         let n_cpus = self.cfg.n_cpus;
@@ -1632,6 +2339,7 @@ impl Machine {
                 port: CorePort<'a>,
                 outcome: Option<BatchOutcome>,
             }
+            let pool = self.pool.as_ref().expect("pool created above");
             let mut ports: Vec<Option<CorePort<'_>>> = self
                 .mem
                 .core_ports(&mut self.port_logs)
@@ -1648,22 +2356,22 @@ impl Machine {
                     outcome: None,
                 })
                 .collect();
-            let workers = self.cfg.sim_threads.min(tasks.len());
+            let workers = self.exec_threads.min(tasks.len());
             let chunk = tasks.len().div_ceil(workers);
-            std::thread::scope(|s| {
-                let mut chunks = tasks.chunks_mut(chunk);
-                let own = chunks.next();
-                for rest in chunks {
-                    s.spawn(move || {
-                        for task in rest {
-                            task.outcome = Some(task.mc.run_batch(now, prog, &mut task.port));
-                        }
-                    });
-                }
+            let mut chunks = tasks.chunks_mut(chunk);
+            let own = chunks.next();
+            let step = |task: &mut ZoneTask<'_>| {
+                task.outcome = Some(task.mc.run_batch(now, prog, &mut task.port));
+            };
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                .map(|rest| {
+                    Box::new(move || rest.iter_mut().for_each(step))
+                        as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.round(jobs, || {
                 if let Some(own) = own {
-                    for task in own {
-                        task.outcome = Some(task.mc.run_batch(now, prog, &mut task.port));
-                    }
+                    own.iter_mut().for_each(step);
                 }
             });
             for task in tasks {
@@ -2004,6 +2712,9 @@ pub fn config_hash(cfg: &SystemConfig) -> u64 {
     // on/off, DESIGN §11): a cache-off checkpoint restores into a cache-on
     // run and vice versa.
     c.sb_cache = true;
+    // The speculative epoch executor is bit-identical on/off at every
+    // setting (DESIGN §12): checkpoints cross speculation configs freely.
+    c.speculation = SpeculationConfig::default();
     ccsvm_snap::fnv1a(format!("{c:?}").as_bytes())
 }
 
@@ -2694,6 +3405,10 @@ mod tests {
         threads.sim_threads = 8;
         threads.host_profile = true;
         threads.sb_cache = false;
+        threads.speculation.enabled = false;
+        threads.speculation.max_epoch = 2;
+        threads.speculation.max_scan = 7;
+        threads.speculation.undo_sets = 1;
         assert_eq!(config_hash(&base), config_hash(&threads));
 
         let mut other = base.clone();

@@ -36,10 +36,12 @@ mod fault;
 pub mod fxmap;
 mod rng;
 pub mod sanitizer;
+mod spec;
 mod stats;
 mod time;
 
-pub use event::{EventQueue, ReferenceEventQueue};
+pub use event::{EventQueue, ReferenceEventQueue, ScanControl};
+pub use spec::SpecStats;
 pub use fault::{
     DirTimeoutConfig, DramFaultConfig, FaultConfig, FaultDomain, FaultPlan, NocFaultConfig,
     TlbFaultConfig, Watchdog, WatchdogConfig,

@@ -1,0 +1,74 @@
+//! Speculative epoch executor telemetry (DESIGN §12).
+//!
+//! Host-side counters describing how the cross-timestamp epoch pipeline
+//! behaved: how many epochs formed, how many members committed clean versus
+//! rolled back and re-executed serially, and how often the bounded undo
+//! journal overflowed into a full pre-image snapshot. Deliberately a plain
+//! struct outside [`Stats`](crate::Stats) — speculation must never perturb
+//! simulated results, so its telemetry must never enter a `RunReport`.
+
+/// Counters for the speculative epoch executor. All host-side telemetry:
+/// never serialized into snapshots and never part of a run report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Multi-member epochs executed speculatively.
+    pub epochs: u64,
+    /// Members claimed into those epochs (each one live MTTOP batch event).
+    pub members: u64,
+    /// Members whose speculative execution committed unchanged.
+    pub committed: u64,
+    /// Members rolled back (footprint conflict or ordering hazard) and
+    /// re-executed serially at their original key.
+    pub rolled_back: u64,
+    /// Members extracted into an epoch but already stale (superseded batch
+    /// schedule) by their commit slot — discarded exactly as serial would.
+    pub stale: u64,
+    /// Rollbacks that took the snapshot-restore slow path because the
+    /// bounded undo journal overflowed mid-speculation.
+    pub overflows: u64,
+    /// Epoch-wide rollbacks forced by a non-memory event (or a poison/abort
+    /// transition) draining before the last member committed.
+    pub rollback_all: u64,
+    /// Live MTTOP batch events dispatched in total (epoch members or not);
+    /// the denominator for epoch coverage.
+    pub batches_total: u64,
+}
+
+impl SpecStats {
+    /// Fraction of live MTTOP batches that committed speculatively, in
+    /// [0, 1]. The headline "epoch coverage" number in the perf artifact.
+    pub fn coverage(&self) -> f64 {
+        if self.batches_total == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.batches_total as f64
+        }
+    }
+
+    /// Fraction of claimed members that committed (vs rolled back/stale),
+    /// in [0, 1]; 1.0 when no epoch ever formed.
+    pub fn commit_rate(&self) -> f64 {
+        if self.members == 0 {
+            1.0
+        } else {
+            self.committed as f64 / self.members as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_and_partial() {
+        let mut s = SpecStats::default();
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.commit_rate(), 1.0);
+        s.batches_total = 8;
+        s.members = 6;
+        s.committed = 3;
+        assert_eq!(s.coverage(), 0.375);
+        assert_eq!(s.commit_rate(), 0.5);
+    }
+}

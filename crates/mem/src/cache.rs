@@ -85,6 +85,18 @@ pub struct CacheArray<M> {
     fold_w: u32,
 }
 
+/// Pre-image of one cache set, captured by [`CacheArray::snapshot_set`] and
+/// reinstated by [`CacheArray::restore_set`] when a speculative epoch member
+/// rolls back.
+#[derive(Clone, Debug)]
+pub struct SetImage<M> {
+    set: u64,
+    tags: Vec<u64>,
+    lru: Vec<u64>,
+    metas: Vec<M>,
+    data: Vec<[u8; BLOCK_BYTES as usize]>,
+}
+
 /// An evicted block returned by [`CacheArray::insert`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Evicted<M> {
@@ -460,6 +472,48 @@ impl<M> CacheArray<M> {
         Ok(())
     }
 
+    /// Current LRU tick. Together with [`CacheArray::set_tick`] this lets a
+    /// speculative executor rewind the recency clock on rollback — LRU
+    /// ordering is part of snapshot bytes, so an unrewound tick would leak
+    /// speculation into later eviction decisions.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Restores the LRU tick (rollback of speculative touches).
+    pub fn set_tick(&mut self, tick: u64) {
+        self.tick = tick;
+    }
+
+    /// Pre-image of set `set` — everything an access can mutate in that set
+    /// (tags, LRU stamps, metadata, data) — for the speculative undo journal
+    /// (DESIGN §12). Captured at first speculative touch of the set.
+    pub fn snapshot_set(&self, set: u64) -> SetImage<M>
+    where
+        M: Clone,
+    {
+        let r = set as usize * self.config.ways..(set as usize + 1) * self.config.ways;
+        SetImage {
+            set,
+            tags: self.tags[r.clone()].to_vec(),
+            lru: self.lru[r.clone()].to_vec(),
+            metas: self.metas[r.clone()].to_vec(),
+            data: self.data[r].to_vec(),
+        }
+    }
+
+    /// Restores a set captured by [`CacheArray::snapshot_set`], byte-exactly.
+    pub fn restore_set(&mut self, img: &SetImage<M>)
+    where
+        M: Clone,
+    {
+        let r = img.set as usize * self.config.ways..(img.set as usize + 1) * self.config.ways;
+        self.tags[r.clone()].clone_from_slice(&img.tags);
+        self.lru[r.clone()].clone_from_slice(&img.lru);
+        self.metas[r.clone()].clone_from_slice(&img.metas);
+        self.data[r].clone_from_slice(&img.data);
+    }
+
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
         self.tags.iter().filter(|&&t| t != TAG_INVALID).count()
@@ -601,6 +655,38 @@ mod tests {
             assert!(s < 64);
             assert_eq!(s, c.set_of(b));
         }
+    }
+
+    /// Set pre-image round trip: mutate a set every way an access can
+    /// (insert with eviction, data write, LRU touch, remove), restore, and
+    /// require the whole array — including the recency clock — back
+    /// byte-exact.
+    #[test]
+    fn set_image_restores_exactly() {
+        let mut c: CacheArray<u8> = CacheArray::new(cfg(4, 2));
+        let b = conflicting(&c, 3);
+        c.insert(b[0], 1, [1; 64]);
+        c.insert(b[1], 2, [2; 64]);
+        let set = c.set_of(b[0]);
+        let tick0 = c.tick();
+        let img = c.snapshot_set(set);
+
+        c.insert(b[2], 3, [3; 64]); // evicts LRU
+        c.write(b[2], 0, &[9]);
+        let i = c.lookup_idx(b[1]).unwrap();
+        c.touch_at(i);
+        c.remove(b[1]);
+
+        c.restore_set(&img);
+        c.set_tick(tick0);
+        assert_eq!(c.tick(), tick0);
+        assert_eq!(c.peek(b[0]), Some(&1));
+        assert_eq!(c.peek(b[1]), Some(&2));
+        assert!(c.peek(b[2]).is_none());
+        assert_eq!(c.data(b[0]), [1; 64]);
+        assert_eq!(c.data(b[1]), [2; 64]);
+        // LRU order is restored too: b0 (older) is the eviction victim again.
+        assert_eq!(c.would_evict(b[2]), Some(b[0]));
     }
 
     #[test]

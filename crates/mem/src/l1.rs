@@ -6,11 +6,11 @@
 //! cores"). Write-back, write-allocate; atomics acquire M and execute in the
 //! L1 (§3.2.4). A write-through mode exists solely for the §6.1 ablation.
 
-use ccsvm_engine::{fx_map_with_capacity, stat_id, FxHashMap, Stats, Time};
+use ccsvm_engine::{fx_map_with_capacity, stat_id, FxHashMap, FxHashSet, Stats, Time};
 use ccsvm_noc::NodeId;
 
 use crate::addr::{block_of, offset_in_block, PhysAddr};
-use crate::cache::{CacheArray, CacheConfig};
+use crate::cache::{CacheArray, CacheConfig, SetImage};
 use crate::dram::word_from_block;
 use crate::msg::{BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request};
 use crate::system::{Access, PortId};
@@ -86,6 +86,42 @@ struct EvictEntry {
     dirty: bool,
 }
 
+/// Undo journal for one speculative epoch member (DESIGN §12).
+///
+/// Captured at `spec_begin` and discarded at `spec_commit`: begin-time copies
+/// of the LRU tick, the access counters and the three miss-tracking maps,
+/// plus set-granular first-touch pre-images of the cache array, capped at
+/// `budget` sets. When the cap is exceeded the journal falls back to the
+/// snapshot machinery: `full` holds a whole-L1 snapshot taken at overflow
+/// time, and rollback loads it *then* re-applies the pre-overflow images on
+/// top (the journaled sets are mid-speculation in that snapshot; the images
+/// rewind them the rest of the way; every other set was still untouched when
+/// the snapshot was taken).
+///
+/// No directory message is ever delivered to a speculating L1 — the epoch
+/// scheduler rolls the member back first — so the maps and counters can only
+/// change under the member's own core-side accesses, and restoring the
+/// begin-time copies wholesale is exact.
+#[derive(Debug, Default)]
+struct SpecState {
+    /// Sets with a captured pre-image (or, past the budget, sets that
+    /// tripped the overflow path).
+    touched: FxHashSet<u64>,
+    /// First-touch pre-images, in capture order (restore order is
+    /// irrelevant: one image per set).
+    images: Vec<SetImage<Line>>,
+    /// Maximum images before overflow.
+    budget: usize,
+    overflowed: bool,
+    /// Whole-L1 snapshot bytes, captured at the moment of overflow.
+    full: Vec<u8>,
+    tick0: u64,
+    counters0: [u64; 11],
+    mshrs0: FxHashMap<u64, Mshr>,
+    evict0: FxHashMap<u64, EvictEntry>,
+    reserved0: FxHashMap<u64, usize>,
+}
+
 /// Result of a core-side access attempt.
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) enum L1Access {
@@ -100,6 +136,14 @@ pub(crate) struct L1Out {
     pub requests: Vec<Request>,
     pub responses: Vec<L1ToDir>,
     pub completions: Vec<(u64, u64, u64)>, // (token, value, block)
+}
+
+impl L1Out {
+    pub(crate) fn clear(&mut self) {
+        self.requests.clear();
+        self.responses.clear();
+        self.completions.clear();
+    }
 }
 
 #[derive(Debug)]
@@ -121,6 +165,14 @@ pub(crate) struct L1 {
     /// response already gave the block away). Off by default so protocol
     /// bugs still trip the strict assertions.
     lenient: bool,
+    /// Active undo journal while this L1 executes a speculative epoch
+    /// member; `None` during committed execution.
+    spec: Option<Box<SpecState>>,
+    /// Retired journals kept for reuse so `spec_begin` on the hot epoch
+    /// path does not allocate. Boxed on purpose: journals shuttle between
+    /// here and `spec` as the same allocation, never re-boxed.
+    #[allow(clippy::vec_box)]
+    spec_free: Vec<Box<SpecState>>,
     // counters
     loads: u64,
     stores: u64,
@@ -147,6 +199,8 @@ impl L1 {
             reserved: fx_map_with_capacity(config.max_mshrs),
             retry_trace: std::env::var("CCSVM_RETRY_TRACE").is_ok(),
             lenient: false,
+            spec: None,
+            spec_free: Vec::new(),
             loads: 0,
             stores: 0,
             atomics: 0,
@@ -165,6 +219,119 @@ impl L1 {
     /// the field docs); used when directory timeouts are enabled.
     pub fn set_lenient(&mut self) {
         self.lenient = true;
+    }
+
+    fn counters(&self) -> [u64; 11] {
+        [
+            self.loads,
+            self.stores,
+            self.atomics,
+            self.hits,
+            self.misses,
+            self.merged_misses,
+            self.retries,
+            self.writebacks,
+            self.invalidations,
+            self.fetches,
+            self.spurious_fetches,
+        ]
+    }
+
+    fn set_counters(&mut self, c: [u64; 11]) {
+        [
+            self.loads,
+            self.stores,
+            self.atomics,
+            self.hits,
+            self.misses,
+            self.merged_misses,
+            self.retries,
+            self.writebacks,
+            self.invalidations,
+            self.fetches,
+            self.spurious_fetches,
+        ] = c;
+    }
+
+    /// Opens an undo journal: until `spec_commit`/`spec_rollback`, every
+    /// core-side mutation is revertible. `budget` caps the number of
+    /// set-granular pre-images before the journal falls back to a full
+    /// snapshot (see [`SpecState`]).
+    pub fn spec_begin(&mut self, budget: usize) {
+        debug_assert!(self.spec.is_none(), "nested speculation on {:?}", self.id);
+        let mut spec = self.spec_free.pop().unwrap_or_default();
+        spec.touched.clear();
+        spec.images.clear();
+        spec.full.clear();
+        spec.budget = budget.max(1);
+        spec.overflowed = false;
+        spec.tick0 = self.array.tick();
+        spec.counters0 = self.counters();
+        spec.mshrs0.clone_from(&self.mshrs);
+        spec.evict0.clone_from(&self.evict_buf);
+        spec.reserved0.clone_from(&self.reserved);
+        self.spec = Some(spec);
+    }
+
+    /// Whether an undo journal is currently open.
+    pub fn spec_active(&self) -> bool {
+        self.spec.is_some()
+    }
+
+    /// Whether the open journal has overflowed into the snapshot path.
+    #[cfg(test)]
+    pub fn spec_overflowed(&self) -> bool {
+        self.spec.as_ref().is_some_and(|s| s.overflowed)
+    }
+
+    /// Keeps the speculative execution: the journal is discarded and the
+    /// current state becomes committed.
+    pub fn spec_commit(&mut self) {
+        let spec = self.spec.take().expect("spec_commit without spec_begin");
+        self.spec_free.push(spec);
+    }
+
+    /// Reverts every mutation since `spec_begin`, byte-exactly (snapshot
+    /// streams taken before and after a begin/execute/rollback cycle are
+    /// identical). Returns `true` when the overflow slow path was taken.
+    pub fn spec_rollback(&mut self) -> bool {
+        let mut spec = self.spec.take().expect("spec_rollback without spec_begin");
+        let overflowed = spec.overflowed;
+        if overflowed {
+            let mut r = ccsvm_snap::SnapReader::new(&spec.full);
+            ccsvm_snap::Snapshot::load(self, &mut r)
+                .expect("overflow snapshot was written by this L1");
+        }
+        for img in &spec.images {
+            self.array.restore_set(img);
+        }
+        self.array.set_tick(spec.tick0);
+        self.set_counters(spec.counters0);
+        std::mem::swap(&mut self.mshrs, &mut spec.mshrs0);
+        std::mem::swap(&mut self.evict_buf, &mut spec.evict0);
+        std::mem::swap(&mut self.reserved, &mut spec.reserved0);
+        self.spec_free.push(spec);
+        overflowed
+    }
+
+    /// First-touch hook: captures a pre-image of `block`'s set before any
+    /// path below may mutate it. No-op when no journal is open.
+    fn spec_touch(&mut self, block: u64) {
+        let Some(mut spec) = self.spec.take() else {
+            return;
+        };
+        let set = self.array.set_of(block);
+        if spec.touched.insert(set) {
+            if spec.images.len() < spec.budget {
+                spec.images.push(self.array.snapshot_set(set));
+            } else if !spec.overflowed {
+                spec.overflowed = true;
+                let mut w = ccsvm_snap::SnapWriter::new();
+                ccsvm_snap::Snapshot::save(self, &mut w);
+                spec.full = w.into_vec();
+            }
+        }
+        self.spec = Some(spec);
     }
 
     /// Replays the counter effects of re-attempting an access that returned
@@ -227,6 +394,9 @@ impl L1 {
             Access::Rmw { .. } => self.atomics += 1,
         }
         let block = block_of(addr);
+        // Every array mutation below (LRU touch, data write, eviction,
+        // install reservation) stays within this block's set.
+        self.spec_touch(block);
         // One tag lookup resolves the way; the hit paths below reuse the
         // index instead of re-scanning the set per read/write/meta touch.
         // LRU tick behaviour is unchanged: one touch for a read hit, two for
@@ -437,6 +607,12 @@ impl L1 {
 
     /// Handles a directory → L1 message.
     pub fn on_dir_msg(&mut self, msg: DirToL1, out: &mut L1Out) {
+        debug_assert!(
+            self.spec.is_none(),
+            "directory message delivered to speculating L1 {:?}: the epoch \
+             scheduler must roll the member back before dispatching",
+            self.id
+        );
         match msg {
             DirToL1::Data { block, grant, data } => self.on_fill(block, grant, data, out),
             DirToL1::AckM { block } => {
@@ -611,6 +787,7 @@ impl L1 {
     /// Returns `false` when the cache lacks write permission.
     pub fn poke_word(&mut self, addr: PhysAddr, size: usize, value: u64) -> bool {
         let block = block_of(addr);
+        self.spec_touch(block);
         match self.array.peek_idx(block) {
             Some(i) if matches!(self.array.meta_at(i).state, L1State::M | L1State::E) => {
                 self.array.meta_at_mut(i).state = L1State::M;
@@ -626,6 +803,7 @@ impl L1 {
     /// Functionally overwrites bytes of a resident block (any valid state),
     /// for the machine's coherent backdoor. Returns `false` if not resident.
     pub fn backdoor_patch(&mut self, block: u64, off: usize, bytes: &[u8]) -> bool {
+        self.spec_touch(block);
         match self.array.peek(block) {
             Some(line) if line.state.readable() => {
                 self.array.write(block, off, bytes);
@@ -715,6 +893,10 @@ impl L1State {
 /// byte stream is independent of insertion history.
 impl ccsvm_snap::Snapshot for L1 {
     fn save(&self, w: &mut ccsvm_snap::SnapWriter) {
+        // Holds both for machine checkpoints (epochs fully resolve before a
+        // pause) and for the overflow capture in `spec_touch` (which takes
+        // the journal out of `self` before saving).
+        debug_assert!(self.spec.is_none(), "snapshot of a speculating L1");
         self.array
             .save_with(w, |line, w| w.put_u8(line.state.snap_tag()));
 
@@ -821,5 +1003,120 @@ impl ccsvm_snap::Snapshot for L1 {
             *c = r.get_u64()?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::msg::Grant;
+
+    fn test_l1() -> L1 {
+        L1::new(
+            PortId(0),
+            L1Config {
+                node: NodeId(0),
+                cache: CacheConfig { sets: 4, ways: 2 },
+                hit_time: Time::from_ps(690),
+                max_mshrs: 4,
+                write_policy: WritePolicy::WriteBack,
+            },
+        )
+    }
+
+    fn snap_bytes(l1: &L1) -> Vec<u8> {
+        let mut w = ccsvm_snap::SnapWriter::new();
+        ccsvm_snap::Snapshot::save(l1, &mut w);
+        w.into_vec()
+    }
+
+    /// Miss on `block` and deliver the fill, leaving it resident in `grant`.
+    fn install(l1: &mut L1, block: u64, grant: Grant) {
+        let mut out = L1Out::default();
+        let r = l1.access(
+            Access::Read {
+                paddr: PhysAddr(block * crate::BLOCK_BYTES),
+                size: 8,
+            },
+            0xB000 + block,
+            &mut out,
+        );
+        assert_eq!(r, L1Access::Pending);
+        let mut data = [0u8; crate::BLOCK_BYTES as usize];
+        data[..8].copy_from_slice(&(0xD00D_0000 + block).to_le_bytes());
+        l1.on_dir_msg(DirToL1::Data { block, grant, data }, &mut out);
+    }
+
+    /// Speculative mutations across several sets: write hits, an eviction
+    /// (set pressure), a fresh miss, a doomed retry and a poke.
+    fn churn(l1: &mut L1, out: &mut L1Out) {
+        let w = |block: u64| Access::Write {
+            paddr: PhysAddr(block * crate::BLOCK_BYTES),
+            size: 8,
+            value: 0xFEED + block,
+        };
+        assert!(matches!(l1.access(w(1), 1, out), L1Access::Hit { .. }));
+        assert!(matches!(l1.access(w(5), 2, out), L1Access::Hit { .. }));
+        // Set 1 holds blocks 1 and 5; a third conflicting miss evicts.
+        assert_eq!(l1.access(w(9), 3, out), L1Access::Pending);
+        // Fresh miss in an untouched set.
+        assert_eq!(
+            l1.access(
+                Access::Read {
+                    paddr: PhysAddr(2 * crate::BLOCK_BYTES),
+                    size: 4
+                },
+                4,
+                out
+            ),
+            L1Access::Pending
+        );
+        l1.count_doomed_retry(w(9));
+        l1.poke_word(PhysAddr(crate::BLOCK_BYTES + 16), 8, 0xCAFE);
+    }
+
+    #[test]
+    fn spec_rollback_restores_snapshot_bytes() {
+        let mut l1 = test_l1();
+        for (b, g) in [(1, Grant::M), (5, Grant::E), (3, Grant::S)] {
+            install(&mut l1, b, g);
+        }
+        let bytes0 = snap_bytes(&l1);
+
+        // Journaled path: generous budget, no overflow.
+        let mut out = L1Out::default();
+        l1.spec_begin(8);
+        churn(&mut l1, &mut out);
+        assert!(!l1.spec_overflowed());
+        assert!(!l1.spec_rollback());
+        assert_eq!(snap_bytes(&l1), bytes0, "journaled rollback must be exact");
+
+        // Overflow path: budget of one image, same churn.
+        let mut out = L1Out::default();
+        l1.spec_begin(1);
+        churn(&mut l1, &mut out);
+        assert!(l1.spec_overflowed());
+        assert!(l1.spec_rollback());
+        assert_eq!(snap_bytes(&l1), bytes0, "overflow rollback must be exact");
+    }
+
+    #[test]
+    fn spec_commit_matches_unspeculated_twin() {
+        let mut spec = test_l1();
+        let mut plain = test_l1();
+        for l1 in [&mut spec, &mut plain] {
+            for (b, g) in [(1, Grant::M), (5, Grant::E), (3, Grant::S)] {
+                install(l1, b, g);
+            }
+        }
+        let mut out_s = L1Out::default();
+        let mut out_p = L1Out::default();
+        spec.spec_begin(2);
+        churn(&mut spec, &mut out_s);
+        spec.spec_commit();
+        churn(&mut plain, &mut out_p);
+        assert_eq!(snap_bytes(&spec), snap_bytes(&plain));
+        assert_eq!(format!("{out_s:?}"), format!("{out_p:?}"));
     }
 }

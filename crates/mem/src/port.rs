@@ -41,6 +41,9 @@ struct LogEntry {
 #[derive(Debug, Default)]
 pub struct PortLog {
     entries: Vec<LogEntry>,
+    /// Reusable L1 output buffer for [`CorePort::access`]. One per port and
+    /// alive across batches, so the hot access path allocates nothing.
+    scratch: L1Out,
 }
 
 impl PortLog {
@@ -52,6 +55,13 @@ impl PortLog {
     /// Whether nothing has been buffered.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Discards the buffered sends without replaying them (capacity kept).
+    /// Rollback of a speculative epoch member: its requests were never
+    /// visible to the uncore, so dropping them is exact.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// Drains the buffered sends in order: each is injected into `net` and its
@@ -121,32 +131,34 @@ impl<'a> CorePort<'a> {
     /// misses into `completions`. This is the one implementation of L1-side
     /// output routing; both [`CorePort::access`] and the system's directory
     /// message delivery go through it.
-    pub(crate) fn flush(&mut self, now: Time, out: L1Out, completions: &mut Vec<Completion>) {
+    pub(crate) fn flush(&mut self, now: Time, out: &mut L1Out, completions: &mut Vec<Completion>) {
         let node = self.l1.config.node;
-        for req in out.requests {
+        for req in out.requests.drain(..) {
             let b = self.home(req.block);
+            let bytes = self.req_bytes(&req);
             self.log.entries.push(LogEntry {
                 at: now,
                 src: node,
                 dst: self.banks[b].node,
-                bytes: self.req_bytes(&req),
+                bytes,
                 ev: MemEvent(MemEventKind::ReqArrive(req)),
             });
         }
-        for resp in out.responses {
+        for resp in out.responses.drain(..) {
             let rb = match &resp {
                 L1ToDir::InvResp { block, .. } | L1ToDir::FetchResp { block, .. } => *block,
             };
             let b = self.home(rb);
+            let bytes = self.resp_bytes(&resp);
             self.log.entries.push(LogEntry {
                 at: now,
                 src: node,
                 dst: self.banks[b].node,
-                bytes: self.resp_bytes(&resp),
+                bytes,
                 ev: MemEvent(MemEventKind::RespArrive(BankId(b), resp)),
             });
         }
-        for (token, value, block) in out.completions {
+        for (token, value, block) in out.completions.drain(..) {
             let poisoned = !self.poisoned.is_empty() && self.poisoned.contains(&block);
             completions.push(Completion {
                 port: self.l1.id,
@@ -160,14 +172,18 @@ impl<'a> CorePort<'a> {
     /// Issues `access` on this port, buffering any miss traffic in the log.
     /// Mirrors [`MemorySystem::access`](crate::MemorySystem::access) exactly.
     pub fn access(&mut self, now: Time, token: u64, access: Access) -> AccessResult {
-        let mut out = L1Out::default();
+        // Borrow the log's scratch buffer for the duration of the L1 step;
+        // `flush` drains it, so it goes back empty.
+        let mut out = std::mem::take(&mut self.log.scratch);
+        out.clear();
         let result = self.l1.access(access, token, &mut out);
         debug_assert!(out.completions.is_empty(), "access cannot complete others");
         // The miss leaves the L1 after the tag lookup (one hit time).
         let hit_time = self.l1.config.hit_time;
         let mut no_completions = Vec::new();
-        self.flush(now + hit_time, out, &mut no_completions);
+        self.flush(now + hit_time, &mut out, &mut no_completions);
         debug_assert!(no_completions.is_empty());
+        self.log.scratch = out;
         match result {
             L1Access::Hit { value } => {
                 if !self.poisoned.is_empty() && self.poisoned.contains(&block_of(access.addr())) {

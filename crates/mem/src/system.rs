@@ -152,6 +152,9 @@ pub struct MemorySystem {
     /// Reusable log for the serial [`MemorySystem::access`] path, so the
     /// buffer-and-replay round trip allocates only once.
     scratch: PortLog,
+    /// Reusable L1 output buffer for directory-message delivery, so the hot
+    /// `DirArrive` path allocates nothing.
+    scratch_out: L1Out,
 }
 
 impl MemorySystem {
@@ -188,6 +191,7 @@ impl MemorySystem {
             dir_budget: 0,
             retry_exhausted: None,
             scratch: PortLog::new(),
+            scratch_out: L1Out::default(),
         }
     }
 
@@ -273,6 +277,45 @@ impl MemorySystem {
         !self.poisoned.is_empty()
     }
 
+    // --- speculative epoch support (DESIGN §12) ---------------------------
+    //
+    // The epoch executor runs several MTTOP batches from *different*
+    // timestamps optimistically. Each member's L1 opens an undo journal; the
+    // scheduler guarantees no directory message is ever delivered to a
+    // journaling L1 (it rolls the member back first), so commit/rollback are
+    // purely local to the port.
+
+    /// Opens an undo journal on `port`'s L1 (see [`crate::MemorySystem`] spec
+    /// notes). `budget` caps the set-granular pre-images before the journal
+    /// falls back to a full L1 snapshot.
+    pub fn spec_begin(&mut self, port: PortId, budget: usize) {
+        self.l1s[port.0].spec_begin(budget);
+    }
+
+    /// Whether `port`'s L1 currently has an open undo journal.
+    pub fn spec_active(&self, port: PortId) -> bool {
+        self.l1s[port.0].spec_active()
+    }
+
+    /// Commits `port`'s speculative execution, discarding the journal.
+    pub fn spec_commit(&mut self, port: PortId) {
+        self.l1s[port.0].spec_commit();
+    }
+
+    /// Rolls `port`'s L1 back to its `spec_begin` state, byte-exactly.
+    /// Returns `true` when the journal had overflowed and the snapshot
+    /// restore slow path was taken.
+    pub fn spec_rollback(&mut self, port: PortId) -> bool {
+        self.l1s[port.0].spec_rollback()
+    }
+
+    /// Whether `port` has any outstanding misses in flight. The epoch
+    /// scheduler skips such ports at formation time: their fills would
+    /// conflict with the speculation anyway.
+    pub fn has_outstanding(&self, port: PortId) -> bool {
+        !self.l1s[port.0].quiescent()
+    }
+
     /// Issues `access` on `port`. `token` identifies the access in a later
     /// [`Completion`] if it misses.
     ///
@@ -342,9 +385,11 @@ impl MemorySystem {
                 self.apply_bank_out(now, bank.0, out, net, sched);
             }
             MemEventKind::DirArrive(port, msg) => {
-                let mut out = L1Out::default();
+                let mut out = std::mem::take(&mut self.scratch_out);
+                out.clear();
                 self.l1s[port.0].on_dir_msg(msg, &mut out);
-                self.flush_l1_out(now, port, out, net, sched, completions);
+                self.flush_l1_out(now, port, &mut out, net, sched, completions);
+                self.scratch_out = out;
             }
             MemEventKind::DirTimeout { bank, block, epoch } => {
                 let budget = self.dir_budget;
@@ -363,7 +408,7 @@ impl MemorySystem {
         &mut self,
         now: Time,
         port: PortId,
-        out: L1Out,
+        out: &mut L1Out,
         net: &mut Network,
         sched: &mut dyn FnMut(Time, MemEvent),
         completions: &mut Vec<Completion>,

@@ -81,6 +81,13 @@ pub struct MttopConfig {
     pub lanes: usize,
     /// Batch quantum in core cycles.
     pub quantum_cycles: u64,
+    /// Warp-scheduler wakeup grid in core cycles: a memory completion (or
+    /// fault resolution) arriving mid-grid wakes the core at the *next*
+    /// grid edge, not at the completion's exact picosecond — a clocked
+    /// scheduler samples runnable warps at tick edges rather than
+    /// asynchronously. Coarser grids coalesce nearby completions into one
+    /// batch (fewer, fatter scheduling events); `0` disables alignment.
+    pub wake_grid_cycles: u64,
     /// TLB capacity.
     pub tlb_entries: usize,
     /// VLIW packing factor for ALU work (1 = the CCSVM MTTOP; 4 = the APU
@@ -112,6 +119,7 @@ impl MttopConfig {
             warps: 128,
             lanes: 1,
             quantum_cycles: 100,
+            wake_grid_cycles: 16,
             tlb_entries: 64,
             vliw_ops_per_lane: 1,
             ctx_base,
@@ -129,6 +137,7 @@ impl MttopConfig {
             warps: 16,
             lanes: 8,
             quantum_cycles: 100,
+            wake_grid_cycles: 16,
             tlb_entries: 64,
             vliw_ops_per_lane: 4,
             ctx_base,
@@ -391,6 +400,60 @@ impl SbCursor {
         np: 0,
         live: 0,
     };
+}
+
+/// In-memory pre-image of the state one [`MttopCore::run_batch`] call can
+/// mutate, captured by [`MttopCore::spec_save`] and reapplied by
+/// [`MttopCore::spec_restore`] when a speculative epoch member rolls back
+/// (DESIGN §12).
+///
+/// Between the save and a rollback the machine delivers no external
+/// mutation to the core — a directory response destined for a speculating
+/// member rolls it back *before* `on_completion`, and OS/MIFD actions roll
+/// the whole epoch back before dispatch — so only `run_batch`'s own
+/// footprint needs undo: the warps that could issue (the Ready set), wake
+/// (arrived completions, the walker pipeline), plus the scalar scheduler
+/// state, TLB, and flight table. That makes a claim O(touched warps)
+/// instead of O(thread contexts); serializing a full 128-context core per
+/// claim dominated the epoch executor's host cost. All buffers are reused
+/// across claims.
+///
+/// The decoded-superblock cache is deliberately *not* captured: it is
+/// host-side memoization of the immutable text section and cannot change
+/// simulated behaviour (warps re-enter through their `sb_cur` cursors,
+/// which are restored).
+#[derive(Debug, Default)]
+pub struct SpecUndo {
+    /// Pre-images of touched warps; `n_warps` entries are live, the tail is
+    /// kept as an allocation pool.
+    warps: Vec<WarpUndo>,
+    n_warps: usize,
+    /// Dedup bitmap for the touched-warp scan (bit per warp).
+    seen: Vec<u64>,
+    rr: usize,
+    local_time: Time,
+    batch_epoch: u64,
+    token_seq: u64,
+    tlb: Option<Tlb>,
+    walker: Option<(usize, Walk)>,
+    walker_queue: Vec<usize>,
+    flights: Vec<(u64, Flight)>,
+    arrived: Vec<(u64, u64)>,
+    counters: [u64; 8],
+    miss_lat_sum: Time,
+    miss_count: u64,
+    poisoned: bool,
+}
+
+/// One touched warp's pre-image inside a [`SpecUndo`].
+#[derive(Debug)]
+struct WarpUndo {
+    wi: usize,
+    warp: Warp,
+    state: WarpState,
+    ready_at: Time,
+    sb_cur: SbCursor,
+    retry_epoch: u64,
 }
 
 /// One SIMT MTTOP core.
@@ -2148,6 +2211,146 @@ impl WarpState {
             5 => WarpState::Fault,
             t => return Err(bad_tag("WarpState", t)),
         })
+    }
+}
+
+impl MttopCore {
+    /// Captures into `u` (reusing its buffers) the pre-image of everything
+    /// the next [`Self::run_batch`] call can mutate. See [`SpecUndo`] for
+    /// why this bounded footprint suffices.
+    pub fn spec_save(&self, u: &mut SpecUndo) {
+        u.rr = self.rr;
+        u.local_time = self.local_time;
+        u.batch_epoch = self.batch_epoch;
+        u.token_seq = self.token_seq;
+        match &mut u.tlb {
+            Some(t) => t.clone_from(&self.tlb),
+            None => u.tlb = Some(self.tlb.clone()),
+        }
+        u.walker = self.walker;
+        u.walker_queue.clear();
+        u.walker_queue.extend_from_slice(&self.walker_queue);
+        u.flights.clear();
+        u.flights
+            .extend(self.flights.iter().map(|(&t, f)| (t, f.clone())));
+        u.arrived.clear();
+        u.arrived.extend_from_slice(&self.arrived);
+        u.counters = [
+            self.warp_instrs,
+            self.thread_instrs,
+            self.mem_instrs,
+            self.coalesced_accesses,
+            self.divergent_issues,
+            self.walks,
+            self.faults,
+            self.tasks,
+        ];
+        u.miss_lat_sum = self.miss_lat_sum;
+        u.miss_count = self.miss_count;
+        u.poisoned = self.poisoned;
+        // Touched warps: the Ready set (can issue), warps with an arrived
+        // completion (will wake), and the walker pipeline (can advance or
+        // start the queued walk). Everything else is Free, Fault, or Mem
+        // with nothing arrived — `run_batch` cannot reach it.
+        u.n_warps = 0;
+        u.seen.clear();
+        u.seen.resize(self.warps.len().div_ceil(64), 0);
+        for (word, &bits) in self.ready_mask.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let wi = (word << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.undo_warp(u, wi);
+            }
+        }
+        for &(token, _) in &self.arrived {
+            if let Some(f) = self.flights.get(&token) {
+                self.undo_warp(u, f.warp);
+            }
+        }
+        if let Some((wi, _)) = self.walker {
+            self.undo_warp(u, wi);
+        }
+        for &wi in &self.walker_queue {
+            self.undo_warp(u, wi);
+        }
+    }
+
+    /// Appends warp `wi`'s pre-image to `u` unless already captured.
+    fn undo_warp(&self, u: &mut SpecUndo, wi: usize) {
+        let bit = 1u64 << (wi & 63);
+        if u.seen[wi >> 6] & bit != 0 {
+            return;
+        }
+        u.seen[wi >> 6] |= bit;
+        if u.n_warps == u.warps.len() {
+            u.warps.push(WarpUndo {
+                wi,
+                warp: self.warps[wi].clone(),
+                state: self.states[wi],
+                ready_at: self.ready_at[wi],
+                sb_cur: self.sb_cur[wi],
+                retry_epoch: self.retry_epoch[wi],
+            });
+        } else {
+            let e = &mut u.warps[u.n_warps];
+            let src = &self.warps[wi];
+            e.wi = wi;
+            e.warp.lanes.clone_from(&src.lanes);
+            e.warp.outstanding = src.outstanding;
+            e.warp.plan.clone_from(&src.plan);
+            e.state = self.states[wi];
+            e.ready_at = self.ready_at[wi];
+            e.sb_cur = self.sb_cur[wi];
+            e.retry_epoch = self.retry_epoch[wi];
+        }
+        u.n_warps += 1;
+    }
+
+    /// Reapplies the pre-image captured by [`Self::spec_save`], erasing the
+    /// speculative `run_batch`'s every effect on the core. The ready bitmap
+    /// is rebuilt per restored warp through [`Self::set_state`]; untouched
+    /// warps kept their states, so their bits are already correct.
+    pub fn spec_restore(&mut self, u: &SpecUndo) {
+        self.rr = u.rr;
+        self.local_time = u.local_time;
+        self.batch_epoch = u.batch_epoch;
+        self.token_seq = u.token_seq;
+        self.tlb
+            .clone_from(u.tlb.as_ref().expect("spec_save captured a TLB"));
+        self.walker = u.walker;
+        self.walker_queue.clear();
+        self.walker_queue.extend_from_slice(&u.walker_queue);
+        self.flights.clear();
+        self.flights
+            .extend(u.flights.iter().map(|(t, f)| (*t, f.clone())));
+        self.arrived.clear();
+        self.arrived.extend_from_slice(&u.arrived);
+        [
+            self.warp_instrs,
+            self.thread_instrs,
+            self.mem_instrs,
+            self.coalesced_accesses,
+            self.divergent_issues,
+            self.walks,
+            self.faults,
+            self.tasks,
+        ] = u.counters;
+        self.miss_lat_sum = u.miss_lat_sum;
+        self.miss_count = u.miss_count;
+        self.poisoned = u.poisoned;
+        for e in &u.warps[..u.n_warps] {
+            {
+                let w = &mut self.warps[e.wi];
+                w.lanes.clone_from(&e.warp.lanes);
+                w.outstanding = e.warp.outstanding;
+                w.plan.clone_from(&e.warp.plan);
+            }
+            self.ready_at[e.wi] = e.ready_at;
+            self.sb_cur[e.wi] = e.sb_cur;
+            self.retry_epoch[e.wi] = e.retry_epoch;
+            self.set_state(e.wi, e.state);
+        }
     }
 }
 

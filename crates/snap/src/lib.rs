@@ -136,6 +136,15 @@ impl SnapWriter {
         SnapWriter { buf: Vec::new() }
     }
 
+    /// An empty writer reusing `buf`'s allocation (cleared first). Hot
+    /// callers that snapshot repeatedly — e.g. the speculative epoch
+    /// executor's per-member undo capture — round-trip one buffer through
+    /// `reusing`/[`SnapWriter::into_vec`] instead of reallocating.
+    pub fn reusing(mut buf: Vec<u8>) -> SnapWriter {
+        buf.clear();
+        SnapWriter { buf }
+    }
+
     /// Writes the snapshot header: magic, schema version, config hash.
     pub fn put_header(&mut self, config_hash: u64) {
         self.buf.extend_from_slice(&MAGIC);

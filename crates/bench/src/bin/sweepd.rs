@@ -25,13 +25,17 @@ use ccsvm_sweepd::{SweepError, SweepSpec};
 fn usage_exit(error: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: sweepd --dir DIR [--preset NAME] [--workloads a,b] [--sizes a,b]\n\
+        "usage: sweepd --dir DIR [--preset NAME] [--protocol NAME]\n\
+         \x20             [--workloads a,b] [--sizes a,b]\n\
          \x20             [--seeds a,b] [--max-attempts N] [--timeout-ms N]\n\
          \x20             [--inflight N] [--ckpt-us US] [--seed N]\n\
          \x20             [--chaos kill=P,seed=S[,crashes=K]]\n\
          \n\
          \x20 --dir DIR         sweep directory (journal, cache, manifest)\n\
          \x20 --preset NAME     config preset (default tiny)\n\
+         \x20 --protocol NAME   coherence protocol: directory, mesi-snoop,\n\
+         \x20                   dragon (default directory); part of the job\n\
+         \x20                   identity, so each protocol sweeps separately\n\
          \x20 --workloads LIST  vecadd,matmul,wedge (default vecadd)\n\
          \x20 --sizes LIST      problem sizes (default 64)\n\
          \x20 --seeds LIST      input seeds (default 1)\n\
@@ -139,6 +143,15 @@ fn main() {
         match a.as_str() {
             "--dir" => dir = Some(PathBuf::from(val("--dir"))),
             "--preset" => spec.preset = val("--preset"),
+            "--protocol" => {
+                let v = val("--protocol");
+                match ccsvm::ProtocolKind::parse(&v) {
+                    Some(p) => spec.protocol = p,
+                    None => usage_exit(&format!(
+                        "unknown protocol `{v}` (want directory, mesi-snoop, or dragon)"
+                    )),
+                }
+            }
             "--workloads" => {
                 spec.workloads = val("--workloads")
                     .split(',')

@@ -26,7 +26,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use ccsvm::{Machine, RunReport, SystemConfig};
+use ccsvm::{Machine, ProtocolKind, RunReport, SystemConfig};
 use ccsvm_engine::Time;
 use ccsvm_workloads as wl;
 
@@ -214,6 +214,10 @@ pub struct Opts {
     /// host-perf knob: simulated tables are bit-identical either way
     /// (DESIGN §11).
     pub sb_cache: bool,
+    /// Coherence protocol for every simulated point (`--protocol`, default
+    /// directory). Unlike the host-perf knobs this changes the simulated
+    /// machine, so tables differ per protocol (DESIGN §13).
+    pub protocol: ProtocolKind,
 }
 
 /// Prints the shared usage message and exits with status 2 (CLI misuse).
@@ -240,7 +244,10 @@ fn usage_exit(binary: &str, error: &str) -> ! {
          \x20                   default results path)\n\
          \x20 --no-sb-cache     disable the decoded-superblock cache on CCSVM\n\
          \x20                   cores (host-perf ablation; simulated tables\n\
-         \x20                   are bit-identical either way)"
+         \x20                   are bit-identical either way)\n\
+         \x20 --protocol NAME   coherence protocol: directory (default),\n\
+         \x20                   mesi-snoop, or dragon; changes the simulated\n\
+         \x20                   machine, so tables differ per protocol"
     );
     std::process::exit(2);
 }
@@ -265,6 +272,7 @@ impl Opts {
         let mut restore_from = None;
         let mut out = None;
         let mut sb_cache = true;
+        let mut protocol = ProtocolKind::Directory;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -337,6 +345,20 @@ impl Opts {
                     };
                     out = Some(PathBuf::from(v));
                 }
+                "--protocol" => {
+                    let Some(v) = args.next() else {
+                        usage_exit(&binary, "--protocol needs a value");
+                    };
+                    match ProtocolKind::parse(v.trim()) {
+                        Some(p) => protocol = p,
+                        None => usage_exit(
+                            &binary,
+                            &format!(
+                                "unknown protocol `{v}` (want directory, mesi-snoop, or dragon)"
+                            ),
+                        ),
+                    }
+                }
                 other => usage_exit(&binary, &format!("unknown argument `{other}`")),
             }
         }
@@ -349,6 +371,7 @@ impl Opts {
             restore_from,
             out,
             sb_cache,
+            protocol,
         }
     }
 
@@ -448,6 +471,7 @@ pub fn region_numbers(r: &RunReport) -> (Time, u64, u64) {
 pub fn run_ccsvm_point(src: &str, opts: &Opts, label: &str) -> (Time, u64, u64) {
     let mut cfg = bench_cfg(opts.sim_threads);
     cfg.sb_cache = opts.sb_cache;
+    cfg.protocol = opts.protocol;
     if let Some(dir) = &opts.restore_from {
         let path = dir.join(format!("{label}.ccsnap"));
         if path.exists() {

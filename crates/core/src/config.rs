@@ -2,7 +2,7 @@
 
 use ccsvm_cpu::CpuConfig;
 use ccsvm_engine::{FaultConfig, SanitizerConfig, Time};
-use ccsvm_mem::{CacheConfig, DramConfig, WritePolicy};
+use ccsvm_mem::{CacheConfig, DramConfig, ProtocolKind, WritePolicy};
 use ccsvm_mttop::MttopConfig;
 use ccsvm_noc::NocConfig;
 
@@ -91,6 +91,11 @@ pub struct SystemConfig {
     pub mttop_mshrs: usize,
     /// L1 store policy (write-back; write-through for the §6.1 ablation).
     pub l1_write_policy: WritePolicy,
+    /// Coherence protocol (the paper's directory MOESI by default; snooping
+    /// MESI and Dragon write-update for the cross-protocol evaluation).
+    /// Participates in the config hash: snapshots from one protocol refuse
+    /// to restore into another.
+    pub protocol: ProtocolKind,
     /// Number of shared-L2 banks.
     pub l2_banks: usize,
     /// Per-bank geometry (4 × 1 MB, 16-way).
@@ -158,6 +163,7 @@ impl SystemConfig {
             mttop_l1_hit: Time::from_ps(1_667), // 1 cycle @ 600 MHz
             mttop_mshrs: 16, // deep miss queues: latency hiding is the MTTOP point
             l1_write_policy: WritePolicy::WriteBack,
+            protocol: ProtocolKind::Directory,
             l2_banks: 4,
             l2_bank: CacheConfig::from_capacity(1024 * 1024, 16),
             l2_latency: Time::from_ps(3_450), // 10 CPU cycles
@@ -234,7 +240,7 @@ impl SystemConfig {
             "CPU:    {} in-order cores, {:.1} GHz, max IPC {}\n\
              MTTOP:  {} cores, {:.0} MHz, {} warps x {} lanes ({} thread contexts)\n\
              L1:     CPU {} KB {}-way ({} hit); MTTOP {} KB {}-way ({} hit)\n\
-             L2:     {} banks x {} KB, {}-way, {} latency, inclusive, MOESI directory\n\
+             L2:     {} banks x {} KB, {}-way, {} latency, {}\n\
              DRAM:   {} latency, {:.1} B/ns/channel, {} channels\n\
              NoC:    {}x{} torus, {:.0} GB/s links\n",
             self.n_cpus,
@@ -255,6 +261,11 @@ impl SystemConfig {
             self.l2_bank.capacity() / 1024,
             self.l2_bank.ways,
             self.l2_latency,
+            match self.protocol {
+                ProtocolKind::Directory => "inclusive, MOESI directory",
+                ProtocolKind::MesiSnoop => "non-inclusive, snooping MESI (bank-ordered)",
+                ProtocolKind::Dragon => "non-inclusive, Dragon write-update (bank-ordered)",
+            },
             self.dram.latency,
             self.dram.bytes_per_ns,
             self.dram.channels,

@@ -56,10 +56,16 @@ pub use ccsvm_engine::{
 };
 // Coherence-sanitizer configuration and violation types (DESIGN §9),
 // re-exported for harnesses and the triage/replay tooling.
-pub use ccsvm_engine::{EvRecord, InvariantId, Mutation, MutationKind, SanitizerConfig, Violation};
+pub use ccsvm_engine::{
+    EvRecord, InvariantId, InvariantMask, Mutation, MutationKind, SanitizerConfig, Violation,
+};
 // Snapshot error type and schema version, re-exported so harnesses can
 // handle checkpoint/restore failures without depending on the snap crate.
 pub use ccsvm_snap::{SnapError, SCHEMA_VERSION as SNAP_SCHEMA_VERSION};
+// Coherence-protocol identity and catalogue (DESIGN §13), re-exported so
+// harnesses can set `SystemConfig::protocol` and query per-protocol
+// invariant masks without depending on the mem crate directly.
+pub use ccsvm_mem::{protocol, CoherenceProtocol, ProtocolKind};
 // Decoded-superblock cache counters (DESIGN §11), re-exported so perf
 // harnesses can report [`Machine::sb_stats`] without an isa dependency.
 pub use ccsvm_isa::SbStats;

@@ -632,6 +632,7 @@ impl Machine {
             dram: cfg.dram,
             ctrl_bytes: 8,
             data_bytes: 72,
+            protocol: cfg.protocol,
         });
         mem.install_faults(&plan);
         let mut net = Network::new(topo, cfg.noc);
@@ -1837,6 +1838,8 @@ impl Machine {
             MutationKind::CorruptDirOwner | MutationKind::CorruptTlbEntry => true,
             MutationKind::CorruptGrant | MutationKind::CorruptFillData => me.is_s_grant(),
             MutationKind::DuplicateResp | MutationKind::DropResp => me.is_resp(),
+            MutationKind::CorruptSnoopShared => me.is_shared_snoop_resp(),
+            MutationKind::CorruptUpdValue => me.is_upd_snoop(),
             // Counted at `Ev::IpiArrive` dispatch, not here.
             MutationKind::SkipTlbInvalidate => false,
         };
@@ -1878,6 +1881,8 @@ impl Machine {
                     }
                 }
             }
+            MutationKind::CorruptSnoopShared => self.mut_done = me.test_clear_snoop_shared(),
+            MutationKind::CorruptUpdValue => self.mut_done = me.test_corrupt_upd_value(),
             MutationKind::SkipTlbInvalidate => unreachable!("not an uncore-event class"),
         }
         false
@@ -3320,6 +3325,10 @@ impl Machine {
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
         let mut w = SnapWriter::new();
         w.put_header(config_hash(&self.cfg));
+        // The protocol name rides right after the header (schema v3) so a
+        // restore into a machine running a different coherence protocol can
+        // report *why* the config hashes differ instead of a bare mismatch.
+        w.put_str(self.cfg.protocol.as_str());
         self.save(&mut w);
         w.into_vec()
     }
@@ -3352,7 +3361,31 @@ impl Machine {
         bytes: &[u8],
     ) -> Result<Machine, SnapError> {
         let mut r = SnapReader::new(bytes);
-        r.check_header(config_hash(&cfg))?;
+        if let Err(e) = r.check_header(config_hash(&cfg)) {
+            if matches!(e, SnapError::ConfigMismatch { .. }) {
+                // The reader sits right after the header even on a hash
+                // mismatch, so the protocol tag is readable: turn a
+                // cross-protocol restore into its typed error.
+                if let Ok(found) = r.get_str() {
+                    if found != cfg.protocol.as_str() {
+                        return Err(SnapError::ProtocolMismatch {
+                            found: found.to_string(),
+                            expected: cfg.protocol.as_str().to_string(),
+                        });
+                    }
+                }
+            }
+            return Err(e);
+        }
+        let tag = r.get_str()?;
+        if tag != cfg.protocol.as_str() {
+            // Unreachable while the protocol participates in the config
+            // hash; kept as a hard check so the tag never drifts silently.
+            return Err(SnapError::ProtocolMismatch {
+                found: tag.to_string(),
+                expected: cfg.protocol.as_str().to_string(),
+            });
+        }
         let mut m = Machine::new(cfg, prog);
         m.load(&mut r)?;
         if r.remaining() != 0 {

@@ -24,10 +24,22 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use ccsvm::{Machine, Outcome, SystemConfig};
+use ccsvm::{Machine, Outcome, ProtocolKind, SystemConfig};
 
 fn sanitize_mode() -> bool {
     std::env::var("CCSVM_SANITIZE").is_ok()
+}
+
+/// `CCSVM_PROTOCOL={directory,mesi-snoop,dragon}` selects the coherence
+/// protocol the golden runs under. Non-default protocols pin their own
+/// golden files (`cpu_only.mesi-snoop.txt`, …); the directory files are the
+/// original, never-re-blessed seed goldens.
+fn protocol_mode() -> ProtocolKind {
+    match std::env::var("CCSVM_PROTOCOL") {
+        Ok(s) => ProtocolKind::parse(&s)
+            .unwrap_or_else(|| panic!("unknown CCSVM_PROTOCOL '{s}' (directory|mesi-snoop|dragon)")),
+        Err(_) => ProtocolKind::Directory,
+    }
 }
 
 /// On a sanitized golden failure, capture a replay bundle for the CI
@@ -64,6 +76,7 @@ fn snapshot_at(src: &str, sim_threads: usize) -> String {
     let mut cfg = SystemConfig::paper_default();
     cfg.sim_threads = sim_threads;
     cfg.sanitizer.enabled = sanitize_mode();
+    cfg.protocol = protocol_mode();
     let mut m = Machine::new(cfg.clone(), prog);
     let r = m.run();
     if r.outcome != Outcome::Completed && cfg.sanitizer.enabled {
@@ -104,7 +117,13 @@ fn check(name: &str, src: &str) {
             "golden {name}: sim_threads={sim_threads} diverged from serial"
         );
     }
-    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "goldens", name]
+    let protocol = protocol_mode();
+    let file = if protocol == ProtocolKind::Directory {
+        name.to_string()
+    } else {
+        name.replace(".txt", &format!(".{protocol}.txt"))
+    };
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "goldens", &file]
         .iter()
         .collect();
     if std::env::var("CCSVM_BLESS").is_ok() {

@@ -1,0 +1,158 @@
+//! Coherence litmus tests (the classic shapes from Sorin/Hill/Wood and
+//! rust-atomics-and-locks ch. 7), run under **all three** coherence
+//! protocols. The machine models in-order blocking cores over a
+//! write-propagating hierarchy, so every protocol must present sequential
+//! consistency: each litmus pins the outcomes SC forbids and the values it
+//! requires, plus a protocol-shape assertion where the traffic signature
+//! distinguishes invalidation from update.
+
+use ccsvm::{Machine, Outcome, ProtocolKind, RunReport, SystemConfig};
+
+/// Store buffering (SB): with `x = y = 0`,
+///
+/// ```text
+/// CPU 0          CPU 1
+/// x = 1;         y = 1;
+/// r0 = y;        r1 = x;
+/// ```
+///
+/// SC forbids `r0 == 0 && r1 == 0` — some store must be ordered first, and
+/// the other thread's later load must see it. A store buffer without
+/// coherence-ordered drains would allow it.
+const STORE_BUFFER: &str = "global x: int;
+     global y: int;
+     global r1: int;
+     global done: int;
+     fn worker(arg: int) -> int {
+         y = 1;
+         r1 = x;
+         atomic_add(&done, 1);
+         return 0;
+     }
+     _CPU_ fn main() -> int {
+         x = 0; y = 0; r1 = 0; done = 0;
+         let t = spawn_cthread(worker, 0);
+         if (t < 0) { return -1; }
+         x = 1;
+         let r0 = y;
+         while (done != 1) { }
+         if (r0 == 0) { if (r1 == 0) { return 100; } }
+         return 0;
+     }";
+
+/// Message passing (MP): the consumer spins on `flag`, then reads `data`.
+/// SC (and plain coherence) requires it to observe the producer's `data`
+/// write once it has seen `flag`. Under Dragon the flag flip reaches the
+/// spinning reader as an in-place `BusUpd` patch; under MESI it arrives as
+/// an invalidation and a re-fetch.
+const MESSAGE_PASSING: &str = "global data: int;
+     global flag: int;
+     global got: int;
+     global done: int;
+     fn worker(arg: int) -> int {
+         while (flag == 0) { }
+         got = data;
+         atomic_add(&done, 1);
+         return 0;
+     }
+     _CPU_ fn main() -> int {
+         data = 0; flag = 0; got = 0; done = 0;
+         let t = spawn_cthread(worker, 0);
+         if (t < 0) { return -1; }
+         data = 42;
+         flag = 1;
+         while (done != 1) { }
+         return got;
+     }";
+
+/// MESI ping-pong: two CPUs hammer one cache line with atomic increments,
+/// bouncing its ownership back and forth. Every increment must be counted
+/// exactly once under every protocol (atomics serialize through the
+/// invalidating `BusRdX`/`GetM` path even under Dragon).
+const PING_PONG: &str = "global counter: int;
+     global done: int;
+     fn worker(arg: int) -> int {
+         for (let i = 0; i < arg; i = i + 1) { atomic_add(&counter, 1); }
+         atomic_add(&done, 1);
+         return 0;
+     }
+     _CPU_ fn main() -> int {
+         counter = 0; done = 0;
+         let t = spawn_cthread(worker, 100);
+         if (t < 0) { return -1; }
+         for (let i = 0; i < 100; i = i + 1) { atomic_add(&counter, 1); }
+         while (done != 1) { }
+         return counter;
+     }";
+
+fn run_under(kind: ProtocolKind, src: &str) -> RunReport {
+    let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    let mut cfg = SystemConfig::tiny();
+    cfg.protocol = kind;
+    // The sanitizer rides along: a litmus pass with a silently broken
+    // protocol would be vacuous, so every run also sweeps the protocol's
+    // own invariant mask.
+    cfg.sanitizer.enabled = true;
+    let r = Machine::new(cfg, prog).run();
+    assert_eq!(
+        r.outcome,
+        Outcome::Completed,
+        "{kind}: litmus run aborted (diag: {:?})",
+        r.diagnostic
+    );
+    r
+}
+
+fn stat_sum(r: &RunReport, suffix: &str) -> f64 {
+    r.stats
+        .iter()
+        .filter(|(k, _)| k.ends_with(suffix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+#[test]
+fn store_buffer_forbidden_outcome_never_appears() {
+    for kind in ProtocolKind::ALL {
+        let r = run_under(kind, STORE_BUFFER);
+        assert_eq!(
+            r.exit_code, 0,
+            "{kind}: SC-forbidden SB outcome r0 == r1 == 0 observed"
+        );
+    }
+}
+
+#[test]
+fn message_passing_reader_sees_data_behind_flag() {
+    for kind in ProtocolKind::ALL {
+        let r = run_under(kind, MESSAGE_PASSING);
+        assert_eq!(r.exit_code, 42, "{kind}: stale data read behind the flag");
+    }
+}
+
+#[test]
+fn ping_pong_counts_every_increment() {
+    for kind in ProtocolKind::ALL {
+        let r = run_under(kind, PING_PONG);
+        assert_eq!(r.exit_code, 200, "{kind}: lost or duplicated increment");
+    }
+}
+
+/// The traffic *shape* separates the protocol families: the invalidating
+/// protocols resolve ping-pong writes by invalidating the other copy, so
+/// L1 invalidations must show up; they never send update probes. (Dragon
+/// also invalidates here — atomics take its `BusRdX` path — but its plain
+/// shared stores in MP go out as updates instead, which MESI never emits.)
+#[test]
+fn traffic_shape_distinguishes_invalidate_from_update() {
+    let dir = run_under(ProtocolKind::Directory, PING_PONG);
+    let mesi = run_under(ProtocolKind::MesiSnoop, PING_PONG);
+    assert!(
+        stat_sum(&dir, ".invalidations") > 0.0,
+        "directory ping-pong must invalidate"
+    );
+    assert!(
+        stat_sum(&mesi, ".invalidations") > 0.0,
+        "MESI ping-pong must invalidate"
+    );
+}

@@ -7,7 +7,7 @@
 
 use ccsvm::{
     replay_bundle, run_with_triage, InvariantId, Machine, Mutation, MutationKind, Outcome,
-    ReplayBundle, RunReport, SystemConfig, Time, Violation,
+    ProtocolKind, ReplayBundle, RunReport, SystemConfig, Time, Violation,
 };
 
 fn run(cfg: SystemConfig, src: &str) -> RunReport {
@@ -97,6 +97,13 @@ fn mutated_cfg(kind: MutationKind, nth: u64) -> SystemConfig {
     let mut cfg = SystemConfig::tiny();
     cfg.sanitizer.enabled = true;
     cfg.sanitizer.mutate = Some(Mutation { kind, nth });
+    cfg
+}
+
+/// Like [`mutated_cfg`] but running a non-default coherence protocol.
+fn mutated_cfg_proto(kind: MutationKind, nth: u64, protocol: ProtocolKind) -> SystemConfig {
+    let mut cfg = mutated_cfg(kind, nth);
+    cfg.protocol = protocol;
     cfg
 }
 
@@ -273,6 +280,120 @@ fn mutations_replay_deterministically() {
     let a = run(mutated_cfg(MutationKind::CorruptFillData, 1), PINGPONG);
     let b = run(mutated_cfg(MutationKind::CorruptFillData, 1), PINGPONG);
     assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Per-protocol mutations (DESIGN §13): the snoop/update message classes only
+// exist under their protocols, and each seeded corruption must be caught
+// with the invariant that protocol's mask still enforces.
+// ---------------------------------------------------------------------------
+
+/// Message-passing shape: main's plain stores hit a line the spinning
+/// worker holds shared, so Dragon emits `BusUpd` probes and the snooping
+/// protocols emit invalidating snoops.
+const MSG_PASS: &str = "global data: int;
+     global flag: int;
+     global done: int;
+     global ready: int;
+     fn worker(arg: int) -> int {
+         atomic_add(&ready, 1);
+         while (flag == 0) { }
+         atomic_add(&done, data);
+         return 0;
+     }
+     _CPU_ fn main() -> int {
+         data = 0; flag = 0; done = 0; ready = 0;
+         let t = spawn_cthread(worker, 0);
+         if (t < 0) { return -1; }
+         while (ready != 1) { }
+         data = 42;
+         flag = 1;
+         while (done != 42) { }
+         return done;
+     }";
+
+#[test]
+fn mesi_snoop_mutation_clear_snoop_shared_caught_as_swmr() {
+    let r = run(
+        mutated_cfg_proto(MutationKind::CorruptSnoopShared, 1, ProtocolKind::MesiSnoop),
+        PINGPONG,
+    );
+    let v = violation(&r);
+    assert!(
+        v.invariant == InvariantId::MemSwmr || v.invariant == InvariantId::MemDataValue,
+        "an erased sharer report must leave a stale copy beside an exclusive \
+         grant, got {} ({})",
+        v.invariant.as_str(),
+        v.detail
+    );
+    assert_eq!(v.at, r.time);
+}
+
+#[test]
+fn dragon_mutation_corrupt_upd_value_caught_as_data_value() {
+    let r = run(
+        mutated_cfg_proto(MutationKind::CorruptUpdValue, 1, ProtocolKind::Dragon),
+        MSG_PASS,
+    );
+    let v = violation(&r);
+    assert_eq!(
+        v.invariant,
+        InvariantId::MemDataValue,
+        "detail: {}",
+        v.detail
+    );
+    assert_eq!(v.at, r.time);
+}
+
+/// The classic mutations still fire — and map to the same invariants —
+/// under the snooping protocols.
+#[test]
+fn mesi_snoop_mutation_corrupt_fill_data_caught_as_data_value() {
+    let r = run(
+        mutated_cfg_proto(MutationKind::CorruptFillData, 1, ProtocolKind::MesiSnoop),
+        PINGPONG,
+    );
+    let v = violation(&r);
+    assert_eq!(
+        v.invariant,
+        InvariantId::MemDataValue,
+        "detail: {}",
+        v.detail
+    );
+}
+
+#[test]
+fn dragon_mutation_corrupt_fill_data_caught_as_data_value() {
+    let r = run(
+        mutated_cfg_proto(MutationKind::CorruptFillData, 1, ProtocolKind::Dragon),
+        PINGPONG,
+    );
+    let v = violation(&r);
+    assert_eq!(
+        v.invariant,
+        InvariantId::MemDataValue,
+        "detail: {}",
+        v.detail
+    );
+}
+
+/// Protocol-specific mutation classes have no carrier messages under the
+/// other protocols: arming them is inert and the run completes untouched.
+#[test]
+fn protocol_specific_mutations_are_inert_elsewhere() {
+    let r = run(
+        mutated_cfg_proto(MutationKind::CorruptSnoopShared, 1, ProtocolKind::Directory),
+        PINGPONG,
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.exit_code, 5);
+
+    let r = run(
+        mutated_cfg_proto(MutationKind::CorruptUpdValue, 1, ProtocolKind::MesiSnoop),
+        PINGPONG,
+    );
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.exit_code, 5);
 }
 
 // ---------------------------------------------------------------------------

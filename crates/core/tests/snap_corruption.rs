@@ -124,3 +124,32 @@ fn empty_and_tiny_inputs_are_typed_errors() {
         );
     }
 }
+
+/// A live image from one coherence protocol restored into a machine
+/// configured for another is a deliberate misuse, not corruption — it must
+/// surface as the typed [`SnapError::ProtocolMismatch`] (naming both
+/// protocols, so the caller can retry with `--protocol <found>`), never as a
+/// decode panic deep in some component's `load`.
+#[test]
+fn cross_protocol_restore_is_typed_not_a_decode_panic() {
+    use ccsvm::ProtocolKind;
+    for (from, into) in [
+        (ProtocolKind::Directory, ProtocolKind::MesiSnoop),
+        (ProtocolKind::MesiSnoop, ProtocolKind::Dragon),
+        (ProtocolKind::Dragon, ProtocolKind::Directory),
+    ] {
+        let mut cfg = SystemConfig::tiny();
+        cfg.protocol = from;
+        let image = mid_run_image(&cfg);
+        let mut other = cfg.clone();
+        other.protocol = into;
+        match Machine::restore_bytes(other, compile(), &image) {
+            Err(SnapError::ProtocolMismatch { found, expected }) => {
+                assert_eq!(found, from.as_str());
+                assert_eq!(expected, into.as_str());
+            }
+            Err(e) => panic!("expected ProtocolMismatch, got {e:?}"),
+            Ok(_) => panic!("cross-protocol restore must fail"),
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! truncated or corrupt bytes) must surface as typed errors, never as a
 //! silently-wrong simulation.
 
-use ccsvm::{Machine, Outcome, RunReport, SnapError, SystemConfig, Time};
+use ccsvm::{Machine, Outcome, ProtocolKind, RunReport, SnapError, SystemConfig, Time};
 use ccsvm_isa::Program;
 
 fn compile(src: &str) -> Program {
@@ -105,6 +105,51 @@ fn roundtrip_is_bit_identical_fault_free() {
             );
         }
     }
+}
+
+#[test]
+fn roundtrip_is_bit_identical_under_every_protocol() {
+    // Mid-offload checkpoints under the snooping protocols serialize live
+    // bus transactions (`AwaitSnoop` phase, collected `SnoopResp` state) and
+    // must restore them exactly.
+    let src = vecadd_src(32);
+    for kind in ProtocolKind::ALL {
+        let mut cfg = SystemConfig::tiny();
+        cfg.protocol = kind;
+        let uninterrupted = reference(&cfg, &src);
+        assert_eq!(uninterrupted.outcome, Outcome::Completed, "{kind}");
+        for (num, den) in [(1, 16), (1, 2)] {
+            for threads in [1, 4] {
+                let at = fraction_of(uninterrupted.time, num, den);
+                let resumed = checkpoint_resume(&cfg, &src, at, threads);
+                assert_eq!(
+                    resumed, uninterrupted,
+                    "{kind}: checkpoint at {at} restored with sim_threads={threads} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_protocol_restore_is_a_typed_error() {
+    let src = vecadd_src(32);
+    let mut cfg = SystemConfig::tiny();
+    cfg.protocol = ProtocolKind::MesiSnoop;
+    let m = Machine::new(cfg.clone(), compile(&src));
+    let bytes = m.checkpoint_bytes();
+    let mut other = cfg.clone();
+    other.protocol = ProtocolKind::Dragon;
+    match Machine::restore_bytes(other, compile(&src), &bytes) {
+        Err(SnapError::ProtocolMismatch { found, expected }) => {
+            assert_eq!(found, "mesi-snoop");
+            assert_eq!(expected, "dragon");
+        }
+        Err(e) => panic!("expected ProtocolMismatch, got {e:?}"),
+        Ok(_) => panic!("expected ProtocolMismatch, got a restored machine"),
+    }
+    // Same protocol, same config: restores fine.
+    assert!(Machine::restore_bytes(cfg, compile(&src), &bytes).is_ok());
 }
 
 #[test]

@@ -40,6 +40,7 @@ impl Rig {
             dram: DramConfig::paper_default(),
             ctrl_bytes: 8,
             data_bytes: 72,
+            protocol: ccsvm_mem::ProtocolKind::Directory,
         });
         let mut rig = Rig {
             core: CpuCore::new(PortId(0), config, 1 << 60),

@@ -49,7 +49,8 @@ pub use fault::{
 pub use fxmap::{fx_map_with_capacity, FxHashMap, FxHashSet};
 pub use rng::SplitMix64;
 pub use sanitizer::{
-    EvRecord, EvRing, InvariantId, Mutation, MutationKind, SanitizerConfig, Violation,
+    EvRecord, EvRing, InvariantId, InvariantMask, Mutation, MutationKind, SanitizerConfig,
+    Violation,
 };
 pub use stats::{stat_id, StatId, Stats};
 pub use time::{Clock, Time};

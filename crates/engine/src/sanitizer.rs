@@ -117,6 +117,55 @@ impl fmt::Display for InvariantId {
     }
 }
 
+/// A set of [`InvariantId`]s. Coherence protocols declare which sanitizer
+/// invariants they uphold (DESIGN.md §13): SWMR is an invariant of
+/// invalidation protocols but explicitly *not* of a write-update protocol
+/// like Dragon, and only the directory protocol keeps directory state for
+/// `MEM-DIR-AGREE` to check. The checker consults the active protocol's mask
+/// instead of being silently disabled wholesale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvariantMask(u32);
+
+impl InvariantMask {
+    /// The empty set.
+    pub const EMPTY: InvariantMask = InvariantMask(0);
+
+    /// Every invariant in the catalogue.
+    pub fn all() -> InvariantMask {
+        InvariantId::ALL
+            .iter()
+            .fold(InvariantMask::EMPTY, |m, &id| m.with(id))
+    }
+
+    /// A mask holding exactly `ids`.
+    pub fn of(ids: &[InvariantId]) -> InvariantMask {
+        ids.iter().fold(InvariantMask::EMPTY, |m, &id| m.with(id))
+    }
+
+    /// `self` plus `id`.
+    pub fn with(self, id: InvariantId) -> InvariantMask {
+        InvariantMask(self.0 | 1 << id.snap_tag())
+    }
+
+    /// `self` minus `id`.
+    pub fn without(self, id: InvariantId) -> InvariantMask {
+        InvariantMask(self.0 & !(1 << id.snap_tag()))
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(self, id: InvariantId) -> bool {
+        self.0 & 1 << id.snap_tag() != 0
+    }
+
+    /// The members, in catalogue order.
+    pub fn ids(self) -> Vec<InvariantId> {
+        InvariantId::ALL
+            .into_iter()
+            .filter(|&id| self.contains(id))
+            .collect()
+    }
+}
+
 /// One detected invariant violation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Violation {
@@ -185,6 +234,14 @@ pub enum MutationKind {
     /// Corrupt the frame of a live CPU TLB entry at the n-th uncore event
     /// (⇒ `VM-TLB-PT`).
     CorruptTlbEntry,
+    /// Clear the `had` flag of the n-th shared snoop response, making the
+    /// ordering point grant exclusive while a sharer survives — only
+    /// meaningful under the snooping protocols (⇒ `MEM-SWMR`).
+    CorruptSnoopShared,
+    /// Flip the payload of the n-th write-update delivery so one sharer
+    /// applies a different value than the writer — only meaningful under the
+    /// Dragon protocol (⇒ `MEM-DATA-VALUE`).
+    CorruptUpdValue,
 }
 
 impl MutationKind {
@@ -197,6 +254,8 @@ impl MutationKind {
             MutationKind::DropResp => 4,
             MutationKind::SkipTlbInvalidate => 5,
             MutationKind::CorruptTlbEntry => 6,
+            MutationKind::CorruptSnoopShared => 7,
+            MutationKind::CorruptUpdValue => 8,
         }
     }
 
@@ -209,6 +268,8 @@ impl MutationKind {
             4 => MutationKind::DropResp,
             5 => MutationKind::SkipTlbInvalidate,
             6 => MutationKind::CorruptTlbEntry,
+            7 => MutationKind::CorruptSnoopShared,
+            8 => MutationKind::CorruptUpdValue,
             t => {
                 return Err(SnapError::Corrupt {
                     what: format!("unknown MutationKind tag {t:#04x}"),
@@ -415,6 +476,24 @@ mod tests {
             seen.push(id.as_str());
         }
         assert!(InvariantId::from_snap_tag(200).is_err());
+    }
+
+    #[test]
+    fn invariant_mask_set_ops() {
+        let all = InvariantMask::all();
+        for id in InvariantId::ALL {
+            assert!(all.contains(id));
+            assert!(!InvariantMask::EMPTY.contains(id));
+        }
+        let no_swmr = all.without(InvariantId::MemSwmr);
+        assert!(!no_swmr.contains(InvariantId::MemSwmr));
+        assert!(no_swmr.contains(InvariantId::MemDataValue));
+        assert_eq!(no_swmr.with(InvariantId::MemSwmr), all);
+        let pair = InvariantMask::of(&[InvariantId::NocConserve, InvariantId::VmTlbPt]);
+        assert_eq!(
+            pair.ids(),
+            vec![InvariantId::NocConserve, InvariantId::VmTlbPt]
+        );
     }
 
     #[test]

@@ -18,7 +18,8 @@ use std::collections::VecDeque;
 use ccsvm_engine::{fx_map_with_capacity, stat_id, FxHashMap, Stats};
 
 use crate::cache::{CacheArray, CacheConfig};
-use crate::msg::{BankId, BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request};
+use crate::msg::{BankId, BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request, SnoopKind};
+use crate::protocol::ProtocolKind;
 use crate::system::PortId;
 
 /// Directory state for one L2 block.
@@ -66,6 +67,9 @@ enum Phase {
     AwaitDram,
     /// Waiting for invalidation acks and/or an owner fetch.
     AwaitInvFetch,
+    /// Snooping protocols: waiting for every other L1's `SnoopResp` to a
+    /// broadcast probe (the bank is the per-block bus ordering point).
+    AwaitSnoop,
 }
 
 #[derive(Clone, Debug)]
@@ -101,6 +105,14 @@ struct Tx {
     epoch: u64,
     /// NACK resends already spent on this transaction.
     nacks: u32,
+    /// Snooping protocols: ports whose `SnoopResp` is still outstanding.
+    pending_snoop: u32,
+    /// Whether any snooped L1 reported a live copy.
+    snoop_had: bool,
+    /// Whether the recorded supplier copy was dirty (authoritative).
+    snoop_dirty: bool,
+    /// Best cache-to-cache supply so far (dirty supplier beats clean).
+    snoop_data: Option<BlockData>,
 }
 
 /// Side effects of a bank step, applied by the `MemorySystem`.
@@ -138,6 +150,13 @@ pub(crate) enum TimeoutAction {
 pub(crate) struct Bank {
     #[allow(dead_code)] // identity is useful in Debug dumps
     pub id: BankId,
+    /// Which coherence protocol this bank orders (config-derived, not
+    /// serialized). Directory mode runs the embedded blocking directory;
+    /// snooping modes make the bank the per-block bus ordering point and
+    /// demote the L2 to a plain non-inclusive cache.
+    protocol: ProtocolKind,
+    /// Bit mask of every L1 port (snooping broadcast domain).
+    all_ports: u32,
     array: CacheArray<L2Meta>,
     tx: FxHashMap<u64, Tx>,
     /// victim block → demand block whose transaction is recalling it.
@@ -160,9 +179,22 @@ pub(crate) struct Bank {
 }
 
 impl Bank {
-    pub fn new(id: BankId, cache: CacheConfig, index_shift: u32) -> Bank {
+    pub fn new(
+        id: BankId,
+        cache: CacheConfig,
+        index_shift: u32,
+        protocol: ProtocolKind,
+        n_ports: usize,
+    ) -> Bank {
+        debug_assert!(n_ports <= 32, "port mask supports 32 L1s");
         Bank {
             id,
+            protocol,
+            all_ports: if n_ports >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << n_ports) - 1
+            },
             array: CacheArray::with_index_shift(cache, index_shift),
             // One transaction per block can be active at a time, and every
             // active transaction came through some L1 MSHR, so a few dozen
@@ -216,6 +248,10 @@ impl Bank {
                 recall: None,
                 epoch: 0,
                 nacks: 0,
+                pending_snoop: 0,
+                snoop_had: false,
+                snoop_dirty: false,
+                snoop_data: None,
             },
         );
         true
@@ -258,7 +294,11 @@ impl Bank {
             }
             ReqKind::PutDirty => {
                 self.puts += 1;
-                self.handle_put_dirty(block, &req, out);
+                if self.protocol.uses_directory() {
+                    self.handle_put_dirty(block, &req, out);
+                } else {
+                    self.snoop_put_dirty(block, &req, out);
+                }
                 self.finish(block, out);
             }
             ReqKind::PutClean => {
@@ -266,7 +306,146 @@ impl Bank {
                 self.handle_put_clean(block, req.from, out);
                 self.finish(block, out);
             }
+            ReqKind::BusRd | ReqKind::BusRdX | ReqKind::BusUpd(_) => {
+                self.dispatch_bus(block, &req, out);
+            }
         }
+    }
+
+    /// Snooping-mode dispatch: broadcast the probe to every other L1 and
+    /// wait for their responses; the bank's arrival order *is* the bus order
+    /// for this block. No timeout arming — snoop responses are unconditional
+    /// (every probed L1 answers exactly once, held state or not).
+    fn dispatch_bus(&mut self, block: u64, req: &Request, out: &mut BankOut) {
+        let kind = match req.kind {
+            ReqKind::BusRd => {
+                self.gets += 1;
+                SnoopKind::Rd
+            }
+            ReqKind::BusRdX => {
+                self.getm += 1;
+                SnoopKind::RdX
+            }
+            ReqKind::BusUpd(word) => {
+                self.getm += 1;
+                SnoopKind::Upd(word)
+            }
+            _ => unreachable!("dispatch_bus on a directory request"),
+        };
+        // Update rounds never consult the L2; reads/read-exclusives count a
+        // hit when the L2 can source the data without DRAM.
+        if !matches!(kind, SnoopKind::Upd(_)) {
+            if self.array.lookup(block).is_some() {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+        }
+        let others = self.all_ports & !bit(req.from);
+        for p in ports(others) {
+            out.sends.push((p, DirToL1::Snoop { block, kind }));
+        }
+        let tx = self.tx.get_mut(&block).expect("tx");
+        tx.pending_snoop = others;
+        if others == 0 {
+            self.complete_bus(block, out);
+        } else {
+            tx.phase = Phase::AwaitSnoop;
+        }
+    }
+
+    /// Every snoop response is in: source the data, grant, and finish.
+    fn complete_bus(&mut self, block: u64, out: &mut BankOut) {
+        let tx = self.tx.get(&block).expect("tx");
+        let (from, kind) = (tx.req.from, tx.req.kind);
+        let (had, dirty, supplied) = (tx.snoop_had, tx.snoop_dirty, tx.snoop_data);
+        match kind {
+            ReqKind::BusUpd(_) => {
+                // The round is ordered; sharers have patched their copies.
+                // The writer takes ownership (Sm when live copies remain,
+                // M otherwise). Neither the L2 nor DRAM is updated — Dragon
+                // defers memory until the owner's writeback.
+                out.sends.push((from, DirToL1::UpdDone { block, sharers: had }));
+                self.finish(block, out);
+            }
+            ReqKind::BusRd => {
+                if let Some(data) = supplied {
+                    if dirty && self.protocol == ProtocolKind::MesiSnoop {
+                        // MESI has no owned state: after the M→S demotion
+                        // every copy is clean, so memory must absorb the
+                        // dirty data now (Illinois-style supply+writeback).
+                        if self.array.peek(block).is_some() {
+                            self.array.set_data(block, data);
+                            self.array.peek_mut(block).expect("hit").dirty = true;
+                        } else {
+                            out.dram_writes.push((block, data));
+                        }
+                    }
+                    out.sends.push((
+                        from,
+                        DirToL1::Data {
+                            block,
+                            grant: Grant::S,
+                            data,
+                        },
+                    ));
+                    self.finish(block, out);
+                } else if self.array.peek(block).is_some() {
+                    let data = self.array.data(block);
+                    let grant = if had { Grant::S } else { Grant::E };
+                    out.sends.push((from, DirToL1::Data { block, grant, data }));
+                    self.finish(block, out);
+                } else {
+                    self.tx.get_mut(&block).expect("tx").phase = Phase::AwaitDram;
+                    out.dram_read = Some(block);
+                }
+            }
+            ReqKind::BusRdX => {
+                // Every other copy was invalidated by the probe; grant M
+                // with the best copy (dirty supplier > L2 > DRAM). A stale
+                // L2 copy is fine: the M owner's eventual writeback
+                // refreshes it, and value checks gate on dirty copies.
+                if let Some(data) = supplied {
+                    out.sends.push((
+                        from,
+                        DirToL1::Data {
+                            block,
+                            grant: Grant::M,
+                            data,
+                        },
+                    ));
+                    self.finish(block, out);
+                } else if self.array.peek(block).is_some() {
+                    let data = self.array.data(block);
+                    out.sends.push((
+                        from,
+                        DirToL1::Data {
+                            block,
+                            grant: Grant::M,
+                            data,
+                        },
+                    ));
+                    self.finish(block, out);
+                } else {
+                    self.tx.get_mut(&block).expect("tx").phase = Phase::AwaitDram;
+                    out.dram_read = Some(block);
+                }
+            }
+            _ => unreachable!("complete_bus on a directory request"),
+        }
+    }
+
+    /// Snooping-mode writeback: no directory registration to check — the
+    /// freshest copy lands in the L2 when resident, else goes to DRAM.
+    fn snoop_put_dirty(&mut self, block: u64, req: &Request, out: &mut BankOut) {
+        let data = req.data.expect("PutDirty carries data");
+        if self.array.peek(block).is_some() {
+            self.array.set_data(block, data);
+            self.array.peek_mut(block).expect("hit").dirty = true;
+        } else {
+            out.dram_writes.push((block, data));
+        }
+        out.sends.push((req.from, DirToL1::PutAck { block }));
     }
 
     fn dispatch_gets_hit(&mut self, block: u64, from: PortId, out: &mut BankOut) {
@@ -605,6 +784,31 @@ impl Bank {
     pub fn dram_done(&mut self, block: u64, data: BlockData, out: &mut BankOut) {
         let tx = self.tx.get_mut(&block).expect("dram_done without tx");
         debug_assert_eq!(tx.phase, Phase::AwaitDram);
+        if !self.protocol.uses_directory() {
+            // Serve the bus transaction straight from the DRAM data. Clean
+            // reads opportunistically install into the L2 when a way can be
+            // freed without waiting (non-inclusive: serving uncached is
+            // always legal); read-exclusives skip the install — the copy
+            // would be stale the moment the M owner writes.
+            let (from, kind) = (tx.req.from, tx.req.kind);
+            let grant = match kind {
+                ReqKind::BusRd => {
+                    if tx.snoop_had {
+                        Grant::S
+                    } else {
+                        Grant::E
+                    }
+                }
+                ReqKind::BusRdX => Grant::M,
+                ref k => unreachable!("DRAM fill for {k:?} in snooping mode"),
+            };
+            if matches!(kind, ReqKind::BusRd) {
+                self.snoop_install(block, data, out);
+            }
+            out.sends.push((from, DirToL1::Data { block, grant, data }));
+            self.finish(block, out);
+            return;
+        }
         tx.fill_data = Some(data);
         if self.array.has_free_way(block) {
             self.install_and_dispatch(block, data, out);
@@ -613,6 +817,32 @@ impl Bank {
             tx.phase = Phase::NeedFill;
             self.try_fill(block, out);
         }
+    }
+
+    /// Snooping-mode install: free way, or evict a non-busy LRU victim
+    /// (writing it back when dirty — no recall: the L2 is non-inclusive).
+    /// Gives up silently when every way is busy; the requester is served
+    /// uncached.
+    fn snoop_install(&mut self, block: u64, data: BlockData, out: &mut BankOut) {
+        if !self.array.has_free_way(block) {
+            let victim = self
+                .array
+                .victims_lru(block)
+                .into_iter()
+                .find(|v| !self.busy(*v));
+            let Some(victim) = victim else {
+                return;
+            };
+            self.recalls += 1;
+            let meta = *self.array.peek(victim).expect("victim resident");
+            let vdata = self.array.data(victim);
+            self.array.remove(victim).expect("victim resident");
+            if meta.dirty {
+                out.dram_writes.push((victim, vdata));
+            }
+        }
+        let evicted = self.array.insert(block, L2Meta::default(), data);
+        debug_assert!(evicted.is_none(), "install raced an occupied set");
     }
 
     fn install_and_dispatch(&mut self, block: u64, data: BlockData, out: &mut BankOut) {
@@ -630,10 +860,22 @@ impl Bank {
     /// that are no longer pending (possible only in lenient mode, when a
     /// NACK resend raced the original response) are counted and ignored.
     pub fn resp_arrive(&mut self, resp: L1ToDir, out: &mut BankOut) {
+        if let L1ToDir::SnoopResp {
+            from,
+            block,
+            had,
+            dirty,
+            data,
+        } = resp
+        {
+            self.snoop_resp_arrive(block, from, had, dirty, data, out);
+            return;
+        }
         let (rblock, from) = match &resp {
             L1ToDir::InvResp { block, from, .. } | L1ToDir::FetchResp { block, from, .. } => {
                 (*block, *from)
             }
+            L1ToDir::SnoopResp { .. } => unreachable!("handled above"),
         };
         // Route: either a recall on the victim block, or a demand transaction.
         if let Some(&demand) = self.recall_owner.get(&rblock) {
@@ -664,6 +906,7 @@ impl Bank {
                     }
                     recall.fetch_from = None;
                 }
+                L1ToDir::SnoopResp { .. } => unreachable!("handled above"),
             }
             if recall.pending_inv == 0 && recall.fetch_from.is_none() {
                 self.finish_recall(demand, out);
@@ -712,6 +955,7 @@ impl Bank {
                     meta.fresh = true;
                 }
             }
+            L1ToDir::SnoopResp { .. } => unreachable!("handled above"),
         }
         let tx = self.tx.get(&rblock).expect("tx");
         if tx.pending_inv == 0 && tx.fetch_from.is_none() {
@@ -720,6 +964,45 @@ impl Bank {
                 ReqKind::GetM => self.complete_getm(rblock, out),
                 _ => unreachable!("Put awaiting acks"),
             }
+        }
+    }
+
+    /// A `SnoopResp` arrived: fold it into the waiting bus transaction.
+    /// The dirty supplier's copy is authoritative; any clean supplier beats
+    /// the L2/DRAM path (cache-to-cache is cheaper than a memory access).
+    fn snoop_resp_arrive(
+        &mut self,
+        block: u64,
+        from: PortId,
+        had: bool,
+        dirty: bool,
+        data: Option<BlockData>,
+        out: &mut BankOut,
+    ) {
+        let Some(tx) = self.tx.get_mut(&block) else {
+            assert!(self.lenient, "snoop response without tx");
+            self.stale_resps += 1;
+            return;
+        };
+        if tx.phase != Phase::AwaitSnoop || tx.pending_snoop & bit(from) == 0 {
+            debug_assert!(self.lenient, "unexpected snoop response from {from:?}");
+            self.stale_resps += 1;
+            return;
+        }
+        tx.pending_snoop &= !bit(from);
+        if had {
+            tx.snoop_had = true;
+        }
+        if let Some(d) = data {
+            if dirty {
+                tx.snoop_data = Some(d);
+                tx.snoop_dirty = true;
+            } else if tx.snoop_data.is_none() {
+                tx.snoop_data = Some(d);
+            }
+        }
+        if tx.pending_snoop == 0 {
+            self.complete_bus(block, out);
         }
     }
 
@@ -819,6 +1102,11 @@ impl Bank {
         let (rblock, from, is_fetch) = match resp {
             L1ToDir::InvResp { block, from, .. } => (*block, *from, false),
             L1ToDir::FetchResp { block, from, .. } => (*block, *from, true),
+            L1ToDir::SnoopResp { block, from, .. } => {
+                return self.tx.get(block).is_some_and(|tx| {
+                    tx.phase == Phase::AwaitSnoop && tx.pending_snoop & bit(*from) != 0
+                });
+            }
         };
         if let Some(&demand) = self.recall_owner.get(&rblock) {
             let Some(recall) = self.tx.get(&demand).and_then(|t| t.recall.as_ref()) else {
@@ -1031,6 +1319,7 @@ impl Phase {
             Phase::AwaitRecall => 2,
             Phase::AwaitDram => 3,
             Phase::AwaitInvFetch => 4,
+            Phase::AwaitSnoop => 5,
         }
     }
 
@@ -1041,6 +1330,7 @@ impl Phase {
             2 => Phase::AwaitRecall,
             3 => Phase::AwaitDram,
             4 => Phase::AwaitInvFetch,
+            5 => Phase::AwaitSnoop,
             t => return Err(bad_tag("Phase", t)),
         })
     }
@@ -1084,6 +1374,10 @@ impl Tx {
         }
         w.put_u64(self.epoch);
         w.put_u32(self.nacks);
+        w.put_u32(self.pending_snoop);
+        w.put_bool(self.snoop_had);
+        w.put_bool(self.snoop_dirty);
+        crate::msg::save_opt_data(w, &self.snoop_data);
     }
 
     fn load(r: &mut SnapReader<'_>) -> Result<Tx, SnapError> {
@@ -1102,6 +1396,10 @@ impl Tx {
             },
             epoch: r.get_u64()?,
             nacks: r.get_u32()?,
+            pending_snoop: r.get_u32()?,
+            snoop_had: r.get_bool()?,
+            snoop_dirty: r.get_bool()?,
+            snoop_data: crate::msg::load_opt_data(r)?,
         })
     }
 }

@@ -26,6 +26,7 @@ use ccsvm_engine::{InvariantId, Time, Violation};
 
 use crate::l1::L1State;
 use crate::msg::{BlockData, MemEvent, MemEventKind};
+use crate::protocol::protocol;
 use crate::system::{MemorySystem, PortId};
 
 fn violation(id: InvariantId, at: Time, detail: String) -> Option<Violation> {
@@ -65,12 +66,28 @@ impl MemorySystem {
     }
 
     /// Checks SWMR, directory agreement, and the data-value invariant for
-    /// one block. Skips blocks with an active transaction at the home bank.
+    /// one block — each gated on whether the configured protocol *defines*
+    /// it (see [`crate::protocol::CoherenceProtocol::invariants`]). Skips
+    /// blocks with an active transaction at the home bank.
     pub fn check_block(&self, at: Time, block: u64) -> Option<Violation> {
         let home = self.home(block);
         if self.banks[home].busy_on(block) {
             return None; // mid-transaction: transient disagreement is legal
         }
+        if !self.protocol.uses_directory()
+            && self
+                .l1s
+                .iter()
+                .any(|l1| l1.mshr_on(block) || l1.evicting(block))
+        {
+            // Without the blocking directory the bank's transaction window
+            // does not cover the whole round: a grant or `UpdDone` may still
+            // be in flight to the requester after the bank retired its
+            // transaction. Any outstanding L1 MSHR or writeback on the block
+            // marks it mid-round.
+            return None;
+        }
+        let mask = protocol(self.protocol).invariants();
         // Gather every valid L1 copy.
         let mut copies: Vec<(PortId, L1State, Option<BlockData>)> = Vec::new();
         for (i, l1) in self.l1s.iter().enumerate() {
@@ -81,70 +98,77 @@ impl MemorySystem {
         }
 
         // MEM-SWMR: at most one writable copy, and it excludes all others.
-        let writable: Vec<PortId> = copies
-            .iter()
-            .filter(|(_, st, _)| matches!(st, L1State::M | L1State::E))
-            .map(|&(p, _, _)| p)
-            .collect();
-        if writable.len() > 1 {
-            return violation(
-                InvariantId::MemSwmr,
-                at,
-                format!(
-                    "block {block:#x}: {} L1s hold writable (M/E) copies: {:?}",
-                    writable.len(),
-                    writable
-                ),
-            );
-        }
-        if writable.len() == 1 && copies.len() > 1 {
-            let others: Vec<PortId> = copies
+        // (Not a Dragon invariant: update rounds leave the Sm owner and Sc
+        // sharers all valid by design.)
+        if mask.contains(InvariantId::MemSwmr) {
+            let writable: Vec<PortId> = copies
                 .iter()
-                .filter(|&&(p, _, _)| p != writable[0])
+                .filter(|(_, st, _)| matches!(st, L1State::M | L1State::E))
                 .map(|&(p, _, _)| p)
                 .collect();
-            return violation(
-                InvariantId::MemSwmr,
-                at,
-                format!(
-                    "block {block:#x}: port {} holds a writable copy but \
-                     ports {others:?} also hold valid copies",
-                    writable[0].0
-                ),
-            );
-        }
-
-        // MEM-DIR-AGREE: every valid L1 copy is known to the home directory.
-        let record = self.banks[home].dir_record(block);
-        for &(p, st, _) in &copies {
-            let ok = match record {
-                // Inclusive L2: an L1 copy of a non-resident block is
-                // unaccountable.
-                None => false,
-                Some((owner, sharers)) => match st {
-                    L1State::M | L1State::E | L1State::O => owner == Some(p),
-                    // An S copy is legal as a recorded sharer, or as the
-                    // registered owner (upgrade grant in flight).
-                    L1State::S => sharers & (1u32 << p.0) != 0 || owner == Some(p),
-                    L1State::I => unreachable!(),
-                },
-            };
-            if !ok {
+            if writable.len() > 1 {
                 return violation(
-                    InvariantId::MemDirAgree,
+                    InvariantId::MemSwmr,
                     at,
                     format!(
-                        "block {block:#x}: port {} holds {st:?} but home bank \
-                         {home} directory entry is {record:?}",
-                        p.0
+                        "block {block:#x}: {} L1s hold writable (M/E) copies: {:?}",
+                        writable.len(),
+                        writable
+                    ),
+                );
+            }
+            if writable.len() == 1 && copies.len() > 1 {
+                let others: Vec<PortId> = copies
+                    .iter()
+                    .filter(|&&(p, _, _)| p != writable[0])
+                    .map(|&(p, _, _)| p)
+                    .collect();
+                return violation(
+                    InvariantId::MemSwmr,
+                    at,
+                    format!(
+                        "block {block:#x}: port {} holds a writable copy but \
+                         ports {others:?} also hold valid copies",
+                        writable[0].0
                     ),
                 );
             }
         }
 
+        // MEM-DIR-AGREE: every valid L1 copy is known to the home directory.
+        // Only defined where there *is* a directory.
+        let record = self.banks[home].dir_record(block);
+        if mask.contains(InvariantId::MemDirAgree) {
+            for &(p, st, _) in &copies {
+                let ok = match record {
+                    // Inclusive L2: an L1 copy of a non-resident block is
+                    // unaccountable.
+                    None => false,
+                    Some((owner, sharers)) => match st {
+                        L1State::M | L1State::E | L1State::O => owner == Some(p),
+                        // An S copy is legal as a recorded sharer, or as the
+                        // registered owner (upgrade grant in flight).
+                        L1State::S => sharers & (1u32 << p.0) != 0 || owner == Some(p),
+                        L1State::I => unreachable!(),
+                    },
+                };
+                if !ok {
+                    return violation(
+                        InvariantId::MemDirAgree,
+                        at,
+                        format!(
+                            "block {block:#x}: port {} holds {st:?} but home bank \
+                             {home} directory entry is {record:?}",
+                            p.0
+                        ),
+                    );
+                }
+            }
+        }
+
         // MEM-DATA-VALUE. Poisoned blocks carry deliberately untrustworthy
         // bytes, so they are exempt.
-        if self.poisoned.contains(&block) {
+        if self.poisoned.contains(&block) || !mask.contains(InvariantId::MemDataValue) {
             return None;
         }
         let valid: Vec<(PortId, BlockData)> = copies
@@ -165,9 +189,19 @@ impl MemorySystem {
                     );
                 }
             }
-            // With no registered owner the inclusive L2 copy is
-            // authoritative and every sharer must match it.
-            if let Some((None, _)) = record {
+            // The L2 copy is authoritative only when no L1 owns the block:
+            // under the directory that is a recorded-ownerless entry; under
+            // the snooping protocols it is the absence of any M/E/O copy
+            // (while a dirty copy lives, the non-inclusive L2 is legally
+            // stale until writeback).
+            let l2_authoritative = if self.protocol.uses_directory() {
+                matches!(record, Some((None, _)))
+            } else {
+                !copies
+                    .iter()
+                    .any(|(_, st, _)| matches!(st, L1State::M | L1State::E | L1State::O))
+            };
+            if l2_authoritative {
                 if let Some(l2) = self.banks[home].probe(block) {
                     if l2 != d0 {
                         return violation(

@@ -12,7 +12,8 @@ use ccsvm_noc::NodeId;
 use crate::addr::{block_of, offset_in_block, PhysAddr};
 use crate::cache::{CacheArray, CacheConfig, SetImage};
 use crate::dram::word_from_block;
-use crate::msg::{BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request};
+use crate::msg::{BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request, SnoopKind, UpdWord};
+use crate::protocol::ProtocolKind;
 use crate::system::{Access, PortId};
 
 /// Store policy of an L1 (the paper assumes write-back; write-through exists
@@ -150,6 +151,10 @@ impl L1Out {
 pub(crate) struct L1 {
     pub id: PortId,
     pub config: L1Config,
+    /// Which coherence protocol this controller speaks (config-derived, not
+    /// serialized). Selects the request vocabulary on misses and the
+    /// reactions to ordering-point probes.
+    protocol: ProtocolKind,
     array: CacheArray<Line>,
     mshrs: FxHashMap<u64, Mshr>,
     evict_buf: FxHashMap<u64, EvictEntry>,
@@ -188,11 +193,12 @@ pub(crate) struct L1 {
 }
 
 impl L1 {
-    pub fn new(id: PortId, config: L1Config) -> L1 {
+    pub fn new(id: PortId, config: L1Config, protocol: ProtocolKind) -> L1 {
         assert!(config.max_mshrs > 0, "need at least one MSHR");
         L1 {
             id,
             config,
+            protocol,
             array: CacheArray::new(config.cache),
             mshrs: fx_map_with_capacity(config.max_mshrs),
             evict_buf: fx_map_with_capacity(config.max_mshrs),
@@ -485,17 +491,55 @@ impl L1 {
             },
         );
         out.requests.push(Request {
-            kind: if needs_m {
-                ReqKind::GetM
-            } else {
-                ReqKind::GetS
-            },
+            kind: self.miss_request_kind(state, access),
             from: self.id,
             block,
             data: None,
             retain: false,
         });
         L1Access::Pending
+    }
+
+    /// The coherence request a miss (or upgrade) on a line in `state` sends,
+    /// in the configured protocol's vocabulary.
+    fn miss_request_kind(&self, state: L1State, access: Access) -> ReqKind {
+        let needs_m = !matches!(access, Access::Read { .. });
+        match self.protocol {
+            ProtocolKind::Directory => {
+                if needs_m {
+                    ReqKind::GetM
+                } else {
+                    ReqKind::GetS
+                }
+            }
+            ProtocolKind::MesiSnoop => {
+                if needs_m {
+                    ReqKind::BusRdX
+                } else {
+                    ReqKind::BusRd
+                }
+            }
+            ProtocolKind::Dragon => match access {
+                Access::Read { .. } => ReqKind::BusRd,
+                // Atomics acquire exclusivity: a write-update round cannot
+                // serialize a read-modify-write against racing updates.
+                Access::Rmw { .. } => ReqKind::BusRdX,
+                Access::Write { paddr, size, value } => {
+                    if matches!(state, L1State::S | L1State::O) {
+                        // Write to a shared block: broadcast the word.
+                        ReqKind::BusUpd(UpdWord {
+                            off: offset_in_block(paddr) as u8,
+                            size: size as u8,
+                            value,
+                        })
+                    } else {
+                        // No copy: read-for-write, then update (or write
+                        // locally when granted E) from the fill drain.
+                        ReqKind::BusRd
+                    }
+                }
+            },
+        }
     }
 
     /// Reserves a way in `block`'s set for an in-flight fill, evicting a
@@ -546,6 +590,11 @@ impl L1 {
                     retain: false,
                 });
             }
+            // Snooping protocols: clean evictions are silent (there is no
+            // directory registration to retire). Memory is current for every
+            // clean state, and in-flight dirty writebacks keep answering
+            // snoops from the eviction buffer until their PutAck.
+            L1State::E | L1State::S if !self.protocol.uses_directory() => {}
             L1State::E => {
                 // Clean, but we are the registered owner: the directory may
                 // still Fetch us, so buffer the data until PutAck.
@@ -698,7 +747,111 @@ impl L1 {
             DirToL1::PutAck { block } => {
                 self.evict_buf.remove(&block);
             }
+            DirToL1::Snoop { block, kind } => self.on_snoop(block, kind, out),
+            DirToL1::UpdDone { block, sharers } => self.on_upd_done(block, sharers, out),
         }
+    }
+
+    /// Answers an ordering-point probe (snooping protocols). Every probe gets
+    /// exactly one `SnoopResp`; `had` reports a live copy (resident line or a
+    /// dirty writeback still in the eviction buffer), and `data` rides along
+    /// whenever one existed so the ordering point can source cache-to-cache.
+    fn on_snoop(&mut self, block: u64, kind: SnoopKind, out: &mut L1Out) {
+        let (had, dirty, data) = match kind {
+            SnoopKind::Rd => {
+                if let Some(i) = self.array.peek_idx(block) {
+                    self.fetches += 1;
+                    let state = self.array.meta_at(i).state;
+                    let dirty = state.dirty();
+                    // Another cache reads: demote a writable copy to shared.
+                    // MESI: M/E → S (the ordering point writes the dirty data
+                    // back, so every surviving copy is clean). Dragon: the
+                    // dirty owner keeps ownership as Sm (`O`), E → Sc (`S`) —
+                    // memory is *not* updated on cache-to-cache supply.
+                    let demoted = match (self.protocol, state) {
+                        (ProtocolKind::Dragon, L1State::M) => L1State::O,
+                        (ProtocolKind::Dragon, L1State::E) => L1State::S,
+                        (ProtocolKind::Dragon, s) => s,
+                        (_, L1State::M | L1State::E) => L1State::S,
+                        (_, s) => s,
+                    };
+                    self.array.meta_at_mut(i).state = demoted;
+                    (true, dirty, Some(self.array.data(block)))
+                } else if let Some(e) = self.evict_buf.get(&block) {
+                    (e.dirty, e.dirty, e.dirty.then_some(e.data))
+                } else {
+                    (false, false, None)
+                }
+            }
+            SnoopKind::RdX => {
+                if let Some((line, data)) = self.array.remove(block) {
+                    self.invalidations += 1;
+                    self.claim_freed_way(block);
+                    (true, line.state.dirty(), Some(data))
+                } else if let Some(e) = self.evict_buf.get(&block) {
+                    (e.dirty, e.dirty, e.dirty.then_some(e.data))
+                } else {
+                    (false, false, None)
+                }
+            }
+            SnoopKind::Upd(word) => {
+                // Dragon write-update: patch a live shared copy in place; an
+                // Sm owner demotes to Sc (the writer becomes the owner). A
+                // copy that raced to M/E via the invalidating RdX path does
+                // not apply — the writer was invalidated by that same round
+                // and will re-read before retrying its store.
+                match self.array.peek_idx(block) {
+                    Some(i)
+                        if matches!(self.array.meta_at(i).state, L1State::S | L1State::O) =>
+                    {
+                        self.array.meta_at_mut(i).state = L1State::S;
+                        word.apply(self.array.data_at_mut(i));
+                        (true, false, None)
+                    }
+                    _ => (false, false, None),
+                }
+            }
+        };
+        out.responses.push(L1ToDir::SnoopResp {
+            from: self.id,
+            block,
+            had,
+            dirty,
+            data,
+        });
+    }
+
+    /// Dragon: the ordering point serialized our write-update round. Apply
+    /// the store that headed the round, take ownership (Sm when sharers
+    /// acknowledged live copies, M when we are now alone), and keep draining.
+    fn on_upd_done(&mut self, block: u64, sharers: bool, out: &mut L1Out) {
+        let state = self.array.peek(block).map_or(L1State::I, |l| l.state);
+        if !state.readable() {
+            // A racing RdX invalidated our copy after the round was issued:
+            // re-read first (the invalidation's `claim_freed_way` converted
+            // the freed way into our fill reservation), then the fill drain
+            // retries the store.
+            out.requests.push(Request {
+                kind: ReqKind::BusRd,
+                from: self.id,
+                block,
+                data: None,
+                retain: false,
+            });
+            return;
+        }
+        let mshr = self.mshrs.get_mut(&block).expect("UpdDone without MSHR");
+        let w = mshr.waiters.remove(0);
+        debug_assert!(
+            matches!(w.access, Access::Write { .. }),
+            "update round headed by a non-store"
+        );
+        let value = self.perform_write(w.access);
+        self.array.lookup_mut(block).expect("resident").state =
+            if sharers { L1State::O } else { L1State::M };
+        out.completions.push((w.token, value, block));
+        self.maybe_write_through(block, out);
+        self.drain_waiters(block, out);
     }
 
     fn on_fill(&mut self, block: u64, grant: Grant, data: BlockData, out: &mut L1Out) {
@@ -707,6 +860,24 @@ impl L1 {
             Grant::E => L1State::E,
             Grant::M => L1State::M,
         };
+        // Snooping protocols grant data even on upgrades (a `BusRdX` from S
+        // answers with `Data{M}`, dissolving the upgrade/invalidate race the
+        // directory resolves with `AckM`): install in place, no reservation
+        // was taken for a resident line.
+        if !self.protocol.uses_directory() {
+            if let Some(i) = self.array.peek_idx(block) {
+                // A dirty resident copy is the block's most current version
+                // (Dragon: the Sm owner re-serializing through `BusRdX` for an
+                // atomic) — the fill's bytes may be a stale L2 copy, so only
+                // the permission upgrade applies.
+                if !self.array.meta_at(i).state.dirty() {
+                    self.array.set_data(block, data);
+                }
+                self.array.meta_at_mut(i).state = state;
+                self.drain_waiters(block, out);
+                return;
+            }
+        }
         let set = self.array.set_of(block);
         let r = self
             .reserved
@@ -755,6 +926,12 @@ impl L1 {
             }
         }
         if !remaining.is_empty() {
+            // Escalate in the protocol's vocabulary: GetM (directory) /
+            // BusRdX (snooping MESI) for the whole batch, or — Dragon — an
+            // update round for the store at the head of the queue (each
+            // UpdDone drains back through here for the next one).
+            let state = self.array.peek(block).map_or(L1State::I, |l| l.state);
+            let kind = self.miss_request_kind(state, remaining[0].access);
             self.mshrs.insert(
                 block,
                 Mshr {
@@ -763,7 +940,7 @@ impl L1 {
                 },
             );
             out.requests.push(Request {
-                kind: ReqKind::GetM,
+                kind,
                 from: self.id,
                 block,
                 data: None,
@@ -830,6 +1007,20 @@ impl L1 {
     /// sanitizer's whole-cache sweep).
     pub fn resident_blocks(&self) -> Vec<(u64, L1State)> {
         self.array.iter().map(|(b, line)| (b, line.state)).collect()
+    }
+
+    /// Whether this L1 has an in-flight miss (MSHR) on `block`. The
+    /// snooping-protocol sanitizer checks stand down on such blocks: between
+    /// a sharer applying an update and the writer's `UpdDone` (or between an
+    /// invalidating probe and its grant) the copies legitimately disagree.
+    pub fn mshr_on(&self, block: u64) -> bool {
+        self.mshrs.contains_key(&block)
+    }
+
+    /// Whether this L1 holds `block` in its eviction buffer (a writeback in
+    /// flight that still answers snoops until its PutAck).
+    pub fn evicting(&self, block: u64) -> bool {
+        self.evict_buf.contains_key(&block)
     }
 
     /// Blocks with an in-flight miss (MSHR allocated), sorted — the
@@ -1022,6 +1213,7 @@ mod tests {
                 max_mshrs: 4,
                 write_policy: WritePolicy::WriteBack,
             },
+            ProtocolKind::Directory,
         )
     }
 

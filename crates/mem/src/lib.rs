@@ -32,6 +32,7 @@ mod dram;
 mod l1;
 mod msg;
 mod port;
+mod protocol;
 mod system;
 
 pub use addr::{block_of, offset_in_block, PhysAddr, BLOCK_BYTES};
@@ -40,4 +41,5 @@ pub use dram::{Dram, DramConfig};
 pub use l1::{L1Config, WritePolicy};
 pub use msg::{ring_kind_name, AtomicOp, BankId, MemEvent};
 pub use port::{CorePort, PortLog};
+pub use protocol::{protocol, CoherenceProtocol, ProtocolKind};
 pub use system::{Access, AccessResult, BankConfig, Completion, MemConfig, MemorySystem, PortId};

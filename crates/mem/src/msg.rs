@@ -59,7 +59,32 @@ pub struct BankId(pub usize);
 /// Cache-block payload carried by data messages.
 pub type BlockData = [u8; BLOCK_BYTES as usize];
 
-/// Coherence request types an L1 sends to a directory bank.
+/// One word-granular store broadcast by the Dragon write-update protocol:
+/// instead of invalidating sharers, the writer pushes the stored bytes to
+/// every valid copy through the block's home-bank ordering point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct UpdWord {
+    /// Byte offset of the store within its cache block.
+    pub off: u8,
+    /// Store width in bytes (1/2/4/8).
+    pub size: u8,
+    /// The stored value (little-endian, low `size` bytes significant).
+    pub value: u64,
+}
+
+impl UpdWord {
+    /// Applies the store to a block payload in place.
+    pub fn apply(self, data: &mut BlockData) {
+        let off = self.off as usize;
+        let size = (self.size as usize).min(8);
+        data[off..off + size].copy_from_slice(&self.value.to_le_bytes()[..size]);
+    }
+}
+
+/// Coherence request types an L1 sends to a block's home bank. `GetS`..
+/// `PutClean` form the directory protocol's vocabulary; `BusRd`/`BusRdX`/
+/// `BusUpd` are the bus-transaction kinds of the snooping protocols, for
+/// which the home bank acts as the per-block bus ordering point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ReqKind {
     /// Read permission (grants S, or E when unshared).
@@ -70,6 +95,16 @@ pub enum ReqKind {
     PutDirty,
     /// Eviction notice for a clean block (from E or S).
     PutClean,
+    /// Snooping read: broadcast `Snoop(Rd)`, source data from the best
+    /// supplier (dirty cache > clean cache > L2 > DRAM), grant E when no
+    /// other cache held a copy.
+    BusRd,
+    /// Snooping read-exclusive: broadcast `Snoop(RdX)`, invalidate every
+    /// other copy, grant M with data.
+    BusRdX,
+    /// Dragon write-update round: broadcast `Snoop(Upd)` carrying the
+    /// store, collect acks, answer the writer with `UpdDone`.
+    BusUpd(UpdWord),
 }
 
 /// A request message travelling L1 → directory.
@@ -104,6 +139,26 @@ pub(crate) enum DirToL1 {
     FetchInv { block: u64 },
     /// A Put transaction finished (possibly as a stale no-op).
     PutAck { block: u64 },
+    /// Snooping protocols: the ordering point probes this L1 for `block`;
+    /// respond with `SnoopResp` (and react per [`SnoopKind`]).
+    Snoop { block: u64, kind: SnoopKind },
+    /// Dragon: the write-update round for `block` is ordered; the writer may
+    /// now apply its store locally, as Sm (owner) when other sharers
+    /// acknowledged a copy, else as M.
+    UpdDone { block: u64, sharers: bool },
+}
+
+/// What a snooped L1 must do besides answering [`L1ToDir::SnoopResp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum SnoopKind {
+    /// Another cache reads: supply data, demote a writable copy to shared
+    /// (MESI: M/E→S; Dragon: M→Sm, E→Sc).
+    Rd,
+    /// Another cache writes: supply dirty data and invalidate.
+    RdX,
+    /// Dragon write-update: apply the word to a valid copy in place
+    /// (Sm demotes to Sc — the writer becomes the owner).
+    Upd(UpdWord),
 }
 
 /// Installation state granted with a data response.
@@ -119,6 +174,7 @@ pub(crate) enum Grant {
 
 /// Responses travelling L1 → directory.
 #[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::enum_variant_names)] // they *are* all responses; the prefix names the sender
 pub(crate) enum L1ToDir {
     /// Acknowledges an `Inv`; carries data when the L1 held the block dirty
     /// in its eviction buffer.
@@ -133,6 +189,16 @@ pub(crate) enum L1ToDir {
         block: u64,
         data: BlockData,
         dirty: bool,
+    },
+    /// Answers a [`DirToL1::Snoop`] probe. `had` reports whether this L1
+    /// held a valid copy (or a dirty writeback in flight); `data` carries
+    /// the copy when one existed, `dirty` whether it was modified.
+    SnoopResp {
+        from: PortId,
+        block: u64,
+        had: bool,
+        dirty: bool,
+        data: Option<BlockData>,
     },
 }
 
@@ -192,7 +258,8 @@ impl MemEvent {
     pub fn resp_block(&self) -> Option<u64> {
         match &self.0 {
             MemEventKind::RespArrive(_, L1ToDir::InvResp { block, .. })
-            | MemEventKind::RespArrive(_, L1ToDir::FetchResp { block, .. }) => Some(*block),
+            | MemEventKind::RespArrive(_, L1ToDir::FetchResp { block, .. })
+            | MemEventKind::RespArrive(_, L1ToDir::SnoopResp { block, .. }) => Some(*block),
             _ => None,
         }
     }
@@ -208,10 +275,14 @@ impl MemEvent {
                 | DirToL1::Inv { block }
                 | DirToL1::Fetch { block }
                 | DirToL1::FetchInv { block }
-                | DirToL1::PutAck { block } => *block,
+                | DirToL1::PutAck { block }
+                | DirToL1::Snoop { block, .. }
+                | DirToL1::UpdDone { block, .. } => *block,
             },
             MemEventKind::RespArrive(_, resp) => match resp {
-                L1ToDir::InvResp { block, .. } | L1ToDir::FetchResp { block, .. } => *block,
+                L1ToDir::InvResp { block, .. }
+                | L1ToDir::FetchResp { block, .. }
+                | L1ToDir::SnoopResp { block, .. } => *block,
             },
             MemEventKind::DramReadDone { block, .. }
             | MemEventKind::BankReady { block, .. }
@@ -274,6 +345,70 @@ impl MemEvent {
                 data[0] ^= 0xFF;
                 return true;
             }
+        }
+        false
+    }
+
+    /// Whether this event delivers a snoop response that reported a live
+    /// shared copy (the class [`MutationKind::CorruptSnoopShared`] counts).
+    pub fn is_shared_snoop_resp(&self) -> bool {
+        matches!(
+            &self.0,
+            MemEventKind::RespArrive(_, L1ToDir::SnoopResp { had: true, .. })
+        )
+    }
+
+    /// Test-only sanitizer mutation: erase a snoop response's report of a
+    /// live copy, so the ordering point grants exclusive while that sharer
+    /// survives (⇒ `MEM-SWMR` under the snooping protocols). Returns whether
+    /// this event matched.
+    pub fn test_clear_snoop_shared(&mut self) -> bool {
+        if let MemEventKind::RespArrive(
+            _,
+            L1ToDir::SnoopResp {
+                had, dirty, data, ..
+            },
+        ) = &mut self.0
+        {
+            if *had {
+                *had = false;
+                *dirty = false;
+                *data = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether this event delivers a Dragon write-update probe (the class
+    /// [`MutationKind::CorruptUpdValue`] counts).
+    pub fn is_upd_snoop(&self) -> bool {
+        matches!(
+            &self.0,
+            MemEventKind::DirArrive(
+                _,
+                DirToL1::Snoop {
+                    kind: SnoopKind::Upd(_),
+                    ..
+                }
+            )
+        )
+    }
+
+    /// Test-only sanitizer mutation: flip the payload of a write-update
+    /// probe, so one sharer applies a different value than the writer
+    /// (⇒ `MEM-DATA-VALUE` under Dragon). Returns whether it matched.
+    pub fn test_corrupt_upd_value(&mut self) -> bool {
+        if let MemEventKind::DirArrive(
+            _,
+            DirToL1::Snoop {
+                kind: SnoopKind::Upd(word),
+                ..
+            },
+        ) = &mut self.0
+        {
+            word.value ^= 0xFF;
+            return true;
         }
         false
     }
@@ -367,14 +502,36 @@ impl AtomicOp {
     }
 }
 
+impl UpdWord {
+    fn save(self, w: &mut SnapWriter) {
+        w.put_u8(self.off);
+        w.put_u8(self.size);
+        w.put_u64(self.value);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<UpdWord, SnapError> {
+        Ok(UpdWord {
+            off: r.get_u8()?,
+            size: r.get_u8()?,
+            value: r.get_u64()?,
+        })
+    }
+}
+
 impl ReqKind {
     fn save(self, w: &mut SnapWriter) {
-        w.put_u8(match self {
-            ReqKind::GetS => 0,
-            ReqKind::GetM => 1,
-            ReqKind::PutDirty => 2,
-            ReqKind::PutClean => 3,
-        });
+        match self {
+            ReqKind::GetS => w.put_u8(0),
+            ReqKind::GetM => w.put_u8(1),
+            ReqKind::PutDirty => w.put_u8(2),
+            ReqKind::PutClean => w.put_u8(3),
+            ReqKind::BusRd => w.put_u8(4),
+            ReqKind::BusRdX => w.put_u8(5),
+            ReqKind::BusUpd(word) => {
+                w.put_u8(6);
+                word.save(w);
+            }
+        }
     }
 
     fn load(r: &mut SnapReader<'_>) -> Result<ReqKind, SnapError> {
@@ -383,6 +540,9 @@ impl ReqKind {
             1 => ReqKind::GetM,
             2 => ReqKind::PutDirty,
             3 => ReqKind::PutClean,
+            4 => ReqKind::BusRd,
+            5 => ReqKind::BusRdX,
+            6 => ReqKind::BusUpd(UpdWord::load(r)?),
             t => return Err(bad_tag("ReqKind", t)),
         })
     }
@@ -456,6 +616,23 @@ impl DirToL1 {
                 w.put_u8(5);
                 w.put_u64(*block);
             }
+            DirToL1::Snoop { block, kind } => {
+                w.put_u8(6);
+                w.put_u64(*block);
+                match kind {
+                    SnoopKind::Rd => w.put_u8(0),
+                    SnoopKind::RdX => w.put_u8(1),
+                    SnoopKind::Upd(word) => {
+                        w.put_u8(2);
+                        word.save(w);
+                    }
+                }
+            }
+            DirToL1::UpdDone { block, sharers } => {
+                w.put_u8(7);
+                w.put_u64(*block);
+                w.put_bool(*sharers);
+            }
         }
     }
 
@@ -480,6 +657,19 @@ impl DirToL1 {
             },
             5 => DirToL1::PutAck {
                 block: r.get_u64()?,
+            },
+            6 => DirToL1::Snoop {
+                block: r.get_u64()?,
+                kind: match r.get_u8()? {
+                    0 => SnoopKind::Rd,
+                    1 => SnoopKind::RdX,
+                    2 => SnoopKind::Upd(UpdWord::load(r)?),
+                    t => return Err(bad_tag("SnoopKind", t)),
+                },
+            },
+            7 => DirToL1::UpdDone {
+                block: r.get_u64()?,
+                sharers: r.get_bool()?,
             },
             t => return Err(bad_tag("DirToL1", t)),
         })
@@ -507,6 +697,20 @@ impl L1ToDir {
                 w.put_raw(data);
                 w.put_bool(*dirty);
             }
+            L1ToDir::SnoopResp {
+                from,
+                block,
+                had,
+                dirty,
+                data,
+            } => {
+                w.put_u8(2);
+                w.put_usize(from.0);
+                w.put_u64(*block);
+                w.put_bool(*had);
+                w.put_bool(*dirty);
+                save_opt_data(w, data);
+            }
         }
     }
 
@@ -522,6 +726,13 @@ impl L1ToDir {
                 block: r.get_u64()?,
                 data: r.get_array()?,
                 dirty: r.get_bool()?,
+            },
+            2 => L1ToDir::SnoopResp {
+                from: PortId(r.get_usize()?),
+                block: r.get_u64()?,
+                had: r.get_bool()?,
+                dirty: r.get_bool()?,
+                data: load_opt_data(r)?,
             },
             t => return Err(bad_tag("L1ToDir", t)),
         })
@@ -657,6 +868,59 @@ mod tests {
                     block: 1,
                     data: [3; 64],
                     dirty: false,
+                },
+            )),
+            MemEvent(MemEventKind::ReqArrive(Request {
+                kind: ReqKind::BusUpd(UpdWord {
+                    off: 24,
+                    size: 8,
+                    value: 0xDEAD_BEEF,
+                }),
+                from: PortId(2),
+                block: 0x80,
+                data: None,
+                retain: false,
+            })),
+            MemEvent(MemEventKind::ReqArrive(Request {
+                kind: ReqKind::BusRdX,
+                from: PortId(0),
+                block: 0xC0,
+                data: None,
+                retain: false,
+            })),
+            MemEvent(MemEventKind::DirArrive(
+                PortId(3),
+                DirToL1::Snoop {
+                    block: 7,
+                    kind: SnoopKind::Upd(UpdWord {
+                        off: 0,
+                        size: 4,
+                        value: 5,
+                    }),
+                },
+            )),
+            MemEvent(MemEventKind::DirArrive(
+                PortId(3),
+                DirToL1::Snoop {
+                    block: 7,
+                    kind: SnoopKind::RdX,
+                },
+            )),
+            MemEvent(MemEventKind::DirArrive(
+                PortId(1),
+                DirToL1::UpdDone {
+                    block: 9,
+                    sharers: true,
+                },
+            )),
+            MemEvent(MemEventKind::RespArrive(
+                BankId(1),
+                L1ToDir::SnoopResp {
+                    from: PortId(5),
+                    block: 11,
+                    had: true,
+                    dirty: true,
+                    data: Some([0xAB; 64]),
                 },
             )),
             MemEvent(MemEventKind::DramReadDone {

@@ -122,7 +122,9 @@ impl<'a> CorePort<'a> {
 
     fn resp_bytes(&self, resp: &L1ToDir) -> usize {
         match resp {
-            L1ToDir::InvResp { data: Some(_), .. } | L1ToDir::FetchResp { .. } => self.data_bytes,
+            L1ToDir::InvResp { data: Some(_), .. }
+            | L1ToDir::FetchResp { .. }
+            | L1ToDir::SnoopResp { data: Some(_), .. } => self.data_bytes,
             _ => self.ctrl_bytes,
         }
     }
@@ -146,7 +148,9 @@ impl<'a> CorePort<'a> {
         }
         for resp in out.responses.drain(..) {
             let rb = match &resp {
-                L1ToDir::InvResp { block, .. } | L1ToDir::FetchResp { block, .. } => *block,
+                L1ToDir::InvResp { block, .. }
+                | L1ToDir::FetchResp { block, .. }
+                | L1ToDir::SnoopResp { block, .. } => *block,
             };
             let b = self.home(rb);
             let bytes = self.resp_bytes(&resp);

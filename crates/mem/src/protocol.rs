@@ -1,0 +1,249 @@
+//! The pluggable coherence-protocol boundary.
+//!
+//! The memory system supports three per-block coherence protocols; which one
+//! a machine runs is part of its configuration (and therefore of the config
+//! hash snapshots are keyed on):
+//!
+//! * **Directory MOESI** (`directory`) — the paper's protocol: a blocking
+//!   directory embedded in the banked L2 orders transactions per block,
+//!   invalidation-based, with an owned (O) state so dirty sharing does not
+//!   force writebacks. The L2 is inclusive; installs may recall L1 copies.
+//! * **Snooping MESI** (`mesi-snoop`) — bus-ordered broadcast over the
+//!   existing NoC. The block's home bank acts as the per-block bus ordering
+//!   point: `BusRd`/`BusRdX` transactions broadcast `Snoop` probes to every
+//!   other L1 and collect `SnoopResp`s before granting, with cache-to-cache
+//!   supply (dirty supplier preferred). The L2 is a plain non-inclusive
+//!   victim of the traffic — no directory state, no recalls.
+//! * **Dragon write-update** (`dragon`) — stores to shared blocks broadcast
+//!   the written word (`BusUpd`) instead of invalidating: sharers patch their
+//!   copies in place and the writer becomes the owner (Sm). The classic
+//!   Dragon states map onto the existing L1 state enum as Sc=`S`, Sm=`O`,
+//!   E=`E`, M=`M`. Read-modify-writes use the invalidating `BusRdX` path
+//!   (updates cannot serialize an atomic's read-modify-write against racing
+//!   updates, so exclusivity is acquired instead).
+//!
+//! [`CoherenceProtocol`] carries what the rest of the stack needs to know
+//! about a protocol without seeing its state machine: its identity/CLI
+//! naming, its message vocabulary (for docs and diagnostics), and — the part
+//! the sanitizer consumes — which DESIGN §9 invariants are *defined* under
+//! it. SWMR is deliberately not an invariant under Dragon (multiple dirty
+//! copies are the protocol working as designed), and the directory-agreement
+//! invariant only exists where there is a directory; the sanitizer gates on
+//! [`CoherenceProtocol::invariants`] rather than being silently disabled.
+//!
+//! The state machines themselves live next to the structures they drive:
+//! the directory protocol in `bank.rs`/`l1.rs` (unchanged), the snooping
+//! protocols' bank-side ordering point also in `bank.rs` and their L1-side
+//! reactions in `l1.rs`, all dispatched on [`ProtocolKind`].
+
+use ccsvm_engine::{InvariantId, InvariantMask};
+
+/// Which coherence protocol a machine runs. Part of the memory system's
+/// configuration: it participates in the config hash, so snapshots taken
+/// under one protocol cannot silently restore into another.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Blocking directory MOESI embedded in the L2 banks (the paper's).
+    #[default]
+    Directory,
+    /// Snooping MESI with the home bank as per-block bus ordering point.
+    MesiSnoop,
+    /// Dragon write-update (Sc/Sm/E/M; stores broadcast updates).
+    Dragon,
+}
+
+impl ProtocolKind {
+    /// All protocols, in CLI/documentation order.
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::Directory,
+        ProtocolKind::MesiSnoop,
+        ProtocolKind::Dragon,
+    ];
+
+    /// The CLI / config-file name (`directory`, `mesi-snoop`, `dragon`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProtocolKind::Directory => "directory",
+            ProtocolKind::MesiSnoop => "mesi-snoop",
+            ProtocolKind::Dragon => "dragon",
+        }
+    }
+
+    /// Parses a CLI / config-file name.
+    pub fn parse(s: &str) -> Option<ProtocolKind> {
+        Some(match s {
+            "directory" => ProtocolKind::Directory,
+            "mesi-snoop" => ProtocolKind::MesiSnoop,
+            "dragon" => ProtocolKind::Dragon,
+            _ => None?,
+        })
+    }
+
+    /// Whether this protocol runs the L2-embedded blocking directory
+    /// (inclusive L2, recalls, Fetch/Inv indirections, NACK timeouts).
+    pub fn uses_directory(self) -> bool {
+        matches!(self, ProtocolKind::Directory)
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What the rest of the simulator may know about a coherence protocol:
+/// identity, vocabulary, and which sanitizer invariants are defined under
+/// it. Obtain one with [`protocol`].
+pub trait CoherenceProtocol {
+    /// The protocol's configuration identity.
+    fn kind(&self) -> ProtocolKind;
+
+    /// Human-readable name (matches [`ProtocolKind::as_str`]).
+    fn name(&self) -> &'static str {
+        self.kind().as_str()
+    }
+
+    /// The DESIGN §9 invariants that are *defined* for this protocol. The
+    /// sanitizer checks exactly this set — an invariant absent here is not
+    /// an invariant of the protocol (not a disabled check).
+    fn invariants(&self) -> InvariantMask;
+
+    /// The L1 stable states, in the protocol's own naming.
+    fn l1_states(&self) -> &'static [&'static str];
+
+    /// The protocol's message vocabulary (requests, probes, responses), for
+    /// diagnostics and the DESIGN §13 catalogue.
+    fn messages(&self) -> &'static [&'static str];
+}
+
+/// The paper's blocking directory MOESI.
+struct DirectoryMoesi;
+
+impl CoherenceProtocol for DirectoryMoesi {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Directory
+    }
+
+    fn invariants(&self) -> InvariantMask {
+        InvariantMask::all()
+    }
+
+    fn l1_states(&self) -> &'static [&'static str] {
+        &["I", "S", "E", "O", "M"]
+    }
+
+    fn messages(&self) -> &'static [&'static str] {
+        &[
+            "GetS", "GetM", "PutDirty", "PutClean", "Data", "AckM", "Inv", "Fetch", "FetchInv",
+            "PutAck", "InvResp", "FetchResp",
+        ]
+    }
+}
+
+/// Snooping MESI over the NoC, bank-ordered.
+struct MesiSnoop;
+
+impl CoherenceProtocol for MesiSnoop {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::MesiSnoop
+    }
+
+    fn invariants(&self) -> InvariantMask {
+        // No directory ⇒ nothing for the L2 record to agree with.
+        InvariantMask::all().without(InvariantId::MemDirAgree)
+    }
+
+    fn l1_states(&self) -> &'static [&'static str] {
+        &["I", "S", "E", "M"]
+    }
+
+    fn messages(&self) -> &'static [&'static str] {
+        &[
+            "BusRd", "BusRdX", "PutDirty", "Snoop(Rd)", "Snoop(RdX)", "SnoopResp", "Data",
+            "PutAck",
+        ]
+    }
+}
+
+/// Dragon write-update.
+struct DragonUpdate;
+
+impl CoherenceProtocol for DragonUpdate {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Dragon
+    }
+
+    fn invariants(&self) -> InvariantMask {
+        // No directory, and SWMR is *not* a Dragon invariant: an update
+        // round leaves the writer in Sm with other readable copies alive —
+        // that is the protocol's whole point, not a bug.
+        InvariantMask::all()
+            .without(InvariantId::MemDirAgree)
+            .without(InvariantId::MemSwmr)
+    }
+
+    fn l1_states(&self) -> &'static [&'static str] {
+        &["I", "Sc", "Sm", "E", "M"]
+    }
+
+    fn messages(&self) -> &'static [&'static str] {
+        &[
+            "BusRd",
+            "BusRdX",
+            "BusUpd",
+            "PutDirty",
+            "Snoop(Rd)",
+            "Snoop(RdX)",
+            "Snoop(Upd)",
+            "SnoopResp",
+            "UpdDone",
+            "Data",
+            "PutAck",
+        ]
+    }
+}
+
+/// Returns the protocol descriptor for `kind`.
+pub fn protocol(kind: ProtocolKind) -> &'static dyn CoherenceProtocol {
+    match kind {
+        ProtocolKind::Directory => &DirectoryMoesi,
+        ProtocolKind::MesiSnoop => &MesiSnoop,
+        ProtocolKind::Dragon => &DragonUpdate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(protocol(kind).name(), kind.as_str());
+            assert_eq!(protocol(kind).kind(), kind);
+        }
+        assert_eq!(ProtocolKind::parse("moesi"), None);
+    }
+
+    #[test]
+    fn invariant_masks_differ_where_the_protocols_do() {
+        let dir = protocol(ProtocolKind::Directory).invariants();
+        let snoop = protocol(ProtocolKind::MesiSnoop).invariants();
+        let dragon = protocol(ProtocolKind::Dragon).invariants();
+        assert_eq!(dir, InvariantMask::all());
+        assert!(snoop.contains(InvariantId::MemSwmr));
+        assert!(!snoop.contains(InvariantId::MemDirAgree));
+        assert!(!dragon.contains(InvariantId::MemSwmr));
+        assert!(!dragon.contains(InvariantId::MemDirAgree));
+        for m in [dir, snoop, dragon] {
+            assert!(m.contains(InvariantId::MemDataValue));
+            assert!(m.contains(InvariantId::MemMsgConserve));
+            assert!(m.contains(InvariantId::NocConserve));
+            assert!(m.contains(InvariantId::VmTlbPt));
+            assert!(m.contains(InvariantId::VmStaleShoot));
+        }
+    }
+
+}

@@ -13,6 +13,7 @@ use crate::dram::{Dram, DramConfig};
 use crate::l1::{L1Config, L1Out, L1State, L1};
 use crate::msg::{AtomicOp, BankId, DirToL1, MemEvent, MemEventKind};
 use crate::port::{CorePort, PortLog};
+use crate::protocol::ProtocolKind;
 
 /// Identifies an L1 cache port (one per core).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -128,6 +129,8 @@ pub struct MemConfig {
     pub ctrl_bytes: usize,
     /// Size of a data-bearing message (64 B payload + header).
     pub data_bytes: usize,
+    /// Which coherence protocol the hierarchy runs (see [`crate::protocol`]).
+    pub protocol: ProtocolKind,
 }
 
 /// The coherent memory hierarchy. See the [crate docs](crate) for the
@@ -136,6 +139,7 @@ pub struct MemConfig {
 pub struct MemorySystem {
     pub(crate) l1s: Vec<L1>,
     pub(crate) banks: Vec<Bank>,
+    pub(crate) protocol: ProtocolKind,
     bank_cfg: Vec<BankConfig>,
     dram: Dram,
     ctrl_bytes: usize,
@@ -168,20 +172,30 @@ impl MemorySystem {
         assert!(!config.l1s.is_empty(), "need at least one L1");
         assert!(config.l1s.len() <= 32, "directory supports at most 32 L1s");
         assert!(!config.banks.is_empty(), "need at least one bank");
+        let n_ports = config.l1s.len();
         MemorySystem {
             l1s: config
                 .l1s
                 .iter()
                 .enumerate()
-                .map(|(i, c)| L1::new(PortId(i), *c))
+                .map(|(i, c)| L1::new(PortId(i), *c, config.protocol))
                 .collect(),
             banks: {
                 let n = config.banks.len();
                 assert!(n.is_power_of_two(), "bank count must be a power of two");
                 (0..n)
-                    .map(|i| Bank::new(BankId(i), config.banks[i].cache, n.trailing_zeros()))
+                    .map(|i| {
+                        Bank::new(
+                            BankId(i),
+                            config.banks[i].cache,
+                            n.trailing_zeros(),
+                            config.protocol,
+                            n_ports,
+                        )
+                    })
                     .collect()
             },
+            protocol: config.protocol,
             bank_cfg: config.banks,
             dram: Dram::new(config.dram),
             ctrl_bytes: config.ctrl_bytes,
@@ -222,6 +236,11 @@ impl MemorySystem {
     /// Number of L1 ports.
     pub fn ports(&self) -> usize {
         self.l1s.len()
+    }
+
+    /// The coherence protocol this hierarchy runs.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
     }
 
     /// L1 hit latency of `port`.

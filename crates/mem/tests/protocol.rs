@@ -4,7 +4,7 @@
 use ccsvm_engine::{EventQueue, Time};
 use ccsvm_mem::{
     Access, AccessResult, AtomicOp, BankConfig, CacheConfig, Completion, DramConfig, L1Config,
-    MemConfig, MemEvent, MemorySystem, PhysAddr, PortId, WritePolicy,
+    MemConfig, MemEvent, MemorySystem, PhysAddr, PortId, ProtocolKind, WritePolicy,
 };
 use ccsvm_noc::{Network, NocConfig, NodeId, Topology};
 
@@ -21,9 +21,15 @@ impl Harness {
     /// `n_l1` cores, `n_banks` banks, deliberately tiny caches so evictions
     /// and recalls happen constantly.
     fn tiny(n_l1: usize, n_banks: usize) -> Harness {
-        Harness::build(n_l1, n_banks, 2, 2, 2, 2, WritePolicy::WriteBack)
+        Harness::tiny_proto(n_l1, n_banks, ProtocolKind::Directory)
     }
 
+    /// Like [`Harness::tiny`], under a chosen coherence protocol.
+    fn tiny_proto(n_l1: usize, n_banks: usize, protocol: ProtocolKind) -> Harness {
+        Harness::build(n_l1, n_banks, 2, 2, 2, 2, WritePolicy::WriteBack, protocol)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn build(
         n_l1: usize,
         n_banks: usize,
@@ -32,6 +38,7 @@ impl Harness {
         l2_sets: usize,
         l2_ways: usize,
         policy: WritePolicy,
+        protocol: ProtocolKind,
     ) -> Harness {
         let topo = Topology::torus(4, 4);
         let l1s = (0..n_l1)
@@ -63,6 +70,7 @@ impl Harness {
                 dram: DramConfig::paper_default(),
                 ctrl_bytes: 8,
                 data_bytes: 72,
+                protocol,
             }),
             net: Network::new(topo, NocConfig::paper_default()),
             queue: EventQueue::new(),
@@ -371,7 +379,16 @@ fn sub_word_accesses() {
 
 #[test]
 fn write_through_policy_stays_coherent() {
-    let mut h = Harness::build(4, 2, 2, 2, 4, 4, WritePolicy::WriteThrough);
+    let mut h = Harness::build(
+        4,
+        2,
+        2,
+        2,
+        4,
+        4,
+        WritePolicy::WriteThrough,
+        ProtocolKind::Directory,
+    );
     h.write(0, 0x40, 1);
     assert_eq!(h.read(1, 0x40), 1);
     h.write(1, 0x40, 2);
@@ -482,4 +499,239 @@ fn concurrent_increments_from_all_cores() {
         pending = 0;
     }
     assert_eq!(h.read(0, 0x300), 8 * per_core);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-protocol tests: the same access sequences must produce the same
+// architectural results under directory MOESI, snooping MESI, and Dragon
+// write-update — only the traffic differs. Each run finishes with a full
+// sanitizer sweep under the protocol's own invariant mask.
+
+fn swept(h: Harness) {
+    assert_eq!(h.mem.check_all(h.now), None, "sanitizer sweep");
+    assert!(h.mem.quiescent());
+}
+
+#[test]
+fn all_protocols_producer_consumer() {
+    for kind in ProtocolKind::ALL {
+        let mut h = Harness::tiny_proto(4, 2, kind);
+        h.write(0, 0x80, 42);
+        assert_eq!(h.read(1, 0x80), 42, "{kind}");
+        assert_eq!(h.read(0, 0x80), 42, "{kind}: producer keeps a copy");
+        swept(h);
+    }
+}
+
+#[test]
+fn all_protocols_write_propagates_to_sharers() {
+    for kind in ProtocolKind::ALL {
+        let mut h = Harness::tiny_proto(3, 2, kind);
+        h.write(0, 0x40, 1);
+        assert_eq!(h.read(1, 0x40), 1, "{kind}");
+        assert_eq!(h.read(2, 0x40), 1, "{kind}");
+        // MESI/directory invalidate the other copies; Dragon patches them in
+        // place. Either way every core must observe the new value.
+        h.write(1, 0x40, 2);
+        assert_eq!(h.read(0, 0x40), 2, "{kind}");
+        assert_eq!(h.read(2, 0x40), 2, "{kind}");
+        assert_eq!(h.read(1, 0x40), 2, "{kind}");
+        swept(h);
+    }
+}
+
+#[test]
+fn all_protocols_atomics_under_contention() {
+    for kind in ProtocolKind::ALL {
+        let mut h = Harness::tiny_proto(4, 2, kind);
+        let mut tokens = Vec::new();
+        for port in 0..4 {
+            let (tok, hit) = h.issue(
+                port,
+                Access::Rmw {
+                    paddr: PhysAddr(0x200),
+                    size: 8,
+                    op: AtomicOp::Add { value: 1 },
+                },
+            );
+            tokens.push((tok, hit));
+        }
+        let done = h.drain();
+        let mut olds: Vec<u64> = tokens
+            .iter()
+            .map(|(tok, hit)| {
+                hit.unwrap_or_else(|| done.iter().find(|c| c.token == *tok).expect("done").value)
+            })
+            .collect();
+        olds.sort();
+        assert_eq!(olds, vec![0, 1, 2, 3], "{kind}");
+        assert_eq!(h.read(0, 0x200), 4, "{kind}");
+        swept(h);
+    }
+}
+
+#[test]
+fn all_protocols_eviction_writeback() {
+    for kind in ProtocolKind::ALL {
+        let mut h = Harness::tiny_proto(2, 2, kind);
+        for i in 0..32u64 {
+            h.write(0, i * 64, 1000 + i);
+        }
+        for i in 0..32u64 {
+            assert_eq!(h.read(1, i * 64), 1000 + i, "{kind} block {i}");
+        }
+        swept(h);
+    }
+}
+
+#[test]
+fn all_protocols_write_through_policy() {
+    for kind in ProtocolKind::ALL {
+        let mut h = Harness::build(4, 2, 2, 2, 4, 4, WritePolicy::WriteThrough, kind);
+        h.write(0, 0x40, 1);
+        assert_eq!(h.read(1, 0x40), 1, "{kind}");
+        h.write(1, 0x40, 2);
+        assert_eq!(h.read(0, 0x40), 2, "{kind}");
+        for i in 0..16u64 {
+            h.write(2, i * 64, i * 3);
+        }
+        for i in 0..16u64 {
+            assert_eq!(h.read(3, i * 64), i * 3, "{kind}");
+        }
+        swept(h);
+    }
+}
+
+#[test]
+fn all_protocols_randomized_sequential_equivalence() {
+    use ccsvm_engine::SplitMix64;
+    for kind in ProtocolKind::ALL {
+        for seed in 0..8 {
+            let mut h = Harness::tiny_proto(4, 2, kind);
+            let mut rng = SplitMix64::new(seed);
+            let mut shadow = std::collections::HashMap::new();
+            for step in 0..400 {
+                let port = (rng.next_below(4)) as usize;
+                let addr = rng.next_below(48) * 8;
+                match rng.next_below(3) {
+                    0 => {
+                        let v = rng.next_u64();
+                        h.write(port, addr, v);
+                        shadow.insert(addr, v);
+                    }
+                    1 => {
+                        let expect = shadow.get(&addr).copied().unwrap_or(0);
+                        assert_eq!(
+                            h.read(port, addr),
+                            expect,
+                            "{kind} seed {seed} step {step} addr {addr:#x}"
+                        );
+                    }
+                    _ => {
+                        let old = h.rmw(port, addr, AtomicOp::Inc);
+                        let expect = shadow.get(&addr).copied().unwrap_or(0);
+                        assert_eq!(old, expect, "{kind} seed {seed} step {step} rmw old");
+                        shadow.insert(addr, expect.wrapping_add(1));
+                    }
+                }
+                let at = h.now;
+                assert_eq!(
+                    h.mem.check_all(at),
+                    None,
+                    "{kind} seed {seed} step {step}: invariant sweep"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_protocols_concurrent_increments() {
+    for kind in ProtocolKind::ALL {
+        let mut h = Harness::tiny_proto(8, 2, kind);
+        let per_core = 5;
+        let mut pending = 0;
+        for round in 0..per_core {
+            for port in 0..8 {
+                let (_, hit) = h.issue(
+                    port,
+                    Access::Rmw {
+                        paddr: PhysAddr(0x300),
+                        size: 8,
+                        op: AtomicOp::Add { value: 1 },
+                    },
+                );
+                if hit.is_none() {
+                    pending += 1;
+                }
+            }
+            let done = h.drain();
+            assert_eq!(done.len(), pending, "{kind} round {round}");
+            pending = 0;
+        }
+        assert_eq!(h.read(0, 0x300), 8 * per_core, "{kind}");
+        swept(h);
+    }
+}
+
+#[test]
+fn mesi_snoop_invalidates_on_write() {
+    let mut h = Harness::tiny_proto(2, 2, ProtocolKind::MesiSnoop);
+    h.write(0, 0x40, 1);
+    assert_eq!(h.read(1, 0x40), 1);
+    h.write(0, 0x40, 2);
+    // Invalidation protocol: the other copy must be gone, not patched.
+    assert_eq!(h.mem.peek(PortId(1), PhysAddr(0x40), 8), None);
+    assert_eq!(h.read(1, 0x40), 2);
+    swept(h);
+}
+
+#[test]
+fn dragon_updates_sharers_in_place() {
+    let mut h = Harness::tiny_proto(3, 2, ProtocolKind::Dragon);
+    h.write(0, 0x40, 1);
+    assert_eq!(h.read(1, 0x40), 1);
+    assert_eq!(h.read(2, 0x40), 1);
+    h.write(0, 0x40, 2);
+    // Update protocol: the sharers' copies are patched in place — still
+    // resident and already holding the new value, with no re-fetch.
+    assert_eq!(h.mem.peek(PortId(1), PhysAddr(0x40), 8), Some(2));
+    assert_eq!(h.mem.peek(PortId(2), PhysAddr(0x40), 8), Some(2));
+    swept(h);
+}
+
+#[test]
+fn dragon_sub_word_updates_patch_only_their_bytes() {
+    let mut h = Harness::tiny_proto(2, 2, ProtocolKind::Dragon);
+    h.write(0, 0x40, 0x1122_3344_5566_7788);
+    assert_eq!(h.read(1, 0x40), 0x1122_3344_5566_7788);
+    let (_, hit) = h.issue(
+        0,
+        Access::Write {
+            paddr: PhysAddr(0x42),
+            size: 2,
+            value: 0xAABB,
+        },
+    );
+    if hit.is_none() {
+        h.drain();
+    }
+    assert_eq!(
+        h.mem.peek(PortId(1), PhysAddr(0x40), 8),
+        Some(0x1122_3344_AABB_7788),
+        "sharer patched exactly the written half-word"
+    );
+    swept(h);
+}
+
+#[test]
+fn snoop_protocols_leave_no_directory_state() {
+    for kind in [ProtocolKind::MesiSnoop, ProtocolKind::Dragon] {
+        let mut h = Harness::tiny_proto(2, 1, kind);
+        h.write(0, 0x40, 7);
+        assert_eq!(h.read(1, 0x40), 7);
+        assert_eq!(h.mem.dir_owner(1), None, "{kind}: no owner registration");
+        assert_eq!(h.mem.dir_sharers(1), 0, "{kind}: no sharer mask");
+        swept(h);
+    }
 }

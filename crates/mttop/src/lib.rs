@@ -2725,6 +2725,7 @@ mod tests {
             dram: ccsvm_mem::DramConfig::paper_default(),
             ctrl_bytes: 8,
             data_bytes: 72,
+            protocol: ccsvm_mem::ProtocolKind::Directory,
         })
     }
 

@@ -53,7 +53,7 @@ pub const MAGIC: [u8; 8] = *b"CCSVSNAP";
 /// Schema version of the snapshot format. Bump on ANY change to what any
 /// component serializes, and document the change in DESIGN.md §8 (CI greps
 /// for this).
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Typed snapshot failure. Restoring under a mismatched config or schema, or
 /// from a truncated/corrupt file, yields one of these — never a panic and
@@ -77,6 +77,16 @@ pub enum SnapError {
         found: u64,
         /// Config hash of the machine being restored into.
         expected: u64,
+    },
+    /// A [`SnapError::ConfigMismatch`] whose root cause is known: the image
+    /// was taken under a different coherence protocol than the machine it is
+    /// being restored into. Surfaced by name so the fix ("pass the matching
+    /// `--protocol`") is obvious without comparing raw hashes.
+    ProtocolMismatch {
+        /// Protocol name recorded in the image.
+        found: String,
+        /// Protocol name of the machine being restored into.
+        expected: String,
     },
     /// The data ended before the expected field.
     Truncated {
@@ -103,6 +113,12 @@ impl fmt::Display for SnapError {
                 f,
                 "snapshot was taken under a different SystemConfig \
                  (hash {found:#018x}, machine has {expected:#018x})"
+            ),
+            SnapError::ProtocolMismatch { found, expected } => write!(
+                f,
+                "snapshot was taken under the '{found}' coherence protocol \
+                 but this machine is configured for '{expected}' \
+                 (config hashes differ; restore with --protocol {found})"
             ),
             SnapError::Truncated { what } => {
                 write!(f, "snapshot truncated while reading {what}")

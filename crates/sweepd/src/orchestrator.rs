@@ -314,6 +314,7 @@ pub fn run_sweep(
                 label: p.job.label.clone(),
                 key: p.job.key,
                 preset: p.job.preset.clone(),
+                protocol: p.job.protocol,
                 workload: p.job.workload.clone(),
                 size: p.job.size,
                 seed: p.job.seed,
@@ -503,7 +504,13 @@ fn render_manifest(
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "# sweepd manifest v1");
-    let _ = writeln!(out, "# spec tag {:016x} preset {}", spec.tag(), spec.preset);
+    let _ = writeln!(
+        out,
+        "# spec tag {:016x} preset {} protocol {}",
+        spec.tag(),
+        spec.preset,
+        spec.protocol
+    );
     for job in jobs {
         if poisoned.contains(&job.key) {
             let _ = writeln!(
@@ -549,8 +556,10 @@ fn render_manifest(
 impl SweepSpec {
     /// The `SystemConfig` this sweep runs under.
     pub fn preset_config(&self) -> Result<ccsvm::SystemConfig, SweepError> {
-        ccsvm::SystemConfig::by_preset(&self.preset)
-            .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", self.preset)))
+        let mut cfg = ccsvm::SystemConfig::by_preset(&self.preset)
+            .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", self.preset)))?;
+        cfg.protocol = self.protocol;
+        Ok(cfg)
     }
 }
 

@@ -6,7 +6,7 @@
 //! axis points that compile to the identical simulation run once and share
 //! one cache entry.
 
-use ccsvm::{config_hash, SystemConfig};
+use ccsvm::{config_hash, ProtocolKind, SystemConfig};
 use ccsvm_engine::Time;
 use ccsvm_snap::fnv1a;
 use ccsvm_workloads::{matmul, vecadd};
@@ -22,6 +22,10 @@ const WORKLOADS: &[&str] = &["vecadd", "matmul", "wedge"];
 pub struct SweepSpec {
     /// Config preset name (`SystemConfig::by_preset`).
     pub preset: String,
+    /// Coherence protocol the whole sweep runs under (DESIGN §13). Part of
+    /// the job identity: it feeds the config hash, so the same axes under a
+    /// different protocol are different jobs with different cache entries.
+    pub protocol: ProtocolKind,
     /// Workload generator names (see [`SweepSpec::expand`] for the set).
     pub workloads: Vec<String>,
     /// Problem sizes (meaning is per-workload; `wedge` ignores it).
@@ -45,6 +49,7 @@ impl Default for SweepSpec {
     fn default() -> SweepSpec {
         SweepSpec {
             preset: "tiny".into(),
+            protocol: ProtocolKind::Directory,
             workloads: vec!["vecadd".into()],
             sizes: vec![64],
             seeds: vec![1],
@@ -68,6 +73,8 @@ pub struct JobSpec {
     pub key: u64,
     /// Preset name (workers re-derive the `SystemConfig` from it).
     pub preset: String,
+    /// Coherence protocol applied on top of the preset.
+    pub protocol: ProtocolKind,
     /// Workload generator name (workers re-derive the source from it).
     pub workload: String,
     /// Problem size.
@@ -81,8 +88,10 @@ pub struct JobSpec {
 impl JobSpec {
     /// Rebuilds the job's `SystemConfig` from its preset name.
     pub fn config(&self) -> Result<SystemConfig, SweepError> {
-        SystemConfig::by_preset(&self.preset)
-            .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", self.preset)))
+        let mut cfg = SystemConfig::by_preset(&self.preset)
+            .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", self.preset)))?;
+        cfg.protocol = self.protocol;
+        Ok(cfg)
     }
 }
 
@@ -119,6 +128,8 @@ impl SweepSpec {
     pub fn tag(&self) -> u64 {
         let mut buf = Vec::new();
         buf.extend_from_slice(self.preset.as_bytes());
+        buf.push(0xfb);
+        buf.extend_from_slice(self.protocol.as_str().as_bytes());
         for w in &self.workloads {
             buf.push(0xfe);
             buf.extend_from_slice(w.as_bytes());
@@ -143,8 +154,9 @@ impl SweepSpec {
         if self.max_attempts == 0 {
             return Err(SweepError::Spec("max_attempts must be >= 1".into()));
         }
-        let cfg = SystemConfig::by_preset(&self.preset)
+        let mut cfg = SystemConfig::by_preset(&self.preset)
             .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", self.preset)))?;
+        cfg.protocol = self.protocol;
         let cfg_hash = config_hash(&cfg);
         let mut jobs: Vec<JobSpec> = Vec::new();
         let mut dups = Vec::new();
@@ -163,6 +175,7 @@ impl SweepSpec {
                             label,
                             key,
                             preset: self.preset.clone(),
+                            protocol: self.protocol,
                             workload: w.clone(),
                             size,
                             seed,
@@ -224,6 +237,20 @@ mod tests {
         spec.workloads = vec!["vecadd".into()];
         spec.preset = "no-such".into();
         assert!(matches!(spec.expand(), Err(SweepError::Spec(_))));
+    }
+
+    #[test]
+    fn protocol_is_part_of_the_job_identity() {
+        let a = SweepSpec::default();
+        let b = SweepSpec {
+            protocol: ProtocolKind::Dragon,
+            ..SweepSpec::default()
+        };
+        assert_ne!(a.tag(), b.tag(), "protocol must fence the journal");
+        let (ja, _) = a.expand().unwrap();
+        let (jb, _) = b.expand().unwrap();
+        assert_ne!(ja[0].key, jb[0].key, "protocol must split the cache key");
+        assert_eq!(jb[0].config().unwrap().protocol, ProtocolKind::Dragon);
     }
 
     #[test]

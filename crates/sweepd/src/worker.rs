@@ -19,7 +19,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use ccsvm::{config_hash, Machine, Outcome, SystemConfig};
+use ccsvm::{config_hash, Machine, Outcome, ProtocolKind, SystemConfig};
 use ccsvm_engine::Time;
 
 use crate::cache::ReportCache;
@@ -49,6 +49,8 @@ pub struct WorkerJob {
     pub key: u64,
     /// Config preset name.
     pub preset: String,
+    /// Coherence protocol applied on top of the preset.
+    pub protocol: ProtocolKind,
     /// Workload generator name.
     pub workload: String,
     /// Problem size.
@@ -71,6 +73,7 @@ impl WorkerJob {
             format!("label={}", self.label),
             format!("key={:016x}", self.key),
             format!("preset={}", self.preset),
+            format!("protocol={}", self.protocol),
             format!("workload={}", self.workload),
             format!("size={}", self.size),
             format!("seed={}", self.seed),
@@ -87,6 +90,7 @@ impl WorkerJob {
             label: String::new(),
             key: 0,
             preset: String::new(),
+            protocol: ProtocolKind::Directory,
             workload: String::new(),
             size: 0,
             seed: 0,
@@ -106,6 +110,9 @@ impl WorkerJob {
                     job.key = u64::from_str_radix(v, 16).map_err(|_| bad("key", v))?;
                 }
                 "preset" => job.preset = v.to_string(),
+                "protocol" => {
+                    job.protocol = ProtocolKind::parse(v).ok_or_else(|| bad("protocol", v))?;
+                }
                 "workload" => job.workload = v.to_string(),
                 "size" => job.size = v.parse().map_err(|_| bad("size", v))?,
                 "seed" => job.seed = v.parse().map_err(|_| bad("seed", v))?,
@@ -149,8 +156,9 @@ fn emit_marker(kv: &str) {
 /// simulation starts, every path ends in an exit code.
 pub fn run_worker(job: &WorkerJob) -> Result<i32, SweepError> {
     sig::install_shutdown_handler();
-    let cfg = SystemConfig::by_preset(&job.preset)
+    let mut cfg = SystemConfig::by_preset(&job.preset)
         .ok_or_else(|| SweepError::Spec(format!("unknown preset {:?}", job.preset)))?;
+    cfg.protocol = job.protocol;
     let cfg_hash = config_hash(&cfg);
     let source = source_for(&job.workload, job.size, job.seed)?;
     // The key is the supervisor's contract with the cache: recompute and
@@ -292,6 +300,7 @@ mod tests {
             label: "vecadd-n8-s1".into(),
             key: 0xdead_beef_cafe_f00d,
             preset: "tiny".into(),
+            protocol: ProtocolKind::MesiSnoop,
             workload: "vecadd".into(),
             size: 8,
             seed: 1,

@@ -12,10 +12,26 @@
 //! 5. **Replay** — the same seed reproduces a faulty run bit-for-bit; a
 //!    different seed draws a different schedule.
 
-use ccsvm::{Machine, Outcome, SystemConfig};
+use ccsvm::{Machine, Outcome, ProtocolKind, SystemConfig};
 use ccsvm_bench::{exit_with, BenchError, Claims};
 use ccsvm_engine::Time;
 use ccsvm_workloads as wl;
+
+/// `--protocol <name>` (default `directory`): run the whole sweep under the
+/// named coherence protocol, so CI covers every protocol with one binary.
+fn protocol_arg() -> Result<ProtocolKind, BenchError> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--protocol" {
+            let name = args
+                .next()
+                .ok_or_else(|| BenchError::Run("--protocol needs a value".into()))?;
+            return ProtocolKind::parse(&name)
+                .ok_or_else(|| BenchError::Run(format!("unknown protocol {name:?}")));
+        }
+    }
+    Ok(ProtocolKind::Directory)
+}
 
 fn run_with(cfg: SystemConfig, src: &str) -> (Time, ccsvm::RunReport) {
     let mut m = Machine::new(cfg, wl::build(src));
@@ -29,17 +45,26 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let quick = std::env::args().any(|a| a == "--quick");
+    let protocol = protocol_arg()?;
+    let base_cfg = || {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.protocol = protocol;
+        cfg
+    };
     let n = if quick { 64 } else { 256 };
     let p = wl::vecadd::VecaddParams { n, seed: 7 };
     let src = wl::vecadd::xthreads_source(&p);
     let expect = wl::vecadd::reference_checksum(&p);
     let mut claims = Claims::new();
 
-    println!("== Fault sweep (vecadd n={n}, paper-default chip)");
+    println!(
+        "== Fault sweep (vecadd n={n}, paper-default chip, protocol {})",
+        protocol.as_str()
+    );
 
     // 1. Disabled path: default fault config vs watchdog fully off.
-    let (t0, base) = run_with(SystemConfig::paper_default(), &src);
-    let mut off = SystemConfig::paper_default();
+    let (t0, base) = run_with(base_cfg(), &src);
+    let mut off = base_cfg();
     off.fault.watchdog.enabled = false;
     let (_, no_wd) = run_with(off, &src);
     claims.check(
@@ -63,7 +88,7 @@ fn run() -> Result<(), BenchError> {
     };
     let mut last_retx = -1.0f64;
     for &rate in rates {
-        let mut cfg = SystemConfig::paper_default();
+        let mut cfg = base_cfg();
         cfg.fault.noc.drop_rate = rate;
         let (t, r) = run_with(cfg, &src);
         let retx = r.stats.get("noc.retransmissions");
@@ -93,7 +118,7 @@ fn run() -> Result<(), BenchError> {
         &[1e-4, 1e-3, 1e-2, 1e-1]
     };
     for &rate in rates {
-        let mut cfg = SystemConfig::paper_default();
+        let mut cfg = base_cfg();
         cfg.fault.dram.single_bit_rate = rate;
         let (t, r) = run_with(cfg, &src);
         println!(
@@ -116,7 +141,7 @@ fn run() -> Result<(), BenchError> {
     println!("== TLB transient rate | region ms | transients | outcome");
     let rates: &[f64] = if quick { &[1e-2] } else { &[1e-3, 1e-2, 1e-1] };
     for &rate in rates {
-        let mut cfg = SystemConfig::paper_default();
+        let mut cfg = base_cfg();
         cfg.fault.tlb.transient_rate = rate;
         let (t, r) = run_with(cfg, &src);
         let transients: f64 = (0..4)
@@ -140,7 +165,7 @@ fn run() -> Result<(), BenchError> {
     // 5. Replay: same seed, same bits; different seed, different schedule.
     println!("== Replay determinism");
     let faulty = |seed: u64| {
-        let mut cfg = SystemConfig::paper_default();
+        let mut cfg = base_cfg();
         cfg.fault.seed = seed;
         cfg.fault.noc.drop_rate = 1e-2;
         cfg.fault.dram.single_bit_rate = 1e-2;

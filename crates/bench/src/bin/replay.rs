@@ -40,6 +40,7 @@ fn run() -> Result<(), BenchError> {
         "preset:    {} (config hash {:#018x})",
         bundle.preset, bundle.config_hash
     );
+    println!("protocol:  {}", bundle.protocol.as_str());
     println!("captured:  {:?} at {}", bundle.outcome, bundle.first_fail);
     if let Some(v) = &bundle.violation {
         println!("violation: {v}");

@@ -208,6 +208,7 @@ impl SystemConfig {
             "paper_default" => Some(SystemConfig::paper_default()),
             "tiny" => Some(SystemConfig::tiny()),
             "tiny_brief" => Some(SystemConfig::tiny_brief()),
+            "tiny_campaign" => Some(SystemConfig::tiny_campaign()),
             _ => None,
         }
     }
@@ -221,6 +222,20 @@ impl SystemConfig {
     pub fn tiny_brief() -> SystemConfig {
         let mut c = SystemConfig::tiny();
         c.max_sim_time = Time::from_us(100);
+        c
+    }
+
+    /// [`SystemConfig::tiny`] capped at 1 ms of simulated time: the fault
+    /// campaign's preset. Solicitation-round recovery trades latency for
+    /// loss — at a 5 µs recovery timeout, ~100 dropped probes cost ~500 µs
+    /// of re-solicitation, which `tiny_brief`'s 100 µs deadline cannot
+    /// absorb (the run would be misclassified as a wedge) while `tiny`'s
+    /// 200 ms deadline would let a genuinely wedged cell simulate far too
+    /// long. 1 ms bounds a wedge in well under a host-second and still
+    /// leaves recovery-heavy cells ~8x headroom.
+    pub fn tiny_campaign() -> SystemConfig {
+        let mut c = SystemConfig::tiny();
+        c.max_sim_time = Time::from_ms(1);
         c
     }
 

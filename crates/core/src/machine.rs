@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use ccsvm_cpu::{CpuAction, CpuCore};
 use ccsvm_engine::{
     sanitizer::check_conservation, stat_id, EvRecord, EvRing, EventQueue, FaultDomain, FaultPlan,
-    MutationKind, ScanControl, SpecStats, Stats, Time, Violation, Watchdog,
+    MutationKind, ScanControl, SpecStats, SplitMix64, Stats, Time, Violation, Watchdog,
 };
 use ccsvm_isa::{sys, Program};
 use ccsvm_mem::{
@@ -567,6 +567,17 @@ pub struct Machine {
     /// mutation fires once, at the first applicable target at or after its
     /// nth class occurrence).
     mut_done: bool,
+    /// Seeded per-delivery drop stream for bank→L1 snoop probes
+    /// (`FaultDomain::SnoopProbe`); `None` when the domain is off. Serialized
+    /// (stream position + drop tally) so a restored run draws identically.
+    snoop_probe_rng: Option<SplitMix64>,
+    /// Probes dropped so far (checked against the configured cap).
+    snoop_probe_drops: u64,
+    /// Seeded drop stream for L1→bank `SnoopResp`s answering a write-update
+    /// round (`FaultDomain::UpdAck`); `None` when the domain is off.
+    upd_ack_rng: Option<SplitMix64>,
+    /// Update-round acks dropped so far (checked against the cap).
+    upd_ack_drops: u64,
 }
 
 impl Machine {
@@ -648,6 +659,10 @@ impl Machine {
                 c.install_tlb_faults(cfg.fault.tlb, plan.stream(FaultDomain::Tlb(i as u32)));
             }
         }
+        let snoop_probe_rng =
+            (cfg.fault.snoop_probe.drop_rate > 0.0).then(|| plan.stream(FaultDomain::SnoopProbe));
+        let upd_ack_rng =
+            (cfg.fault.upd_ack.drop_rate > 0.0).then(|| plan.stream(FaultDomain::UpdAck));
         let mut mttops: Vec<MttopCore> = (0..cfg.n_mttops)
             .map(|i| {
                 let mut mc = cfg.mttop;
@@ -725,6 +740,10 @@ impl Machine {
             blackholed_block: None,
             mut_count: 0,
             mut_done: false,
+            snoop_probe_rng,
+            snoop_probe_drops: 0,
+            upd_ack_rng,
+            upd_ack_drops: 0,
         }
     }
 
@@ -1000,6 +1019,9 @@ impl Machine {
                 }
             }
             if t > self.cfg.max_sim_time {
+                // Re-queue the event we popped but will never dispatch so the
+                // NOC-CONSERVE audit counts it as in flight, not lost.
+                self.queue.push(t, ev);
                 let reason = format!("simulation exceeded max_sim_time {}", self.cfg.max_sim_time);
                 self.failure = Some((Outcome::Deadlock, self.dump(reason)));
                 break;
@@ -1080,6 +1102,9 @@ impl Machine {
                 }
             }
             if t > self.cfg.max_sim_time {
+                // Re-queue the event we popped but will never dispatch so the
+                // NOC-CONSERVE audit counts it as in flight, not lost.
+                self.queue.push(t, ev);
                 let reason = format!("simulation exceeded max_sim_time {}", self.cfg.max_sim_time);
                 self.failure = Some((Outcome::Deadlock, self.dump(reason)));
                 break;
@@ -1195,6 +1220,9 @@ impl Machine {
             self.events += 1;
             self.trace_ev(trace, t, &ev);
             if t > self.cfg.max_sim_time {
+                // Re-queue the event we popped but will never dispatch so the
+                // NOC-CONSERVE audit counts it as in flight, not lost.
+                self.queue.push(t, ev);
                 let reason = format!("simulation exceeded max_sim_time {}", self.cfg.max_sim_time);
                 self.failure = Some((Outcome::Deadlock, self.dump(reason)));
                 break;
@@ -1840,6 +1868,9 @@ impl Machine {
             MutationKind::DuplicateResp | MutationKind::DropResp => me.is_resp(),
             MutationKind::CorruptSnoopShared => me.is_shared_snoop_resp(),
             MutationKind::CorruptUpdValue => me.is_upd_snoop(),
+            MutationKind::CorruptResendEpoch => me.dir_timeout().is_some_and(
+                |(bank, block, epoch)| self.mem.corrupt_resend_applicable(bank, block, epoch),
+            ),
             // Counted at `Ev::IpiArrive` dispatch, not here.
             MutationKind::SkipTlbInvalidate => false,
         };
@@ -1883,6 +1914,12 @@ impl Machine {
             }
             MutationKind::CorruptSnoopShared => self.mut_done = me.test_clear_snoop_shared(),
             MutationKind::CorruptUpdValue => self.mut_done = me.test_corrupt_upd_value(),
+            MutationKind::CorruptResendEpoch => {
+                // Arm the transient flag; the bank consumes it while handling
+                // this very timeout and abandons one still-pending probe.
+                self.mem.arm_corrupt_resend();
+                self.mut_done = true;
+            }
             MutationKind::SkipTlbInvalidate => unreachable!("not an uncore-event class"),
         }
         false
@@ -1901,6 +1938,17 @@ impl Machine {
         stats.merge_prefixed("mifd", &self.mifd.stats());
         stats.set_id(stat_id("os.page_faults"), self.os.faults_handled() as f64);
         stats.set_id(stat_id("heap.live_bytes"), self.heap.live_bytes() as f64);
+        // Only present when the domain is armed, so fault-free reports stay
+        // bit-identical to pre-fault builds.
+        if self.snoop_probe_rng.is_some() {
+            stats.set_id(
+                stat_id("fault.snoop_probe_drops"),
+                self.snoop_probe_drops as f64,
+            );
+        }
+        if self.upd_ack_rng.is_some() {
+            stats.set_id(stat_id("fault.upd_ack_drops"), self.upd_ack_drops as f64);
+        }
         let instructions = self
             .cpus
             .iter()
@@ -2144,9 +2192,50 @@ impl Machine {
         }
     }
 
+    /// Seeded probe/ack-loss fault domains (`SnoopProbe`, `UpdAck`): returns
+    /// `true` when this memory event must be lost. Drops only messages whose
+    /// loss the solicitation-round timeout provably recovers from: bank→L1
+    /// snoop probes (idempotent, any protocol) and L1→bank `SnoopResp`s that
+    /// answer a *write-update* round (the bank ignores Upd payloads and a
+    /// resend re-solicits only still-pending ports). Mem events dispatch
+    /// serially even under fork-join execution, so the draw order — and the
+    /// run — is identical across `sim_threads`.
+    fn seeded_drop(&mut self, me: &MemEvent) -> bool {
+        if let Some(rng) = &mut self.snoop_probe_rng {
+            if me.is_snoop_probe() {
+                let cap = self.cfg.fault.snoop_probe.max_drops;
+                let roll = rng.next_f64();
+                if (cap == 0 || self.snoop_probe_drops < cap)
+                    && roll < self.cfg.fault.snoop_probe.drop_rate
+                {
+                    self.snoop_probe_drops += 1;
+                    return true;
+                }
+            }
+        }
+        if let Some(rng) = &mut self.upd_ack_rng {
+            if let Some((bank, block)) = me.snoop_resp_target() {
+                if self.mem.upd_round_active(bank, block) {
+                    let cap = self.cfg.fault.upd_ack.max_drops;
+                    let roll = rng.next_f64();
+                    if (cap == 0 || self.upd_ack_drops < cap)
+                        && roll < self.cfg.fault.upd_ack.drop_rate
+                    {
+                        self.upd_ack_drops += 1;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
     /// Deterministic event-drop fault hooks (`FaultConfig::drop_*` test
     /// knobs): returns `true` when this memory event must be lost.
     fn drop_event(&mut self, me: &MemEvent) -> bool {
+        if self.seeded_drop(me) {
+            return true;
+        }
         let f = &self.cfg.fault;
         if f.drop_data_delivery.is_none() && f.blackhole_resp.is_none() && f.drop_one_resp.is_none()
         {
@@ -3138,6 +3227,20 @@ impl Snapshot for Machine {
         }
         w.put_u64(self.mut_count);
         w.put_bool(self.mut_done);
+        // Probe/ack-loss fault streams (schema v4): presence mirrors the
+        // config, but the stream *position* is run state and must survive a
+        // checkpoint taken mid-plan.
+        for rng in [&self.snoop_probe_rng, &self.upd_ack_rng] {
+            match rng {
+                Some(s) => {
+                    w.put_bool(true);
+                    w.put_u64(s.state());
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_u64(self.snoop_probe_drops);
+        w.put_u64(self.upd_ack_drops);
         w.put_usize(self.cpu_seq.len());
         for v in &self.cpu_seq {
             w.put_u64(*v);
@@ -3240,6 +3343,26 @@ impl Snapshot for Machine {
         };
         self.mut_count = r.get_u64()?;
         self.mut_done = r.get_bool()?;
+        for rng in [&mut self.snoop_probe_rng, &mut self.upd_ack_rng] {
+            if r.get_bool()? {
+                match rng {
+                    Some(s) => s.set_state(r.get_u64()?),
+                    None => {
+                        return Err(SnapError::Corrupt {
+                            what: "snapshot carries a probe-loss fault stream the \
+                                   config does not arm"
+                                .to_string(),
+                        })
+                    }
+                }
+            } else if rng.is_some() {
+                return Err(SnapError::Corrupt {
+                    what: "config arms a probe-loss fault stream the snapshot lacks".to_string(),
+                });
+            }
+        }
+        self.snoop_probe_drops = r.get_u64()?;
+        self.upd_ack_drops = r.get_u64()?;
         load_exact_u64s(r, &mut self.cpu_seq, "cpu_seq")?;
         load_exact_u64s(r, &mut self.mttop_seq, "mttop_seq")?;
         load_exact_usizes(r, &mut self.shoot_pending, "shoot_pending")?;

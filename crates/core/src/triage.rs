@@ -18,13 +18,15 @@ use ccsvm_snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::machine::{config_hash, Machine, Outcome, RunReport};
 use crate::SystemConfig;
+use ccsvm_mem::ProtocolKind;
 
 /// File magic identifying a ccsvm replay bundle.
 pub const BUNDLE_MAGIC: [u8; 8] = *b"CCSVBNDL";
 
 /// Bundle format version (independent of the snapshot schema version; the
-/// embedded snapshot carries its own).
-pub const BUNDLE_VERSION: u32 = 1;
+/// embedded snapshot carries its own). v2: `FaultConfig` grew the
+/// probe/ack-loss knobs, which flow into the bundle's serialized config.
+pub const BUNDLE_VERSION: u32 = 2;
 
 /// A triage failure (distinct from in-simulation outcomes: these mean the
 /// triage/replay *machinery* could not do its job).
@@ -61,6 +63,9 @@ impl From<SnapError> for TriageError {
 pub struct ReplayBundle {
     /// Config preset name ([`SystemConfig::by_preset`]).
     pub preset: String,
+    /// Coherence protocol of the failing run (applied on top of the
+    /// preset at replay time — the embedded snapshot refuses any other).
+    pub protocol: ProtocolKind,
     /// The fault plan the failing run was injected with.
     pub fault: FaultConfig,
     /// The failing run's sanitizer knobs (incl. any seeded mutation).
@@ -93,6 +98,7 @@ impl ReplayBundle {
         w.put_raw(&BUNDLE_MAGIC);
         w.put_u32(BUNDLE_VERSION);
         w.put_str(&self.preset);
+        w.put_str(self.protocol.as_str());
         self.fault.save(&mut w);
         self.sanitizer.save(&mut w);
         w.put_str(&self.source);
@@ -137,6 +143,10 @@ impl ReplayBundle {
             });
         }
         let preset = r.get_str()?.to_string();
+        let proto_name = r.get_str()?.to_string();
+        let protocol = ProtocolKind::parse(&proto_name).ok_or_else(|| SnapError::Corrupt {
+            what: format!("bundle names unknown coherence protocol {proto_name:?}"),
+        })?;
         let mut fault = FaultConfig::default();
         fault.load(&mut r)?;
         let mut sanitizer = SanitizerConfig::default();
@@ -168,6 +178,7 @@ impl ReplayBundle {
         }
         Ok(ReplayBundle {
             preset,
+            protocol,
             fault,
             sanitizer,
             source,
@@ -255,6 +266,7 @@ pub fn run_with_triage(
     let violation = report.diagnostic.as_ref().and_then(|d| d.violation.clone());
     let bundle = ReplayBundle {
         preset: preset.to_string(),
+        protocol: cfg.protocol,
         fault: cfg.fault,
         sanitizer: cfg.sanitizer,
         source: source.to_string(),
@@ -318,6 +330,7 @@ fn bisect(
 pub fn replay_bundle(b: &ReplayBundle) -> Result<(RunReport, bool), TriageError> {
     let mut cfg = SystemConfig::by_preset(&b.preset)
         .ok_or_else(|| TriageError::UnknownPreset(b.preset.clone()))?;
+    cfg.protocol = b.protocol;
     cfg.fault = b.fault;
     cfg.sanitizer = b.sanitizer;
     cfg.sanitizer.enabled = true; // full check verbosity, whatever was captured

@@ -3,7 +3,7 @@
 //! (never a hang), and the directory's NACK/retry path must recover from
 //! recoverable losses.
 
-use ccsvm::{Machine, Outcome, RunReport, SystemConfig, Time};
+use ccsvm::{Machine, Outcome, ProtocolKind, RunReport, SystemConfig, Time};
 
 fn run(cfg: SystemConfig, src: &str) -> RunReport {
     let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
@@ -303,4 +303,196 @@ fn zero_retry_budget_aborts_with_dump_on_first_timeout() {
         "first timeout aborts promptly, got {}",
         r.time
     );
+}
+
+// ---------------------------------------------------------------------------
+// Cross-protocol fault matrix (DESIGN §14): all three protocols survive the
+// same seeded fault plans, deterministically, at every sim_threads value.
+// ---------------------------------------------------------------------------
+
+/// `faulty_cfg` plus the protocol-specific loss domains: seeded snoop-probe
+/// loss for both snooping protocols, update-ack loss for Dragon, and the
+/// solicitation-round timeout armed so lost probes are resent, not hung on.
+fn matrix_cfg(protocol: ProtocolKind, seed: u64) -> SystemConfig {
+    let mut cfg = faulty_cfg(seed);
+    cfg.protocol = protocol;
+    if protocol != ProtocolKind::Directory {
+        cfg.fault.dir.timeout = Some(Time::from_us(5));
+        cfg.fault.snoop_probe.drop_rate = 0.05;
+    }
+    if protocol == ProtocolKind::Dragon {
+        cfg.fault.upd_ack.drop_rate = 0.05;
+    }
+    cfg
+}
+
+#[test]
+fn fault_matrix_is_deterministic_for_every_protocol_and_thread_count() {
+    for protocol in ProtocolKind::ALL {
+        let mut reference: Option<RunReport> = None;
+        for threads in [1usize, 2, 4] {
+            let mut cfg = matrix_cfg(protocol, 7);
+            cfg.sim_threads = threads;
+            let a = run(cfg.clone(), &vecadd_src(32));
+            let b = run(cfg, &vecadd_src(32));
+            assert_eq!(
+                a.outcome,
+                Outcome::Completed,
+                "{} sim_threads={threads}: diag {:?}",
+                protocol.as_str(),
+                a.diagnostic
+            );
+            assert_eq!(
+                a,
+                b,
+                "{} sim_threads={threads}: same seed must replay bit-for-bit",
+                protocol.as_str()
+            );
+            match &reference {
+                None => reference = Some(a),
+                Some(r) => assert_eq!(
+                    &a,
+                    r,
+                    "{} sim_threads={threads} diverged from serial",
+                    protocol.as_str()
+                ),
+            }
+        }
+    }
+}
+
+/// Crank the loss rates on a sharing-heavy workload with a small retry
+/// budget: the run may complete, wedge, or exhaust the budget — but the
+/// outcome must always be typed, diagnosed, and bounded. Never a panic.
+#[test]
+fn heavy_loss_matrix_always_ends_in_a_typed_outcome() {
+    for protocol in ProtocolKind::ALL {
+        let mut cfg = matrix_cfg(protocol, 13);
+        cfg.fault.noc.drop_rate = 0.05;
+        cfg.fault.dir.timeout = Some(Time::from_us(5));
+        cfg.fault.dir.retry_budget = 4;
+        if protocol != ProtocolKind::Directory {
+            cfg.fault.snoop_probe.drop_rate = 0.3;
+        }
+        let r = run(cfg, PINGPONG);
+        assert!(
+            matches!(
+                r.outcome,
+                Outcome::Completed | Outcome::Deadlock | Outcome::RetryBudgetExhausted
+            ),
+            "{}: outcome {:?} not a typed loss outcome",
+            protocol.as_str(),
+            r.outcome
+        );
+        if r.outcome != Outcome::Completed {
+            assert!(
+                r.diagnostic.is_some(),
+                "{}: abnormal outcome must carry a dump",
+                protocol.as_str()
+            );
+        }
+        assert!(
+            r.time.as_ms() <= 200.0,
+            "{}: unbounded run, got {}",
+            protocol.as_str(),
+            r.time
+        );
+    }
+}
+
+#[test]
+fn dropped_snoop_probes_recover_via_solicitation_timeout() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.protocol = ProtocolKind::MesiSnoop;
+    cfg.fault.seed = 11;
+    cfg.fault.dir.timeout = Some(Time::from_us(5));
+    cfg.fault.snoop_probe.drop_rate = 0.2;
+    let r = run(cfg, PINGPONG);
+    assert_eq!(r.outcome, Outcome::Completed, "diag: {:?}", r.diagnostic);
+    assert_eq!(r.exit_code, 5);
+    assert!(
+        r.stats.get("fault.snoop_probe_drops") >= 1.0,
+        "seeded probe drops fired"
+    );
+    let timeouts: f64 = (0..2)
+        .map(|i| r.stats.get(&format!("mem.l2.{i}.dir_timeouts")))
+        .sum();
+    assert!(timeouts >= 1.0, "a lost probe forced a solicitation resend");
+}
+
+#[test]
+fn dropped_update_acks_recover_via_solicitation_timeout() {
+    // Dragon atomics serialize via BusRdX; only plain stores to a *shared*
+    // block broadcast BusUpd. A spinning reader keeps the flag line shared,
+    // so every store in the worker's loop is a write-update round.
+    const UPDATE_STORM: &str = "global flag: int;
+         fn worker(arg: int) -> int {
+             for (let i = 1; i <= arg; i = i + 1) { flag = i; }
+             return 0;
+         }
+         _CPU_ fn main() -> int {
+             flag = 0;
+             let t1 = spawn_cthread(worker, 40);
+             if (t1 < 0) { return -1; }
+             while (flag != 40) { }
+             return flag;
+         }";
+    let mut cfg = SystemConfig::tiny();
+    cfg.protocol = ProtocolKind::Dragon;
+    cfg.fault.seed = 11;
+    cfg.fault.dir.timeout = Some(Time::from_us(5));
+    cfg.fault.upd_ack.drop_rate = 0.3;
+    let r = run(cfg, UPDATE_STORM);
+    assert_eq!(r.outcome, Outcome::Completed, "diag: {:?}", r.diagnostic);
+    assert_eq!(r.exit_code, 40);
+    assert!(
+        r.stats.get("fault.upd_ack_drops") >= 1.0,
+        "seeded update-ack drops fired"
+    );
+    let timeouts: f64 = (0..2)
+        .map(|i| r.stats.get(&format!("mem.l2.{i}.dir_timeouts")))
+        .sum();
+    assert!(timeouts >= 1.0, "a lost UpdDone forced a BusUpd resend");
+}
+
+/// The probe/ack loss domains have no carrier events under the directory
+/// protocol: arming them draws nothing and perturbs nothing observable.
+#[test]
+fn probe_loss_domains_are_inert_under_the_directory_protocol() {
+    let base = run(SystemConfig::tiny(), PINGPONG);
+    assert_eq!(base.outcome, Outcome::Completed);
+    let mut cfg = SystemConfig::tiny();
+    cfg.fault.snoop_probe.drop_rate = 0.5;
+    cfg.fault.upd_ack.drop_rate = 0.5;
+    let armed = run(cfg, PINGPONG);
+    assert_eq!(armed.outcome, base.outcome);
+    assert_eq!(armed.exit_code, base.exit_code);
+    assert_eq!(armed.time, base.time, "armed-but-unfired streams are inert");
+    assert_eq!(armed.stats.get("fault.snoop_probe_drops"), 0.0);
+    assert_eq!(armed.stats.get("fault.upd_ack_drops"), 0.0);
+}
+
+/// A checkpoint taken mid-run under an active cross-protocol fault plan —
+/// with solicitation rounds and retry state potentially in flight — must
+/// restore and finish bit-identically, for every protocol.
+#[test]
+fn faulty_checkpoint_restores_bit_identically_for_every_protocol() {
+    for protocol in ProtocolKind::ALL {
+        let cfg = matrix_cfg(protocol, 7);
+        let prog = ccsvm_xthreads::build(&vecadd_src(32)).unwrap();
+        let baseline = Machine::new(cfg.clone(), prog.clone()).run();
+        assert_eq!(baseline.outcome, Outcome::Completed);
+
+        let at = Time::from_ps(baseline.time.as_ps() / 2);
+        let mut m = Machine::new(cfg.clone(), prog.clone());
+        assert!(m.run_until(at).is_none(), "no abort expected mid-run");
+        let snap = m.checkpoint_bytes();
+        let mut r = Machine::restore_bytes(cfg, prog, &snap).unwrap();
+        assert_eq!(
+            r.run(),
+            baseline,
+            "{}: restored faulty run diverged",
+            protocol.as_str()
+        );
+    }
 }

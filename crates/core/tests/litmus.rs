@@ -156,3 +156,76 @@ fn traffic_shape_distinguishes_invalidate_from_update() {
         "MESI ping-pong must invalidate"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Litmus under loss (DESIGN §14): SC-forbidden outcomes must stay
+// unreachable when the fabric is dropping and retransmitting — a resent
+// solicitation round that double-applied an update or leaked a stale value
+// would surface here as a forbidden exit code.
+// ---------------------------------------------------------------------------
+
+/// The standard campaign fault plan for litmus runs: link-level NoC loss for
+/// everyone, seeded probe loss for the snooping protocols, update-ack loss
+/// for Dragon — all recovered through the solicitation-round timeout.
+fn run_under_faults(kind: ProtocolKind, src: &str, seed: u64) -> RunReport {
+    let prog = ccsvm_xthreads::build(src).unwrap_or_else(|e| panic!("compile: {e}"));
+    let mut cfg = SystemConfig::tiny();
+    cfg.protocol = kind;
+    cfg.sanitizer.enabled = true;
+    cfg.fault.seed = seed;
+    cfg.fault.noc.drop_rate = 0.02;
+    cfg.fault.dir.timeout = Some(ccsvm::Time::from_us(5));
+    if kind != ProtocolKind::Directory {
+        cfg.fault.snoop_probe.drop_rate = 0.05;
+    }
+    if kind == ProtocolKind::Dragon {
+        cfg.fault.upd_ack.drop_rate = 0.05;
+    }
+    let r = Machine::new(cfg, prog).run();
+    assert_eq!(
+        r.outcome,
+        Outcome::Completed,
+        "{kind} seed {seed}: faulted litmus run aborted (diag: {:?})",
+        r.diagnostic
+    );
+    r
+}
+
+#[test]
+fn store_buffer_stays_sc_under_loss() {
+    for kind in ProtocolKind::ALL {
+        for seed in [3, 11] {
+            let r = run_under_faults(kind, STORE_BUFFER, seed);
+            assert_eq!(
+                r.exit_code, 0,
+                "{kind} seed {seed}: SC-forbidden SB outcome under loss"
+            );
+        }
+    }
+}
+
+#[test]
+fn message_passing_stays_sc_under_loss() {
+    for kind in ProtocolKind::ALL {
+        for seed in [3, 11] {
+            let r = run_under_faults(kind, MESSAGE_PASSING, seed);
+            assert_eq!(
+                r.exit_code, 42,
+                "{kind} seed {seed}: stale data behind the flag under loss"
+            );
+        }
+    }
+}
+
+#[test]
+fn ping_pong_counts_every_increment_under_loss() {
+    for kind in ProtocolKind::ALL {
+        for seed in [3, 11] {
+            let r = run_under_faults(kind, PING_PONG, seed);
+            assert_eq!(
+                r.exit_code, 200,
+                "{kind} seed {seed}: lost or duplicated increment under loss"
+            );
+        }
+    }
+}

@@ -397,6 +397,71 @@ fn protocol_specific_mutations_are_inert_elsewhere() {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery-layer mutation (DESIGN §14): the solicitation-round resend path is
+// itself under sanitizer coverage — corrupting a round's epoch bookkeeping so
+// a still-pending probe is abandoned must be caught, and the mutation must be
+// inert under the protocol without snoop rounds.
+// ---------------------------------------------------------------------------
+
+/// Seeded probe losses + the round timeout armed: the first timed-out snoop
+/// round whose abandoned probe targets a live copy is the
+/// `CorruptResendEpoch` mutation's carrier.
+fn resend_mutated_cfg(protocol: ProtocolKind) -> SystemConfig {
+    let mut cfg = mutated_cfg_proto(MutationKind::CorruptResendEpoch, 1, protocol);
+    cfg.fault.seed = 11;
+    cfg.fault.snoop_probe.drop_rate = 0.2;
+    cfg.fault.dir.timeout = Some(Time::from_us(5));
+    cfg.fault.dir.retry_budget = 32;
+    cfg
+}
+
+#[test]
+fn mesi_snoop_mutation_corrupt_resend_epoch_caught() {
+    let r = run(resend_mutated_cfg(ProtocolKind::MesiSnoop), PINGPONG);
+    let v = violation(&r);
+    assert!(
+        v.invariant == InvariantId::MemSwmr || v.invariant == InvariantId::MemDataValue,
+        "an abandoned probe must leave a surviving copy beside an exclusive \
+         grant (or a stale value), got {} ({})",
+        v.invariant.as_str(),
+        v.detail
+    );
+    assert_eq!(v.at, r.time);
+}
+
+/// Without the mutation, the identical fault plan *recovers*: the dropped
+/// probe times out, the round resends, and the run completes — proving the
+/// sanitizer catches the seeded recovery-layer bug, not the fault plan.
+#[test]
+fn probe_loss_without_mutation_recovers() {
+    let mut cfg = resend_mutated_cfg(ProtocolKind::MesiSnoop);
+    cfg.sanitizer.mutate = None;
+    let r = run(cfg, PINGPONG);
+    assert_eq!(
+        r.outcome,
+        Outcome::Completed,
+        "diag: {:?}",
+        r.diagnostic
+    );
+    assert_eq!(r.exit_code, 5);
+    assert!(
+        r.stats.get("fault.snoop_probe_drops") >= 1.0,
+        "the seeded drop actually happened"
+    );
+    let timeouts = r.stats.get("mem.l2.0.dir_timeouts") + r.stats.get("mem.l2.1.dir_timeouts");
+    assert!(timeouts >= 1.0, "recovery went through the timeout path");
+}
+
+#[test]
+fn corrupt_resend_epoch_is_inert_under_directory() {
+    // The directory protocol never runs snoop-collection rounds, so the
+    // mutation's target class never occurs and the run completes untouched.
+    let r = run(resend_mutated_cfg(ProtocolKind::Directory), PINGPONG);
+    assert_eq!(r.outcome, Outcome::Completed);
+    assert_eq!(r.exit_code, 5);
+}
+
+// ---------------------------------------------------------------------------
 // Triage: bisect-to-cycle + replay bundles.
 // ---------------------------------------------------------------------------
 

@@ -153,3 +153,125 @@ fn cross_protocol_restore_is_typed_not_a_decode_panic() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Retry-state sections (schema v4): images captured under an active fault
+// plan — probe-loss streams armed, solicitation rounds and retry epochs in
+// flight — must survive the same hostile-input sweeps as clean images, and
+// an intact mid-retry image must restore and finish bit-identically.
+// ---------------------------------------------------------------------------
+
+/// A sharing workload that keeps solicitation rounds in flight.
+const SHARED_SRC: &str = "global results: int;
+     fn worker(arg: int) -> int {
+         atomic_add(&results, arg);
+         return 0;
+     }
+     _CPU_ fn main() -> int {
+         results = 0;
+         let t1 = spawn_cthread(worker, 5);
+         if (t1 < 0) { return -1; }
+         while (results != 5) { }
+         return results;
+     }";
+
+/// A config with every protocol-appropriate loss stream armed, so the image
+/// carries the v4 fault-RNG state and live `RetryRound` counters.
+fn faulted_cfg(protocol: ccsvm::ProtocolKind) -> SystemConfig {
+    use ccsvm::ProtocolKind;
+    let mut cfg = SystemConfig::tiny();
+    cfg.protocol = protocol;
+    cfg.fault.seed = 11;
+    cfg.fault.noc.drop_rate = 0.02;
+    cfg.fault.dir.timeout = Some(Time::from_us(5));
+    if protocol != ProtocolKind::Directory {
+        cfg.fault.snoop_probe.drop_rate = 0.2;
+    }
+    if protocol == ProtocolKind::Dragon {
+        cfg.fault.upd_ack.drop_rate = 0.2;
+    }
+    cfg
+}
+
+fn faulted_image(cfg: &SystemConfig) -> (Vec<u8>, ccsvm::RunReport) {
+    let prog = ccsvm_xthreads::build(SHARED_SRC).unwrap();
+    let baseline = Machine::new(cfg.clone(), prog.clone()).run();
+    assert_eq!(baseline.outcome, Outcome::Completed);
+    let mut m = Machine::new(cfg.clone(), prog);
+    let pause = Time::from_ps(baseline.time.as_ps() / 2);
+    assert!(m.run_until(pause).is_none(), "run outlives the pause point");
+    (m.checkpoint_bytes(), baseline)
+}
+
+#[test]
+fn mid_retry_image_restores_bit_identically_for_every_protocol() {
+    for protocol in ccsvm::ProtocolKind::ALL {
+        let cfg = faulted_cfg(protocol);
+        let (bytes, baseline) = faulted_image(&cfg);
+        let prog = ccsvm_xthreads::build(SHARED_SRC).unwrap();
+        let mut restored = Machine::restore_bytes(cfg, prog, &bytes)
+            .unwrap_or_else(|e| panic!("{protocol:?}: intact image failed: {e:?}"));
+        assert_eq!(
+            restored.run(),
+            baseline,
+            "{protocol:?}: restoring mid-retry state diverged"
+        );
+    }
+}
+
+#[test]
+fn mid_retry_truncation_at_every_offset_is_a_typed_error() {
+    for protocol in ccsvm::ProtocolKind::ALL {
+        let cfg = faulted_cfg(protocol);
+        let (bytes, _) = faulted_image(&cfg);
+        let prog = ccsvm_xthreads::build(SHARED_SRC).unwrap();
+        for len in 0..bytes.len() {
+            if Machine::restore_bytes(cfg.clone(), prog.clone(), &bytes[..len]).is_ok() {
+                panic!(
+                    "{protocol:?}: truncation to {len}/{} bytes restored a machine",
+                    bytes.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_retry_hostile_length_fields_are_bounds_checked() {
+    for protocol in ccsvm::ProtocolKind::ALL {
+        let cfg = faulted_cfg(protocol);
+        let (bytes, _) = faulted_image(&cfg);
+        let prog = ccsvm_xthreads::build(SHARED_SRC).unwrap();
+        for i in (20..bytes.len().saturating_sub(8)).step_by(13) {
+            let mut corrupt = bytes.clone();
+            corrupt[i..i + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            match Machine::restore_bytes(cfg.clone(), prog.clone(), &corrupt) {
+                Err(
+                    SnapError::Truncated { .. }
+                    | SnapError::Corrupt { .. }
+                    | SnapError::BadMagic
+                    | SnapError::SchemaMismatch { .. }
+                    | SnapError::ConfigMismatch { .. },
+                ) => {}
+                Err(other) => panic!("{protocol:?}: unexpected variant at {i}: {other:?}"),
+                Ok(_) => {} // plausible small values may still parse; no panic is the claim
+            }
+        }
+    }
+}
+
+/// The v4 sections carry the armed loss streams; an image whose config no
+/// longer arms them (or vice versa) is a config identity violation and must
+/// be rejected before any component decode runs.
+#[test]
+fn fault_stream_presence_mismatch_is_a_typed_error() {
+    let cfg = faulted_cfg(ccsvm::ProtocolKind::MesiSnoop);
+    let (bytes, _) = faulted_image(&cfg);
+    let mut disarmed = cfg.clone();
+    disarmed.fault.snoop_probe.drop_rate = 0.0;
+    let prog = ccsvm_xthreads::build(SHARED_SRC).unwrap();
+    assert!(
+        Machine::restore_bytes(disarmed, prog, &bytes).is_err(),
+        "image with an armed probe-loss stream restored into a disarmed config"
+    );
+}

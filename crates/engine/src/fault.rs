@@ -20,9 +20,13 @@
 //! * **TLB walks** ([`TlbFaultConfig`]) — a completed hardware page-table
 //!   walk transiently fails (the PTE read is discarded before it reaches the
 //!   TLB) and the instruction retries after a penalty.
-//! * **Directory timeouts** ([`DirTimeoutConfig`]) — a directory transaction
-//!   waiting on invalidation/fetch responses that exceeds a timeout NACKs
-//!   and re-solicits the missing responses, up to a retry budget.
+//! * **Solicitation-round timeouts** ([`DirTimeoutConfig`]) — an ordering
+//!   point transaction waiting on responses (directory invalidation/fetch
+//!   acks, snoop probe responses, write-update acks) that exceeds a timeout
+//!   NACKs and re-solicits the missing responses, up to a retry budget.
+//! * **Snoop-probe / update-ack loss** ([`ProbeLossConfig`]) — a bank→L1
+//!   snoop probe or an L1→bank write-update acknowledgement is silently
+//!   discarded; the solicitation-round timeout recovers by re-probing.
 //!
 //! The [`Watchdog`] is the other half of the robustness story: it tracks the
 //! machine's last forward progress so the run loop can abort with a
@@ -86,10 +90,29 @@ impl Default for TlbFaultConfig {
     }
 }
 
-/// Directory-transaction timeout knobs.
+/// Seeded loss of coherence solicitations on the snooping paths: a bank→L1
+/// `Snoop` probe delivery (the `SnoopProbe` domain) or an L1→bank response
+/// answering an active write-update round (the `UpdAck` domain) is silently
+/// discarded. Both losses are recoverable by the ordering point's
+/// solicitation-round timeout (it re-probes exactly the still-pending
+/// ports), so plans that enable either domain should also set
+/// [`DirTimeoutConfig::timeout`] — without it the lost round wedges and the
+/// watchdog reports a typed deadlock instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProbeLossConfig {
+    /// Per-delivery drop probability (0 = off).
+    pub drop_rate: f64,
+    /// Cap on total drops per run (0 = unlimited). Lets tests and campaign
+    /// plans inject an exact number of losses deterministically.
+    pub max_drops: u64,
+}
+
+/// Solicitation-round timeout knobs, shared by every coherence protocol's
+/// ordering point (directory invalidation/fetch rounds, snoop probe
+/// collection, Dragon write-update rounds).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DirTimeoutConfig {
-    /// How long a directory transaction may wait on invalidation/fetch
+    /// How long an ordering-point transaction may wait on solicited
     /// responses before NACKing and re-soliciting them. `None` disables the
     /// mechanism. Must comfortably exceed the worst-case NoC round trip:
     /// the timeout detects *lost* messages, not slow ones.
@@ -157,6 +180,14 @@ pub struct FaultConfig {
     /// Test knob: swallow exactly the k-th (1-based) L1→directory response.
     /// A single lost message; recoverable when directory timeouts are on.
     pub drop_one_resp: Option<u64>,
+    /// Seeded bank→L1 snoop-probe loss (snooping protocols only; probes
+    /// don't exist under the directory protocol, so the domain is inert
+    /// there).
+    pub snoop_probe: ProbeLossConfig,
+    /// Seeded loss of L1→bank responses answering a write-update round
+    /// (Dragon only; the bank ignores update-round response payloads, so the
+    /// loss is always recoverable by re-probing).
+    pub upd_ack: ProbeLossConfig,
 }
 
 /// An independently-seeded fault domain. `Tlb(i)` gives each CPU core its
@@ -169,6 +200,10 @@ pub enum FaultDomain {
     Dram,
     /// Transient TLB-walk failures for CPU core `i`.
     Tlb(u32),
+    /// Bank→L1 snoop-probe loss (snooping protocols).
+    SnoopProbe,
+    /// L1→bank write-update acknowledgement loss (Dragon).
+    UpdAck,
 }
 
 /// A seeded, deterministic fault schedule: hands out decorrelated
@@ -197,6 +232,8 @@ impl FaultPlan {
             FaultDomain::Noc => (0x6E6F_635F_6C69_6E6B, 0),
             FaultDomain::Dram => (0x6472_616D_5F65_6363, 0),
             FaultDomain::Tlb(i) => (0x746C_625F_7761_6C6B, u64::from(i) + 1),
+            FaultDomain::SnoopProbe => (0x736E_6F6F_705F_7072, 0),
+            FaultDomain::UpdAck => (0x7570_645F_6163_6B73, 0),
         };
         let mut mixer = SplitMix64::new(self.cfg.seed ^ salt);
         let base = mixer.next_u64();
@@ -289,6 +326,10 @@ impl ccsvm_snap::Snapshot for FaultConfig {
                 None => w.put_bool(false),
             }
         }
+        for loss in [self.snoop_probe, self.upd_ack] {
+            w.put_f64(loss.drop_rate);
+            w.put_u64(loss.max_drops);
+        }
     }
 
     fn load(&mut self, r: &mut ccsvm_snap::SnapReader<'_>) -> Result<(), ccsvm_snap::SnapError> {
@@ -320,6 +361,10 @@ impl ccsvm_snap::Snapshot for FaultConfig {
             } else {
                 None
             };
+        }
+        for loss in [&mut self.snoop_probe, &mut self.upd_ack] {
+            loss.drop_rate = r.get_f64()?;
+            loss.max_drops = r.get_u64()?;
         }
         Ok(())
     }
@@ -353,6 +398,8 @@ mod tests {
         assert_eq!(cfg.dir.timeout, None);
         assert!(cfg.watchdog.enabled);
         assert!(cfg.drop_data_delivery.is_none());
+        assert_eq!(cfg.snoop_probe.drop_rate, 0.0);
+        assert_eq!(cfg.upd_ack.drop_rate, 0.0);
     }
 
     #[test]
@@ -381,6 +428,11 @@ mod tests {
         let t1: u64 = plan.stream(FaultDomain::Tlb(1)).next_u64();
         assert_ne!(t0, t1, "per-core TLB streams decorrelate");
 
+        let sp: u64 = plan.stream(FaultDomain::SnoopProbe).next_u64();
+        let ua: u64 = plan.stream(FaultDomain::UpdAck).next_u64();
+        assert_ne!(sp, ua, "snoop-probe and upd-ack streams decorrelate");
+        assert_ne!(sp, a1[0], "snoop-probe decorrelates from NoC");
+
         let other = FaultPlan::new(FaultConfig {
             seed: 43,
             ..FaultConfig::default()
@@ -390,6 +442,30 @@ mod tests {
             (0..8).map(|_| s.next_u64()).collect()
         };
         assert_ne!(a1, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn fault_config_codec_round_trips_probe_loss() {
+        use ccsvm_snap::{SnapReader, SnapWriter, Snapshot};
+        let mut cfg = FaultConfig {
+            seed: 99,
+            ..FaultConfig::default()
+        };
+        cfg.dir.timeout = Some(Time::from_us(5));
+        cfg.snoop_probe = ProbeLossConfig {
+            drop_rate: 0.25,
+            max_drops: 3,
+        };
+        cfg.upd_ack = ProbeLossConfig {
+            drop_rate: 0.5,
+            max_drops: 0,
+        };
+        let mut w = SnapWriter::new();
+        cfg.save(&mut w);
+        let bytes = w.into_vec();
+        let mut restored = FaultConfig::default();
+        restored.load(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored, cfg);
     }
 
     #[test]

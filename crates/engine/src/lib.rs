@@ -31,6 +31,7 @@
 //! assert!(q.pop().is_none());
 //! ```
 
+pub mod campaign;
 mod event;
 mod fault;
 pub mod fxmap;
@@ -40,11 +41,12 @@ mod spec;
 mod stats;
 mod time;
 
+pub use campaign::{CampaignDomain, PlanSpec};
 pub use event::{EventQueue, ReferenceEventQueue, ScanControl};
 pub use spec::SpecStats;
 pub use fault::{
     DirTimeoutConfig, DramFaultConfig, FaultConfig, FaultDomain, FaultPlan, NocFaultConfig,
-    TlbFaultConfig, Watchdog, WatchdogConfig,
+    ProbeLossConfig, TlbFaultConfig, Watchdog, WatchdogConfig,
 };
 pub use fxmap::{fx_map_with_capacity, FxHashMap, FxHashSet};
 pub use rng::SplitMix64;

@@ -242,6 +242,12 @@ pub enum MutationKind {
     /// applies a different value than the writer — only meaningful under the
     /// Dragon protocol (⇒ `MEM-DATA-VALUE`).
     CorruptUpdValue,
+    /// Corrupt the epoch bookkeeping of the n-th timed-out snoop/update
+    /// solicitation round so the ordering point abandons one still-pending
+    /// probe and completes the round without its answer — only meaningful
+    /// under the snooping protocols with recovery armed (⇒ `MEM-SWMR` /
+    /// `MEM-DATA-VALUE`, depending on what the abandoned port held).
+    CorruptResendEpoch,
 }
 
 impl MutationKind {
@@ -256,6 +262,7 @@ impl MutationKind {
             MutationKind::CorruptTlbEntry => 6,
             MutationKind::CorruptSnoopShared => 7,
             MutationKind::CorruptUpdValue => 8,
+            MutationKind::CorruptResendEpoch => 9,
         }
     }
 
@@ -270,6 +277,7 @@ impl MutationKind {
             6 => MutationKind::CorruptTlbEntry,
             7 => MutationKind::CorruptSnoopShared,
             8 => MutationKind::CorruptUpdValue,
+            9 => MutationKind::CorruptResendEpoch,
             t => {
                 return Err(SnapError::Corrupt {
                     what: format!("unknown MutationKind tag {t:#04x}"),

@@ -20,6 +20,7 @@ use ccsvm_engine::{fx_map_with_capacity, stat_id, FxHashMap, Stats};
 use crate::cache::{CacheArray, CacheConfig};
 use crate::msg::{BankId, BlockData, DirToL1, Grant, L1ToDir, ReqKind, Request, SnoopKind};
 use crate::protocol::ProtocolKind;
+use crate::recover::RetryRound;
 use crate::system::PortId;
 
 /// Directory state for one L2 block.
@@ -100,11 +101,9 @@ struct Tx {
     /// Data fetched from DRAM, kept across an install-time recall.
     fill_data: Option<BlockData>,
     recall: Option<Recall>,
-    /// Solicitation round. Bumped on every NACK resend so timeout events
-    /// armed for an earlier round are recognised as stale.
-    epoch: u64,
-    /// NACK resends already spent on this transaction.
-    nacks: u32,
+    /// Protocol-generic solicitation-round recovery state: the epoch stamped
+    /// into armed timeouts and the bounded resend budget spent so far.
+    retry: RetryRound,
     /// Snooping protocols: ports whose `SnoopResp` is still outstanding.
     pending_snoop: u32,
     /// Whether any snooped L1 reported a live copy.
@@ -246,8 +245,7 @@ impl Bank {
                 upgrade: false,
                 fill_data: None,
                 recall: None,
-                epoch: 0,
-                nacks: 0,
+                retry: RetryRound::new(),
                 pending_snoop: 0,
                 snoop_had: false,
                 snoop_dirty: false,
@@ -314,8 +312,10 @@ impl Bank {
 
     /// Snooping-mode dispatch: broadcast the probe to every other L1 and
     /// wait for their responses; the bank's arrival order *is* the bus order
-    /// for this block. No timeout arming — snoop responses are unconditional
-    /// (every probed L1 answers exactly once, held state or not).
+    /// for this block. The response-collection round arms the same
+    /// solicitation-round timeout the directory path uses ([`RetryRound`]):
+    /// probes are idempotent (an L1 answers from its current state), so a
+    /// timed-out round can simply re-probe the still-pending ports.
     fn dispatch_bus(&mut self, block: u64, req: &Request, out: &mut BankOut) {
         let kind = match req.kind {
             ReqKind::BusRd => {
@@ -351,6 +351,7 @@ impl Bank {
             self.complete_bus(block, out);
         } else {
             tx.phase = Phase::AwaitSnoop;
+            out.arm.push((block, tx.retry.epoch()));
         }
     }
 
@@ -513,7 +514,7 @@ impl Bank {
                 tx.fetch_from = Some(owner);
                 tx.fetch_inv = false;
                 tx.phase = Phase::AwaitInvFetch;
-                out.arm.push((block, tx.epoch));
+                out.arm.push((block, tx.retry.epoch()));
             }
         }
     }
@@ -554,7 +555,7 @@ impl Bank {
                     self.complete_getm(block, out);
                 } else {
                     tx.phase = Phase::AwaitInvFetch;
-                    out.arm.push((block, tx.epoch));
+                    out.arm.push((block, tx.retry.epoch()));
                 }
             }
             DirState::Owned { owner, sharers } => {
@@ -570,7 +571,7 @@ impl Bank {
                         self.complete_getm(block, out);
                     } else {
                         tx.phase = Phase::AwaitInvFetch;
-                        out.arm.push((block, tx.epoch));
+                        out.arm.push((block, tx.retry.epoch()));
                     }
                 } else {
                     out.sends.push((owner, DirToL1::FetchInv { block }));
@@ -586,7 +587,7 @@ impl Bank {
                     // data is current (O writes require GetM), so upgrade.
                     tx.upgrade = sharers & bit(from) != 0;
                     tx.phase = Phase::AwaitInvFetch;
-                    out.arm.push((block, tx.epoch));
+                    out.arm.push((block, tx.retry.epoch()));
                 }
             }
         }
@@ -756,7 +757,7 @@ impl Bank {
         tx.recall = Some(recall);
         if pending {
             tx.phase = Phase::AwaitRecall;
-            out.arm.push((block, tx.epoch));
+            out.arm.push((block, tx.retry.epoch()));
         } else {
             self.finish_recall(block, out);
         }
@@ -1009,18 +1010,27 @@ impl Bank {
     /// A `DirTimeout` armed at `epoch` fired for `block`: if the transaction
     /// still waits on responses from that round, NACK it — re-solicit every
     /// missing response and arm a fresh timeout — until `budget` resends are
-    /// spent, at which point the caller aborts the run.
+    /// spent, at which point the caller aborts the run. Works for every
+    /// response-collection phase of every protocol: directory inv/fetch and
+    /// recall rounds, and snooping probe/update rounds (probes are
+    /// idempotent, so resending to still-pending ports is always safe).
+    ///
+    /// `corrupt` is the test-only `CorruptResendEpoch` mutation: instead of
+    /// resending, the round's epoch bookkeeping is botched so the lowest
+    /// still-pending probe is abandoned and the round completes without its
+    /// answer — the recovery-layer bug the sanitizer must catch.
     pub fn timeout_fired(
         &mut self,
         block: u64,
         epoch: u64,
         budget: u32,
+        corrupt: bool,
         out: &mut BankOut,
     ) -> TimeoutAction {
         let Some(tx) = self.tx.get_mut(&block) else {
             return TimeoutAction::Stale;
         };
-        if tx.epoch != epoch {
+        if !tx.retry.is_current(epoch) {
             return TimeoutAction::Stale;
         }
         let resend: Vec<(PortId, DirToL1)> = match tx.phase {
@@ -1049,6 +1059,17 @@ impl Bank {
                 }
                 v
             }
+            Phase::AwaitSnoop => {
+                let kind = match tx.req.kind {
+                    ReqKind::BusRd => SnoopKind::Rd,
+                    ReqKind::BusRdX => SnoopKind::RdX,
+                    ReqKind::BusUpd(word) => SnoopKind::Upd(word),
+                    _ => unreachable!("AwaitSnoop on a directory request"),
+                };
+                ports(tx.pending_snoop)
+                    .map(|p| (p, DirToL1::Snoop { block, kind }))
+                    .collect()
+            }
             _ => return TimeoutAction::Stale,
         };
         if resend.is_empty() {
@@ -1056,12 +1077,19 @@ impl Bank {
         }
         self.timeouts += 1;
         let tx = self.tx.get_mut(&block).expect("tx");
-        if tx.nacks >= budget {
-            return TimeoutAction::Exhausted;
+        if corrupt && tx.phase == Phase::AwaitSnoop {
+            let lowest = tx.pending_snoop & tx.pending_snoop.wrapping_neg();
+            tx.pending_snoop &= !lowest;
+            if tx.pending_snoop == 0 {
+                self.complete_bus(block, out);
+            } else {
+                out.arm.push((block, tx.retry.epoch()));
+            }
+            return TimeoutAction::Resent;
         }
-        tx.nacks += 1;
-        tx.epoch += 1;
-        let next_epoch = tx.epoch;
+        let Some(next_epoch) = tx.retry.spend(budget) else {
+            return TimeoutAction::Exhausted;
+        };
         self.nack_resends += resend.len() as u64;
         out.sends.extend(resend);
         out.arm.push((block, next_epoch));
@@ -1072,6 +1100,34 @@ impl Bank {
     /// (for the watchdog's diagnostic dump).
     pub fn tx_phase(&self, block: u64) -> Option<String> {
         self.tx.get(&block).map(|t| format!("{:?}", t.phase))
+    }
+
+    /// Whether `block` is mid snoop-collection round and `epoch` names the
+    /// current (live) round — i.e. a `DirTimeout` carrying this epoch would
+    /// actually resend probes rather than be dropped as stale. Used by the
+    /// `CorruptResendEpoch` mutation to count candidate timeouts.
+    pub fn snoop_round_current(&self, block: u64, epoch: u64) -> bool {
+        self.tx
+            .get(&block)
+            .is_some_and(|t| t.phase == Phase::AwaitSnoop && t.retry.is_current(epoch))
+    }
+
+    /// The port the `CorruptResendEpoch` mutation would abandon on this
+    /// round's next timeout: the lowest still-pending probe target.
+    pub fn snoop_pending_lowest(&self, block: u64) -> Option<PortId> {
+        let t = self.tx.get(&block)?;
+        if t.phase != Phase::AwaitSnoop || t.pending_snoop == 0 {
+            return None;
+        }
+        Some(PortId(t.pending_snoop.trailing_zeros() as usize))
+    }
+
+    /// Whether the active transaction on `block` is a write-update round
+    /// still collecting `SnoopResp`s (the `UpdAck` fault domain's carrier).
+    pub fn upd_round_active(&self, block: u64) -> bool {
+        self.tx.get(&block).is_some_and(|t| {
+            t.phase == Phase::AwaitSnoop && matches!(t.req.kind, ReqKind::BusUpd(_))
+        })
     }
 
     /// Whether `block` participates in any in-flight directory activity: a
@@ -1372,8 +1428,7 @@ impl Tx {
             }
             None => w.put_bool(false),
         }
-        w.put_u64(self.epoch);
-        w.put_u32(self.nacks);
+        self.retry.save(w);
         w.put_u32(self.pending_snoop);
         w.put_bool(self.snoop_had);
         w.put_bool(self.snoop_dirty);
@@ -1394,8 +1449,7 @@ impl Tx {
             } else {
                 None
             },
-            epoch: r.get_u64()?,
-            nacks: r.get_u32()?,
+            retry: RetryRound::load(r)?,
             pending_snoop: r.get_u32()?,
             snoop_had: r.get_bool()?,
             snoop_dirty: r.get_bool()?,

@@ -33,6 +33,7 @@ mod l1;
 mod msg;
 mod port;
 mod protocol;
+mod recover;
 mod system;
 
 pub use addr::{block_of, offset_in_block, PhysAddr, BLOCK_BYTES};

@@ -412,6 +412,36 @@ impl MemEvent {
         }
         false
     }
+
+    /// Whether this event delivers any bank→L1 snoop probe (the
+    /// `SnoopProbe` fault domain's carrier — probes are idempotent, so a
+    /// dropped one is always recoverable by a timeout resend).
+    pub fn is_snoop_probe(&self) -> bool {
+        matches!(&self.0, MemEventKind::DirArrive(_, DirToL1::Snoop { .. }))
+    }
+
+    /// For an L1→bank `SnoopResp`, the `(home bank, block)` it answers to —
+    /// the `UpdAck` fault domain needs them to check whether the response
+    /// belongs to a write-update round (where losing it is recoverable)
+    /// before rolling the drop dice.
+    pub fn snoop_resp_target(&self) -> Option<(BankId, u64)> {
+        match &self.0 {
+            MemEventKind::RespArrive(bank, L1ToDir::SnoopResp { block, .. }) => {
+                Some((*bank, *block))
+            }
+            _ => None,
+        }
+    }
+
+    /// For a solicitation-round timeout, its `(bank, block, epoch)` — the
+    /// `CorruptResendEpoch` mutation counts timeouts that would hit a live
+    /// snoop round.
+    pub fn dir_timeout(&self) -> Option<(BankId, u64, u64)> {
+        match &self.0 {
+            MemEventKind::DirTimeout { bank, block, epoch } => Some((*bank, *block, *epoch)),
+            _ => None,
+        }
+    }
 }
 
 /// Human-readable name for a ring-record kind code produced by

@@ -1,0 +1,110 @@
+//! Protocol-generic solicitation-round recovery state (DESIGN §14).
+//!
+//! Every coherence protocol's ordering point runs *solicitation rounds*: the
+//! bank sends a set of requests (directory invalidations/fetches/recalls,
+//! snoop probes, write-update pushes) and waits for every answer before the
+//! transaction can advance. When the fabric may drop messages, each round is
+//! guarded by a timeout + bounded-resend loop. [`RetryRound`] is that loop's
+//! per-transaction state, extracted from the directory path so the snooping
+//! MESI and Dragon ordering points share byte-identical machinery:
+//!
+//! * an **epoch** counter, bumped on every resend, carried by the armed
+//!   timeout event so a raced timeout from a superseded round is recognised
+//!   as stale and ignored;
+//! * a **resend count** checked against the configured budget — exhaustion
+//!   turns into a typed [`Outcome::RetryBudgetExhausted`] abort rather than a
+//!   silent wedge.
+//!
+//! The snapshot byte layout (`u64` epoch + `u32` count) is exactly the layout
+//! the pre-extraction `Tx` fields used, so the machine-section format is
+//! unchanged by the refactor itself.
+//!
+//! [`Outcome::RetryBudgetExhausted`]: https://docs.rs/ccsvm-core
+
+use ccsvm_snap::{SnapError, SnapReader, SnapWriter};
+
+/// Timeout/resend bookkeeping for one in-flight transaction's current
+/// solicitation round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RetryRound {
+    /// Current solicitation round. Bumped on every resend so a stale timeout
+    /// event (armed for a superseded round) can be recognised and dropped.
+    epoch: u64,
+    /// Resends already spent on this transaction, across all its rounds.
+    nacks: u32,
+}
+
+impl RetryRound {
+    /// Fresh state for a newly arrived transaction: round 0, no resends.
+    pub(crate) fn new() -> RetryRound {
+        RetryRound { epoch: 0, nacks: 0 }
+    }
+
+    /// The round a timeout event must carry to be considered live.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a timeout armed for `epoch` refers to the current round.
+    pub(crate) fn is_current(&self, epoch: u64) -> bool {
+        self.epoch == epoch
+    }
+
+    /// Spends one resend from `budget`. Returns the new round's epoch, or
+    /// `None` if the budget is exhausted (→ typed abort, caller's job).
+    pub(crate) fn spend(&mut self, budget: u32) -> Option<u64> {
+        if self.nacks >= budget {
+            return None;
+        }
+        self.nacks += 1;
+        self.epoch += 1;
+        Some(self.epoch)
+    }
+
+    /// Serialises in the legacy `Tx` field order: epoch then resend count.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.epoch);
+        w.put_u32(self.nacks);
+    }
+
+    /// Counterpart of [`RetryRound::save`].
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<RetryRound, SnapError> {
+        Ok(RetryRound {
+            epoch: r.get_u64()?,
+            nacks: r.get_u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_bumps_epoch_until_budget_exhausted() {
+        let mut r = RetryRound::new();
+        assert_eq!(r.epoch(), 0);
+        assert!(r.is_current(0));
+        assert_eq!(r.spend(2), Some(1));
+        assert!(r.is_current(1) && !r.is_current(0));
+        assert_eq!(r.spend(2), Some(2));
+        assert_eq!(r.spend(2), None);
+        // Exhaustion is sticky and does not advance the round.
+        assert_eq!(r.spend(2), None);
+        assert!(r.is_current(2));
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let mut r = RetryRound::new();
+        r.spend(10);
+        r.spend(10);
+        r.spend(10);
+        let mut w = SnapWriter::new();
+        r.save(&mut w);
+        let bytes = w.into_vec();
+        let mut rd = SnapReader::new(&bytes);
+        let back = RetryRound::load(&mut rd).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -153,6 +153,10 @@ pub struct MemorySystem {
     /// Set when a transaction spent its whole retry budget (sticky until
     /// [`MemorySystem::take_retry_exhausted`]).
     retry_exhausted: Option<(BankId, u64)>,
+    /// Test-only `CorruptResendEpoch` trigger: armed by the machine just
+    /// before dispatching the target `DirTimeout` and consumed synchronously
+    /// by it, so it is transient by construction and never serialized.
+    corrupt_next_resend: bool,
     /// Reusable log for the serial [`MemorySystem::access`] path, so the
     /// buffer-and-replay round trip allocates only once.
     scratch: PortLog,
@@ -204,6 +208,7 @@ impl MemorySystem {
             dir_timeout: None,
             dir_budget: 0,
             retry_exhausted: None,
+            corrupt_next_resend: false,
             scratch: PortLog::new(),
             scratch_out: L1Out::default(),
         }
@@ -412,9 +417,10 @@ impl MemorySystem {
             }
             MemEventKind::DirTimeout { bank, block, epoch } => {
                 let budget = self.dir_budget;
+                let corrupt = std::mem::take(&mut self.corrupt_next_resend);
                 let mut out = BankOut::default();
                 if let TimeoutAction::Exhausted =
-                    self.banks[bank.0].timeout_fired(block, epoch, budget, &mut out)
+                    self.banks[bank.0].timeout_fired(block, epoch, budget, corrupt, &mut out)
                 {
                     self.retry_exhausted = Some((bank, block));
                 }
@@ -642,6 +648,40 @@ impl MemorySystem {
     /// retry budget, if one did.
     pub fn take_retry_exhausted(&mut self) -> Option<(BankId, u64)> {
         self.retry_exhausted.take()
+    }
+
+    /// Arms the test-only `CorruptResendEpoch` mutation: the next
+    /// `DirTimeout` handled corrupts its round instead of resending.
+    pub fn arm_corrupt_resend(&mut self) {
+        self.corrupt_next_resend = true;
+    }
+
+    /// Whether a `DirTimeout` carrying (`bank`, `block`, `epoch`) would hit a
+    /// live snoop-collection round (mutation targeting; see [`Bank`]).
+    pub fn snoop_round_current(&self, bank: BankId, block: u64, epoch: u64) -> bool {
+        self.banks[bank.0].snoop_round_current(block, epoch)
+    }
+
+    /// Whether the `CorruptResendEpoch` mutation is *applicable* to a
+    /// `DirTimeout` carrying (`bank`, `block`, `epoch`): the round is live
+    /// and the probe it would abandon targets an L1 that actually holds the
+    /// block — so completing the round without that answer is guaranteed to
+    /// violate coherence (a surviving copy beside an exclusive grant, or an
+    /// unpatched sharer), not silently benign.
+    pub fn corrupt_resend_applicable(&self, bank: BankId, block: u64, epoch: u64) -> bool {
+        if !self.banks[bank.0].snoop_round_current(block, epoch) {
+            return false;
+        }
+        self.banks[bank.0]
+            .snoop_pending_lowest(block)
+            .is_some_and(|p| self.l1s[p.0].probe(block).0 != crate::l1::L1State::I)
+    }
+
+    /// Whether `block`'s home bank is mid write-update round — i.e. a lost
+    /// `SnoopResp` for it would be re-solicited rather than lose dirty data
+    /// (the `UpdAck` fault domain's safety carrier).
+    pub fn upd_round_active(&self, bank: BankId, block: u64) -> bool {
+        self.banks[bank.0].upd_round_active(block)
     }
 
     /// Directory-reported owner of a block (tests / invariant checks).

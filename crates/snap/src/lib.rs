@@ -53,7 +53,7 @@ pub const MAGIC: [u8; 8] = *b"CCSVSNAP";
 /// Schema version of the snapshot format. Bump on ANY change to what any
 /// component serializes, and document the change in DESIGN.md §8 (CI greps
 /// for this).
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Typed snapshot failure. Restoring under a mismatched config or schema, or
 /// from a truncated/corrupt file, yields one of these — never a panic and

@@ -29,6 +29,7 @@
 //! manifest **byte-identical** to an uninterrupted cold run.
 
 pub mod cache;
+pub mod campaign;
 pub mod orchestrator;
 pub mod records;
 pub mod sig;
@@ -36,6 +37,9 @@ pub mod spec;
 pub mod worker;
 
 pub use cache::ReportCache;
+pub use campaign::{
+    run_campaign, CampaignSpec, CampaignSummary, CellReport, CellStatus, ShrinkReport,
+};
 pub use orchestrator::{run_sweep, ChaosPlan, Summary, SweepOutcome};
 pub use records::{AttemptStatus, JournalState, Record};
 pub use spec::{JobSpec, SweepSpec};
